@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation — classifier threshold and hysteresis.
+ *
+ * Sweeps the L3C-per-1M-cycles classification threshold around the
+ * paper's 3000 and the hysteresis band, reporting energy savings
+ * and time penalty of the Optimal configuration.  Too low a
+ * threshold slows CPU-bound work (time balloons); too high a
+ * threshold leaves memory-bound work at fmax (savings shrink);
+ * zero hysteresis invites reclassification thrashing (migrations).
+ */
+
+#include "scenario_common.hh"
+
+using namespace ecosched;
+using namespace ecosched::bench;
+
+int
+main(int argc, char **argv)
+{
+    ScenarioOptions opt = parseOptions(argc, argv);
+    if (argc <= 1)
+        opt.duration = 1200.0;
+    const ChipSpec chip = xGene3();
+    const GeneratedWorkload workload = makeWorkload(chip, opt);
+
+    std::cout << "=== Ablation: classification threshold & "
+                 "hysteresis (" << chip.name << ", "
+              << formatDouble(opt.duration, 0)
+              << " s workload, Optimal) ===\n\n";
+
+    ScenarioConfig base_cfg;
+    base_cfg.chip = chip;
+    base_cfg.policy = PolicyKind::Baseline;
+    const ScenarioResult base =
+        ScenarioRunner(base_cfg).run(workload);
+
+    TextTable t({"threshold", "hysteresis", "energy savings",
+                 "time penalty", "migrations", "reclassifications"});
+    for (double threshold : {1000.0, 2000.0, 3000.0, 5000.0,
+                             8000.0}) {
+        ScenarioConfig sc;
+        sc.chip = chip;
+        sc.policy = PolicyKind::Optimal;
+        sc.daemon.classifier.thresholdPerMCycles = threshold;
+        const ScenarioResult r = ScenarioRunner(sc).run(workload);
+        t.addRow({formatDouble(threshold, 0), "10%",
+                  formatPercent(1.0 - r.energy / base.energy, 1),
+                  formatPercent(
+                      r.completionTime / base.completionTime - 1.0,
+                      1),
+                  std::to_string(r.migrations),
+                  std::to_string(
+                      r.daemonStats.classificationChanges)});
+    }
+    for (double hysteresis : {0.0, 0.25}) {
+        ScenarioConfig sc;
+        sc.chip = chip;
+        sc.policy = PolicyKind::Optimal;
+        sc.daemon.classifier.hysteresis = hysteresis;
+        const ScenarioResult r = ScenarioRunner(sc).run(workload);
+        t.addRow({"3000", formatPercent(hysteresis, 0),
+                  formatPercent(1.0 - r.energy / base.energy, 1),
+                  formatPercent(
+                      r.completionTime / base.completionTime - 1.0,
+                      1),
+                  std::to_string(r.migrations),
+                  std::to_string(
+                      r.daemonStats.classificationChanges)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper setting: threshold 3000 (Figure 9) with "
+                 "the kernel-module counter path.\n";
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Ablation — daemon engineering knobs the paper discusses in §VI.A:
+ *
+ *  - counter access path: the custom kernel module (exact, ~zero
+ *    overhead) vs a Perf-style reader (±3 % measurement noise);
+ *  - monitoring period (the 1M-cycle window takes 300-500 ms);
+ *  - extra voltage guardband on top of the characterized table;
+ *  - thread-migration cost.
+ */
+
+#include "scenario_common.hh"
+
+using namespace ecosched;
+using namespace ecosched::bench;
+
+int
+main(int argc, char **argv)
+{
+    ScenarioOptions opt = parseOptions(argc, argv);
+    if (argc <= 1)
+        opt.duration = 1200.0;
+    const ChipSpec chip = xGene3();
+    const GeneratedWorkload workload = makeWorkload(chip, opt);
+
+    std::cout << "=== Ablation: daemon engineering knobs ("
+              << chip.name << ", " << formatDouble(opt.duration, 0)
+              << " s workload, Optimal) ===\n\n";
+
+    ScenarioConfig base_cfg;
+    base_cfg.chip = chip;
+    base_cfg.policy = PolicyKind::Baseline;
+    const ScenarioResult base =
+        ScenarioRunner(base_cfg).run(workload);
+
+    TextTable t({"variant", "energy savings", "time penalty",
+                 "reclassifications", "monitor CPU (ms)"});
+    auto run_variant = [&](const std::string &label,
+                           auto &&mutate) {
+        ScenarioConfig sc;
+        sc.chip = chip;
+        sc.policy = PolicyKind::Optimal;
+        mutate(sc);
+        const ScenarioResult r = ScenarioRunner(sc).run(workload);
+        t.addRow({label,
+                  formatPercent(1.0 - r.energy / base.energy, 1),
+                  formatPercent(
+                      r.completionTime / base.completionTime - 1.0,
+                      1),
+                  std::to_string(
+                      r.daemonStats.classificationChanges),
+                  formatDouble(
+                      r.daemonStats.monitorCpuTime * 1e3, 2)});
+    };
+
+    run_variant("kernel-module reader (paper)",
+                [](ScenarioConfig &) {});
+    run_variant("perf-tool reader (+-3% noise)",
+                [](ScenarioConfig &sc) {
+                    sc.daemon.usePerfToolReader = true;
+                });
+    run_variant("sampling every 100 ms", [](ScenarioConfig &sc) {
+        sc.daemon.samplingInterval = 0.1;
+    });
+    run_variant("sampling every 2 s", [](ScenarioConfig &sc) {
+        sc.daemon.samplingInterval = 2.0;
+    });
+    run_variant("guardband +20 mV", [](ScenarioConfig &sc) {
+        sc.daemon.guardband = units::mV(20);
+    });
+    run_variant("guardband +50 mV", [](ScenarioConfig &sc) {
+        sc.daemon.guardband = units::mV(50);
+    });
+    run_variant("migration cost 0", [](ScenarioConfig &sc) {
+        sc.migrationCost = 0.0;
+    });
+    run_variant("migration cost 10 ms", [](ScenarioConfig &sc) {
+        sc.migrationCost = units::ms(10);
+    });
+    run_variant("migration cost 100 ms", [](ScenarioConfig &sc) {
+        sc.migrationCost = units::ms(100);
+    });
+    t.print(std::cout);
+
+    std::cout << "\nPaper rationale: Perf/PAPI impose ~+-3% "
+                 "measurement error near the 3K threshold, so the "
+                 "daemon uses a dedicated kernel module with "
+                 "near-zero overhead.\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ablation — why the fail-safe voltage ordering matters (§VI.A).
+ *
+ * Runs the Optimal configuration with undervolting fault injection
+ * enabled, comparing the paper's raise-voltage-first ordering
+ * against a naive daemon that applies the voltage only *after*
+ * reconfiguring placement/frequency.  The naive ordering exposes
+ * transient windows where the supply sits below the new
+ * configuration's safe Vmin, and failures (SDCs, crashes, hangs)
+ * strike; the fail-safe ordering completes the same workload with
+ * zero failures.
+ */
+
+#include "scenario_common.hh"
+
+using namespace ecosched;
+using namespace ecosched::bench;
+
+int
+main(int argc, char **argv)
+{
+    ScenarioOptions opt = parseOptions(argc, argv);
+    if (argc <= 1)
+        opt.duration = 2400.0; // default shortened: 3 runs
+    const ChipSpec chip = xGene2();
+    const GeneratedWorkload workload = makeWorkload(chip, opt);
+
+    std::cout << "=== Ablation: fail-safe voltage ordering "
+                 "(fault injection enabled, " << chip.name
+              << ", " << formatDouble(opt.duration, 0)
+              << " s workload) ===\n\n";
+
+    TextTable t({"configuration", "completed", "failed",
+                 "worst outcome", "unsafe exposure",
+                 "max deficit", "energy (J)"});
+
+    for (int mode = 0; mode < 3; ++mode) {
+        ScenarioConfig sc;
+        sc.chip = chip;
+        sc.policy = mode == 0 ? PolicyKind::Baseline
+                              : PolicyKind::Optimal;
+        sc.injectFaults = true;
+        sc.daemon.failSafeOrdering = (mode != 2);
+        const ScenarioResult r = ScenarioRunner(sc).run(workload);
+
+        const char *label = mode == 0 ? "Baseline (nominal V)"
+            : mode == 1 ? "Optimal, fail-safe ordering"
+                        : "Optimal, naive ordering (V last)";
+        t.addRow({label, std::to_string(r.processesCompleted),
+                  std::to_string(r.processesFailed),
+                  runOutcomeName(r.worstOutcome),
+                  formatDouble(r.unsafeExposure, 2) + " s",
+                  formatDouble(
+                      units::toMilliVolts(r.maxUnsafeDeficit), 0)
+                      + " mV",
+                  formatDouble(r.energy, 0)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nThe fail-safe ordering (raise voltage before "
+                 "any frequency increase or placement that grows "
+                 "the utilized-PMD set) keeps every transition "
+                 "inside the characterized safe region.\n";
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Extension — baseline-governor sensitivity.
+ *
+ * The paper's Baseline uses the ondemand governor (the default on
+ * its CentOS 7.3 systems).  This bench asks how the headline
+ * savings change against other Linux baselines: performance
+ * (always fmax), schedutil (proportional with headroom) and
+ * powersave (always the floor — a pathological baseline that makes
+ * any comparison look bad on completion time).
+ */
+
+#include "scenario_common.hh"
+
+#include "os/governor.hh"
+
+using namespace ecosched;
+using namespace ecosched::bench;
+
+namespace {
+
+ScenarioResult
+runWithGovernor(const ChipSpec &chip,
+                const GeneratedWorkload &workload,
+                std::unique_ptr<Governor> governor)
+{
+    // Mirror ScenarioRunner's Baseline, with a custom governor.
+    Machine machine(chip);
+    System system(machine, std::make_unique<LinuxSpreadPlacer>(),
+                  std::move(governor), SystemConfig{0.01, 0.2});
+    const Catalog &catalog = Catalog::instance();
+
+    std::size_t next = 0;
+    Seconds last_completion = 0.0;
+    while (next < workload.items.size() || !system.idle()) {
+        while (next < workload.items.size() &&
+               workload.items[next].arrival
+                   <= system.now() + 0.005) {
+            system.submit(
+                catalog.byName(workload.items[next].benchmark),
+                workload.items[next].threads);
+            ++next;
+        }
+        system.step();
+    }
+    for (const Process &proc : system.finishedProcesses())
+        last_completion = std::max(last_completion, proc.completed);
+
+    ScenarioResult r;
+    r.completionTime = last_completion;
+    r.energy = machine.energyMeter().energy();
+    r.averagePower = r.energy / r.completionTime;
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ScenarioOptions opt = parseOptions(argc, argv);
+    if (argc <= 1)
+        opt.duration = 1200.0;
+    const ChipSpec chip = xGene3();
+    const GeneratedWorkload workload = makeWorkload(chip, opt);
+
+    std::cout << "=== Extension: baseline-governor sensitivity ("
+              << chip.name << ", " << formatDouble(opt.duration, 0)
+              << " s workload) ===\n\n";
+
+    const ScenarioResult daemon_run =
+        runPolicy(chip, workload, PolicyKind::Optimal);
+
+    TextTable t({"baseline governor", "time (s)", "energy (J)",
+                 "daemon savings vs it", "daemon time vs it"});
+    auto row = [&](const char *label, const ScenarioResult &r) {
+        t.addRow({label, formatDouble(r.completionTime, 0),
+                  formatDouble(r.energy, 0),
+                  formatPercent(1.0 - daemon_run.energy / r.energy,
+                                1),
+                  formatPercent(daemon_run.completionTime
+                                        / r.completionTime
+                                    - 1.0,
+                                1)});
+    };
+
+    row("ondemand (paper)",
+        runWithGovernor(chip, workload,
+                        std::make_unique<OndemandGovernor>()));
+    row("performance",
+        runWithGovernor(chip, workload,
+                        std::make_unique<PerformanceGovernor>()));
+    row("schedutil",
+        runWithGovernor(chip, workload,
+                        std::make_unique<SchedutilGovernor>()));
+    row("powersave",
+        runWithGovernor(chip, workload,
+                        std::make_unique<PowersaveGovernor>()));
+    t.print(std::cout);
+
+    std::cout << "\nOptimal daemon for reference: "
+              << formatDouble(daemon_run.completionTime, 0)
+              << " s, " << formatDouble(daemon_run.energy, 0)
+              << " J.\n";
+    return 0;
+}

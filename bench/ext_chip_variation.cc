@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Extension — chip-to-chip variation.
+ *
+ * The paper characterizes one sample of each chip and notes that
+ * static variation is manufacturing-dependent ("the minimum safe
+ * operating voltage of a microprocessor depends on the technology
+ * node, static variation ...").  The simulation exposes the sample
+ * identity through the machine seed: this bench Monte-Carlos over
+ * chip samples, characterizes each one's per-PMD offsets, and shows
+ * that the *daemon's guarantees hold on every sample* because its
+ * table is anchored at the most sensitive PMD.
+ */
+
+#include <iostream>
+
+#include "ecosched/ecosched.hh"
+
+using namespace ecosched;
+
+int
+main(int argc, char **argv)
+{
+    const int samples = argc > 1 ? std::atoi(argv[1]) : 12;
+    const ChipSpec chip = xGene3(); // derives offsets from the seed
+
+    std::cout << "=== Extension: chip-to-chip variation ("
+              << samples << " simulated " << chip.name
+              << " samples) ===\n\n";
+
+    VminParams params = VminParams::forChip(chip);
+    params.pmdOffsetsMv.clear(); // force per-sample derivation
+
+    RunningStats spread;
+    RunningStats worst_margin;
+    TextTable t({"sample", "per-PMD offset spread (mV)",
+                 "single-core Vmin range (mV)",
+                 "table still safe"});
+    for (int s = 1; s <= samples; ++s) {
+        const VminModel model(chip, params,
+                              static_cast<std::uint64_t>(s));
+        double min_off = 0.0;
+        for (PmdId p = 0; p < chip.numPmds(); ++p) {
+            min_off = std::min(
+                min_off, units::toMilliVolts(model.pmdOffset(p)));
+        }
+        spread.add(-min_off);
+
+        // Single-core true Vmin across cores for a mid workload.
+        RunningStats vmin_range;
+        bool safe = true;
+        for (CoreId c = 0; c < chip.numCores; ++c) {
+            const Volt v = model.trueVmin(chip.fMax, {c}, 0.7);
+            vmin_range.add(units::toMilliVolts(v));
+            safe &= v <= model.tableVmin(chip.fMax, 1) + 1e-12;
+        }
+        worst_margin.add(vmin_range.max());
+        t.addRow({std::to_string(s), formatDouble(-min_off, 1),
+                  formatDouble(vmin_range.min(), 0) + " - "
+                      + formatDouble(vmin_range.max(), 0),
+                  safe ? "yes" : "NO"});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nmean per-sample offset spread: "
+              << formatDouble(spread.mean(), 1) << " mV (max "
+              << formatDouble(spread.max(), 1)
+              << " mV; paper: up to ~20 mV core-to-core on "
+                 "X-Gene 3)\n";
+    std::cout << "The characterized table is anchored at the most "
+                 "sensitive PMD of each sample, so it remains safe "
+                 "on every sample — the paper's per-chip "
+                 "characterization requirement.\n";
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Figure 6 — voltage-droop detections per million cycles, per
+ * benchmark, in two magnitude windows ([55 mV, 65 mV) and
+ * [45 mV, 55 mV)) on X-Gene 3 at 3 GHz.
+ *
+ * Expected shape (paper): 32T and 16T-spreaded (16 PMDs at the high
+ * clock) populate [55, 65); 16T-clustered and 8T-spreaded (8 PMDs)
+ * populate [45, 55); one allocation class lower is near zero in
+ * each window — the droop magnitude tracks utilized PMDs, not the
+ * program.
+ */
+
+#include <iostream>
+
+#include "ecosched/ecosched.hh"
+
+using namespace ecosched;
+
+namespace {
+
+struct Config
+{
+    std::string label;
+    std::uint32_t threads;
+    Allocation alloc;
+};
+
+double
+measuredRate(const ChipSpec &chip, const BenchmarkProfile &bench,
+             const Config &config, double bin_lo, double bin_hi,
+             std::uint64_t seed)
+{
+    // Drive a short real execution with droop sampling on.
+    MachineConfig mc;
+    mc.sampleDroops = true;
+    mc.droopRateBias =
+        DroopModel(chip).workloadRateBias(bench.hash());
+    mc.seed = seed;
+    Machine machine(chip, mc);
+
+    const auto cores = allocateCores(chip.numCores, config.threads,
+                                     config.alloc);
+    for (CoreId c : cores) {
+        machine.startThread(bench.work, bench.workInstructions, c,
+                            bench.vminSensitivity);
+    }
+    machine.runUntil(0.25, units::ms(10)); // quarter second suffices
+
+    const auto events =
+        machine.droopHistogram().countInRange(bin_lo, bin_hi);
+    const double mcycles =
+        static_cast<double>(machine.droopReferenceCycles()) * 1e-6;
+    return mcycles > 0.0 ? static_cast<double>(events) / mcycles
+                         : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    const ChipSpec chip = xGene3();
+    const auto benchmarks = Catalog::instance().characterizedSet();
+    const std::vector<Config> configs = {
+        {"32T", 32, Allocation::Spreaded},
+        {"16T(spread)", 16, Allocation::Spreaded},
+        {"16T(clust)", 16, Allocation::Clustered},
+        {"8T(spread)", 8, Allocation::Spreaded},
+        {"8T(clust)", 8, Allocation::Clustered},
+    };
+
+    std::cout << "=== Figure 6: droop detections per 1M cycles, "
+              << chip.name << " @ 3 GHz ===\n\n";
+
+    for (const auto &window :
+         {std::pair<double, double>{55.0, 65.0},
+          std::pair<double, double>{45.0, 55.0}}) {
+        std::vector<std::string> header{"benchmark"};
+        for (const auto &c : configs)
+            header.push_back(c.label);
+        TextTable t(header);
+        std::uint64_t seed = 1;
+        for (const auto *bench : benchmarks) {
+            std::vector<std::string> row{bench->name};
+            for (const auto &c : configs) {
+                row.push_back(formatDouble(
+                    measuredRate(chip, *bench, c, window.first,
+                                 window.second, seed++),
+                    1));
+            }
+            t.addRow(row);
+        }
+        std::cout << "droop magnitude in [" << window.first << " mV, "
+                  << window.second << " mV):\n";
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout << "Paper reference: [55,65) is populated only by 32T "
+                 "and 16T-spreaded (16 PMDs); [45,55) only by "
+                 "16T-clustered and 8T-spreaded (8 PMDs); the rate "
+                 "varies mildly per program, the magnitude does "
+                 "not.\n";
+    return 0;
+}

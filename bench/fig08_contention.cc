@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 8 — relative performance under shared-resource contention:
+ * execution time of one single-thread instance divided by the
+ * execution time of N simultaneous instances on all cores
+ * (X-Gene 3, N = 32).
+ *
+ * Expected shape (paper): CG and FT lowest (most memory-intensive —
+ * heavy DRAM bandwidth contention); namd and EP near 1.0 (pure CPU
+ * work is unaffected by co-runners).
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "ecosched/ecosched.hh"
+
+using namespace ecosched;
+
+namespace {
+
+Seconds
+runCopies(const ChipSpec &chip, const BenchmarkProfile &bench,
+          std::uint32_t copies)
+{
+    Machine machine(chip);
+    const auto cores = allocateCores(chip.numCores, copies,
+                                     Allocation::Clustered);
+    for (CoreId c : cores) {
+        // Every instance executes the full single-thread work.
+        machine.startThread(bench.work, bench.workInstructions, c,
+                            bench.vminSensitivity);
+    }
+    while (!machine.runningThreads().empty())
+        machine.step(units::ms(10));
+    return machine.now();
+}
+
+} // namespace
+
+int
+main()
+{
+    const ChipSpec chip = xGene3();
+    auto benchmarks = Catalog::instance().characterizedSet();
+    const MemorySystem memory(MemoryParams::forChipName(chip.name));
+    std::sort(benchmarks.begin(), benchmarks.end(),
+              [&](const BenchmarkProfile *a,
+                  const BenchmarkProfile *b) {
+                  return memory.l3PerMCycles(a->work, chip.fMax)
+                      < memory.l3PerMCycles(b->work, chip.fMax);
+              });
+
+    std::cout << "=== Figure 8: relative performance of one "
+                 "instance vs 32 instances on all cores ("
+              << chip.name << " @ 3 GHz) ===\n\n";
+
+    TextTable t({"benchmark", "T(1) (s)", "T(32) (s)",
+                 "ratio T1/T32"});
+    for (const auto *bench : benchmarks) {
+        const Seconds t1 = runCopies(chip, *bench, 1);
+        const Seconds tn = runCopies(chip, *bench, chip.numCores);
+        t.addRow({bench->name, formatDouble(t1, 1),
+                  formatDouble(tn, 1), formatDouble(t1 / tn, 2)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper reference: CG/FT have the smallest ratio "
+                 "(heavy memory contention); namd/EP are close to "
+                 "1.0.\n";
+    return 0;
+}

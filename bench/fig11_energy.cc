@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 11 — energy consumption of the five spotlight benchmarks
+ * (namd, EP, milc, CG, FT: most CPU-intensive to most memory-
+ * intensive) across every thread-scaling and frequency
+ * configuration of both chips, executed at each configuration's
+ * safe Vmin.
+ *
+ * Expected shape (paper): X-Gene 2 at 0.9 GHz saves energy for all
+ * programs (clock-division Vmin drop); between fmax and half clock,
+ * CPU-intensive programs see no energy benefit from the lower
+ * frequency while memory-intensive ones do.
+ */
+
+#include <iostream>
+
+#include "run_common.hh"
+
+using namespace ecosched;
+using namespace ecosched::bench;
+
+namespace {
+
+void
+energyGrid(const ChipSpec &chip,
+           const std::vector<std::uint32_t> &thread_options,
+           const std::vector<Hertz> &freq_options)
+{
+    const auto benchmarks = Catalog::instance().figureBenchmarks();
+
+    std::vector<std::string> header{"benchmark"};
+    for (std::uint32_t threads : thread_options) {
+        for (Hertz f : freq_options) {
+            header.push_back(std::to_string(threads) + "T@"
+                             + formatDouble(units::toGHz(f), 1));
+        }
+    }
+    TextTable t(header);
+
+    for (const auto *bench : benchmarks) {
+        std::vector<std::string> row{bench->name};
+        for (std::uint32_t threads : thread_options) {
+            for (Hertz f : freq_options) {
+                const RunStats r = runConfiguration(
+                    chip, *bench, threads, Allocation::Spreaded, f,
+                    /*undervolt=*/true);
+                row.push_back(formatDouble(r.energyNormalized, 0));
+            }
+        }
+        t.addRow(row);
+    }
+    std::cout << "--- " << chip.name
+              << " energy (J, per unit of work, safe Vmin) ---\n";
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace units;
+    std::cout << "=== Figure 11: energy across thread/frequency "
+                 "configurations (benchmarks ordered from most "
+                 "CPU- to most memory-intensive) ===\n\n";
+
+    energyGrid(xGene2(), {8, 4, 2}, {GHz(2.4), GHz(1.2), GHz(0.9)});
+    energyGrid(xGene3(), {32, 16, 8}, {GHz(3.0), GHz(1.5)});
+
+    std::cout << "Paper reference: 0.9 GHz is cheapest for every "
+                 "program on X-Gene 2; at 1.2/1.5 GHz only the "
+                 "memory-intensive programs (milc, CG, FT) beat "
+                 "fmax.\n";
+    return 0;
+}

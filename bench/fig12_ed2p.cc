@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 12 — energy-delay-squared product (ED2P) for the same
+ * configuration grid as Figure 11.
+ *
+ * Expected shape (paper): for the CPU-intensive programs (namd, EP)
+ * the highest frequency always wins on ED2P; for the memory-
+ * intensive ones (milc, CG, FT) frequency is inversely proportional
+ * to ED2P efficiency — identifying the program class at runtime is
+ * what lets the daemon pick the right configuration.
+ */
+
+#include <iostream>
+
+#include "run_common.hh"
+
+using namespace ecosched;
+using namespace ecosched::bench;
+
+namespace {
+
+void
+ed2pGrid(const ChipSpec &chip,
+         const std::vector<std::uint32_t> &thread_options,
+         const std::vector<Hertz> &freq_options)
+{
+    const auto benchmarks = Catalog::instance().figureBenchmarks();
+
+    std::vector<std::string> header{"benchmark", "threads"};
+    for (Hertz f : freq_options)
+        header.push_back(formatDouble(units::toGHz(f), 1) + " GHz");
+    header.push_back("best");
+    TextTable t(header);
+
+    for (const auto *bench : benchmarks) {
+        for (std::uint32_t threads : thread_options) {
+            std::vector<std::string> row{bench->name,
+                                         std::to_string(threads)};
+            double best = 1e300;
+            std::size_t best_idx = 0;
+            std::vector<double> vals;
+            for (Hertz f : freq_options) {
+                const RunStats r = runConfiguration(
+                    chip, *bench, threads, Allocation::Spreaded, f,
+                    /*undervolt=*/true);
+                vals.push_back(r.ed2p);
+                if (r.ed2p < best) {
+                    best = r.ed2p;
+                    best_idx = vals.size() - 1;
+                }
+            }
+            for (double v : vals)
+                row.push_back(formatSi(v, 2));
+            row.push_back(
+                formatDouble(units::toGHz(freq_options[best_idx]), 1)
+                + " GHz");
+            t.addRow(row);
+        }
+    }
+    std::cout << "--- " << chip.name << " ED2P (safe Vmin) ---\n";
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace units;
+    std::cout << "=== Figure 12: ED2P across thread/frequency "
+                 "configurations ===\n\n";
+
+    ed2pGrid(xGene2(), {8, 4, 2}, {GHz(2.4), GHz(1.2), GHz(0.9)});
+    ed2pGrid(xGene3(), {32, 16, 8}, {GHz(3.0), GHz(1.5)});
+
+    std::cout << "Paper reference: namd/EP prefer the highest "
+                 "frequency; milc/CG/FT prefer the reduced "
+                 "frequency for ED2P.\n";
+    return 0;
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) — cost of the daemon's hot
+ * paths, supporting the paper's "minimally intrusive / negligible
+ * performance overhead" claim (§VI.A), plus simulator throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "ecosched/ecosched.hh"
+
+using namespace ecosched;
+
+namespace {
+
+/// Machine + system + daemon with a representative mixed load.
+struct LoadedSystem
+{
+    Machine machine;
+    System system;
+    Daemon daemon;
+
+    LoadedSystem()
+        : machine(xGene3()),
+          system(machine),
+          daemon(system, DaemonConfig{})
+    {
+        const auto &catalog = Catalog::instance();
+        system.submit(catalog.byName("CG"), 8);
+        system.submit(catalog.byName("namd"), 1);
+        system.submit(catalog.byName("milc"), 1);
+        system.submit(catalog.byName("EP"), 4);
+        system.submit(catalog.byName("gcc"), 1);
+        // Warm the counters so monitor samples have cycles.
+        for (int i = 0; i < 100; ++i)
+            system.step();
+    }
+};
+
+void
+BM_DaemonTick(benchmark::State &state)
+{
+    LoadedSystem ls;
+    for (auto _ : state) {
+        ls.daemon.tick();
+        benchmark::DoNotOptimize(ls.daemon.stats().samplesTaken);
+    }
+}
+BENCHMARK(BM_DaemonTick);
+
+void
+BM_PlacementPlan(benchmark::State &state)
+{
+    const ChipSpec chip = xGene3();
+    const PlacementEngine engine(chip);
+    PlacementRequest req;
+    const auto procs = static_cast<std::uint32_t>(state.range(0));
+    CoreId core = 0;
+    for (std::uint32_t i = 0; i < procs; ++i) {
+        PlacementProc p;
+        p.pid = i + 1;
+        p.threads = 2;
+        p.cls = (i % 2) ? WorkloadClass::MemoryIntensive
+                        : WorkloadClass::CpuIntensive;
+        p.currentCores = {core, core + 1};
+        core += 2;
+        req.procs.push_back(p);
+    }
+    for (auto _ : state) {
+        const PlacementPlan plan = engine.plan(req);
+        benchmark::DoNotOptimize(plan.utilizedPmds);
+    }
+}
+BENCHMARK(BM_PlacementPlan)->Arg(2)->Arg(8)->Arg(16);
+
+void
+BM_MachineStepFullChip(benchmark::State &state)
+{
+    Machine machine(xGene3());
+    const auto &bench = Catalog::instance().byName("CG");
+    for (CoreId c = 0; c < machine.spec().numCores; ++c) {
+        machine.startThread(bench.work, bench.workInstructions, c,
+                            bench.vminSensitivity);
+    }
+    for (auto _ : state) {
+        machine.step(units::ms(10));
+        benchmark::DoNotOptimize(machine.lastContention());
+    }
+}
+BENCHMARK(BM_MachineStepFullChip);
+
+void
+BM_SystemStepLoaded(benchmark::State &state)
+{
+    LoadedSystem ls;
+    for (auto _ : state) {
+        ls.system.step();
+        benchmark::DoNotOptimize(ls.system.now());
+    }
+}
+BENCHMARK(BM_SystemStepLoaded);
+
+void
+BM_PerfReader(benchmark::State &state)
+{
+    const KernelModuleReader kernel;
+    const PerfToolReader perf;
+    const PerfReader &reader =
+        state.range(0) ? static_cast<const PerfReader &>(perf)
+                       : kernel;
+    ThreadCounters delta;
+    delta.cycles = 1500000;
+    delta.l3Accesses = 5200;
+    delta.instructions = 900000;
+    Rng rng(4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            reader.readL3PerMCycles(delta, rng));
+    }
+}
+BENCHMARK(BM_PerfReader)->Arg(0)->Arg(1);
+
+void
+BM_VminCharacterization(benchmark::State &state)
+{
+    const ChipSpec chip = xGene3();
+    const VminModel model(chip);
+    const FailureModel failures;
+    const VminCharacterizer characterizer(model, failures);
+    const auto cores =
+        allocateCores(chip.numCores, 16, Allocation::Spreaded);
+    Rng rng(11);
+    for (auto _ : state) {
+        const auto result =
+            characterizer.characterize(rng, chip.fMax, cores, 0.9);
+        benchmark::DoNotOptimize(result.safeVmin);
+    }
+}
+BENCHMARK(BM_VminCharacterization);
+
+void
+BM_ContentionSolve(benchmark::State &state)
+{
+    const MemorySystem memory(MemoryParams::forChipName("X-Gene 3"));
+    const auto &bench = Catalog::instance().byName("CG");
+    std::vector<MemoryDemand> demands(
+        static_cast<std::size_t>(state.range(0)),
+        MemoryDemand{&bench.work, units::GHz(3.0), 1.0});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(memory.solveContention(demands));
+    }
+}
+BENCHMARK(BM_ContentionSolve)->Arg(4)->Arg(32);
+
+} // namespace
+
+BENCHMARK_MAIN();

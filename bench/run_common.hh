@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared single-machine benchmark runner for the characterization
+ * figures (7, 8, 9, 11, 12): execute one benchmark in a given
+ * thread/allocation/frequency/voltage configuration on a fresh
+ * machine and report time, energy and counter rates.
+ *
+ * Work semantics follow §II.B: a parallel program's N threads share
+ * one unit of work; N copies of a single-thread program execute the
+ * work N times, so their energy is normalised by N for fair
+ * comparison.
+ */
+
+#ifndef ECOSCHED_BENCH_RUN_COMMON_HH
+#define ECOSCHED_BENCH_RUN_COMMON_HH
+
+#include "ecosched/ecosched.hh"
+
+namespace ecosched {
+namespace bench {
+
+/// Result of one configuration run.
+struct RunStats
+{
+    Seconds runtime = 0.0;
+    Joule energy = 0.0;           ///< raw chip energy
+    Joule energyNormalized = 0.0; ///< per unit of work (SPEC: /N)
+    double ed2p = 0.0;            ///< normalised energy * D^2
+    double meanL3PerMCycles = 0.0;
+    double meanIpc = 0.0;
+};
+
+/**
+ * Execute @p bench with @p threads threads/copies.
+ *
+ * @param freq       Ladder frequency programmed on every PMD.
+ * @param undervolt  Program the configuration's safe Vmin (else
+ *                   nominal voltage).
+ */
+inline RunStats
+runConfiguration(const ChipSpec &chip, const BenchmarkProfile &bench,
+                 std::uint32_t threads, Allocation alloc, Hertz freq,
+                 bool undervolt, std::uint64_t seed = 1)
+{
+    MachineConfig mc;
+    mc.seed = seed;
+    Machine machine(chip, mc);
+
+    const auto cores = allocateCores(chip.numCores, threads, alloc);
+    machine.slimPro().requestAllFrequencies(0.0, freq);
+    if (undervolt) {
+        machine.slimPro().requestVoltage(
+            0.0, machine.vminModel().tableVmin(
+                     freq, countUtilizedPmds(cores)));
+    }
+
+    const Instructions per_thread = bench.perThreadWork(threads);
+    std::vector<SimThreadId> tids;
+    for (CoreId c : cores) {
+        tids.push_back(machine.startThread(
+            bench.work, per_thread, c, bench.vminSensitivity));
+    }
+    while (!machine.runningThreads().empty())
+        machine.step(units::ms(10));
+
+    RunStats out;
+    out.runtime = machine.now();
+    out.energy = machine.energyMeter().energy();
+    // Parallel programs execute the work once; N copies of a
+    // single-thread program execute it N times (§II.B).
+    const double units_of_work =
+        bench.parallel ? 1.0 : static_cast<double>(threads);
+    out.energyNormalized = out.energy / units_of_work;
+    out.ed2p = out.energyNormalized * out.runtime * out.runtime;
+
+    RunningStats l3;
+    RunningStats ipc;
+    for (const SimThread &t : machine.collectFinished()) {
+        l3.add(t.counters.l3AccessesPerMCycles());
+        ipc.add(t.counters.ipc());
+    }
+    out.meanL3PerMCycles = l3.mean();
+    out.meanIpc = ipc.mean();
+    return out;
+}
+
+} // namespace bench
+} // namespace ecosched
+
+#endif // ECOSCHED_BENCH_RUN_COMMON_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Shared driver for the §VI.B evaluation benches (Tables III/IV,
+ * Figures 14/15): generate the 1-hour random server workload for a
+ * chip and replay it under the four configurations.
+ *
+ * Every scenario bench accepts two optional positional arguments:
+ *   argv[1]  workload duration in seconds   (default 3600)
+ *   argv[2]  generator seed                 (default 42)
+ */
+
+#ifndef ECOSCHED_BENCH_SCENARIO_COMMON_HH
+#define ECOSCHED_BENCH_SCENARIO_COMMON_HH
+
+#include <array>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ecosched/ecosched.hh"
+
+namespace ecosched {
+namespace bench {
+
+/// Parsed command-line options of a scenario bench.
+struct ScenarioOptions
+{
+    Seconds duration = 3600.0;
+    std::uint64_t seed = 42;
+};
+
+inline ScenarioOptions
+parseOptions(int argc, char **argv)
+{
+    ScenarioOptions opt;
+    if (argc > 1)
+        opt.duration = std::atof(argv[1]);
+    if (argc > 2)
+        opt.seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
+    if (opt.duration <= 0.0)
+        opt.duration = 3600.0;
+    return opt;
+}
+
+/// Generate the chip's random server workload (§VI.B).
+inline GeneratedWorkload
+makeWorkload(const ChipSpec &chip, const ScenarioOptions &opt)
+{
+    GeneratorConfig gc;
+    gc.duration = opt.duration;
+    gc.maxCores = chip.numCores;
+    gc.seed = opt.seed;
+    gc.chipName = chip.name;
+    gc.referenceFrequency = chip.fMax;
+    return WorkloadGenerator(gc).generate();
+}
+
+/// Run one configuration over a workload.
+inline ScenarioResult
+runPolicy(const ChipSpec &chip, const GeneratedWorkload &workload,
+          PolicyKind policy)
+{
+    ScenarioConfig sc;
+    sc.chip = chip;
+    sc.policy = policy;
+    return ScenarioRunner(sc).run(workload);
+}
+
+/// All four configurations, in the paper's column order.
+inline constexpr std::array<PolicyKind, 4> allPolicies = {
+    PolicyKind::Baseline, PolicyKind::SafeVmin,
+    PolicyKind::Placement, PolicyKind::Optimal};
+
+/// Print the paper's Tables III/IV layout for one chip.
+inline void
+printEvaluationTable(const ChipSpec &chip,
+                     const std::vector<ScenarioResult> &results)
+{
+    const ScenarioResult &base = results.front();
+    TextTable t({"", "Baseline", "Safe Vmin", "Placement", "Optimal"});
+
+    auto row = [&](const std::string &label, auto &&fmt) {
+        std::vector<std::string> cells{label};
+        for (const auto &r : results)
+            cells.push_back(fmt(r));
+        t.addRow(cells);
+    };
+
+    row("Time (s)", [](const ScenarioResult &r) {
+        return formatDouble(r.completionTime, 0);
+    });
+    row("Avg. Power (W)", [](const ScenarioResult &r) {
+        return formatDouble(r.averagePower, 2);
+    });
+    row("Energy (J)", [](const ScenarioResult &r) {
+        return formatDouble(r.energy, 2);
+    });
+    row("Energy Savings", [&](const ScenarioResult &r) {
+        if (&r == &base)
+            return std::string("-");
+        return formatPercent(1.0 - r.energy / base.energy);
+    });
+    row("ED2P (workload)", [](const ScenarioResult &r) {
+        return formatSi(r.ed2p, 1);
+    });
+    row("ED2P Savings", [&](const ScenarioResult &r) {
+        if (&r == &base)
+            return std::string("-");
+        return formatPercent(1.0 - r.ed2p / base.ed2p);
+    });
+    row("Time penalty", [&](const ScenarioResult &r) {
+        if (&r == &base)
+            return std::string("-");
+        return formatPercent(
+            r.completionTime / base.completionTime - 1.0);
+    });
+    row("Migrations", [](const ScenarioResult &r) {
+        return std::to_string(r.migrations);
+    });
+    row("V transitions", [](const ScenarioResult &r) {
+        return std::to_string(r.voltageTransitions);
+    });
+
+    std::cout << chip.name << " results for the 4 configurations:\n";
+    t.print(std::cout);
+}
+
+} // namespace bench
+} // namespace ecosched
+
+#endif // ECOSCHED_BENCH_SCENARIO_COMMON_HH

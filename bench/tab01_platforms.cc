@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Table I — basic parameters of X-Gene 2 and X-Gene 3.
+ *
+ * Prints the platform description the library models, straight from
+ * the chip presets, for comparison against the paper's Table I.
+ */
+
+#include <iostream>
+
+#include "ecosched/ecosched.hh"
+
+using namespace ecosched;
+
+int
+main()
+{
+    std::cout << "=== Table I: basic parameters of X-Gene 2 and "
+                 "X-Gene 3 ===\n\n";
+
+    const ChipSpec g2 = xGene2();
+    const ChipSpec g3 = xGene3();
+
+    auto mb = [](std::uint64_t bytes) {
+        return formatDouble(
+                   static_cast<double>(bytes) / (1024.0 * 1024.0), 0)
+            + "MB";
+    };
+
+    TextTable t({"Parameter", "X-Gene 2", "X-Gene 3"});
+    t.addRow({"CPU cores", std::to_string(g2.numCores),
+              std::to_string(g3.numCores)});
+    t.addRow({"PMDs (core pairs)", std::to_string(g2.numPmds()),
+              std::to_string(g3.numPmds())});
+    t.addRow({"Core clock",
+              formatDouble(units::toGHz(g2.fMax), 1) + " GHz",
+              formatDouble(units::toGHz(g3.fMax), 1) + " GHz"});
+    t.addRow({"Frequency step",
+              formatDouble(units::toGHz(g2.freqStep()), 3) + " GHz",
+              formatDouble(units::toGHz(g3.freqStep()), 3) + " GHz"});
+    t.addRow({"L3 cache", mb(g2.l3Bytes), mb(g3.l3Bytes)});
+    t.addRow({"Technology", std::to_string(g2.technologyNm) + " nm",
+              std::to_string(g3.technologyNm) + " nm"});
+    t.addRow({"TDP", formatDouble(g2.tdp, 0) + " W",
+              formatDouble(g3.tdp, 0) + " W"});
+    t.addRow({"Nominal voltage",
+              formatDouble(units::toMilliVolts(g2.vNominal), 0)
+                  + " mV",
+              formatDouble(units::toMilliVolts(g3.vNominal), 0)
+                  + " mV"});
+    t.addRow({"Half-clock Vmin class at",
+              formatDouble(units::toGHz(g2.halfClassMaxFreq), 1)
+                  + " GHz",
+              formatDouble(units::toGHz(g3.halfClassMaxFreq), 1)
+                  + " GHz"});
+    t.addRow({"Clock-division (deep) class",
+              g2.deepClassMaxFreq > 0.0
+                  ? formatDouble(units::toGHz(g2.deepClassMaxFreq), 1)
+                      + " GHz"
+                  : "-",
+              g3.deepClassMaxFreq > 0.0
+                  ? formatDouble(units::toGHz(g3.deepClassMaxFreq), 1)
+                      + " GHz"
+                  : "-"});
+    t.print(std::cout);
+
+    std::cout << "\nFrequency ladders (1/8 steps of fmax):\n";
+    for (const ChipSpec &spec : {g2, g3}) {
+        std::cout << "  " << spec.name << ": ";
+        for (Hertz f : spec.frequencyLadder()) {
+            std::cout << formatDouble(units::toGHz(f), 3) << " ("
+                      << clockModeName(spec.clockMode(f)) << ") ";
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Table II — correlation of voltage-droop magnitude with utilized
+ * PMDs, thread scaling, and the safe Vmin per frequency (X-Gene 3),
+ * as materialised by the daemon's DroopClassTable.
+ */
+
+#include <iostream>
+
+#include "ecosched/ecosched.hh"
+
+using namespace ecosched;
+
+namespace {
+
+std::string
+threadExamples(const ChipSpec &chip, std::uint32_t lo_pmds,
+               std::uint32_t hi_pmds)
+{
+    // Thread-scaling options that utilize [lo, hi] PMDs: clustered
+    // uses ceil(T/2) PMDs, spreaded uses min(T, numPmds).
+    std::string out;
+    for (std::uint32_t t = 1; t <= chip.numCores; t *= 2) {
+        const std::uint32_t clustered = (t + 1) / 2;
+        const std::uint32_t spreaded =
+            std::min(t, chip.numPmds());
+        if (clustered >= lo_pmds && clustered <= hi_pmds) {
+            if (!out.empty())
+                out += ", ";
+            out += std::to_string(t) + "T";
+            out += (spreaded == clustered) ? "" : "(clustered)";
+        } else if (spreaded >= lo_pmds && spreaded <= hi_pmds &&
+                   t > 1) {
+            if (!out.empty())
+                out += ", ";
+            out += std::to_string(t) + "T(spreaded)";
+        }
+    }
+    return out;
+}
+
+void
+printTable(const ChipSpec &chip)
+{
+    const VminModel model(chip);
+    const DroopClassTable table(model);
+
+    TextTable t({"Droop magnitude", "Utilized PMDs",
+                 "Thread scaling",
+                 "Vmin @ " + formatDouble(units::toGHz(chip.fMax), 1)
+                     + " GHz",
+                 "Vmin @ "
+                     + formatDouble(
+                           units::toGHz(chip.halfClassMaxFreq), 1)
+                     + " GHz"});
+
+    std::uint32_t prev_max = 0;
+    for (const auto &row : table.rows()) {
+        const std::string bin = "[" + formatDouble(row.binLoMv, 0)
+            + "mV, " + formatDouble(row.binHiMv, 0) + "mV)";
+        const std::string pmds = prev_max + 1 == row.maxPmds
+            ? std::to_string(row.maxPmds)
+            : std::to_string(prev_max + 1) + "-"
+                + std::to_string(row.maxPmds);
+        t.addRow({bin, pmds + " PMDs",
+                  threadExamples(chip, prev_max + 1, row.maxPmds),
+                  formatDouble(units::toMilliVolts(
+                                   row.safeVmin.at(
+                                       VminFreqClass::High)),
+                               0) + " mV",
+                  formatDouble(
+                      units::toMilliVolts(row.safeVmin.at(
+                          VminFreqClass::Half)),
+                      0) + " mV"});
+        prev_max = row.maxPmds;
+    }
+    std::cout << "--- " << chip.name << " ---\n";
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Table II: droop magnitude vs utilized PMDs "
+                 "and safe Vmin ===\n\n";
+    printTable(xGene3());
+    printTable(xGene2());
+    std::cout << "Paper reference (X-Gene 3): 780/800/810/830 mV @ "
+                 "3 GHz and 770/780/790/820 mV @ 1.5 GHz for the "
+                 "1-2 / 4 / 8 / 16 PMD classes.\n";
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Table III — X-Gene 2 results for the 4 configurations.
+ *
+ * Replays the same generated 1-hour server workload (constraint:
+ * <= 8 active cores) under Baseline / Safe Vmin / Placement /
+ * Optimal and prints the paper's table.  Paper reference: 25.2 %
+ * energy savings and 3.2 % time penalty for Optimal.
+ */
+
+#include "scenario_common.hh"
+
+using namespace ecosched;
+using namespace ecosched::bench;
+
+int
+main(int argc, char **argv)
+{
+    const ScenarioOptions opt = parseOptions(argc, argv);
+    const ChipSpec chip = xGene2();
+    const GeneratedWorkload workload = makeWorkload(chip, opt);
+
+    std::cout << "=== Table III: X-Gene 2, "
+              << formatDouble(opt.duration, 0)
+              << " s generated workload (" << workload.items.size()
+              << " invocations, seed " << opt.seed << ") ===\n\n";
+
+    std::vector<ScenarioResult> results;
+    for (PolicyKind policy : allPolicies)
+        results.push_back(runPolicy(chip, workload, policy));
+
+    printEvaluationTable(chip, results);
+
+    std::cout << "\nPaper reference (Table III): energy savings "
+                 "11.6% / 18.3% / 25.2%, time penalty 0% / 3.3% / "
+                 "3.3% vs Baseline.\n";
+    return 0;
+}

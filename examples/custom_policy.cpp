@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Extending EcoSched: a user-defined placement policy and governor.
+ *
+ * The System accepts any PlacementPolicy / Governor implementation,
+ * so policies beyond the paper's can be prototyped in a few dozen
+ * lines.  This example implements a naive "race-to-idle" strategy —
+ * pack everything clustered at fmax, undervolt statically to the
+ * all-PMD table value — and compares it against the paper's daemon
+ * on the same workload.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "ecosched/ecosched.hh"
+
+using namespace ecosched;
+
+namespace {
+
+/// Pack threads onto the lowest-numbered free cores (clustered).
+class PackedPlacer : public PlacementPolicy
+{
+  public:
+    const char *name() const override { return "race-to-idle"; }
+
+    std::vector<CoreId>
+    place(const System &system, const Process &,
+          std::uint32_t threads) override
+    {
+        auto free = system.freeCores(); // ascending core ids
+        if (free.size() < threads)
+            return {};
+        free.resize(threads);
+        return free;
+    }
+};
+
+/// fmax everywhere, one static undervolt at attach time.
+class RaceToIdleGovernor : public Governor
+{
+  public:
+    const char *name() const override { return "race-to-idle"; }
+
+    void
+    tick(System &system) override
+    {
+        Machine &machine = system.machine();
+        if (!undervolted) {
+            const DroopClassTable table(machine.vminModel());
+            machine.slimPro().requestVoltage(
+                system.now(),
+                table.safeVoltage(machine.spec().fMax,
+                                  machine.spec().numPmds()));
+            undervolted = true;
+        }
+        for (PmdId p = 0; p < machine.spec().numPmds(); ++p) {
+            if (machine.chip().pmdFrequency(p)
+                    != machine.spec().fMax) {
+                machine.slimPro().requestPmdFrequency(
+                    system.now(), p, machine.spec().fMax);
+            }
+        }
+    }
+
+  private:
+    bool undervolted = false;
+};
+
+ScenarioResult
+runCustom(const ChipSpec &chip, const GeneratedWorkload &workload)
+{
+    // A custom policy is just a System wired by hand; the scenario
+    // loop below mirrors ScenarioRunner::run.
+    Machine machine(chip);
+    System system(machine, std::make_unique<PackedPlacer>(),
+                  std::make_unique<RaceToIdleGovernor>(),
+                  SystemConfig{0.01, 0.2});
+    const Catalog &catalog = Catalog::instance();
+
+    std::size_t next = 0;
+    Seconds last_completion = 0.0;
+    while (next < workload.items.size() || !system.idle()) {
+        while (next < workload.items.size() &&
+               workload.items[next].arrival
+                   <= system.now() + 0.005) {
+            system.submit(
+                catalog.byName(workload.items[next].benchmark),
+                workload.items[next].threads);
+            ++next;
+        }
+        system.step();
+    }
+    for (const Process &proc : system.finishedProcesses())
+        last_completion = std::max(last_completion, proc.completed);
+
+    ScenarioResult r;
+    r.completionTime = last_completion;
+    r.energy = machine.energyMeter().energy();
+    r.averagePower = r.energy / r.completionTime;
+    r.ed2p = r.energy * r.completionTime * r.completionTime;
+    r.processesCompleted = static_cast<std::uint32_t>(
+        system.finishedProcesses().size());
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Seconds duration = argc > 1 ? std::atof(argv[1]) : 1200.0;
+    const ChipSpec chip = xGene3();
+
+    GeneratorConfig gen_cfg;
+    gen_cfg.duration = duration;
+    gen_cfg.maxCores = chip.numCores;
+    gen_cfg.seed = 42;
+    gen_cfg.chipName = chip.name;
+    gen_cfg.referenceFrequency = chip.fMax;
+    const GeneratedWorkload workload =
+        WorkloadGenerator(gen_cfg).generate();
+
+    std::cout << "Custom-policy comparison on " << chip.name
+              << " (" << workload.items.size()
+              << " invocations over " << formatDouble(duration, 0)
+              << " s)\n\n";
+
+    TextTable table({"policy", "time (s)", "avg power (W)",
+                     "energy (J)", "ED2P"});
+
+    auto add = [&](const char *label, const ScenarioResult &r) {
+        table.addRow({label, formatDouble(r.completionTime, 0),
+                      formatDouble(r.averagePower, 2),
+                      formatDouble(r.energy, 0),
+                      formatSi(r.ed2p, 1)});
+    };
+
+    ScenarioConfig sc;
+    sc.chip = chip;
+    sc.policy = PolicyKind::Baseline;
+    add("Baseline (ondemand)", ScenarioRunner(sc).run(workload));
+    add("race-to-idle (custom)", runCustom(chip, workload));
+    sc.policy = PolicyKind::Optimal;
+    add("EcoSched daemon (Optimal)",
+        ScenarioRunner(sc).run(workload));
+
+    table.print(std::cout);
+
+    std::cout << "\nRace-to-idle finishes fast but burns fmax "
+                 "power on memory-stalled cores; the daemon's "
+                 "class-aware V/F + allocation wins clearly on "
+                 "energy, trading a few percent of completion "
+                 "time.\n";
+    return 0;
+}

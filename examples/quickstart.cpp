@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Quickstart: the smallest useful EcoSched program.
+ *
+ * Builds a simulated X-Gene 3, runs the memory-intensive NPB CG with
+ * 8 threads in the two canonical core allocations (clustered vs
+ * spreaded, Figure 2), at nominal settings and at the configuration's
+ * safe Vmin, and prints runtime / energy / ED2P for each — the basic
+ * trade-off the paper's daemon automates.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "ecosched/ecosched.hh"
+
+using namespace ecosched;
+
+namespace {
+
+struct RunResult
+{
+    Seconds runtime;
+    Joule energy;
+    double ed2p;
+};
+
+RunResult
+runOnce(const ChipSpec &spec, const BenchmarkProfile &bench,
+        std::uint32_t threads, Allocation alloc, Hertz freq,
+        bool undervolt)
+{
+    Machine machine(spec);
+    const auto cores = allocateCores(spec.numCores, threads, alloc);
+
+    // Program the control plane the way the daemon would.
+    machine.slimPro().requestAllFrequencies(0.0, freq);
+    if (undervolt) {
+        const Volt v = machine.vminModel().tableVmin(
+            freq, countUtilizedPmds(cores));
+        machine.slimPro().requestVoltage(0.0, v);
+    }
+
+    const Instructions work = bench.perThreadWork(threads);
+    for (CoreId c : cores) {
+        machine.startThread(bench.work, work, c,
+                            bench.vminSensitivity);
+    }
+    while (!machine.runningThreads().empty())
+        machine.step(units::ms(10));
+
+    const auto &meter = machine.energyMeter();
+    return {machine.now(), meter.energy(), meter.ed2p()};
+}
+
+} // namespace
+
+int
+main()
+{
+    const ChipSpec chip = xGene3();
+    const auto &bench = Catalog::instance().byName("CG");
+    const std::uint32_t threads = 8;
+
+    std::cout << "EcoSched quickstart: " << bench.name << " ("
+              << suiteName(bench.suite) << ") with " << threads
+              << " threads on " << chip.name << "\n\n";
+
+    TextTable table({"allocation", "freq (GHz)", "voltage",
+                     "runtime (s)", "energy (J)", "ED2P"});
+    for (Allocation alloc :
+         {Allocation::Clustered, Allocation::Spreaded}) {
+        for (bool undervolt : {false, true}) {
+            for (Hertz f : {chip.fMax, chip.halfClassMaxFreq}) {
+                const RunResult r =
+                    runOnce(chip, bench, threads, alloc, f,
+                            undervolt);
+                table.addRow({
+                    allocationName(alloc),
+                    formatDouble(units::toGHz(f), 3),
+                    undervolt ? "safe Vmin" : "nominal",
+                    formatDouble(r.runtime, 1),
+                    formatDouble(r.energy, 1),
+                    formatSi(r.ed2p, 2),
+                });
+            }
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nMemory-intensive work tolerates the reduced "
+                 "clock; combining it with the allocation-aware safe "
+                 "Vmin is what the daemon automates.\n";
+    return 0;
+}

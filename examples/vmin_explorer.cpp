@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Vmin explorer — run the paper's §III characterization protocol
+ * for one benchmark and configuration and visualise the safe /
+ * unsafe regions (an ASCII version of Figure 4's shading).
+ *
+ * Usage:
+ *   vmin_explorer [benchmark] [threads] [clustered|spreaded] \
+ *                 [freq_ghz] [xgene2|xgene3]
+ * Defaults: CG, 8 threads, spreaded, fmax, X-Gene 3.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "ecosched/ecosched.hh"
+
+using namespace ecosched;
+
+int
+main(int argc, char **argv)
+{
+    std::string bench_name = argc > 1 ? argv[1] : "CG";
+    const std::uint32_t threads =
+        argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2]))
+                 : 8u;
+    const Allocation alloc =
+        (argc > 3 && std::strcmp(argv[3], "clustered") == 0)
+            ? Allocation::Clustered
+            : Allocation::Spreaded;
+    const bool use_xgene3 =
+        !(argc > 5 && std::strcmp(argv[5], "xgene2") == 0);
+    const ChipSpec chip = use_xgene3 ? xGene3() : xGene2();
+    const Hertz freq = argc > 4
+        ? chip.snapToLadder(units::GHz(std::atof(argv[4])))
+        : chip.fMax;
+
+    const Catalog &catalog = Catalog::instance();
+    if (!catalog.contains(bench_name)) {
+        std::cerr << "unknown benchmark '" << bench_name
+                  << "'; available:\n";
+        for (const auto &p : catalog.all())
+            std::cerr << "  " << p.name << "\n";
+        return 1;
+    }
+    const BenchmarkProfile &bench = catalog.byName(bench_name);
+
+    const VminModel model(chip);
+    const FailureModel failures;
+    const VminCharacterizer characterizer(model, failures);
+    Rng rng(2026);
+
+    const auto cores = allocateCores(chip.numCores, threads, alloc);
+    const auto result = characterizer.characterize(
+        rng, freq, cores, bench.vminSensitivity);
+
+    std::cout << "Vmin characterization: " << bench.name << ", "
+              << threads << " threads (" << allocationName(alloc)
+              << ", " << countUtilizedPmds(cores) << " PMDs) @ "
+              << formatDouble(units::toGHz(freq), 2) << " GHz on "
+              << chip.name << "\n";
+    std::cout << "clock mode: "
+              << clockModeName(chip.clockMode(freq))
+              << ", Vmin frequency class: "
+              << vminFreqClassName(chip.vminFreqClass(freq))
+              << "\n\n";
+
+    std::cout << "voltage  pfail   region\n";
+    std::cout << "------------------------------------------"
+                 "--------------------\n";
+    for (const auto &pt : result.sweep) {
+        const double pfail = pt.pfail();
+        const int bars = static_cast<int>(pfail * 40.0 + 0.5);
+        std::string bar(static_cast<std::size_t>(bars), '#');
+        std::cout << formatDouble(
+                         units::toMilliVolts(pt.voltage), 0)
+                  << " mV   " << formatPercent(pfail, 1);
+        for (std::size_t pad = formatPercent(pfail, 1).size();
+             pad < 7; ++pad) {
+            std::cout << ' ';
+        }
+        std::cout << (pfail == 0.0 ? "safe   " : "unsafe ") << bar
+                  << "\n";
+    }
+
+    std::cout << "\nsafe Vmin:    "
+              << formatDouble(
+                     units::toMilliVolts(result.safeVmin), 0)
+              << " mV  (guardband below nominal: "
+              << formatDouble(
+                     units::toMilliVolts(chip.vNominal
+                                         - result.safeVmin),
+                     0)
+              << " mV, "
+              << formatPercent(1.0 - result.safeVmin / chip.vNominal,
+                               1)
+              << ")\n";
+    std::cout << "crash point:  "
+              << formatDouble(
+                     units::toMilliVolts(result.crashVoltage), 0)
+              << " mV\n";
+    std::cout << "daemon table: "
+              << formatDouble(
+                     units::toMilliVolts(model.tableVmin(
+                         freq, countUtilizedPmds(cores))),
+                     0)
+              << " mV (conservative Table II entry)\n";
+    return 0;
+}

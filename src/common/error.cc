@@ -1,0 +1,16 @@
+#include "common/error.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ecosched {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg.c_str());
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace ecosched

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Error-handling primitives for the ecosched library.
+ *
+ * Follows the gem5 fatal()/panic() distinction:
+ *  - fatal():  the *user* did something wrong (bad configuration,
+ *              invalid arguments).  Throws ecosched::FatalError so
+ *              embedding applications can recover or report.
+ *  - panic():  an internal invariant was violated (a library bug).
+ *              Prints and aborts.
+ */
+
+#ifndef ECOSCHED_COMMON_ERROR_HH
+#define ECOSCHED_COMMON_ERROR_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ecosched {
+
+/**
+ * Exception thrown on unrecoverable *user* errors (bad configuration,
+ * out-of-range knob values, malformed workload descriptions).
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/**
+ * Abort the process after printing an internal-invariant violation.
+ * Never returns.
+ *
+ * @param file Source file of the violated invariant.
+ * @param line Source line of the violated invariant.
+ * @param msg  Human-readable description.
+ */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+namespace detail {
+
+/** Build a message string from a stream expression. */
+template <typename... Args>
+std::string
+concatMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/**
+ * Throw FatalError with a message composed from the arguments.
+ * Use for user-facing configuration errors.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::concatMessage(std::forward<Args>(args)...));
+}
+
+/**
+ * Require a user-supplied condition to hold; throws FatalError
+ * otherwise.  Use at API boundaries to validate arguments.
+ */
+template <typename... Args>
+void
+fatalIf(bool condition, Args &&...args)
+{
+    if (condition)
+        fatal(std::forward<Args>(args)...);
+}
+
+} // namespace ecosched
+
+/** Abort on violated internal invariant (library bug). */
+#define ECOSCHED_PANIC(msg) \
+    ::ecosched::panicImpl(__FILE__, __LINE__, (msg))
+
+/** Assert an internal invariant with a message; active in all builds. */
+#define ECOSCHED_ASSERT(cond, msg)                                        \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            ::ecosched::panicImpl(__FILE__, __LINE__,                     \
+                                  std::string("assertion failed: ")       \
+                                      + #cond + ": " + (msg));            \
+    } while (0)
+
+#endif // ECOSCHED_COMMON_ERROR_HH

@@ -1,0 +1,99 @@
+#include "common/histogram.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : rangeLo(lo), rangeHi(hi),
+      width((hi - lo) / static_cast<double>(bins)),
+      counts(bins, 0)
+{
+    fatalIf(!(hi > lo), "Histogram range must satisfy hi > lo");
+    fatalIf(bins == 0, "Histogram needs at least one bin");
+}
+
+void
+Histogram::add(double x, std::uint64_t weight)
+{
+    totalCount += weight;
+    if (x < rangeLo) {
+        underflowCount += weight;
+    } else if (x >= rangeHi) {
+        overflowCount += weight;
+    } else {
+        counts[binIndex(x)] += weight;
+    }
+}
+
+std::uint64_t
+Histogram::binCount(std::size_t index) const
+{
+    ECOSCHED_ASSERT(index < counts.size(), "bin index out of range");
+    return counts[index];
+}
+
+double
+Histogram::binLo(std::size_t index) const
+{
+    ECOSCHED_ASSERT(index < counts.size(), "bin index out of range");
+    return rangeLo + width * static_cast<double>(index);
+}
+
+double
+Histogram::binHi(std::size_t index) const
+{
+    return binLo(index) + width;
+}
+
+std::size_t
+Histogram::binIndex(double x) const
+{
+    ECOSCHED_ASSERT(inRange(x), "binIndex() on out-of-range value");
+    auto idx = static_cast<std::size_t>((x - rangeLo) / width);
+    // Guard against floating-point edge effects at the top boundary.
+    if (idx >= counts.size())
+        idx = counts.size() - 1;
+    return idx;
+}
+
+std::uint64_t
+Histogram::countInRange(double a, double b) const
+{
+    fatalIf(a < rangeLo || b > rangeHi || a > b,
+            "countInRange() interval outside histogram range");
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (binLo(i) >= a - 1e-12 && binHi(i) <= b + 1e-12)
+            sum += counts[i];
+    }
+    return sum;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &c : counts)
+        c = 0;
+    underflowCount = overflowCount = totalCount = 0;
+}
+
+std::string
+Histogram::toString() const
+{
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        oss << "[" << binLo(i) << ", " << binHi(i) << "): "
+            << counts[i] << "\n";
+    }
+    if (underflowCount)
+        oss << "underflow: " << underflowCount << "\n";
+    if (overflowCount)
+        oss << "overflow: " << overflowCount << "\n";
+    return oss.str();
+}
+
+} // namespace ecosched

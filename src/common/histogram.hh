@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fixed-width-bin histogram, used for droop-magnitude binning
+ * (Figure 6 / Table II report droop detections per 10 mV magnitude
+ * bin) and for distribution summaries in the evaluation harness.
+ */
+
+#ifndef ECOSCHED_COMMON_HISTOGRAM_HH
+#define ECOSCHED_COMMON_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ecosched {
+
+/**
+ * Histogram over [lo, hi) with uniform bin width.  Samples outside the
+ * range are counted in dedicated underflow/overflow buckets so no
+ * sample is silently dropped.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo    Inclusive lower bound of the binned range.
+     * @param hi    Exclusive upper bound of the binned range (> lo).
+     * @param bins  Number of uniform bins (> 0).
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /// Add one sample with unit weight.
+    void add(double x) { add(x, 1); }
+
+    /// Add one sample with the given weight.
+    void add(double x, std::uint64_t weight);
+
+    /// Count in bin @p index (0-based).
+    std::uint64_t binCount(std::size_t index) const;
+
+    /// Inclusive lower edge of bin @p index.
+    double binLo(std::size_t index) const;
+
+    /// Exclusive upper edge of bin @p index.
+    double binHi(std::size_t index) const;
+
+    /// Index of the bin containing @p x; valid only if inRange(x).
+    std::size_t binIndex(double x) const;
+
+    /// Whether @p x falls inside [lo, hi).
+    bool inRange(double x) const { return x >= rangeLo && x < rangeHi; }
+
+    /// Total count over a half-open value interval [a, b) — the
+    /// interval must align with bin edges.
+    std::uint64_t countInRange(double a, double b) const;
+
+    std::size_t numBins() const { return counts.size(); }
+    std::uint64_t underflow() const { return underflowCount; }
+    std::uint64_t overflow() const { return overflowCount; }
+    std::uint64_t total() const { return totalCount; }
+
+    /// Forget all samples (bin layout is kept).
+    void reset();
+
+    /// Render a compact one-line-per-bin textual summary.
+    std::string toString() const;
+
+  private:
+    double rangeLo;
+    double rangeHi;
+    double width;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t underflowCount = 0;
+    std::uint64_t overflowCount = 0;
+    std::uint64_t totalCount = 0;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_COMMON_HISTOGRAM_HH

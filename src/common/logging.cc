@@ -1,0 +1,40 @@
+#include "common/logging.hh"
+
+#include <iostream>
+
+namespace ecosched {
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Error: return "error";
+      case LogLevel::Warn:  return "warn";
+      case LogLevel::Info:  return "info";
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Trace: return "trace";
+    }
+    return "?";
+}
+
+Logger::Logger()
+    : maxLevel(LogLevel::Warn), sink(&std::cerr)
+{
+}
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::write(LogLevel level, const std::string &msg)
+{
+    if (!enabled(level))
+        return;
+    (*sink) << "[" << logLevelName(level) << "] " << msg << "\n";
+}
+
+} // namespace ecosched

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Minimal leveled logging.
+ *
+ * The simulator and the daemon log through a process-global Logger so
+ * test binaries can silence output and the scenario benches can
+ * selectively surface daemon decisions (placement changes, V/F
+ * transitions) when debugging a policy.
+ */
+
+#ifndef ECOSCHED_COMMON_LOGGING_HH
+#define ECOSCHED_COMMON_LOGGING_HH
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace ecosched {
+
+/// Severity levels, increasing verbosity from Error to Trace.
+enum class LogLevel { Error = 0, Warn = 1, Info = 2, Debug = 3, Trace = 4 };
+
+/// Human-readable name of a level ("warn", "info", ...).
+const char *logLevelName(LogLevel level);
+
+/**
+ * Process-global logger.  Defaults to Warn level on std::cerr, which
+ * keeps test and bench output clean.
+ */
+class Logger
+{
+  public:
+    /// The process-global instance.
+    static Logger &instance();
+
+    /// Set the maximum level that will be emitted.
+    void setLevel(LogLevel level) { maxLevel = level; }
+
+    /// Current maximum level.
+    LogLevel level() const { return maxLevel; }
+
+    /// Redirect output (pass nullptr to silence entirely).
+    void setStream(std::ostream *os) { sink = os; }
+
+    /// Whether a message at @p level would be emitted.
+    bool enabled(LogLevel level) const
+    {
+        return sink != nullptr && level <= maxLevel;
+    }
+
+    /// Emit one message (already formatted) at the given level.
+    void write(LogLevel level, const std::string &msg);
+
+  private:
+    Logger();
+    LogLevel maxLevel;
+    std::ostream *sink;
+};
+
+namespace detail {
+
+template <typename... Args>
+void
+logAt(LogLevel level, Args &&...args)
+{
+    Logger &logger = Logger::instance();
+    if (!logger.enabled(level))
+        return;
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    logger.write(level, oss.str());
+}
+
+} // namespace detail
+
+/// Log at Error level.
+template <typename... Args>
+void logError(Args &&...args)
+{ detail::logAt(LogLevel::Error, std::forward<Args>(args)...); }
+
+/// Log at Warn level.
+template <typename... Args>
+void logWarn(Args &&...args)
+{ detail::logAt(LogLevel::Warn, std::forward<Args>(args)...); }
+
+/// Log at Info level.
+template <typename... Args>
+void logInfo(Args &&...args)
+{ detail::logAt(LogLevel::Info, std::forward<Args>(args)...); }
+
+/// Log at Debug level.
+template <typename... Args>
+void logDebug(Args &&...args)
+{ detail::logAt(LogLevel::Debug, std::forward<Args>(args)...); }
+
+/// Log at Trace level (very chatty: per-tick daemon decisions).
+template <typename... Args>
+void logTrace(Args &&...args)
+{ detail::logAt(LogLevel::Trace, std::forward<Args>(args)...); }
+
+} // namespace ecosched
+
+#endif // ECOSCHED_COMMON_LOGGING_HH

@@ -1,0 +1,131 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+namespace {
+
+/// SplitMix64 step, used for seeding and stream derivation.
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state)
+        word = splitMix64(s);
+    cachedNormal = 0.0;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const std::uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    ECOSCHED_ASSERT(lo <= hi, "uniform() range inverted");
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t lo, std::uint64_t hi)
+{
+    ECOSCHED_ASSERT(lo <= hi, "uniformInt() range inverted");
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) // full 64-bit range
+        return next();
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span);
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return lo + v % span;
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    if (hasCachedNormal) {
+        hasCachedNormal = false;
+        return mean + stddev * cachedNormal;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cachedNormal = r * std::sin(theta);
+    hasCachedNormal = true;
+    return mean + stddev * r * std::cos(theta);
+}
+
+double
+Rng::exponential(double mean)
+{
+    ECOSCHED_ASSERT(mean > 0.0, "exponential() needs positive mean");
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+Rng
+Rng::fork(std::uint64_t stream_id)
+{
+    std::uint64_t s = next() ^ (stream_id * 0xd1342543de82ef95ull + 1);
+    return Rng(splitMix64(s));
+}
+
+} // namespace ecosched

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic components of the simulation (failure sampling,
+ * workload generation, droop-event arrival) draw from Rng instances
+ * seeded explicitly, so every experiment is exactly replayable — the
+ * property the paper's workload generator relies on ("the generated
+ * workload can be then invoked multiple times ... using different
+ * policies", §VI.B).
+ *
+ * The core generator is xoshiro256**, seeded through SplitMix64.
+ */
+
+#ifndef ECOSCHED_COMMON_RNG_HH
+#define ECOSCHED_COMMON_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+namespace ecosched {
+
+/**
+ * Deterministic random-number generator (xoshiro256**).
+ *
+ * Cheap to copy; forking a child stream with fork() produces an
+ * independent generator so that adding draws in one component does not
+ * perturb another component's sequence.
+ */
+class Rng
+{
+  public:
+    /// Construct from a 64-bit seed (expanded via SplitMix64).
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /// Next raw 64-bit value.
+    std::uint64_t next();
+
+    /// Uniform double in [0, 1).
+    double uniform();
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi);
+
+    /// Uniform integer in [lo, hi] (inclusive).
+    std::uint64_t uniformInt(std::uint64_t lo, std::uint64_t hi);
+
+    /// Bernoulli trial with success probability p (clamped to [0,1]).
+    bool bernoulli(double p);
+
+    /// Normally distributed value (Box-Muller).
+    double normal(double mean, double stddev);
+
+    /// Exponentially distributed value with the given mean (> 0).
+    double exponential(double mean);
+
+    /**
+     * Derive an independent child generator.  The child's seed is a
+     * hash of this generator's next output and the supplied stream id,
+     * so distinct ids give distinct streams.
+     */
+    Rng fork(std::uint64_t stream_id);
+
+  private:
+    std::array<std::uint64_t, 4> state;
+    /// Cached second Box-Muller variate (NaN when empty).
+    double cachedNormal;
+    bool hasCachedNormal = false;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_COMMON_RNG_HH

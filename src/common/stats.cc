@@ -1,0 +1,118 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+void
+RunningStats::add(double x)
+{
+    ++n;
+    total += x;
+    const double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+    minV = std::min(minV, x);
+    maxV = std::max(maxV, x);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats{};
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n);
+    const double nb = static_cast<double>(other.n);
+    const double delta = other.mu - mu;
+    const double combined = na + nb;
+    mu += delta * nb / combined;
+    m2 += other.m2 + delta * delta * na * nb / combined;
+    n += other.n;
+    total += other.total;
+    minV = std::min(minV, other.minV);
+    maxV = std::max(maxV, other.maxV);
+}
+
+MovingAverage::MovingAverage(double window_seconds)
+    : window(window_seconds)
+{
+    fatalIf(window_seconds <= 0.0,
+            "MovingAverage window must be positive, got ",
+            window_seconds);
+}
+
+void
+MovingAverage::add(double timestamp, double value)
+{
+    ECOSCHED_ASSERT(samples.empty() || timestamp >= samples.back().first,
+                    "MovingAverage timestamps must be non-decreasing");
+    samples.emplace_back(timestamp, value);
+    runningSum += value;
+    while (!samples.empty() &&
+           samples.front().first < timestamp - window) {
+        runningSum -= samples.front().second;
+        samples.pop_front();
+    }
+}
+
+double
+MovingAverage::value() const
+{
+    if (samples.empty())
+        return 0.0;
+    return runningSum / static_cast<double>(samples.size());
+}
+
+Ewma::Ewma(double alpha)
+    : weight(alpha)
+{
+    fatalIf(alpha <= 0.0 || alpha > 1.0,
+            "Ewma alpha must be in (0, 1], got ", alpha);
+}
+
+void
+Ewma::add(double x)
+{
+    if (!hasSample) {
+        current = x;
+        hasSample = true;
+    } else {
+        current = weight * x + (1.0 - weight) * current;
+    }
+}
+
+void
+Ewma::reset()
+{
+    current = 0.0;
+    hasSample = false;
+}
+
+} // namespace ecosched

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Streaming statistics helpers used throughout the measurement and
+ * reporting code: running mean/variance accumulators and the 1-minute
+ * moving average the paper uses for the "average system load" plot
+ * (Figure 15).
+ */
+
+#ifndef ECOSCHED_COMMON_STATS_HH
+#define ECOSCHED_COMMON_STATS_HH
+
+#include <cstddef>
+#include <deque>
+#include <limits>
+
+namespace ecosched {
+
+/**
+ * Welford running mean / variance / min / max accumulator.
+ */
+class RunningStats
+{
+  public:
+    /// Add one sample.
+    void add(double x);
+
+    /// Number of samples seen so far.
+    std::size_t count() const { return n; }
+
+    /// Mean of the samples (0 when empty).
+    double mean() const { return n ? mu : 0.0; }
+
+    /// Unbiased sample variance (0 with fewer than two samples).
+    double variance() const;
+
+    /// Sample standard deviation.
+    double stddev() const;
+
+    /// Smallest sample (+inf when empty).
+    double min() const { return minV; }
+
+    /// Largest sample (-inf when empty).
+    double max() const { return maxV; }
+
+    /// Sum of all samples.
+    double sum() const { return total; }
+
+    /// Forget everything.
+    void reset();
+
+    /// Merge another accumulator into this one.
+    void merge(const RunningStats &other);
+
+  private:
+    std::size_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double total = 0.0;
+    double minV = std::numeric_limits<double>::infinity();
+    double maxV = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Time-windowed moving average over (timestamp, value) samples.
+ *
+ * Mirrors the presentation in the paper's Figure 15: "a moving average
+ * of 1 minute with samples of 1 second".  Samples older than the
+ * window relative to the newest sample are evicted.
+ */
+class MovingAverage
+{
+  public:
+    /// @param window_seconds Width of the averaging window (> 0).
+    explicit MovingAverage(double window_seconds);
+
+    /// Add a sample taken at the given (non-decreasing) timestamp.
+    void add(double timestamp, double value);
+
+    /// Current windowed average (0 when empty).
+    double value() const;
+
+    /// Number of samples currently inside the window.
+    std::size_t size() const { return samples.size(); }
+
+  private:
+    double window;
+    double runningSum = 0.0;
+    std::deque<std::pair<double, double>> samples;
+};
+
+/**
+ * Exponentially weighted moving average with configurable smoothing.
+ * Used by the daemon's classifier to de-noise L3C access-rate samples.
+ */
+class Ewma
+{
+  public:
+    /// @param alpha Weight of the newest sample, in (0, 1].
+    explicit Ewma(double alpha);
+
+    /// Fold in one sample.
+    void add(double x);
+
+    /// Current smoothed value (0 before any sample).
+    double value() const { return current; }
+
+    /// Whether at least one sample has been folded in.
+    bool seeded() const { return hasSample; }
+
+    /// Forget everything.
+    void reset();
+
+  private:
+    double weight;
+    double current = 0.0;
+    bool hasSample = false;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_COMMON_STATS_HH

@@ -1,0 +1,122 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : columns(std::move(header))
+{
+    fatalIf(columns.empty(), "TextTable needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    fatalIf(row.size() != columns.size(),
+            "TextTable row has ", row.size(), " fields, expected ",
+            columns.size());
+    rows.push_back(std::move(row));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(columns.size());
+    for (std::size_t c = 0; c < columns.size(); ++c)
+        widths[c] = columns[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+            if (c + 1 < row.size())
+                os << "  ";
+        }
+        os << "\n";
+    };
+
+    emit_row(columns);
+    std::string rule;
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+        rule.append(widths[c], '-');
+        if (c + 1 < columns.size())
+            rule.append(2, '-');
+    }
+    os << rule << "\n";
+    for (const auto &row : rows)
+        emit_row(row);
+}
+
+namespace {
+
+std::string
+csvEscape(const std::string &field)
+{
+    if (field.find_first_of(",\"\n") == std::string::npos)
+        return field;
+    std::string out = "\"";
+    for (char ch : field) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << csvEscape(row[c]);
+            if (c + 1 < row.size())
+                os << ",";
+        }
+        os << "\n";
+    };
+    emit_row(columns);
+    for (const auto &row : rows)
+        emit_row(row);
+}
+
+std::string
+formatDouble(double v, int decimals)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(decimals) << v;
+    return oss.str();
+}
+
+std::string
+formatPercent(double fraction, int decimals)
+{
+    return formatDouble(fraction * 100.0, decimals) + "%";
+}
+
+std::string
+formatSi(double v, int decimals)
+{
+    static const struct { double scale; const char *suffix; } steps[] = {
+        {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},
+    };
+    const double mag = std::fabs(v);
+    for (const auto &step : steps) {
+        if (mag >= step.scale)
+            return formatDouble(v / step.scale, decimals) + step.suffix;
+    }
+    return formatDouble(v, decimals);
+}
+
+} // namespace ecosched

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Plain-text table and CSV emission for the benchmark harness.
+ *
+ * Every reproduction binary prints its figure/table both as an
+ * aligned console table (human comparison against the paper) and,
+ * optionally, as CSV (machine post-processing / plotting).
+ */
+
+#ifndef ECOSCHED_COMMON_TABLE_HH
+#define ECOSCHED_COMMON_TABLE_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ecosched {
+
+/**
+ * Column-aligned text table builder.
+ *
+ * Usage:
+ * @code
+ *   TextTable t({"benchmark", "Vmin (mV)"});
+ *   t.addRow({"CG", "910"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    /// Construct with header labels (fixes the column count).
+    explicit TextTable(std::vector<std::string> header);
+
+    /// Append a data row; must match the column count.
+    void addRow(std::vector<std::string> row);
+
+    /// Number of data rows.
+    std::size_t numRows() const { return rows.size(); }
+
+    /// Number of columns.
+    std::size_t numCols() const { return columns.size(); }
+
+    /// Render with aligned columns to the stream.
+    void print(std::ostream &os) const;
+
+    /// Render as RFC-4180-ish CSV (quoting fields with commas/quotes).
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/// Format a double with the given number of decimals.
+std::string formatDouble(double v, int decimals = 2);
+
+/// Format a fraction (0.252 -> "25.2%").
+std::string formatPercent(double fraction, int decimals = 1);
+
+/**
+ * Format a value in engineering style with an SI suffix, e.g.
+ * 25578.3 -> "25.6k" (used for compact figure axes).
+ */
+std::string formatSi(double v, int decimals = 1);
+
+} // namespace ecosched
+
+#endif // ECOSCHED_COMMON_TABLE_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Physical-unit aliases and conversion helpers.
+ *
+ * The library models voltages, frequencies, times, energies and powers
+ * as plain doubles in SI base units (volts, hertz, seconds, joules,
+ * watts).  The aliases below document intent at API boundaries, and
+ * the helper functions/literals make call sites read like the paper
+ * ("980 mV", "2.4 GHz", "500 ms").
+ */
+
+#ifndef ECOSCHED_COMMON_UNITS_HH
+#define ECOSCHED_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace ecosched {
+
+/// Supply voltage in volts.
+using Volt = double;
+/// Clock frequency in hertz.
+using Hertz = double;
+/// Time duration or timestamp in seconds.
+using Seconds = double;
+/// Energy in joules.
+using Joule = double;
+/// Power in watts.
+using Watt = double;
+/// Memory bandwidth in bytes per second.
+using BytesPerSecond = double;
+
+/// Count of clock cycles.
+using Cycles = std::uint64_t;
+/// Count of retired instructions.
+using Instructions = std::uint64_t;
+
+namespace units {
+
+/// Convert millivolts to volts.
+constexpr Volt
+mV(double millivolts)
+{
+    return millivolts * 1e-3;
+}
+
+/// Convert volts to millivolts (for reporting).
+constexpr double
+toMilliVolts(Volt v)
+{
+    return v * 1e3;
+}
+
+/// Convert gigahertz to hertz.
+constexpr Hertz
+GHz(double gigahertz)
+{
+    return gigahertz * 1e9;
+}
+
+/// Convert megahertz to hertz.
+constexpr Hertz
+MHz(double megahertz)
+{
+    return megahertz * 1e6;
+}
+
+/// Convert hertz to gigahertz (for reporting).
+constexpr double
+toGHz(Hertz f)
+{
+    return f * 1e-9;
+}
+
+/// Convert milliseconds to seconds.
+constexpr Seconds
+ms(double milliseconds)
+{
+    return milliseconds * 1e-3;
+}
+
+/// Convert microseconds to seconds.
+constexpr Seconds
+us(double microseconds)
+{
+    return microseconds * 1e-6;
+}
+
+/// Convert nanoseconds to seconds.
+constexpr Seconds
+ns(double nanoseconds)
+{
+    return nanoseconds * 1e-9;
+}
+
+/// Convert gibibytes-per-second to bytes-per-second.
+constexpr BytesPerSecond
+GiBps(double gibps)
+{
+    return gibps * 1024.0 * 1024.0 * 1024.0;
+}
+
+} // namespace units
+} // namespace ecosched
+
+#endif // ECOSCHED_COMMON_UNITS_HH

@@ -1,0 +1,60 @@
+#include "core/classifier.hh"
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+const char *
+workloadClassName(WorkloadClass cls)
+{
+    switch (cls) {
+      case WorkloadClass::CpuIntensive:    return "cpu-intensive";
+      case WorkloadClass::MemoryIntensive: return "memory-intensive";
+    }
+    return "?";
+}
+
+Classifier::Classifier(Config config)
+    : cfg(config), cls(config.initialClass)
+{
+    fatalIf(cfg.thresholdPerMCycles <= 0.0,
+            "classifier threshold must be positive");
+    fatalIf(cfg.hysteresis < 0.0 || cfg.hysteresis >= 1.0,
+            "classifier hysteresis must be in [0, 1)");
+}
+
+bool
+Classifier::update(double l3_per_mcycles)
+{
+    fatalIf(l3_per_mcycles < 0.0, "negative L3C rate");
+    ++nSamples;
+
+    const double up =
+        cfg.thresholdPerMCycles * (1.0 + cfg.hysteresis);
+    const double down =
+        cfg.thresholdPerMCycles * (1.0 - cfg.hysteresis);
+
+    WorkloadClass next = cls;
+    if (cls == WorkloadClass::CpuIntensive && l3_per_mcycles > up)
+        next = WorkloadClass::MemoryIntensive;
+    else if (cls == WorkloadClass::MemoryIntensive &&
+             l3_per_mcycles < down)
+        next = WorkloadClass::CpuIntensive;
+
+    if (next != cls) {
+        cls = next;
+        ++nTransitions;
+        return true;
+    }
+    return false;
+}
+
+void
+Classifier::reset()
+{
+    cls = cfg.initialClass;
+    nSamples = 0;
+    nTransitions = 0;
+}
+
+} // namespace ecosched

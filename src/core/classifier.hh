@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Workload classification (§IV.B / Figure 9).
+ *
+ * The paper separates CPU-intensive from memory-intensive processes
+ * by their L3-cache access rate: "the threshold which defines the
+ * high memory activity is 3K accesses per 10^6 cycles".  The daemon
+ * samples each process's L3C counter over ~1M-cycle windows and
+ * classifies it; the classifier below adds hysteresis so that noise
+ * near the threshold does not cause placement thrashing.
+ */
+
+#ifndef ECOSCHED_CORE_CLASSIFIER_HH
+#define ECOSCHED_CORE_CLASSIFIER_HH
+
+#include "common/units.hh"
+
+namespace ecosched {
+
+/// The two coarse-grain workload classes of the paper.
+enum class WorkloadClass
+{
+    CpuIntensive,
+    MemoryIntensive,
+};
+
+/// Human-readable class name.
+const char *workloadClassName(WorkloadClass cls);
+
+/**
+ * Threshold classifier with hysteresis over the L3C-accesses-per-
+ * million-cycles metric.
+ */
+class Classifier
+{
+  public:
+    /// Classifier knobs.
+    struct Config
+    {
+        /// The paper's threshold: 3000 L3C accesses per 1M cycles.
+        double thresholdPerMCycles = 3000.0;
+
+        /**
+         * Relative hysteresis band: a process flips to memory-
+         * intensive above threshold*(1+h) and back to CPU-intensive
+         * below threshold*(1-h).
+         */
+        double hysteresis = 0.10;
+
+        /// Class every process starts in before its first sample.
+        WorkloadClass initialClass = WorkloadClass::CpuIntensive;
+    };
+
+    Classifier() : Classifier(Config{}) {}
+    explicit Classifier(Config config);
+
+    /// Knobs in use.
+    const Config &config() const { return cfg; }
+
+    /// Current class.
+    WorkloadClass current() const { return cls; }
+
+    /// Whether at least one sample has been folded in.
+    bool sampled() const { return nSamples > 0; }
+
+    /// Number of samples folded in.
+    std::uint64_t samples() const { return nSamples; }
+
+    /// Number of class flips so far.
+    std::uint64_t transitions() const { return nTransitions; }
+
+    /**
+     * Fold in one observed rate; returns true when the class
+     * changed.
+     */
+    bool update(double l3_per_mcycles);
+
+    /// Reset to the initial class with no samples.
+    void reset();
+
+  private:
+    Config cfg;
+    WorkloadClass cls;
+    std::uint64_t nSamples = 0;
+    std::uint64_t nTransitions = 0;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CORE_CLASSIFIER_HH

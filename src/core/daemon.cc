@@ -1,0 +1,369 @@
+#include "core/daemon.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+
+namespace ecosched {
+
+namespace {
+
+/// Forwards the System's placement queries to the daemon.
+class DaemonPlacer : public PlacementPolicy
+{
+  public:
+    explicit DaemonPlacer(Daemon &daemon) : owner(daemon) {}
+    const char *name() const override { return "ecosched-daemon"; }
+    std::vector<CoreId>
+    place(const System &, const Process &process,
+          std::uint32_t threads) override
+    {
+        return owner.placeNewProcess(process, threads);
+    }
+
+  private:
+    Daemon &owner;
+};
+
+/// Forwards the System's governor tick to the daemon's monitor.
+class DaemonGovernor : public Governor
+{
+  public:
+    explicit DaemonGovernor(Daemon &daemon) : owner(daemon) {}
+    const char *name() const override { return "ecosched-daemon"; }
+    void tick(System &) override { owner.tick(); }
+
+  private:
+    Daemon &owner;
+};
+
+constexpr Volt voltEps = 1e-6;
+
+} // namespace
+
+Daemon::Daemon(System &system, DaemonConfig config)
+    : sys(system),
+      cfg(config),
+      droopTable(system.machine().vminModel(), config.guardband),
+      engine(system.spec(), config.placement),
+      vminPredictor(config.predictor),
+      rng(config.seed * 0x9e3779b97f4a7c15ull + 11)
+{
+    fatalIf(cfg.samplingInterval <= 0.0,
+            "daemon sampling interval must be positive");
+    fatalIf(cfg.minSampleCycles == 0,
+            "daemon needs a positive cycle window");
+    if (cfg.usePerfToolReader)
+        reader = std::make_unique<PerfToolReader>();
+    else
+        reader = std::make_unique<KernelModuleReader>();
+
+    if (cfg.controlPlacement)
+        sys.setPlacementPolicy(std::make_unique<DaemonPlacer>(*this));
+    sys.setGovernor(std::make_unique<DaemonGovernor>(*this));
+    sys.addProcessObserver(
+        [this](const ProcessEvent &ev) { onProcessEvent(ev); });
+}
+
+WorkloadClass
+Daemon::classOf(Pid pid) const
+{
+    const auto it = monitored.find(pid);
+    if (it == monitored.end())
+        return cfg.classifier.initialClass;
+    return it->second.classifier.current();
+}
+
+PlacementRequest
+Daemon::snapshotRequest(bool restrict_pmds) const
+{
+    PlacementRequest req;
+    req.restrictToCurrentPmds = restrict_pmds;
+    for (Pid pid : sys.runningProcesses()) {
+        const Process &proc = sys.process(pid);
+        PlacementProc p;
+        p.pid = pid;
+        p.threads =
+            static_cast<std::uint32_t>(proc.liveThreads.size());
+        p.cls = classOf(pid);
+        p.currentCores = proc.cores;
+        if (p.threads > 0)
+            req.procs.push_back(std::move(p));
+    }
+    return req;
+}
+
+Volt
+Daemon::predictorMargin() const
+{
+    if (!cfg.useVminPredictor)
+        return 0.0;
+    const auto running = sys.runningProcesses();
+    if (running.empty())
+        return 0.0;
+    std::uint32_t active_cores = 0;
+    // The binding process is the one the proxy deems most
+    // sensitive: the highest observed L3C rate.  Processes without
+    // a sample yet are treated as fully sensitive (zero margin).
+    double max_rate = 0.0;
+    bool any_unsampled = false;
+    for (Pid pid : running) {
+        active_cores += static_cast<std::uint32_t>(
+            sys.process(pid).liveThreads.size());
+        const auto it = monitored.find(pid);
+        if (it == monitored.end() || it->second.lastRate < 0.0)
+            any_unsampled = true;
+        else
+            max_rate = std::max(max_rate, it->second.lastRate);
+    }
+    if (active_cores == 0)
+        return 0.0;
+    if (any_unsampled)
+        max_rate = vminPredictor.config().saturationRate;
+    return vminPredictor.predictedMargin(active_cores, max_rate);
+}
+
+Volt
+Daemon::requiredVoltage(const PlacementPlan &plan) const
+{
+    const Volt table = droopTable.safeVoltageFor(
+        plan.pmdFrequencies, plan.pmdUtilized);
+    if (plan.utilizedPmds == 0)
+        return table;
+    return std::max(table - predictorMargin(),
+                    sys.spec().vFloor);
+}
+
+Volt
+Daemon::currentRequiredVoltage() const
+{
+    const Machine &machine = sys.machine();
+    const ChipSpec &spec = sys.spec();
+    std::vector<Hertz> freqs(spec.numPmds());
+    std::vector<bool> util(spec.numPmds(), false);
+    bool any_busy = false;
+    for (PmdId p = 0; p < spec.numPmds(); ++p) {
+        freqs[p] = machine.chip().pmdFrequency(p);
+        util[p] = machine.coreBusy(firstCoreOfPmd(p))
+            || machine.coreBusy(secondCoreOfPmd(p));
+        any_busy |= util[p];
+    }
+    const Volt table = droopTable.safeVoltageFor(freqs, util);
+    if (!any_busy)
+        return table;
+    return std::max(table - predictorMargin(), spec.vFloor);
+}
+
+void
+Daemon::lowerVoltageIfPossible()
+{
+    if (!cfg.controlVoltage)
+        return;
+    Machine &machine = sys.machine();
+    const Volt v_req = currentRequiredVoltage();
+    if (machine.chip().voltage() > v_req + voltEps) {
+        machine.slimPro().requestVoltage(sys.now(), v_req);
+        ++statistics.voltageDrops;
+    }
+}
+
+void
+Daemon::applyPlan(const PlacementPlan &plan, Pid admit_pid)
+{
+    Machine &machine = sys.machine();
+    const ChipSpec &spec = sys.spec();
+    const Seconds now = sys.now();
+
+    // --- fail-safe phase 1: raise the voltage to cover both the
+    // current configuration and every transient of the transition --
+    const Volt v_new = requiredVoltage(plan);
+    if (cfg.controlVoltage && cfg.failSafeOrdering) {
+        std::vector<Hertz> freqs = plan.pmdFrequencies;
+        std::vector<bool> util = plan.pmdUtilized;
+        for (PmdId p = 0; p < spec.numPmds(); ++p) {
+            const bool busy = machine.coreBusy(firstCoreOfPmd(p))
+                || machine.coreBusy(secondCoreOfPmd(p));
+            if (busy) {
+                util[p] = true;
+                freqs[p] = std::max(freqs[p],
+                                    machine.chip().pmdFrequency(p));
+            }
+        }
+        const Volt v_pre = std::max(
+            v_new, droopTable.safeVoltageFor(freqs, util));
+        if (machine.chip().voltage() < v_pre - voltEps) {
+            machine.slimPro().requestVoltage(now, v_pre);
+            ++statistics.voltageRaises;
+        }
+    }
+
+    // --- phase 2: program frequencies -------------------------------
+    if (cfg.controlFrequency) {
+        for (PmdId p = 0; p < spec.numPmds(); ++p) {
+            machine.slimPro().requestPmdFrequency(
+                now, p, plan.pmdFrequencies[p]);
+        }
+    }
+
+    // --- phase 3: migrate already-running processes ----------------
+    std::map<Pid, std::vector<CoreId>> moves;
+    for (const auto &[pid, cores] : plan.assignment) {
+        if (pid == admit_pid)
+            continue;
+        const Process &proc = sys.process(pid);
+        if (proc.cores != cores)
+            moves.emplace(pid, cores);
+    }
+    if (!moves.empty()) {
+        sys.applyPlacement(moves);
+        ++statistics.placementsApplied;
+    }
+
+    // --- phase 4: settle the voltage --------------------------------
+    if (cfg.controlVoltage) {
+        if (!cfg.failSafeOrdering) {
+            // Naive ordering (ablation): the voltage follows the
+            // configuration change only at the daemon's next
+            // monitoring period — until then the chip runs the new
+            // configuration on the old supply, transiently unsafe.
+            pendingVoltage = v_new;
+        } else if (admit_pid == invalidPid) {
+            // No admission in flight: safe to settle down now.
+            lowerVoltageIfPossible();
+        }
+        // Admissions settle on the Started event, once the new
+        // process's threads actually occupy their cores.
+    }
+}
+
+std::vector<CoreId>
+Daemon::placeNewProcess(const Process &process, std::uint32_t threads)
+{
+    PlacementRequest req = snapshotRequest(false);
+    PlacementProc np;
+    np.pid = process.pid;
+    np.threads = threads;
+    np.cls = cfg.classifier.initialClass;
+    req.procs.push_back(np);
+
+    const PlacementPlan plan = engine.plan(req);
+    ++statistics.plansComputed;
+    if (!plan.feasible)
+        return {};
+    applyPlan(plan, process.pid);
+
+    const auto it = plan.assignment.find(process.pid);
+    ECOSCHED_ASSERT(it != plan.assignment.end(),
+                    "plan is missing the admitted process");
+    logDebug("daemon: admit pid ", process.pid, " (",
+             workloadClassName(np.cls), ", ", threads, "T)");
+    return it->second;
+}
+
+void
+Daemon::tick()
+{
+    const Seconds now = sys.now();
+    if (lastMonitorRun >= 0.0 &&
+        now - lastMonitorRun < cfg.samplingInterval) {
+        return;
+    }
+    lastMonitorRun = now;
+
+    if (!cfg.failSafeOrdering && cfg.controlVoltage &&
+        pendingVoltage > 0.0) {
+        if (std::fabs(sys.machine().chip().voltage()
+                      - pendingVoltage) > voltEps) {
+            sys.machine().slimPro().requestVoltage(now,
+                                                   pendingVoltage);
+        }
+        pendingVoltage = -1.0;
+    }
+
+    bool any_change = false;
+    for (Pid pid : sys.runningProcesses()) {
+        auto it = monitored.find(pid);
+        if (it == monitored.end()) {
+            it = monitored
+                     .emplace(pid,
+                              MonitorEntry{ThreadCounters{}, now,
+                                           Classifier(cfg.classifier)})
+                     .first;
+        }
+        MonitorEntry &entry = it->second;
+        const ThreadCounters current = sys.processCounters(pid);
+        const ThreadCounters delta = current.since(entry.snapshot);
+        if (delta.cycles < cfg.minSampleCycles)
+            continue;
+        const double rate = reader->readL3PerMCycles(delta, rng);
+        statistics.monitorCpuTime += reader->readCost() * 2.0;
+        ++statistics.samplesTaken;
+        entry.snapshot = current;
+        entry.lastSample = now;
+        entry.lastRate = rate;
+        if (entry.classifier.update(rate)) {
+            ++statistics.classificationChanges;
+            any_change = true;
+            logDebug("daemon: pid ", pid, " reclassified ",
+                     workloadClassName(entry.classifier.current()),
+                     " (", rate, " L3C/Mcycle)");
+        }
+    }
+
+    if (any_change && cfg.controlPlacement) {
+        // Classification change: re-place within the current
+        // utilized-PMD set (§VI.A: "the utilized PMDs cannot be
+        // changed" by this trigger).
+        const PlacementPlan plan =
+            engine.plan(snapshotRequest(true));
+        ++statistics.plansComputed;
+        if (plan.feasible)
+            applyPlan(plan, invalidPid);
+    }
+
+    // Periodic voltage settling: fresh counter samples can move the
+    // requirement (predictor mode) even without a placement change.
+    if (cfg.controlVoltage && cfg.failSafeOrdering) {
+        Machine &machine = sys.machine();
+        const Volt v_req = currentRequiredVoltage();
+        if (machine.chip().voltage() < v_req - voltEps) {
+            machine.slimPro().requestVoltage(now, v_req);
+            ++statistics.voltageRaises;
+        } else if (machine.chip().voltage() > v_req + voltEps) {
+            machine.slimPro().requestVoltage(now, v_req);
+            ++statistics.voltageDrops;
+        }
+    }
+}
+
+void
+Daemon::onProcessEvent(const ProcessEvent &event)
+{
+    if (event.kind == ProcessEventKind::Started) {
+        if (!monitored.count(event.pid)) {
+            monitored.emplace(event.pid,
+                              MonitorEntry{ThreadCounters{},
+                                           event.time,
+                                           Classifier(cfg.classifier)});
+        }
+        if (cfg.failSafeOrdering)
+            lowerVoltageIfPossible();
+        return;
+    }
+
+    // Completed: drop monitoring state and consolidate.
+    monitored.erase(event.pid);
+    if (cfg.controlPlacement) {
+        const PlacementPlan plan =
+            engine.plan(snapshotRequest(false));
+        ++statistics.plansComputed;
+        if (plan.feasible)
+            applyPlan(plan, invalidPid);
+    } else if (cfg.controlVoltage) {
+        lowerVoltageIfPossible();
+    }
+}
+
+} // namespace ecosched

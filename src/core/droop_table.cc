@@ -1,0 +1,195 @@
+#include "core/droop_table.hh"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+DroopClassTable::DroopClassTable(const VminModel &model, Volt guardband)
+    : chipSpec(model.spec()), extraGuardband(guardband)
+{
+    fatalIf(guardband < 0.0, "guardband must be non-negative");
+
+    for (const auto &dc : chipSpec.droopClasses) {
+        DroopTableRow row;
+        row.maxPmds = dc.maxPmds;
+        row.binLoMv = dc.binLoMv;
+        row.binHiMv = dc.binHiMv;
+        for (const auto &[cls, values] :
+             model.params().tableMv) {
+            (void)values;
+            // Pick any ladder frequency of this class to query the
+            // model uniformly through its public interface.
+            Hertz representative = 0.0;
+            for (Hertz f : chipSpec.frequencyLadder()) {
+                if (chipSpec.vminFreqClass(f) == cls)
+                    representative = f;
+            }
+            if (representative == 0.0)
+                continue; // class absent on this chip
+            const Volt v =
+                model.tableVmin(representative, dc.maxPmds)
+                + extraGuardband;
+            row.safeVmin[cls] = std::min(v, chipSpec.vNominal);
+        }
+        entries.push_back(std::move(row));
+    }
+}
+
+Volt
+DroopClassTable::safeVoltage(Hertz f,
+                             std::uint32_t utilized_pmds) const
+{
+    if (utilized_pmds == 0)
+        return entries.front().safeVmin.begin()->second;
+    const std::size_t idx = chipSpec.droopClassIndex(utilized_pmds);
+    const VminFreqClass cls =
+        chipSpec.vminFreqClass(chipSpec.snapToLadder(f));
+    const auto &row = entries[idx];
+    const auto it = row.safeVmin.find(cls);
+    ECOSCHED_ASSERT(it != row.safeVmin.end(),
+                    "table missing a frequency class");
+    return it->second;
+}
+
+Volt
+DroopClassTable::safeVoltageFor(
+    const std::vector<Hertz> &pmd_freqs,
+    const std::vector<bool> &pmd_utilized) const
+{
+    fatalIf(pmd_freqs.size() != chipSpec.numPmds() ||
+                pmd_utilized.size() != chipSpec.numPmds(),
+            "expected one frequency/flag per PMD");
+    std::uint32_t utilized = 0;
+    Hertz max_f = 0.0;
+    for (PmdId p = 0; p < chipSpec.numPmds(); ++p) {
+        if (!pmd_utilized[p])
+            continue;
+        ++utilized;
+        max_f = std::max(max_f, pmd_freqs[p]);
+    }
+    if (utilized == 0)
+        return entries.front().safeVmin.begin()->second;
+    return safeVoltage(max_f, utilized);
+}
+
+namespace {
+
+const char *const tableMagic = "ecosched-droop-table";
+const int tableVersion = 1;
+
+VminFreqClass
+freqClassFromName(const std::string &name)
+{
+    if (name == "high")
+        return VminFreqClass::High;
+    if (name == "half")
+        return VminFreqClass::Half;
+    if (name == "deep")
+        return VminFreqClass::Deep;
+    fatal("unknown Vmin frequency class '", name, "'");
+}
+
+} // namespace
+
+void
+DroopClassTable::save(std::ostream &os) const
+{
+    os << tableMagic << " v" << tableVersion << "\n";
+    os << "chip " << chipSpec.name << "\n";
+    os << "guardband_mv " << units::toMilliVolts(extraGuardband)
+       << "\n";
+    os << "rows " << entries.size() << "\n";
+    for (const auto &row : entries) {
+        os << "row " << row.maxPmds << " " << row.binLoMv << " "
+           << row.binHiMv;
+        for (const auto &[cls, v] : row.safeVmin) {
+            os << " " << vminFreqClassName(cls) << " "
+               << units::toMilliVolts(v);
+        }
+        os << "\n";
+    }
+}
+
+DroopClassTable
+DroopClassTable::load(std::istream &is, const ChipSpec &spec)
+{
+    spec.validate();
+    DroopClassTable table;
+    table.chipSpec = spec;
+
+    std::string magic;
+    std::string version;
+    fatalIf(!(is >> magic >> version) || magic != tableMagic,
+            "not an ecosched droop table");
+    fatalIf(version != "v" + std::to_string(tableVersion),
+            "unsupported droop-table version '", version, "'");
+
+    std::string key;
+    fatalIf(!(is >> key) || key != "chip",
+            "droop table missing the chip record");
+    std::string chip_name;
+    std::getline(is, chip_name);
+    // Trim the leading separator space.
+    if (!chip_name.empty() && chip_name.front() == ' ')
+        chip_name.erase(0, 1);
+    fatalIf(chip_name != spec.name,
+            "droop table was characterized for '", chip_name,
+            "', not '", spec.name, "'");
+
+    double guardband_mv = 0.0;
+    fatalIf(!(is >> key >> guardband_mv) || key != "guardband_mv",
+            "droop table missing the guardband record");
+    fatalIf(guardband_mv < 0.0, "negative guardband in table");
+    table.extraGuardband = units::mV(guardband_mv);
+
+    std::size_t rows = 0;
+    fatalIf(!(is >> key >> rows) || key != "rows",
+            "droop table missing the row count");
+    fatalIf(rows == 0, "droop table has no rows");
+
+    is >> std::ws;
+    for (std::size_t i = 0; i < rows; ++i) {
+        std::string line;
+        fatalIf(!std::getline(is, line),
+                "droop table truncated at row ", i);
+        std::istringstream row_is(line);
+        DroopTableRow row;
+        fatalIf(!(row_is >> key >> row.maxPmds >> row.binLoMv
+                  >> row.binHiMv) ||
+                    key != "row",
+                "malformed droop-table row ", i);
+        std::string cls_name;
+        double mv = 0.0;
+        while (row_is >> cls_name >> mv) {
+            fatalIf(mv <= 0.0, "non-positive Vmin in table");
+            row.safeVmin[freqClassFromName(cls_name)] =
+                units::mV(mv);
+        }
+        fatalIf(row.safeVmin.empty(),
+                "droop-table row ", i, " has no Vmin entries");
+        table.entries.push_back(std::move(row));
+    }
+
+    // Structural consistency with the chip.
+    fatalIf(table.entries.size() != spec.droopClasses.size(),
+            "droop table has ", table.entries.size(),
+            " rows but ", spec.name, " has ",
+            spec.droopClasses.size(), " droop classes");
+    std::uint32_t prev = 0;
+    for (const auto &row : table.entries) {
+        fatalIf(row.maxPmds <= prev,
+                "droop-table rows must have increasing PMD counts");
+        prev = row.maxPmds;
+    }
+    fatalIf(prev < spec.numPmds(),
+            "droop table does not cover all ", spec.numPmds(),
+            " PMDs");
+    return table;
+}
+
+} // namespace ecosched

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The daemon's Table II: correlation of voltage-droop magnitude with
+ * utilized PMDs and the safe Vmin per frequency class.
+ *
+ * The paper's daemon deliberately avoids Vmin *prediction* ("the
+ * prediction schemes ... are error-prone and can lead to system
+ * failures"); it uses the measured characterization table plus a
+ * fail-safe ordering.  This class is that table, materialised from a
+ * VminModel the way the authors materialised it from measurements,
+ * with an optional extra guardband.
+ */
+
+#ifndef ECOSCHED_CORE_DROOP_TABLE_HH
+#define ECOSCHED_CORE_DROOP_TABLE_HH
+
+#include <iosfwd>
+#include <map>
+#include <vector>
+
+#include "common/units.hh"
+#include "vmin/vmin_model.hh"
+
+namespace ecosched {
+
+/// One row of the daemon's table (one droop-magnitude class).
+struct DroopTableRow
+{
+    std::uint32_t maxPmds = 0; ///< largest PMD count of the class
+    double binLoMv = 0.0;      ///< droop magnitude bin lower bound
+    double binHiMv = 0.0;      ///< droop magnitude bin upper bound
+    /// Safe Vmin per frequency class (guardband already applied).
+    std::map<VminFreqClass, Volt> safeVmin;
+};
+
+/**
+ * Materialised characterization table used by the daemon.
+ */
+class DroopClassTable
+{
+  public:
+    /**
+     * Build from a characterized Vmin model.
+     * @param guardband Extra safety margin added on every entry.
+     */
+    explicit DroopClassTable(const VminModel &model,
+                             Volt guardband = 0.0);
+
+    /// The chip this table describes.
+    const ChipSpec &spec() const { return chipSpec; }
+
+    /// Guardband baked into the entries.
+    Volt guardband() const { return extraGuardband; }
+
+    /// All rows, ascending PMD count.
+    const std::vector<DroopTableRow> &rows() const { return entries; }
+
+    /**
+     * Safe supply voltage (guardband included, clamped to nominal)
+     * for running @p utilized_pmds PMDs with the highest clock at
+     * ladder frequency @p f.
+     */
+    Volt safeVoltage(Hertz f, std::uint32_t utilized_pmds) const;
+
+    /**
+     * Safe voltage for a whole-chip configuration: per-PMD
+     * frequencies and the set of utilized PMDs.  Uses the most
+     * restrictive frequency class among utilized PMDs.
+     */
+    Volt safeVoltageFor(const std::vector<Hertz> &pmd_freqs,
+                        const std::vector<bool> &pmd_utilized) const;
+
+    /**
+     * Persist the table in a human-readable text format, so a chip
+     * can be characterized once and the daemon deployed from the
+     * stored result (the paper's offline-characterization
+     * workflow).
+     */
+    void save(std::ostream &os) const;
+
+    /**
+     * Load a table previously written by save() for the given chip.
+     * @throws FatalError on malformed input or a chip mismatch.
+     */
+    static DroopClassTable load(std::istream &is,
+                                const ChipSpec &spec);
+
+  private:
+    DroopClassTable() = default; ///< for load()
+
+    ChipSpec chipSpec;
+    Volt extraGuardband = 0.0;
+    std::vector<DroopTableRow> entries;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CORE_DROOP_TABLE_HH

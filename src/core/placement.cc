@@ -1,0 +1,272 @@
+#include "core/placement.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+PlacementEngine::PlacementEngine(const ChipSpec &spec, Config config)
+    : chipSpec(spec)
+{
+    chipSpec.validate();
+    cpuFreq = config.cpuFrequency > 0.0
+        ? chipSpec.snapToLadder(config.cpuFrequency)
+        : chipSpec.fMax;
+    memFreq = config.memFrequency > 0.0
+        ? chipSpec.snapToLadder(config.memFrequency)
+        : (chipSpec.deepClassMaxFreq > 0.0
+               ? chipSpec.deepClassMaxFreq
+               : chipSpec.halfClassMaxFreq);
+    idleFreq = config.idleFrequency > 0.0
+        ? chipSpec.snapToLadder(config.idleFrequency)
+        : chipSpec.freqStep();
+}
+
+namespace {
+
+/// Per-thread planning record.
+struct Slot
+{
+    const PlacementProc *proc;
+    std::size_t threadIndex;
+    CoreId currentCore;
+    bool hasCurrent;
+};
+
+/**
+ * Stable assignment of threads to candidate cores: keep a thread on
+ * its current core when that core is among the candidates, then fill
+ * the remaining threads into the remaining candidates in order.
+ */
+void
+assignStable(std::vector<Slot> &threads,
+             const std::vector<CoreId> &candidates,
+             std::map<Pid, std::vector<CoreId>> &assignment)
+{
+    ECOSCHED_ASSERT(threads.size() <= candidates.size(),
+                    "more threads than candidate cores");
+    std::set<CoreId> pool(candidates.begin(),
+                          candidates.begin()
+                              + static_cast<long>(threads.size()));
+    // But prefer current cores anywhere within the *full* candidate
+    // list, not only its prefix: rebuild the pool from candidates,
+    // keeping capacity = threads.size() while prioritising matches.
+    pool.clear();
+
+    std::vector<bool> done(threads.size(), false);
+    std::set<CoreId> available(candidates.begin(), candidates.end());
+
+    // Pass 1: keep threads already sitting on a candidate core.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+        const Slot &s = threads[i];
+        if (s.hasCurrent && available.count(s.currentCore)) {
+            assignment[s.proc->pid][s.threadIndex] = s.currentCore;
+            available.erase(s.currentCore);
+            done[i] = true;
+            ++kept;
+        }
+    }
+    (void)kept;
+
+    // Pass 2: place the rest in candidate order.
+    auto next = candidates.begin();
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+        if (done[i])
+            continue;
+        while (next != candidates.end() && !available.count(*next))
+            ++next;
+        ECOSCHED_ASSERT(next != candidates.end(),
+                        "ran out of candidate cores");
+        assignment[threads[i].proc->pid][threads[i].threadIndex] =
+            *next;
+        available.erase(*next);
+    }
+}
+
+} // namespace
+
+PlacementPlan
+PlacementEngine::plan(const PlacementRequest &request) const
+{
+    PlacementPlan out;
+    out.pmdFrequencies.assign(chipSpec.numPmds(), idleFreq);
+    out.pmdUtilized.assign(chipSpec.numPmds(), false);
+
+    // --- totals and feasibility ------------------------------------
+    std::uint32_t cpu_threads = 0;
+    std::uint32_t mem_threads = 0;
+    for (const auto &p : request.procs) {
+        fatalIf(p.threads == 0, "process with zero threads in plan");
+        fatalIf(!p.currentCores.empty() &&
+                    p.currentCores.size() != p.threads,
+                "currentCores must match the thread count");
+        if (p.cls == WorkloadClass::CpuIntensive)
+            cpu_threads += p.threads;
+        else
+            mem_threads += p.threads;
+    }
+    const std::uint32_t total = cpu_threads + mem_threads;
+    if (total > chipSpec.numCores)
+        return out; // infeasible
+    out.feasible = true;
+    if (total == 0)
+        return out;
+
+    // --- PMD pool ------------------------------------------------------
+    std::vector<PmdId> pool;
+    if (request.restrictToCurrentPmds) {
+        std::set<PmdId> used;
+        for (const auto &p : request.procs) {
+            fatalIf(p.currentCores.empty(),
+                    "restrictToCurrentPmds requires placed processes");
+            for (CoreId c : p.currentCores)
+                used.insert(pmdOfCore(c));
+        }
+        pool.assign(used.begin(), used.end());
+        fatalIf(total > pool.size() * coresPerPmd,
+                "current PMD set cannot hold all threads");
+    } else {
+        for (PmdId p = 0; p < chipSpec.numPmds(); ++p)
+            pool.push_back(p);
+    }
+
+    // --- how many PMDs per class ------------------------------------
+    const std::uint32_t cpu_pmds =
+        (cpu_threads + coresPerPmd - 1) / coresPerPmd;
+    const auto pool_size = static_cast<std::uint32_t>(pool.size());
+    const std::uint32_t mem_min =
+        (mem_threads + coresPerPmd - 1) / coresPerPmd;
+    std::uint32_t mem_pmds = 0;
+    if (mem_threads > 0) {
+        // Ideal: one thread per PMD (spreaded); shrink toward the
+        // clustered minimum when the pool is tight.
+        const std::uint32_t room =
+            pool_size > cpu_pmds ? pool_size - cpu_pmds : 0;
+        mem_pmds = std::min(mem_threads, room);
+        mem_pmds = std::max(mem_pmds, mem_min);
+    }
+
+    // When cpu_pmds + mem_pmds exceeds the pool (odd counts, tight
+    // pool), spill memory threads into the CPU PMDs' free slots.
+    std::uint32_t spill = 0;
+    if (cpu_pmds + mem_pmds > pool_size) {
+        ECOSCHED_ASSERT(mem_pmds > 0, "pool accounting is broken");
+        const std::uint32_t over = cpu_pmds + mem_pmds - pool_size;
+        ECOSCHED_ASSERT(over <= 1, "PMD demand exceeds pool by > 1");
+        mem_pmds -= over;
+        const std::uint32_t mem_capacity = mem_pmds * coresPerPmd;
+        spill = mem_threads > mem_capacity
+            ? mem_threads - mem_capacity : 0;
+    }
+
+    // --- choose physical PMDs for each group -------------------------
+    // Stability scoring: prefer PMDs already hosting threads of the
+    // same class.
+    std::vector<std::uint32_t> cpu_here(chipSpec.numPmds(), 0);
+    std::vector<std::uint32_t> mem_here(chipSpec.numPmds(), 0);
+    for (const auto &p : request.procs) {
+        for (CoreId c : p.currentCores) {
+            if (p.cls == WorkloadClass::CpuIntensive)
+                ++cpu_here[pmdOfCore(c)];
+            else
+                ++mem_here[pmdOfCore(c)];
+        }
+    }
+
+    std::vector<PmdId> cpu_group;
+    {
+        std::vector<PmdId> sorted = pool;
+        std::stable_sort(sorted.begin(), sorted.end(),
+                         [&](PmdId a, PmdId b) {
+                             if (cpu_here[a] != cpu_here[b])
+                                 return cpu_here[a] > cpu_here[b];
+                             return a < b;
+                         });
+        cpu_group.assign(sorted.begin(), sorted.begin() + cpu_pmds);
+    }
+    std::vector<PmdId> mem_group;
+    {
+        std::vector<PmdId> rest;
+        for (PmdId p : pool)
+            if (std::find(cpu_group.begin(), cpu_group.end(), p)
+                    == cpu_group.end())
+                rest.push_back(p);
+        std::stable_sort(rest.begin(), rest.end(),
+                         [&](PmdId a, PmdId b) {
+                             if (mem_here[a] != mem_here[b])
+                                 return mem_here[a] > mem_here[b];
+                             return a < b;
+                         });
+        ECOSCHED_ASSERT(mem_pmds <= rest.size(),
+                        "memory PMD group does not fit the pool");
+        mem_group.assign(rest.begin(), rest.begin() + mem_pmds);
+    }
+
+    // --- candidate core lists ------------------------------------------
+    // CPU group: clustered fill (both cores of each PMD in order).
+    std::vector<CoreId> cpu_slots;
+    for (PmdId p : cpu_group) {
+        cpu_slots.push_back(firstCoreOfPmd(p));
+        cpu_slots.push_back(secondCoreOfPmd(p));
+    }
+    // Spilled memory threads take the tail of the CPU slots; CPU
+    // threads use the head.
+    std::vector<CoreId> spill_slots;
+    for (std::uint32_t s = 0; s < spill; ++s) {
+        ECOSCHED_ASSERT(!cpu_slots.empty(), "no slot to spill into");
+        spill_slots.push_back(cpu_slots.back());
+        cpu_slots.pop_back();
+    }
+    // Memory group: spreaded fill (first cores, then second cores).
+    std::vector<CoreId> mem_slots;
+    for (PmdId p : mem_group)
+        mem_slots.push_back(firstCoreOfPmd(p));
+    for (PmdId p : mem_group)
+        mem_slots.push_back(secondCoreOfPmd(p));
+    mem_slots.insert(mem_slots.end(), spill_slots.begin(),
+                     spill_slots.end());
+
+    // --- stable thread assignment -------------------------------------
+    std::vector<Slot> cpu_list;
+    std::vector<Slot> mem_list;
+    for (const auto &p : request.procs) {
+        out.assignment[p.pid].assign(p.threads, 0);
+        for (std::uint32_t i = 0; i < p.threads; ++i) {
+            Slot s{&p, i,
+                   p.currentCores.empty() ? 0 : p.currentCores[i],
+                   !p.currentCores.empty()};
+            if (p.cls == WorkloadClass::CpuIntensive)
+                cpu_list.push_back(s);
+            else
+                mem_list.push_back(s);
+        }
+    }
+    assignStable(cpu_list, cpu_slots, out.assignment);
+    assignStable(mem_list, mem_slots, out.assignment);
+
+    // --- frequencies and utilization ------------------------------------
+    // A PMD hosting any CPU-intensive thread runs the CPU clock;
+    // all-memory PMDs run the reduced clock.
+    std::vector<bool> has_cpu(chipSpec.numPmds(), false);
+    std::vector<bool> has_any(chipSpec.numPmds(), false);
+    for (const Slot &s : cpu_list)
+        has_cpu[pmdOfCore(out.assignment[s.proc->pid]
+                              [s.threadIndex])] = true;
+    for (const auto &[pid, cores] : out.assignment)
+        for (CoreId c : cores)
+            has_any[pmdOfCore(c)] = true;
+
+    for (PmdId p = 0; p < chipSpec.numPmds(); ++p) {
+        if (!has_any[p])
+            continue;
+        out.pmdUtilized[p] = true;
+        ++out.utilizedPmds;
+        out.pmdFrequencies[p] = has_cpu[p] ? cpuFreq : memFreq;
+    }
+    return out;
+}
+
+} // namespace ecosched

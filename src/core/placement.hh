@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The daemon's placement engine (§VI.A, Figure 13).
+ *
+ * Encodes the paper's placement rules:
+ *
+ *  - CPU-intensive processes run *clustered* (both cores of a PMD
+ *    occupied before the next PMD is touched) on PMDs at the high
+ *    clock — they lose performance proportionally to frequency, so
+ *    they keep fmax, and clustering minimises utilized PMDs (lower
+ *    droop class, lower safe Vmin, fewer clocked modules);
+ *  - memory-intensive processes run *spreaded* (one thread per PMD
+ *    when room permits, avoiding shared-L2 contention) on PMDs at a
+ *    reduced clock — their stalls hide the slower core, and the
+ *    lower frequency class allows a lower safe Vmin;
+ *  - on a classification change the utilized-PMD set is kept fixed
+ *    ("utilized PMDs can only be changed when a new process is
+ *    invoked, or when a process finishes its execution").
+ *
+ * The engine is a pure function from system snapshot to target plan;
+ * the Daemon applies plans with the fail-safe voltage ordering.
+ */
+
+#ifndef ECOSCHED_CORE_PLACEMENT_HH
+#define ECOSCHED_CORE_PLACEMENT_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/units.hh"
+#include "core/classifier.hh"
+#include "os/process.hh"
+#include "platform/chip_spec.hh"
+
+namespace ecosched {
+
+/// Snapshot of one process for planning.
+struct PlacementProc
+{
+    Pid pid = invalidPid;
+    std::uint32_t threads = 0;       ///< live thread count
+    WorkloadClass cls = WorkloadClass::CpuIntensive;
+    /// Current core of each thread; empty for a process not yet
+    /// placed (being admitted right now).
+    std::vector<CoreId> currentCores;
+};
+
+/// Planning input.
+struct PlacementRequest
+{
+    std::vector<PlacementProc> procs;
+
+    /// Keep the currently utilized PMD set (classification-change
+    /// trigger).  Requires every process to be already placed.
+    bool restrictToCurrentPmds = false;
+};
+
+/// Planning output.
+struct PlacementPlan
+{
+    /// Whether the request fits on the chip at all.
+    bool feasible = false;
+
+    /// One core per thread, per process (thread order preserved).
+    std::map<Pid, std::vector<CoreId>> assignment;
+
+    /// Target frequency per PMD.
+    std::vector<Hertz> pmdFrequencies;
+
+    /// Whether each PMD hosts at least one thread under the plan.
+    std::vector<bool> pmdUtilized;
+
+    /// Number of utilized PMDs.
+    std::uint32_t utilizedPmds = 0;
+};
+
+/**
+ * Pure planning component.
+ */
+class PlacementEngine
+{
+  public:
+    /// Frequency choices of the engine (0 = chip-derived default).
+    struct Config
+    {
+        /// Clock for PMDs hosting CPU-intensive threads (0 = fmax).
+        Hertz cpuFrequency = 0.0;
+
+        /**
+         * Clock for PMDs hosting only memory-intensive threads
+         * (0 = the chip's deepest Vmin-relevant reduced clock:
+         * 0.9 GHz on X-Gene 2, 1.5 GHz on X-Gene 3).
+         */
+        Hertz memFrequency = 0.0;
+
+        /// Clock parked on idle PMDs (0 = lowest ladder step).
+        Hertz idleFrequency = 0.0;
+    };
+
+    PlacementEngine(const ChipSpec &spec, Config config);
+
+    /// Engine with the chip-derived default clocks.
+    explicit PlacementEngine(const ChipSpec &spec)
+        : PlacementEngine(spec, Config{})
+    {}
+
+    /// Resolved clock for CPU-intensive PMDs.
+    Hertz cpuFrequency() const { return cpuFreq; }
+
+    /// Resolved clock for memory-intensive PMDs.
+    Hertz memFrequency() const { return memFreq; }
+
+    /// Resolved clock for idle PMDs.
+    Hertz idleFrequency() const { return idleFreq; }
+
+    /// Compute the target plan for a snapshot.
+    PlacementPlan plan(const PlacementRequest &request) const;
+
+  private:
+    ChipSpec chipSpec;
+    Hertz cpuFreq;
+    Hertz memFreq;
+    Hertz idleFreq;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CORE_PLACEMENT_HH

@@ -1,0 +1,66 @@
+#include "core/policy.hh"
+
+#include "common/error.hh"
+#include "core/droop_table.hh"
+#include "os/governor.hh"
+
+namespace ecosched {
+
+const char *
+policyKindName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Baseline:  return "Baseline";
+      case PolicyKind::SafeVmin:  return "Safe Vmin";
+      case PolicyKind::Placement: return "Placement";
+      case PolicyKind::Optimal:   return "Optimal";
+    }
+    return "?";
+}
+
+PolicySetup
+configurePolicy(System &system, PolicyKind kind,
+                DaemonConfig daemon_base)
+{
+    PolicySetup setup;
+    Machine &machine = system.machine();
+
+    switch (kind) {
+      case PolicyKind::Baseline:
+        system.setPlacementPolicy(
+            std::make_unique<LinuxSpreadPlacer>());
+        system.setGovernor(std::make_unique<OndemandGovernor>());
+        break;
+
+      case PolicyKind::SafeVmin: {
+        system.setPlacementPolicy(
+            std::make_unique<LinuxSpreadPlacer>());
+        system.setGovernor(std::make_unique<OndemandGovernor>());
+        // Static undervolt to the most conservative characterized
+        // level: fmax with every PMD utilized.
+        const DroopClassTable table(machine.vminModel(),
+                                    daemon_base.guardband);
+        const Volt v = table.safeVoltage(machine.spec().fMax,
+                                         machine.spec().numPmds());
+        machine.slimPro().requestVoltage(system.now(), v);
+        break;
+      }
+
+      case PolicyKind::Placement:
+        daemon_base.controlPlacement = true;
+        daemon_base.controlFrequency = true;
+        daemon_base.controlVoltage = false;
+        setup.daemon = std::make_unique<Daemon>(system, daemon_base);
+        break;
+
+      case PolicyKind::Optimal:
+        daemon_base.controlPlacement = true;
+        daemon_base.controlFrequency = true;
+        daemon_base.controlVoltage = true;
+        setup.daemon = std::make_unique<Daemon>(system, daemon_base);
+        break;
+    }
+    return setup;
+}
+
+} // namespace ecosched

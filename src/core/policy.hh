@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The four evaluated system configurations of §VI.B:
+ *
+ *  - Baseline:  default scheduler + ondemand governor, nominal
+ *               voltage.
+ *  - SafeVmin:  ondemand governor, supply statically lowered to the
+ *               most conservative characterized safe Vmin (Table II,
+ *               fmax with all PMDs) — quantifies the pure guardband.
+ *  - Placement: the monitoring daemon drives core allocation and
+ *               per-PMD frequency; voltage stays nominal.
+ *  - Optimal:   the full daemon: placement + frequency + adaptive
+ *               safe-Vmin voltage with fail-safe ordering.
+ */
+
+#ifndef ECOSCHED_CORE_POLICY_HH
+#define ECOSCHED_CORE_POLICY_HH
+
+#include <memory>
+
+#include "core/daemon.hh"
+#include "os/system.hh"
+
+namespace ecosched {
+
+/// The four named configurations.
+enum class PolicyKind
+{
+    Baseline,
+    SafeVmin,
+    Placement,
+    Optimal,
+};
+
+/// Human-readable configuration name.
+const char *policyKindName(PolicyKind kind);
+
+/// Live policy objects owned by the caller.
+struct PolicySetup
+{
+    /// Daemon instance (Placement / Optimal only).
+    std::unique_ptr<Daemon> daemon;
+};
+
+/**
+ * Configure a freshly built System for one of the four named
+ * configurations.  For SafeVmin the supply is programmed once, before
+ * any work arrives.
+ *
+ * @param daemon_base  Base daemon knobs; control flags are forced
+ *                     per configuration (e.g. Placement clears
+ *                     controlVoltage).
+ */
+PolicySetup configurePolicy(System &system, PolicyKind kind,
+                            DaemonConfig daemon_base = DaemonConfig{});
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CORE_POLICY_HH

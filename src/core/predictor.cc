@@ -1,0 +1,53 @@
+#include "core/predictor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+CounterVminPredictor::CounterVminPredictor(Config config)
+    : cfg(config)
+{
+    fatalIf(cfg.aggressiveness < 0.0 || cfg.aggressiveness > 1.0,
+            "predictor aggressiveness must be in [0, 1]");
+    fatalIf(cfg.assumedSpreadMv < 0.0,
+            "assumed spread must be non-negative");
+    fatalIf(cfg.attenExponent <= 0.0,
+            "attenuation exponent must be positive");
+    fatalIf(cfg.saturationRate <= 0.0,
+            "saturation rate must be positive");
+}
+
+Volt
+CounterVminPredictor::predictedMargin(
+    std::uint32_t active_cores, double max_l3_per_mcycles) const
+{
+    fatalIf(active_cores == 0,
+            "predicted margin of an idle configuration");
+    fatalIf(max_l3_per_mcycles < 0.0, "negative L3C rate");
+
+    // Estimated workload sensitivity from the cache-rate proxy.
+    const double sens_est = std::clamp(
+        max_l3_per_mcycles / cfg.saturationRate, 0.0, 1.0);
+    const double atten = std::pow(
+        static_cast<double>(active_cores), -cfg.attenExponent);
+    const double margin_mv = cfg.assumedSpreadMv
+        * (1.0 - sens_est) * atten * cfg.aggressiveness;
+    return units::mV(margin_mv);
+}
+
+Volt
+CounterVminPredictor::predictSafeVoltage(
+    const DroopClassTable &table, Hertz f,
+    std::uint32_t utilized_pmds, std::uint32_t active_cores,
+    double max_l3_per_mcycles) const
+{
+    const Volt base = table.safeVoltage(f, utilized_pmds);
+    const Volt margin =
+        predictedMargin(active_cores, max_l3_per_mcycles);
+    return std::max(base - margin, table.spec().vFloor);
+}
+
+} // namespace ecosched

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Counter-feature safe-Vmin predictor — the class of schemes the
+ * paper evaluates and *rejects*:
+ *
+ *   "we do not use any sophisticated mechanism for predicting the
+ *    safe Vmin because the prediction schemes for Vmin that have
+ *    been proposed in the literature are error-prone and can lead
+ *    to system failures in real microprocessors" (§VI.A).
+ *
+ * This implementation exists to quantify that argument
+ * (bench/ablation_predictor): it estimates how far below the
+ * characterized Table II value the *current* workload could run,
+ * from the same PMU features the daemon already samples (the L3C
+ * access rate), and exposes the aggressiveness / misprediction
+ * trade-off.  Because the proxy is imperfect — a program's cache
+ * behaviour does not fully determine its Vmin sensitivity — an
+ * aggressive predictor occasionally lands below the true Vmin and
+ * the fault injector shows the resulting SDCs and crashes.
+ */
+
+#ifndef ECOSCHED_CORE_PREDICTOR_HH
+#define ECOSCHED_CORE_PREDICTOR_HH
+
+#include "common/units.hh"
+#include "core/droop_table.hh"
+
+namespace ecosched {
+
+/**
+ * Predicts a per-workload margin below the characterized table
+ * entry.  Stateless; deterministic for identical inputs.
+ */
+class CounterVminPredictor
+{
+  public:
+    /// Predictor knobs.
+    struct Config
+    {
+        /**
+         * Fraction of the predicted margin actually exploited, in
+         * [0, 1].  0 degenerates to the table (always safe); 1
+         * trusts the proxy fully.
+         */
+        double aggressiveness = 1.0;
+
+        /// Assumed workload-to-workload Vmin spread in a
+        /// single-core run [mV] (the regression's dynamic range).
+        double assumedSpreadMv = 30.0;
+
+        /// Variation fade-out exponent (matches VminModel's).
+        double attenExponent = 0.75;
+
+        /// L3C rate [per 1M cycles] the proxy maps to "most
+        /// sensitive workload" (zero predicted margin).
+        double saturationRate = 12000.0;
+    };
+
+    explicit CounterVminPredictor(Config config);
+
+    /// Predictor with the default knobs.
+    CounterVminPredictor() : CounterVminPredictor(Config{}) {}
+
+    /// Knobs in use.
+    const Config &config() const { return cfg; }
+
+    /**
+     * Predicted exploitable margin below the table entry [V] for a
+     * configuration running @p active_cores cores whose most
+     * memory-intensive process exhibits @p max_l3_per_mcycles.
+     *
+     * Rationale of the proxy: high-L3C programs stress the supply
+     * with long-latency bursts (assumed Vmin-sensitive, small
+     * margin); low-L3C programs are assumed tolerant (large
+     * margin).  The assumption is only statistically true — which
+     * is exactly the failure mode the paper warns about.
+     */
+    Volt predictedMargin(std::uint32_t active_cores,
+                         double max_l3_per_mcycles) const;
+
+    /**
+     * Predicted safe supply for a configuration: the table value
+     * minus the predicted margin, floored at the chip's regulator
+     * minimum.
+     */
+    Volt predictSafeVoltage(const DroopClassTable &table, Hertz f,
+                            std::uint32_t utilized_pmds,
+                            std::uint32_t active_cores,
+                            double max_l3_per_mcycles) const;
+
+  private:
+    Config cfg;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CORE_PREDICTOR_HH

@@ -1,0 +1,187 @@
+#include "core/scenario.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace ecosched {
+
+bool
+profileIsMemoryIntensive(const BenchmarkProfile &profile,
+                         const ChipSpec &spec)
+{
+    const MemorySystem memory(MemoryParams::forChipName(spec.name));
+    return memory.l3PerMCycles(profile.work, spec.fMax) > 3000.0;
+}
+
+void
+ScenarioResult::writeTimelineCsv(std::ostream &os) const
+{
+    TextTable t({"time_s", "power_w", "load_avg", "running",
+                 "cpu_intensive", "mem_intensive", "voltage_mv",
+                 "utilized_pmds", "temperature_c"});
+    for (const auto &s : timeline) {
+        t.addRow({formatDouble(s.time, 2), formatDouble(s.power, 3),
+                  formatDouble(s.loadAverage, 2),
+                  std::to_string(s.runningProcs),
+                  std::to_string(s.cpuProcs),
+                  std::to_string(s.memProcs),
+                  formatDouble(units::toMilliVolts(s.voltage), 1),
+                  std::to_string(s.utilizedPmds),
+                  formatDouble(s.temperature, 2)});
+    }
+    t.printCsv(os);
+}
+
+ScenarioRunner::ScenarioRunner(ScenarioConfig config)
+    : cfg(std::move(config))
+{
+    cfg.chip.validate();
+    fatalIf(cfg.timestep <= 0.0, "scenario timestep must be positive");
+    fatalIf(cfg.sampleInterval < cfg.timestep,
+            "sample interval must be >= the timestep");
+    fatalIf(cfg.drainBoundFactor <= 1.0,
+            "drain bound factor must exceed 1");
+}
+
+ScenarioResult
+ScenarioRunner::run(const GeneratedWorkload &workload) const
+{
+    fatalIf(workload.items.empty(), "workload has no items");
+    fatalIf(workload.maxCores > cfg.chip.numCores,
+            "workload was generated for ", workload.maxCores,
+            " cores but ", cfg.chip.name, " has ",
+            cfg.chip.numCores);
+
+    MachineConfig mcfg;
+    mcfg.seed = cfg.machineSeed;
+    mcfg.injectFaults = cfg.injectFaults;
+    if (cfg.migrationCost >= 0.0)
+        mcfg.migrationCost = cfg.migrationCost;
+    Machine machine(cfg.chip, mcfg);
+    System system(machine, nullptr, nullptr,
+                  SystemConfig{cfg.timestep, 0.2});
+    PolicySetup setup = configurePolicy(system, cfg.policy,
+                                        cfg.daemon);
+
+    const Catalog &catalog = Catalog::instance();
+
+    // Pre-resolve profiles and their ground-truth class.
+    struct Item
+    {
+        const WorkItem *work;
+        const BenchmarkProfile *profile;
+    };
+    std::vector<Item> items;
+    items.reserve(workload.items.size());
+    for (const auto &w : workload.items)
+        items.push_back({&w, &catalog.byName(w.benchmark)});
+
+    std::vector<bool> mem_class(catalog.all().size(), false);
+    for (std::size_t i = 0; i < catalog.all().size(); ++i) {
+        mem_class[i] =
+            profileIsMemoryIntensive(catalog.all()[i], cfg.chip);
+    }
+    auto profile_index = [&](const BenchmarkProfile *p) {
+        return static_cast<std::size_t>(p - catalog.all().data());
+    };
+
+    std::map<Pid, bool> pid_is_mem;
+
+    ScenarioResult result;
+    result.policy = cfg.policy;
+
+    MovingAverage load_avg(60.0);
+    Seconds next_sample = 0.0;
+    Seconds last_completion = 0.0;
+    std::size_t next_item = 0;
+    const Seconds bound = workload.duration * cfg.drainBoundFactor;
+
+    while (next_item < items.size() || !system.idle()) {
+        fatalIf(system.now() > bound,
+                policyKindName(cfg.policy),
+                " scenario exceeded its drain bound at ",
+                system.now(), " s");
+
+        // Submit due arrivals.
+        while (next_item < items.size() &&
+               items[next_item].work->arrival
+                   <= system.now() + cfg.timestep * 0.5) {
+            const Item &item = items[next_item];
+            const Pid pid = system.submit(*item.profile,
+                                          item.work->threads);
+            pid_is_mem[pid] =
+                mem_class[profile_index(item.profile)];
+            ++next_item;
+        }
+
+        system.step();
+
+        if (machine.halted()) {
+            // Undervolting system crash (fault injection): the node
+            // is down; stop the replay and report what happened.
+            result.worstOutcome = RunOutcome::SystemCrash;
+            break;
+        }
+
+        // Timeline sampling.
+        if (system.now() + cfg.timestep * 0.5 >= next_sample) {
+            const auto busy = static_cast<double>(
+                machine.busyCores().size());
+            load_avg.add(system.now(), busy);
+
+            TimelineSample s;
+            s.time = system.now();
+            s.power = machine.lastPower().total();
+            s.loadAverage = load_avg.value();
+            const auto running = system.runningProcesses();
+            s.runningProcs =
+                static_cast<std::uint32_t>(running.size());
+            for (Pid pid : running) {
+                if (pid_is_mem[pid])
+                    ++s.memProcs;
+                else
+                    ++s.cpuProcs;
+            }
+            s.voltage = machine.chip().voltage();
+            s.utilizedPmds = machine.utilizedPmds();
+            s.temperature = machine.temperature();
+            result.timeline.push_back(s);
+            next_sample += cfg.sampleInterval;
+        }
+    }
+
+    for (const Process &proc : system.finishedProcesses()) {
+        last_completion = std::max(last_completion, proc.completed);
+        result.migrations += proc.migrations;
+        if (isFailure(proc.outcome))
+            ++result.processesFailed;
+        if (outcomeSeverity(proc.outcome)
+                > outcomeSeverity(result.worstOutcome)) {
+            result.worstOutcome = proc.outcome;
+        }
+    }
+    result.processesCompleted = static_cast<std::uint32_t>(
+        system.finishedProcesses().size());
+    result.completionTime = last_completion;
+    result.energy = machine.energyMeter().energy();
+    result.averagePower = result.completionTime > 0.0
+        ? result.energy / result.completionTime : 0.0;
+    result.ed2p = result.energy * result.completionTime
+        * result.completionTime;
+    result.unsafeExposure = machine.unsafeExposure();
+    result.maxUnsafeDeficit = machine.maxUnsafeDeficit();
+    result.voltageTransitions =
+        machine.slimPro().voltageTransitions();
+    result.frequencyTransitions =
+        machine.slimPro().frequencyTransitions();
+    if (setup.daemon) {
+        result.hasDaemon = true;
+        result.daemonStats = setup.daemon->stats();
+    }
+    return result;
+}
+
+} // namespace ecosched

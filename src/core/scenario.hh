@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Scenario runner: replays a generated server workload (§VI.B) under
+ * one of the four configurations and reports the paper's evaluation
+ * quantities — completion time, average power, energy, ED2P
+ * (Tables III/IV) plus the power/load timelines (Figures 14/15).
+ */
+
+#ifndef ECOSCHED_CORE_SCENARIO_HH
+#define ECOSCHED_CORE_SCENARIO_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/policy.hh"
+#include "workloads/generator.hh"
+
+namespace ecosched {
+
+/// One 1-second telemetry sample of a scenario run.
+struct TimelineSample
+{
+    Seconds time = 0.0;
+    Watt power = 0.0;          ///< instantaneous chip power
+    double loadAverage = 0.0;  ///< 1-minute moving average of busy cores
+    std::uint32_t runningProcs = 0;
+    std::uint32_t cpuProcs = 0; ///< ground-truth CPU-intensive count
+    std::uint32_t memProcs = 0; ///< ground-truth memory-intensive count
+    Volt voltage = 0.0;
+    std::uint32_t utilizedPmds = 0;
+    double temperature = 0.0; ///< die temperature [°C]
+};
+
+/// Result of one scenario run.
+struct ScenarioResult
+{
+    PolicyKind policy = PolicyKind::Baseline;
+    Seconds completionTime = 0.0; ///< last process completion
+    Joule energy = 0.0;           ///< total over the run
+    Watt averagePower = 0.0;      ///< energy / completionTime
+    double ed2p = 0.0;            ///< energy * completionTime^2
+
+    std::uint32_t processesCompleted = 0;
+    /// Processes that ended with a failure outcome (fault injection).
+    std::uint32_t processesFailed = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t voltageTransitions = 0;
+    std::uint64_t frequencyTransitions = 0;
+    RunOutcome worstOutcome = RunOutcome::Ok;
+
+    /// Time executed below the true Vmin (fault injection runs).
+    Seconds unsafeExposure = 0.0;
+    /// Deepest supply deficit below the true Vmin.
+    Volt maxUnsafeDeficit = 0.0;
+
+    bool hasDaemon = false;
+    DaemonStats daemonStats; ///< valid when hasDaemon
+
+    std::vector<TimelineSample> timeline;
+
+    /// Dump the timeline as CSV (one row per sample).
+    void writeTimelineCsv(std::ostream &os) const;
+};
+
+/// Runner knobs.
+struct ScenarioConfig
+{
+    ChipSpec chip;                    ///< platform (required)
+    PolicyKind policy = PolicyKind::Baseline;
+    Seconds timestep = 0.01;          ///< simulation step
+    Seconds sampleInterval = 1.0;     ///< timeline granularity
+    std::uint64_t machineSeed = 1;    ///< chip-sample identity
+    DaemonConfig daemon;              ///< base daemon knobs
+    /// Enable undervolting fault injection in the machine: unsafe
+    /// (voltage, frequency, allocation) combinations strike threads.
+    bool injectFaults = false;
+
+    /// Cache-warmup stall per thread migration (negative: keep the
+    /// machine default of 200 µs).  The paper argues daemon
+    /// migrations cost no more than ordinary kernel migrations;
+    /// sweeping this knob tests how robust the savings are to that
+    /// assumption.
+    Seconds migrationCost = -1.0;
+    /// Abort if the run exceeds workload.duration * this factor.
+    double drainBoundFactor = 3.0;
+};
+
+/**
+ * Replays workloads under a configuration.  Stateless across run()
+ * calls; each run builds a fresh Machine/System.
+ */
+class ScenarioRunner
+{
+  public:
+    explicit ScenarioRunner(ScenarioConfig config);
+
+    /// Knobs in use.
+    const ScenarioConfig &config() const { return cfg; }
+
+    /// Execute one workload to completion.
+    ScenarioResult run(const GeneratedWorkload &workload) const;
+
+  private:
+    ScenarioConfig cfg;
+};
+
+/**
+ * Ground-truth classification of a profile on a chip: analytic L3C
+ * rate at fmax (uncontended) against the 3K/1M-cycles threshold.
+ */
+bool profileIsMemoryIntensive(const BenchmarkProfile &profile,
+                              const ChipSpec &spec);
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CORE_SCENARIO_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Umbrella header: the full EcoSched public API.
+ *
+ * EcoSched reproduces "Adaptive Voltage/Frequency Scaling and Core
+ * Allocation for Balanced Energy and Performance on Multicore CPUs"
+ * (HPCA 2019): a simulated X-Gene-class platform (chip topology,
+ * power, voltage margins, droops, execution) plus the paper's online
+ * monitoring daemon and its evaluation harness.
+ *
+ * Typical entry points:
+ *  - xGene2() / xGene3():   chip presets (Table I)
+ *  - Machine:               a simulated node
+ *  - System:                OS layer (scheduler + governors)
+ *  - Daemon:                the paper's monitoring/placement daemon
+ *  - configurePolicy():     Baseline / SafeVmin / Placement / Optimal
+ *  - WorkloadGenerator:     §VI.B random server workloads
+ *  - ScenarioRunner:        Tables III/IV & Figures 14/15 quantities
+ *  - VminCharacterizer:     §III Vmin sweeps (Figures 3-5)
+ */
+
+#ifndef ECOSCHED_ECOSCHED_HH
+#define ECOSCHED_ECOSCHED_HH
+
+#include "common/error.hh"
+#include "common/histogram.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+#include "core/classifier.hh"
+#include "core/daemon.hh"
+#include "core/droop_table.hh"
+#include "core/placement.hh"
+#include "core/policy.hh"
+#include "core/scenario.hh"
+#include "os/governor.hh"
+#include "os/perf_reader.hh"
+#include "os/process.hh"
+#include "os/system.hh"
+#include "platform/chip.hh"
+#include "platform/chip_spec.hh"
+#include "platform/slimpro.hh"
+#include "platform/topology.hh"
+#include "power/energy_meter.hh"
+#include "power/power_model.hh"
+#include "sim/machine.hh"
+#include "sim/memory_system.hh"
+#include "sim/perf_counters.hh"
+#include "sim/work_profile.hh"
+#include "vmin/characterizer.hh"
+#include "vmin/droop_model.hh"
+#include "vmin/failure_model.hh"
+#include "vmin/vmin_model.hh"
+#include "workloads/benchmark.hh"
+#include "workloads/catalog.hh"
+#include "workloads/generator.hh"
+
+#endif // ECOSCHED_ECOSCHED_HH

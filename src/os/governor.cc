@@ -1,0 +1,100 @@
+#include "os/governor.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+OndemandGovernor::OndemandGovernor(Config config)
+    : cfg(config)
+{
+    fatalIf(cfg.samplingPeriod <= 0.0,
+            "ondemand sampling period must be positive");
+    fatalIf(cfg.upThreshold <= 0.0 || cfg.upThreshold > 1.0,
+            "ondemand up-threshold must be in (0, 1]");
+}
+
+void
+OndemandGovernor::tick(System &system)
+{
+    const Seconds now = system.now();
+    if (lastRun >= 0.0 && now - lastRun < cfg.samplingPeriod)
+        return;
+    lastRun = now;
+
+    Machine &machine = system.machine();
+    const ChipSpec &spec = system.spec();
+    for (PmdId p = 0; p < spec.numPmds(); ++p) {
+        const double util = system.pmdUtilization(p);
+        Hertz target;
+        if (util >= cfg.upThreshold) {
+            target = spec.fMax;
+        } else {
+            // Proportional scaling, snapped up to the ladder, with
+            // the lowest step as the floor.
+            const Hertz raw = spec.fMax * util / cfg.upThreshold;
+            target = std::max(spec.freqStep(),
+                              spec.snapToLadder(
+                                  std::max(raw, spec.freqStep())));
+        }
+        machine.slimPro().requestPmdFrequency(now, p, target);
+    }
+}
+
+SchedutilGovernor::SchedutilGovernor(Config config)
+    : cfg(config)
+{
+    fatalIf(cfg.samplingPeriod <= 0.0,
+            "schedutil sampling period must be positive");
+    fatalIf(cfg.headroom < 1.0, "schedutil headroom must be >= 1");
+}
+
+void
+SchedutilGovernor::tick(System &system)
+{
+    const Seconds now = system.now();
+    if (lastRun >= 0.0 && now - lastRun < cfg.samplingPeriod)
+        return;
+    lastRun = now;
+
+    Machine &machine = system.machine();
+    const ChipSpec &spec = system.spec();
+    for (PmdId p = 0; p < spec.numPmds(); ++p) {
+        const double util = system.pmdUtilization(p);
+        const Hertz raw = spec.fMax * util * cfg.headroom;
+        const Hertz target = std::max(
+            spec.freqStep(),
+            spec.snapToLadder(std::clamp(raw, spec.freqStep(),
+                                         spec.fMax)));
+        machine.slimPro().requestPmdFrequency(now, p, target);
+    }
+}
+
+void
+PerformanceGovernor::tick(System &system)
+{
+    Machine &machine = system.machine();
+    const ChipSpec &spec = system.spec();
+    for (PmdId p = 0; p < spec.numPmds(); ++p) {
+        if (machine.chip().pmdFrequency(p) != spec.fMax) {
+            machine.slimPro().requestPmdFrequency(system.now(), p,
+                                                  spec.fMax);
+        }
+    }
+}
+
+void
+PowersaveGovernor::tick(System &system)
+{
+    Machine &machine = system.machine();
+    const ChipSpec &spec = system.spec();
+    for (PmdId p = 0; p < spec.numPmds(); ++p) {
+        if (machine.chip().pmdFrequency(p) != spec.freqStep()) {
+            machine.slimPro().requestPmdFrequency(system.now(), p,
+                                                  spec.freqStep());
+        }
+    }
+}
+
+} // namespace ecosched

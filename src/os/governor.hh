@@ -1,0 +1,106 @@
+/**
+ * @file
+ * CPU frequency governors, modelled after the Linux cpufreq
+ * governors present on the paper's systems.
+ *
+ * The paper's Baseline and Safe-Vmin configurations run the
+ * *ondemand* governor; the Placement and Optimal configurations
+ * disable it (the daemon drives frequencies directly — equivalent to
+ * the *userspace* governor).
+ */
+
+#ifndef ECOSCHED_OS_GOVERNOR_HH
+#define ECOSCHED_OS_GOVERNOR_HH
+
+#include "common/units.hh"
+#include "os/system.hh"
+
+namespace ecosched {
+
+/**
+ * Linux ondemand: when a PMD's utilization exceeds the up-threshold
+ * jump to fmax; otherwise scale frequency proportionally to load.
+ */
+class OndemandGovernor : public Governor
+{
+  public:
+    /// Governor knobs (Linux defaults scaled to the simulation).
+    struct Config
+    {
+        Seconds samplingPeriod = units::ms(100);
+        double upThreshold = 0.80;
+    };
+
+    OndemandGovernor() : OndemandGovernor(Config{}) {}
+    explicit OndemandGovernor(Config config);
+
+    const char *name() const override { return "ondemand"; }
+    void tick(System &system) override;
+
+  private:
+    Config cfg;
+    Seconds lastRun = -1.0;
+};
+
+/**
+ * Linux performance: every PMD pinned at fmax.
+ */
+class PerformanceGovernor : public Governor
+{
+  public:
+    const char *name() const override { return "performance"; }
+    void tick(System &system) override;
+};
+
+/**
+ * Linux powersave: every PMD pinned at the lowest ladder frequency.
+ */
+class PowersaveGovernor : public Governor
+{
+  public:
+    const char *name() const override { return "powersave"; }
+    void tick(System &system) override;
+};
+
+/**
+ * schedutil-style governor: frequency proportional to utilization
+ * with headroom (f = fmax * util * (1 + margin)), no up-threshold
+ * jump.  A more modern Linux baseline than ondemand; provided for
+ * baseline-sensitivity studies.
+ */
+class SchedutilGovernor : public Governor
+{
+  public:
+    /// Governor knobs.
+    struct Config
+    {
+        Seconds samplingPeriod = units::ms(50);
+        /// Headroom factor: the "1.25" of the kernel's map_util_freq.
+        double headroom = 1.25;
+    };
+
+    SchedutilGovernor() : SchedutilGovernor(Config{}) {}
+    explicit SchedutilGovernor(Config config);
+
+    const char *name() const override { return "schedutil"; }
+    void tick(System &system) override;
+
+  private:
+    Config cfg;
+    Seconds lastRun = -1.0;
+};
+
+/**
+ * Linux userspace: the governor itself does nothing; an external
+ * agent (the monitoring daemon) programs frequencies directly.
+ */
+class UserspaceGovernor : public Governor
+{
+  public:
+    const char *name() const override { return "userspace"; }
+    void tick(System &) override {}
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_OS_GOVERNOR_HH

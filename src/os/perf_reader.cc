@@ -1,0 +1,29 @@
+#include "os/perf_reader.hh"
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+double
+KernelModuleReader::readL3PerMCycles(const ThreadCounters &delta,
+                                     Rng &) const
+{
+    return delta.l3AccessesPerMCycles();
+}
+
+PerfToolReader::PerfToolReader(double relative_noise)
+    : noise(relative_noise)
+{
+    fatalIf(noise < 0.0 || noise >= 1.0,
+            "relative noise must be in [0, 1)");
+}
+
+double
+PerfToolReader::readL3PerMCycles(const ThreadCounters &delta,
+                                 Rng &rng) const
+{
+    const double exact = delta.l3AccessesPerMCycles();
+    return exact * rng.uniform(1.0 - noise, 1.0 + noise);
+}
+
+} // namespace ecosched

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * OS-level process model.
+ *
+ * A process is one invocation of a benchmark: a parallel program
+ * with N cooperating threads (NPB/PARSEC) or a single-thread SPEC
+ * copy.  The System places its threads on cores, tracks aggregated
+ * PMU counters, and records lifecycle timestamps used by the
+ * evaluation (queueing delay, runtime, outcome).
+ */
+
+#ifndef ECOSCHED_OS_PROCESS_HH
+#define ECOSCHED_OS_PROCESS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+#include "sim/machine.hh"
+#include "workloads/benchmark.hh"
+
+namespace ecosched {
+
+/// Process identifier (1-based).
+using Pid = std::uint64_t;
+
+/// Sentinel: no process.
+inline constexpr Pid invalidPid = 0;
+
+/// Lifecycle state of a process.
+enum class ProcessState
+{
+    Queued,   ///< submitted, waiting for cores
+    Running,  ///< threads bound to cores
+    Finished, ///< all threads done (or failed)
+};
+
+/// Human-readable state name.
+const char *processStateName(ProcessState state);
+
+/// One process.
+struct Process
+{
+    Pid pid = invalidPid;
+    const BenchmarkProfile *profile = nullptr;
+    std::uint32_t threads = 1;    ///< requested thread count
+
+    ProcessState state = ProcessState::Queued;
+    Seconds submitted = 0.0;      ///< submit() timestamp
+    Seconds started = 0.0;        ///< first placement timestamp
+    Seconds completed = 0.0;      ///< completion timestamp
+
+    /// Machine thread ids of still-bound (unfinished) threads.
+    std::vector<SimThreadId> liveThreads;
+
+    /// Cores of the live threads (parallel to liveThreads).
+    std::vector<CoreId> cores;
+
+    /// Counters accumulated by threads that already finished.
+    ThreadCounters retiredCounters;
+
+    /// Worst outcome observed across the process's threads.
+    RunOutcome outcome = RunOutcome::Ok;
+
+    /// Total times any thread of the process was migrated.
+    std::uint64_t migrations = 0;
+
+    /// Wall time from submission to completion.
+    Seconds turnaround() const { return completed - submitted; }
+
+    /// Wall time spent waiting in the queue.
+    Seconds queueDelay() const { return started - submitted; }
+};
+
+/// Process lifecycle notifications (consumed by the daemon).
+enum class ProcessEventKind { Started, Completed };
+
+/// One lifecycle event.
+struct ProcessEvent
+{
+    ProcessEventKind kind;
+    Pid pid;
+    Seconds time;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_OS_PROCESS_HH

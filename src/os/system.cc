@@ -1,0 +1,462 @@
+#include "os/system.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+#include "os/governor.hh"
+
+namespace ecosched {
+
+const char *
+processStateName(ProcessState state)
+{
+    switch (state) {
+      case ProcessState::Queued:   return "queued";
+      case ProcessState::Running:  return "running";
+      case ProcessState::Finished: return "finished";
+    }
+    return "?";
+}
+
+System::System(Machine &machine,
+               std::unique_ptr<PlacementPolicy> placement,
+               std::unique_ptr<Governor> governor,
+               SystemConfig config)
+    : node(machine),
+      placer(placement ? std::move(placement)
+                       : std::make_unique<LinuxSpreadPlacer>()),
+      freqGovernor(governor ? std::move(governor)
+                            : std::make_unique<OndemandGovernor>()),
+      cfg(config),
+      coreUtil(machine.spec().numCores, 0.0)
+{
+    fatalIf(cfg.timestep <= 0.0, "system timestep must be positive");
+    fatalIf(cfg.utilizationAlpha <= 0.0 || cfg.utilizationAlpha > 1.0,
+            "utilizationAlpha must be in (0, 1]");
+}
+
+void
+System::setPlacementPolicy(std::unique_ptr<PlacementPolicy> policy)
+{
+    fatalIf(!policy, "placement policy must not be null");
+    placer = std::move(policy);
+}
+
+void
+System::setGovernor(std::unique_ptr<Governor> governor)
+{
+    fatalIf(!governor, "governor must not be null");
+    freqGovernor = std::move(governor);
+}
+
+Pid
+System::submit(const BenchmarkProfile &profile, std::uint32_t threads)
+{
+    fatalIf(threads == 0, "process needs at least one thread");
+    fatalIf(!profile.parallel && threads != 1,
+            profile.name, " is single-threaded; submit one copy per "
+            "process");
+    fatalIf(threads > spec().numCores,
+            "process needs ", threads, " threads but ", spec().name,
+            " has ", spec().numCores, " cores");
+
+    Process proc;
+    proc.pid = nextPid++;
+    proc.profile = &profile;
+    proc.threads = threads;
+    proc.submitted = now();
+
+    const Pid pid = proc.pid;
+    auto [it, inserted] = table.emplace(pid, std::move(proc));
+    ECOSCHED_ASSERT(inserted, "duplicate pid");
+    if (!placeProcess(it->second))
+        runQueue.push_back(pid);
+    return pid;
+}
+
+bool
+System::placeProcess(Process &proc)
+{
+    const auto cores = placer->place(*this, proc, proc.threads);
+    if (cores.empty())
+        return false;
+    fatalIf(cores.size() != proc.threads,
+            placer->name(), " returned ", cores.size(),
+            " cores for a ", proc.threads, "-thread process");
+    for (CoreId c : cores) {
+        fatalIf(node.coreBusy(c),
+                placer->name(), " picked busy core ", c);
+    }
+
+    const Instructions per_thread =
+        proc.profile->perThreadWork(proc.threads);
+    const auto phases = proc.profile->buildPhases(per_thread);
+    for (CoreId c : cores) {
+        const SimThreadId tid = node.startThreadPhased(
+            phases, c, proc.profile->vminSensitivity);
+        proc.liveThreads.push_back(tid);
+        proc.cores.push_back(c);
+        threadOwner[tid] = proc.pid;
+    }
+    proc.state = ProcessState::Running;
+    proc.started = now();
+    publish({ProcessEventKind::Started, proc.pid, now()});
+    return true;
+}
+
+const Process &
+System::process(Pid pid) const
+{
+    const auto it = table.find(pid);
+    if (it != table.end())
+        return it->second;
+    for (const auto &p : finished)
+        if (p.pid == pid)
+            return p;
+    fatal("unknown pid ", pid);
+}
+
+std::vector<Pid>
+System::runningProcesses() const
+{
+    std::vector<Pid> pids;
+    for (const auto &[pid, proc] : table)
+        if (proc.state == ProcessState::Running)
+            pids.push_back(pid);
+    return pids;
+}
+
+std::vector<Pid>
+System::queuedProcesses() const
+{
+    return {runQueue.begin(), runQueue.end()};
+}
+
+std::size_t
+System::pendingCount() const
+{
+    return table.size();
+}
+
+void
+System::migrateProcess(Pid pid, const std::vector<CoreId> &cores)
+{
+    applyPlacement({{pid, cores}});
+}
+
+void
+System::applyPlacement(
+    const std::map<Pid, std::vector<CoreId>> &assignment)
+{
+    // --- validate ---------------------------------------------------
+    struct Move
+    {
+        Process *proc;
+        std::size_t index; ///< thread slot within the process
+        CoreId target;
+    };
+    std::vector<Move> pending;
+    std::vector<CoreId> all_targets;
+
+    for (const auto &[pid, cores] : assignment) {
+        auto it = table.find(pid);
+        fatalIf(it == table.end(), "unknown or finished pid ", pid);
+        Process &proc = it->second;
+        fatalIf(proc.state != ProcessState::Running,
+                "cannot migrate ", processStateName(proc.state),
+                " process ", pid);
+        fatalIf(cores.size() != proc.liveThreads.size(),
+                "placement of pid ", pid, " needs ",
+                proc.liveThreads.size(), " cores, got ", cores.size());
+        for (std::size_t i = 0; i < cores.size(); ++i) {
+            all_targets.push_back(cores[i]);
+            if (proc.cores[i] != cores[i])
+                pending.push_back({&proc, i, cores[i]});
+        }
+    }
+
+    std::sort(all_targets.begin(), all_targets.end());
+    fatalIf(std::adjacent_find(all_targets.begin(), all_targets.end())
+                != all_targets.end(),
+            "placement target cores must be globally distinct");
+
+    // Every occupied target must be vacated by this assignment.
+    for (const Move &m : pending) {
+        const SimThreadId occupant = node.threadOnCore(m.target);
+        if (occupant == invalidSimThread)
+            continue;
+        const auto owner = threadOwner.find(occupant);
+        ECOSCHED_ASSERT(owner != threadOwner.end(),
+                        "occupied core with untracked thread");
+        fatalIf(assignment.find(owner->second) == assignment.end(),
+                "placement target core ", m.target,
+                " occupied by a process outside the assignment");
+    }
+
+    // --- move, breaking permutation cycles through free cores ------
+    std::size_t remaining = pending.size();
+    std::vector<bool> placed(pending.size(), false);
+    while (remaining > 0) {
+        bool progress = false;
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+            if (placed[i])
+                continue;
+            Move &m = pending[i];
+            if (m.proc->cores[m.index] == m.target) {
+                placed[i] = true; // got parked on its target earlier
+                --remaining;
+                progress = true;
+                continue;
+            }
+            if (node.threadOnCore(m.target) != invalidSimThread)
+                continue;
+            node.migrateThread(m.proc->liveThreads[m.index], m.target);
+            m.proc->cores[m.index] = m.target;
+            ++m.proc->migrations;
+            placed[i] = true;
+            --remaining;
+            progress = true;
+        }
+        if (progress)
+            continue;
+        // Pure cycle.  Prefer parking one pending thread on a free
+        // core; on a fully occupied chip, swap a pending thread with
+        // its target's occupant (always places one pending thread).
+        const auto free = freeCores();
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+            if (placed[i])
+                continue;
+            Move &m = pending[i];
+            if (!free.empty()) {
+                node.migrateThread(m.proc->liveThreads[m.index],
+                                   free.front());
+                m.proc->cores[m.index] = free.front();
+                ++m.proc->migrations;
+            } else {
+                const SimThreadId occupant =
+                    node.threadOnCore(m.target);
+                ECOSCHED_ASSERT(occupant != invalidSimThread,
+                                "cycle without an occupant");
+                const auto owner = threadOwner.find(occupant);
+                ECOSCHED_ASSERT(owner != threadOwner.end(),
+                                "occupant without an owner");
+                auto oit = table.find(owner->second);
+                ECOSCHED_ASSERT(oit != table.end(),
+                                "occupant owner not in table");
+                Process &oproc = oit->second;
+                const CoreId vacated = m.proc->cores[m.index];
+                node.swapThreads(m.proc->liveThreads[m.index],
+                                 occupant);
+                for (std::size_t k = 0;
+                     k < oproc.liveThreads.size(); ++k) {
+                    if (oproc.liveThreads[k] == occupant) {
+                        oproc.cores[k] = vacated;
+                        break;
+                    }
+                }
+                ++oproc.migrations;
+                m.proc->cores[m.index] = m.target;
+                ++m.proc->migrations;
+                placed[i] = true;
+                --remaining;
+            }
+            break;
+        }
+    }
+}
+
+ThreadCounters
+System::processCounters(Pid pid) const
+{
+    const Process &proc = process(pid);
+    ThreadCounters counters = proc.retiredCounters;
+    for (SimThreadId tid : proc.liveThreads)
+        counters.accumulate(node.thread(tid).counters);
+    return counters;
+}
+
+Pid
+System::processOnCore(CoreId core) const
+{
+    const SimThreadId tid = node.threadOnCore(core);
+    if (tid == invalidSimThread)
+        return invalidPid;
+    const auto it = threadOwner.find(tid);
+    return it == threadOwner.end() ? invalidPid : it->second;
+}
+
+void
+System::step()
+{
+    freqGovernor->tick(*this);
+    node.step(cfg.timestep);
+
+    // Utilization bookkeeping (EWMA of core occupancy).
+    for (CoreId c = 0; c < spec().numCores; ++c) {
+        const double busy = node.coreBusy(c) ? 1.0 : 0.0;
+        coreUtil[c] = cfg.utilizationAlpha * busy
+            + (1.0 - cfg.utilizationAlpha) * coreUtil[c];
+    }
+
+    harvestFinishedThreads();
+    tryPlaceQueued();
+}
+
+void
+System::harvestFinishedThreads()
+{
+    // Update every process record for the whole finished batch
+    // first, and only then publish completion events: observers
+    // (the daemon) react by replanning placements, which must never
+    // see a process record referencing a thread the machine has
+    // already retired.
+    std::vector<Pid> completed;
+    for (const SimThread &t : node.collectFinished()) {
+        const auto owner = threadOwner.find(t.id);
+        ECOSCHED_ASSERT(owner != threadOwner.end(),
+                        "finished thread without an owning process");
+        const Pid pid = owner->second;
+        threadOwner.erase(owner);
+
+        auto it = table.find(pid);
+        ECOSCHED_ASSERT(it != table.end(),
+                        "finished thread of an unknown process");
+        Process &proc = it->second;
+
+        for (std::size_t i = 0; i < proc.liveThreads.size(); ++i) {
+            if (proc.liveThreads[i] == t.id) {
+                proc.liveThreads.erase(proc.liveThreads.begin() + i);
+                proc.cores.erase(proc.cores.begin() + i);
+                break;
+            }
+        }
+        proc.retiredCounters.accumulate(t.counters);
+        proc.migrations += t.migrations;
+        if (outcomeSeverity(t.outcome) > outcomeSeverity(proc.outcome))
+            proc.outcome = t.outcome;
+
+        if (proc.liveThreads.empty()) {
+            proc.state = ProcessState::Finished;
+            proc.completed = now();
+            completed.push_back(proc.pid);
+            finished.push_back(proc);
+            table.erase(it);
+        }
+    }
+    for (Pid pid : completed)
+        publish({ProcessEventKind::Completed, pid, now()});
+}
+
+void
+System::tryPlaceQueued()
+{
+    while (!runQueue.empty()) {
+        const Pid pid = runQueue.front();
+        auto it = table.find(pid);
+        ECOSCHED_ASSERT(it != table.end(),
+                        "queued pid vanished from the table");
+        if (!placeProcess(it->second))
+            break; // FIFO: head of line blocks
+        runQueue.pop_front();
+    }
+}
+
+void
+System::runUntil(Seconds t)
+{
+    while (now() + cfg.timestep * 0.5 < t)
+        step();
+}
+
+void
+System::drain(Seconds max_time)
+{
+    while (!idle()) {
+        fatalIf(now() > max_time,
+                "drain() exceeded its time bound of ", max_time,
+                " s with ", pendingCount(), " processes pending");
+        step();
+    }
+}
+
+double
+System::coreUtilization(CoreId core) const
+{
+    fatalIf(core >= spec().numCores, "core ", core, " out of range");
+    return coreUtil[core];
+}
+
+double
+System::pmdUtilization(PmdId pmd) const
+{
+    fatalIf(pmd >= spec().numPmds(), "PMD ", pmd, " out of range");
+    return std::max(coreUtil[firstCoreOfPmd(pmd)],
+                    coreUtil[secondCoreOfPmd(pmd)]);
+}
+
+std::vector<CoreId>
+System::freeCores() const
+{
+    std::vector<CoreId> free;
+    for (CoreId c = 0; c < spec().numCores; ++c)
+        if (!node.coreBusy(c))
+            free.push_back(c);
+    return free;
+}
+
+void
+System::addProcessObserver(
+    std::function<void(const ProcessEvent &)> observer)
+{
+    fatalIf(!observer, "process observer must not be null");
+    observers.push_back(std::move(observer));
+}
+
+void
+System::publish(const ProcessEvent &event)
+{
+    for (const auto &obs : observers)
+        obs(event);
+}
+
+std::vector<CoreId>
+LinuxSpreadPlacer::place(const System &system, const Process &,
+                         std::uint32_t threads)
+{
+    const auto free = system.freeCores();
+    if (free.size() < threads)
+        return {};
+
+    // Count busy cores per PMD, then prefer idle cores on the least
+    // loaded PMDs (CFS-domain-style spreading).
+    const auto &spec = system.spec();
+    std::vector<int> busy_per_pmd(spec.numPmds(), 0);
+    for (CoreId c = 0; c < spec.numCores; ++c)
+        if (system.machine().coreBusy(c))
+            ++busy_per_pmd[pmdOfCore(c)];
+
+    // Greedy iterative pick so the process's own threads also spread
+    // across PMDs (each pick raises its module's load).
+    std::vector<CoreId> chosen;
+    std::vector<bool> taken(spec.numCores, false);
+    for (std::uint32_t i = 0; i < threads; ++i) {
+        CoreId best = spec.numCores;
+        for (CoreId c : free) {
+            if (taken[c])
+                continue;
+            if (best == spec.numCores ||
+                busy_per_pmd[pmdOfCore(c)]
+                    < busy_per_pmd[pmdOfCore(best)]) {
+                best = c;
+            }
+        }
+        ECOSCHED_ASSERT(best < spec.numCores,
+                        "ran out of free cores mid-placement");
+        taken[best] = true;
+        ++busy_per_pmd[pmdOfCore(best)];
+        chosen.push_back(best);
+    }
+    return chosen;
+}
+
+} // namespace ecosched

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * The System: an operating-system layer over one Machine.
+ *
+ * Responsibilities mirror the Linux pieces the paper interacts with:
+ * process submission and a FIFO run queue, thread placement through
+ * a pluggable PlacementPolicy (default: CFS-like spreading), process
+ * migration, a pluggable frequency Governor (default: ondemand), and
+ * per-core utilization bookkeeping.  Lifecycle events are published
+ * to observers — exactly the hook the paper's daemon uses ("invoked
+ * only after a new process is issued ... or when a process finishes
+ * its execution", §VI.A).
+ */
+
+#ifndef ECOSCHED_OS_SYSTEM_HH
+#define ECOSCHED_OS_SYSTEM_HH
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "os/process.hh"
+#include "sim/machine.hh"
+
+namespace ecosched {
+
+class System;
+
+/**
+ * Chooses cores for processes.  place() returns the cores for a new
+ * process's threads — or an empty vector to keep it queued.
+ */
+class PlacementPolicy
+{
+  public:
+    virtual ~PlacementPolicy() = default;
+
+    /// Human-readable policy name (for reports).
+    virtual const char *name() const = 0;
+
+    /**
+     * Pick @p threads distinct idle cores for @p process, or return
+     * an empty vector to defer placement.
+     */
+    virtual std::vector<CoreId> place(const System &system,
+                                      const Process &process,
+                                      std::uint32_t threads) = 0;
+};
+
+/**
+ * Drives per-PMD frequencies (and possibly voltage).  tick() runs
+ * once per System step.
+ */
+class Governor
+{
+  public:
+    virtual ~Governor() = default;
+
+    /// Human-readable governor name (for reports).
+    virtual const char *name() const = 0;
+
+    /// Periodic hook; inspect the system and program the SlimPro.
+    virtual void tick(System &system) = 0;
+};
+
+/// System construction knobs.
+struct SystemConfig
+{
+    /// Simulation step (also the governor tick period base).
+    Seconds timestep = units::ms(10);
+
+    /// Smoothing factor of the per-core utilization EWMA.
+    double utilizationAlpha = 0.2;
+};
+
+/**
+ * OS layer over a Machine.
+ */
+class System
+{
+  public:
+    /**
+     * @param machine  Node to manage (must outlive the System).
+     * @param placer   Placement policy (nullptr: CFS-like spread).
+     * @param governor Frequency governor (nullptr: ondemand).
+     */
+    System(Machine &machine,
+           std::unique_ptr<PlacementPolicy> placer = nullptr,
+           std::unique_ptr<Governor> governor = nullptr,
+           SystemConfig config = SystemConfig{});
+
+    // --- topology / component access ---------------------------------
+    Machine &machine() { return node; }
+    const Machine &machine() const { return node; }
+    const ChipSpec &spec() const { return node.spec(); }
+    PlacementPolicy &placementPolicy() { return *placer; }
+    Governor &governor() { return *freqGovernor; }
+    Seconds now() const { return node.now(); }
+
+    /// Replace the placement policy at runtime.
+    void setPlacementPolicy(std::unique_ptr<PlacementPolicy> policy);
+
+    /// Replace the governor at runtime.
+    void setGovernor(std::unique_ptr<Governor> governor);
+
+    // --- process lifecycle ---------------------------------------------
+    /**
+     * Submit one invocation of a benchmark with @p threads threads.
+     * Placement is attempted immediately; otherwise the process
+     * queues FIFO.
+     */
+    Pid submit(const BenchmarkProfile &profile, std::uint32_t threads);
+
+    /// Process record. @throws FatalError for unknown pids.
+    const Process &process(Pid pid) const;
+
+    /// Pids of processes currently bound to cores.
+    std::vector<Pid> runningProcesses() const;
+
+    /// Pids of processes waiting in the run queue.
+    std::vector<Pid> queuedProcesses() const;
+
+    /// All processes that reached the Finished state so far.
+    const std::vector<Process> &finishedProcesses() const
+    {
+        return finished;
+    }
+
+    /// Number of running + queued processes.
+    std::size_t pendingCount() const;
+
+    /// Whether nothing is running or queued.
+    bool idle() const { return pendingCount() == 0; }
+
+    /**
+     * Move a running process onto a new core set (one core per live
+     * thread).  Handles arbitrary permutations, using a free core to
+     * break swap cycles when needed.
+     */
+    void migrateProcess(Pid pid, const std::vector<CoreId> &cores);
+
+    /**
+     * Atomically rearrange several running processes (the daemon's
+     * placement step).  @p assignment maps each affected pid to one
+     * core per live thread; cores must be globally distinct and
+     * either free or vacated by another entry of the assignment.
+     * Swap cycles are broken through a free core.
+     */
+    void applyPlacement(
+        const std::map<Pid, std::vector<CoreId>> &assignment);
+
+    /// Aggregated PMU counters of a process (live + retired threads).
+    ThreadCounters processCounters(Pid pid) const;
+
+    /// Process owning a core, or invalidPid.
+    Pid processOnCore(CoreId core) const;
+
+    // --- execution ------------------------------------------------------
+    /// Advance by one timestep: governor, machine, completions, queue.
+    void step();
+
+    /// Step until time @p t.
+    void runUntil(Seconds t);
+
+    /// Step until no process is running or queued (bounded by
+    /// @p max_time). @throws FatalError when the bound is hit.
+    void drain(Seconds max_time);
+
+    // --- telemetry -------------------------------------------------------
+    /// EWMA utilization of one core in [0, 1].
+    double coreUtilization(CoreId core) const;
+
+    /// EWMA utilization of a PMD (max of its cores).
+    double pmdUtilization(PmdId pmd) const;
+
+    /// Idle cores right now.
+    std::vector<CoreId> freeCores() const;
+
+    /// Register a lifecycle-event observer.
+    void addProcessObserver(std::function<void(const ProcessEvent &)>
+                                observer);
+
+  private:
+    void tryPlaceQueued();
+    bool placeProcess(Process &proc);
+    void harvestFinishedThreads();
+    void publish(const ProcessEvent &event);
+
+    Machine &node;
+    std::unique_ptr<PlacementPolicy> placer;
+    std::unique_ptr<Governor> freqGovernor;
+    SystemConfig cfg;
+
+    Pid nextPid = 1;
+    std::map<Pid, Process> table;       ///< queued + running
+    std::deque<Pid> runQueue;           ///< FIFO of queued pids
+    std::vector<Process> finished;      ///< completed processes
+    std::map<SimThreadId, Pid> threadOwner;
+    std::vector<double> coreUtil;       ///< EWMA per core
+    std::vector<std::function<void(const ProcessEvent &)>> observers;
+};
+
+/**
+ * CFS-like default placement: prefer idle cores on the least-loaded
+ * PMDs, spreading threads across modules the way Linux load
+ * balancing does on these machines.
+ */
+class LinuxSpreadPlacer : public PlacementPolicy
+{
+  public:
+    const char *name() const override { return "linux-spread"; }
+    std::vector<CoreId> place(const System &system,
+                              const Process &process,
+                              std::uint32_t threads) override;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_OS_SYSTEM_HH

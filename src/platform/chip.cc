@@ -1,0 +1,110 @@
+#include "platform/chip.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+Chip::Chip(ChipSpec chip_spec)
+    : chipSpec(std::move(chip_spec))
+{
+    chipSpec.validate();
+    supplyVoltage = chipSpec.vNominal;
+    pmdFreq.assign(chipSpec.numPmds(), chipSpec.fMax);
+    pmdGated.assign(chipSpec.numPmds(), false);
+}
+
+void
+Chip::setVoltage(Volt v)
+{
+    fatalIf(v < chipSpec.vFloor - 1e-9 || v > chipSpec.vNominal + 1e-9,
+            chipSpec.name, ": voltage ", units::toMilliVolts(v),
+            " mV outside [", units::toMilliVolts(chipSpec.vFloor),
+            ", ", units::toMilliVolts(chipSpec.vNominal), "] mV");
+    supplyVoltage = v;
+}
+
+Hertz
+Chip::pmdFrequency(PmdId pmd) const
+{
+    checkPmd(pmd);
+    return pmdFreq[pmd];
+}
+
+void
+Chip::setPmdFrequency(PmdId pmd, Hertz f)
+{
+    checkPmd(pmd);
+    fatalIf(!chipSpec.onLadder(f),
+            chipSpec.name, ": ", units::toGHz(f),
+            " GHz is not a ladder frequency");
+    pmdFreq[pmd] = f;
+}
+
+void
+Chip::setAllFrequencies(Hertz f)
+{
+    for (PmdId p = 0; p < chipSpec.numPmds(); ++p)
+        setPmdFrequency(p, f);
+}
+
+bool
+Chip::pmdClockGated(PmdId pmd) const
+{
+    checkPmd(pmd);
+    return pmdGated[pmd];
+}
+
+void
+Chip::setPmdClockGated(PmdId pmd, bool gated)
+{
+    checkPmd(pmd);
+    pmdGated[pmd] = gated;
+}
+
+Hertz
+Chip::coreFrequency(CoreId core) const
+{
+    const PmdId pmd = pmdOfCore(core);
+    checkPmd(pmd);
+    return pmdGated[pmd] ? 0.0 : pmdFreq[pmd];
+}
+
+std::uint32_t
+Chip::numActivePmds() const
+{
+    std::uint32_t n = 0;
+    for (bool gated : pmdGated)
+        if (!gated)
+            ++n;
+    return n;
+}
+
+Hertz
+Chip::maxActiveFrequency() const
+{
+    Hertz f = 0.0;
+    for (PmdId p = 0; p < chipSpec.numPmds(); ++p)
+        if (!pmdGated[p])
+            f = std::max(f, pmdFreq[p]);
+    return f;
+}
+
+void
+Chip::reset()
+{
+    supplyVoltage = chipSpec.vNominal;
+    std::fill(pmdFreq.begin(), pmdFreq.end(), chipSpec.fMax);
+    std::fill(pmdGated.begin(), pmdGated.end(), false);
+}
+
+void
+Chip::checkPmd(PmdId pmd) const
+{
+    fatalIf(pmd >= chipSpec.numPmds(),
+            chipSpec.name, ": PMD ", pmd, " out of range (",
+            chipSpec.numPmds(), " PMDs)");
+}
+
+} // namespace ecosched

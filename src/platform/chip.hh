@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Runtime voltage/frequency state of a chip.
+ *
+ * Mirrors the X-Gene control surface: one supply voltage for the
+ * whole PCP power domain (all cores + caches + memory controllers),
+ * an independent clock frequency per PMD (pair of cores), and
+ * per-PMD clock gating for idle modules.
+ */
+
+#ifndef ECOSCHED_PLATFORM_CHIP_HH
+#define ECOSCHED_PLATFORM_CHIP_HH
+
+#include <vector>
+
+#include "common/units.hh"
+#include "platform/chip_spec.hh"
+#include "platform/topology.hh"
+
+namespace ecosched {
+
+/**
+ * Mutable chip state: supply voltage, per-PMD frequency, per-PMD
+ * clock gating.  All mutations are validated against the ChipSpec.
+ */
+class Chip
+{
+  public:
+    /// Construct at nominal voltage and fMax on every PMD, ungated.
+    explicit Chip(ChipSpec chip_spec);
+
+    /// Static description of this chip.
+    const ChipSpec &spec() const { return chipSpec; }
+
+    /// Current supply voltage of the PCP domain.
+    Volt voltage() const { return supplyVoltage; }
+
+    /**
+     * Set the supply voltage.
+     * @throws FatalError when outside [vFloor, vNominal].
+     */
+    void setVoltage(Volt v);
+
+    /// Current clock frequency of a PMD.
+    Hertz pmdFrequency(PmdId pmd) const;
+
+    /**
+     * Set the clock frequency of a PMD.  The value must lie on the
+     * chip's frequency ladder (use ChipSpec::snapToLadder first for
+     * continuous CPPC-style requests).
+     */
+    void setPmdFrequency(PmdId pmd, Hertz f);
+
+    /// Set every PMD to the same ladder frequency.
+    void setAllFrequencies(Hertz f);
+
+    /// Whether a PMD's clock is gated (idle module).
+    bool pmdClockGated(PmdId pmd) const;
+
+    /// Gate / ungate a PMD's clock.
+    void setPmdClockGated(PmdId pmd, bool gated);
+
+    /// Frequency seen by a core (its PMD's frequency; 0 when gated).
+    Hertz coreFrequency(CoreId core) const;
+
+    /// Number of PMDs whose clock is currently running (not gated).
+    std::uint32_t numActivePmds() const;
+
+    /// Highest frequency among non-gated PMDs (0 if all gated).
+    Hertz maxActiveFrequency() const;
+
+    /// Reset to nominal voltage, fMax everywhere, no gating.
+    void reset();
+
+  private:
+    void checkPmd(PmdId pmd) const;
+
+    ChipSpec chipSpec;
+    Volt supplyVoltage;
+    std::vector<Hertz> pmdFreq;
+    std::vector<bool> pmdGated;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_PLATFORM_CHIP_HH

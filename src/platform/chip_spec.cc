@@ -1,0 +1,199 @@
+#include "platform/chip_spec.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+const char *
+clockModeName(ClockMode mode)
+{
+    switch (mode) {
+      case ClockMode::Nominal:  return "nominal";
+      case ClockMode::Skipping: return "skipping";
+      case ClockMode::Division: return "division";
+    }
+    return "?";
+}
+
+const char *
+vminFreqClassName(VminFreqClass cls)
+{
+    switch (cls) {
+      case VminFreqClass::High: return "high";
+      case VminFreqClass::Half: return "half";
+      case VminFreqClass::Deep: return "deep";
+    }
+    return "?";
+}
+
+std::vector<Hertz>
+ChipSpec::frequencyLadder() const
+{
+    std::vector<Hertz> ladder;
+    ladder.reserve(freqSteps);
+    for (std::uint32_t k = 1; k <= freqSteps; ++k)
+        ladder.push_back(freqStep() * static_cast<double>(k));
+    return ladder;
+}
+
+Hertz
+ChipSpec::snapToLadder(Hertz f) const
+{
+    fatalIf(f <= 0.0, "frequency must be positive, got ", f);
+    const double step = freqStep();
+    double k = std::round(f / step);
+    k = std::clamp(k, 1.0, static_cast<double>(freqSteps));
+    return step * k;
+}
+
+bool
+ChipSpec::onLadder(Hertz f) const
+{
+    if (f <= 0.0 || f > fMax * (1.0 + 1e-9))
+        return false;
+    const double step = freqStep();
+    const double k = f / step;
+    return std::fabs(k - std::round(k)) < 1e-6 && std::round(k) >= 1.0;
+}
+
+ClockMode
+ChipSpec::clockMode(Hertz f) const
+{
+    fatalIf(!onLadder(f), name, ": ", f,
+            " Hz is not on the frequency ladder");
+    const double rel = f / fMax;
+    if (std::fabs(rel - 1.0) < 1e-9)
+        return ClockMode::Nominal;
+    if (std::fabs(rel - 0.5) < 1e-9)
+        return ClockMode::Division;
+    return ClockMode::Skipping;
+}
+
+VminFreqClass
+ChipSpec::vminFreqClass(Hertz f) const
+{
+    fatalIf(!onLadder(f), name, ": ", f,
+            " Hz is not on the frequency ladder");
+    const double eps = freqStep() * 1e-6;
+    if (deepClassMaxFreq > 0.0 && f <= deepClassMaxFreq + eps)
+        return VminFreqClass::Deep;
+    if (f <= halfClassMaxFreq + eps)
+        return VminFreqClass::Half;
+    return VminFreqClass::High;
+}
+
+std::size_t
+ChipSpec::droopClassIndex(std::uint32_t utilized_pmds) const
+{
+    fatalIf(utilized_pmds == 0, "droop class of zero PMDs is undefined");
+    fatalIf(utilized_pmds > numPmds(), name, " has only ", numPmds(),
+            " PMDs, got ", utilized_pmds);
+    for (std::size_t i = 0; i < droopClasses.size(); ++i) {
+        if (utilized_pmds <= droopClasses[i].maxPmds)
+            return i;
+    }
+    ECOSCHED_PANIC("droop classes do not cover the chip's PMD count");
+}
+
+const DroopClass &
+ChipSpec::droopClass(std::uint32_t utilized_pmds) const
+{
+    return droopClasses[droopClassIndex(utilized_pmds)];
+}
+
+void
+ChipSpec::validate() const
+{
+    fatalIf(name.empty(), "chip spec needs a name");
+    fatalIf(numCores == 0 || numCores % coresPerPmd != 0,
+            name, ": core count must be a positive multiple of ",
+            coresPerPmd);
+    fatalIf(fMax <= 0.0, name, ": fMax must be positive");
+    fatalIf(freqSteps == 0, name, ": freqSteps must be positive");
+    fatalIf(vNominal <= 0.0, name, ": nominal voltage must be positive");
+    fatalIf(vFloor <= 0.0 || vFloor >= vNominal,
+            name, ": vFloor must be in (0, vNominal)");
+    fatalIf(tdp <= 0.0, name, ": TDP must be positive");
+    fatalIf(!onLadder(halfClassMaxFreq),
+            name, ": halfClassMaxFreq must be a ladder frequency");
+    fatalIf(deepClassMaxFreq != 0.0 && !onLadder(deepClassMaxFreq),
+            name, ": deepClassMaxFreq must be 0 or a ladder frequency");
+    fatalIf(deepClassMaxFreq >= halfClassMaxFreq &&
+                deepClassMaxFreq != 0.0,
+            name, ": deep class must sit below the half class");
+    fatalIf(droopClasses.empty(), name, ": needs droop classes");
+    std::uint32_t prev = 0;
+    for (const auto &dc : droopClasses) {
+        fatalIf(dc.maxPmds <= prev,
+                name, ": droop classes must have increasing maxPmds");
+        fatalIf(dc.binHiMv <= dc.binLoMv,
+                name, ": droop magnitude bin must have binHi > binLo");
+        prev = dc.maxPmds;
+    }
+    fatalIf(droopClasses.back().maxPmds < numPmds(),
+            name, ": droop classes must cover all ", numPmds(), " PMDs");
+}
+
+ChipSpec
+xGene2()
+{
+    using namespace units;
+    ChipSpec spec;
+    spec.name = "X-Gene 2";
+    spec.numCores = 8;
+    spec.fMax = GHz(2.4);
+    spec.freqSteps = 8;             // 300 MHz ladder
+    spec.vNominal = mV(980);
+    spec.vFloor = mV(700);
+    spec.tdp = 35.0;
+    spec.l3Bytes = 8ull * 1024 * 1024;
+    spec.technologyNm = 28;
+    // CPPC frequency interleaving (§II.B): a 1.2 GHz request is
+    // realised by interleaving ladder points above/below, so its Vmin
+    // is limited by the highest point used (skipping class).  The
+    // full division benefit only appears from 0.9 GHz downwards.
+    spec.halfClassMaxFreq = GHz(1.2);
+    spec.deepClassMaxFreq = GHz(0.9);
+    spec.droopClasses = {
+        {1, 25.0, 35.0},
+        {2, 35.0, 45.0},
+        {4, 45.0, 55.0},
+    };
+    spec.validate();
+    return spec;
+}
+
+ChipSpec
+xGene3()
+{
+    using namespace units;
+    ChipSpec spec;
+    spec.name = "X-Gene 3";
+    spec.numCores = 32;
+    spec.fMax = GHz(3.0);
+    spec.freqSteps = 8;             // 375 MHz ladder
+    spec.vNominal = mV(870);
+    spec.vFloor = mV(650);
+    spec.tdp = 125.0;
+    spec.l3Bytes = 32ull * 1024 * 1024;
+    spec.technologyNm = 16;
+    // No Deep class: below 1.5 GHz the Vmin does not improve further
+    // (§II.B: "we did not observe the same behavior below the 1.5GHz
+    // as in X-Gene 2").
+    spec.halfClassMaxFreq = GHz(1.5);
+    spec.deepClassMaxFreq = 0.0;
+    // Table II droop magnitude classes.
+    spec.droopClasses = {
+        {2, 25.0, 35.0},
+        {4, 35.0, 45.0},
+        {8, 45.0, 55.0},
+        {16, 55.0, 65.0},
+    };
+    spec.validate();
+    return spec;
+}
+
+} // namespace ecosched

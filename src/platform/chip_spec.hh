@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Static chip description (Table I of the paper) plus the clocking
+ * quirks of §II.B: the frequency ladder at 1/8 steps of fmax, the
+ * clock-division vs clock-skipping distinction, and the X-Gene 2
+ * CPPC frequency-interleaving behaviour that moves the clock-division
+ * benefit one ladder step below the half clock.
+ */
+
+#ifndef ECOSCHED_PLATFORM_CHIP_SPEC_HH
+#define ECOSCHED_PLATFORM_CHIP_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "platform/topology.hh"
+
+namespace ecosched {
+
+/**
+ * How a requested clock ratio is realised relative to the PMD clock
+ * source (§II.B).  Ratios other than 1/2 use clock *skipping* on the
+ * input clock; the 1/2 ratio uses clock *division*.  Division relaxes
+ * the timing-critical path and therefore enables a much lower safe
+ * Vmin; skipping keeps the input clock's timing properties.
+ */
+enum class ClockMode
+{
+    Nominal,   ///< full input clock (fmax)
+    Skipping,  ///< clock skipping: Vmin behaves like the input clock
+    Division,  ///< clock division: significantly relaxed Vmin
+};
+
+/// Human-readable name of a ClockMode.
+const char *clockModeName(ClockMode mode);
+
+/**
+ * Frequency classes that matter for the safe Vmin (§II.B): every
+ * frequency above the half clock shares the Vmin of fmax; every
+ * frequency at/below the half clock shares the Vmin of the half
+ * clock; on X-Gene 2 only, frequencies at/below 0.9 GHz reach the
+ * full clock-division benefit (~15 % below the fmax Vmin).
+ */
+enum class VminFreqClass
+{
+    High,  ///< f above the half clock: fmax-like Vmin
+    Half,  ///< half clock (and below, where no Deep class exists)
+    Deep,  ///< X-Gene 2 at/below 0.9 GHz: full division benefit
+};
+
+/// Human-readable name of a VminFreqClass.
+const char *vminFreqClassName(VminFreqClass cls);
+
+/**
+ * One voltage-droop magnitude class (Table II row): running up to
+ * @c maxPmds PMDs at the high clock produces droop events whose
+ * magnitude falls in [binLo, binHi) millivolts.
+ */
+struct DroopClass
+{
+    std::uint32_t maxPmds; ///< largest PMD count in this class
+    double binLoMv;        ///< inclusive magnitude lower bound [mV]
+    double binHiMv;        ///< exclusive magnitude upper bound [mV]
+};
+
+/**
+ * Immutable description of a chip model.  Use the xGene2() / xGene3()
+ * presets for the paper's platforms or build a custom spec (validated
+ * by validate()).
+ */
+struct ChipSpec
+{
+    std::string name;          ///< e.g. "X-Gene 2"
+    std::uint32_t numCores;    ///< total cores (multiple of 2)
+    Hertz fMax;                ///< maximum core clock
+    std::uint32_t freqSteps;   ///< ladder resolution (fmax / freqSteps)
+    Volt vNominal;             ///< nominal supply voltage
+    Volt vFloor;               ///< lowest voltage the regulator accepts
+    Watt tdp;                  ///< thermal design power
+    std::uint64_t l3Bytes;     ///< L3 capacity
+    std::uint32_t technologyNm;///< process node (28 / 16)
+
+    /// Frequency at/below which Vmin behaves like the half clock.
+    Hertz halfClassMaxFreq;
+    /// Frequency at/below which the Deep (division) class applies;
+    /// 0 when the chip never reaches the Deep class (X-Gene 3).
+    Hertz deepClassMaxFreq;
+
+    /// Droop-magnitude classes ordered by increasing PMD count.
+    std::vector<DroopClass> droopClasses;
+
+    /// Number of PMDs (numCores / 2).
+    std::uint32_t numPmds() const { return numCores / coresPerPmd; }
+
+    /// Ladder step size (fMax / freqSteps).
+    Hertz freqStep() const
+    {
+        return fMax / static_cast<double>(freqSteps);
+    }
+
+    /// All ladder frequencies, ascending (step, 2*step, ..., fMax).
+    std::vector<Hertz> frequencyLadder() const;
+
+    /// Nearest ladder frequency to @p f (ties round up).
+    Hertz snapToLadder(Hertz f) const;
+
+    /// Whether @p f lies (within tolerance) on the ladder.
+    bool onLadder(Hertz f) const;
+
+    /**
+     * Clocking mode used to realise ladder frequency @p f
+     * (Nominal at fMax, Division at fMax/2, Skipping elsewhere).
+     */
+    ClockMode clockMode(Hertz f) const;
+
+    /// Vmin frequency class of ladder frequency @p f (see enum docs).
+    VminFreqClass vminFreqClass(Hertz f) const;
+
+    /**
+     * Droop class index (0-based row of droopClasses) for a number of
+     * utilized PMDs.  @throws FatalError if pmds is 0 or exceeds the
+     * chip's PMD count.
+     */
+    std::size_t droopClassIndex(std::uint32_t utilized_pmds) const;
+
+    /// Droop class record for a number of utilized PMDs.
+    const DroopClass &droopClass(std::uint32_t utilized_pmds) const;
+
+    /// Sanity-check all fields. @throws FatalError on inconsistency.
+    void validate() const;
+};
+
+/// Preset for Applied Micro X-Gene 2 (Table I).
+ChipSpec xGene2();
+
+/// Preset for Applied Micro X-Gene 3 (Table I).
+ChipSpec xGene3();
+
+} // namespace ecosched
+
+#endif // ECOSCHED_PLATFORM_CHIP_SPEC_HH

@@ -1,0 +1,92 @@
+#include "platform/slimpro.hh"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+SlimPro::SlimPro(Chip &target, Timing timing)
+    : managed(target), timingModel(timing)
+{
+    fatalIf(timingModel.voltageSlewVoltsPerSec <= 0.0,
+            "voltage slew rate must be positive");
+}
+
+Seconds
+SlimPro::requestVoltage(Seconds now, Volt v)
+{
+    const Volt before = managed.voltage();
+    if (std::fabs(before - v) < 1e-9)
+        return 0.0;
+    managed.setVoltage(v);
+    const Seconds latency = std::fabs(v - before)
+        / timingModel.voltageSlewVoltsPerSec
+        + timingModel.voltageSettle;
+    ++nVoltage;
+    latencySum += latency;
+    record({now, VfEventKind::VoltageChange, 0, before, v, latency});
+    return latency;
+}
+
+Seconds
+SlimPro::requestPmdFrequency(Seconds now, PmdId pmd, Hertz f)
+{
+    const Hertz snapped = managed.spec().snapToLadder(f);
+    const Hertz before = managed.pmdFrequency(pmd);
+    if (std::fabs(before - snapped) < 1e-3)
+        return 0.0;
+    managed.setPmdFrequency(pmd, snapped);
+    const Seconds latency = timingModel.frequencySettle;
+    ++nFrequency;
+    latencySum += latency;
+    record({now, VfEventKind::FrequencyChange, pmd, before, snapped,
+            latency});
+    return latency;
+}
+
+Seconds
+SlimPro::requestAllFrequencies(Seconds now, Hertz f)
+{
+    Seconds total = 0.0;
+    for (PmdId p = 0; p < managed.spec().numPmds(); ++p)
+        total += requestPmdFrequency(now, p, f);
+    return total;
+}
+
+Seconds
+SlimPro::requestClockGate(Seconds now, PmdId pmd, bool gated)
+{
+    const bool before = managed.pmdClockGated(pmd);
+    if (before == gated)
+        return 0.0;
+    managed.setPmdClockGated(pmd, gated);
+    const Seconds latency = timingModel.frequencySettle;
+    latencySum += latency;
+    record({now, VfEventKind::ClockGateChange, pmd,
+            before ? 1.0 : 0.0, gated ? 1.0 : 0.0, latency});
+    return latency;
+}
+
+void
+SlimPro::setObserver(VfObserver new_observer)
+{
+    observer = std::move(new_observer);
+}
+
+void
+SlimPro::clearLog()
+{
+    events.clear();
+}
+
+void
+SlimPro::record(const VfEvent &ev)
+{
+    events.push_back(ev);
+    if (observer)
+        observer(managed, ev);
+}
+
+} // namespace ecosched

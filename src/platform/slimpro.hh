@@ -1,0 +1,132 @@
+/**
+ * @file
+ * SLIMpro management-processor façade.
+ *
+ * On the real X-Gene chips, the Scalable Lightweight Intelligent
+ * Management processor (SLIMpro) is the only agent that can regulate
+ * the PCP supply voltage and per-PMD clocks; the Linux kernel talks
+ * to it through a mailbox.  This class is the equivalent control
+ * plane for the simulated chip: it applies requests, models their
+ * transition latency, keeps an audit log, and can notify a safety
+ * monitor (used by tests to prove the daemon's fail-safe ordering:
+ * the voltage is always raised *before* a frequency increase or a
+ * PMD un-gating makes the old voltage unsafe).
+ */
+
+#ifndef ECOSCHED_PLATFORM_SLIMPRO_HH
+#define ECOSCHED_PLATFORM_SLIMPRO_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/units.hh"
+#include "platform/chip.hh"
+
+namespace ecosched {
+
+/// Kinds of control-plane transitions the SLIMpro performs.
+enum class VfEventKind
+{
+    VoltageChange,
+    FrequencyChange,
+    ClockGateChange,
+};
+
+/// One entry of the SLIMpro audit log.
+struct VfEvent
+{
+    Seconds time;        ///< request timestamp
+    VfEventKind kind;    ///< what changed
+    PmdId pmd;           ///< affected PMD (0 for voltage changes)
+    double before;       ///< previous value (V, Hz, or gated flag)
+    double after;        ///< new value
+    Seconds latency;     ///< modelled transition latency
+};
+
+/**
+ * Callback invoked after every applied transition; receives the chip
+ * (post-change) and the event.  Tests install a checker here.
+ */
+using VfObserver = std::function<void(const Chip &, const VfEvent &)>;
+
+/**
+ * Control plane for one Chip.  All voltage/frequency changes in the
+ * library flow through this class so that transition counts and
+ * latencies are accounted uniformly.
+ */
+class SlimPro
+{
+  public:
+    /// Transition-latency model parameters.
+    struct Timing
+    {
+        /// Regulator slew rate [V/s]; X-Gene-class VRMs manage ~mV/us.
+        double voltageSlewVoltsPerSec = 1000.0;
+        /// Fixed settle time added to every voltage change.
+        Seconds voltageSettle = units::us(50);
+        /// PLL/divider re-lock time per frequency change.
+        Seconds frequencySettle = units::us(20);
+    };
+
+    /// Wrap a chip; the chip must outlive the SlimPro.
+    explicit SlimPro(Chip &target, Timing timing);
+
+    /// Wrap a chip with the default transition-latency model.
+    explicit SlimPro(Chip &target) : SlimPro(target, Timing{}) {}
+
+    /// The managed chip (read-only view for clients).
+    const Chip &chip() const { return managed; }
+
+    /**
+     * Request a supply-voltage change at simulated time @p now.
+     * @return modelled transition latency.
+     */
+    Seconds requestVoltage(Seconds now, Volt v);
+
+    /**
+     * Request a PMD frequency change at simulated time @p now.  The
+     * request is CPPC-style continuous: it is snapped to the ladder.
+     * @return modelled transition latency.
+     */
+    Seconds requestPmdFrequency(Seconds now, PmdId pmd, Hertz f);
+
+    /// Request all PMDs to the same (snapped) frequency.
+    Seconds requestAllFrequencies(Seconds now, Hertz f);
+
+    /// Gate or un-gate a PMD clock at simulated time @p now.
+    Seconds requestClockGate(Seconds now, PmdId pmd, bool gated);
+
+    /// Install an observer (replaces any previous one).
+    void setObserver(VfObserver observer);
+
+    /// Full audit log since construction (or clearLog()).
+    const std::vector<VfEvent> &log() const { return events; }
+
+    /// Drop the audit log (counters are kept).
+    void clearLog();
+
+    /// Total number of voltage transitions performed.
+    std::uint64_t voltageTransitions() const { return nVoltage; }
+
+    /// Total number of frequency transitions performed.
+    std::uint64_t frequencyTransitions() const { return nFrequency; }
+
+    /// Sum of all modelled transition latencies.
+    Seconds totalTransitionLatency() const { return latencySum; }
+
+  private:
+    void record(const VfEvent &ev);
+
+    Chip &managed;
+    Timing timingModel;
+    VfObserver observer;
+    std::vector<VfEvent> events;
+    std::uint64_t nVoltage = 0;
+    std::uint64_t nFrequency = 0;
+    Seconds latencySum = 0.0;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_PLATFORM_SLIMPRO_HH

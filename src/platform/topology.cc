@@ -1,0 +1,56 @@
+#include "platform/topology.hh"
+
+#include <set>
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+const char *
+allocationName(Allocation alloc)
+{
+    switch (alloc) {
+      case Allocation::Clustered: return "clustered";
+      case Allocation::Spreaded:  return "spreaded";
+    }
+    return "?";
+}
+
+std::vector<CoreId>
+allocateCores(std::uint32_t num_cores, std::uint32_t threads,
+              Allocation alloc)
+{
+    fatalIf(num_cores == 0 || num_cores % coresPerPmd != 0,
+            "core count must be a positive multiple of ", coresPerPmd,
+            ", got ", num_cores);
+    fatalIf(threads == 0, "cannot allocate zero threads");
+    fatalIf(threads > num_cores, "cannot allocate ", threads,
+            " threads on ", num_cores, " cores");
+
+    std::vector<CoreId> cores;
+    cores.reserve(threads);
+
+    if (alloc == Allocation::Clustered) {
+        for (CoreId c = 0; c < threads; ++c)
+            cores.push_back(c);
+    } else {
+        const std::uint32_t num_pmds = num_cores / coresPerPmd;
+        // First cores of each PMD, then second cores.
+        for (PmdId p = 0; p < num_pmds && cores.size() < threads; ++p)
+            cores.push_back(firstCoreOfPmd(p));
+        for (PmdId p = 0; p < num_pmds && cores.size() < threads; ++p)
+            cores.push_back(secondCoreOfPmd(p));
+    }
+    return cores;
+}
+
+std::uint32_t
+countUtilizedPmds(const std::vector<CoreId> &cores)
+{
+    std::set<PmdId> pmds;
+    for (CoreId c : cores)
+        pmds.insert(pmdOfCore(c));
+    return static_cast<std::uint32_t>(pmds.size());
+}
+
+} // namespace ecosched

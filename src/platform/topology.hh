@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Core/PMD topology identifiers and core-allocation shapes.
+ *
+ * Both X-Gene chips group cores into PMDs (Processor MoDules): pairs
+ * of cores sharing an L2 cache and a clock domain.  The paper's two
+ * canonical allocation shapes (Figure 2) are:
+ *
+ *  - clustered: threads fill consecutive cores, occupying both cores
+ *    of each PMD before touching the next PMD (fewest utilized PMDs);
+ *  - spreaded:  threads take the first core of each PMD before any
+ *    second core (most utilized PMDs).
+ */
+
+#ifndef ECOSCHED_PLATFORM_TOPOLOGY_HH
+#define ECOSCHED_PLATFORM_TOPOLOGY_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ecosched {
+
+/// Index of a CPU core within a chip, 0-based.
+using CoreId = std::uint32_t;
+
+/// Index of a PMD (core pair) within a chip, 0-based.
+using PmdId = std::uint32_t;
+
+/// Number of cores per PMD on the X-Gene family.
+inline constexpr std::uint32_t coresPerPmd = 2;
+
+/// PMD that owns the given core.
+constexpr PmdId
+pmdOfCore(CoreId core)
+{
+    return core / coresPerPmd;
+}
+
+/// First core of a PMD.
+constexpr CoreId
+firstCoreOfPmd(PmdId pmd)
+{
+    return pmd * coresPerPmd;
+}
+
+/// Second core of a PMD.
+constexpr CoreId
+secondCoreOfPmd(PmdId pmd)
+{
+    return pmd * coresPerPmd + 1;
+}
+
+/// The two canonical core-allocation shapes of the paper (Figure 2).
+enum class Allocation
+{
+    Clustered, ///< consecutive cores, both cores of each PMD occupied
+    Spreaded,  ///< one core per PMD first (threads in separate PMDs)
+};
+
+/// Human-readable name ("clustered" / "spreaded").
+const char *allocationName(Allocation alloc);
+
+/**
+ * Compute the cores used by @p threads threads on a chip with
+ * @p num_cores cores under the given allocation shape.
+ *
+ * @throws FatalError if threads == 0 or threads > num_cores.
+ */
+std::vector<CoreId> allocateCores(std::uint32_t num_cores,
+                                  std::uint32_t threads,
+                                  Allocation alloc);
+
+/// Number of distinct PMDs covered by a set of cores.
+std::uint32_t countUtilizedPmds(const std::vector<CoreId> &cores);
+
+} // namespace ecosched
+
+#endif // ECOSCHED_PLATFORM_TOPOLOGY_HH

@@ -1,0 +1,48 @@
+#include "power/energy_meter.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+void
+EnergyMeter::add(Seconds dt, const PowerBreakdown &power)
+{
+    fatalIf(dt < 0.0, "cannot integrate over negative time");
+    coreJ += power.coreDynamic * dt;
+    pmdJ += power.pmdOverhead * dt;
+    uncoreJ += power.uncoreDynamic * dt;
+    leakJ += power.leakage * dt;
+    totalJ += power.total() * dt;
+    elapsedS += dt;
+    peakW = std::max(peakW, power.total());
+}
+
+Watt
+EnergyMeter::averagePower() const
+{
+    if (elapsedS <= 0.0)
+        return 0.0;
+    return totalJ / elapsedS;
+}
+
+void
+EnergyMeter::reset()
+{
+    *this = EnergyMeter{};
+}
+
+double
+energyDelayProduct(Joule energy, Seconds delay)
+{
+    return energy * delay;
+}
+
+double
+energyDelaySquaredProduct(Joule energy, Seconds delay)
+{
+    return energy * delay * delay;
+}
+
+} // namespace ecosched

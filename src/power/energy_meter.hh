@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Energy integration over a simulation run.
+ *
+ * Accumulates the PowerModel's instantaneous decomposition over time
+ * and reports totals, averages and peaks — the quantities the paper's
+ * Tables III/IV report per configuration (time, average power,
+ * energy) plus EDP/ED2P helpers (§V.B).
+ */
+
+#ifndef ECOSCHED_POWER_ENERGY_METER_HH
+#define ECOSCHED_POWER_ENERGY_METER_HH
+
+#include "common/units.hh"
+#include "power/power_model.hh"
+
+namespace ecosched {
+
+/**
+ * Left-rectangle energy integrator with per-component breakdown.
+ */
+class EnergyMeter
+{
+  public:
+    /// Integrate @p power held constant over an interval @p dt.
+    void add(Seconds dt, const PowerBreakdown &power);
+
+    /// Total integrated energy.
+    Joule energy() const { return totalJ; }
+
+    /// Integrated energy of the core-dynamic component.
+    Joule coreDynamicEnergy() const { return coreJ; }
+
+    /// Integrated energy of the PMD-overhead component.
+    Joule pmdOverheadEnergy() const { return pmdJ; }
+
+    /// Integrated energy of the uncore component.
+    Joule uncoreEnergy() const { return uncoreJ; }
+
+    /// Integrated leakage energy.
+    Joule leakageEnergy() const { return leakJ; }
+
+    /// Total integration time.
+    Seconds elapsed() const { return elapsedS; }
+
+    /// Average power over the integrated interval (0 when empty).
+    Watt averagePower() const;
+
+    /// Highest instantaneous total power seen.
+    Watt peakPower() const { return peakW; }
+
+    /// Energy-delay product  E * D  over the integrated interval.
+    double edp() const { return totalJ * elapsedS; }
+
+    /// Energy-delay-squared product  E * D^2  (the paper's metric).
+    double ed2p() const { return totalJ * elapsedS * elapsedS; }
+
+    /// Forget everything.
+    void reset();
+
+  private:
+    Joule totalJ = 0.0;
+    Joule coreJ = 0.0;
+    Joule pmdJ = 0.0;
+    Joule uncoreJ = 0.0;
+    Joule leakJ = 0.0;
+    Seconds elapsedS = 0.0;
+    Watt peakW = 0.0;
+};
+
+/// Energy-delay product for externally measured quantities.
+double energyDelayProduct(Joule energy, Seconds delay);
+
+/// Energy-delay-squared product for externally measured quantities.
+double energyDelaySquaredProduct(Joule energy, Seconds delay);
+
+} // namespace ecosched
+
+#endif // ECOSCHED_POWER_ENERGY_METER_HH

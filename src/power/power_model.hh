@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Physical power model of the PCP (Processor ComPlex) power domain.
+ *
+ * The paper measures chip power on real hardware; we substitute a
+ * standard CMOS decomposition, calibrated per chip so the evaluation
+ * scenario lands near the paper's measured averages (6.9 W X-Gene 2 /
+ * 36.5 W X-Gene 3 baseline):
+ *
+ *   P = sum_cores  Cdyn_core * V^2 * f * act      (core switching)
+ *     + sum_pmds   Cdyn_pmd  * V^2 * f            (L2 + clock tree)
+ *     + Cdyn_unc * V^2 * f_unc                    (L3 + MC clocks)
+ *     + E_l3  * V^2/Vnom^2 * l3_rate              (L3 access energy)
+ *     + E_dram* V^2/Vnom^2 * dram_rate            (MC access energy)
+ *     + Ileak0 * V * exp(kL * (V - Vnom))         (leakage)
+ *
+ * Clock-gated PMDs contribute no dynamic power but still leak —
+ * exactly the asymmetry the clustered allocation exploits (fewer
+ * utilized PMDs -> less clock/L2 power and a lower safe Vmin).
+ */
+
+#ifndef ECOSCHED_POWER_POWER_MODEL_HH
+#define ECOSCHED_POWER_POWER_MODEL_HH
+
+#include <vector>
+
+#include "common/units.hh"
+#include "platform/chip.hh"
+
+namespace ecosched {
+
+/// Per-core activity inputs for one evaluation instant.
+struct CoreActivity
+{
+    /// Fraction of the interval the core was busy, in [0, 1].
+    double utilization = 0.0;
+    /**
+     * Workload switching-activity factor relative to a typical
+     * integer workload (1.0).  CPU-intensive FP code runs hotter
+     * (~1.1-1.3); stall-heavy memory-bound code lower (~0.6-0.8).
+     */
+    double switchingFactor = 1.0;
+};
+
+/// Chip-wide uncore activity inputs for one evaluation instant.
+struct UncoreActivity
+{
+    double l3AccessesPerSec = 0.0;   ///< L3 lookups per second
+    double dramAccessesPerSec = 0.0; ///< memory-controller accesses/s
+};
+
+/// Decomposed power result.
+struct PowerBreakdown
+{
+    Watt coreDynamic = 0.0;   ///< all cores' switching power
+    Watt pmdOverhead = 0.0;   ///< per-PMD L2/clock-tree power
+    Watt uncoreDynamic = 0.0; ///< L3/MC clocks + access energy
+    Watt leakage = 0.0;       ///< static power of the PCP domain
+
+    Watt total() const
+    {
+        return coreDynamic + pmdOverhead + uncoreDynamic + leakage;
+    }
+};
+
+/// Calibration constants of the power model.
+struct PowerParams
+{
+    double cdynCore;        ///< effective core capacitance [F]
+    double cdynPmd;         ///< per-PMD overhead capacitance [F]
+    double cdynUncore;      ///< uncore clock capacitance [F]
+    Hertz uncoreClock;      ///< fixed uncore clock frequency
+    double idleClockFactor; ///< idle-but-ungated core activity
+    Joule l3AccessEnergy;   ///< per-L3-access energy at Vnom
+    Joule dramAccessEnergy; ///< per-MC-access energy at Vnom
+    double leakageAmps;     ///< Ileak0: leakage current at Vnom [A]
+    double leakageExpPerVolt; ///< kL: leakage voltage sensitivity
+
+    /// Calibrated constants for a known chip (matched by name).
+    static PowerParams forChip(const ChipSpec &spec);
+
+    /// Sanity-check the constants. @throws FatalError when invalid.
+    void validate() const;
+};
+
+/**
+ * Evaluates the decomposition above against a Chip's current V/F
+ * state.  Stateless: integrate with EnergyMeter.
+ */
+class PowerModel
+{
+  public:
+    /// Build for a chip spec with explicit constants.
+    PowerModel(ChipSpec spec, PowerParams params);
+
+    /// Build with the calibrated per-chip default constants.
+    explicit PowerModel(const ChipSpec &spec)
+        : PowerModel(spec, PowerParams::forChip(spec))
+    {}
+
+    /// Calibration constants in use.
+    const PowerParams &params() const { return modelParams; }
+
+    /// Dynamic power of one core given its activity.
+    Watt corePower(const Chip &chip, CoreId core,
+                   const CoreActivity &activity) const;
+
+    /// Clock/L2 overhead power of one PMD (0 when gated).
+    Watt pmdOverheadPower(const Chip &chip, PmdId pmd) const;
+
+    /// Uncore power: fixed clocks plus access energy.
+    Watt uncorePower(const Chip &chip,
+                     const UncoreActivity &activity) const;
+
+    /// Static leakage power at the chip's current voltage.
+    Watt leakagePower(const Chip &chip) const;
+
+    /**
+     * Full decomposition.  @p core_activity must have one entry per
+     * core of the chip.
+     */
+    PowerBreakdown totalPower(const Chip &chip,
+                              const std::vector<CoreActivity>
+                                  &core_activity,
+                              const UncoreActivity &uncore) const;
+
+  private:
+    ChipSpec chipSpec;
+    PowerParams modelParams;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_POWER_POWER_MODEL_HH

@@ -1,0 +1,77 @@
+#include "power/thermal.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+ThermalParams
+ThermalParams::forChipName(const std::string &name)
+{
+    ThermalParams p;
+    if (name == "X-Gene 2") {
+        // Small package, modest heatsink: ~7 W typical -> ~56 C.
+        p.thermalResistance = 4.0;
+        p.timeConstant = 10.0;
+    } else if (name == "X-Gene 3") {
+        // Server heatsink: ~36 W typical -> ~55 C.
+        p.thermalResistance = 0.75;
+        p.timeConstant = 18.0;
+    }
+    p.validate();
+    return p;
+}
+
+void
+ThermalParams::validate() const
+{
+    fatalIf(thermalResistance <= 0.0,
+            "thermal resistance must be positive");
+    fatalIf(timeConstant <= 0.0,
+            "thermal time constant must be positive");
+    fatalIf(leakageTempExp < 0.0,
+            "leakage temperature exponent must be non-negative");
+    fatalIf(referenceCelsius < ambientCelsius,
+            "reference temperature below ambient");
+}
+
+ThermalModel::ThermalModel(ThermalParams params)
+    : thermalParams(params), tempCelsius(params.ambientCelsius)
+{
+    thermalParams.validate();
+}
+
+double
+ThermalModel::steadyState(Watt power) const
+{
+    fatalIf(power < 0.0, "negative power");
+    return thermalParams.ambientCelsius
+        + power * thermalParams.thermalResistance;
+}
+
+void
+ThermalModel::step(Seconds dt, Watt power)
+{
+    fatalIf(dt < 0.0, "negative time step");
+    const double target = steadyState(power);
+    // Exact first-order response over the step (stable for any dt).
+    const double alpha =
+        1.0 - std::exp(-dt / thermalParams.timeConstant);
+    tempCelsius += (target - tempCelsius) * alpha;
+}
+
+double
+ThermalModel::leakageMultiplier() const
+{
+    return std::exp(thermalParams.leakageTempExp
+                    * (tempCelsius - thermalParams.referenceCelsius));
+}
+
+void
+ThermalModel::reset()
+{
+    tempCelsius = thermalParams.ambientCelsius;
+}
+
+} // namespace ecosched

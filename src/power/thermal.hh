@@ -1,0 +1,83 @@
+/**
+ * @file
+ * First-order package thermal model.
+ *
+ * The paper notes that the safe Vmin depends on "manufacturing and
+ * environmental factors"; leakage power is strongly temperature-
+ * dependent on both process nodes.  This model closes that loop in
+ * the simulation: die temperature follows chip power through a
+ * first-order RC response, and the leakage term is scaled by an
+ * exponential temperature factor normalised to 1 at the calibration
+ * temperature (so the Tables III/IV calibration is preserved at
+ * typical load, while idle phases leak less and hot phases more).
+ */
+
+#ifndef ECOSCHED_POWER_THERMAL_HH
+#define ECOSCHED_POWER_THERMAL_HH
+
+#include <string>
+
+#include "common/units.hh"
+
+namespace ecosched {
+
+/// Thermal constants of one package + heatsink.
+struct ThermalParams
+{
+    double ambientCelsius = 28.0;
+
+    /// Junction-to-ambient thermal resistance [°C / W].
+    double thermalResistance = 1.0;
+
+    /// First-order response time constant [s].
+    Seconds timeConstant = 12.0;
+
+    /// Temperature at which the leakage multiplier equals 1
+    /// (the power model's calibration point).
+    double referenceCelsius = 55.0;
+
+    /// Exponential leakage sensitivity [1/°C] (~2x per 50 °C).
+    double leakageTempExp = 0.014;
+
+    /// Calibrated constants for a known chip (matched by name).
+    static ThermalParams forChipName(const std::string &name);
+
+    /// Sanity-check. @throws FatalError when invalid.
+    void validate() const;
+};
+
+/**
+ * Die-temperature state:  dT/dt = (Tamb + P*Rth - T) / tau.
+ */
+class ThermalModel
+{
+  public:
+    explicit ThermalModel(ThermalParams params);
+
+    /// Constants in use.
+    const ThermalParams &params() const { return thermalParams; }
+
+    /// Current die temperature [°C].
+    double temperature() const { return tempCelsius; }
+
+    /// Steady-state temperature at constant power [°C].
+    double steadyState(Watt power) const;
+
+    /// Advance by @p dt under dissipated power @p power.
+    void step(Seconds dt, Watt power);
+
+    /// Leakage scale factor exp(k * (T - Tref)) at the current
+    /// temperature (1 at the reference temperature).
+    double leakageMultiplier() const;
+
+    /// Return to the ambient-temperature initial state.
+    void reset();
+
+  private:
+    ThermalParams thermalParams;
+    double tempCelsius;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_POWER_THERMAL_HH

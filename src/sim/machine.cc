@@ -1,0 +1,435 @@
+#include "sim/machine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+namespace {
+
+/// Droop histogram spanning the chip's magnitude classes.
+Histogram
+makeDroopHistogram(const ChipSpec &spec)
+{
+    const double lo = spec.droopClasses.front().binLoMv;
+    const double hi = spec.droopClasses.back().binHiMv;
+    return Histogram(lo, hi, spec.droopClasses.size());
+}
+
+} // namespace
+
+Machine::Machine(const ChipSpec &spec, MachineConfig config)
+    : chipState(spec),
+      controlPlane(chipState),
+      power(spec),
+      memory(MemoryParams::forChipName(spec.name)),
+      vmin(spec, VminParams::forChip(spec), config.seed),
+      droop(spec),
+      failures(),
+      thermal(ThermalParams::forChipName(spec.name)),
+      cfg(config),
+      rng(config.seed * 0x2545f4914f6cdd1dull + 7),
+      coreOwner(spec.numCores, invalidSimThread),
+      droopHist(makeDroopHistogram(spec))
+{
+    fatalIf(cfg.faultReferenceRuntime <= 0.0,
+            "faultReferenceRuntime must be positive");
+    fatalIf(cfg.migrationCost < 0.0,
+            "migrationCost must be non-negative");
+}
+
+SimThreadId
+Machine::startThread(const WorkProfile &profile, Instructions work,
+                     CoreId core, double vmin_sensitivity)
+{
+    return startThreadPhased({{profile, work}}, core,
+                             vmin_sensitivity);
+}
+
+SimThreadId
+Machine::startThreadPhased(const std::vector<WorkPhase> &phases,
+                           CoreId core, double vmin_sensitivity)
+{
+    fatalIf(phases.empty(), "thread needs at least one phase");
+    fatalIf(core >= spec().numCores,
+            "core ", core, " out of range on ", spec().name);
+    fatalIf(coreOwner[core] != invalidSimThread,
+            "core ", core, " already occupied by thread ",
+            coreOwner[core]);
+    fatalIf(vmin_sensitivity < 0.0 || vmin_sensitivity > 1.0,
+            "vmin sensitivity must be in [0, 1]");
+
+    SimThread t;
+    t.id = nextThreadId++;
+    t.totalWork = 0;
+    for (const WorkPhase &ph : phases) {
+        ph.profile.validate();
+        fatalIf(ph.instructions == 0,
+                "every phase needs a positive amount of work");
+        t.totalWork += ph.instructions;
+    }
+    t.remaining = t.totalWork;
+    t.profile = phases.front().profile;
+    t.phaseRemaining = phases.front().instructions;
+    t.pendingPhases.assign(phases.begin() + 1, phases.end());
+    t.core = core;
+    t.vminSensitivity = vmin_sensitivity;
+    coreOwner[core] = t.id;
+    threads.emplace(t.id, t);
+    return t.id;
+}
+
+void
+Machine::stopThread(SimThreadId tid)
+{
+    auto it = threads.find(tid);
+    fatalIf(it == threads.end(), "unknown thread ", tid);
+    if (!it->second.finished)
+        coreOwner[it->second.core] = invalidSimThread;
+    std::erase(finishedQueue, tid);
+    threads.erase(it);
+}
+
+void
+Machine::migrateThread(SimThreadId tid, CoreId core)
+{
+    SimThread &t = threadRef(tid);
+    fatalIf(t.finished, "cannot migrate finished thread ", tid);
+    fatalIf(core >= spec().numCores,
+            "core ", core, " out of range on ", spec().name);
+    if (t.core == core)
+        return;
+    fatalIf(coreOwner[core] != invalidSimThread,
+            "migration target core ", core, " occupied by thread ",
+            coreOwner[core]);
+    coreOwner[t.core] = invalidSimThread;
+    coreOwner[core] = tid;
+    t.core = core;
+    ++t.migrations;
+    t.stallUntil = std::max(t.stallUntil, simTime + cfg.migrationCost);
+}
+
+void
+Machine::swapThreads(SimThreadId a, SimThreadId b)
+{
+    fatalIf(a == b, "cannot swap a thread with itself");
+    SimThread &ta = threadRef(a);
+    SimThread &tb = threadRef(b);
+    fatalIf(ta.finished || tb.finished,
+            "cannot swap finished threads");
+    std::swap(coreOwner[ta.core], coreOwner[tb.core]);
+    std::swap(ta.core, tb.core);
+    for (SimThread *t : {&ta, &tb}) {
+        ++t->migrations;
+        t->stallUntil =
+            std::max(t->stallUntil, simTime + cfg.migrationCost);
+    }
+}
+
+const SimThread &
+Machine::thread(SimThreadId tid) const
+{
+    auto it = threads.find(tid);
+    fatalIf(it == threads.end(), "unknown thread ", tid);
+    return it->second;
+}
+
+SimThread &
+Machine::threadRef(SimThreadId tid)
+{
+    auto it = threads.find(tid);
+    fatalIf(it == threads.end(), "unknown thread ", tid);
+    return it->second;
+}
+
+SimThreadId
+Machine::threadOnCore(CoreId core) const
+{
+    fatalIf(core >= spec().numCores,
+            "core ", core, " out of range on ", spec().name);
+    return coreOwner[core];
+}
+
+bool
+Machine::coreBusy(CoreId core) const
+{
+    return threadOnCore(core) != invalidSimThread;
+}
+
+std::vector<SimThreadId>
+Machine::runningThreads() const
+{
+    std::vector<SimThreadId> ids;
+    for (const auto &[id, t] : threads)
+        if (!t.finished)
+            ids.push_back(id);
+    return ids;
+}
+
+std::vector<CoreId>
+Machine::busyCores() const
+{
+    std::vector<CoreId> cores;
+    for (CoreId c = 0; c < spec().numCores; ++c)
+        if (coreOwner[c] != invalidSimThread)
+            cores.push_back(c);
+    return cores;
+}
+
+std::uint32_t
+Machine::utilizedPmds() const
+{
+    return countUtilizedPmds(busyCores());
+}
+
+std::vector<SimThread>
+Machine::collectFinished()
+{
+    std::vector<SimThread> done;
+    done.reserve(finishedQueue.size());
+    for (SimThreadId tid : finishedQueue) {
+        auto it = threads.find(tid);
+        ECOSCHED_ASSERT(it != threads.end(),
+                        "finished queue references unknown thread");
+        done.push_back(it->second);
+        threads.erase(it);
+    }
+    finishedQueue.clear();
+    return done;
+}
+
+void
+Machine::applyAutoClockGating()
+{
+    if (!cfg.autoClockGateIdlePmds)
+        return;
+    for (PmdId p = 0; p < spec().numPmds(); ++p) {
+        const bool busy = coreBusy(firstCoreOfPmd(p))
+            || coreBusy(secondCoreOfPmd(p));
+        controlPlane.requestClockGate(simTime, p, !busy);
+    }
+}
+
+void
+Machine::step(Seconds dt)
+{
+    fatalIf(dt <= 0.0, "step needs a positive dt");
+    if (isHalted) {
+        // The node is down: time passes, nothing executes and the
+        // PCP domain draws no power.
+        simTime += dt;
+        lastStepPower = PowerBreakdown{};
+        lastStepContention = 1.0;
+        lastStepUtilization = 0.0;
+        return;
+    }
+
+    applyAutoClockGating();
+
+    // --- gather running threads and solve memory contention ---------
+    struct Running
+    {
+        SimThread *t;
+        double apkiScale;
+        Hertz freq;
+    };
+    std::vector<Running> running;
+    std::vector<MemoryDemand> demands;
+    for (CoreId c = 0; c < spec().numCores; ++c) {
+        const SimThreadId tid = coreOwner[c];
+        if (tid == invalidSimThread)
+            continue;
+        SimThread &t = threadRef(tid);
+        if (t.stallUntil > simTime + dt * 0.5)
+            continue; // migration warm-up: no progress this step
+        const Hertz f = chipState.coreFrequency(c);
+        ECOSCHED_ASSERT(f > 0.0, "busy core on a gated PMD");
+        const CoreId sibling = (c % coresPerPmd == 0)
+            ? c + 1 : c - 1;
+        const bool partner_busy = sibling < spec().numCores
+            && coreOwner[sibling] != invalidSimThread;
+        const double scale =
+            partner_busy ? t.profile.l2SharingPenalty : 1.0;
+        running.push_back({&t, scale, f});
+        demands.push_back({&t.profile, f, scale});
+    }
+    const double contention = memory.solveContention(demands);
+
+    // --- execute -----------------------------------------------------
+    std::vector<CoreActivity> activity(spec().numCores);
+    double l3_rate = 0.0;
+    double dram_rate = 0.0;
+    double util_sum = 0.0;
+
+    for (auto &r : running) {
+        SimThread &t = *r.t;
+        const Seconds t_instr = memory.timePerInstruction(
+            t.profile, r.freq, contention, r.apkiScale);
+        const double rate = 1.0 / t_instr;
+        const double target = rate * dt;
+        // A step never crosses a phase boundary: the remainder of
+        // the step idles and the next step runs the new profile.
+        const double retired_d = std::min(
+            {static_cast<double>(t.remaining),
+             static_cast<double>(t.phaseRemaining), target});
+        const auto retired =
+            static_cast<Instructions>(std::llround(retired_d));
+        const Seconds busy = retired_d * t_instr;
+        const double util = std::clamp(busy / dt, 0.0, 1.0);
+
+        t.counters.instructions += retired;
+        t.counters.cycles += static_cast<Cycles>(
+            std::llround(busy * r.freq));
+        t.counters.l3Accesses += static_cast<std::uint64_t>(
+            std::llround(retired_d * t.profile.l3Apki * r.apkiScale
+                         * 1e-3));
+        t.counters.dramAccesses += static_cast<std::uint64_t>(
+            std::llround(retired_d * t.profile.dramApki * r.apkiScale
+                         * 1e-3));
+        t.counters.busyTime += busy;
+
+        l3_rate += retired_d * t.profile.l3Apki * r.apkiScale * 1e-3
+            / dt;
+        dram_rate += retired_d * t.profile.dramApki * r.apkiScale
+            * 1e-3 / dt;
+
+        activity[t.core].utilization = util;
+        activity[t.core].switchingFactor = t.profile.switchingFactor;
+        util_sum += util;
+
+        t.remaining = (retired >= t.remaining)
+            ? 0 : t.remaining - retired;
+        t.phaseRemaining = (retired >= t.phaseRemaining)
+            ? 0 : t.phaseRemaining - retired;
+        if (t.phaseRemaining == 0 && !t.pendingPhases.empty()) {
+            t.profile = t.pendingPhases.front().profile;
+            t.phaseRemaining = t.pendingPhases.front().instructions;
+            t.pendingPhases.erase(t.pendingPhases.begin());
+        }
+        if (t.remaining == 0 && !t.finished) {
+            t.finished = true;
+            coreOwner[t.core] = invalidSimThread;
+            finishedQueue.push_back(t.id);
+        }
+    }
+
+    lastStepContention = contention;
+    lastStepUtilization =
+        running.empty() ? 0.0 : util_sum / running.size();
+
+    // --- power integration --------------------------------------------
+    lastStepPower = power.totalPower(chipState, activity,
+                                     {l3_rate, dram_rate});
+    if (cfg.enableThermal) {
+        // Leakage responds to the die temperature reached so far;
+        // the thermal state then advances under this step's power.
+        lastStepPower.leakage *= thermal.leakageMultiplier();
+        thermal.step(dt, lastStepPower.total());
+    }
+    meter.add(dt, lastStepPower);
+
+    // --- droop sampling -------------------------------------------------
+    if (cfg.sampleDroops && !running.empty()) {
+        Hertz fmax_busy = 0.0;
+        for (const auto &r : running)
+            fmax_busy = std::max(fmax_busy, r.freq);
+        const auto cycles = static_cast<Cycles>(
+            std::llround(dt * fmax_busy));
+        droop.sampleEvents(rng, cycles, utilizedPmds(),
+                           cfg.droopRateBias, lastStepUtilization,
+                           droopHist);
+        droopRefCycles += cycles;
+    }
+
+    // --- undervolting fault injection -------------------------------
+    if (cfg.injectFaults)
+        injectFaultsForStep(dt);
+
+    simTime += dt;
+}
+
+void
+Machine::injectFaultsForStep(Seconds dt)
+{
+    const Volt true_vmin = currentTrueVmin();
+    if (true_vmin <= 0.0)
+        return; // idle machine
+    const Volt v = chipState.voltage();
+    if (v < true_vmin) {
+        unsafeTime += dt;
+        maxDeficit = std::max(maxDeficit, true_vmin - v);
+    }
+    const double p_run = failures.pfail(v, true_vmin);
+    if (p_run <= 0.0)
+        return;
+    // Convert per-run pfail into a hazard over this step.
+    const double hazard = -std::log(std::max(1e-12, 1.0 - p_run))
+        / cfg.faultReferenceRuntime;
+    const double p_step = 1.0 - std::exp(-hazard * dt);
+    if (!rng.bernoulli(p_step))
+        return;
+
+    const RunOutcome type =
+        failures.sampleFailureType(rng, v, true_vmin);
+    if (type == RunOutcome::SystemCrash) {
+        isHalted = true;
+        for (auto &[id, t] : threads) {
+            if (t.finished)
+                continue;
+            t.finished = true;
+            t.outcome = RunOutcome::SystemCrash;
+            coreOwner[t.core] = invalidSimThread;
+            finishedQueue.push_back(id);
+        }
+        return;
+    }
+
+    // Strike one running thread uniformly at random.
+    const auto ids = runningThreads();
+    if (ids.empty())
+        return;
+    const SimThreadId victim = ids[rng.uniformInt(0, ids.size() - 1)];
+    SimThread &t = threadRef(victim);
+    if (type == RunOutcome::Sdc) {
+        // Silent corruption: the run continues to completion but its
+        // output is wrong.
+        t.outcome = RunOutcome::Sdc;
+        return;
+    }
+    t.finished = true;
+    t.outcome = type;
+    coreOwner[t.core] = invalidSimThread;
+    finishedQueue.push_back(victim);
+}
+
+void
+Machine::runUntil(Seconds t, Seconds dt)
+{
+    fatalIf(dt <= 0.0, "runUntil needs a positive dt");
+    while (simTime + dt * 0.5 < t)
+        step(dt);
+}
+
+Volt
+Machine::currentTrueVmin() const
+{
+    const auto cores = busyCores();
+    if (cores.empty())
+        return 0.0;
+    Hertz fmax_busy = 0.0;
+    double sens = 0.0;
+    for (CoreId c : cores) {
+        fmax_busy = std::max(fmax_busy, chipState.coreFrequency(c));
+        const auto it = threads.find(coreOwner[c]);
+        ECOSCHED_ASSERT(it != threads.end(),
+                        "core owner references unknown thread");
+        sens = std::max(sens, it->second.vminSensitivity);
+    }
+    if (fmax_busy <= 0.0)
+        return 0.0;
+    return vmin.trueVmin(spec().snapToLadder(fmax_busy), cores, sens);
+}
+
+} // namespace ecosched

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * The Machine: a full simulated micro-server node.
+ *
+ * Owns the chip state, control plane (SlimPro), power/energy
+ * accounting, memory system, voltage-margin and droop models, and
+ * executes bound software threads in fixed time steps.  The OS layer
+ * (src/os) places threads on cores and drives governors; the daemon
+ * (src/core) sits on top of the OS layer.
+ */
+
+#ifndef ECOSCHED_SIM_MACHINE_HH
+#define ECOSCHED_SIM_MACHINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/histogram.hh"
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "platform/chip.hh"
+#include "platform/slimpro.hh"
+#include "power/energy_meter.hh"
+#include "power/power_model.hh"
+#include "power/thermal.hh"
+#include "sim/memory_system.hh"
+#include "sim/perf_counters.hh"
+#include "sim/work_profile.hh"
+#include "vmin/droop_model.hh"
+#include "vmin/failure_model.hh"
+#include "vmin/vmin_model.hh"
+
+namespace ecosched {
+
+/// Identifier of a software thread bound to the machine (1-based).
+using SimThreadId = std::uint64_t;
+
+/// Sentinel: no thread.
+inline constexpr SimThreadId invalidSimThread = 0;
+
+/// One execution phase of a thread: a profile and its share of work.
+struct WorkPhase
+{
+    WorkProfile profile;
+    Instructions instructions = 0;
+};
+
+/// Full state of one bound thread.
+struct SimThread
+{
+    SimThreadId id = invalidSimThread;
+    WorkProfile profile;          ///< current-phase characteristics
+    Instructions totalWork = 0;   ///< instructions to retire
+    Instructions remaining = 0;   ///< instructions left
+    /// Remaining phases after the current one (front = next).
+    /// Programs whose behaviour shifts between CPU- and memory-
+    /// intensive regions (§VI.A case b) carry several phases.
+    std::vector<WorkPhase> pendingPhases;
+    Instructions phaseRemaining = 0; ///< left in the current phase
+    CoreId core = 0;              ///< current core binding
+    double vminSensitivity = 1.0; ///< workload Vmin sensitivity
+    ThreadCounters counters;      ///< cumulative PMU counts
+    bool finished = false;        ///< retired all work or failed
+    RunOutcome outcome = RunOutcome::Ok; ///< how it ended
+    std::uint64_t migrations = 0; ///< times migrated between cores
+    Seconds stallUntil = 0.0;     ///< no progress before this time
+};
+
+/// Machine construction options.
+struct MachineConfig
+{
+    /// Gate PMD clocks automatically when no thread runs on them.
+    bool autoClockGateIdlePmds = true;
+
+    /// Maintain the droop-magnitude histogram while stepping.
+    bool sampleDroops = false;
+
+    /**
+     * Inject undervolting failures while stepping: when the supply
+     * sits below the running configuration's true Vmin, failure
+     * events strike threads (SDC/crash/hang) or the whole machine
+     * (system crash).  Off by default — characterization uses the
+     * VminCharacterizer instead.
+     */
+    bool injectFaults = false;
+
+    /// Reference single-run duration used to convert per-run pfail
+    /// into a failure hazard rate for fault injection.
+    Seconds faultReferenceRuntime = 10.0;
+
+    /// Droop-rate workload bias applied while sampling (Figure 6).
+    double droopRateBias = 1.0;
+
+    /// Cache-warmup stall a thread pays after each migration.
+    Seconds migrationCost = units::us(200);
+
+    /// Model die temperature and its effect on leakage power.
+    bool enableThermal = true;
+
+    /// Seed for all machine-internal randomness.
+    std::uint64_t seed = 1;
+};
+
+/**
+ * A simulated node.  Step-based: call step(dt) (or run()) to advance
+ * virtual time; all bound threads execute concurrently under the
+ * shared memory system and the current V/F state.
+ */
+class Machine
+{
+  public:
+    /// Build a machine with calibrated models for the given chip.
+    explicit Machine(const ChipSpec &spec,
+                     MachineConfig config = MachineConfig{});
+
+    // --- component access -------------------------------------------------
+    const ChipSpec &spec() const { return chipState.spec(); }
+    Chip &chip() { return chipState; }
+    const Chip &chip() const { return chipState; }
+    SlimPro &slimPro() { return controlPlane; }
+    const SlimPro &slimPro() const { return controlPlane; }
+    const PowerModel &powerModel() const { return power; }
+    const MemorySystem &memorySystem() const { return memory; }
+    const VminModel &vminModel() const { return vmin; }
+    const DroopModel &droopModel() const { return droop; }
+    const FailureModel &failureModel() const { return failures; }
+    const ThermalModel &thermalModel() const { return thermal; }
+    EnergyMeter &energyMeter() { return meter; }
+    const EnergyMeter &energyMeter() const { return meter; }
+
+    // --- thread management -------------------------------------------------
+    /**
+     * Bind a new thread to an idle core.
+     * @throws FatalError when the core is occupied or out of range.
+     */
+    SimThreadId startThread(const WorkProfile &profile,
+                            Instructions work, CoreId core,
+                            double vmin_sensitivity = 1.0);
+
+    /**
+     * Bind a thread executing several phases in order (programs
+     * that alternate CPU- and memory-intensive regions).
+     * @throws FatalError when phases are empty or any has no work.
+     */
+    SimThreadId startThreadPhased(const std::vector<WorkPhase>
+                                      &phases,
+                                  CoreId core,
+                                  double vmin_sensitivity = 1.0);
+
+    /// Remove a thread (finished or not).
+    void stopThread(SimThreadId tid);
+
+    /// Move a thread to another (idle) core.
+    void migrateThread(SimThreadId tid, CoreId core);
+
+    /// Exchange the cores of two running threads atomically (both
+    /// pay the migration warm-up).  Used to break placement cycles
+    /// on a fully occupied chip.
+    void swapThreads(SimThreadId a, SimThreadId b);
+
+    /// Thread record. @throws FatalError for unknown ids.
+    const SimThread &thread(SimThreadId tid) const;
+
+    /// Thread occupying a core, or invalidSimThread.
+    SimThreadId threadOnCore(CoreId core) const;
+
+    /// Whether a core currently executes an unfinished thread.
+    bool coreBusy(CoreId core) const;
+
+    /// Ids of all bound, unfinished threads.
+    std::vector<SimThreadId> runningThreads() const;
+
+    /// Cores of all bound, unfinished threads.
+    std::vector<CoreId> busyCores() const;
+
+    /// PMDs hosting at least one busy core.
+    std::uint32_t utilizedPmds() const;
+
+    /**
+     * Remove and return all finished threads (completed or failed),
+     * preserving their final counters and outcome.
+     */
+    std::vector<SimThread> collectFinished();
+
+    // --- execution -----------------------------------------------------
+    /// Advance virtual time by @p dt (> 0).
+    void step(Seconds dt);
+
+    /// Step repeatedly (granularity @p dt) until virtual time @p t.
+    void runUntil(Seconds t, Seconds dt);
+
+    /// Current virtual time.
+    Seconds now() const { return simTime; }
+
+    /// Whether a system crash halted the machine (fault injection).
+    bool halted() const { return isHalted; }
+
+    // --- telemetry -----------------------------------------------------
+    /// Instantaneous power of the last completed step.
+    const PowerBreakdown &lastPower() const { return lastStepPower; }
+
+    /// DRAM contention factor of the last completed step.
+    double lastContention() const { return lastStepContention; }
+
+    /// Mean busy-core utilization over the last completed step.
+    double lastUtilization() const { return lastStepUtilization; }
+
+    /// Current die temperature [°C] (ambient when thermal modelling
+    /// is disabled).
+    double temperature() const { return thermal.temperature(); }
+
+    /// Cumulative droop-magnitude histogram [mV] (when sampling).
+    const Histogram &droopHistogram() const { return droopHist; }
+
+    /// Cumulative cycles accrued at the highest active frequency
+    /// (normalization basis for droop rates per million cycles).
+    Cycles droopReferenceCycles() const { return droopRefCycles; }
+
+    /// Total time executed with the supply below the running
+    /// configuration's true Vmin (tracked when injecting faults).
+    Seconds unsafeExposure() const { return unsafeTime; }
+
+    /// Deepest observed supply deficit below the true Vmin.
+    Volt maxUnsafeDeficit() const { return maxDeficit; }
+
+    /**
+     * True Vmin of the configuration currently executing (highest
+     * active frequency, busy cores, most sensitive thread).  Returns
+     * 0 when idle.
+     */
+    Volt currentTrueVmin() const;
+
+  private:
+    SimThread &threadRef(SimThreadId tid);
+    void applyAutoClockGating();
+    void injectFaultsForStep(Seconds dt);
+
+    Chip chipState;
+    SlimPro controlPlane;
+    PowerModel power;
+    MemorySystem memory;
+    VminModel vmin;
+    DroopModel droop;
+    FailureModel failures;
+    ThermalModel thermal;
+    EnergyMeter meter;
+    MachineConfig cfg;
+    Rng rng;
+
+    Seconds simTime = 0.0;
+    bool isHalted = false;
+    SimThreadId nextThreadId = 1;
+    std::map<SimThreadId, SimThread> threads;
+    std::vector<SimThreadId> coreOwner; ///< per core, 0 when idle
+    std::vector<SimThreadId> finishedQueue;
+
+    PowerBreakdown lastStepPower;
+    double lastStepContention = 1.0;
+    double lastStepUtilization = 0.0;
+    Histogram droopHist;
+    Cycles droopRefCycles = 0;
+    Seconds unsafeTime = 0.0;
+    Volt maxDeficit = 0.0;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_SIM_MACHINE_HH

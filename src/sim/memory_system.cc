@@ -1,0 +1,122 @@
+#include "sim/memory_system.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+MemoryParams
+MemoryParams::forChipName(const std::string &name)
+{
+    MemoryParams p;
+    if (name == "X-Gene 2") {
+        p.l3Latency = units::ns(32);
+        p.dramLatency = units::ns(130);
+        p.peakDramBandwidth = units::GiBps(10);
+    } else if (name == "X-Gene 3") {
+        p.l3Latency = units::ns(30);
+        p.dramLatency = units::ns(120);
+        p.peakDramBandwidth = units::GiBps(20);
+    }
+    p.validate();
+    return p;
+}
+
+void
+MemoryParams::validate() const
+{
+    fatalIf(l3Latency <= 0.0, "l3Latency must be positive");
+    fatalIf(dramLatency <= 0.0, "dramLatency must be positive");
+    fatalIf(peakDramBandwidth <= 0.0,
+            "peakDramBandwidth must be positive");
+    fatalIf(bytesPerAccess <= 0.0, "bytesPerAccess must be positive");
+}
+
+MemorySystem::MemorySystem(MemoryParams params)
+    : memParams(params)
+{
+    memParams.validate();
+}
+
+Seconds
+MemorySystem::timePerInstruction(const WorkProfile &profile, Hertz f,
+                                 double contention,
+                                 double apki_scale) const
+{
+    ECOSCHED_ASSERT(f > 0.0, "timePerInstruction on a gated core");
+    ECOSCHED_ASSERT(contention >= 1.0, "contention factor below 1");
+    const double l3 = profile.l3Apki * apki_scale * 1e-3;
+    const double dram = profile.dramApki * apki_scale * 1e-3;
+    const Seconds core = profile.cpiBase / f;
+    const Seconds memory =
+        (l3 * memParams.l3Latency
+         + dram * memParams.dramLatency * contention)
+        / profile.mlp;
+    return core + memory;
+}
+
+double
+MemorySystem::l3PerMCycles(const WorkProfile &profile, Hertz f,
+                           double contention,
+                           double apki_scale) const
+{
+    const Seconds t_instr =
+        timePerInstruction(profile, f, contention, apki_scale);
+    const double cycles_per_instr = t_instr * f;
+    return profile.l3Apki * apki_scale * 1e-3 / cycles_per_instr
+        * 1e6;
+}
+
+BytesPerSecond
+MemorySystem::aggregateBandwidth(
+    const std::vector<MemoryDemand> &demands, double contention) const
+{
+    BytesPerSecond total = 0.0;
+    for (const auto &d : demands) {
+        ECOSCHED_ASSERT(d.profile != nullptr,
+                        "MemoryDemand without a profile");
+        if (d.coreFrequency <= 0.0)
+            continue;
+        const Seconds t = timePerInstruction(
+            *d.profile, d.coreFrequency, contention, d.apkiScale);
+        const double instr_rate = 1.0 / t;
+        total += d.profile->dramApki * d.apkiScale * 1e-3 * instr_rate
+            * memParams.bytesPerAccess;
+    }
+    return total;
+}
+
+double
+MemorySystem::solveContention(
+    const std::vector<MemoryDemand> &demands) const
+{
+    if (demands.empty())
+        return 1.0;
+    if (aggregateBandwidth(demands, 1.0)
+            <= memParams.peakDramBandwidth) {
+        return 1.0;
+    }
+
+    // Demand is strictly decreasing in s; bracket then bisect.
+    double lo = 1.0;
+    double hi = 2.0;
+    while (aggregateBandwidth(demands, hi)
+               > memParams.peakDramBandwidth && hi < 1e6) {
+        lo = hi;
+        hi *= 2.0;
+    }
+    for (int iter = 0; iter < 40; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (aggregateBandwidth(demands, mid)
+                > memParams.peakDramBandwidth) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return hi;
+}
+
+} // namespace ecosched

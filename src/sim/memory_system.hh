@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared memory-system model: L3 and DRAM latencies plus DRAM
+ * bandwidth contention.
+ *
+ * Contention is solved self-consistently each step: every running
+ * thread's DRAM stall time is inflated by a common factor s >= 1
+ * chosen so the aggregate bandwidth demand does not exceed the
+ * chip's peak.  This produces the paper's Figure 8 behaviour: N
+ * copies of a memory-intensive program slow each other down, while
+ * CPU-intensive copies are unaffected.
+ */
+
+#ifndef ECOSCHED_SIM_MEMORY_SYSTEM_HH
+#define ECOSCHED_SIM_MEMORY_SYSTEM_HH
+
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "sim/work_profile.hh"
+
+namespace ecosched {
+
+/// Memory-hierarchy timing/bandwidth constants.
+struct MemoryParams
+{
+    Seconds l3Latency = units::ns(30);
+    Seconds dramLatency = units::ns(120);
+    BytesPerSecond peakDramBandwidth = units::GiBps(20);
+    double bytesPerAccess = 64.0;
+
+    /// Calibrated constants for a known chip (matched by name).
+    static MemoryParams forChipName(const std::string &name);
+
+    /// Sanity-check. @throws FatalError when invalid.
+    void validate() const;
+};
+
+/// One running thread's inputs to the contention solve.
+struct MemoryDemand
+{
+    const WorkProfile *profile = nullptr; ///< thread characteristics
+    Hertz coreFrequency = 0.0;            ///< its core clock
+    double apkiScale = 1.0; ///< L2-sharing inflation (>= 1)
+};
+
+/**
+ * Stateless solver for the shared-memory model.
+ */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(MemoryParams params = MemoryParams{});
+
+    const MemoryParams &params() const { return memParams; }
+
+    /**
+     * Seconds one instruction of @p profile takes on a core at
+     * frequency @p f, with DRAM stalls inflated by contention
+     * factor @p s and cache traffic inflated by @p apki_scale.
+     */
+    Seconds timePerInstruction(const WorkProfile &profile, Hertz f,
+                               double contention,
+                               double apki_scale = 1.0) const;
+
+    /**
+     * Solve the common DRAM contention factor s >= 1 for a set of
+     * concurrently running threads (bisection on the aggregate
+     * bandwidth demand).  Returns 1 when demand fits in the peak.
+     */
+    double solveContention(const std::vector<MemoryDemand> &demands)
+        const;
+
+    /**
+     * Analytic L3C accesses per million cycles a profile exhibits on
+     * a core at frequency @p f — the classification metric of the
+     * paper's Figure 9 (threshold: 3000).
+     */
+    double l3PerMCycles(const WorkProfile &profile, Hertz f,
+                        double contention = 1.0,
+                        double apki_scale = 1.0) const;
+
+    /**
+     * Aggregate DRAM bandwidth demand [B/s] at a given contention
+     * factor.
+     */
+    BytesPerSecond aggregateBandwidth(
+        const std::vector<MemoryDemand> &demands,
+        double contention) const;
+
+  private:
+    MemoryParams memParams;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_SIM_MEMORY_SYSTEM_HH

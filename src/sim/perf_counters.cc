@@ -1,0 +1,52 @@
+#include "sim/perf_counters.hh"
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+ThreadCounters
+ThreadCounters::since(const ThreadCounters &earlier) const
+{
+    ECOSCHED_ASSERT(cycles >= earlier.cycles &&
+                        instructions >= earlier.instructions &&
+                        l3Accesses >= earlier.l3Accesses &&
+                        dramAccesses >= earlier.dramAccesses,
+                    "counter snapshot is newer than current counters");
+    ThreadCounters d;
+    d.cycles = cycles - earlier.cycles;
+    d.instructions = instructions - earlier.instructions;
+    d.l3Accesses = l3Accesses - earlier.l3Accesses;
+    d.dramAccesses = dramAccesses - earlier.dramAccesses;
+    d.busyTime = busyTime - earlier.busyTime;
+    return d;
+}
+
+void
+ThreadCounters::accumulate(const ThreadCounters &other)
+{
+    cycles += other.cycles;
+    instructions += other.instructions;
+    l3Accesses += other.l3Accesses;
+    dramAccesses += other.dramAccesses;
+    busyTime += other.busyTime;
+}
+
+double
+ThreadCounters::l3AccessesPerMCycles() const
+{
+    if (cycles == 0)
+        return 0.0;
+    return static_cast<double>(l3Accesses)
+        / static_cast<double>(cycles) * 1e6;
+}
+
+double
+ThreadCounters::ipc() const
+{
+    if (cycles == 0)
+        return 0.0;
+    return static_cast<double>(instructions)
+        / static_cast<double>(cycles);
+}
+
+} // namespace ecosched

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * PMU-style performance counters.
+ *
+ * The paper's daemon reads one PMU register (L2-miss / L3C-access
+ * count) twice, 1M cycles apart, through a custom kernel module
+ * (§VI.A).  The simulator maintains the equivalent counts per thread
+ * and per core; readers in src/os model the access cost of the
+ * kernel-module vs Perf-style paths.
+ */
+
+#ifndef ECOSCHED_SIM_PERF_COUNTERS_HH
+#define ECOSCHED_SIM_PERF_COUNTERS_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace ecosched {
+
+/// Cumulative counters attributed to one software thread.
+struct ThreadCounters
+{
+    Cycles cycles = 0;              ///< core cycles while running
+    Instructions instructions = 0;  ///< instructions retired
+    std::uint64_t l3Accesses = 0;   ///< L3 lookups (L2 misses)
+    std::uint64_t dramAccesses = 0; ///< L3 misses
+    Seconds busyTime = 0.0;         ///< wall time spent executing
+
+    /// Counter difference (this - earlier snapshot).
+    ThreadCounters since(const ThreadCounters &earlier) const;
+
+    /// Fold another counter set into this one (aggregation).
+    void accumulate(const ThreadCounters &other);
+
+    /**
+     * L3C accesses per million cycles over this (delta) window —
+     * the paper's classification metric (threshold: 3000, Fig. 9).
+     * Returns 0 when no cycles elapsed.
+     */
+    double l3AccessesPerMCycles() const;
+
+    /// Instructions per cycle over this (delta) window.
+    double ipc() const;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_SIM_PERF_COUNTERS_HH

@@ -1,0 +1,21 @@
+#include "sim/work_profile.hh"
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+void
+WorkProfile::validate() const
+{
+    fatalIf(cpiBase <= 0.0, "cpiBase must be positive");
+    fatalIf(l3Apki < 0.0, "l3Apki must be non-negative");
+    fatalIf(dramApki < 0.0, "dramApki must be non-negative");
+    fatalIf(dramApki > l3Apki + 1e-9,
+            "dramApki cannot exceed l3Apki (every DRAM access is an "
+            "L3 miss)");
+    fatalIf(mlp < 1.0, "mlp must be >= 1");
+    fatalIf(switchingFactor <= 0.0, "switchingFactor must be positive");
+    fatalIf(l2SharingPenalty < 1.0, "l2SharingPenalty must be >= 1");
+}
+
+} // namespace ecosched

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Execution characteristics of a piece of work, as the simulator
+ * sees them.
+ *
+ * The performance model is a classic stall decomposition: the time a
+ * thread needs per instruction on a core clocked at f is
+ *
+ *   t_instr = cpiBase / f
+ *           + (l3Apki/1000 * t_L3 + dramApki/1000 * t_DRAM * s) / mlp
+ *
+ * where s >= 1 is the DRAM-bandwidth contention factor solved by the
+ * MemorySystem and mlp captures miss-level parallelism.  Core
+ * frequency only divides the first term — which is exactly why
+ * memory-intensive programs tolerate frequency reduction (§IV.B) and
+ * what the paper's daemon exploits.
+ */
+
+#ifndef ECOSCHED_SIM_WORK_PROFILE_HH
+#define ECOSCHED_SIM_WORK_PROFILE_HH
+
+namespace ecosched {
+
+/**
+ * Per-workload microarchitectural characteristics consumed by the
+ * Machine.  Produced by the workloads catalog.
+ */
+struct WorkProfile
+{
+    /// Core cycles per instruction absent L3/DRAM stalls.
+    double cpiBase = 1.0;
+
+    /// L3-cache accesses (= L2 misses) per kilo-instruction.
+    double l3Apki = 1.0;
+
+    /// DRAM accesses (= L3 misses) per kilo-instruction.
+    double dramApki = 0.1;
+
+    /// Miss-level parallelism: concurrent outstanding misses (>= 1).
+    double mlp = 2.0;
+
+    /// Core switching-activity factor (see CoreActivity).
+    double switchingFactor = 1.0;
+
+    /**
+     * Multiplier applied to l3Apki and dramApki while the sibling
+     * core of the same PMD is busy — contention in the shared L2
+     * (>= 1; 1 means insensitive to clustering).
+     */
+    double l2SharingPenalty = 1.0;
+
+    /// Validate ranges. @throws FatalError when inconsistent.
+    void validate() const;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_SIM_WORK_PROFILE_HH

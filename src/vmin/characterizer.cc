@@ -1,0 +1,64 @@
+#include "vmin/characterizer.hh"
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+VminCharacterizer::VminCharacterizer(const VminModel &vmin_model,
+                                     const FailureModel &failure_model,
+                                     CharacterizerConfig config)
+    : vminModel(vmin_model), failureModel(failure_model), cfg(config)
+{
+    fatalIf(cfg.safeTrials == 0, "safeTrials must be positive");
+    fatalIf(cfg.unsafeTrials == 0, "unsafeTrials must be positive");
+    fatalIf(cfg.stepSize <= 0.0, "stepSize must be positive");
+}
+
+CharacterizationResult
+VminCharacterizer::characterize(Rng &rng, Hertz f,
+                                const std::vector<CoreId> &cores,
+                                double sensitivity) const
+{
+    const ChipSpec &spec = vminModel.spec();
+    const Volt true_vmin = vminModel.trueVmin(f, cores, sensitivity);
+
+    CharacterizationResult result;
+    bool in_unsafe_region = false;
+
+    for (Volt v = spec.vNominal; v >= spec.vFloor - 1e-9;
+         v -= cfg.stepSize) {
+        SweepPoint point;
+        point.voltage = v;
+        point.trials = in_unsafe_region ? cfg.unsafeTrials
+                                        : cfg.safeTrials;
+        for (std::uint32_t t = 0; t < point.trials; ++t) {
+            const RunOutcome outcome =
+                failureModel.sample(rng, v, true_vmin);
+            ++point.outcomes[static_cast<std::size_t>(outcome)];
+            if (isFailure(outcome))
+                ++point.failures;
+        }
+        result.sweep.push_back(point);
+
+        if (!in_unsafe_region) {
+            if (point.failures == 0) {
+                result.safeVmin = v; // lowest all-pass level so far
+            } else {
+                // First failing level: switch to the 60-trial unsafe
+                // protocol from here downwards.
+                in_unsafe_region = true;
+            }
+        }
+        if (point.failures == point.trials && point.trials > 0) {
+            result.crashVoltage = v;
+            break; // complete-failure point: stop the sweep
+        }
+    }
+
+    ECOSCHED_ASSERT(result.safeVmin > 0.0,
+                    "sweep never found an all-pass level — nominal "
+                    "voltage below the true Vmin?");
+    return result;
+}
+
+} // namespace ecosched

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The paper's Vmin characterization protocol (§III.A):
+ *
+ *  "we consider a voltage level as a safe Vmin if the program passes
+ *   it 1000 times ... we also study the error behavior ... operating
+ *   below its safe Vmin point, but we run it 60 times for each
+ *   configuration through the entire voltage range from the safe
+ *   Vmin until the system crash point."
+ *
+ * The characterizer drives the FailureModel exactly that way: sweep
+ * the supply downward in fixed steps from nominal, run N trials per
+ * level, record pass/fail counts and observed outcome mix, and stop
+ * at the first level where every trial fails (complete-failure /
+ * system-crash point).
+ */
+
+#ifndef ECOSCHED_VMIN_CHARACTERIZER_HH
+#define ECOSCHED_VMIN_CHARACTERIZER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "vmin/failure_model.hh"
+#include "vmin/vmin_model.hh"
+
+namespace ecosched {
+
+/// Trial statistics at one voltage level of the downward sweep.
+struct SweepPoint
+{
+    Volt voltage = 0.0;        ///< supply level tested
+    std::uint32_t trials = 0;  ///< executions performed
+    std::uint32_t failures = 0;///< executions that did not pass
+    /// Observed count per RunOutcome (indexed by enum value).
+    std::array<std::uint32_t, 6> outcomes{};
+
+    /// Fraction of failing trials at this level.
+    double pfail() const
+    {
+        return trials ? static_cast<double>(failures) / trials : 0.0;
+    }
+};
+
+/// Result of characterizing one configuration.
+struct CharacterizationResult
+{
+    Volt safeVmin = 0.0;     ///< lowest level passing all safe trials
+    Volt crashVoltage = 0.0; ///< first level with 100 % failures
+    std::vector<SweepPoint> sweep; ///< all tested levels, descending
+};
+
+/// Protocol knobs (paper defaults).
+struct CharacterizerConfig
+{
+    std::uint32_t safeTrials = 1000; ///< runs per level above Vmin
+    std::uint32_t unsafeTrials = 60; ///< runs per level below Vmin
+    Volt stepSize = units::mV(10);   ///< sweep granularity
+};
+
+/**
+ * Executes the downward-sweep protocol against a VminModel +
+ * FailureModel pair.
+ */
+class VminCharacterizer
+{
+  public:
+    VminCharacterizer(const VminModel &vmin_model,
+                      const FailureModel &failure_model,
+                      CharacterizerConfig config = CharacterizerConfig{});
+
+    /**
+     * Characterize one configuration.
+     *
+     * @param rng          Trial randomness (forked per call site for
+     *                     reproducibility).
+     * @param f            Ladder frequency of all used PMDs.
+     * @param cores        Cores executing the workload.
+     * @param sensitivity  Workload Vmin sensitivity in [0, 1].
+     */
+    CharacterizationResult characterize(
+        Rng &rng, Hertz f, const std::vector<CoreId> &cores,
+        double sensitivity) const;
+
+  private:
+    const VminModel &vminModel;
+    const FailureModel &failureModel;
+    CharacterizerConfig cfg;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_VMIN_CHARACTERIZER_HH

@@ -1,0 +1,104 @@
+#include "vmin/droop_model.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+DroopModel::DroopModel(ChipSpec spec, DroopParams params)
+    : chipSpec(std::move(spec)), modelParams(params)
+{
+    chipSpec.validate();
+    fatalIf(modelParams.meanRatePerMCycles < 0.0,
+            "droop rate must be non-negative");
+    fatalIf(modelParams.workloadRateSpread < 0.0 ||
+                modelParams.workloadRateSpread >= 1.0,
+            "workloadRateSpread must be in [0, 1)");
+    fatalIf(modelParams.lowerBinRateGain < 1.0,
+            "lowerBinRateGain must be >= 1");
+    fatalIf(modelParams.idleRateFactor < 0.0 ||
+                modelParams.idleRateFactor > 1.0,
+            "idleRateFactor must be in [0, 1]");
+}
+
+const DroopClass &
+DroopModel::magnitudeClass(std::uint32_t high_clock_pmds) const
+{
+    return chipSpec.droopClass(high_clock_pmds);
+}
+
+double
+DroopModel::ratePerMCycles(std::size_t bin_index,
+                           std::size_t config_class_index,
+                           double workload_rate_bias,
+                           double activity) const
+{
+    ECOSCHED_ASSERT(bin_index < chipSpec.droopClasses.size(),
+                    "droop bin index out of range");
+    ECOSCHED_ASSERT(config_class_index < chipSpec.droopClasses.size(),
+                    "droop class index out of range");
+    if (bin_index > config_class_index) {
+        // A configuration (core allocation) never produces droops
+        // larger than its own magnitude class — the paper's central
+        // droop observation (Figure 6).
+        return 0.0;
+    }
+    const double act = modelParams.idleRateFactor
+        + (1.0 - modelParams.idleRateFactor) * activity;
+    const double depth =
+        static_cast<double>(config_class_index - bin_index);
+    return modelParams.meanRatePerMCycles * workload_rate_bias * act
+        * std::pow(modelParams.lowerBinRateGain, depth);
+}
+
+double
+DroopModel::workloadRateBias(std::uint64_t workload_hash) const
+{
+    // Map the hash to [1-spread, 1+spread] deterministically.
+    const double u = static_cast<double>(workload_hash % 10007u)
+        / 10006.0;
+    return 1.0
+        + modelParams.workloadRateSpread * (2.0 * u - 1.0);
+}
+
+void
+DroopModel::sampleEvents(Rng &rng, Cycles cycles,
+                         std::uint32_t high_clock_pmds,
+                         double workload_rate_bias, double activity,
+                         Histogram &histogram) const
+{
+    const std::size_t config_class =
+        chipSpec.droopClassIndex(high_clock_pmds);
+    const double mcycles = static_cast<double>(cycles) * 1e-6;
+    for (std::size_t bin = 0; bin < chipSpec.droopClasses.size();
+         ++bin) {
+        const double mean = ratePerMCycles(bin, config_class,
+                                           workload_rate_bias,
+                                           activity) * mcycles;
+        if (mean <= 0.0)
+            continue;
+        // Poisson sampling via normal approximation for large means,
+        // exact inversion otherwise.
+        std::uint64_t events;
+        if (mean > 50.0) {
+            events = static_cast<std::uint64_t>(std::max(
+                0.0, std::round(rng.normal(mean, std::sqrt(mean)))));
+        } else {
+            const double limit = std::exp(-mean);
+            double p = 1.0;
+            events = 0;
+            do {
+                p *= rng.uniform();
+                if (p <= limit)
+                    break;
+                ++events;
+            } while (events < 100000);
+        }
+        const auto &dc = chipSpec.droopClasses[bin];
+        for (std::uint64_t e = 0; e < events; ++e)
+            histogram.add(rng.uniform(dc.binLoMv, dc.binHiMv));
+    }
+}
+
+} // namespace ecosched

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Voltage-droop event model (§IV.A / Figure 6 / Table II).
+ *
+ * The paper reads the X-Gene 3 embedded oscilloscope through PMU
+ * counters and finds that the *magnitude* of emergency droop events
+ * is set almost entirely by the number of PMDs running at the high
+ * clock — all workloads produce the same maximum droop magnitude for
+ * a given core allocation — while the event *rate* varies mildly
+ * across programs.  This model reproduces that observable: given a
+ * configuration it yields the droop-magnitude bin and a per-program
+ * event rate per million cycles, and can sample a stream of events.
+ */
+
+#ifndef ECOSCHED_VMIN_DROOP_MODEL_HH
+#define ECOSCHED_VMIN_DROOP_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.hh"
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "platform/chip_spec.hh"
+
+namespace ecosched {
+
+/// Calibration constants of the droop-event generator.
+struct DroopParams
+{
+    /// Mean emergency-droop detections per million cycles in a
+    /// configuration's own magnitude bin.
+    double meanRatePerMCycles = 40.0;
+
+    /// Relative workload-to-workload spread of the rate (+-).
+    double workloadRateSpread = 0.45;
+
+    /// Rate multiplier per *lower* magnitude bin (smaller droops are
+    /// more frequent).
+    double lowerBinRateGain = 1.8;
+
+    /// Activity scaling: rate at zero core activity relative to full.
+    double idleRateFactor = 0.15;
+};
+
+/**
+ * Per-chip droop behaviour.  Stateless except for calibration.
+ */
+class DroopModel
+{
+  public:
+    DroopModel(ChipSpec spec, DroopParams params = DroopParams{});
+
+    /// Constants in use.
+    const DroopParams &params() const { return modelParams; }
+
+    /**
+     * Magnitude bin [lo, hi) in millivolts of the *largest* droops
+     * produced when @p high_clock_pmds PMDs run at the high clock
+     * (Table II mapping).
+     */
+    const DroopClass &magnitudeClass(std::uint32_t high_clock_pmds)
+        const;
+
+    /**
+     * Expected droop detections per million cycles whose magnitude
+     * falls in droop-class bin @p bin_index, for a configuration
+     * whose own class is @p config_class_index.  Bins above the
+     * configuration's class get (almost) zero; the configuration's
+     * own bin gets the program's base rate; lower bins get
+     * progressively more frequent, smaller droops.
+     *
+     * @param workload_rate_bias  Per-program rate multiplier in
+     *        [1-spread, 1+spread]; use workloadRateBias().
+     * @param activity            Mean core utilization in [0, 1].
+     */
+    double ratePerMCycles(std::size_t bin_index,
+                          std::size_t config_class_index,
+                          double workload_rate_bias,
+                          double activity) const;
+
+    /// Deterministic per-program rate multiplier from a name hash.
+    double workloadRateBias(std::uint64_t workload_hash) const;
+
+    /**
+     * Sample the number of droop events over @p cycles cycles into
+     * a magnitude histogram (one entry per droop-class bin).
+     *
+     * @param histogram  Histogram over droop magnitude [mV]; bins
+     *        should align with the chip's droop-class bins.
+     */
+    void sampleEvents(Rng &rng, Cycles cycles,
+                      std::uint32_t high_clock_pmds,
+                      double workload_rate_bias, double activity,
+                      Histogram &histogram) const;
+
+  private:
+    ChipSpec chipSpec;
+    DroopParams modelParams;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_VMIN_DROOP_MODEL_HH

@@ -1,0 +1,111 @@
+#include "vmin/failure_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+const char *
+runOutcomeName(RunOutcome outcome)
+{
+    switch (outcome) {
+      case RunOutcome::Ok:           return "ok";
+      case RunOutcome::Sdc:          return "sdc";
+      case RunOutcome::ProcessCrash: return "process-crash";
+      case RunOutcome::Hang:         return "hang";
+      case RunOutcome::Timeout:      return "timeout";
+      case RunOutcome::SystemCrash:  return "system-crash";
+    }
+    return "?";
+}
+
+bool
+isFailure(RunOutcome outcome)
+{
+    return outcome != RunOutcome::Ok;
+}
+
+int
+outcomeSeverity(RunOutcome outcome)
+{
+    switch (outcome) {
+      case RunOutcome::Ok:           return 0;
+      case RunOutcome::Sdc:          return 1;
+      case RunOutcome::Timeout:      return 2;
+      case RunOutcome::Hang:         return 3;
+      case RunOutcome::ProcessCrash: return 4;
+      case RunOutcome::SystemCrash:  return 5;
+    }
+    return 0;
+}
+
+FailureModel::FailureModel(FailureParams params)
+    : modelParams(params)
+{
+    fatalIf(modelParams.pfailFloor < 0.0 || modelParams.pfailFloor > 1.0,
+            "pfailFloor must be in [0, 1]");
+    fatalIf(modelParams.pfailScaleMv <= 0.0,
+            "pfailScaleMv must be positive");
+    fatalIf(modelParams.pfailShape <= 0.0,
+            "pfailShape must be positive");
+    fatalIf(modelParams.crashDepthMv <= 0.0,
+            "crashDepthMv must be positive");
+}
+
+double
+FailureModel::pfail(Volt v, Volt true_vmin) const
+{
+    const double margin_mv = units::toMilliVolts(v - true_vmin);
+    if (margin_mv >= 0.0)
+        return 0.0;
+    const double depth = -margin_mv / modelParams.pfailScaleMv;
+    const double ramp =
+        1.0 - std::exp(-std::pow(depth, modelParams.pfailShape));
+    return std::clamp(
+        modelParams.pfailFloor + (1.0 - modelParams.pfailFloor) * ramp,
+        0.0, 1.0);
+}
+
+RunOutcome
+FailureModel::sample(Rng &rng, Volt v, Volt true_vmin) const
+{
+    if (!rng.bernoulli(pfail(v, true_vmin)))
+        return RunOutcome::Ok;
+    return sampleFailureType(rng, v, true_vmin);
+}
+
+RunOutcome
+FailureModel::sampleFailureType(Rng &rng, Volt v,
+                                Volt true_vmin) const
+{
+    // Severity rises with the depth below the true Vmin: just under
+    // Vmin most failures are SDCs / timeouts; near crashDepth whole-
+    // system crashes dominate.
+    const double depth_mv =
+        std::max(0.0, units::toMilliVolts(true_vmin - v));
+    const double severity =
+        std::clamp(depth_mv / modelParams.crashDepthMv, 0.0, 1.0);
+
+    const double w_sdc = 0.55 * (1.0 - severity) + 0.05;
+    const double w_pcrash = 0.20 + 0.15 * severity;
+    const double w_hang = 0.10 + 0.10 * severity;
+    const double w_timeout = 0.15 * (1.0 - severity) + 0.02;
+    const double w_scrash = 0.70 * severity * severity + 0.01;
+    const double total =
+        w_sdc + w_pcrash + w_hang + w_timeout + w_scrash;
+
+    double draw = rng.uniform() * total;
+    if ((draw -= w_sdc) < 0.0)
+        return RunOutcome::Sdc;
+    if ((draw -= w_pcrash) < 0.0)
+        return RunOutcome::ProcessCrash;
+    if ((draw -= w_hang) < 0.0)
+        return RunOutcome::Hang;
+    if ((draw -= w_timeout) < 0.0)
+        return RunOutcome::Timeout;
+    return RunOutcome::SystemCrash;
+}
+
+} // namespace ecosched

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Stochastic failure behaviour below the safe Vmin (§III.B).
+ *
+ * Below a run's true Vmin the paper observes, with rising cumulative
+ * probability: silent data corruptions (SDCs), process crashes,
+ * thread hangs, process timeouts, and finally whole-system crashes.
+ * This model produces a cumulative pfail curve (Figure 5) and samples
+ * failure outcomes whose mix shifts from SDC-dominated just under
+ * Vmin to system-crash-dominated deep in the unsafe region.
+ */
+
+#ifndef ECOSCHED_VMIN_FAILURE_MODEL_HH
+#define ECOSCHED_VMIN_FAILURE_MODEL_HH
+
+#include "common/rng.hh"
+#include "common/units.hh"
+
+namespace ecosched {
+
+/// Outcome of one program execution at a given supply voltage.
+enum class RunOutcome
+{
+    Ok,           ///< completed, output correct
+    Sdc,          ///< completed, output mismatched (silent corruption)
+    ProcessCrash, ///< the process aborted (e.g. hardware error report)
+    Hang,         ///< a thread hung; run killed
+    Timeout,      ///< the process exceeded its time budget
+    SystemCrash,  ///< the whole machine went down
+};
+
+/// Human-readable name of an outcome.
+const char *runOutcomeName(RunOutcome outcome);
+
+/// True for every outcome other than Ok.
+bool isFailure(RunOutcome outcome);
+
+/**
+ * Severity ranking for outcome aggregation: Ok < Sdc < Timeout <
+ * Hang < ProcessCrash < SystemCrash.
+ */
+int outcomeSeverity(RunOutcome outcome);
+
+/// Calibration constants of the failure model.
+struct FailureParams
+{
+    /**
+     * Minimum failure probability anywhere below the true Vmin.
+     * Makes "safe Vmin" crisp: 1000 trials at any unsafe level fail
+     * with probability >= 1-(1-floor)^1000.
+     */
+    double pfailFloor = 0.01;
+
+    /// Margin scale of the pfail ramp [mV].
+    double pfailScaleMv = 18.0;
+
+    /// Shape (steepness) of the pfail ramp.
+    double pfailShape = 1.8;
+
+    /// Margin below Vmin at which system crashes dominate [mV].
+    double crashDepthMv = 45.0;
+};
+
+/**
+ * Cumulative failure probability and outcome sampling as a function
+ * of the margin between supply voltage and the run's true Vmin.
+ */
+class FailureModel
+{
+  public:
+    explicit FailureModel(FailureParams params = FailureParams{});
+
+    /// Constants in use.
+    const FailureParams &params() const { return modelParams; }
+
+    /**
+     * Probability that one run at supply voltage @p v fails, when
+     * the run's minimal working voltage is @p true_vmin.  Exactly 0
+     * at or above @p true_vmin, monotonically rising to 1 below it.
+     */
+    double pfail(Volt v, Volt true_vmin) const;
+
+    /**
+     * Sample the outcome of one run.  Returns Ok with probability
+     * 1 - pfail(v, true_vmin); otherwise draws a failure type whose
+     * severity rises with the depth below Vmin.
+     */
+    RunOutcome sample(Rng &rng, Volt v, Volt true_vmin) const;
+
+    /**
+     * Sample the *type* of a failure that is known to have occurred
+     * at supply @p v with minimal working voltage @p true_vmin
+     * (never returns Ok).  Severity rises with depth below Vmin.
+     */
+    RunOutcome sampleFailureType(Rng &rng, Volt v,
+                                 Volt true_vmin) const;
+
+  private:
+    FailureParams modelParams;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_VMIN_FAILURE_MODEL_HH

@@ -1,0 +1,182 @@
+#include "vmin/vmin_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+
+namespace ecosched {
+
+VminParams
+VminParams::forChip(const ChipSpec &spec)
+{
+    VminParams p;
+    if (spec.name == "X-Gene 2") {
+        // High class from the paper's Figure 3 trend; Half = -3 % of
+        // Vnom (clock skipping); Deep = -15 % of Vnom below the High
+        // value (clock division, §IV.C / Figure 10).
+        p.tableMv[VminFreqClass::High] = {885.0, 905.0, 925.0};
+        p.tableMv[VminFreqClass::Half] = {855.0, 875.0, 895.0};
+        p.tableMv[VminFreqClass::Deep] = {738.0, 758.0, 778.0};
+        p.workloadSpreadMv = 40.0;
+        p.staticSpreadMv = 30.0;
+        // Figure 4: PMD2 is the most robust module, PMD0/PMD1 the
+        // most sensitive ones.
+        p.pmdOffsetsMv = {0.0, -4.0, -28.0, -12.0};
+    } else if (spec.name == "X-Gene 3") {
+        // Table II verbatim.
+        p.tableMv[VminFreqClass::High] = {780.0, 800.0, 810.0, 830.0};
+        p.tableMv[VminFreqClass::Half] = {770.0, 780.0, 790.0, 820.0};
+        p.workloadSpreadMv = 20.0;
+        p.staticSpreadMv = 20.0;
+        // Derived deterministically from the chip seed.
+        p.pmdOffsetsMv = {};
+    } else {
+        // Generic chip: scale guardbands off the nominal voltage.
+        const double vn = units::toMilliVolts(spec.vNominal);
+        const std::size_t classes = spec.droopClasses.size();
+        auto ladder = [&](double top) {
+            std::vector<double> v(classes);
+            for (std::size_t i = 0; i < classes; ++i) {
+                v[i] = top
+                    - 10.0 * static_cast<double>(classes - 1 - i);
+            }
+            return v;
+        };
+        p.tableMv[VminFreqClass::High] = ladder(vn * 0.93);
+        p.tableMv[VminFreqClass::Half] = ladder(vn * 0.90);
+        if (spec.deepClassMaxFreq > 0.0)
+            p.tableMv[VminFreqClass::Deep] = ladder(vn * 0.78);
+        p.workloadSpreadMv = 30.0;
+        p.staticSpreadMv = 25.0;
+    }
+    p.validate(spec);
+    return p;
+}
+
+void
+VminParams::validate(const ChipSpec &spec) const
+{
+    const std::size_t classes = spec.droopClasses.size();
+    fatalIf(!tableMv.count(VminFreqClass::High),
+            spec.name, ": Vmin table needs a High frequency class");
+    fatalIf(!tableMv.count(VminFreqClass::Half),
+            spec.name, ": Vmin table needs a Half frequency class");
+    fatalIf(spec.deepClassMaxFreq > 0.0 &&
+                !tableMv.count(VminFreqClass::Deep),
+            spec.name, ": chip has a Deep class but the Vmin table "
+            "does not");
+    for (const auto &[cls, values] : tableMv) {
+        fatalIf(values.size() != classes,
+                spec.name, ": Vmin table for class ",
+                vminFreqClassName(cls), " has ", values.size(),
+                " entries, expected ", classes);
+        double prev = 0.0;
+        for (double mv : values) {
+            fatalIf(mv < prev,
+                    spec.name, ": Vmin must not decrease with the "
+                    "droop class");
+            fatalIf(units::mV(mv) <= spec.vFloor,
+                    spec.name, ": table Vmin ", mv,
+                    " mV at or below the regulator floor");
+            fatalIf(units::mV(mv) >= spec.vNominal,
+                    spec.name, ": table Vmin ", mv,
+                    " mV at or above nominal — no guardband left");
+            prev = mv;
+        }
+    }
+    fatalIf(workloadSpreadMv < 0.0, "workloadSpreadMv must be >= 0");
+    fatalIf(staticSpreadMv < 0.0, "staticSpreadMv must be >= 0");
+    fatalIf(attenExponent <= 0.0, "attenExponent must be positive");
+    fatalIf(!pmdOffsetsMv.empty() &&
+                pmdOffsetsMv.size() != spec.numPmds(),
+            spec.name, ": expected ", spec.numPmds(),
+            " PMD offsets, got ", pmdOffsetsMv.size());
+    for (double off : pmdOffsetsMv)
+        fatalIf(off > 0.0, "PMD offsets must be <= 0 (table is the "
+                "most sensitive PMD)");
+}
+
+VminModel::VminModel(ChipSpec spec, VminParams params,
+                     std::uint64_t chip_seed)
+    : chipSpec(std::move(spec)), modelParams(std::move(params))
+{
+    chipSpec.validate();
+    modelParams.validate(chipSpec);
+
+    if (!modelParams.pmdOffsetsMv.empty()) {
+        offsetsMv = modelParams.pmdOffsetsMv;
+    } else {
+        // Deterministic chip-sample variation: |N(0, spread/3)|
+        // below the table value, re-anchored so the most sensitive
+        // PMD sits exactly at 0.
+        Rng rng(chip_seed * 0x51ed2701u + 17);
+        offsetsMv.resize(chipSpec.numPmds());
+        double max_off = -1e9;
+        for (auto &off : offsetsMv) {
+            off = -std::fabs(rng.normal(
+                0.0, modelParams.staticSpreadMv / 3.0));
+            off = std::max(off, -modelParams.staticSpreadMv);
+            max_off = std::max(max_off, off);
+        }
+        for (auto &off : offsetsMv)
+            off -= max_off;
+    }
+}
+
+Volt
+VminModel::tableVmin(Hertz f, std::uint32_t utilized_pmds) const
+{
+    const VminFreqClass cls = chipSpec.vminFreqClass(f);
+    const std::size_t idx = chipSpec.droopClassIndex(utilized_pmds);
+    return units::mV(modelParams.tableMv.at(cls)[idx]);
+}
+
+Volt
+VminModel::trueVmin(Hertz f, const std::vector<CoreId> &cores,
+                    double sensitivity) const
+{
+    fatalIf(cores.empty(), "trueVmin needs at least one core");
+    fatalIf(sensitivity < 0.0 || sensitivity > 1.0,
+            "workload Vmin sensitivity must be in [0, 1], got ",
+            sensitivity);
+    const std::uint32_t pmds = countUtilizedPmds(cores);
+    const double att =
+        attenuation(static_cast<std::uint32_t>(cores.size()));
+
+    const double workload_delta_mv =
+        -modelParams.workloadSpreadMv * (1.0 - sensitivity) * att;
+
+    // Robustness of a run is limited by its most sensitive PMD.
+    double static_mv = -1e9;
+    for (CoreId c : cores) {
+        const PmdId p = pmdOfCore(c);
+        fatalIf(p >= chipSpec.numPmds(),
+                "core ", c, " outside ", chipSpec.name);
+        static_mv = std::max(static_mv, offsetsMv[p]);
+    }
+    static_mv *= att;
+
+    const Volt v = tableVmin(f, pmds)
+        + units::mV(workload_delta_mv + static_mv);
+    return std::max(v, chipSpec.vFloor);
+}
+
+Volt
+VminModel::pmdOffset(PmdId pmd) const
+{
+    fatalIf(pmd >= chipSpec.numPmds(),
+            "PMD ", pmd, " outside ", chipSpec.name);
+    return units::mV(offsetsMv[pmd]);
+}
+
+double
+VminModel::attenuation(std::uint32_t active_cores) const
+{
+    ECOSCHED_ASSERT(active_cores > 0, "attenuation of zero cores");
+    return std::pow(static_cast<double>(active_cores),
+                    -modelParams.attenExponent);
+}
+
+} // namespace ecosched

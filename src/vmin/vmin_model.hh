@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Safe-Vmin surface of a chip.
+ *
+ * The paper measures, per chip, the lowest supply voltage at which
+ * 1000 consecutive runs of a workload complete correctly, as a
+ * function of clock frequency, core allocation (number of utilized
+ * PMDs — the droop class of Table II), the workload, and which
+ * physical cores are used (static core-to-core variation).  Its key
+ * finding (§III/§IV): in many-core runs the workload and core terms
+ * fade away (<= 10 mV) and the *frequency class* and *droop class*
+ * dominate.
+ *
+ * This model encodes exactly that structure:
+ *
+ *   trueVmin(f, cores, workload) =
+ *         table[freqClass(f)][droopClass(|PMDs(cores)|)]     (Table II)
+ *       - workloadSpread * (1 - sensitivity) * atten(n)      (Fig. 3/4)
+ *       + maxPmdOffset(cores) * atten(n)                     (Fig. 4)
+ *
+ * with atten(n) = n^-attenExponent capturing the fade-out of
+ * variation as active-core count n grows, and per-PMD offsets <= 0
+ * (the table is the conservative, most-sensitive-PMD value).
+ */
+
+#ifndef ECOSCHED_VMIN_VMIN_MODEL_HH
+#define ECOSCHED_VMIN_VMIN_MODEL_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/units.hh"
+#include "platform/chip_spec.hh"
+#include "platform/topology.hh"
+
+namespace ecosched {
+
+/// Calibration constants of the safe-Vmin surface.
+struct VminParams
+{
+    /**
+     * Safe Vmin per frequency class and droop class, in millivolts.
+     * Index i of each vector corresponds to droop class i of the
+     * ChipSpec (ascending PMD count).  This is the generalised
+     * Table II of the paper.
+     */
+    std::map<VminFreqClass, std::vector<double>> tableMv;
+
+    /// Max workload-to-workload Vmin spread in a single-core run [mV]
+    /// (40 mV on X-Gene 2, 20 mV on X-Gene 3 — §III.A).
+    double workloadSpreadMv = 40.0;
+
+    /// Max core-to-core static spread in a single-core run [mV]
+    /// (30 mV on X-Gene 2, 20 mV on X-Gene 3 — §III.A).
+    double staticSpreadMv = 30.0;
+
+    /**
+     * Per-PMD static Vmin offsets [mV], all <= 0, one per PMD; the
+     * most sensitive PMD sits at 0 (the table is conservative).
+     * Leave empty to derive deterministic offsets from the chip seed.
+     */
+    std::vector<double> pmdOffsetsMv;
+
+    /// Exponent of the variation fade-out atten(n) = n^-e.
+    double attenExponent = 0.75;
+
+    /// Calibrated constants for a known chip (matched by name).
+    static VminParams forChip(const ChipSpec &spec);
+
+    /// Sanity-check against a chip spec. @throws FatalError.
+    void validate(const ChipSpec &spec) const;
+};
+
+/**
+ * Evaluates the safe-Vmin surface for one chip instance.
+ */
+class VminModel
+{
+  public:
+    /**
+     * @param spec       The chip model.
+     * @param params     Calibration constants.
+     * @param chip_seed  Identity of the physical chip sample; used to
+     *                   derive per-PMD offsets when params leave them
+     *                   empty (chip-to-chip variation).
+     */
+    VminModel(ChipSpec spec, VminParams params,
+              std::uint64_t chip_seed = 1);
+
+    /// Convenience: calibrated constants for the chip.
+    explicit VminModel(const ChipSpec &spec)
+        : VminModel(spec, VminParams::forChip(spec))
+    {}
+
+    /// The chip spec this model describes.
+    const ChipSpec &spec() const { return chipSpec; }
+
+    /// Calibration constants in use.
+    const VminParams &params() const { return modelParams; }
+
+    /**
+     * Conservative multicore safe Vmin for a frequency and utilized-
+     * PMD count — the value of the paper's Table II, what the
+     * daemon's fail-safe policy programs.
+     */
+    Volt tableVmin(Hertz f, std::uint32_t utilized_pmds) const;
+
+    /**
+     * The chip's actual minimal working voltage for a concrete run:
+     * frequency @p f on the given cores, executing a workload with
+     * Vmin @p sensitivity in [0, 1] (1 = most sensitive workload,
+     * pinning the table value).  Below this voltage failures start.
+     */
+    Volt trueVmin(Hertz f, const std::vector<CoreId> &cores,
+                  double sensitivity) const;
+
+    /// Static offset of one PMD (<= 0), in volts.
+    Volt pmdOffset(PmdId pmd) const;
+
+    /// Variation attenuation for an active-core count.
+    double attenuation(std::uint32_t active_cores) const;
+
+  private:
+    ChipSpec chipSpec;
+    VminParams modelParams;
+    std::vector<double> offsetsMv; ///< resolved per-PMD offsets
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_VMIN_VMIN_MODEL_HH

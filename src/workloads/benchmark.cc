@@ -1,0 +1,103 @@
+#include "workloads/benchmark.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+const char *
+suiteName(Suite suite)
+{
+    switch (suite) {
+      case Suite::Npb:         return "NPB";
+      case Suite::Parsec:      return "PARSEC";
+      case Suite::SpecCpu2006: return "SPEC CPU2006";
+    }
+    return "?";
+}
+
+Instructions
+BenchmarkProfile::perThreadWork(std::uint32_t threads) const
+{
+    fatalIf(threads == 0, name, ": thread count must be positive");
+    if (!parallel || threads == 1)
+        return workInstructions;
+    const double n = static_cast<double>(threads);
+    const double fraction =
+        serialFraction + (1.0 - serialFraction) / n;
+    const double w =
+        static_cast<double>(workInstructions) * fraction;
+    return static_cast<Instructions>(std::llround(std::max(1.0, w)));
+}
+
+std::vector<WorkPhase>
+BenchmarkProfile::buildPhases(Instructions per_thread) const
+{
+    fatalIf(per_thread == 0, name, ": no work to phase");
+    if (phases.empty())
+        return {{work, per_thread}};
+
+    std::vector<WorkPhase> out;
+    Instructions assigned = 0;
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+        Instructions slice;
+        if (i + 1 == phases.size()) {
+            slice = per_thread - assigned; // absorb rounding
+        } else {
+            slice = static_cast<Instructions>(
+                std::llround(static_cast<double>(per_thread)
+                             * phases[i].workFraction));
+            slice = std::max<Instructions>(slice, 1);
+        }
+        if (slice > per_thread - assigned)
+            slice = per_thread - assigned;
+        if (slice == 0)
+            continue;
+        out.push_back({phases[i].work, slice});
+        assigned += slice;
+    }
+    ECOSCHED_ASSERT(!out.empty() && assigned == per_thread,
+                    "phase slicing lost work");
+    return out;
+}
+
+std::uint64_t
+BenchmarkProfile::hash() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char ch : name) {
+        h ^= ch;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+void
+BenchmarkProfile::validate() const
+{
+    fatalIf(name.empty(), "benchmark needs a name");
+    work.validate();
+    fatalIf(serialFraction < 0.0 || serialFraction >= 1.0,
+            name, ": serialFraction must be in [0, 1)");
+    fatalIf(!parallel && serialFraction != 0.0,
+            name, ": single-thread programs have no serial fraction");
+    fatalIf(workInstructions == 0,
+            name, ": workInstructions must be positive");
+    fatalIf(vminSensitivity < 0.0 || vminSensitivity > 1.0,
+            name, ": vminSensitivity must be in [0, 1]");
+    if (!phases.empty()) {
+        double total = 0.0;
+        for (const auto &ph : phases) {
+            fatalIf(ph.workFraction <= 0.0 || ph.workFraction > 1.0,
+                    name, ": phase fractions must be in (0, 1]");
+            ph.work.validate();
+            total += ph.workFraction;
+        }
+        fatalIf(std::fabs(total - 1.0) > 1e-6,
+                name, ": phase fractions sum to ", total,
+                ", expected 1");
+    }
+}
+
+} // namespace ecosched

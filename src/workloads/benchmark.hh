@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Benchmark profiles: the workloads of the paper's study as the
+ * simulator sees them.
+ *
+ * The paper uses 25 benchmarks for characterization (6 NPB, 6 PARSEC
+ * parallel programs; 13 SPEC CPU2006 single-thread programs run as
+ * multiple copies) and a 35-program pool (all 29 SPEC CPU2006 + 6
+ * NPB) for the §VI.B workload generator.  Each profile couples the
+ * simulator-facing WorkProfile (CPI, cache traffic, MLP, ...) with
+ * catalog metadata: suite, parallelism, total work, Amdahl serial
+ * fraction, and Vmin sensitivity.
+ */
+
+#ifndef ECOSCHED_WORKLOADS_BENCHMARK_HH
+#define ECOSCHED_WORKLOADS_BENCHMARK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "sim/machine.hh"
+#include "sim/work_profile.hh"
+
+namespace ecosched {
+
+/// Benchmark suite of origin.
+enum class Suite
+{
+    Npb,         ///< NAS Parallel Benchmarks v3.3.1
+    Parsec,      ///< PARSEC v3.0
+    SpecCpu2006, ///< SPEC CPU2006 (single-thread)
+};
+
+/// Human-readable suite name.
+const char *suiteName(Suite suite);
+
+/**
+ * One execution phase of a benchmark, as a share of its total work.
+ * Programs that alternate CPU- and memory-intensive regions (the
+ * phase-based DVFS literature the paper contrasts itself with, and
+ * the daemon's §VI.A "process changes its state" trigger) carry a
+ * sequence of these.
+ */
+struct BenchmarkPhase
+{
+    double workFraction = 0.0; ///< share of the work, in (0, 1]
+    WorkProfile work;          ///< characteristics of this phase
+};
+
+/**
+ * One benchmark of the study.
+ */
+struct BenchmarkProfile
+{
+    std::string name;   ///< canonical lowercase-ish paper name
+    Suite suite = Suite::SpecCpu2006;
+
+    /// Parallel program (NPB/PARSEC): one process, N threads share
+    /// the work.  Single-thread (SPEC): N copies repeat the work.
+    bool parallel = false;
+
+    /// Part of the paper's 25-benchmark characterization set.
+    bool characterized = false;
+
+    /// Execution characteristics consumed by the Machine (the
+    /// whole-run average; also the single phase when `phases` is
+    /// empty).
+    WorkProfile work;
+
+    /// Optional phase sequence; empty = homogeneous behaviour.
+    /// Fractions must sum to 1.
+    std::vector<BenchmarkPhase> phases;
+
+    /// Amdahl serial fraction (parallel programs only).
+    double serialFraction = 0.0;
+
+    /// Total single-thread instruction count of one run.
+    Instructions workInstructions = 0;
+
+    /// Vmin sensitivity in [0, 1]; 1 pins the table Vmin (§III.A).
+    double vminSensitivity = 1.0;
+
+    /**
+     * Instructions each of @p threads threads retires so that all
+     * finish together under Amdahl scaling (threads >= 1).  For
+     * single-thread programs every copy retires workInstructions.
+     */
+    Instructions perThreadWork(std::uint32_t threads) const;
+
+    /**
+     * Machine-facing phase list for one thread retiring
+     * @p per_thread instructions (a single phase for homogeneous
+     * programs).
+     */
+    std::vector<WorkPhase> buildPhases(Instructions per_thread)
+        const;
+
+    /// Stable FNV-1a hash of the name (droop-rate bias, seeds, ...).
+    std::uint64_t hash() const;
+
+    /// Validate all fields. @throws FatalError.
+    void validate() const;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_WORKLOADS_BENCHMARK_HH

@@ -1,0 +1,264 @@
+#include "workloads/catalog.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+#include "sim/memory_system.hh"
+
+namespace ecosched {
+
+namespace {
+
+/**
+ * Calibration row.  Rather than hand-picking raw microarchitectural
+ * numbers, each benchmark is specified by the observable targets the
+ * paper reports, measured single-threaded at the X-Gene 3 reference
+ * point (3 GHz, uncontended):
+ *
+ *  - rateTarget: L3C accesses per million cycles (Figure 9; the
+ *    classification metric, threshold 3000);
+ *  - coreShare:  fraction of execution time spent in the core
+ *    (pipeline + L1/L2) rather than stalled on L3/DRAM.  This *is*
+ *    the relative slowdown of halving the clock, so it encodes the
+ *    frequency tolerance of Figures 11/12: CPU-intensive programs
+ *    have coreShare near 1, the most memory-intensive near 0.1;
+ *  - dramFraction: share of L3 accesses that miss to DRAM
+ *    (bandwidth demand — drives the Figure 8 contention slowdowns).
+ *
+ * The constructor solves for l3Apki / dramApki / mlp reproducing
+ * those targets under the MemorySystem timing model.
+ */
+struct Row
+{
+    const char *name;
+    Suite suite;
+    bool characterized;
+    double cpi;           ///< core CPI (no L3/DRAM stalls)
+    double rateTarget;    ///< L3C per 1M cycles @ 3 GHz
+    double coreShare;     ///< core-time fraction @ 3 GHz
+    double dramFraction;  ///< DRAM misses / L3 accesses (preference)
+    double switching;     ///< core activity factor
+    double l2Penalty;     ///< shared-L2 traffic inflation
+    double serialFraction;///< Amdahl (parallel programs only)
+    double singleSeconds; ///< single-thread runtime @ 3 GHz
+    double vminSensitivity;
+};
+
+constexpr Suite NPB = Suite::Npb;
+constexpr Suite PAR = Suite::Parsec;
+constexpr Suite SPC = Suite::SpecCpu2006;
+
+// Reference point for the calibration targets (X-Gene 3).
+constexpr double refFreq = 3.0e9;
+constexpr double refL3Ns = 30.0;
+constexpr double refDramNs = 120.0;
+constexpr double minMlp = 1.5;
+constexpr double maxMlp = 8.0;
+
+// name suite char  cpi  rate  cShare dramF  sw   l2p  serial  sec  sens
+const Row rows[] = {
+    // --- NPB v3.3.1 (parallel, characterized) ----------------------
+    {"CG", NPB, true, 1.00, 13000, 0.10, 0.80, 0.88, 1.30, 0.020, 600, 0.95},
+    {"EP", NPB, true, 0.85, 250, 0.97, 0.10, 1.20, 1.00, 0.002, 400, 0.60},
+    {"FT", NPB, true, 0.95, 12000, 0.11, 0.75, 0.88, 1.30, 0.015, 550, 1.00},
+    {"IS", NPB, true, 0.80, 5000, 0.22, 0.55, 0.90, 1.20, 0.030, 180, 0.70},
+    {"LU", NPB, true, 0.90, 2500, 0.72, 0.30, 1.00, 1.10, 0.025, 350, 0.80},
+    {"MG", NPB, true, 0.85, 5500, 0.22, 0.55, 0.90, 1.25, 0.020, 300, 0.75},
+    // --- PARSEC v3.0 (parallel, characterized) ---------------------
+    {"swaptions", PAR, true,
+     0.80, 600, 0.96, 0.10, 1.25, 1.00, 0.004, 320, 0.65},
+    {"blackscholes", PAR, true,
+     0.78, 900, 0.95, 0.10, 1.20, 1.00, 0.005, 300, 0.55},
+    {"fluidanimate", PAR, true,
+     0.95, 2200, 0.75, 0.30, 1.00, 1.15, 0.030, 380, 0.85},
+    {"canneal", PAR, true,
+     1.20, 5200, 0.22, 0.45, 0.90, 1.30, 0.040, 300, 0.90},
+    {"bodytrack", PAR, true,
+     0.95, 1700, 0.85, 0.25, 1.10, 1.05, 0.035, 330, 0.70},
+    {"dedup", PAR, true,
+     1.00, 2400, 0.72, 0.35, 0.95, 1.20, 0.050, 280, 0.75},
+    // --- SPEC CPU2006, characterization subset (13) ----------------
+    {"perlbench", SPC, true,
+     1.05, 1800, 0.84, 0.25, 1.05, 1.05, 0.0, 140, 0.70},
+    {"bzip2", SPC, true,
+     1.00, 2300, 0.75, 0.30, 0.95, 1.15, 0.0, 130, 0.80},
+    {"gcc", SPC, true,
+     1.10, 2250, 0.70, 0.30, 0.90, 1.20, 0.0, 120, 0.85},
+    {"mcf", SPC, true,
+     1.30, 8000, 0.16, 0.50, 0.85, 1.28, 0.0, 260, 0.90},
+    {"milc", SPC, true,
+     1.00, 10000, 0.14, 0.70, 0.88, 1.30, 0.0, 280, 0.95},
+    {"namd", SPC, true,
+     0.75, 400, 0.97, 0.10, 1.30, 1.00, 0.0, 170, 0.60},
+    {"gobmk", SPC, true,
+     1.15, 1400, 0.88, 0.25, 1.05, 1.05, 0.0, 150, 0.65},
+    {"soplex", SPC, true,
+     1.00, 4200, 0.24, 0.45, 0.90, 1.25, 0.0, 220, 0.85},
+    {"povray", SPC, true,
+     0.90, 450, 0.96, 0.10, 1.25, 1.00, 0.0, 160, 0.55},
+    {"hmmer", SPC, true,
+     0.95, 1000, 0.93, 0.20, 1.15, 1.00, 0.0, 150, 0.60},
+    {"sjeng", SPC, true,
+     1.10, 1200, 0.90, 0.25, 1.05, 1.05, 0.0, 155, 0.70},
+    {"libquantum", SPC, true,
+     0.80, 9000, 0.15, 0.70, 0.88, 1.28, 0.0, 230, 0.90},
+    {"lbm", SPC, true,
+     0.90, 11000, 0.12, 0.80, 0.85, 1.32, 0.0, 290, 1.00},
+    // --- SPEC CPU2006, rest of the generator pool (16) -------------
+    {"h264ref", SPC, false,
+     0.90, 1500, 0.88, 0.20, 1.15, 1.05, 0.0, 170, 0.65},
+    {"omnetpp", SPC, false,
+     1.25, 4500, 0.22, 0.45, 0.88, 1.30, 0.0, 210, 0.85},
+    {"astar", SPC, false,
+     1.10, 2400, 0.65, 0.35, 0.90, 1.20, 0.0, 160, 0.75},
+    {"xalancbmk", SPC, false,
+     1.15, 3800, 0.25, 0.40, 0.90, 1.25, 0.0, 190, 0.80},
+    {"bwaves", SPC, false,
+     0.95, 6500, 0.20, 0.60, 0.88, 1.35, 0.0, 250, 0.90},
+    {"gamess", SPC, false,
+     0.85, 550, 0.96, 0.10, 1.25, 1.00, 0.0, 175, 0.55},
+    {"zeusmp", SPC, false,
+     1.00, 2350, 0.68, 0.35, 0.95, 1.15, 0.0, 165, 0.75},
+    {"gromacs", SPC, false,
+     0.80, 800, 0.94, 0.15, 1.20, 1.00, 0.0, 160, 0.60},
+    {"cactusADM", SPC, false,
+     1.05, 4800, 0.24, 0.50, 0.90, 1.30, 0.0, 230, 0.85},
+    {"leslie3d", SPC, false,
+     1.00, 7000, 0.20, 0.60, 0.88, 1.35, 0.0, 240, 0.90},
+    {"dealII", SPC, false,
+     0.95, 2000, 0.80, 0.25, 1.05, 1.10, 0.0, 150, 0.70},
+    {"calculix", SPC, false,
+     0.90, 900, 0.93, 0.15, 1.15, 1.00, 0.0, 160, 0.60},
+    {"GemsFDTD", SPC, false,
+     1.00, 7500, 0.18, 0.60, 0.88, 1.35, 0.0, 250, 0.95},
+    {"tonto", SPC, false,
+     0.95, 1300, 0.89, 0.20, 1.10, 1.05, 0.0, 165, 0.65},
+    {"wrf", SPC, false,
+     1.00, 2300, 0.70, 0.30, 0.95, 1.15, 0.0, 175, 0.75},
+    {"sphinx3", SPC, false,
+     1.05, 3600, 0.26, 0.40, 0.90, 1.20, 0.0, 210, 0.80},
+};
+
+/**
+ * Solve l3Apki / dramApki / mlp so that at the reference point the
+ * profile exhibits the row's rateTarget and coreShare.
+ */
+void
+solveMemoryTraffic(const Row &r, WorkProfile &work)
+{
+    const double cpi_total = r.cpi / r.coreShare;
+    const double l3_apki = r.rateTarget * cpi_total / 1000.0;
+    const double stall_ns =
+        (cpi_total - r.cpi) / refFreq * 1e9; // per instruction
+
+    double dram_apki = l3_apki * r.dramFraction;
+    double mlp;
+    if (stall_ns < 1e-6) {
+        mlp = 2.0;
+    } else {
+        mlp = (l3_apki * refL3Ns + dram_apki * refDramNs) * 1e-3
+            / stall_ns;
+        if (mlp < minMlp) {
+            // Too little traffic for the stall budget at minimum
+            // MLP: raise the DRAM share to fill it.
+            mlp = minMlp;
+            dram_apki =
+                (stall_ns * mlp * 1e3 - l3_apki * refL3Ns)
+                / refDramNs;
+            dram_apki = std::clamp(dram_apki, 0.0, l3_apki);
+        } else if (mlp > maxMlp) {
+            mlp = maxMlp;
+        }
+    }
+    work.l3Apki = l3_apki;
+    work.dramApki = std::min(dram_apki, l3_apki);
+    work.mlp = std::max(mlp, minMlp);
+}
+
+} // namespace
+
+Catalog::Catalog()
+{
+    profiles.reserve(std::size(rows));
+    for (const Row &r : rows) {
+        BenchmarkProfile p;
+        p.name = r.name;
+        p.suite = r.suite;
+        p.parallel = (r.suite != Suite::SpecCpu2006);
+        p.characterized = r.characterized;
+        p.work.cpiBase = r.cpi;
+        p.work.switchingFactor = r.switching;
+        p.work.l2SharingPenalty = r.l2Penalty;
+        solveMemoryTraffic(r, p.work);
+        p.serialFraction = r.serialFraction;
+        const double t_instr = (r.cpi / r.coreShare) / refFreq;
+        p.workInstructions = static_cast<Instructions>(
+            std::llround(r.singleSeconds / t_instr));
+        p.vminSensitivity = r.vminSensitivity;
+        p.validate();
+        profiles.push_back(std::move(p));
+    }
+}
+
+const Catalog &
+Catalog::instance()
+{
+    static const Catalog catalog;
+    return catalog;
+}
+
+const BenchmarkProfile &
+Catalog::byName(const std::string &name) const
+{
+    for (const auto &p : profiles)
+        if (p.name == name)
+            return p;
+    fatal("unknown benchmark '", name, "'");
+}
+
+bool
+Catalog::contains(const std::string &name) const
+{
+    return std::any_of(profiles.begin(), profiles.end(),
+                       [&](const auto &p) { return p.name == name; });
+}
+
+std::vector<const BenchmarkProfile *>
+Catalog::bySuite(Suite suite) const
+{
+    std::vector<const BenchmarkProfile *> out;
+    for (const auto &p : profiles)
+        if (p.suite == suite)
+            out.push_back(&p);
+    return out;
+}
+
+std::vector<const BenchmarkProfile *>
+Catalog::characterizedSet() const
+{
+    std::vector<const BenchmarkProfile *> out;
+    for (const auto &p : profiles)
+        if (p.characterized)
+            out.push_back(&p);
+    return out;
+}
+
+std::vector<const BenchmarkProfile *>
+Catalog::generatorPool() const
+{
+    std::vector<const BenchmarkProfile *> out;
+    for (const auto &p : profiles)
+        if (p.suite != Suite::Parsec)
+            out.push_back(&p);
+    return out;
+}
+
+std::vector<const BenchmarkProfile *>
+Catalog::figureBenchmarks() const
+{
+    return {&byName("namd"), &byName("EP"), &byName("milc"),
+            &byName("CG"), &byName("FT")};
+}
+
+} // namespace ecosched

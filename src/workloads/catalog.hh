@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The benchmark catalog: calibrated profiles for every program the
+ * paper uses.
+ *
+ *  - 6 NPB parallel programs (CG, EP, FT, IS, LU, MG);
+ *  - 6 PARSEC parallel programs (swaptions, blackscholes,
+ *    fluidanimate, canneal, bodytrack, dedup);
+ *  - all 29 SPEC CPU2006 single-thread programs, 13 of which form
+ *    the characterization subset of §II.B.
+ *
+ * Calibration targets: the L3C-accesses-per-1M-cycles spectrum of
+ * Figure 9 (namd/EP lowest, CG/FT/milc highest, threshold 3000), the
+ * multi-instance contention slowdowns of Figure 8, and the
+ * clustered-vs-spreaded energy sensitivity of Figure 7.
+ */
+
+#ifndef ECOSCHED_WORKLOADS_CATALOG_HH
+#define ECOSCHED_WORKLOADS_CATALOG_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/benchmark.hh"
+
+namespace ecosched {
+
+/**
+ * Immutable singleton collection of all benchmark profiles.
+ */
+class Catalog
+{
+  public:
+    /// The process-global catalog.
+    static const Catalog &instance();
+
+    /// All profiles, stable order (NPB, PARSEC, SPEC).
+    const std::vector<BenchmarkProfile> &all() const
+    {
+        return profiles;
+    }
+
+    /// Profile by name. @throws FatalError when unknown.
+    const BenchmarkProfile &byName(const std::string &name) const;
+
+    /// Whether a profile with this name exists.
+    bool contains(const std::string &name) const;
+
+    /// All profiles of one suite.
+    std::vector<const BenchmarkProfile *> bySuite(Suite suite) const;
+
+    /// The paper's 25-benchmark characterization set (§II.B).
+    std::vector<const BenchmarkProfile *> characterizedSet() const;
+
+    /**
+     * The §VI.B generator pool: all 29 SPEC CPU2006 plus the 6 NPB
+     * programs (35 programs).
+     */
+    std::vector<const BenchmarkProfile *> generatorPool() const;
+
+    /**
+     * The five benchmarks of Figures 11/12, ordered from the most
+     * CPU-intensive to the most memory-intensive:
+     * namd, EP, milc, CG, FT.
+     */
+    std::vector<const BenchmarkProfile *> figureBenchmarks() const;
+
+  private:
+    Catalog();
+    std::vector<BenchmarkProfile> profiles;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_WORKLOADS_CATALOG_HH

@@ -1,0 +1,171 @@
+#include "workloads/generator.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+
+namespace ecosched {
+
+const char *
+loadPhaseName(LoadPhase phase)
+{
+    switch (phase) {
+      case LoadPhase::Heavy:   return "heavy";
+      case LoadPhase::Average: return "average";
+      case LoadPhase::Light:   return "light";
+      case LoadPhase::Idle:    return "idle";
+    }
+    return "?";
+}
+
+WorkloadGenerator::WorkloadGenerator(GeneratorConfig config)
+    : cfg(std::move(config)),
+      memory(MemoryParams::forChipName(cfg.chipName))
+{
+    fatalIf(cfg.duration <= 0.0, "workload duration must be positive");
+    fatalIf(cfg.maxCores == 0, "maxCores must be positive");
+    fatalIf(cfg.referenceFrequency <= 0.0,
+            "referenceFrequency must be positive");
+    fatalIf(cfg.minPhaseLength <= 0.0 ||
+                cfg.maxPhaseLength < cfg.minPhaseLength,
+            "invalid phase-length bounds");
+    fatalIf(cfg.idleProbability < 0.0 || cfg.idleProbability > 1.0,
+            "idleProbability must be in [0, 1]");
+    fatalIf(cfg.decisionInterval <= 0.0,
+            "decisionInterval must be positive");
+    for (double occ : {cfg.heavyOccupancy, cfg.averageOccupancy,
+                       cfg.lightOccupancy}) {
+        fatalIf(occ <= 0.0 || occ > 1.0,
+                "occupancy targets must be in (0, 1]");
+    }
+}
+
+Seconds
+WorkloadGenerator::estimateRuntime(const BenchmarkProfile &profile,
+                                   std::uint32_t threads) const
+{
+    const Instructions per_thread = profile.perThreadWork(threads);
+    const Seconds t_instr = memory.timePerInstruction(
+        profile.work, cfg.referenceFrequency, 1.0);
+    return static_cast<double>(per_thread) * t_instr;
+}
+
+GeneratedWorkload
+WorkloadGenerator::generate() const
+{
+    Rng rng(cfg.seed * 0x9e3779b97f4a7c15ull + 3);
+    const auto pool = Catalog::instance().generatorPool();
+    ECOSCHED_ASSERT(!pool.empty(), "generator pool is empty");
+
+    GeneratedWorkload wl;
+    wl.duration = cfg.duration;
+    wl.maxCores = cfg.maxCores;
+
+    // --- carve the window into load phases ------------------------
+    Seconds t = 0.0;
+    while (t < cfg.duration) {
+        LoadPhase phase;
+        if (rng.bernoulli(cfg.idleProbability)) {
+            phase = LoadPhase::Idle;
+        } else {
+            const double u = rng.uniform();
+            phase = (u < 0.30)   ? LoadPhase::Heavy
+                    : (u < 0.72) ? LoadPhase::Average
+                                 : LoadPhase::Light;
+        }
+        const Seconds len = rng.uniform(cfg.minPhaseLength,
+                                        cfg.maxPhaseLength);
+        const Seconds end = std::min(cfg.duration, t + len);
+        wl.phases.push_back({t, end, phase});
+        t = end;
+    }
+
+    auto occupancy_target = [&](LoadPhase phase) -> double {
+        switch (phase) {
+          case LoadPhase::Heavy:   return cfg.heavyOccupancy;
+          case LoadPhase::Average: return cfg.averageOccupancy;
+          case LoadPhase::Light:   return cfg.lightOccupancy;
+          case LoadPhase::Idle:    return 0.0;
+        }
+        return 0.0;
+    };
+
+    // --- issue items against the estimated-occupancy ledger --------
+    // (estEnd, threads) for every issued item still presumed active.
+    std::vector<std::pair<Seconds, std::uint32_t>> ledger;
+
+    auto active_threads = [&](Seconds now) {
+        std::uint32_t n = 0;
+        for (const auto &[end, thr] : ledger)
+            if (end > now)
+                n += thr;
+        return n;
+    };
+
+    std::size_t phase_idx = 0;
+    for (Seconds now = 0.0; now < cfg.duration;
+         now += cfg.decisionInterval) {
+        while (phase_idx + 1 < wl.phases.size() &&
+               wl.phases[phase_idx].end <= now) {
+            ++phase_idx;
+        }
+        const LoadPhase phase = wl.phases[phase_idx].phase;
+        const auto target = static_cast<std::uint32_t>(
+            occupancy_target(phase) * cfg.maxCores + 0.5);
+
+        std::uint32_t active = active_threads(now);
+        wl.peakEstimatedThreads =
+            std::max(wl.peakEstimatedThreads, active);
+
+        // Issue at most a few items per decision point so arrivals
+        // spread naturally inside the phase.
+        for (int burst = 0; burst < 4 && active < target; ++burst) {
+            const auto &profile =
+                *pool[rng.uniformInt(0, pool.size() - 1)];
+
+            std::uint32_t threads = 1;
+            if (profile.parallel) {
+                // The paper's three threading configs: max, half,
+                // quarter of the cores — clamped to free capacity.
+                static const double div[] = {1.0, 2.0, 4.0};
+                const double d = div[rng.uniformInt(0, 2)];
+                threads = std::max<std::uint32_t>(
+                    1, static_cast<std::uint32_t>(cfg.maxCores / d));
+            }
+            const std::uint32_t room = cfg.maxCores - active;
+            if (threads > room) {
+                if (!profile.parallel)
+                    break; // no room for even one copy? then stop
+                // shrink a parallel job to the remaining capacity
+                threads = room;
+                if (threads == 0)
+                    break;
+            }
+
+            WorkItem item;
+            item.arrival =
+                now + rng.uniform(0.0, cfg.decisionInterval);
+            item.benchmark = profile.name;
+            item.threads = threads;
+            wl.items.push_back(item);
+
+            const Seconds est =
+                estimateRuntime(profile, threads) * 1.15;
+            ledger.emplace_back(item.arrival + est, threads);
+            active += threads;
+            wl.peakEstimatedThreads =
+                std::max(wl.peakEstimatedThreads, active);
+        }
+    }
+
+    std::sort(wl.items.begin(), wl.items.end(),
+              [](const WorkItem &a, const WorkItem &b) {
+                  return a.arrival < b.arrival;
+              });
+    ECOSCHED_ASSERT(wl.peakEstimatedThreads <= cfg.maxCores,
+                    "generator exceeded the core-capacity constraint");
+    return wl;
+}
+
+} // namespace ecosched

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The paper's workload generator (§VI.B):
+ *
+ *  "a 'workload generator' which creates a typical server workload
+ *   from a 'pool' of programs (... all the 29 SPEC CPU2006 and the 6
+ *   NPB benchmarks; in total 35 different programs).  The generator
+ *   can generate workloads of configurable duration by randomly
+ *   selecting benchmarks ... and randomly defining the timeslot in
+ *   which each benchmark will be invoked.  The workload includes
+ *   heavy load periods, average load periods and light periods,
+ *   including also a few idle periods ...  The generator is
+ *   configured to guarantee that the number of active processes is
+ *   never more than the available cores ...  The generated workload
+ *   can be then invoked multiple times ... using different policies
+ *   or configurations."
+ */
+
+#ifndef ECOSCHED_WORKLOADS_GENERATOR_HH
+#define ECOSCHED_WORKLOADS_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "sim/memory_system.hh"
+#include "workloads/catalog.hh"
+
+namespace ecosched {
+
+/// Load regime of one generated phase.
+enum class LoadPhase { Heavy, Average, Light, Idle };
+
+/// Human-readable phase name.
+const char *loadPhaseName(LoadPhase phase);
+
+/// One program invocation of a generated workload.
+struct WorkItem
+{
+    Seconds arrival = 0.0;      ///< issue timestamp
+    std::string benchmark;      ///< catalog name
+    std::uint32_t threads = 1;  ///< threads (parallel) / copies = 1
+};
+
+/// A replayable server workload.
+struct GeneratedWorkload
+{
+    /// One load-regime span of the timeline.
+    struct PhaseSpan
+    {
+        Seconds begin = 0.0;
+        Seconds end = 0.0;
+        LoadPhase phase = LoadPhase::Average;
+    };
+
+    Seconds duration = 0.0;       ///< generation window
+    std::uint32_t maxCores = 0;   ///< capacity constraint
+    std::vector<WorkItem> items;  ///< invocations, ascending arrival
+    std::vector<PhaseSpan> phases;///< load-regime timeline
+
+    /// Highest concurrent thread demand implied by the estimates
+    /// used during generation (always <= maxCores).
+    std::uint32_t peakEstimatedThreads = 0;
+};
+
+/// Generator knobs.
+struct GeneratorConfig
+{
+    Seconds duration = 3600.0;   ///< the paper's 1-hour window
+    std::uint32_t maxCores = 32; ///< 8 on X-Gene 2, 32 on X-Gene 3
+    std::uint64_t seed = 42;     ///< replay seed
+
+    /// Chip whose memory parameters anchor runtime estimation.
+    std::string chipName = "X-Gene 3";
+    /// Reference frequency for runtime estimation (fmax).
+    Hertz referenceFrequency = units::GHz(3.0);
+
+    /// Target core occupancy per load regime.
+    double heavyOccupancy = 0.95;
+    double averageOccupancy = 0.55;
+    double lightOccupancy = 0.25;
+
+    /// Phase-length bounds.
+    Seconds minPhaseLength = 120.0;
+    Seconds maxPhaseLength = 360.0;
+
+    /// Probability that a phase is an idle period.
+    double idleProbability = 0.08;
+
+    /// Scheduling-decision granularity while generating.
+    Seconds decisionInterval = 5.0;
+};
+
+/**
+ * Deterministic workload generator over the catalog's 35-program
+ * pool (SPEC CPU2006 + NPB).
+ */
+class WorkloadGenerator
+{
+  public:
+    explicit WorkloadGenerator(GeneratorConfig config);
+
+    /// Configuration in use.
+    const GeneratorConfig &config() const { return cfg; }
+
+    /// Produce the workload for the configured seed.
+    GeneratedWorkload generate() const;
+
+    /**
+     * Estimated runtime of one invocation at the reference frequency
+     * with no contention — the capacity-planning estimate the
+     * generator uses to respect the max-cores constraint.
+     */
+    Seconds estimateRuntime(const BenchmarkProfile &profile,
+                            std::uint32_t threads) const;
+
+  private:
+    GeneratorConfig cfg;
+    MemorySystem memory;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_WORKLOADS_GENERATOR_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Unit tests for the error-handling primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+
+namespace ecosched {
+namespace {
+
+TEST(Error, FatalThrowsWithComposedMessage)
+{
+    try {
+        fatal("bad value ", 42, " for knob '", "alpha", "'");
+        FAIL() << "fatal() returned";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "bad value 42 for knob 'alpha'");
+    }
+}
+
+TEST(Error, FatalIfOnlyFiresWhenTrue)
+{
+    EXPECT_NO_THROW(fatalIf(false, "never"));
+    EXPECT_THROW(fatalIf(true, "always"), FatalError);
+}
+
+TEST(Error, FatalErrorIsARuntimeError)
+{
+    // Library users may catch std::runtime_error generically.
+    try {
+        fatal("x");
+    } catch (const std::runtime_error &) {
+        SUCCEED();
+        return;
+    }
+    FAIL();
+}
+
+TEST(Error, AssertMacroPassesOnTrue)
+{
+    // The failing branch aborts the process, so only the passing
+    // branch is testable here; death tests cover the rest.
+    ECOSCHED_ASSERT(1 + 1 == 2, "arithmetic works");
+    SUCCEED();
+}
+
+TEST(ErrorDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(ECOSCHED_PANIC("broken invariant"),
+                 "panic: .*broken invariant");
+}
+
+TEST(ErrorDeathTest, AssertAbortsWithMessage)
+{
+    EXPECT_DEATH(ECOSCHED_ASSERT(false, "must not happen"),
+                 "assertion failed: false: must not happen");
+}
+
+} // namespace
+} // namespace ecosched

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the fixed-bin histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/histogram.hh"
+
+namespace ecosched {
+namespace {
+
+TEST(Histogram, BinEdges)
+{
+    Histogram h(25.0, 65.0, 4);
+    EXPECT_EQ(h.numBins(), 4u);
+    EXPECT_DOUBLE_EQ(h.binLo(0), 25.0);
+    EXPECT_DOUBLE_EQ(h.binHi(0), 35.0);
+    EXPECT_DOUBLE_EQ(h.binLo(3), 55.0);
+    EXPECT_DOUBLE_EQ(h.binHi(3), 65.0);
+}
+
+TEST(Histogram, BinningAndTotals)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.0);
+    h.add(1.9);
+    h.add(2.0);
+    h.add(9.999);
+    h.add(-1.0);  // underflow
+    h.add(10.0);  // overflow (exclusive upper bound)
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Histogram, WeightedAdd)
+{
+    Histogram h(0.0, 4.0, 2);
+    h.add(1.0, 10);
+    h.add(3.0, 5);
+    EXPECT_EQ(h.binCount(0), 10u);
+    EXPECT_EQ(h.binCount(1), 5u);
+    EXPECT_EQ(h.total(), 15u);
+}
+
+TEST(Histogram, CountInRange)
+{
+    Histogram h(25.0, 65.0, 4);
+    h.add(30.0, 7); // [25,35)
+    h.add(50.0, 3); // [45,55)
+    h.add(60.0, 2); // [55,65)
+    EXPECT_EQ(h.countInRange(25.0, 35.0), 7u);
+    EXPECT_EQ(h.countInRange(45.0, 55.0), 3u);
+    EXPECT_EQ(h.countInRange(55.0, 65.0), 2u);
+    EXPECT_EQ(h.countInRange(35.0, 65.0), 5u);
+}
+
+TEST(Histogram, ResetKeepsLayout)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.5);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.numBins(), 2u);
+}
+
+TEST(Histogram, RejectsBadConstruction)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), FatalError);
+    EXPECT_THROW(Histogram(2.0, 1.0, 4), FatalError);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), FatalError);
+}
+
+TEST(Histogram, RejectsMisalignedRangeQuery)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_THROW(h.countInRange(-1.0, 4.0), FatalError);
+    EXPECT_THROW(h.countInRange(4.0, 2.0), FatalError);
+}
+
+} // namespace
+} // namespace ecosched

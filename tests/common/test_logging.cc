@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unit tests for the leveled logger.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace ecosched {
+namespace {
+
+/// RAII guard restoring the global logger configuration.
+struct LoggerGuard
+{
+    LogLevel level = Logger::instance().level();
+    ~LoggerGuard()
+    {
+        Logger::instance().setLevel(level);
+        Logger::instance().setStream(&std::cerr);
+    }
+};
+
+TEST(Logging, LevelFiltering)
+{
+    LoggerGuard guard;
+    std::ostringstream sink;
+    Logger::instance().setStream(&sink);
+    Logger::instance().setLevel(LogLevel::Warn);
+
+    logError("e1");
+    logWarn("w1");
+    logInfo("i1");
+    logDebug("d1");
+
+    const std::string out = sink.str();
+    EXPECT_NE(out.find("[error] e1"), std::string::npos);
+    EXPECT_NE(out.find("[warn] w1"), std::string::npos);
+    EXPECT_EQ(out.find("i1"), std::string::npos);
+    EXPECT_EQ(out.find("d1"), std::string::npos);
+}
+
+TEST(Logging, VerboseLevelsEmit)
+{
+    LoggerGuard guard;
+    std::ostringstream sink;
+    Logger::instance().setStream(&sink);
+    Logger::instance().setLevel(LogLevel::Trace);
+    logDebug("dbg ", 7);
+    logTrace("trc");
+    EXPECT_NE(sink.str().find("[debug] dbg 7"), std::string::npos);
+    EXPECT_NE(sink.str().find("[trace] trc"), std::string::npos);
+}
+
+TEST(Logging, NullSinkSilences)
+{
+    LoggerGuard guard;
+    Logger::instance().setStream(nullptr);
+    Logger::instance().setLevel(LogLevel::Trace);
+    EXPECT_FALSE(Logger::instance().enabled(LogLevel::Error));
+    logError("goes nowhere"); // must not crash
+}
+
+TEST(Logging, LevelNames)
+{
+    EXPECT_STREQ(logLevelName(LogLevel::Error), "error");
+    EXPECT_STREQ(logLevelName(LogLevel::Trace), "trace");
+}
+
+} // namespace
+} // namespace ecosched

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace ecosched {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(12345);
+    Rng b(12345);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++equal;
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(11);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.uniformInt(3, 7);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 7u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 7);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(17);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(19);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal(2.0, 3.0);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 2.0, 0.1);
+    EXPECT_NEAR(var, 9.0, 0.4);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(23);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.exponential(4.0);
+        ASSERT_GE(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent)
+{
+    Rng parent(31);
+    Rng a = parent.fork(1);
+    Rng b = parent.fork(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++equal;
+    EXPECT_LT(equal, 2);
+}
+
+} // namespace
+} // namespace ecosched

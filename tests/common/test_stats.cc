@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for RunningStats, MovingAverage and Ewma.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/stats.hh"
+
+namespace ecosched {
+namespace {
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    RunningStats a;
+    RunningStats b;
+    RunningStats all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = 0.1 * i * i - 3.0 * i;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, ResetClears)
+{
+    RunningStats s;
+    s.add(1.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(MovingAverage, WindowEviction)
+{
+    MovingAverage ma(60.0);
+    for (int t = 0; t <= 120; ++t)
+        ma.add(t, t < 60 ? 10.0 : 20.0);
+    // Samples older than t=60 are gone: average is pure 20s.
+    EXPECT_NEAR(ma.value(), 20.0, 0.2);
+}
+
+TEST(MovingAverage, PartialWindow)
+{
+    MovingAverage ma(60.0);
+    ma.add(0.0, 4.0);
+    ma.add(1.0, 6.0);
+    EXPECT_DOUBLE_EQ(ma.value(), 5.0);
+    EXPECT_EQ(ma.size(), 2u);
+}
+
+TEST(MovingAverage, RejectsNonPositiveWindow)
+{
+    EXPECT_THROW(MovingAverage(0.0), FatalError);
+    EXPECT_THROW(MovingAverage(-5.0), FatalError);
+}
+
+TEST(Ewma, FirstSampleSeeds)
+{
+    Ewma e(0.5);
+    EXPECT_FALSE(e.seeded());
+    e.add(10.0);
+    EXPECT_TRUE(e.seeded());
+    EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, Smoothing)
+{
+    Ewma e(0.5);
+    e.add(10.0);
+    e.add(20.0);
+    EXPECT_DOUBLE_EQ(e.value(), 15.0);
+    e.add(15.0);
+    EXPECT_DOUBLE_EQ(e.value(), 15.0);
+}
+
+TEST(Ewma, RejectsBadAlpha)
+{
+    EXPECT_THROW(Ewma(0.0), FatalError);
+    EXPECT_THROW(Ewma(1.5), FatalError);
+}
+
+} // namespace
+} // namespace ecosched

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Unit tests for the table/CSV writer and format helpers.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/table.hh"
+
+namespace ecosched {
+namespace {
+
+TEST(TextTable, AlignedOutput)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    // Every line has the same two-space column gap structure.
+    EXPECT_NE(out.find("alpha  1"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongArity)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+    EXPECT_THROW(t.addRow({"1", "2", "3"}), FatalError);
+}
+
+TEST(TextTable, CsvEscaping)
+{
+    TextTable t({"name", "note"});
+    t.addRow({"x,y", "say \"hi\""});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("\"x,y\""), std::string::npos);
+    EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Format, Double)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+TEST(Format, Percent)
+{
+    EXPECT_EQ(formatPercent(0.252), "25.2%");
+    EXPECT_EQ(formatPercent(0.032, 1), "3.2%");
+}
+
+TEST(Format, Si)
+{
+    EXPECT_EQ(formatSi(351e9, 0), "351G");
+    EXPECT_EQ(formatSi(25578.3, 1), "25.6k");
+    EXPECT_EQ(formatSi(12.0, 1), "12.0");
+}
+
+} // namespace
+} // namespace ecosched

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the CPU/memory-intensive classifier (§IV.B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "core/classifier.hh"
+
+namespace ecosched {
+namespace {
+
+TEST(Classifier, StartsCpuIntensiveUnsampled)
+{
+    const Classifier c;
+    EXPECT_EQ(c.current(), WorkloadClass::CpuIntensive);
+    EXPECT_FALSE(c.sampled());
+}
+
+TEST(Classifier, CrossesUpThreshold)
+{
+    Classifier c;
+    // Inside the hysteresis band: no flip.
+    EXPECT_FALSE(c.update(3100.0));
+    EXPECT_EQ(c.current(), WorkloadClass::CpuIntensive);
+    // Above threshold*(1+h) = 3300: flips.
+    EXPECT_TRUE(c.update(3400.0));
+    EXPECT_EQ(c.current(), WorkloadClass::MemoryIntensive);
+    EXPECT_EQ(c.transitions(), 1u);
+}
+
+TEST(Classifier, CrossesDownThreshold)
+{
+    Classifier c;
+    c.update(5000.0);
+    ASSERT_EQ(c.current(), WorkloadClass::MemoryIntensive);
+    // Inside the band: stays memory-intensive.
+    EXPECT_FALSE(c.update(2800.0));
+    // Below threshold*(1-h) = 2700: flips back.
+    EXPECT_TRUE(c.update(2600.0));
+    EXPECT_EQ(c.current(), WorkloadClass::CpuIntensive);
+    EXPECT_EQ(c.transitions(), 2u);
+}
+
+TEST(Classifier, HysteresisPreventsThrashing)
+{
+    Classifier c;
+    c.update(5000.0); // -> memory
+    int flips = 0;
+    // Noise oscillating inside the band must not flip anything.
+    for (int i = 0; i < 100; ++i)
+        flips += c.update(i % 2 ? 2750.0 : 3250.0) ? 1 : 0;
+    EXPECT_EQ(flips, 0);
+    EXPECT_EQ(c.samples(), 101u);
+}
+
+TEST(Classifier, ZeroHysteresisIsExactThreshold)
+{
+    Classifier::Config cfg;
+    cfg.hysteresis = 0.0;
+    Classifier c(cfg);
+    EXPECT_TRUE(c.update(3000.1));
+    EXPECT_TRUE(c.update(2999.9));
+}
+
+TEST(Classifier, CustomInitialClass)
+{
+    Classifier::Config cfg;
+    cfg.initialClass = WorkloadClass::MemoryIntensive;
+    const Classifier c(cfg);
+    EXPECT_EQ(c.current(), WorkloadClass::MemoryIntensive);
+}
+
+TEST(Classifier, ResetRestoresInitialState)
+{
+    Classifier c;
+    c.update(9000.0);
+    c.reset();
+    EXPECT_EQ(c.current(), WorkloadClass::CpuIntensive);
+    EXPECT_EQ(c.samples(), 0u);
+    EXPECT_EQ(c.transitions(), 0u);
+}
+
+TEST(Classifier, Validation)
+{
+    Classifier::Config cfg;
+    cfg.thresholdPerMCycles = 0.0;
+    EXPECT_THROW(Classifier{cfg}, FatalError);
+    cfg = Classifier::Config{};
+    cfg.hysteresis = 1.0;
+    EXPECT_THROW(Classifier{cfg}, FatalError);
+    Classifier ok;
+    EXPECT_THROW(ok.update(-1.0), FatalError);
+}
+
+TEST(Classifier, Names)
+{
+    EXPECT_STREQ(workloadClassName(WorkloadClass::CpuIntensive),
+                 "cpu-intensive");
+    EXPECT_STREQ(workloadClassName(WorkloadClass::MemoryIntensive),
+                 "memory-intensive");
+}
+
+} // namespace
+} // namespace ecosched

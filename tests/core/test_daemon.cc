@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Tests for the monitoring daemon (§VI.A): classification from live
+ * counters, placement and V/F application, the fail-safe ordering
+ * invariant, and the control-flag configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/units.hh"
+#include "core/daemon.hh"
+#include "workloads/catalog.hh"
+
+namespace ecosched {
+namespace {
+
+using namespace units;
+
+const BenchmarkProfile &
+bench(const char *name)
+{
+    return Catalog::instance().byName(name);
+}
+
+struct Rig
+{
+    Machine machine;
+    System system;
+    Rig() : machine(xGene3()), system(machine) {}
+};
+
+TEST(Daemon, ClassifiesMemoryJobAfterSampling)
+{
+    Rig rig;
+    Daemon daemon(rig.system);
+    const Pid pid = rig.system.submit(bench("milc"), 1);
+    EXPECT_EQ(daemon.classOf(pid), WorkloadClass::CpuIntensive);
+    rig.system.runUntil(1.5); // > samplingInterval + 1M cycles
+    EXPECT_EQ(daemon.classOf(pid), WorkloadClass::MemoryIntensive);
+    EXPECT_GE(daemon.stats().classificationChanges, 1u);
+    EXPECT_GT(daemon.stats().samplesTaken, 0u);
+}
+
+TEST(Daemon, CpuJobStaysCpuClassified)
+{
+    Rig rig;
+    Daemon daemon(rig.system);
+    const Pid pid = rig.system.submit(bench("namd"), 1);
+    rig.system.runUntil(2.0);
+    EXPECT_EQ(daemon.classOf(pid), WorkloadClass::CpuIntensive);
+}
+
+TEST(Daemon, MemoryJobMigratesToReducedClock)
+{
+    Rig rig;
+    Daemon daemon(rig.system);
+    const Pid pid = rig.system.submit(bench("milc"), 1);
+    rig.system.runUntil(1.5);
+    const Process &proc = rig.system.process(pid);
+    ASSERT_EQ(proc.state, ProcessState::Running);
+    const PmdId pmd = pmdOfCore(proc.cores[0]);
+    EXPECT_DOUBLE_EQ(rig.machine.chip().pmdFrequency(pmd),
+                     daemon.placementEngine().memFrequency());
+}
+
+TEST(Daemon, CpuJobsRunClusteredAtFmax)
+{
+    Rig rig;
+    Daemon daemon(rig.system);
+    const Pid a = rig.system.submit(bench("namd"), 1);
+    const Pid b = rig.system.submit(bench("povray"), 1);
+    rig.system.runUntil(1.5);
+    const auto ca = rig.system.process(a).cores[0];
+    const auto cb = rig.system.process(b).cores[0];
+    EXPECT_EQ(pmdOfCore(ca), pmdOfCore(cb)); // clustered
+    EXPECT_DOUBLE_EQ(rig.machine.chip().pmdFrequency(pmdOfCore(ca)),
+                     GHz(3.0));
+}
+
+TEST(Daemon, VoltageFollowsTableII)
+{
+    Rig rig;
+    Daemon daemon(rig.system);
+    // One CPU-intensive process on one PMD: the 1-2 PMD class at
+    // the high clock -> 780 mV.
+    rig.system.submit(bench("namd"), 1);
+    rig.system.runUntil(1.5);
+    EXPECT_NEAR(rig.machine.chip().voltage(), mV(780), 1e-9);
+}
+
+TEST(Daemon, VoltageRisesWithUtilizedPmds)
+{
+    Rig rig;
+    Daemon daemon(rig.system);
+    rig.system.submit(bench("namd"), 1);
+    rig.system.runUntil(0.5);
+    const Volt few = rig.machine.chip().voltage();
+    // Fill many PMDs with a big parallel CPU job.
+    rig.system.submit(bench("EP"), 30);
+    rig.system.runUntil(1.0);
+    EXPECT_GT(rig.machine.chip().voltage(), few);
+}
+
+TEST(Daemon, IdleSystemSettlesAtLowestTableEntry)
+{
+    Rig rig;
+    Daemon daemon(rig.system);
+    const Pid pid = rig.system.submit(bench("IS"), 8);
+    while (rig.system.pendingCount() > 0)
+        rig.system.step();
+    (void)pid;
+    EXPECT_LT(rig.machine.chip().voltage(),
+              rig.machine.spec().vNominal);
+}
+
+TEST(Daemon, FailSafeInvariantHoldsThroughoutRun)
+{
+    // At every control-plane transition the supply must remain at
+    // or above the daemon's own table requirement for the *current*
+    // machine configuration — the Figure 13 guarantee.
+    Rig rig;
+    Daemon daemon(rig.system);
+    const DroopClassTable &table = daemon.table();
+
+    std::uint64_t checks = 0;
+    rig.machine.slimPro().setObserver(
+        [&](const Chip &chip, const VfEvent &) {
+            const ChipSpec &spec = chip.spec();
+            std::vector<Hertz> freqs(spec.numPmds());
+            std::vector<bool> util(spec.numPmds(), false);
+            for (PmdId p = 0; p < spec.numPmds(); ++p) {
+                freqs[p] = chip.pmdFrequency(p);
+                util[p] =
+                    rig.machine.coreBusy(firstCoreOfPmd(p))
+                    || rig.machine.coreBusy(secondCoreOfPmd(p));
+            }
+            EXPECT_GE(chip.voltage() + 1e-9,
+                      table.safeVoltageFor(freqs, util));
+            ++checks;
+        });
+
+    rig.system.submit(bench("milc"), 1);
+    rig.system.submit(bench("namd"), 1);
+    rig.system.runUntil(1.0);
+    rig.system.submit(bench("CG"), 8);
+    rig.system.submit(bench("EP"), 4);
+    rig.system.runUntil(3.0);
+    EXPECT_GT(checks, 10u);
+    EXPECT_GT(daemon.stats().voltageRaises, 0u);
+    EXPECT_GT(daemon.stats().voltageDrops, 0u);
+}
+
+TEST(Daemon, Figure13OrderingInTheAuditLog)
+{
+    // Figure 13: "before the process(es) are invoked or before the
+    // frequency should be increased ... the daemon first increases
+    // the voltage to the next safe Vmin level".  Verify the literal
+    // ordering of control-plane events: within each transition
+    // burst, any frequency *increase* or un-gating must be preceded
+    // (not followed) by the voltage raise that covers it.
+    Rig rig;
+    Daemon daemon(rig.system);
+
+    // Settle into a small, low-voltage configuration first.
+    rig.system.submit(bench("milc"), 1);
+    rig.system.runUntil(1.5);
+    rig.machine.slimPro().clearLog();
+
+    // Admission that grows the utilized-PMD set and raises clocks.
+    rig.system.submit(bench("EP"), 16);
+    rig.system.runUntil(2.0);
+
+    const auto &log = rig.machine.slimPro().log();
+    ASSERT_FALSE(log.empty());
+    Volt voltage_now = 0.0;
+    // Reconstruct the voltage over the log; at every frequency
+    // increase the supply must already satisfy the daemon's table
+    // for the post-change configuration of that PMD count.
+    bool saw_raise_before_freq_up = false;
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        if (log[i].kind == VfEventKind::VoltageChange) {
+            voltage_now = log[i].after;
+        } else if (log[i].kind == VfEventKind::FrequencyChange &&
+                   log[i].after > log[i].before) {
+            // A voltage raise must already have happened in this
+            // burst (same timestamp or earlier).
+            if (voltage_now > 0.0)
+                saw_raise_before_freq_up = true;
+            for (std::size_t j = i + 1; j < log.size(); ++j) {
+                // No later voltage raise at the same instant —
+                // that would mean frequency rose first.
+                if (log[j].kind == VfEventKind::VoltageChange &&
+                    log[j].time == log[i].time) {
+                    EXPECT_LE(log[j].after, voltage_now + 1e-9)
+                        << "voltage raised after a frequency "
+                           "increase in the same transition";
+                }
+            }
+        }
+    }
+    EXPECT_TRUE(saw_raise_before_freq_up);
+}
+
+TEST(Daemon, PlacementOnlyConfigKeepsNominalVoltage)
+{
+    Rig rig;
+    DaemonConfig cfg;
+    cfg.controlVoltage = false; // the paper's Placement config
+    Daemon daemon(rig.system, cfg);
+    rig.system.submit(bench("milc"), 1);
+    rig.system.submit(bench("namd"), 1);
+    rig.system.runUntil(2.0);
+    EXPECT_DOUBLE_EQ(rig.machine.chip().voltage(),
+                     rig.machine.spec().vNominal);
+    // ... but frequencies are still driven.
+    EXPECT_GT(rig.machine.slimPro().frequencyTransitions(), 0u);
+}
+
+TEST(Daemon, QueuesWhenChipFull)
+{
+    Rig rig;
+    Daemon daemon(rig.system);
+    rig.system.submit(bench("EP"), 32);
+    const Pid queued = rig.system.submit(bench("namd"), 1);
+    EXPECT_EQ(rig.system.process(queued).state,
+              ProcessState::Queued);
+}
+
+TEST(Daemon, ReclassificationKeepsUtilizedPmdCount)
+{
+    // §VI.A: "in case (b) the utilized PMDs cannot be changed".
+    Rig rig;
+    Daemon daemon(rig.system);
+    rig.system.submit(bench("milc"), 1);
+    rig.system.submit(bench("namd"), 1);
+    rig.system.runUntil(0.3); // placed, not yet sampled
+    const std::uint32_t before = rig.machine.utilizedPmds();
+    rig.system.runUntil(1.2); // milc reclassifies -> replacement
+    EXPECT_EQ(rig.machine.utilizedPmds(), before);
+}
+
+TEST(Daemon, FollowsPhaseChangesOfAProcess)
+{
+    // §VI.A case (b): "when a process changes its state (from
+    // CPU-intensive to memory-intensive and vice versa)" the daemon
+    // reclassifies, migrates within the current utilized PMDs and
+    // retunes the frequency.
+    Rig rig;
+    Daemon daemon(rig.system);
+
+    BenchmarkProfile phased =
+        Catalog::instance().byName("namd"); // copy as template
+    phased.name = "phased-synthetic";
+    WorkProfile mem = phased.work;
+    mem.l3Apki = 60.0;
+    mem.dramApki = 30.0;
+    mem.mlp = 4.0;
+    // Long CPU phase, then a long memory phase, then CPU again.
+    phased.phases = {{0.4, phased.work}, {0.4, mem},
+                     {0.2, phased.work}};
+    phased.workInstructions = 30'000'000'000ull;
+    phased.validate();
+
+    const Pid pid = rig.system.submit(phased, 1);
+    rig.system.runUntil(1.0);
+    EXPECT_EQ(daemon.classOf(pid), WorkloadClass::CpuIntensive);
+    const PmdId pmd0 =
+        pmdOfCore(rig.system.process(pid).cores[0]);
+    EXPECT_DOUBLE_EQ(rig.machine.chip().pmdFrequency(pmd0),
+                     rig.machine.spec().fMax);
+
+    // Run into the memory phase: class flips, frequency follows.
+    Seconds deadline = rig.system.now();
+    while (daemon.classOf(pid) == WorkloadClass::CpuIntensive) {
+        deadline += 1.0;
+        ASSERT_LT(deadline, 120.0) << "never reclassified";
+        rig.system.runUntil(deadline);
+    }
+    const PmdId pmd1 =
+        pmdOfCore(rig.system.process(pid).cores[0]);
+    EXPECT_DOUBLE_EQ(rig.machine.chip().pmdFrequency(pmd1),
+                     daemon.placementEngine().memFrequency());
+
+    // And back to CPU-intensive in the final phase.
+    while (daemon.classOf(pid) == WorkloadClass::MemoryIntensive) {
+        deadline += 1.0;
+        ASSERT_LT(deadline, 400.0) << "never flipped back";
+        rig.system.runUntil(deadline);
+        if (rig.system.process(pid).state
+                == ProcessState::Finished) {
+            break;
+        }
+    }
+    EXPECT_GE(daemon.stats().classificationChanges, 2u);
+}
+
+TEST(Daemon, StatsAccumulate)
+{
+    Rig rig;
+    Daemon daemon(rig.system);
+    rig.system.submit(bench("CG"), 4);
+    rig.system.submit(bench("namd"), 1);
+    rig.system.runUntil(3.0);
+    const DaemonStats &stats = daemon.stats();
+    EXPECT_GT(stats.plansComputed, 0u);
+    EXPECT_GT(stats.samplesTaken, 2u);
+    EXPECT_GT(stats.monitorCpuTime, 0.0);
+    EXPECT_STREQ(daemon.perfReader().name(), "kernel-module");
+}
+
+TEST(Daemon, ConfigValidation)
+{
+    Rig rig;
+    DaemonConfig cfg;
+    cfg.samplingInterval = 0.0;
+    EXPECT_THROW(Daemon(rig.system, cfg), FatalError);
+    cfg = DaemonConfig{};
+    cfg.minSampleCycles = 0;
+    EXPECT_THROW(Daemon(rig.system, cfg), FatalError);
+}
+
+} // namespace
+} // namespace ecosched

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the daemon's materialised Table II (DroopClassTable).
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/units.hh"
+#include "core/droop_table.hh"
+
+namespace ecosched {
+namespace {
+
+using namespace units;
+
+TEST(DroopClassTable, MatchesModelWithoutGuardband)
+{
+    const VminModel model(xGene3());
+    const DroopClassTable table(model, 0.0);
+    for (std::uint32_t pmds : {1u, 2u, 4u, 8u, 16u}) {
+        EXPECT_NEAR(table.safeVoltage(GHz(3.0), pmds),
+                    model.tableVmin(GHz(3.0), pmds), 1e-12);
+        EXPECT_NEAR(table.safeVoltage(GHz(1.5), pmds),
+                    model.tableVmin(GHz(1.5), pmds), 1e-12);
+    }
+}
+
+TEST(DroopClassTable, GuardbandAddsMargin)
+{
+    const VminModel model(xGene3());
+    const DroopClassTable table(model, mV(15));
+    EXPECT_NEAR(table.safeVoltage(GHz(3.0), 16),
+                model.tableVmin(GHz(3.0), 16) + mV(15), 1e-12);
+    EXPECT_DOUBLE_EQ(table.guardband(), mV(15));
+}
+
+TEST(DroopClassTable, GuardbandClampedToNominal)
+{
+    const VminModel model(xGene3());
+    const DroopClassTable table(model, mV(500));
+    EXPECT_LE(table.safeVoltage(GHz(3.0), 16),
+              model.spec().vNominal + 1e-12);
+}
+
+TEST(DroopClassTable, RowsCoverEveryDroopClass)
+{
+    const VminModel model(xGene2());
+    const DroopClassTable table(model);
+    ASSERT_EQ(table.rows().size(), 3u);
+    EXPECT_EQ(table.rows().back().maxPmds, 4u);
+    for (const auto &row : table.rows()) {
+        EXPECT_TRUE(row.safeVmin.count(VminFreqClass::High));
+        EXPECT_TRUE(row.safeVmin.count(VminFreqClass::Half));
+        EXPECT_TRUE(row.safeVmin.count(VminFreqClass::Deep));
+    }
+}
+
+TEST(DroopClassTable, XGene3HasNoDeepColumn)
+{
+    const VminModel model(xGene3());
+    const DroopClassTable table(model);
+    for (const auto &row : table.rows())
+        EXPECT_FALSE(row.safeVmin.count(VminFreqClass::Deep));
+}
+
+TEST(DroopClassTable, SafeVoltageForUsesWorstFreqClass)
+{
+    const VminModel model(xGene3());
+    const DroopClassTable table(model, 0.0);
+    const std::uint32_t pmds = 16;
+    std::vector<Hertz> freqs(pmds, GHz(1.5));
+    std::vector<bool> util(pmds, true);
+    // All at 1.5 GHz: the Half-class value.
+    EXPECT_NEAR(table.safeVoltageFor(freqs, util),
+                model.tableVmin(GHz(1.5), 16), 1e-12);
+    // One PMD at fmax makes the High class binding.
+    freqs[7] = GHz(3.0);
+    EXPECT_NEAR(table.safeVoltageFor(freqs, util),
+                model.tableVmin(GHz(3.0), 16), 1e-12);
+    // Only utilized PMDs count.
+    std::fill(util.begin(), util.end(), false);
+    util[7] = true; // the fmax PMD, alone -> 1-2 PMD class
+    EXPECT_NEAR(table.safeVoltageFor(freqs, util),
+                model.tableVmin(GHz(3.0), 1), 1e-12);
+}
+
+TEST(DroopClassTable, IdleConfigurationGetsLowestRow)
+{
+    const VminModel model(xGene3());
+    const DroopClassTable table(model, 0.0);
+    const std::vector<Hertz> freqs(16, GHz(3.0));
+    const std::vector<bool> util(16, false);
+    EXPECT_LE(table.safeVoltageFor(freqs, util),
+              model.tableVmin(GHz(3.0), 1) + 1e-12);
+}
+
+TEST(DroopClassTable, SaveLoadRoundTrip)
+{
+    for (const ChipSpec &spec : {xGene2(), xGene3()}) {
+        const VminModel model(spec);
+        const DroopClassTable original(model, mV(5));
+        std::stringstream buffer;
+        original.save(buffer);
+        const DroopClassTable restored =
+            DroopClassTable::load(buffer, spec);
+        EXPECT_DOUBLE_EQ(restored.guardband(),
+                         original.guardband());
+        ASSERT_EQ(restored.rows().size(), original.rows().size());
+        for (Hertz f : {spec.fMax, spec.halfClassMaxFreq}) {
+            for (std::uint32_t pmds = 1; pmds <= spec.numPmds();
+                 ++pmds) {
+                EXPECT_NEAR(restored.safeVoltage(f, pmds),
+                            original.safeVoltage(f, pmds), 1e-6)
+                    << spec.name;
+            }
+        }
+    }
+}
+
+TEST(DroopClassTable, LoadRejectsWrongChip)
+{
+    const VminModel model(xGene3());
+    const DroopClassTable table(model);
+    std::stringstream buffer;
+    table.save(buffer);
+    EXPECT_THROW(DroopClassTable::load(buffer, xGene2()),
+                 FatalError);
+}
+
+TEST(DroopClassTable, LoadRejectsGarbage)
+{
+    {
+        std::stringstream bad("not a table at all");
+        EXPECT_THROW(DroopClassTable::load(bad, xGene3()),
+                     FatalError);
+    }
+    {
+        std::stringstream truncated(
+            "ecosched-droop-table v1\nchip X-Gene 3\n"
+            "guardband_mv 0\nrows 4\nrow 2 25 35 high 780\n");
+        EXPECT_THROW(DroopClassTable::load(truncated, xGene3()),
+                     FatalError);
+    }
+    {
+        std::stringstream wrong_version(
+            "ecosched-droop-table v9\nchip X-Gene 3\n");
+        EXPECT_THROW(DroopClassTable::load(wrong_version, xGene3()),
+                     FatalError);
+    }
+}
+
+TEST(DroopClassTable, Validation)
+{
+    const VminModel model(xGene3());
+    EXPECT_THROW(DroopClassTable(model, -0.001), FatalError);
+    const DroopClassTable table(model);
+    EXPECT_THROW(
+        table.safeVoltageFor(std::vector<Hertz>(3, GHz(3.0)),
+                             std::vector<bool>(3, true)),
+        FatalError);
+}
+
+} // namespace
+} // namespace ecosched

@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Tests for the placement engine (Figure 13 rules): clustering of
+ * CPU-intensive work, spreading of memory-intensive work, frequency
+ * assignment, the utilized-PMD constraint, stability, and packing
+ * fallbacks on crowded chips.
+ */
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/units.hh"
+#include "core/placement.hh"
+
+namespace ecosched {
+namespace {
+
+using namespace units;
+
+PlacementProc
+proc(Pid pid, std::uint32_t threads, WorkloadClass cls,
+     std::vector<CoreId> cores = {})
+{
+    PlacementProc p;
+    p.pid = pid;
+    p.threads = threads;
+    p.cls = cls;
+    p.currentCores = std::move(cores);
+    return p;
+}
+
+std::set<PmdId>
+pmdsOf(const std::vector<CoreId> &cores)
+{
+    std::set<PmdId> out;
+    for (CoreId c : cores)
+        out.insert(pmdOfCore(c));
+    return out;
+}
+
+TEST(Placement, CpuProcessesAreClusteredAtFmax)
+{
+    const PlacementEngine engine(xGene3());
+    PlacementRequest req;
+    req.procs.push_back(
+        proc(1, 4, WorkloadClass::CpuIntensive));
+    const PlacementPlan plan = engine.plan(req);
+    ASSERT_TRUE(plan.feasible);
+    const auto &cores = plan.assignment.at(1);
+    EXPECT_EQ(cores.size(), 4u);
+    EXPECT_EQ(pmdsOf(cores).size(), 2u); // clustered: 2 PMDs
+    EXPECT_EQ(plan.utilizedPmds, 2u);
+    for (PmdId p : pmdsOf(cores))
+        EXPECT_DOUBLE_EQ(plan.pmdFrequencies[p], GHz(3.0));
+}
+
+TEST(Placement, MemoryProcessesAreSpreadedAtReducedClock)
+{
+    const PlacementEngine engine(xGene3());
+    PlacementRequest req;
+    req.procs.push_back(
+        proc(1, 4, WorkloadClass::MemoryIntensive));
+    const PlacementPlan plan = engine.plan(req);
+    ASSERT_TRUE(plan.feasible);
+    const auto &cores = plan.assignment.at(1);
+    EXPECT_EQ(pmdsOf(cores).size(), 4u); // spreaded: one per PMD
+    for (PmdId p : pmdsOf(cores))
+        EXPECT_DOUBLE_EQ(plan.pmdFrequencies[p], GHz(1.5));
+}
+
+TEST(Placement, XGene2MemoryClockIsTheDeepClass)
+{
+    const PlacementEngine engine(xGene2());
+    EXPECT_DOUBLE_EQ(engine.memFrequency(), GHz(0.9));
+    EXPECT_DOUBLE_EQ(engine.cpuFrequency(), GHz(2.4));
+}
+
+TEST(Placement, MixedWorkloadSeparatesClasses)
+{
+    const PlacementEngine engine(xGene3());
+    PlacementRequest req;
+    req.procs.push_back(proc(1, 4, WorkloadClass::CpuIntensive));
+    req.procs.push_back(proc(2, 3, WorkloadClass::MemoryIntensive));
+    const PlacementPlan plan = engine.plan(req);
+    ASSERT_TRUE(plan.feasible);
+    const auto cpu_pmds = pmdsOf(plan.assignment.at(1));
+    const auto mem_pmds = pmdsOf(plan.assignment.at(2));
+    for (PmdId p : cpu_pmds)
+        EXPECT_EQ(mem_pmds.count(p), 0u);
+    EXPECT_EQ(plan.utilizedPmds, 2u + 3u);
+    for (PmdId p : cpu_pmds)
+        EXPECT_DOUBLE_EQ(plan.pmdFrequencies[p], GHz(3.0));
+    for (PmdId p : mem_pmds)
+        EXPECT_DOUBLE_EQ(plan.pmdFrequencies[p], GHz(1.5));
+}
+
+TEST(Placement, NoDuplicateCoresAcrossProcesses)
+{
+    const PlacementEngine engine(xGene3());
+    PlacementRequest req;
+    req.procs.push_back(proc(1, 8, WorkloadClass::CpuIntensive));
+    req.procs.push_back(proc(2, 10, WorkloadClass::MemoryIntensive));
+    req.procs.push_back(proc(3, 6, WorkloadClass::CpuIntensive));
+    req.procs.push_back(proc(4, 8, WorkloadClass::MemoryIntensive));
+    const PlacementPlan plan = engine.plan(req);
+    ASSERT_TRUE(plan.feasible);
+    std::vector<CoreId> all;
+    for (const auto &[pid, cores] : plan.assignment)
+        all.insert(all.end(), cores.begin(), cores.end());
+    std::sort(all.begin(), all.end());
+    EXPECT_EQ(std::adjacent_find(all.begin(), all.end()),
+              all.end());
+    EXPECT_EQ(all.size(), 32u);
+}
+
+TEST(Placement, CrowdedChipPacksMemoryThreads)
+{
+    // 16 CPU threads need 8 PMDs; 16 memory threads then cannot
+    // each get their own PMD — they pack two per module.
+    const PlacementEngine engine(xGene3());
+    PlacementRequest req;
+    req.procs.push_back(proc(1, 16, WorkloadClass::CpuIntensive));
+    req.procs.push_back(proc(2, 16, WorkloadClass::MemoryIntensive));
+    const PlacementPlan plan = engine.plan(req);
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_EQ(plan.utilizedPmds, 16u);
+    EXPECT_EQ(pmdsOf(plan.assignment.at(2)).size(), 8u);
+}
+
+TEST(Placement, OddCountsSpillIntoCpuPmds)
+{
+    // 1 CPU thread + 7 memory threads on X-Gene 2 (4 PMDs): the
+    // memory side cannot fit 7 threads on 3 PMDs, so one spills
+    // next to the CPU thread.
+    const PlacementEngine engine(xGene2());
+    PlacementRequest req;
+    req.procs.push_back(proc(1, 1, WorkloadClass::CpuIntensive));
+    req.procs.push_back(proc(2, 7, WorkloadClass::MemoryIntensive));
+    const PlacementPlan plan = engine.plan(req);
+    ASSERT_TRUE(plan.feasible);
+    std::vector<CoreId> all = plan.assignment.at(1);
+    const auto &mem = plan.assignment.at(2);
+    all.insert(all.end(), mem.begin(), mem.end());
+    std::sort(all.begin(), all.end());
+    EXPECT_EQ(std::adjacent_find(all.begin(), all.end()),
+              all.end());
+    EXPECT_EQ(all.size(), 8u);
+    // The PMD hosting the CPU thread runs at fmax regardless.
+    const PmdId cpu_pmd = pmdOfCore(plan.assignment.at(1)[0]);
+    EXPECT_DOUBLE_EQ(plan.pmdFrequencies[cpu_pmd], GHz(2.4));
+}
+
+TEST(Placement, InfeasibleWhenOverCommitted)
+{
+    const PlacementEngine engine(xGene2());
+    PlacementRequest req;
+    req.procs.push_back(proc(1, 9, WorkloadClass::CpuIntensive));
+    EXPECT_FALSE(engine.plan(req).feasible);
+}
+
+TEST(Placement, EmptyRequestIsTriviallyFeasible)
+{
+    const PlacementEngine engine(xGene3());
+    const PlacementPlan plan = engine.plan(PlacementRequest{});
+    EXPECT_TRUE(plan.feasible);
+    EXPECT_EQ(plan.utilizedPmds, 0u);
+}
+
+TEST(Placement, StableWhenNothingChanged)
+{
+    // Replanning the same snapshot keeps every thread in place.
+    const PlacementEngine engine(xGene3());
+    PlacementRequest first;
+    first.procs.push_back(proc(1, 4, WorkloadClass::CpuIntensive));
+    first.procs.push_back(proc(2, 3,
+                               WorkloadClass::MemoryIntensive));
+    const PlacementPlan initial = engine.plan(first);
+
+    PlacementRequest again;
+    again.procs.push_back(proc(1, 4, WorkloadClass::CpuIntensive,
+                               initial.assignment.at(1)));
+    again.procs.push_back(proc(2, 3,
+                               WorkloadClass::MemoryIntensive,
+                               initial.assignment.at(2)));
+    const PlacementPlan replanned = engine.plan(again);
+    EXPECT_EQ(replanned.assignment.at(1), initial.assignment.at(1));
+    EXPECT_EQ(replanned.assignment.at(2), initial.assignment.at(2));
+}
+
+TEST(Placement, RestrictToCurrentPmdsKeepsTheSet)
+{
+    // A classification change must not grow/shrink the utilized-PMD
+    // set (§VI.A).
+    const PlacementEngine engine(xGene3());
+    PlacementRequest first;
+    first.procs.push_back(proc(1, 2, WorkloadClass::CpuIntensive));
+    first.procs.push_back(proc(2, 2, WorkloadClass::CpuIntensive));
+    const PlacementPlan initial = engine.plan(first);
+    std::set<PmdId> before;
+    for (const auto &[pid, cores] : initial.assignment)
+        for (CoreId c : cores)
+            before.insert(pmdOfCore(c));
+
+    // pid 2 flips to memory-intensive.
+    PlacementRequest change;
+    change.restrictToCurrentPmds = true;
+    change.procs.push_back(proc(1, 2, WorkloadClass::CpuIntensive,
+                                initial.assignment.at(1)));
+    change.procs.push_back(proc(2, 2,
+                                WorkloadClass::MemoryIntensive,
+                                initial.assignment.at(2)));
+    const PlacementPlan replanned = engine.plan(change);
+    ASSERT_TRUE(replanned.feasible);
+    std::set<PmdId> after;
+    for (const auto &[pid, cores] : replanned.assignment)
+        for (CoreId c : cores)
+            after.insert(pmdOfCore(c));
+    EXPECT_EQ(before, after);
+}
+
+TEST(Placement, CustomFrequencyConfig)
+{
+    PlacementEngine::Config cfg;
+    cfg.cpuFrequency = GHz(2.25);
+    cfg.memFrequency = GHz(0.75);
+    cfg.idleFrequency = GHz(0.375);
+    const PlacementEngine engine(xGene3(), cfg);
+    EXPECT_DOUBLE_EQ(engine.cpuFrequency(), GHz(2.25));
+    EXPECT_DOUBLE_EQ(engine.memFrequency(), GHz(0.75));
+    EXPECT_DOUBLE_EQ(engine.idleFrequency(), GHz(0.375));
+}
+
+TEST(Placement, InputValidation)
+{
+    const PlacementEngine engine(xGene3());
+    PlacementRequest req;
+    req.procs.push_back(proc(1, 0, WorkloadClass::CpuIntensive));
+    EXPECT_THROW(engine.plan(req), FatalError);
+
+    req.procs.clear();
+    PlacementProc bad = proc(1, 2, WorkloadClass::CpuIntensive);
+    bad.currentCores = {0}; // arity mismatch
+    req.procs.push_back(bad);
+    EXPECT_THROW(engine.plan(req), FatalError);
+
+    req.procs.clear();
+    req.restrictToCurrentPmds = true;
+    req.procs.push_back(proc(1, 2, WorkloadClass::CpuIntensive));
+    EXPECT_THROW(engine.plan(req), FatalError); // unplaced proc
+}
+
+/// Property sweep: any feasible mix produces a valid, complete,
+/// duplicate-free assignment with consistent frequencies.
+struct MixCase
+{
+    std::uint32_t cpuProcs;
+    std::uint32_t cpuThreads;
+    std::uint32_t memProcs;
+    std::uint32_t memThreads;
+};
+
+class PlacementMix : public ::testing::TestWithParam<MixCase>
+{};
+
+TEST_P(PlacementMix, PlanIsWellFormed)
+{
+    const MixCase &mc = GetParam();
+    const ChipSpec spec = xGene3();
+    const PlacementEngine engine(spec);
+    PlacementRequest req;
+    Pid pid = 1;
+    for (std::uint32_t i = 0; i < mc.cpuProcs; ++i) {
+        req.procs.push_back(
+            proc(pid++, mc.cpuThreads, WorkloadClass::CpuIntensive));
+    }
+    for (std::uint32_t i = 0; i < mc.memProcs; ++i) {
+        req.procs.push_back(proc(pid++, mc.memThreads,
+                                 WorkloadClass::MemoryIntensive));
+    }
+    const std::uint32_t total =
+        mc.cpuProcs * mc.cpuThreads + mc.memProcs * mc.memThreads;
+    const PlacementPlan plan = engine.plan(req);
+    ASSERT_EQ(plan.feasible, total <= spec.numCores);
+    if (!plan.feasible)
+        return;
+
+    std::vector<CoreId> all;
+    for (const auto &[p, cores] : plan.assignment) {
+        EXPECT_EQ(cores.size(),
+                  req.procs[static_cast<std::size_t>(p - 1)]
+                      .threads);
+        all.insert(all.end(), cores.begin(), cores.end());
+    }
+    std::sort(all.begin(), all.end());
+    EXPECT_EQ(std::adjacent_find(all.begin(), all.end()),
+              all.end());
+    EXPECT_EQ(all.size(), total);
+    // Utilized flags consistent with the assignment.
+    std::uint32_t utilized = 0;
+    for (PmdId p = 0; p < spec.numPmds(); ++p)
+        utilized += plan.pmdUtilized[p] ? 1 : 0;
+    EXPECT_EQ(utilized, plan.utilizedPmds);
+    EXPECT_EQ(utilized, countUtilizedPmds(all));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, PlacementMix,
+    ::testing::Values(MixCase{1, 1, 0, 0}, MixCase{0, 0, 1, 1},
+                      MixCase{2, 4, 2, 4}, MixCase{1, 16, 1, 16},
+                      MixCase{8, 1, 8, 1}, MixCase{0, 0, 4, 8},
+                      MixCase{4, 8, 0, 0}, MixCase{1, 31, 1, 1},
+                      MixCase{1, 1, 1, 31}, MixCase{3, 5, 3, 5},
+                      MixCase{2, 16, 1, 1}, MixCase{5, 5, 2, 4}));
+
+} // namespace
+} // namespace ecosched

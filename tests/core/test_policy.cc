@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the four named configurations (§VI.B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "core/policy.hh"
+#include "workloads/catalog.hh"
+
+namespace ecosched {
+namespace {
+
+using namespace units;
+
+TEST(Policy, Names)
+{
+    EXPECT_STREQ(policyKindName(PolicyKind::Baseline), "Baseline");
+    EXPECT_STREQ(policyKindName(PolicyKind::SafeVmin), "Safe Vmin");
+    EXPECT_STREQ(policyKindName(PolicyKind::Placement),
+                 "Placement");
+    EXPECT_STREQ(policyKindName(PolicyKind::Optimal), "Optimal");
+}
+
+TEST(Policy, BaselineUsesOndemandAtNominal)
+{
+    Machine machine(xGene3());
+    System system(machine);
+    const PolicySetup setup =
+        configurePolicy(system, PolicyKind::Baseline);
+    EXPECT_EQ(setup.daemon, nullptr);
+    EXPECT_STREQ(system.governor().name(), "ondemand");
+    EXPECT_STREQ(system.placementPolicy().name(), "linux-spread");
+    EXPECT_DOUBLE_EQ(machine.chip().voltage(), mV(870));
+}
+
+TEST(Policy, SafeVminUndervoltsStatically)
+{
+    Machine machine(xGene3());
+    System system(machine);
+    const PolicySetup setup =
+        configurePolicy(system, PolicyKind::SafeVmin);
+    EXPECT_EQ(setup.daemon, nullptr);
+    EXPECT_STREQ(system.governor().name(), "ondemand");
+    // The most conservative table entry: fmax with all PMDs.
+    EXPECT_NEAR(machine.chip().voltage(), mV(830), 1e-9);
+}
+
+TEST(Policy, PlacementRunsDaemonWithoutVoltageControl)
+{
+    Machine machine(xGene3());
+    System system(machine);
+    const PolicySetup setup =
+        configurePolicy(system, PolicyKind::Placement);
+    ASSERT_NE(setup.daemon, nullptr);
+    EXPECT_TRUE(setup.daemon->config().controlPlacement);
+    EXPECT_TRUE(setup.daemon->config().controlFrequency);
+    EXPECT_FALSE(setup.daemon->config().controlVoltage);
+    EXPECT_STREQ(system.governor().name(), "ecosched-daemon");
+    EXPECT_STREQ(system.placementPolicy().name(),
+                 "ecosched-daemon");
+}
+
+TEST(Policy, OptimalControlsEverything)
+{
+    Machine machine(xGene3());
+    System system(machine);
+    const PolicySetup setup =
+        configurePolicy(system, PolicyKind::Optimal);
+    ASSERT_NE(setup.daemon, nullptr);
+    EXPECT_TRUE(setup.daemon->config().controlPlacement);
+    EXPECT_TRUE(setup.daemon->config().controlFrequency);
+    EXPECT_TRUE(setup.daemon->config().controlVoltage);
+}
+
+TEST(Policy, OverridesForcedPerKind)
+{
+    // Even when the caller's base config disagrees, Placement and
+    // Optimal force their control flags.
+    Machine machine(xGene3());
+    System system(machine);
+    DaemonConfig base;
+    base.controlVoltage = true;
+    const PolicySetup placement =
+        configurePolicy(system, PolicyKind::Placement, base);
+    EXPECT_FALSE(placement.daemon->config().controlVoltage);
+}
+
+TEST(Policy, SafeVminRespectsGuardbandOverride)
+{
+    Machine machine(xGene3());
+    System system(machine);
+    DaemonConfig base;
+    base.guardband = mV(20);
+    configurePolicy(system, PolicyKind::SafeVmin, base);
+    EXPECT_NEAR(machine.chip().voltage(), mV(850), 1e-9);
+}
+
+} // namespace
+} // namespace ecosched

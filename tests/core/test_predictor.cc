@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the counter-feature Vmin predictor (the §VI.A ablation)
+ * and its integration in the daemon.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/units.hh"
+#include "core/daemon.hh"
+#include "core/predictor.hh"
+#include "workloads/catalog.hh"
+
+namespace ecosched {
+namespace {
+
+using namespace units;
+
+TEST(Predictor, ZeroAggressivenessTakesNoMargin)
+{
+    CounterVminPredictor::Config cfg;
+    cfg.aggressiveness = 0.0;
+    const CounterVminPredictor predictor(cfg);
+    EXPECT_DOUBLE_EQ(predictor.predictedMargin(1, 100.0), 0.0);
+    EXPECT_DOUBLE_EQ(predictor.predictedMargin(32, 100.0), 0.0);
+}
+
+TEST(Predictor, MarginShrinksWithObservedRate)
+{
+    const CounterVminPredictor predictor;
+    const Volt low_rate = predictor.predictedMargin(4, 500.0);
+    const Volt mid_rate = predictor.predictedMargin(4, 6000.0);
+    const Volt sat_rate = predictor.predictedMargin(4, 20000.0);
+    EXPECT_GT(low_rate, mid_rate);
+    EXPECT_GT(mid_rate, sat_rate);
+    EXPECT_DOUBLE_EQ(sat_rate, 0.0); // saturated: most sensitive
+}
+
+TEST(Predictor, MarginFadesWithCoreCount)
+{
+    const CounterVminPredictor predictor;
+    EXPECT_GT(predictor.predictedMargin(1, 500.0),
+              predictor.predictedMargin(8, 500.0));
+    EXPECT_GT(predictor.predictedMargin(8, 500.0),
+              predictor.predictedMargin(32, 500.0));
+}
+
+TEST(Predictor, PredictSafeVoltageFloorsAtRegulatorMin)
+{
+    const VminModel model(xGene2());
+    const DroopClassTable table(model);
+    CounterVminPredictor::Config cfg;
+    cfg.aggressiveness = 1.0;
+    cfg.assumedSpreadMv = 500.0; // absurd: must clamp
+    const CounterVminPredictor predictor(cfg);
+    const Volt v = predictor.predictSafeVoltage(
+        table, units::GHz(2.4), 1, 1, 0.0);
+    EXPECT_GE(v, xGene2().vFloor - 1e-12);
+}
+
+TEST(Predictor, PredictSafeVoltageBelowTable)
+{
+    const VminModel model(xGene2());
+    const DroopClassTable table(model);
+    const CounterVminPredictor predictor;
+    const Volt predicted = predictor.predictSafeVoltage(
+        table, GHz(2.4), 1, 1, 500.0);
+    EXPECT_LT(predicted, table.safeVoltage(GHz(2.4), 1));
+}
+
+TEST(Predictor, Validation)
+{
+    CounterVminPredictor::Config cfg;
+    cfg.aggressiveness = 1.5;
+    EXPECT_THROW(CounterVminPredictor{cfg}, FatalError);
+    cfg = CounterVminPredictor::Config{};
+    cfg.saturationRate = 0.0;
+    EXPECT_THROW(CounterVminPredictor{cfg}, FatalError);
+    const CounterVminPredictor ok;
+    EXPECT_THROW(ok.predictedMargin(0, 100.0), FatalError);
+    EXPECT_THROW(ok.predictedMargin(4, -1.0), FatalError);
+}
+
+TEST(PredictiveDaemon, UndervoltsBelowTheTable)
+{
+    Machine machine(xGene2());
+    System system(machine);
+    DaemonConfig cfg;
+    cfg.useVminPredictor = true;
+    cfg.predictor.aggressiveness = 1.0;
+    cfg.predictor.assumedSpreadMv = 40.0;
+    Daemon daemon(system, cfg);
+
+    // One CPU-intensive (low-rate) process: the predictor believes
+    // it tolerates a deep undervolt.
+    system.submit(Catalog::instance().byName("namd"), 1);
+    system.runUntil(1.5);
+    EXPECT_LT(machine.chip().voltage(),
+              daemon.table().safeVoltage(machine.spec().fMax, 1));
+}
+
+TEST(PredictiveDaemon, UnsampledProcessesKeepTheTableValue)
+{
+    Machine machine(xGene2());
+    System system(machine);
+    DaemonConfig cfg;
+    cfg.useVminPredictor = true;
+    Daemon daemon(system, cfg);
+    system.submit(Catalog::instance().byName("namd"), 1);
+    // Before the first sample the predictor must stay conservative.
+    system.runUntil(0.1);
+    EXPECT_GE(machine.chip().voltage() + 1e-9,
+              daemon.table().safeVoltage(machine.spec().fMax, 1));
+}
+
+TEST(PredictiveDaemon, TableDaemonUnaffectedByPredictorKnobs)
+{
+    Machine machine(xGene2());
+    System system(machine);
+    DaemonConfig cfg;
+    cfg.useVminPredictor = false;
+    cfg.predictor.aggressiveness = 1.0;
+    Daemon daemon(system, cfg);
+    system.submit(Catalog::instance().byName("namd"), 1);
+    system.runUntil(1.5);
+    EXPECT_NEAR(machine.chip().voltage(),
+                daemon.table().safeVoltage(machine.spec().fMax, 1),
+                1e-9);
+}
+
+} // namespace
+} // namespace ecosched

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Integration tests for the §VI.B scenario runner: the paper's
+ * qualitative results must hold on generated workloads.
+ */
+
+#include <algorithm>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "core/scenario.hh"
+
+namespace ecosched {
+namespace {
+
+GeneratedWorkload
+makeWorkload(const ChipSpec &chip, Seconds duration,
+             std::uint64_t seed = 42)
+{
+    GeneratorConfig gc;
+    gc.duration = duration;
+    gc.maxCores = chip.numCores;
+    gc.seed = seed;
+    gc.chipName = chip.name;
+    gc.referenceFrequency = chip.fMax;
+    return WorkloadGenerator(gc).generate();
+}
+
+ScenarioResult
+run(const ChipSpec &chip, const GeneratedWorkload &wl,
+    PolicyKind policy)
+{
+    ScenarioConfig sc;
+    sc.chip = chip;
+    sc.policy = policy;
+    return ScenarioRunner(sc).run(wl);
+}
+
+class ScenarioOnChip : public ::testing::TestWithParam<bool>
+{
+  protected:
+    ChipSpec chip() const { return GetParam() ? xGene3() : xGene2(); }
+};
+
+TEST_P(ScenarioOnChip, PaperOrderingHolds)
+{
+    const ChipSpec spec = chip();
+    const GeneratedWorkload wl = makeWorkload(spec, 1800.0);
+
+    const ScenarioResult base = run(spec, wl, PolicyKind::Baseline);
+    const ScenarioResult safe = run(spec, wl, PolicyKind::SafeVmin);
+    const ScenarioResult place =
+        run(spec, wl, PolicyKind::Placement);
+    const ScenarioResult optimal =
+        run(spec, wl, PolicyKind::Optimal);
+
+    // Everything completes correctly.
+    for (const auto *r : {&base, &safe, &place, &optimal}) {
+        EXPECT_EQ(r->processesCompleted, wl.items.size());
+        EXPECT_EQ(r->worstOutcome, RunOutcome::Ok);
+        EXPECT_GT(r->energy, 0.0);
+    }
+
+    // Table III/IV ordering: every scheme saves energy; Optimal
+    // saves the most; Optimal beats both of its components.
+    EXPECT_LT(safe.energy, base.energy);
+    EXPECT_LT(place.energy, base.energy);
+    EXPECT_LT(optimal.energy, place.energy);
+    EXPECT_LT(optimal.energy, safe.energy);
+
+    // SafeVmin does not disturb scheduling: identical timing.
+    EXPECT_NEAR(safe.completionTime, base.completionTime, 1e-6);
+
+    // The daemon's performance cost stays minimal (paper: ~3 % on
+    // 1-hour windows; shorter windows amplify the slowed tail job).
+    EXPECT_LT(optimal.completionTime,
+              base.completionTime * 1.12);
+
+    // The daemon actually acts: migrations and voltage changes.
+    EXPECT_GT(optimal.migrations, 0u);
+    EXPECT_GT(optimal.voltageTransitions, 0u);
+    EXPECT_EQ(base.migrations, 0u);
+    EXPECT_TRUE(optimal.hasDaemon);
+    EXPECT_FALSE(base.hasDaemon);
+}
+
+TEST_P(ScenarioOnChip, OptimalSavingsInPaperBand)
+{
+    const ChipSpec spec = chip();
+    const GeneratedWorkload wl = makeWorkload(spec, 900.0);
+    const ScenarioResult base = run(spec, wl, PolicyKind::Baseline);
+    const ScenarioResult optimal =
+        run(spec, wl, PolicyKind::Optimal);
+    const double savings = 1.0 - optimal.energy / base.energy;
+    // Paper: 25.2 % (X-Gene 2) / 22.3 % (X-Gene 3).
+    EXPECT_GT(savings, 0.15);
+    EXPECT_LT(savings, 0.40);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chips, ScenarioOnChip,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool> &i) {
+                             return i.param ? "XGene3" : "XGene2";
+                         });
+
+TEST(Scenario, DeterministicForSameInputs)
+{
+    const ChipSpec spec = xGene3();
+    const GeneratedWorkload wl = makeWorkload(spec, 300.0);
+    const ScenarioResult a = run(spec, wl, PolicyKind::Optimal);
+    const ScenarioResult b = run(spec, wl, PolicyKind::Optimal);
+    EXPECT_DOUBLE_EQ(a.energy, b.energy);
+    EXPECT_DOUBLE_EQ(a.completionTime, b.completionTime);
+    EXPECT_EQ(a.migrations, b.migrations);
+    EXPECT_EQ(a.voltageTransitions, b.voltageTransitions);
+}
+
+TEST(Scenario, TimelineIsWellFormed)
+{
+    const ChipSpec spec = xGene3();
+    const GeneratedWorkload wl = makeWorkload(spec, 300.0);
+    const ScenarioResult r = run(spec, wl, PolicyKind::Optimal);
+    ASSERT_FALSE(r.timeline.empty());
+    Seconds prev = -1.0;
+    for (const auto &s : r.timeline) {
+        EXPECT_GT(s.time, prev);
+        prev = s.time;
+        EXPECT_GE(s.power, 0.0);
+        EXPECT_EQ(s.runningProcs, s.cpuProcs + s.memProcs);
+        EXPECT_LE(s.utilizedPmds, spec.numPmds());
+        EXPECT_GT(s.voltage, 0.0);
+        EXPECT_LE(s.voltage, spec.vNominal + 1e-9);
+    }
+    // ED2P consistency.
+    EXPECT_NEAR(r.ed2p,
+                r.energy * r.completionTime * r.completionTime,
+                r.ed2p * 1e-12);
+}
+
+TEST(Scenario, MigrationCostKnobSlowsDaemonRuns)
+{
+    const ChipSpec spec = xGene3();
+    const GeneratedWorkload wl = makeWorkload(spec, 300.0);
+    ScenarioConfig cheap;
+    cheap.chip = spec;
+    cheap.policy = PolicyKind::Optimal;
+    cheap.migrationCost = 0.0;
+    ScenarioConfig dear = cheap;
+    dear.migrationCost = 0.5; // absurd half-second stall
+    const ScenarioResult fast = ScenarioRunner(cheap).run(wl);
+    const ScenarioResult slow = ScenarioRunner(dear).run(wl);
+    EXPECT_GT(slow.completionTime, fast.completionTime);
+    EXPECT_GT(fast.migrations, 0u);
+}
+
+TEST(Scenario, TimelineCsvExport)
+{
+    const ChipSpec spec = xGene3();
+    const GeneratedWorkload wl = makeWorkload(spec, 300.0);
+    const ScenarioResult r = run(spec, wl, PolicyKind::Optimal);
+    std::ostringstream csv;
+    r.writeTimelineCsv(csv);
+    const std::string out = csv.str();
+    EXPECT_NE(out.find("time_s,power_w,load_avg"),
+              std::string::npos);
+    // Header + one row per sample.
+    const auto lines = static_cast<std::size_t>(
+        std::count(out.begin(), out.end(), '\n'));
+    EXPECT_EQ(lines, r.timeline.size() + 1);
+    EXPECT_NE(out.find("temperature_c"), std::string::npos);
+}
+
+TEST(Scenario, SafeRunsHaveNoUnsafeExposure)
+{
+    const ChipSpec spec = xGene2();
+    const GeneratedWorkload wl = makeWorkload(spec, 300.0);
+    ScenarioConfig sc;
+    sc.chip = spec;
+    sc.policy = PolicyKind::Optimal;
+    sc.injectFaults = true;
+    const ScenarioResult r = ScenarioRunner(sc).run(wl);
+    EXPECT_DOUBLE_EQ(r.unsafeExposure, 0.0);
+    EXPECT_EQ(r.processesFailed, 0u);
+    EXPECT_EQ(r.worstOutcome, RunOutcome::Ok);
+}
+
+TEST(Scenario, ProfileGroundTruthClassification)
+{
+    const ChipSpec spec = xGene3();
+    const Catalog &cat = Catalog::instance();
+    EXPECT_TRUE(profileIsMemoryIntensive(cat.byName("CG"), spec));
+    EXPECT_TRUE(profileIsMemoryIntensive(cat.byName("milc"), spec));
+    EXPECT_FALSE(profileIsMemoryIntensive(cat.byName("namd"), spec));
+    EXPECT_FALSE(profileIsMemoryIntensive(cat.byName("EP"), spec));
+}
+
+TEST(Scenario, ConfigValidation)
+{
+    ScenarioConfig sc;
+    sc.chip = xGene3();
+    sc.timestep = 0.0;
+    EXPECT_THROW(ScenarioRunner{sc}, FatalError);
+    sc = ScenarioConfig{};
+    sc.chip = xGene3();
+    sc.sampleInterval = sc.timestep / 2.0;
+    EXPECT_THROW(ScenarioRunner{sc}, FatalError);
+    sc = ScenarioConfig{};
+    sc.chip = xGene3();
+    sc.drainBoundFactor = 0.5;
+    EXPECT_THROW(ScenarioRunner{sc}, FatalError);
+}
+
+TEST(Scenario, RejectsMismatchedWorkload)
+{
+    ScenarioConfig sc;
+    sc.chip = xGene2(); // 8 cores
+    const GeneratedWorkload wl = makeWorkload(xGene3(), 300.0);
+    EXPECT_THROW(ScenarioRunner(sc).run(wl), FatalError);
+    const GeneratedWorkload empty;
+    ScenarioConfig ok;
+    ok.chip = xGene3();
+    EXPECT_THROW(ScenarioRunner(ok).run(empty), FatalError);
+}
+
+} // namespace
+} // namespace ecosched

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * End-to-end consistency between the §III characterization and the
+ * §VI daemon: the table the daemon deploys must dominate (be safe
+ * for) every configuration an offline characterization campaign
+ * would measure in the same droop/frequency class — on both chips
+ * and across chip samples.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/droop_table.hh"
+#include "vmin/characterizer.hh"
+#include "workloads/catalog.hh"
+
+namespace ecosched {
+namespace {
+
+class ChipParam : public ::testing::TestWithParam<bool>
+{
+  protected:
+    ChipSpec chip() const { return GetParam() ? xGene3() : xGene2(); }
+};
+
+TEST_P(ChipParam, TableDominatesCharacterizedVmin)
+{
+    const ChipSpec spec = chip();
+    const VminModel model(spec);
+    const DroopClassTable table(model, 0.0);
+    const FailureModel failures;
+    CharacterizerConfig cc;
+    cc.safeTrials = 300; // enough for a dominance check
+    const VminCharacterizer characterizer(model, failures, cc);
+    Rng rng(17);
+
+    const auto benchmarks = Catalog::instance().characterizedSet();
+    // Sample a few workloads across the intensity spectrum.
+    const std::vector<const BenchmarkProfile *> sample = {
+        benchmarks[0], benchmarks[7], benchmarks[13],
+        benchmarks[19], benchmarks[24]};
+
+    for (Hertz f : {spec.fMax, spec.halfClassMaxFreq}) {
+        for (std::uint32_t threads :
+             {1u, 2u, spec.numCores / 4, spec.numCores / 2,
+              spec.numCores}) {
+            for (Allocation alloc : {Allocation::Clustered,
+                                     Allocation::Spreaded}) {
+                const auto cores = allocateCores(spec.numCores,
+                                                 threads, alloc);
+                const std::uint32_t pmds =
+                    countUtilizedPmds(cores);
+                const Volt deployed = table.safeVoltage(f, pmds);
+                for (const auto *bench : sample) {
+                    const auto result =
+                        characterizer.characterize(
+                            rng, f, cores,
+                            bench->vminSensitivity);
+                    // Hard safety property: the deployed voltage is
+                    // at or above every workload's actual minimal
+                    // working voltage in the class.
+                    EXPECT_GE(deployed + 1e-9,
+                              model.trueVmin(
+                                  f, cores,
+                                  bench->vminSensitivity))
+                        << spec.name << " " << bench->name << " "
+                        << threads << "T "
+                        << allocationName(alloc);
+                    // And it tracks the measured (10 mV-grid) safe
+                    // Vmin to within one sweep step.
+                    EXPECT_GE(deployed + cc.stepSize + 1e-9,
+                              result.safeVmin)
+                        << spec.name << " " << bench->name << " "
+                        << threads << "T "
+                        << allocationName(alloc);
+                }
+            }
+        }
+    }
+}
+
+TEST_P(ChipParam, TableSafeAcrossChipSamples)
+{
+    // A table characterized on sample A must NOT be deployed on
+    // sample B blindly — but our per-sample tables must each cover
+    // their own sample.  Verify per-sample self-consistency.
+    const ChipSpec spec = chip();
+    VminParams params = VminParams::forChip(spec);
+    params.pmdOffsetsMv.clear();
+    for (std::uint64_t seed : {1ull, 9ull, 23ull}) {
+        const VminModel model(spec, params, seed);
+        const DroopClassTable table(model, 0.0);
+        for (std::uint32_t threads : {1u, spec.numCores / 2}) {
+            const auto cores = allocateCores(
+                spec.numCores, threads, Allocation::Spreaded);
+            const Volt deployed = table.safeVoltage(
+                spec.fMax, countUtilizedPmds(cores));
+            EXPECT_GE(deployed + 1e-9,
+                      model.trueVmin(spec.fMax, cores, 1.0));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Chips, ChipParam,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool> &i) {
+                             return i.param ? "XGene3" : "XGene2";
+                         });
+
+} // namespace
+} // namespace ecosched

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Randomised stress tests: drive the full stack (System + Daemon on
+ * a Machine) with random operation sequences and check global
+ * invariants at every step.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/daemon.hh"
+#include "core/droop_table.hh"
+#include "os/governor.hh"
+#include "workloads/catalog.hh"
+
+namespace ecosched {
+namespace {
+
+/// Structural invariants that must hold at any instant.
+void
+checkInvariants(const System &system, const Machine &machine)
+{
+    const ChipSpec &spec = machine.spec();
+
+    // Core ownership is single-valued and consistent.
+    std::size_t busy = 0;
+    for (CoreId c = 0; c < spec.numCores; ++c) {
+        const SimThreadId tid = machine.threadOnCore(c);
+        if (tid == invalidSimThread)
+            continue;
+        ++busy;
+        ASSERT_EQ(machine.thread(tid).core, c);
+    }
+    // Process records agree with machine occupancy.
+    std::size_t live = 0;
+    for (Pid pid : system.runningProcesses()) {
+        const Process &proc = system.process(pid);
+        ASSERT_EQ(proc.liveThreads.size(), proc.cores.size());
+        for (std::size_t i = 0; i < proc.cores.size(); ++i) {
+            ASSERT_EQ(machine.threadOnCore(proc.cores[i]),
+                      proc.liveThreads[i]);
+        }
+        live += proc.liveThreads.size();
+    }
+    ASSERT_EQ(live, busy);
+
+    // Electrical state stays inside the chip's envelope.
+    ASSERT_GE(machine.chip().voltage(), spec.vFloor - 1e-9);
+    ASSERT_LE(machine.chip().voltage(), spec.vNominal + 1e-9);
+    for (PmdId p = 0; p < spec.numPmds(); ++p)
+        ASSERT_TRUE(spec.onLadder(machine.chip().pmdFrequency(p)));
+}
+
+/// One fuzz scenario: random submissions and random daemon churn.
+void
+fuzzRun(std::uint64_t seed, bool with_daemon)
+{
+    Machine machine(xGene3());
+    System system(machine);
+    std::unique_ptr<Daemon> daemon;
+    if (with_daemon)
+        daemon = std::make_unique<Daemon>(system);
+
+    Rng rng(seed);
+    const auto &catalog = Catalog::instance();
+    const auto pool = catalog.generatorPool();
+
+    Joule last_energy = 0.0;
+    for (int op = 0; op < 600; ++op) {
+        const double dice = rng.uniform();
+        if (dice < 0.25) {
+            // Random submission (may queue).
+            const auto &profile =
+                *pool[rng.uniformInt(0, pool.size() - 1)];
+            const std::uint32_t threads = profile.parallel
+                ? static_cast<std::uint32_t>(
+                      1u << rng.uniformInt(0, 4))
+                : 1u;
+            system.submit(profile, threads);
+        } else if (dice < 0.35 && !with_daemon) {
+            // Random (valid) migration under the default stack.
+            const auto running = system.runningProcesses();
+            const auto free = system.freeCores();
+            if (!running.empty() && !free.empty()) {
+                const Pid pid = running[rng.uniformInt(
+                    0, running.size() - 1)];
+                const Process &proc = system.process(pid);
+                if (proc.liveThreads.size() == 1) {
+                    system.migrateProcess(
+                        pid,
+                        {free[rng.uniformInt(0, free.size() - 1)]});
+                }
+            }
+        } else {
+            for (int s = 0; s < 5; ++s)
+                system.step();
+        }
+        checkInvariants(system, machine);
+        // Energy must be monotonically non-decreasing.
+        ASSERT_GE(machine.energyMeter().energy(),
+                  last_energy - 1e-12);
+        last_energy = machine.energyMeter().energy();
+    }
+
+    // Everything eventually drains without violations.
+    system.drain(machine.now() + 4000.0);
+    checkInvariants(system, machine);
+    for (const Process &proc : system.finishedProcesses())
+        ASSERT_EQ(proc.outcome, RunOutcome::Ok);
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(FuzzSeeds, DefaultStackSurvives)
+{
+    fuzzRun(GetParam(), /*with_daemon=*/false);
+}
+
+TEST_P(FuzzSeeds, DaemonStackSurvives)
+{
+    fuzzRun(GetParam(), /*with_daemon=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
+                         ::testing::Values(1ull, 2ull, 3ull, 5ull,
+                                           8ull, 13ull));
+
+TEST(FuzzDaemonSafety, RandomChurnNeverUnsafe)
+{
+    // Random load with fault injection on: the daemon must keep the
+    // machine out of the unsafe region at all times.
+    MachineConfig mc;
+    mc.injectFaults = true;
+    Machine machine(xGene2(), mc);
+    System system(machine);
+    Daemon daemon(system);
+
+    Rng rng(77);
+    const auto pool = Catalog::instance().generatorPool();
+    for (int op = 0; op < 400; ++op) {
+        if (rng.uniform() < 0.3) {
+            const auto &profile =
+                *pool[rng.uniformInt(0, pool.size() - 1)];
+            system.submit(profile,
+                          profile.parallel
+                              ? static_cast<std::uint32_t>(
+                                    1u << rng.uniformInt(0, 3))
+                              : 1u);
+        }
+        for (int s = 0; s < 10; ++s)
+            system.step();
+        ASSERT_FALSE(machine.halted());
+        ASSERT_DOUBLE_EQ(machine.unsafeExposure(), 0.0);
+    }
+}
+
+} // namespace
+} // namespace ecosched

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the cpufreq governors (ondemand / performance /
+ * powersave / userspace).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/units.hh"
+#include "os/governor.hh"
+#include "workloads/catalog.hh"
+
+namespace ecosched {
+namespace {
+
+using namespace units;
+
+const BenchmarkProfile &
+bench(const char *name)
+{
+    return Catalog::instance().byName(name);
+}
+
+TEST(Ondemand, BusyPmdRunsAtFmax)
+{
+    Machine machine(xGene3());
+    System system(machine); // defaults to ondemand
+    system.submit(bench("EP"), 2);
+    for (int i = 0; i < 100; ++i)
+        system.step();
+    const Process &proc =
+        system.process(system.runningProcesses().front());
+    for (CoreId c : proc.cores) {
+        EXPECT_DOUBLE_EQ(machine.chip().pmdFrequency(pmdOfCore(c)),
+                         GHz(3.0));
+    }
+}
+
+TEST(Ondemand, IdlePmdScalesDown)
+{
+    Machine machine(xGene3());
+    System system(machine);
+    system.submit(bench("EP"), 2);
+    for (int i = 0; i < 200; ++i)
+        system.step();
+    // Find a PMD with no work: ondemand must have parked it at the
+    // ladder floor.
+    for (PmdId p = 0; p < 16; ++p) {
+        if (!machine.coreBusy(firstCoreOfPmd(p))
+            && !machine.coreBusy(secondCoreOfPmd(p))) {
+            EXPECT_DOUBLE_EQ(machine.chip().pmdFrequency(p),
+                             machine.spec().freqStep());
+            return;
+        }
+    }
+    FAIL() << "no idle PMD found";
+}
+
+TEST(Ondemand, ReactsAfterSamplingPeriod)
+{
+    Machine machine(xGene3());
+    System system(machine);
+    machine.chip().setAllFrequencies(machine.spec().freqStep());
+    system.submit(bench("EP"), 32);
+    // Utilization EWMA needs a few steps; within a few sampling
+    // periods every PMD must be back at fmax.
+    for (int i = 0; i < 100; ++i)
+        system.step();
+    for (PmdId p = 0; p < 16; ++p)
+        EXPECT_DOUBLE_EQ(machine.chip().pmdFrequency(p), GHz(3.0));
+}
+
+TEST(Ondemand, ConfigValidation)
+{
+    OndemandGovernor::Config cfg;
+    cfg.samplingPeriod = 0.0;
+    EXPECT_THROW(OndemandGovernor{cfg}, FatalError);
+    cfg = OndemandGovernor::Config{};
+    cfg.upThreshold = 1.5;
+    EXPECT_THROW(OndemandGovernor{cfg}, FatalError);
+}
+
+TEST(Performance, PinsEverythingAtFmax)
+{
+    Machine machine(xGene3());
+    machine.chip().setAllFrequencies(GHz(0.75));
+    System system(machine, nullptr,
+                  std::make_unique<PerformanceGovernor>());
+    system.step();
+    for (PmdId p = 0; p < 16; ++p)
+        EXPECT_DOUBLE_EQ(machine.chip().pmdFrequency(p), GHz(3.0));
+    EXPECT_STREQ(system.governor().name(), "performance");
+}
+
+TEST(Powersave, PinsEverythingAtFloor)
+{
+    Machine machine(xGene3());
+    System system(machine, nullptr,
+                  std::make_unique<PowersaveGovernor>());
+    system.step();
+    for (PmdId p = 0; p < 16; ++p) {
+        EXPECT_DOUBLE_EQ(machine.chip().pmdFrequency(p),
+                         machine.spec().freqStep());
+    }
+}
+
+TEST(Schedutil, ScalesProportionallyWithHeadroom)
+{
+    Machine machine(xGene3());
+    System system(machine, nullptr,
+                  std::make_unique<SchedutilGovernor>());
+    system.submit(bench("EP"), 2);
+    for (int i = 0; i < 200; ++i)
+        system.step();
+    const Process &proc =
+        system.process(system.runningProcesses().front());
+    // Busy PMDs: util ~1.0 * headroom -> clamped to fmax.
+    for (CoreId c : proc.cores) {
+        EXPECT_DOUBLE_EQ(machine.chip().pmdFrequency(pmdOfCore(c)),
+                         GHz(3.0));
+    }
+    // Idle PMDs sit at the ladder floor.
+    for (PmdId p = 0; p < 16; ++p) {
+        if (!machine.coreBusy(firstCoreOfPmd(p))
+            && !machine.coreBusy(secondCoreOfPmd(p))) {
+            EXPECT_DOUBLE_EQ(machine.chip().pmdFrequency(p),
+                             machine.spec().freqStep());
+            break;
+        }
+    }
+    EXPECT_STREQ(system.governor().name(), "schedutil");
+}
+
+TEST(Schedutil, ConfigValidation)
+{
+    SchedutilGovernor::Config cfg;
+    cfg.samplingPeriod = 0.0;
+    EXPECT_THROW(SchedutilGovernor{cfg}, FatalError);
+    cfg = SchedutilGovernor::Config{};
+    cfg.headroom = 0.8;
+    EXPECT_THROW(SchedutilGovernor{cfg}, FatalError);
+}
+
+TEST(Userspace, TouchesNothing)
+{
+    Machine machine(xGene3());
+    machine.chip().setPmdFrequency(3, GHz(1.5));
+    System system(machine, nullptr,
+                  std::make_unique<UserspaceGovernor>());
+    for (int i = 0; i < 20; ++i)
+        system.step();
+    EXPECT_DOUBLE_EQ(machine.chip().pmdFrequency(3), GHz(1.5));
+    EXPECT_DOUBLE_EQ(machine.chip().pmdFrequency(0), GHz(3.0));
+}
+
+} // namespace
+} // namespace ecosched

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the counter access paths (§VI.A): the exact kernel
+ * module vs the ±3 % Perf-style reader.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "os/perf_reader.hh"
+
+namespace ecosched {
+namespace {
+
+ThreadCounters
+window()
+{
+    ThreadCounters c;
+    c.cycles = 1'500'000;
+    c.l3Accesses = 4'500; // exactly 3000 per 1M cycles
+    c.instructions = 1'200'000;
+    return c;
+}
+
+TEST(KernelModuleReader, Exact)
+{
+    const KernelModuleReader reader;
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_DOUBLE_EQ(reader.readL3PerMCycles(window(), rng),
+                         3000.0);
+    }
+    EXPECT_STREQ(reader.name(), "kernel-module");
+}
+
+TEST(PerfToolReader, NoisyWithinThreePercent)
+{
+    const PerfToolReader reader;
+    Rng rng(2);
+    bool varied = false;
+    double prev = -1.0;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = reader.readL3PerMCycles(window(), rng);
+        EXPECT_GE(v, 3000.0 * 0.97 - 1e-9);
+        EXPECT_LE(v, 3000.0 * 1.03 + 1e-9);
+        varied |= (prev >= 0.0 && v != prev);
+        prev = v;
+    }
+    EXPECT_TRUE(varied);
+}
+
+TEST(PerfToolReader, NoiseCanFlipBorderlineClassification)
+{
+    // The paper's rationale for the kernel module: at the threshold
+    // a ±3 % error flips the decision.
+    const PerfToolReader reader;
+    Rng rng(3);
+    bool above = false;
+    bool below = false;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = reader.readL3PerMCycles(window(), rng);
+        above |= v > 3000.0;
+        below |= v < 3000.0;
+    }
+    EXPECT_TRUE(above);
+    EXPECT_TRUE(below);
+}
+
+TEST(PerfToolReader, CustomNoiseValidated)
+{
+    EXPECT_THROW(PerfToolReader(-0.1), FatalError);
+    EXPECT_THROW(PerfToolReader(1.0), FatalError);
+    const PerfToolReader tight(0.001);
+    Rng rng(4);
+    const double v = tight.readL3PerMCycles(window(), rng);
+    EXPECT_NEAR(v, 3000.0, 3.1);
+}
+
+TEST(Readers, CostOrdering)
+{
+    // Kernel module is orders of magnitude cheaper than Perf.
+    const KernelModuleReader kernel;
+    const PerfToolReader perf;
+    EXPECT_LT(kernel.readCost() * 10.0, perf.readCost());
+}
+
+} // namespace
+} // namespace ecosched

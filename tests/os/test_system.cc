@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the OS layer: process lifecycle, placement, queueing,
+ * migration (including swap cycles on a full chip), counters and
+ * lifecycle events.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "os/governor.hh"
+#include "os/system.hh"
+#include "workloads/catalog.hh"
+
+namespace ecosched {
+namespace {
+
+const BenchmarkProfile &
+bench(const char *name)
+{
+    return Catalog::instance().byName(name);
+}
+
+struct Fixture
+{
+    Machine machine;
+    System system;
+    Fixture()
+        : machine(xGene3()),
+          system(machine, nullptr,
+                 std::make_unique<PerformanceGovernor>())
+    {}
+};
+
+TEST(System, SubmitPlacesImmediatelyWhenRoom)
+{
+    Fixture f;
+    const Pid pid = f.system.submit(bench("namd"), 1);
+    const Process &proc = f.system.process(pid);
+    EXPECT_EQ(proc.state, ProcessState::Running);
+    EXPECT_EQ(proc.liveThreads.size(), 1u);
+    EXPECT_EQ(f.system.processOnCore(proc.cores[0]), pid);
+    EXPECT_EQ(f.system.runningProcesses().size(), 1u);
+}
+
+TEST(System, LinuxSpreadPlacerSpreadsAcrossPmds)
+{
+    Fixture f;
+    const Pid pid = f.system.submit(bench("CG"), 4);
+    const Process &proc = f.system.process(pid);
+    EXPECT_EQ(countUtilizedPmds(proc.cores), 4u);
+}
+
+TEST(System, SingleThreadProgramsRejectMultipleThreads)
+{
+    Fixture f;
+    EXPECT_THROW(f.system.submit(bench("namd"), 4), FatalError);
+    EXPECT_THROW(f.system.submit(bench("CG"), 0), FatalError);
+    EXPECT_THROW(f.system.submit(bench("CG"), 33), FatalError);
+}
+
+TEST(System, QueuesWhenFullAndDrainsFifo)
+{
+    Fixture f;
+    const Pid big = f.system.submit(bench("EP"), 32);
+    EXPECT_EQ(f.system.process(big).state, ProcessState::Running);
+    const Pid q1 = f.system.submit(bench("namd"), 1);
+    const Pid q2 = f.system.submit(bench("milc"), 1);
+    EXPECT_EQ(f.system.process(q1).state, ProcessState::Queued);
+    EXPECT_EQ(f.system.queuedProcesses(),
+              (std::vector<Pid>{q1, q2}));
+    EXPECT_EQ(f.system.pendingCount(), 3u);
+
+    // Run until the parallel job finishes; the queue must drain in
+    // order.
+    while (f.system.process(q1).state == ProcessState::Queued)
+        f.system.step();
+    EXPECT_EQ(f.system.process(q2).state, ProcessState::Running);
+    EXPECT_GT(f.system.process(q1).queueDelay(), 0.0);
+}
+
+TEST(System, ProcessCompletesWithCounters)
+{
+    Fixture f;
+    const Pid pid = f.system.submit(bench("IS"), 8);
+    while (f.system.pendingCount() > 0)
+        f.system.step();
+    ASSERT_EQ(f.system.finishedProcesses().size(), 1u);
+    const Process &done = f.system.finishedProcesses().front();
+    EXPECT_EQ(done.pid, pid);
+    EXPECT_EQ(done.state, ProcessState::Finished);
+    EXPECT_EQ(done.outcome, RunOutcome::Ok);
+    EXPECT_GT(done.completed, done.started);
+    EXPECT_GT(done.retiredCounters.instructions, 0u);
+    // Aggregate view matches the retired counters once finished.
+    EXPECT_EQ(f.system.processCounters(pid).instructions,
+              done.retiredCounters.instructions);
+}
+
+TEST(System, MigrateProcessToNewCores)
+{
+    Fixture f;
+    const Pid pid = f.system.submit(bench("CG"), 2);
+    f.system.step();
+    f.system.migrateProcess(pid, {20, 21});
+    const Process &proc = f.system.process(pid);
+    EXPECT_EQ(proc.cores, (std::vector<CoreId>{20, 21}));
+    EXPECT_EQ(f.system.processOnCore(20), pid);
+    EXPECT_GE(proc.migrations, 2u);
+}
+
+TEST(System, MigrationRejectsOccupiedTarget)
+{
+    Fixture f;
+    const Pid a = f.system.submit(bench("namd"), 1);
+    const Pid b = f.system.submit(bench("milc"), 1);
+    const CoreId core_b = f.system.process(b).cores[0];
+    EXPECT_THROW(f.system.migrateProcess(a, {core_b}), FatalError);
+    EXPECT_THROW(f.system.migrateProcess(a, {0, 1}), FatalError);
+}
+
+TEST(System, ApplyPlacementSwapsOnFullChip)
+{
+    Fixture f;
+    // Fill the whole chip with two 16-thread jobs.
+    const Pid a = f.system.submit(bench("EP"), 16);
+    const Pid b = f.system.submit(bench("CG"), 16);
+    f.system.step();
+    const auto cores_a = f.system.process(a).cores;
+    const auto cores_b = f.system.process(b).cores;
+    // Swap their placements entirely: a pure permutation with no
+    // free core anywhere.
+    std::map<Pid, std::vector<CoreId>> plan;
+    plan[a] = cores_b;
+    plan[b] = cores_a;
+    f.system.applyPlacement(plan);
+    EXPECT_EQ(f.system.process(a).cores, cores_b);
+    EXPECT_EQ(f.system.process(b).cores, cores_a);
+}
+
+TEST(System, ApplyPlacementRejectsOutsideVictims)
+{
+    Fixture f;
+    const Pid a = f.system.submit(bench("namd"), 1);
+    const Pid b = f.system.submit(bench("milc"), 1);
+    std::map<Pid, std::vector<CoreId>> plan;
+    plan[a] = {f.system.process(b).cores[0]};
+    EXPECT_THROW(f.system.applyPlacement(plan), FatalError);
+}
+
+TEST(System, EventsPublishedInOrder)
+{
+    Fixture f;
+    std::vector<std::pair<ProcessEventKind, Pid>> events;
+    f.system.addProcessObserver([&](const ProcessEvent &ev) {
+        events.emplace_back(ev.kind, ev.pid);
+    });
+    const Pid pid = f.system.submit(bench("IS"), 16);
+    while (f.system.pendingCount() > 0)
+        f.system.step();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0],
+              std::make_pair(ProcessEventKind::Started, pid));
+    EXPECT_EQ(events[1],
+              std::make_pair(ProcessEventKind::Completed, pid));
+}
+
+TEST(System, UtilizationTracksOccupancy)
+{
+    Fixture f;
+    f.system.submit(bench("EP"), 2);
+    for (int i = 0; i < 50; ++i)
+        f.system.step();
+    const Process &proc =
+        f.system.process(f.system.runningProcesses().front());
+    for (CoreId c : proc.cores)
+        EXPECT_GT(f.system.coreUtilization(c), 0.9);
+    // Some idle core stays near zero.
+    for (CoreId c = 0; c < 32; ++c) {
+        if (std::find(proc.cores.begin(), proc.cores.end(), c)
+                == proc.cores.end()) {
+            EXPECT_LT(f.system.coreUtilization(c), 0.05);
+            break;
+        }
+    }
+    EXPECT_EQ(f.system.freeCores().size(), 30u);
+}
+
+TEST(System, DrainBoundsRuntime)
+{
+    Fixture f;
+    f.system.submit(bench("namd"), 1);
+    EXPECT_THROW(f.system.drain(0.5), FatalError); // way too short
+}
+
+TEST(System, ProcessStateNames)
+{
+    EXPECT_STREQ(processStateName(ProcessState::Queued), "queued");
+    EXPECT_STREQ(processStateName(ProcessState::Running),
+                 "running");
+    EXPECT_STREQ(processStateName(ProcessState::Finished),
+                 "finished");
+}
+
+} // namespace
+} // namespace ecosched

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the runtime chip state (voltage, per-PMD
+ * frequency, clock gating).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/units.hh"
+#include "platform/chip.hh"
+
+namespace ecosched {
+namespace {
+
+using namespace units;
+
+TEST(Chip, StartsAtNominal)
+{
+    const Chip chip(xGene3());
+    EXPECT_DOUBLE_EQ(chip.voltage(), mV(870));
+    for (PmdId p = 0; p < chip.spec().numPmds(); ++p) {
+        EXPECT_DOUBLE_EQ(chip.pmdFrequency(p), GHz(3.0));
+        EXPECT_FALSE(chip.pmdClockGated(p));
+    }
+}
+
+TEST(Chip, VoltageBounds)
+{
+    Chip chip(xGene3());
+    chip.setVoltage(mV(780));
+    EXPECT_DOUBLE_EQ(chip.voltage(), mV(780));
+    EXPECT_THROW(chip.setVoltage(mV(900)), FatalError); // > nominal
+    EXPECT_THROW(chip.setVoltage(mV(100)), FatalError); // < floor
+}
+
+TEST(Chip, PmdFrequencyMustBeOnLadder)
+{
+    Chip chip(xGene2());
+    chip.setPmdFrequency(1, GHz(0.9));
+    EXPECT_DOUBLE_EQ(chip.pmdFrequency(1), GHz(0.9));
+    EXPECT_DOUBLE_EQ(chip.pmdFrequency(0), GHz(2.4)); // untouched
+    EXPECT_THROW(chip.setPmdFrequency(0, GHz(1.0)), FatalError);
+    EXPECT_THROW(chip.setPmdFrequency(4, GHz(1.2)), FatalError);
+}
+
+TEST(Chip, SetAllFrequencies)
+{
+    Chip chip(xGene3());
+    chip.setAllFrequencies(GHz(1.5));
+    for (PmdId p = 0; p < chip.spec().numPmds(); ++p)
+        EXPECT_DOUBLE_EQ(chip.pmdFrequency(p), GHz(1.5));
+}
+
+TEST(Chip, ClockGatingZeroesCoreFrequency)
+{
+    Chip chip(xGene2());
+    chip.setPmdClockGated(1, true);
+    EXPECT_DOUBLE_EQ(chip.coreFrequency(2), 0.0);
+    EXPECT_DOUBLE_EQ(chip.coreFrequency(3), 0.0);
+    EXPECT_DOUBLE_EQ(chip.coreFrequency(0), GHz(2.4));
+    EXPECT_EQ(chip.numActivePmds(), 3u);
+    chip.setPmdClockGated(1, false);
+    EXPECT_DOUBLE_EQ(chip.coreFrequency(2), GHz(2.4));
+}
+
+TEST(Chip, MaxActiveFrequency)
+{
+    Chip chip(xGene2());
+    chip.setAllFrequencies(GHz(0.9));
+    chip.setPmdFrequency(2, GHz(2.4));
+    EXPECT_DOUBLE_EQ(chip.maxActiveFrequency(), GHz(2.4));
+    chip.setPmdClockGated(2, true);
+    EXPECT_DOUBLE_EQ(chip.maxActiveFrequency(), GHz(0.9));
+    for (PmdId p = 0; p < chip.spec().numPmds(); ++p)
+        chip.setPmdClockGated(p, true);
+    EXPECT_DOUBLE_EQ(chip.maxActiveFrequency(), 0.0);
+    EXPECT_EQ(chip.numActivePmds(), 0u);
+}
+
+TEST(Chip, ResetRestoresDefaults)
+{
+    Chip chip(xGene3());
+    chip.setVoltage(mV(800));
+    chip.setAllFrequencies(GHz(0.75));
+    chip.setPmdClockGated(5, true);
+    chip.reset();
+    EXPECT_DOUBLE_EQ(chip.voltage(), mV(870));
+    EXPECT_DOUBLE_EQ(chip.pmdFrequency(5), GHz(3.0));
+    EXPECT_FALSE(chip.pmdClockGated(5));
+}
+
+} // namespace
+} // namespace ecosched

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for the chip presets (Table I) and the clocking rules
+ * of §II.B (frequency ladder, clock skipping/division, Vmin
+ * frequency classes, droop classes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/units.hh"
+#include "platform/chip_spec.hh"
+
+namespace ecosched {
+namespace {
+
+using namespace units;
+
+TEST(ChipSpec, XGene2TableI)
+{
+    const ChipSpec spec = xGene2();
+    EXPECT_EQ(spec.numCores, 8u);
+    EXPECT_EQ(spec.numPmds(), 4u);
+    EXPECT_DOUBLE_EQ(spec.fMax, GHz(2.4));
+    EXPECT_DOUBLE_EQ(spec.vNominal, mV(980));
+    EXPECT_DOUBLE_EQ(spec.tdp, 35.0);
+    EXPECT_EQ(spec.l3Bytes, 8ull * 1024 * 1024);
+    EXPECT_EQ(spec.technologyNm, 28u);
+}
+
+TEST(ChipSpec, XGene3TableI)
+{
+    const ChipSpec spec = xGene3();
+    EXPECT_EQ(spec.numCores, 32u);
+    EXPECT_EQ(spec.numPmds(), 16u);
+    EXPECT_DOUBLE_EQ(spec.fMax, GHz(3.0));
+    EXPECT_DOUBLE_EQ(spec.vNominal, mV(870));
+    EXPECT_DOUBLE_EQ(spec.tdp, 125.0);
+    EXPECT_EQ(spec.l3Bytes, 32ull * 1024 * 1024);
+    EXPECT_EQ(spec.technologyNm, 16u);
+}
+
+TEST(ChipSpec, LadderHasEighthSteps)
+{
+    const ChipSpec spec = xGene3();
+    const auto ladder = spec.frequencyLadder();
+    ASSERT_EQ(ladder.size(), 8u);
+    EXPECT_DOUBLE_EQ(ladder.front(), MHz(375));
+    EXPECT_DOUBLE_EQ(ladder.back(), GHz(3.0));
+    for (std::size_t i = 1; i < ladder.size(); ++i) {
+        EXPECT_NEAR(ladder[i] - ladder[i - 1], spec.freqStep(),
+                    1.0);
+    }
+}
+
+TEST(ChipSpec, SnapToLadder)
+{
+    const ChipSpec spec = xGene2();
+    EXPECT_DOUBLE_EQ(spec.snapToLadder(GHz(2.4)), GHz(2.4));
+    EXPECT_DOUBLE_EQ(spec.snapToLadder(GHz(1.3)), GHz(1.2));
+    EXPECT_DOUBLE_EQ(spec.snapToLadder(GHz(1.36)), GHz(1.5));
+    // Clamps to the ladder ends.
+    EXPECT_DOUBLE_EQ(spec.snapToLadder(MHz(10)), MHz(300));
+    EXPECT_DOUBLE_EQ(spec.snapToLadder(GHz(9)), GHz(2.4));
+    EXPECT_THROW(spec.snapToLadder(0.0), FatalError);
+}
+
+TEST(ChipSpec, OnLadder)
+{
+    const ChipSpec spec = xGene2();
+    EXPECT_TRUE(spec.onLadder(GHz(0.3)));
+    EXPECT_TRUE(spec.onLadder(GHz(0.9)));
+    EXPECT_TRUE(spec.onLadder(GHz(2.4)));
+    EXPECT_FALSE(spec.onLadder(GHz(1.0)));
+    EXPECT_FALSE(spec.onLadder(GHz(2.7)));
+    EXPECT_FALSE(spec.onLadder(0.0));
+}
+
+TEST(ChipSpec, ClockModes)
+{
+    // Ratio 1/2 is clock division; everything else skipping;
+    // full clock is nominal (§II.B).
+    const ChipSpec spec = xGene3();
+    EXPECT_EQ(spec.clockMode(GHz(3.0)), ClockMode::Nominal);
+    EXPECT_EQ(spec.clockMode(GHz(1.5)), ClockMode::Division);
+    EXPECT_EQ(spec.clockMode(GHz(1.875)), ClockMode::Skipping);
+    EXPECT_EQ(spec.clockMode(MHz(375)), ClockMode::Skipping);
+    EXPECT_THROW(spec.clockMode(GHz(1.0)), FatalError);
+}
+
+TEST(ChipSpec, VminFreqClassesXGene2)
+{
+    // X-Gene 2's CPPC interleaving moves the full division benefit
+    // one step below the half clock (0.9 GHz).
+    const ChipSpec spec = xGene2();
+    EXPECT_EQ(spec.vminFreqClass(GHz(2.4)), VminFreqClass::High);
+    EXPECT_EQ(spec.vminFreqClass(GHz(1.5)), VminFreqClass::High);
+    EXPECT_EQ(spec.vminFreqClass(GHz(1.2)), VminFreqClass::Half);
+    EXPECT_EQ(spec.vminFreqClass(GHz(0.9)), VminFreqClass::Deep);
+    EXPECT_EQ(spec.vminFreqClass(GHz(0.3)), VminFreqClass::Deep);
+}
+
+TEST(ChipSpec, VminFreqClassesXGene3)
+{
+    // X-Gene 3 never reaches the Deep class (§II.B).
+    const ChipSpec spec = xGene3();
+    EXPECT_EQ(spec.vminFreqClass(GHz(3.0)), VminFreqClass::High);
+    EXPECT_EQ(spec.vminFreqClass(GHz(1.875)), VminFreqClass::High);
+    EXPECT_EQ(spec.vminFreqClass(GHz(1.5)), VminFreqClass::Half);
+    EXPECT_EQ(spec.vminFreqClass(MHz(375)), VminFreqClass::Half);
+}
+
+TEST(ChipSpec, DroopClassesXGene3MatchTableII)
+{
+    const ChipSpec spec = xGene3();
+    EXPECT_EQ(spec.droopClassIndex(1), 0u);
+    EXPECT_EQ(spec.droopClassIndex(2), 0u);
+    EXPECT_EQ(spec.droopClassIndex(3), 1u);
+    EXPECT_EQ(spec.droopClassIndex(4), 1u);
+    EXPECT_EQ(spec.droopClassIndex(8), 2u);
+    EXPECT_EQ(spec.droopClassIndex(9), 3u);
+    EXPECT_EQ(spec.droopClassIndex(16), 3u);
+    EXPECT_DOUBLE_EQ(spec.droopClass(16).binLoMv, 55.0);
+    EXPECT_DOUBLE_EQ(spec.droopClass(16).binHiMv, 65.0);
+    EXPECT_DOUBLE_EQ(spec.droopClass(1).binLoMv, 25.0);
+    EXPECT_THROW(spec.droopClassIndex(0), FatalError);
+    EXPECT_THROW(spec.droopClassIndex(17), FatalError);
+}
+
+TEST(ChipSpec, ValidateRejectsBrokenSpecs)
+{
+    ChipSpec spec = xGene2();
+    spec.numCores = 7;
+    EXPECT_THROW(spec.validate(), FatalError);
+
+    spec = xGene2();
+    spec.vFloor = spec.vNominal;
+    EXPECT_THROW(spec.validate(), FatalError);
+
+    spec = xGene2();
+    spec.halfClassMaxFreq = units::GHz(1.0); // not on the ladder
+    EXPECT_THROW(spec.validate(), FatalError);
+
+    spec = xGene2();
+    spec.droopClasses.back().maxPmds = 2; // does not cover 4 PMDs
+    EXPECT_THROW(spec.validate(), FatalError);
+
+    spec = xGene2();
+    spec.droopClasses.clear();
+    EXPECT_THROW(spec.validate(), FatalError);
+}
+
+TEST(ChipSpec, Names)
+{
+    EXPECT_STREQ(clockModeName(ClockMode::Division), "division");
+    EXPECT_STREQ(vminFreqClassName(VminFreqClass::Deep), "deep");
+}
+
+} // namespace
+} // namespace ecosched

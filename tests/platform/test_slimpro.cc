@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the SLIMpro control plane: transition accounting,
+ * latency model, audit log and observers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "platform/slimpro.hh"
+
+namespace ecosched {
+namespace {
+
+using namespace units;
+
+TEST(SlimPro, VoltageTransitionAccounting)
+{
+    Chip chip(xGene3());
+    SlimPro slim(chip);
+    const Seconds latency = slim.requestVoltage(1.0, mV(830));
+    EXPECT_GT(latency, 0.0);
+    EXPECT_DOUBLE_EQ(chip.voltage(), mV(830));
+    EXPECT_EQ(slim.voltageTransitions(), 1u);
+    // A no-op request costs nothing.
+    EXPECT_DOUBLE_EQ(slim.requestVoltage(2.0, mV(830)), 0.0);
+    EXPECT_EQ(slim.voltageTransitions(), 1u);
+}
+
+TEST(SlimPro, VoltageLatencyScalesWithDelta)
+{
+    Chip chip(xGene3());
+    SlimPro slim(chip);
+    const Seconds small = slim.requestVoltage(0.0, mV(860));
+    const Seconds large = slim.requestVoltage(1.0, mV(780));
+    EXPECT_GT(large, small);
+}
+
+TEST(SlimPro, FrequencyRequestsSnapToLadder)
+{
+    Chip chip(xGene3());
+    SlimPro slim(chip);
+    slim.requestPmdFrequency(0.0, 3, GHz(1.4)); // CPPC-style
+    EXPECT_DOUBLE_EQ(chip.pmdFrequency(3), GHz(1.5));
+    EXPECT_EQ(slim.frequencyTransitions(), 1u);
+    // Snapping to the current value is a no-op.
+    slim.requestPmdFrequency(1.0, 3, GHz(1.6));
+    EXPECT_EQ(slim.frequencyTransitions(), 1u);
+}
+
+TEST(SlimPro, RequestAllFrequencies)
+{
+    Chip chip(xGene2());
+    SlimPro slim(chip);
+    slim.requestAllFrequencies(0.0, GHz(0.9));
+    for (PmdId p = 0; p < chip.spec().numPmds(); ++p)
+        EXPECT_DOUBLE_EQ(chip.pmdFrequency(p), GHz(0.9));
+    EXPECT_EQ(slim.frequencyTransitions(), 4u);
+}
+
+TEST(SlimPro, ClockGateRequests)
+{
+    Chip chip(xGene2());
+    SlimPro slim(chip);
+    slim.requestClockGate(0.0, 2, true);
+    EXPECT_TRUE(chip.pmdClockGated(2));
+    EXPECT_DOUBLE_EQ(slim.requestClockGate(1.0, 2, true), 0.0);
+}
+
+TEST(SlimPro, AuditLogRecordsEverything)
+{
+    Chip chip(xGene3());
+    SlimPro slim(chip);
+    slim.requestVoltage(1.5, mV(820));
+    slim.requestPmdFrequency(2.0, 7, GHz(1.5));
+    slim.requestClockGate(2.5, 9, true);
+    ASSERT_EQ(slim.log().size(), 3u);
+    EXPECT_EQ(slim.log()[0].kind, VfEventKind::VoltageChange);
+    EXPECT_DOUBLE_EQ(slim.log()[0].time, 1.5);
+    EXPECT_DOUBLE_EQ(slim.log()[0].before, mV(870));
+    EXPECT_DOUBLE_EQ(slim.log()[0].after, mV(820));
+    EXPECT_EQ(slim.log()[1].kind, VfEventKind::FrequencyChange);
+    EXPECT_EQ(slim.log()[1].pmd, 7u);
+    EXPECT_EQ(slim.log()[2].kind, VfEventKind::ClockGateChange);
+    slim.clearLog();
+    EXPECT_TRUE(slim.log().empty());
+    EXPECT_EQ(slim.voltageTransitions(), 1u); // counters kept
+}
+
+TEST(SlimPro, ObserverSeesPostChangeState)
+{
+    Chip chip(xGene3());
+    SlimPro slim(chip);
+    int calls = 0;
+    slim.setObserver([&](const Chip &c, const VfEvent &ev) {
+        ++calls;
+        if (ev.kind == VfEventKind::VoltageChange) {
+            EXPECT_DOUBLE_EQ(c.voltage(), ev.after);
+        }
+    });
+    slim.requestVoltage(0.0, mV(800));
+    slim.requestPmdFrequency(0.0, 0, GHz(1.5));
+    EXPECT_EQ(calls, 2);
+}
+
+TEST(SlimPro, TotalTransitionLatencyAccumulates)
+{
+    Chip chip(xGene3());
+    SlimPro slim(chip);
+    EXPECT_DOUBLE_EQ(slim.totalTransitionLatency(), 0.0);
+    slim.requestVoltage(0.0, mV(820));
+    slim.requestPmdFrequency(0.0, 1, GHz(1.5));
+    EXPECT_GT(slim.totalTransitionLatency(), 0.0);
+}
+
+} // namespace
+} // namespace ecosched

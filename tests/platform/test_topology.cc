@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for core/PMD topology and the two allocation shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "platform/topology.hh"
+
+namespace ecosched {
+namespace {
+
+TEST(Topology, PmdOfCore)
+{
+    EXPECT_EQ(pmdOfCore(0), 0u);
+    EXPECT_EQ(pmdOfCore(1), 0u);
+    EXPECT_EQ(pmdOfCore(2), 1u);
+    EXPECT_EQ(pmdOfCore(31), 15u);
+}
+
+TEST(Topology, PmdCoreRoundTrip)
+{
+    for (PmdId p = 0; p < 16; ++p) {
+        EXPECT_EQ(pmdOfCore(firstCoreOfPmd(p)), p);
+        EXPECT_EQ(pmdOfCore(secondCoreOfPmd(p)), p);
+        EXPECT_EQ(secondCoreOfPmd(p), firstCoreOfPmd(p) + 1);
+    }
+}
+
+TEST(Topology, ClusteredFillsConsecutiveCores)
+{
+    const auto cores = allocateCores(8, 4, Allocation::Clustered);
+    EXPECT_EQ(cores, (std::vector<CoreId>{0, 1, 2, 3}));
+    EXPECT_EQ(countUtilizedPmds(cores), 2u);
+}
+
+TEST(Topology, SpreadedUsesOneCorePerPmdFirst)
+{
+    const auto cores = allocateCores(8, 4, Allocation::Spreaded);
+    EXPECT_EQ(cores, (std::vector<CoreId>{0, 2, 4, 6}));
+    EXPECT_EQ(countUtilizedPmds(cores), 4u);
+}
+
+TEST(Topology, SpreadedWrapsToSecondCores)
+{
+    const auto cores = allocateCores(8, 6, Allocation::Spreaded);
+    EXPECT_EQ(cores, (std::vector<CoreId>{0, 2, 4, 6, 1, 3}));
+    EXPECT_EQ(countUtilizedPmds(cores), 4u);
+}
+
+TEST(Topology, FullChipIsIdenticalForBothShapes)
+{
+    auto clustered = allocateCores(32, 32, Allocation::Clustered);
+    auto spreaded = allocateCores(32, 32, Allocation::Spreaded);
+    std::sort(spreaded.begin(), spreaded.end());
+    EXPECT_EQ(clustered, spreaded);
+}
+
+TEST(Topology, AllocationErrors)
+{
+    EXPECT_THROW(allocateCores(8, 0, Allocation::Clustered),
+                 FatalError);
+    EXPECT_THROW(allocateCores(8, 9, Allocation::Clustered),
+                 FatalError);
+    EXPECT_THROW(allocateCores(7, 2, Allocation::Clustered),
+                 FatalError);
+    EXPECT_THROW(allocateCores(0, 1, Allocation::Spreaded),
+                 FatalError);
+}
+
+TEST(Topology, AllocationNames)
+{
+    EXPECT_STREQ(allocationName(Allocation::Clustered), "clustered");
+    EXPECT_STREQ(allocationName(Allocation::Spreaded), "spreaded");
+}
+
+/// Property sweep: the paper's droop-class rule — clustered uses
+/// ceil(T/2) PMDs, spreaded uses min(T, numPmds).
+class AllocationPmdCount
+    : public ::testing::TestWithParam<std::uint32_t>
+{};
+
+TEST_P(AllocationPmdCount, UtilizedPmdCounts)
+{
+    const std::uint32_t threads = GetParam();
+    const std::uint32_t num_cores = 32;
+    const auto clustered =
+        allocateCores(num_cores, threads, Allocation::Clustered);
+    const auto spreaded =
+        allocateCores(num_cores, threads, Allocation::Spreaded);
+    EXPECT_EQ(countUtilizedPmds(clustered), (threads + 1) / 2);
+    EXPECT_EQ(countUtilizedPmds(spreaded),
+              std::min(threads, num_cores / coresPerPmd));
+    // No duplicate cores in either shape.
+    for (const auto &cores : {clustered, spreaded}) {
+        auto sorted = cores;
+        std::sort(sorted.begin(), sorted.end());
+        EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()),
+                  sorted.end());
+        EXPECT_EQ(cores.size(), threads);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads1To32, AllocationPmdCount,
+                         ::testing::Values(1u, 2u, 3u, 4u, 7u, 8u,
+                                           15u, 16u, 17u, 31u, 32u));
+
+} // namespace
+} // namespace ecosched

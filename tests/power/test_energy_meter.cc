@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for energy integration and the EDP/ED2P metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "power/energy_meter.hh"
+
+namespace ecosched {
+namespace {
+
+PowerBreakdown
+flat(double w)
+{
+    PowerBreakdown pb;
+    pb.coreDynamic = w * 0.5;
+    pb.pmdOverhead = w * 0.1;
+    pb.uncoreDynamic = w * 0.2;
+    pb.leakage = w * 0.2;
+    return pb;
+}
+
+TEST(EnergyMeter, IntegratesConstantPower)
+{
+    EnergyMeter meter;
+    for (int i = 0; i < 100; ++i)
+        meter.add(0.01, flat(10.0));
+    EXPECT_NEAR(meter.energy(), 10.0, 1e-9);
+    EXPECT_NEAR(meter.elapsed(), 1.0, 1e-9);
+    EXPECT_NEAR(meter.averagePower(), 10.0, 1e-9);
+    EXPECT_NEAR(meter.peakPower(), 10.0, 1e-9);
+}
+
+TEST(EnergyMeter, ComponentBreakdown)
+{
+    EnergyMeter meter;
+    meter.add(2.0, flat(10.0));
+    EXPECT_NEAR(meter.coreDynamicEnergy(), 10.0, 1e-9);
+    EXPECT_NEAR(meter.pmdOverheadEnergy(), 2.0, 1e-9);
+    EXPECT_NEAR(meter.uncoreEnergy(), 4.0, 1e-9);
+    EXPECT_NEAR(meter.leakageEnergy(), 4.0, 1e-9);
+    EXPECT_NEAR(meter.energy(),
+                meter.coreDynamicEnergy() + meter.pmdOverheadEnergy()
+                    + meter.uncoreEnergy() + meter.leakageEnergy(),
+                1e-9);
+}
+
+TEST(EnergyMeter, PeakTracksMaximum)
+{
+    EnergyMeter meter;
+    meter.add(1.0, flat(5.0));
+    meter.add(1.0, flat(20.0));
+    meter.add(1.0, flat(8.0));
+    EXPECT_NEAR(meter.peakPower(), 20.0, 1e-9);
+}
+
+TEST(EnergyMeter, Ed2pDefinition)
+{
+    EnergyMeter meter;
+    meter.add(10.0, flat(7.0)); // 70 J over 10 s
+    EXPECT_NEAR(meter.edp(), 70.0 * 10.0, 1e-6);
+    EXPECT_NEAR(meter.ed2p(), 70.0 * 100.0, 1e-6);
+}
+
+TEST(EnergyMeter, PaperTableIIIArithmetic)
+{
+    // Baseline row of Table III: 3707 s at 6.90 W -> 25578.3 J and
+    // ED2P = 351e9.
+    EXPECT_NEAR(energyDelayProduct(25578.3, 3707.0), 9.48e7, 1e6);
+    EXPECT_NEAR(energyDelaySquaredProduct(25578.3, 3707.0) / 1e9,
+                351.5, 1.0);
+}
+
+TEST(EnergyMeter, ZeroTimeAverageIsZero)
+{
+    const EnergyMeter meter;
+    EXPECT_DOUBLE_EQ(meter.averagePower(), 0.0);
+}
+
+TEST(EnergyMeter, RejectsNegativeInterval)
+{
+    EnergyMeter meter;
+    EXPECT_THROW(meter.add(-0.1, flat(1.0)), FatalError);
+}
+
+TEST(EnergyMeter, ResetClearsEverything)
+{
+    EnergyMeter meter;
+    meter.add(1.0, flat(3.0));
+    meter.reset();
+    EXPECT_DOUBLE_EQ(meter.energy(), 0.0);
+    EXPECT_DOUBLE_EQ(meter.elapsed(), 0.0);
+    EXPECT_DOUBLE_EQ(meter.peakPower(), 0.0);
+}
+
+} // namespace
+} // namespace ecosched

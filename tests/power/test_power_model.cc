@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit tests for the power model: CMOS scaling behaviour, gating,
+ * decomposition consistency, preset sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/units.hh"
+#include "power/power_model.hh"
+
+namespace ecosched {
+namespace {
+
+using namespace units;
+
+std::vector<CoreActivity>
+busyAll(const ChipSpec &spec, double util, double sw = 1.0)
+{
+    return std::vector<CoreActivity>(spec.numCores,
+                                     CoreActivity{util, sw});
+}
+
+TEST(PowerModel, DynamicPowerScalesWithVSquared)
+{
+    const ChipSpec spec = xGene3();
+    const PowerModel model(spec);
+    Chip chip(spec);
+    const CoreActivity act{1.0, 1.0};
+
+    chip.setVoltage(mV(870));
+    const Watt hi = model.corePower(chip, 0, act);
+    chip.setVoltage(mV(770));
+    const Watt lo = model.corePower(chip, 0, act);
+    const double expected = (770.0 * 770.0) / (870.0 * 870.0);
+    EXPECT_NEAR(lo / hi, expected, 1e-9);
+}
+
+TEST(PowerModel, DynamicPowerScalesLinearlyWithF)
+{
+    const ChipSpec spec = xGene3();
+    const PowerModel model(spec);
+    Chip chip(spec);
+    const CoreActivity act{1.0, 1.0};
+    const Watt full = model.corePower(chip, 0, act);
+    chip.setAllFrequencies(GHz(1.5));
+    const Watt half = model.corePower(chip, 0, act);
+    EXPECT_NEAR(half / full, 0.5, 1e-9);
+}
+
+TEST(PowerModel, GatedPmdDrawsNoDynamicPower)
+{
+    const ChipSpec spec = xGene3();
+    const PowerModel model(spec);
+    Chip chip(spec);
+    chip.setPmdClockGated(0, true);
+    EXPECT_DOUBLE_EQ(model.corePower(chip, 0, {1.0, 1.0}), 0.0);
+    EXPECT_DOUBLE_EQ(model.corePower(chip, 1, {1.0, 1.0}), 0.0);
+    EXPECT_DOUBLE_EQ(model.pmdOverheadPower(chip, 0), 0.0);
+    EXPECT_GT(model.pmdOverheadPower(chip, 1), 0.0);
+}
+
+TEST(PowerModel, IdleCoreStillBurnsClockPower)
+{
+    const ChipSpec spec = xGene3();
+    const PowerModel model(spec);
+    const Chip chip(spec);
+    const Watt idle = model.corePower(chip, 0, {0.0, 1.0});
+    const Watt busy = model.corePower(chip, 0, {1.0, 1.0});
+    EXPECT_GT(idle, 0.0);
+    EXPECT_LT(idle, busy * 0.2);
+}
+
+TEST(PowerModel, SwitchingFactorScalesBusyPower)
+{
+    const ChipSpec spec = xGene2();
+    const PowerModel model(spec);
+    const Chip chip(spec);
+    const Watt hot = model.corePower(chip, 0, {1.0, 1.3});
+    const Watt cool = model.corePower(chip, 0, {1.0, 0.8});
+    EXPECT_NEAR(hot / cool, 1.3 / 0.8, 1e-9);
+}
+
+TEST(PowerModel, LeakageDropsSuperlinearlyWithVoltage)
+{
+    const ChipSpec spec = xGene3();
+    const PowerModel model(spec);
+    Chip chip(spec);
+    const Watt nominal = model.leakagePower(chip);
+    chip.setVoltage(mV(770));
+    const Watt low = model.leakagePower(chip);
+    // V ratio alone would give 0.885; the exponential term makes
+    // the drop deeper.
+    EXPECT_LT(low / nominal, 770.0 / 870.0);
+    EXPECT_GT(low, 0.0);
+}
+
+TEST(PowerModel, UncoreAccessEnergyAddsUp)
+{
+    const ChipSpec spec = xGene3();
+    const PowerModel model(spec);
+    const Chip chip(spec);
+    const Watt quiet = model.uncorePower(chip, {0.0, 0.0});
+    const Watt busy = model.uncorePower(chip, {1e8, 5e7});
+    const double expected = 1e8 * model.params().l3AccessEnergy
+        + 5e7 * model.params().dramAccessEnergy;
+    EXPECT_NEAR(busy - quiet, expected, expected * 1e-9);
+}
+
+TEST(PowerModel, BreakdownSumsToTotal)
+{
+    const ChipSpec spec = xGene2();
+    const PowerModel model(spec);
+    const Chip chip(spec);
+    const PowerBreakdown pb =
+        model.totalPower(chip, busyAll(spec, 0.7, 1.1), {1e7, 4e6});
+    EXPECT_NEAR(pb.total(),
+                pb.coreDynamic + pb.pmdOverhead + pb.uncoreDynamic
+                    + pb.leakage,
+                1e-12);
+    EXPECT_GT(pb.coreDynamic, 0.0);
+    EXPECT_GT(pb.pmdOverhead, 0.0);
+    EXPECT_GT(pb.uncoreDynamic, 0.0);
+    EXPECT_GT(pb.leakage, 0.0);
+}
+
+TEST(PowerModel, FullLoadStaysUnderTdp)
+{
+    for (const ChipSpec &spec : {xGene2(), xGene3()}) {
+        const PowerModel model(spec);
+        const Chip chip(spec);
+        // Realistic worst-case uncore traffic: ~50M L3 and ~25M
+        // DRAM accesses per second per core.
+        const double cores = spec.numCores;
+        const PowerBreakdown pb = model.totalPower(
+            chip, busyAll(spec, 1.0, 1.3),
+            {cores * 50e6, cores * 25e6});
+        EXPECT_LT(pb.total(), spec.tdp)
+            << spec.name << " exceeds its TDP at full load";
+        EXPECT_GT(pb.total(), spec.tdp * 0.15)
+            << spec.name << " full-load power implausibly low";
+    }
+}
+
+TEST(PowerModel, TotalPowerValidatesActivityArity)
+{
+    const ChipSpec spec = xGene2();
+    const PowerModel model(spec);
+    const Chip chip(spec);
+    std::vector<CoreActivity> wrong(3);
+    EXPECT_THROW(model.totalPower(chip, wrong, {}), FatalError);
+}
+
+TEST(PowerParams, ValidationRejectsGarbage)
+{
+    PowerParams p = PowerParams::forChip(xGene3());
+    p.cdynCore = 0.0;
+    EXPECT_THROW(p.validate(), FatalError);
+    p = PowerParams::forChip(xGene3());
+    p.idleClockFactor = 2.0;
+    EXPECT_THROW(p.validate(), FatalError);
+    p = PowerParams::forChip(xGene3());
+    p.uncoreClock = -1.0;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(PowerParams, GenericFallbackScalesWithCores)
+{
+    ChipSpec custom = xGene3();
+    custom.name = "Custom-64";
+    custom.numCores = 64;
+    custom.droopClasses.push_back({32, 65.0, 75.0});
+    custom.validate();
+    const PowerParams p = PowerParams::forChip(custom);
+    const PowerParams small = PowerParams::forChip([] {
+        ChipSpec c = xGene2();
+        c.name = "Custom-8";
+        return c;
+    }());
+    EXPECT_GT(p.leakageAmps, small.leakageAmps);
+}
+
+} // namespace
+} // namespace ecosched

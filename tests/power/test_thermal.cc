@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the package thermal model and its machine integration.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/units.hh"
+#include "power/thermal.hh"
+#include "sim/machine.hh"
+
+namespace ecosched {
+namespace {
+
+TEST(ThermalModel, StartsAtAmbient)
+{
+    const ThermalModel model(ThermalParams::forChipName("X-Gene 3"));
+    EXPECT_DOUBLE_EQ(model.temperature(),
+                     model.params().ambientCelsius);
+}
+
+TEST(ThermalModel, ConvergesToSteadyState)
+{
+    ThermalModel model(ThermalParams::forChipName("X-Gene 3"));
+    const Watt power = 40.0;
+    const double target = model.steadyState(power);
+    for (int i = 0; i < 20000; ++i)
+        model.step(0.01, power);
+    EXPECT_NEAR(model.temperature(), target, 0.1);
+    EXPECT_NEAR(target, 28.0 + 40.0 * 0.75, 1e-9);
+}
+
+TEST(ThermalModel, TimeConstantGovernsResponse)
+{
+    ThermalModel model(ThermalParams::forChipName("X-Gene 3"));
+    const Watt power = 40.0;
+    const double t0 = model.temperature();
+    const double target = model.steadyState(power);
+    // After exactly one time constant: ~63 % of the way there.
+    model.step(model.params().timeConstant, power);
+    const double progress =
+        (model.temperature() - t0) / (target - t0);
+    EXPECT_NEAR(progress, 1.0 - std::exp(-1.0), 1e-9);
+}
+
+TEST(ThermalModel, CoolsWhenIdle)
+{
+    ThermalModel model(ThermalParams::forChipName("X-Gene 2"));
+    for (int i = 0; i < 5000; ++i)
+        model.step(0.01, 12.0);
+    const double hot = model.temperature();
+    for (int i = 0; i < 5000; ++i)
+        model.step(0.01, 0.5);
+    EXPECT_LT(model.temperature(), hot);
+}
+
+TEST(ThermalModel, LeakageMultiplierNormalisedAtReference)
+{
+    ThermalParams params = ThermalParams::forChipName("X-Gene 3");
+    ThermalModel model(params);
+    // Drive to exactly the reference temperature.
+    const Watt ref_power =
+        (params.referenceCelsius - params.ambientCelsius)
+        / params.thermalResistance;
+    for (int i = 0; i < 50000; ++i)
+        model.step(0.01, ref_power);
+    EXPECT_NEAR(model.leakageMultiplier(), 1.0, 0.01);
+    // Hotter leaks more, colder leaks less.
+    model.step(1000.0, ref_power * 2.0);
+    EXPECT_GT(model.leakageMultiplier(), 1.0);
+    model.reset();
+    EXPECT_LT(model.leakageMultiplier(), 1.0);
+}
+
+TEST(ThermalModel, Validation)
+{
+    ThermalParams p;
+    p.thermalResistance = 0.0;
+    EXPECT_THROW(ThermalModel{p}, FatalError);
+    p = ThermalParams{};
+    p.timeConstant = -1.0;
+    EXPECT_THROW(ThermalModel{p}, FatalError);
+    p = ThermalParams{};
+    p.referenceCelsius = p.ambientCelsius - 5.0;
+    EXPECT_THROW(ThermalModel{p}, FatalError);
+    ThermalModel ok{ThermalParams{}};
+    EXPECT_THROW(ok.step(-0.1, 1.0), FatalError);
+    EXPECT_THROW(ok.steadyState(-1.0), FatalError);
+}
+
+TEST(MachineThermal, HeatsUnderLoadCoolsIdle)
+{
+    Machine machine(xGene3());
+    WorkProfile p;
+    p.cpiBase = 1.0;
+    p.l3Apki = 1.0;
+    p.dramApki = 0.1;
+    const double ambient = machine.temperature();
+    for (CoreId c = 0; c < 32; ++c)
+        machine.startThread(p, 500'000'000'000ull, c);
+    machine.runUntil(90.0, units::ms(10));
+    ASSERT_FALSE(machine.runningThreads().empty());
+    const double loaded = machine.temperature();
+    EXPECT_GT(loaded, ambient + 15.0);
+
+    for (SimThreadId tid : machine.runningThreads())
+        machine.stopThread(tid);
+    machine.runUntil(220.0, units::ms(10));
+    EXPECT_LT(machine.temperature(), loaded - 10.0);
+}
+
+TEST(MachineThermal, LeakagePowerTracksTemperature)
+{
+    Machine machine(xGene3());
+    WorkProfile p;
+    p.cpiBase = 1.0;
+    p.l3Apki = 1.0;
+    p.dramApki = 0.1;
+    for (CoreId c = 0; c < 32; ++c)
+        machine.startThread(p, 500'000'000'000ull, c);
+    machine.step(units::ms(10));
+    const Watt cold_leak = machine.lastPower().leakage;
+    machine.runUntil(90.0, units::ms(10));
+    ASSERT_FALSE(machine.runningThreads().empty());
+    EXPECT_GT(machine.lastPower().leakage, cold_leak * 1.1);
+}
+
+TEST(MachineThermal, CanBeDisabled)
+{
+    MachineConfig cfg;
+    cfg.enableThermal = false;
+    Machine machine(xGene3(), cfg);
+    WorkProfile p;
+    p.cpiBase = 1.0;
+    p.l3Apki = 1.0;
+    p.dramApki = 0.1;
+    for (CoreId c = 0; c < 32; ++c)
+        machine.startThread(p, 40'000'000'000ull, c);
+    machine.runUntil(30.0, units::ms(10));
+    EXPECT_DOUBLE_EQ(
+        machine.temperature(),
+        machine.thermalModel().params().ambientCelsius);
+}
+
+} // namespace
+} // namespace ecosched

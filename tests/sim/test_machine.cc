@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Unit and integration tests for the Machine: thread lifecycle,
+ * execution/counter accuracy, clock gating, migration, droop
+ * sampling, fault injection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/units.hh"
+#include "sim/machine.hh"
+
+namespace ecosched {
+namespace {
+
+using namespace units;
+
+WorkProfile
+simpleProfile()
+{
+    WorkProfile p;
+    p.cpiBase = 1.0;
+    p.l3Apki = 10.0;
+    p.dramApki = 2.0;
+    p.mlp = 2.0;
+    return p;
+}
+
+TEST(Machine, ThreadLifecycle)
+{
+    Machine machine(xGene3());
+    const SimThreadId tid =
+        machine.startThread(simpleProfile(), 1'000'000, 5);
+    EXPECT_TRUE(machine.coreBusy(5));
+    EXPECT_EQ(machine.threadOnCore(5), tid);
+    EXPECT_EQ(machine.runningThreads().size(), 1u);
+    EXPECT_EQ(machine.utilizedPmds(), 1u);
+
+    while (machine.runningThreads().size() == 1)
+        machine.step(ms(1));
+    EXPECT_FALSE(machine.coreBusy(5));
+
+    const auto done = machine.collectFinished();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].id, tid);
+    EXPECT_TRUE(done[0].finished);
+    EXPECT_EQ(done[0].outcome, RunOutcome::Ok);
+    EXPECT_EQ(done[0].counters.instructions, 1'000'000u);
+}
+
+TEST(Machine, RejectsDoubleOccupancy)
+{
+    Machine machine(xGene3());
+    machine.startThread(simpleProfile(), 1000, 3);
+    EXPECT_THROW(machine.startThread(simpleProfile(), 1000, 3),
+                 FatalError);
+    EXPECT_THROW(machine.startThread(simpleProfile(), 1000, 99),
+                 FatalError);
+    EXPECT_THROW(machine.startThread(simpleProfile(), 0, 4),
+                 FatalError);
+}
+
+TEST(Machine, CountersMatchExecutionModel)
+{
+    Machine machine(xGene3());
+    const WorkProfile p = simpleProfile();
+    const SimThreadId tid = machine.startThread(p, 100'000'000, 0);
+    machine.step(ms(10));
+    const SimThread &t = machine.thread(tid);
+    // Cycles ~= busyTime * f; L3 accesses ~= instr * apki/1000.
+    EXPECT_NEAR(static_cast<double>(t.counters.cycles),
+                t.counters.busyTime * GHz(3.0), GHz(3.0) * 1e-5);
+    EXPECT_NEAR(static_cast<double>(t.counters.l3Accesses),
+                static_cast<double>(t.counters.instructions) * 0.01,
+                static_cast<double>(t.counters.instructions)
+                    * 0.0005);
+    EXPECT_GT(t.counters.instructions, 0u);
+}
+
+TEST(Machine, FrequencyScalesCpuBoundThroughput)
+{
+    WorkProfile cpu;
+    cpu.cpiBase = 1.0;
+    cpu.l3Apki = 0.1;
+    cpu.dramApki = 0.01;
+
+    Machine fast(xGene3());
+    Machine slow(xGene3());
+    slow.slimPro().requestAllFrequencies(0.0, GHz(1.5));
+    const SimThreadId tf = fast.startThread(cpu, 1'000'000'000, 0);
+    const SimThreadId ts = slow.startThread(cpu, 1'000'000'000, 0);
+    fast.step(ms(50));
+    slow.step(ms(50));
+    const double ratio =
+        static_cast<double>(
+            fast.thread(tf).counters.instructions)
+        / static_cast<double>(
+            slow.thread(ts).counters.instructions);
+    EXPECT_NEAR(ratio, 2.0, 0.05);
+}
+
+TEST(Machine, SharedL2PenaltyAppliesWhenSiblingBusy)
+{
+    WorkProfile p = simpleProfile();
+    p.l2SharingPenalty = 1.5;
+
+    Machine alone(xGene3());
+    const SimThreadId ta = alone.startThread(p, 1'000'000'000, 0);
+    alone.step(ms(20));
+
+    Machine paired(xGene3());
+    const SimThreadId tp = paired.startThread(p, 1'000'000'000, 0);
+    paired.startThread(p, 1'000'000'000, 1); // same PMD
+    paired.step(ms(20));
+
+    EXPECT_GT(alone.thread(ta).counters.instructions,
+              paired.thread(tp).counters.instructions);
+}
+
+TEST(Machine, AutoClockGatingFollowsOccupancy)
+{
+    Machine machine(xGene3());
+    machine.startThread(simpleProfile(), 1'000'000'000, 0);
+    machine.step(ms(1));
+    EXPECT_FALSE(machine.chip().pmdClockGated(0));
+    for (PmdId pmd = 1; pmd < 16; ++pmd)
+        EXPECT_TRUE(machine.chip().pmdClockGated(pmd));
+}
+
+TEST(Machine, MigrationMovesAndStalls)
+{
+    MachineConfig cfg;
+    cfg.migrationCost = ms(5);
+    Machine machine(xGene3(), cfg);
+    const SimThreadId tid =
+        machine.startThread(simpleProfile(), 1'000'000'000, 0);
+    machine.step(ms(1));
+    const Instructions before =
+        machine.thread(tid).counters.instructions;
+
+    machine.migrateThread(tid, 10);
+    EXPECT_EQ(machine.threadOnCore(10), tid);
+    EXPECT_FALSE(machine.coreBusy(0));
+    EXPECT_EQ(machine.thread(tid).migrations, 1u);
+
+    // During the warm-up stall no instructions retire.
+    machine.step(ms(2));
+    EXPECT_EQ(machine.thread(tid).counters.instructions, before);
+    machine.step(ms(10));
+    EXPECT_GT(machine.thread(tid).counters.instructions, before);
+}
+
+TEST(Machine, MigrationToBusyCoreFails)
+{
+    Machine machine(xGene3());
+    const SimThreadId a =
+        machine.startThread(simpleProfile(), 1000000, 0);
+    machine.startThread(simpleProfile(), 1000000, 1);
+    EXPECT_THROW(machine.migrateThread(a, 1), FatalError);
+}
+
+TEST(Machine, SwapThreadsExchangesCores)
+{
+    Machine machine(xGene3());
+    const SimThreadId a =
+        machine.startThread(simpleProfile(), 1'000'000'000, 0);
+    const SimThreadId b =
+        machine.startThread(simpleProfile(), 1'000'000'000, 7);
+    machine.swapThreads(a, b);
+    EXPECT_EQ(machine.thread(a).core, 7u);
+    EXPECT_EQ(machine.thread(b).core, 0u);
+    EXPECT_EQ(machine.threadOnCore(0), b);
+    EXPECT_EQ(machine.threadOnCore(7), a);
+    EXPECT_THROW(machine.swapThreads(a, a), FatalError);
+}
+
+TEST(Machine, StopThreadFreesCore)
+{
+    Machine machine(xGene3());
+    const SimThreadId tid =
+        machine.startThread(simpleProfile(), 1'000'000'000, 2);
+    machine.stopThread(tid);
+    EXPECT_FALSE(machine.coreBusy(2));
+    EXPECT_THROW(machine.thread(tid), FatalError);
+}
+
+TEST(Machine, EnergyAccumulatesWhileStepping)
+{
+    Machine machine(xGene3());
+    machine.startThread(simpleProfile(), 1'000'000'000, 0);
+    machine.runUntil(0.1, ms(10));
+    EXPECT_GT(machine.energyMeter().energy(), 0.0);
+    EXPECT_NEAR(machine.energyMeter().elapsed(), 0.1, 1e-9);
+    EXPECT_GT(machine.lastPower().total(), 0.0);
+    EXPECT_NEAR(machine.now(), 0.1, 1e-9);
+}
+
+TEST(Machine, IdleMachineStillLeaks)
+{
+    Machine machine(xGene3());
+    machine.step(ms(10));
+    EXPECT_GT(machine.lastPower().leakage, 0.0);
+    EXPECT_DOUBLE_EQ(machine.lastPower().coreDynamic, 0.0);
+}
+
+TEST(Machine, ContentionReportedForMemoryHogs)
+{
+    Machine machine(xGene3());
+    WorkProfile mem;
+    mem.cpiBase = 1.0;
+    mem.l3Apki = 100.0;
+    mem.dramApki = 60.0;
+    mem.mlp = 4.0;
+    for (CoreId c = 0; c < 32; ++c)
+        machine.startThread(mem, 1'000'000'000, c);
+    machine.step(ms(10));
+    EXPECT_GT(machine.lastContention(), 1.5);
+    EXPECT_GT(machine.lastUtilization(), 0.99);
+}
+
+TEST(Machine, DroopSamplingFillsOnlyTheConfigClass)
+{
+    MachineConfig cfg;
+    cfg.sampleDroops = true;
+    Machine machine(xGene3(), cfg);
+    // 8 threads spreaded: 8 PMDs -> class 2 -> no [55, 65) events.
+    for (CoreId c : allocateCores(32, 8, Allocation::Spreaded))
+        machine.startThread(simpleProfile(), 4'000'000'000ull, c);
+    machine.runUntil(0.3, ms(10));
+    EXPECT_GT(machine.droopHistogram().total(), 0u);
+    EXPECT_EQ(machine.droopHistogram().countInRange(55.0, 65.0), 0u);
+    EXPECT_GT(machine.droopReferenceCycles(), 0u);
+}
+
+TEST(Machine, FaultInjectionBelowVminKillsWork)
+{
+    MachineConfig cfg;
+    cfg.injectFaults = true;
+    cfg.seed = 5;
+    Machine machine(xGene3(), cfg);
+    // Run deep below the true Vmin of a full-chip config.
+    machine.chip().setVoltage(mV(700));
+    for (CoreId c = 0; c < 32; ++c)
+        machine.startThread(simpleProfile(), 10'000'000'000ull, c,
+                            1.0);
+    for (int i = 0; i < 2000 && !machine.halted(); ++i)
+        machine.step(ms(10));
+    EXPECT_GT(machine.unsafeExposure(), 0.0);
+    EXPECT_GT(units::toMilliVolts(machine.maxUnsafeDeficit()), 50.0);
+    // Deep undervolting must have produced failures (whp a crash).
+    bool any_failure = machine.halted();
+    for (const auto &t : machine.collectFinished())
+        any_failure |= isFailure(t.outcome);
+    EXPECT_TRUE(any_failure);
+}
+
+TEST(Machine, NoFaultsAtSafeVoltage)
+{
+    MachineConfig cfg;
+    cfg.injectFaults = true;
+    Machine machine(xGene3(), cfg);
+    for (CoreId c = 0; c < 8; ++c)
+        machine.startThread(simpleProfile(), 50'000'000, c, 1.0);
+    while (!machine.runningThreads().empty())
+        machine.step(ms(10));
+    EXPECT_FALSE(machine.halted());
+    EXPECT_DOUBLE_EQ(machine.unsafeExposure(), 0.0);
+    for (const auto &t : machine.collectFinished())
+        EXPECT_EQ(t.outcome, RunOutcome::Ok);
+}
+
+TEST(Machine, HaltedMachineDrawsNothing)
+{
+    MachineConfig cfg;
+    cfg.injectFaults = true;
+    cfg.seed = 11;
+    Machine machine(xGene3(), cfg);
+    machine.chip().setVoltage(mV(660));
+    for (CoreId c = 0; c < 32; ++c)
+        machine.startThread(simpleProfile(), 10'000'000'000ull, c,
+                            1.0);
+    for (int i = 0; i < 5000 && !machine.halted(); ++i)
+        machine.step(ms(10));
+    ASSERT_TRUE(machine.halted());
+    const Seconds before = machine.now();
+    machine.step(ms(10));
+    EXPECT_DOUBLE_EQ(machine.lastPower().total(), 0.0);
+    EXPECT_NEAR(machine.now(), before + 0.01, 1e-9);
+}
+
+TEST(Machine, CurrentTrueVminTracksConfiguration)
+{
+    Machine machine(xGene3());
+    EXPECT_DOUBLE_EQ(machine.currentTrueVmin(), 0.0); // idle
+    machine.startThread(simpleProfile(), 1'000'000'000, 0, 1.0);
+    machine.step(ms(1));
+    const Volt few = machine.currentTrueVmin();
+    for (CoreId c : allocateCores(32, 16, Allocation::Spreaded)) {
+        if (c != 0)
+            machine.startThread(simpleProfile(), 1'000'000'000, c,
+                                1.0);
+    }
+    machine.step(ms(1));
+    EXPECT_GT(machine.currentTrueVmin(), few);
+}
+
+TEST(Machine, PhasedThreadSwitchesProfiles)
+{
+    Machine machine(xGene3());
+    WorkProfile cpu;
+    cpu.cpiBase = 1.0;
+    cpu.l3Apki = 0.2;
+    cpu.dramApki = 0.02;
+    WorkProfile mem;
+    mem.cpiBase = 1.0;
+    mem.l3Apki = 60.0;
+    mem.dramApki = 30.0;
+    mem.mlp = 4.0;
+
+    const SimThreadId tid = machine.startThreadPhased(
+        {{cpu, 300'000'000}, {mem, 100'000'000}}, 0);
+
+    // Phase 1: low L3 traffic.
+    machine.step(units::ms(50));
+    const auto after_p1 = machine.thread(tid).counters;
+    EXPECT_LT(after_p1.l3AccessesPerMCycles(), 1000.0);
+    EXPECT_GT(after_p1.instructions, 0u);
+
+    // Run into phase 2 and sample its window.
+    while (machine.thread(tid).counters.instructions
+           < 320'000'000) {
+        machine.step(units::ms(10));
+        ASSERT_FALSE(machine.thread(tid).finished);
+    }
+    const auto snap = machine.thread(tid).counters;
+    machine.step(units::ms(50));
+    const auto delta = machine.thread(tid).counters.since(snap);
+    EXPECT_GT(delta.l3AccessesPerMCycles(), 3000.0);
+
+    // Completes with the full work retired.
+    while (!machine.thread(tid).finished)
+        machine.step(units::ms(10));
+    EXPECT_EQ(machine.thread(tid).counters.instructions,
+              400'000'000u);
+}
+
+TEST(Machine, PhasedThreadValidation)
+{
+    Machine machine(xGene3());
+    EXPECT_THROW(machine.startThreadPhased({}, 0), FatalError);
+    WorkProfile p;
+    EXPECT_THROW(machine.startThreadPhased({{p, 0}}, 0),
+                 FatalError);
+}
+
+TEST(Machine, SinglePhaseEquivalentToPlainStart)
+{
+    Machine a(xGene3());
+    Machine b(xGene3());
+    WorkProfile p;
+    p.cpiBase = 1.0;
+    p.l3Apki = 5.0;
+    p.dramApki = 1.0;
+    const SimThreadId ta = a.startThread(p, 50'000'000, 0);
+    const SimThreadId tb =
+        b.startThreadPhased({{p, 50'000'000}}, 0);
+    for (int i = 0; i < 10; ++i) {
+        a.step(units::ms(10));
+        b.step(units::ms(10));
+    }
+    EXPECT_EQ(a.thread(ta).counters.instructions,
+              b.thread(tb).counters.instructions);
+    EXPECT_EQ(a.thread(ta).counters.l3Accesses,
+              b.thread(tb).counters.l3Accesses);
+}
+
+TEST(Machine, StepValidation)
+{
+    Machine machine(xGene3());
+    EXPECT_THROW(machine.step(0.0), FatalError);
+    EXPECT_THROW(machine.step(-1.0), FatalError);
+}
+
+} // namespace
+} // namespace ecosched

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit tests for the shared memory-system model: the stall
+ * decomposition and the DRAM bandwidth contention solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/units.hh"
+#include "sim/memory_system.hh"
+
+namespace ecosched {
+namespace {
+
+using namespace units;
+
+WorkProfile
+cpuBound()
+{
+    WorkProfile p;
+    p.cpiBase = 1.0;
+    p.l3Apki = 0.3;
+    p.dramApki = 0.03;
+    p.mlp = 2.0;
+    return p;
+}
+
+WorkProfile
+memBound()
+{
+    WorkProfile p;
+    p.cpiBase = 1.0;
+    p.l3Apki = 100.0;
+    p.dramApki = 60.0;
+    p.mlp = 4.0;
+    return p;
+}
+
+TEST(MemorySystem, TimePerInstructionFormula)
+{
+    MemoryParams params;
+    params.l3Latency = ns(30);
+    params.dramLatency = ns(120);
+    const MemorySystem memory(params);
+    WorkProfile p = memBound();
+    const Seconds t = memory.timePerInstruction(p, GHz(2.0), 1.0);
+    const Seconds expected = 0.5e-9
+        + (0.1 * 30e-9 + 0.06 * 120e-9) / 4.0;
+    EXPECT_NEAR(t, expected, 1e-15);
+}
+
+TEST(MemorySystem, FrequencyOnlyAffectsCoreTime)
+{
+    const MemorySystem memory;
+    const WorkProfile cpu = cpuBound();
+    const WorkProfile mem = memBound();
+    const double cpu_slow =
+        memory.timePerInstruction(cpu, GHz(1.5), 1.0)
+        / memory.timePerInstruction(cpu, GHz(3.0), 1.0);
+    const double mem_slow =
+        memory.timePerInstruction(mem, GHz(1.5), 1.0)
+        / memory.timePerInstruction(mem, GHz(3.0), 1.0);
+    EXPECT_NEAR(cpu_slow, 2.0, 0.1); // CPU-bound: ~proportional
+    EXPECT_LT(mem_slow, 1.25);       // memory-bound: barely moves
+}
+
+TEST(MemorySystem, ApkiScaleInflatesMemoryTime)
+{
+    const MemorySystem memory;
+    const WorkProfile mem = memBound();
+    EXPECT_GT(memory.timePerInstruction(mem, GHz(3.0), 1.0, 1.4),
+              memory.timePerInstruction(mem, GHz(3.0), 1.0, 1.0));
+}
+
+TEST(MemorySystem, NoContentionUnderLightDemand)
+{
+    const MemorySystem memory(
+        MemoryParams::forChipName("X-Gene 3"));
+    const WorkProfile cpu = cpuBound();
+    std::vector<MemoryDemand> demands(
+        32, MemoryDemand{&cpu, GHz(3.0), 1.0});
+    EXPECT_DOUBLE_EQ(memory.solveContention(demands), 1.0);
+}
+
+TEST(MemorySystem, ContentionCapsAggregateBandwidth)
+{
+    const MemoryParams params =
+        MemoryParams::forChipName("X-Gene 3");
+    const MemorySystem memory(params);
+    const WorkProfile mem = memBound();
+    std::vector<MemoryDemand> demands(
+        32, MemoryDemand{&mem, GHz(3.0), 1.0});
+    const double s = memory.solveContention(demands);
+    EXPECT_GT(s, 1.5);
+    EXPECT_NEAR(memory.aggregateBandwidth(demands, s),
+                params.peakDramBandwidth,
+                params.peakDramBandwidth * 0.001);
+}
+
+TEST(MemorySystem, ContentionGrowsWithCoRunners)
+{
+    const MemorySystem memory(
+        MemoryParams::forChipName("X-Gene 3"));
+    const WorkProfile mem = memBound();
+    double prev = 1.0;
+    for (std::size_t n : {8u, 16u, 32u}) {
+        std::vector<MemoryDemand> demands(
+            n, MemoryDemand{&mem, GHz(3.0), 1.0});
+        const double s = memory.solveContention(demands);
+        EXPECT_GE(s, prev);
+        prev = s;
+    }
+    EXPECT_GT(prev, 2.0);
+}
+
+TEST(MemorySystem, GatedCoresContributeNothing)
+{
+    const MemorySystem memory(
+        MemoryParams::forChipName("X-Gene 3"));
+    const WorkProfile mem = memBound();
+    std::vector<MemoryDemand> demands(
+        32, MemoryDemand{&mem, 0.0, 1.0}); // all gated
+    EXPECT_DOUBLE_EQ(memory.aggregateBandwidth(demands, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(memory.solveContention(demands), 1.0);
+}
+
+TEST(MemorySystem, L3RateMetric)
+{
+    const MemorySystem memory(
+        MemoryParams::forChipName("X-Gene 3"));
+    const WorkProfile cpu = cpuBound();
+    const WorkProfile mem = memBound();
+    EXPECT_LT(memory.l3PerMCycles(cpu, GHz(3.0)), 3000.0);
+    EXPECT_GT(memory.l3PerMCycles(mem, GHz(3.0)), 3000.0);
+    // Contention lowers the per-cycle rate (stall cycles grow).
+    EXPECT_LT(memory.l3PerMCycles(mem, GHz(3.0), 3.0),
+              memory.l3PerMCycles(mem, GHz(3.0), 1.0));
+}
+
+TEST(MemorySystem, ChipPresetsDiffer)
+{
+    const MemoryParams g2 = MemoryParams::forChipName("X-Gene 2");
+    const MemoryParams g3 = MemoryParams::forChipName("X-Gene 3");
+    EXPECT_LT(g2.peakDramBandwidth, g3.peakDramBandwidth);
+}
+
+TEST(MemorySystem, ParamValidation)
+{
+    MemoryParams p;
+    p.l3Latency = 0.0;
+    EXPECT_THROW(MemorySystem{p}, FatalError);
+    p = MemoryParams{};
+    p.peakDramBandwidth = -1.0;
+    EXPECT_THROW(MemorySystem{p}, FatalError);
+}
+
+TEST(WorkProfile, Validation)
+{
+    WorkProfile p = cpuBound();
+    p.validate();
+    p.dramApki = p.l3Apki + 1.0; // DRAM accesses exceed L3 accesses
+    EXPECT_THROW(p.validate(), FatalError);
+    p = cpuBound();
+    p.mlp = 0.5;
+    EXPECT_THROW(p.validate(), FatalError);
+    p = cpuBound();
+    p.cpiBase = 0.0;
+    EXPECT_THROW(p.validate(), FatalError);
+    p = cpuBound();
+    p.l2SharingPenalty = 0.9;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+} // namespace
+} // namespace ecosched

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for the PMU-style thread counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/perf_counters.hh"
+
+namespace ecosched {
+namespace {
+
+TEST(ThreadCounters, SinceComputesDelta)
+{
+    ThreadCounters now;
+    now.cycles = 5'000'000;
+    now.instructions = 2'000'000;
+    now.l3Accesses = 15'000;
+    now.dramAccesses = 4'000;
+    now.busyTime = 2.0;
+
+    ThreadCounters snap;
+    snap.cycles = 1'000'000;
+    snap.instructions = 400'000;
+    snap.l3Accesses = 3'000;
+    snap.dramAccesses = 1'000;
+    snap.busyTime = 0.5;
+
+    const ThreadCounters d = now.since(snap);
+    EXPECT_EQ(d.cycles, 4'000'000u);
+    EXPECT_EQ(d.instructions, 1'600'000u);
+    EXPECT_EQ(d.l3Accesses, 12'000u);
+    EXPECT_EQ(d.dramAccesses, 3'000u);
+    EXPECT_DOUBLE_EQ(d.busyTime, 1.5);
+}
+
+TEST(ThreadCounters, AccumulateAddsFields)
+{
+    ThreadCounters a;
+    a.cycles = 10;
+    a.instructions = 20;
+    ThreadCounters b;
+    b.cycles = 5;
+    b.instructions = 7;
+    b.l3Accesses = 3;
+    a.accumulate(b);
+    EXPECT_EQ(a.cycles, 15u);
+    EXPECT_EQ(a.instructions, 27u);
+    EXPECT_EQ(a.l3Accesses, 3u);
+}
+
+TEST(ThreadCounters, L3RateMetric)
+{
+    ThreadCounters c;
+    c.cycles = 2'000'000;
+    c.l3Accesses = 9'000;
+    EXPECT_DOUBLE_EQ(c.l3AccessesPerMCycles(), 4500.0);
+}
+
+TEST(ThreadCounters, RatesOnEmptyWindowAreZero)
+{
+    const ThreadCounters c;
+    EXPECT_DOUBLE_EQ(c.l3AccessesPerMCycles(), 0.0);
+    EXPECT_DOUBLE_EQ(c.ipc(), 0.0);
+}
+
+TEST(ThreadCounters, Ipc)
+{
+    ThreadCounters c;
+    c.cycles = 1'000'000;
+    c.instructions = 750'000;
+    EXPECT_DOUBLE_EQ(c.ipc(), 0.75);
+}
+
+} // namespace
+} // namespace ecosched

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit and property tests for the Vmin characterization protocol
+ * (§III.A): the 1000-run safe sweep and the 60-run unsafe-region
+ * study.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "vmin/characterizer.hh"
+
+namespace ecosched {
+namespace {
+
+using namespace units;
+
+TEST(Characterizer, RecoversTrueVminWithinOneStep)
+{
+    const ChipSpec spec = xGene3();
+    const VminModel model(spec);
+    const FailureModel failures;
+    const VminCharacterizer characterizer(model, failures);
+    Rng rng(21);
+
+    const auto cores = allocateCores(32, 16, Allocation::Spreaded);
+    const Volt truth = model.trueVmin(spec.fMax, cores, 0.9);
+    const auto result =
+        characterizer.characterize(rng, spec.fMax, cores, 0.9);
+    // The reported safe Vmin is the lowest all-pass 10 mV level: it
+    // sits at or at most one step above the true Vmin.
+    EXPECT_GE(result.safeVmin, truth - 1e-9);
+    EXPECT_LE(result.safeVmin, truth + mV(10) + 1e-9);
+}
+
+TEST(Characterizer, CrashPointBelowSafeVmin)
+{
+    const ChipSpec spec = xGene2();
+    const VminModel model(spec);
+    const FailureModel failures;
+    const VminCharacterizer characterizer(model, failures);
+    Rng rng(23);
+    const auto cores = allocateCores(8, 8, Allocation::Spreaded);
+    const auto result =
+        characterizer.characterize(rng, spec.fMax, cores, 1.0);
+    EXPECT_GT(result.crashVoltage, 0.0);
+    EXPECT_LT(result.crashVoltage, result.safeVmin);
+    // §III.B: complete failure lands a few tens of mV below Vmin.
+    EXPECT_LT(toMilliVolts(result.safeVmin - result.crashVoltage),
+              120.0);
+}
+
+TEST(Characterizer, SweepUsesBothTrialBudgets)
+{
+    const ChipSpec spec = xGene3();
+    const VminModel model(spec);
+    const FailureModel failures;
+    CharacterizerConfig cc;
+    cc.safeTrials = 500;
+    cc.unsafeTrials = 60;
+    const VminCharacterizer characterizer(model, failures, cc);
+    Rng rng(25);
+    const auto cores = allocateCores(32, 32, Allocation::Spreaded);
+    const auto result =
+        characterizer.characterize(rng, spec.fMax, cores, 1.0);
+
+    bool seen_unsafe = false;
+    for (const auto &pt : result.sweep) {
+        if (pt.voltage >= result.safeVmin - 1e-9) {
+            EXPECT_EQ(pt.trials, 500u);
+        } else if (seen_unsafe) {
+            EXPECT_EQ(pt.trials, 60u);
+        }
+        if (pt.failures > 0)
+            seen_unsafe = true;
+    }
+    EXPECT_TRUE(seen_unsafe);
+}
+
+TEST(Characterizer, PfailMonotonicAlongSweep)
+{
+    const ChipSpec spec = xGene3();
+    const VminModel model(spec);
+    const FailureModel failures;
+    const VminCharacterizer characterizer(model, failures);
+    Rng rng(27);
+    const auto cores = allocateCores(32, 8, Allocation::Clustered);
+    const auto result =
+        characterizer.characterize(rng, spec.fMax, cores, 0.8);
+    // Allow sampling noise, but the trend must rise downward.
+    double prev = -0.2;
+    for (const auto &pt : result.sweep) {
+        EXPECT_GE(pt.pfail(), prev - 0.15);
+        prev = std::max(prev, pt.pfail());
+    }
+    EXPECT_DOUBLE_EQ(result.sweep.back().pfail(), 1.0);
+}
+
+TEST(Characterizer, OutcomeHistogramConsistent)
+{
+    const ChipSpec spec = xGene2();
+    const VminModel model(spec);
+    const FailureModel failures;
+    const VminCharacterizer characterizer(model, failures);
+    Rng rng(29);
+    const auto cores = allocateCores(8, 4, Allocation::Clustered);
+    const auto result =
+        characterizer.characterize(rng, spec.fMax, cores, 1.0);
+    for (const auto &pt : result.sweep) {
+        std::uint32_t sum = 0;
+        for (std::uint32_t c : pt.outcomes)
+            sum += c;
+        EXPECT_EQ(sum, pt.trials);
+        EXPECT_EQ(pt.trials - pt.failures,
+                  pt.outcomes[static_cast<std::size_t>(
+                      RunOutcome::Ok)]);
+    }
+}
+
+/// Property sweep over chips, allocations and frequencies: the
+/// characterized Vmin must track the analytic surface within one
+/// sweep step.
+struct SweepCase
+{
+    bool xgene3;
+    std::uint32_t threads;
+    Allocation alloc;
+    double freq_fraction; // of fMax
+};
+
+class CharacterizerSweep
+    : public ::testing::TestWithParam<SweepCase>
+{};
+
+TEST_P(CharacterizerSweep, MatchesModel)
+{
+    const SweepCase &c = GetParam();
+    const ChipSpec spec = c.xgene3 ? xGene3() : xGene2();
+    const VminModel model(spec);
+    const FailureModel failures;
+    const VminCharacterizer characterizer(model, failures);
+    Rng rng(31 + c.threads);
+    const Hertz f = spec.snapToLadder(spec.fMax * c.freq_fraction);
+    const auto cores =
+        allocateCores(spec.numCores, c.threads, c.alloc);
+    const Volt truth = model.trueVmin(f, cores, 0.9);
+    const auto result =
+        characterizer.characterize(rng, f, cores, 0.9);
+    EXPECT_GE(result.safeVmin, truth - 1e-9);
+    EXPECT_LE(result.safeVmin, truth + mV(10) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, CharacterizerSweep,
+    ::testing::Values(
+        SweepCase{false, 8, Allocation::Spreaded, 1.0},
+        SweepCase{false, 4, Allocation::Clustered, 1.0},
+        SweepCase{false, 4, Allocation::Spreaded, 0.5},
+        SweepCase{false, 2, Allocation::Clustered, 0.375},
+        SweepCase{true, 32, Allocation::Spreaded, 1.0},
+        SweepCase{true, 16, Allocation::Clustered, 1.0},
+        SweepCase{true, 16, Allocation::Spreaded, 0.5},
+        SweepCase{true, 8, Allocation::Spreaded, 1.0},
+        SweepCase{true, 2, Allocation::Clustered, 0.5}));
+
+} // namespace
+} // namespace ecosched

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the voltage-droop event model (§IV.A / Figure 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "vmin/droop_model.hh"
+
+namespace ecosched {
+namespace {
+
+TEST(DroopModel, MagnitudeClassTracksUtilizedPmds)
+{
+    const DroopModel model(xGene3());
+    EXPECT_DOUBLE_EQ(model.magnitudeClass(16).binLoMv, 55.0);
+    EXPECT_DOUBLE_EQ(model.magnitudeClass(9).binLoMv, 55.0);
+    EXPECT_DOUBLE_EQ(model.magnitudeClass(8).binLoMv, 45.0);
+    EXPECT_DOUBLE_EQ(model.magnitudeClass(4).binLoMv, 35.0);
+    EXPECT_DOUBLE_EQ(model.magnitudeClass(2).binLoMv, 25.0);
+}
+
+TEST(DroopModel, NoDroopsAboveTheConfigurationClass)
+{
+    // The paper's central observation: a configuration never
+    // produces droops larger than its own magnitude class.
+    const DroopModel model(xGene3());
+    for (std::size_t config_class = 0; config_class < 4;
+         ++config_class) {
+        for (std::size_t bin = config_class + 1; bin < 4; ++bin) {
+            EXPECT_DOUBLE_EQ(
+                model.ratePerMCycles(bin, config_class, 1.0, 1.0),
+                0.0);
+        }
+    }
+}
+
+TEST(DroopModel, OwnBinRateNearMean)
+{
+    const DroopModel model(xGene3());
+    const double rate = model.ratePerMCycles(3, 3, 1.0, 1.0);
+    EXPECT_NEAR(rate, model.params().meanRatePerMCycles, 1e-9);
+}
+
+TEST(DroopModel, SmallerDroopsAreMoreFrequent)
+{
+    const DroopModel model(xGene3());
+    double prev = 0.0;
+    for (int bin = 3; bin >= 0; --bin) {
+        const double rate = model.ratePerMCycles(
+            static_cast<std::size_t>(bin), 3, 1.0, 1.0);
+        EXPECT_GT(rate, prev);
+        prev = rate;
+    }
+}
+
+TEST(DroopModel, ActivityScalesRates)
+{
+    const DroopModel model(xGene3());
+    const double busy = model.ratePerMCycles(3, 3, 1.0, 1.0);
+    const double idle = model.ratePerMCycles(3, 3, 1.0, 0.0);
+    EXPECT_LT(idle, busy);
+    EXPECT_GT(idle, 0.0); // background noise never vanishes
+}
+
+TEST(DroopModel, WorkloadBiasIsBoundedAndDeterministic)
+{
+    const DroopModel model(xGene3());
+    const double spread = model.params().workloadRateSpread;
+    for (std::uint64_t h : {1ull, 42ull, 0xdeadbeefull}) {
+        const double bias = model.workloadRateBias(h);
+        EXPECT_GE(bias, 1.0 - spread);
+        EXPECT_LE(bias, 1.0 + spread);
+        EXPECT_DOUBLE_EQ(bias, model.workloadRateBias(h));
+    }
+    EXPECT_NE(model.workloadRateBias(1), model.workloadRateBias(2));
+}
+
+TEST(DroopModel, SampleEventsRespectsMagnitudeClass)
+{
+    const ChipSpec spec = xGene3();
+    const DroopModel model(spec);
+    Rng rng(17);
+    Histogram hist(25.0, 65.0, 4);
+    // 8 utilized PMDs -> class 2 -> nothing in [55, 65).
+    model.sampleEvents(rng, 3'000'000'000ull, 8, 1.0, 1.0, hist);
+    EXPECT_EQ(hist.countInRange(55.0, 65.0), 0u);
+    EXPECT_GT(hist.countInRange(45.0, 55.0), 0u);
+    EXPECT_GT(hist.countInRange(25.0, 45.0),
+              hist.countInRange(45.0, 55.0));
+}
+
+TEST(DroopModel, SampleCountsScaleWithCycles)
+{
+    const ChipSpec spec = xGene3();
+    const DroopModel model(spec);
+    Rng rng(19);
+    Histogram short_hist(25.0, 65.0, 4);
+    Histogram long_hist(25.0, 65.0, 4);
+    model.sampleEvents(rng, 100'000'000ull, 16, 1.0, 1.0,
+                       short_hist);
+    model.sampleEvents(rng, 10'000'000'000ull, 16, 1.0, 1.0,
+                       long_hist);
+    EXPECT_GT(long_hist.total(), short_hist.total() * 50);
+}
+
+TEST(DroopModel, ConfigValidation)
+{
+    DroopParams p;
+    p.meanRatePerMCycles = -1.0;
+    EXPECT_THROW(DroopModel(xGene3(), p), FatalError);
+    p = DroopParams{};
+    p.workloadRateSpread = 1.5;
+    EXPECT_THROW(DroopModel(xGene3(), p), FatalError);
+    p = DroopParams{};
+    p.lowerBinRateGain = 0.5;
+    EXPECT_THROW(DroopModel(xGene3(), p), FatalError);
+}
+
+} // namespace
+} // namespace ecosched

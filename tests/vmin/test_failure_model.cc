@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for the below-Vmin failure model (§III.B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/units.hh"
+#include "vmin/failure_model.hh"
+
+namespace ecosched {
+namespace {
+
+using namespace units;
+
+TEST(FailureModel, SafeAtOrAboveVmin)
+{
+    const FailureModel model;
+    EXPECT_DOUBLE_EQ(model.pfail(mV(900), mV(900)), 0.0);
+    EXPECT_DOUBLE_EQ(model.pfail(mV(950), mV(900)), 0.0);
+}
+
+TEST(FailureModel, FloorJustBelowVmin)
+{
+    const FailureModel model;
+    const double p = model.pfail(mV(899.9), mV(900));
+    EXPECT_GE(p, model.params().pfailFloor);
+    EXPECT_LT(p, 0.1);
+}
+
+TEST(FailureModel, MonotonicallyRisingWithDepth)
+{
+    const FailureModel model;
+    double prev = 0.0;
+    for (double mv = 900.0; mv >= 800.0; mv -= 5.0) {
+        const double p = model.pfail(mV(mv), mV(900));
+        EXPECT_GE(p, prev);
+        EXPECT_LE(p, 1.0);
+        prev = p;
+    }
+    EXPECT_GT(model.pfail(mV(820), mV(900)), 0.99);
+}
+
+TEST(FailureModel, SampleNeverFailsAboveVmin)
+{
+    const FailureModel model;
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(model.sample(rng, mV(905), mV(900)),
+                  RunOutcome::Ok);
+    }
+}
+
+TEST(FailureModel, SampleMatchesPfail)
+{
+    const FailureModel model;
+    Rng rng(5);
+    const double p = model.pfail(mV(880), mV(900));
+    int failures = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i) {
+        if (isFailure(model.sample(rng, mV(880), mV(900))))
+            ++failures;
+    }
+    EXPECT_NEAR(static_cast<double>(failures) / trials, p, 0.02);
+}
+
+TEST(FailureModel, SeverityShiftsWithDepth)
+{
+    // Just below Vmin: SDCs dominate; deep below: system crashes.
+    const FailureModel model;
+    Rng rng(7);
+    int shallow_sdc = 0;
+    int shallow_crash = 0;
+    int deep_sdc = 0;
+    int deep_crash = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const RunOutcome shallow =
+            model.sampleFailureType(rng, mV(895), mV(900));
+        const RunOutcome deep =
+            model.sampleFailureType(rng, mV(830), mV(900));
+        shallow_sdc += shallow == RunOutcome::Sdc;
+        shallow_crash += shallow == RunOutcome::SystemCrash;
+        deep_sdc += deep == RunOutcome::Sdc;
+        deep_crash += deep == RunOutcome::SystemCrash;
+    }
+    EXPECT_GT(shallow_sdc, shallow_crash * 5);
+    EXPECT_GT(deep_crash, deep_sdc * 2);
+}
+
+TEST(FailureModel, SampleFailureTypeNeverOk)
+{
+    const FailureModel model;
+    Rng rng(9);
+    for (int i = 0; i < 2000; ++i) {
+        EXPECT_NE(model.sampleFailureType(rng, mV(870), mV(900)),
+                  RunOutcome::Ok);
+    }
+}
+
+TEST(FailureModel, OutcomeSeverityOrdering)
+{
+    EXPECT_LT(outcomeSeverity(RunOutcome::Ok),
+              outcomeSeverity(RunOutcome::Sdc));
+    EXPECT_LT(outcomeSeverity(RunOutcome::Sdc),
+              outcomeSeverity(RunOutcome::Timeout));
+    EXPECT_LT(outcomeSeverity(RunOutcome::Timeout),
+              outcomeSeverity(RunOutcome::Hang));
+    EXPECT_LT(outcomeSeverity(RunOutcome::Hang),
+              outcomeSeverity(RunOutcome::ProcessCrash));
+    EXPECT_LT(outcomeSeverity(RunOutcome::ProcessCrash),
+              outcomeSeverity(RunOutcome::SystemCrash));
+}
+
+TEST(FailureModel, OutcomeNames)
+{
+    EXPECT_STREQ(runOutcomeName(RunOutcome::Sdc), "sdc");
+    EXPECT_STREQ(runOutcomeName(RunOutcome::SystemCrash),
+                 "system-crash");
+    EXPECT_FALSE(isFailure(RunOutcome::Ok));
+    EXPECT_TRUE(isFailure(RunOutcome::Hang));
+}
+
+TEST(FailureModel, ConfigValidation)
+{
+    FailureParams p;
+    p.pfailFloor = -0.1;
+    EXPECT_THROW(FailureModel{p}, FatalError);
+    p = FailureParams{};
+    p.pfailScaleMv = 0.0;
+    EXPECT_THROW(FailureModel{p}, FatalError);
+    p = FailureParams{};
+    p.crashDepthMv = -5.0;
+    EXPECT_THROW(FailureModel{p}, FatalError);
+}
+
+} // namespace
+} // namespace ecosched

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit tests for the safe-Vmin surface: Table II values, the
+ * structure of §III/§IV (frequency classes, droop classes,
+ * variation fade-out), and parameter validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/units.hh"
+#include "vmin/vmin_model.hh"
+
+namespace ecosched {
+namespace {
+
+using namespace units;
+
+TEST(VminModel, XGene3TableIIVerbatim)
+{
+    const VminModel model(xGene3());
+    // Table II, 3 GHz column.
+    EXPECT_NEAR(model.tableVmin(GHz(3.0), 1), mV(780), 1e-9);
+    EXPECT_NEAR(model.tableVmin(GHz(3.0), 2), mV(780), 1e-9);
+    EXPECT_NEAR(model.tableVmin(GHz(3.0), 4), mV(800), 1e-9);
+    EXPECT_NEAR(model.tableVmin(GHz(3.0), 8), mV(810), 1e-9);
+    EXPECT_NEAR(model.tableVmin(GHz(3.0), 16), mV(830), 1e-9);
+    // Table II, 1.5 GHz column.
+    EXPECT_NEAR(model.tableVmin(GHz(1.5), 2), mV(770), 1e-9);
+    EXPECT_NEAR(model.tableVmin(GHz(1.5), 4), mV(780), 1e-9);
+    EXPECT_NEAR(model.tableVmin(GHz(1.5), 8), mV(790), 1e-9);
+    EXPECT_NEAR(model.tableVmin(GHz(1.5), 16), mV(820), 1e-9);
+}
+
+TEST(VminModel, FrequenciesAboveHalfShareTheFmaxVmin)
+{
+    const VminModel model(xGene3());
+    EXPECT_NEAR(model.tableVmin(GHz(1.875), 16),
+                model.tableVmin(GHz(3.0), 16), 1e-9);
+    // And below half behaves like half (no Deep class on X-Gene 3).
+    EXPECT_NEAR(model.tableVmin(MHz(750), 16),
+                model.tableVmin(GHz(1.5), 16), 1e-9);
+}
+
+TEST(VminModel, XGene2DeepClassMatchesFigure10)
+{
+    const VminModel model(xGene2());
+    const double vnom = 980.0;
+    const double high = toMilliVolts(model.tableVmin(GHz(2.4), 4));
+    const double half = toMilliVolts(model.tableVmin(GHz(1.2), 4));
+    const double deep = toMilliVolts(model.tableVmin(GHz(0.9), 4));
+    // ~3 % skipping benefit, ~12 % further division benefit.
+    EXPECT_NEAR((high - half) / vnom, 0.03, 0.01);
+    EXPECT_NEAR((half - deep) / vnom, 0.12, 0.01);
+}
+
+TEST(VminModel, VminRisesWithDroopClass)
+{
+    const VminModel model(xGene3());
+    Volt prev = 0.0;
+    for (std::uint32_t pmds : {1u, 4u, 8u, 16u}) {
+        const Volt v = model.tableVmin(GHz(3.0), pmds);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(VminModel, TrueVminNeverExceedsTable)
+{
+    const VminModel model(xGene3());
+    for (double sens : {0.0, 0.5, 1.0}) {
+        for (std::uint32_t threads : {1u, 8u, 32u}) {
+            const auto cores = allocateCores(32, threads,
+                                             Allocation::Spreaded);
+            const Volt t = model.tableVmin(
+                GHz(3.0), countUtilizedPmds(cores));
+            EXPECT_LE(model.trueVmin(GHz(3.0), cores, sens),
+                      t + 1e-12);
+        }
+    }
+}
+
+TEST(VminModel, MostSensitiveWorkloadPinsTheTable)
+{
+    const VminModel model(xGene2());
+    // Sensitivity 1 on the most sensitive PMD (offset 0) gives
+    // exactly the table value.
+    const std::vector<CoreId> cores{0, 1}; // PMD0 has offset 0
+    EXPECT_NEAR(model.trueVmin(GHz(2.4), cores, 1.0),
+                model.tableVmin(GHz(2.4), 1), 1e-9);
+}
+
+TEST(VminModel, WorkloadVariationFadesWithCoreCount)
+{
+    const VminModel model(xGene2());
+    // Single-core: insensitive workloads sit far below the table.
+    const Volt single_sensitive =
+        model.trueVmin(GHz(2.4), {0}, 1.0);
+    const Volt single_robust = model.trueVmin(GHz(2.4), {0}, 0.0);
+    const double single_spread =
+        toMilliVolts(single_sensitive - single_robust);
+    EXPECT_NEAR(single_spread, 40.0, 1.0); // §III.A: up to 40 mV
+
+    // Eight cores: the same workload delta shrinks to ~10 mV.
+    const auto all = allocateCores(8, 8, Allocation::Spreaded);
+    const double multi_spread = toMilliVolts(
+        model.trueVmin(GHz(2.4), all, 1.0)
+        - model.trueVmin(GHz(2.4), all, 0.0));
+    EXPECT_LT(multi_spread, 11.0);
+    EXPECT_GT(multi_spread, 2.0);
+}
+
+TEST(VminModel, XGene2Pmd2IsMostRobust)
+{
+    // Figure 4: PMD2 (cores 4, 5) has the largest safe region.
+    const VminModel model(xGene2());
+    for (PmdId p = 0; p < 4; ++p) {
+        EXPECT_LE(model.pmdOffset(p), 0.0);
+        if (p != 2) {
+            EXPECT_LT(model.pmdOffset(2), model.pmdOffset(p));
+        }
+    }
+    const Volt on_pmd2 = model.trueVmin(GHz(2.4), {4}, 0.8);
+    const Volt on_pmd0 = model.trueVmin(GHz(2.4), {0}, 0.8);
+    EXPECT_LT(on_pmd2, on_pmd0);
+}
+
+TEST(VminModel, MixedPmdsLimitedByMostSensitive)
+{
+    const VminModel model(xGene2());
+    const Volt robust_only = model.trueVmin(GHz(2.4), {4, 5}, 0.9);
+    const Volt mixed = model.trueVmin(GHz(2.4), {0, 4}, 0.9);
+    EXPECT_GT(mixed, robust_only);
+}
+
+TEST(VminModel, DerivedOffsetsAreDeterministicPerSeed)
+{
+    const ChipSpec spec = xGene3();
+    VminParams params = VminParams::forChip(spec);
+    params.pmdOffsetsMv.clear(); // force derivation
+    const VminModel a(spec, params, 7);
+    const VminModel b(spec, params, 7);
+    const VminModel c(spec, params, 8);
+    bool identical_ab = true;
+    bool identical_ac = true;
+    for (PmdId p = 0; p < spec.numPmds(); ++p) {
+        identical_ab &= a.pmdOffset(p) == b.pmdOffset(p);
+        identical_ac &= a.pmdOffset(p) == c.pmdOffset(p);
+        EXPECT_LE(a.pmdOffset(p), 0.0);
+    }
+    EXPECT_TRUE(identical_ab);
+    EXPECT_FALSE(identical_ac); // chip-to-chip variation
+}
+
+TEST(VminModel, AttenuationShape)
+{
+    const VminModel model(xGene3());
+    EXPECT_DOUBLE_EQ(model.attenuation(1), 1.0);
+    EXPECT_GT(model.attenuation(2), model.attenuation(4));
+    EXPECT_GT(model.attenuation(4), model.attenuation(32));
+    EXPECT_LT(model.attenuation(32), 0.1);
+}
+
+TEST(VminModel, InputValidation)
+{
+    const VminModel model(xGene3());
+    EXPECT_THROW(model.trueVmin(units::GHz(3.0), {}, 0.5),
+                 FatalError);
+    EXPECT_THROW(model.trueVmin(units::GHz(3.0), {0}, 1.5),
+                 FatalError);
+    EXPECT_THROW(model.trueVmin(units::GHz(3.0), {99}, 0.5),
+                 FatalError);
+    EXPECT_THROW(model.pmdOffset(16), FatalError);
+}
+
+TEST(VminParams, ValidationCatchesInconsistentTables)
+{
+    const ChipSpec spec = xGene3();
+    VminParams p = VminParams::forChip(spec);
+    p.tableMv[VminFreqClass::High] = {780.0, 800.0}; // wrong arity
+    EXPECT_THROW(p.validate(spec), FatalError);
+
+    p = VminParams::forChip(spec);
+    p.tableMv[VminFreqClass::High] = {830.0, 810.0, 800.0, 780.0};
+    EXPECT_THROW(p.validate(spec), FatalError); // decreasing
+
+    p = VminParams::forChip(spec);
+    p.tableMv[VminFreqClass::High][3] = 880.0; // above nominal
+    EXPECT_THROW(p.validate(spec), FatalError);
+
+    p = VminParams::forChip(spec);
+    p.pmdOffsetsMv = {1.0}; // positive offset + wrong arity
+    EXPECT_THROW(p.validate(spec), FatalError);
+}
+
+} // namespace
+} // namespace ecosched

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for BenchmarkProfile semantics: Amdahl work splitting,
+ * hashing and validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "workloads/benchmark.hh"
+
+namespace ecosched {
+namespace {
+
+BenchmarkProfile
+parallelBench()
+{
+    BenchmarkProfile p;
+    p.name = "toy";
+    p.suite = Suite::Npb;
+    p.parallel = true;
+    p.work.cpiBase = 1.0;
+    p.work.l3Apki = 5.0;
+    p.work.dramApki = 1.0;
+    p.serialFraction = 0.05;
+    p.workInstructions = 1'000'000'000;
+    p.vminSensitivity = 0.8;
+    return p;
+}
+
+TEST(BenchmarkProfile, SingleThreadGetsFullWork)
+{
+    const BenchmarkProfile p = parallelBench();
+    EXPECT_EQ(p.perThreadWork(1), p.workInstructions);
+}
+
+TEST(BenchmarkProfile, AmdahlSplit)
+{
+    const BenchmarkProfile p = parallelBench();
+    // serial + (1-serial)/N of the work per thread.
+    const double expected8 = 1e9 * (0.05 + 0.95 / 8.0);
+    EXPECT_NEAR(static_cast<double>(p.perThreadWork(8)), expected8,
+                1.0);
+    // More threads -> less work each, but never below serial part.
+    EXPECT_LT(p.perThreadWork(16), p.perThreadWork(8));
+    EXPECT_GT(static_cast<double>(p.perThreadWork(1024)),
+              1e9 * 0.05 - 1.0);
+}
+
+TEST(BenchmarkProfile, SingleThreadProgramsIgnoreThreadCount)
+{
+    BenchmarkProfile p = parallelBench();
+    p.parallel = false;
+    p.serialFraction = 0.0;
+    // Each copy of a SPEC program repeats the full work (§II.B).
+    EXPECT_EQ(p.perThreadWork(8), p.workInstructions);
+}
+
+TEST(BenchmarkProfile, HashStableAndDistinct)
+{
+    BenchmarkProfile a = parallelBench();
+    BenchmarkProfile b = parallelBench();
+    EXPECT_EQ(a.hash(), b.hash());
+    b.name = "other";
+    EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(BenchmarkProfile, Validation)
+{
+    BenchmarkProfile p = parallelBench();
+    p.validate();
+
+    p.serialFraction = 1.0;
+    EXPECT_THROW(p.validate(), FatalError);
+
+    p = parallelBench();
+    p.parallel = false; // single-thread with serial fraction
+    EXPECT_THROW(p.validate(), FatalError);
+
+    p = parallelBench();
+    p.workInstructions = 0;
+    EXPECT_THROW(p.validate(), FatalError);
+
+    p = parallelBench();
+    p.vminSensitivity = 1.2;
+    EXPECT_THROW(p.validate(), FatalError);
+
+    p = parallelBench();
+    p.name.clear();
+    EXPECT_THROW(p.validate(), FatalError);
+
+    EXPECT_THROW(parallelBench().perThreadWork(0), FatalError);
+}
+
+TEST(BenchmarkProfile, HomogeneousBuildsOnePhase)
+{
+    const BenchmarkProfile p = parallelBench();
+    const auto phases = p.buildPhases(1000);
+    ASSERT_EQ(phases.size(), 1u);
+    EXPECT_EQ(phases[0].instructions, 1000u);
+    EXPECT_DOUBLE_EQ(phases[0].profile.l3Apki, p.work.l3Apki);
+}
+
+TEST(BenchmarkProfile, PhasedSlicingConservesWork)
+{
+    BenchmarkProfile p = parallelBench();
+    WorkProfile mem = p.work;
+    mem.l3Apki = 60.0;
+    mem.dramApki = 30.0;
+    mem.mlp = 4.0;
+    p.phases = {{0.3, p.work}, {0.5, mem}, {0.2, p.work}};
+    p.validate();
+    const auto phases = p.buildPhases(999'999'937); // awkward prime
+    ASSERT_EQ(phases.size(), 3u);
+    Instructions total = 0;
+    for (const auto &ph : phases) {
+        EXPECT_GT(ph.instructions, 0u);
+        total += ph.instructions;
+    }
+    EXPECT_EQ(total, 999'999'937u);
+    EXPECT_NEAR(static_cast<double>(phases[1].instructions)
+                    / 999'999'937.0,
+                0.5, 1e-6);
+}
+
+TEST(BenchmarkProfile, PhaseValidation)
+{
+    BenchmarkProfile p = parallelBench();
+    p.phases = {{0.6, p.work}, {0.6, p.work}}; // sums to 1.2
+    EXPECT_THROW(p.validate(), FatalError);
+    p.phases = {{0.0, p.work}, {1.0, p.work}};
+    EXPECT_THROW(p.validate(), FatalError);
+    WorkProfile broken = p.work;
+    broken.cpiBase = 0.0;
+    p.phases = {{1.0, broken}};
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(BenchmarkProfile, SuiteNames)
+{
+    EXPECT_STREQ(suiteName(Suite::Npb), "NPB");
+    EXPECT_STREQ(suiteName(Suite::Parsec), "PARSEC");
+    EXPECT_STREQ(suiteName(Suite::SpecCpu2006), "SPEC CPU2006");
+}
+
+} // namespace
+} // namespace ecosched

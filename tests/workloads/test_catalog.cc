@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Catalog tests: composition of the paper's benchmark sets and the
+ * calibration invariants every profile must satisfy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/units.hh"
+#include "platform/chip_spec.hh"
+#include "sim/memory_system.hh"
+#include "workloads/catalog.hh"
+
+namespace ecosched {
+namespace {
+
+using namespace units;
+
+TEST(Catalog, Composition)
+{
+    const Catalog &cat = Catalog::instance();
+    EXPECT_EQ(cat.all().size(), 41u); // 6 NPB + 6 PARSEC + 29 SPEC
+    EXPECT_EQ(cat.bySuite(Suite::Npb).size(), 6u);
+    EXPECT_EQ(cat.bySuite(Suite::Parsec).size(), 6u);
+    EXPECT_EQ(cat.bySuite(Suite::SpecCpu2006).size(), 29u);
+    // §II.B: 25 characterized benchmarks.
+    EXPECT_EQ(cat.characterizedSet().size(), 25u);
+    // §VI.B: 35-program generator pool (29 SPEC + 6 NPB).
+    EXPECT_EQ(cat.generatorPool().size(), 35u);
+}
+
+TEST(Catalog, PaperBenchmarksPresent)
+{
+    const Catalog &cat = Catalog::instance();
+    for (const char *name :
+         {"CG", "EP", "FT", "IS", "LU", "MG", "swaptions",
+          "blackscholes", "fluidanimate", "canneal", "bodytrack",
+          "dedup", "namd", "milc", "mcf", "lbm", "libquantum",
+          "povray", "hmmer", "gcc", "bzip2", "perlbench", "gobmk",
+          "sjeng", "soplex"}) {
+        EXPECT_TRUE(cat.contains(name)) << name;
+    }
+    EXPECT_FALSE(cat.contains("doom"));
+    EXPECT_THROW(cat.byName("doom"), FatalError);
+}
+
+TEST(Catalog, FigureBenchmarksOrdering)
+{
+    // namd, EP (CPU-intensive) ... milc, CG, FT (memory-intensive).
+    const auto figs = Catalog::instance().figureBenchmarks();
+    ASSERT_EQ(figs.size(), 5u);
+    EXPECT_EQ(figs[0]->name, "namd");
+    EXPECT_EQ(figs[1]->name, "EP");
+    EXPECT_EQ(figs[2]->name, "milc");
+    EXPECT_EQ(figs[3]->name, "CG");
+    EXPECT_EQ(figs[4]->name, "FT");
+}
+
+TEST(Catalog, ParallelismMatchesSuite)
+{
+    for (const auto &p : Catalog::instance().all()) {
+        EXPECT_EQ(p.parallel, p.suite != Suite::SpecCpu2006)
+            << p.name;
+        if (!p.parallel) {
+            EXPECT_DOUBLE_EQ(p.serialFraction, 0.0) << p.name;
+        }
+    }
+}
+
+TEST(Catalog, ExtremesOfTheIntensitySpectrum)
+{
+    const Catalog &cat = Catalog::instance();
+    const MemorySystem memory(MemoryParams::forChipName("X-Gene 3"));
+    const double rate_namd =
+        memory.l3PerMCycles(cat.byName("namd").work, GHz(3.0));
+    const double rate_ep =
+        memory.l3PerMCycles(cat.byName("EP").work, GHz(3.0));
+    const double rate_cg =
+        memory.l3PerMCycles(cat.byName("CG").work, GHz(3.0));
+    const double rate_ft =
+        memory.l3PerMCycles(cat.byName("FT").work, GHz(3.0));
+    // Figure 9: namd/EP lowest, CG/FT highest.
+    for (const auto &p : cat.all()) {
+        const double r = memory.l3PerMCycles(p.work, GHz(3.0));
+        EXPECT_GE(r, std::min(rate_namd, rate_ep) * 0.9) << p.name;
+        EXPECT_LE(r, std::max(rate_cg, rate_ft) * 1.1) << p.name;
+    }
+    EXPECT_LT(rate_namd, 1000.0);
+    EXPECT_LT(rate_ep, 1000.0);
+    EXPECT_GT(rate_cg, 10000.0);
+    EXPECT_GT(rate_ft, 10000.0);
+}
+
+/// Per-benchmark calibration invariants.
+class CatalogEntry
+    : public ::testing::TestWithParam<const BenchmarkProfile *>
+{};
+
+TEST_P(CatalogEntry, ProfileIsValid)
+{
+    GetParam()->validate();
+}
+
+TEST_P(CatalogEntry, MemoryTrafficIsConsistent)
+{
+    const WorkProfile &w = GetParam()->work;
+    EXPECT_LE(w.dramApki, w.l3Apki + 1e-9);
+    EXPECT_GE(w.mlp, 1.5);
+    EXPECT_LE(w.mlp, 8.0);
+    EXPECT_GE(w.l2SharingPenalty, 1.0);
+    EXPECT_LE(w.l2SharingPenalty, 1.5);
+}
+
+TEST_P(CatalogEntry, RuntimeIsReasonable)
+{
+    // Single-thread runtime at the X-Gene 3 reference point should
+    // land in a server-benchmark-like range.
+    const BenchmarkProfile &p = *GetParam();
+    const MemorySystem memory(MemoryParams::forChipName("X-Gene 3"));
+    const Seconds t = static_cast<double>(p.workInstructions)
+        * memory.timePerInstruction(p.work, GHz(3.0), 1.0);
+    EXPECT_GT(t, 60.0) << p.name;
+    EXPECT_LT(t, 900.0) << p.name;
+}
+
+TEST_P(CatalogEntry, ClassificationStableAcrossLadder)
+{
+    // A benchmark's class must not flip between the frequencies the
+    // daemon uses (fmax vs the reduced clock), or placement would
+    // thrash.  Hysteresis band: 10 %.
+    const BenchmarkProfile &p = *GetParam();
+    for (const ChipSpec &spec : {xGene2(), xGene3()}) {
+        const MemorySystem memory(
+            MemoryParams::forChipName(spec.name));
+        const Hertz low = spec.deepClassMaxFreq > 0.0
+            ? spec.deepClassMaxFreq
+            : spec.halfClassMaxFreq;
+        const double at_max =
+            memory.l3PerMCycles(p.work, spec.fMax);
+        const double at_low = memory.l3PerMCycles(p.work, low);
+        const bool mem_at_max = at_max > 3000.0;
+        if (mem_at_max) {
+            // Once slowed, it must not fall below the down-band.
+            EXPECT_GT(at_low, 3000.0 * 0.9)
+                << p.name << " on " << spec.name;
+        } else {
+            // CPU class stays at fmax, so only the up-band at fmax
+            // matters; give it margin.
+            EXPECT_LT(at_max, 3000.0 * 1.1)
+                << p.name << " on " << spec.name;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, CatalogEntry,
+    ::testing::ValuesIn([] {
+        std::vector<const BenchmarkProfile *> all;
+        for (const auto &p : Catalog::instance().all())
+            all.push_back(&p);
+        return all;
+    }()),
+    [](const ::testing::TestParamInfo<const BenchmarkProfile *>
+           &info) { return info.param->name; });
+
+} // namespace
+} // namespace ecosched

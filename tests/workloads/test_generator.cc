@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the §VI.B workload generator: determinism, the
+ * core-capacity guarantee, phase structure and runtime estimation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "workloads/generator.hh"
+
+namespace ecosched {
+namespace {
+
+GeneratorConfig
+xg3Config(std::uint64_t seed = 42, Seconds duration = 1800.0)
+{
+    GeneratorConfig cfg;
+    cfg.duration = duration;
+    cfg.maxCores = 32;
+    cfg.seed = seed;
+    cfg.chipName = "X-Gene 3";
+    cfg.referenceFrequency = units::GHz(3.0);
+    return cfg;
+}
+
+TEST(Generator, DeterministicForSameSeed)
+{
+    const WorkloadGenerator gen(xg3Config(7));
+    const GeneratedWorkload a = gen.generate();
+    const GeneratedWorkload b = gen.generate();
+    ASSERT_EQ(a.items.size(), b.items.size());
+    for (std::size_t i = 0; i < a.items.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.items[i].arrival, b.items[i].arrival);
+        EXPECT_EQ(a.items[i].benchmark, b.items[i].benchmark);
+        EXPECT_EQ(a.items[i].threads, b.items[i].threads);
+    }
+}
+
+TEST(Generator, DifferentSeedsDiffer)
+{
+    const GeneratedWorkload a =
+        WorkloadGenerator(xg3Config(1)).generate();
+    const GeneratedWorkload b =
+        WorkloadGenerator(xg3Config(2)).generate();
+    bool differ = a.items.size() != b.items.size();
+    for (std::size_t i = 0;
+         !differ && i < std::min(a.items.size(), b.items.size());
+         ++i) {
+        differ = a.items[i].benchmark != b.items[i].benchmark
+            || a.items[i].arrival != b.items[i].arrival;
+    }
+    EXPECT_TRUE(differ);
+}
+
+TEST(Generator, RespectsCoreCapacity)
+{
+    const GeneratedWorkload wl =
+        WorkloadGenerator(xg3Config()).generate();
+    EXPECT_LE(wl.peakEstimatedThreads, wl.maxCores);
+    for (const auto &item : wl.items)
+        EXPECT_LE(item.threads, wl.maxCores);
+}
+
+TEST(Generator, ArrivalsSortedWithinWindow)
+{
+    const GeneratedWorkload wl =
+        WorkloadGenerator(xg3Config()).generate();
+    ASSERT_FALSE(wl.items.empty());
+    for (std::size_t i = 1; i < wl.items.size(); ++i)
+        EXPECT_LE(wl.items[i - 1].arrival, wl.items[i].arrival);
+    EXPECT_GE(wl.items.front().arrival, 0.0);
+    EXPECT_LE(wl.items.back().arrival, wl.duration + 5.0);
+}
+
+TEST(Generator, OnlyPoolProgramsAppear)
+{
+    // §VI.B: the pool is the 29 SPEC + 6 NPB programs (no PARSEC).
+    const GeneratedWorkload wl =
+        WorkloadGenerator(xg3Config()).generate();
+    const Catalog &cat = Catalog::instance();
+    for (const auto &item : wl.items) {
+        const BenchmarkProfile &p = cat.byName(item.benchmark);
+        EXPECT_NE(p.suite, Suite::Parsec) << item.benchmark;
+        if (!p.parallel) {
+            EXPECT_EQ(item.threads, 1u) << item.benchmark;
+        }
+    }
+}
+
+TEST(Generator, ParallelJobsUseThePaperThreadings)
+{
+    // Parallel invocations come in max / half / quarter-core sizes
+    // (clamped down when capacity is tight).
+    const GeneratedWorkload wl =
+        WorkloadGenerator(xg3Config()).generate();
+    bool saw_parallel = false;
+    for (const auto &item : wl.items) {
+        if (item.threads > 1) {
+            saw_parallel = true;
+            EXPECT_LE(item.threads, 32u);
+        }
+    }
+    EXPECT_TRUE(saw_parallel);
+}
+
+TEST(Generator, PhasesTileTheWindow)
+{
+    const GeneratedWorkload wl =
+        WorkloadGenerator(xg3Config()).generate();
+    ASSERT_FALSE(wl.phases.empty());
+    EXPECT_DOUBLE_EQ(wl.phases.front().begin, 0.0);
+    EXPECT_NEAR(wl.phases.back().end, wl.duration, 1e-9);
+    for (std::size_t i = 1; i < wl.phases.size(); ++i) {
+        EXPECT_DOUBLE_EQ(wl.phases[i].begin,
+                         wl.phases[i - 1].end);
+        EXPECT_GT(wl.phases[i].end, wl.phases[i].begin);
+    }
+}
+
+TEST(Generator, IncludesLoadVariety)
+{
+    // Over a long window all load regimes should appear.
+    const GeneratedWorkload wl =
+        WorkloadGenerator(xg3Config(3, 7200.0)).generate();
+    bool heavy = false;
+    bool light = false;
+    for (const auto &ph : wl.phases) {
+        heavy |= ph.phase == LoadPhase::Heavy;
+        light |= ph.phase == LoadPhase::Light
+            || ph.phase == LoadPhase::Idle;
+    }
+    EXPECT_TRUE(heavy);
+    EXPECT_TRUE(light);
+}
+
+TEST(Generator, EstimateRuntimeIsAmdahlConsistent)
+{
+    const WorkloadGenerator gen(xg3Config());
+    const auto &cg = Catalog::instance().byName("CG");
+    const Seconds t1 = gen.estimateRuntime(cg, 1);
+    const Seconds t32 = gen.estimateRuntime(cg, 32);
+    EXPECT_GT(t1, 0.0);
+    EXPECT_LT(t32, t1);
+    EXPECT_GT(t32, t1 / 32.0); // serial fraction prevents ideal
+}
+
+TEST(Generator, ConfigValidation)
+{
+    GeneratorConfig cfg = xg3Config();
+    cfg.duration = 0.0;
+    EXPECT_THROW(WorkloadGenerator{cfg}, FatalError);
+    cfg = xg3Config();
+    cfg.maxCores = 0;
+    EXPECT_THROW(WorkloadGenerator{cfg}, FatalError);
+    cfg = xg3Config();
+    cfg.heavyOccupancy = 1.5;
+    EXPECT_THROW(WorkloadGenerator{cfg}, FatalError);
+    cfg = xg3Config();
+    cfg.maxPhaseLength = cfg.minPhaseLength - 1.0;
+    EXPECT_THROW(WorkloadGenerator{cfg}, FatalError);
+}
+
+TEST(Generator, LoadPhaseNames)
+{
+    EXPECT_STREQ(loadPhaseName(LoadPhase::Heavy), "heavy");
+    EXPECT_STREQ(loadPhaseName(LoadPhase::Idle), "idle");
+}
+
+} // namespace
+} // namespace ecosched

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * ecosched — command-line front end to the library.
+ *
+ * Subcommands:
+ *   chips                               list the chip presets
+ *   benchmarks [chip]                   list the catalog + classes
+ *   table <chip> [guardband_mv] [file]  print/save Table II
+ *   characterize <chip> <bench> <threads> <clustered|spreaded>
+ *                [freq_ghz]             run the §III Vmin sweep
+ *   generate <chip> <duration_s> <seed> print a §VI.B workload
+ *   run <chip> <policy> <duration_s> <seed> [timeline.csv]
+ *                                       replay under a policy
+ *
+ * Chips: xgene2 | xgene3.  Policies: baseline | safevmin |
+ * placement | optimal.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "ecosched/ecosched.hh"
+
+using namespace ecosched;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr
+        << "usage:\n"
+           "  ecosched chips\n"
+           "  ecosched benchmarks [xgene2|xgene3]\n"
+           "  ecosched table <chip> [guardband_mv] [out_file]\n"
+           "  ecosched characterize <chip> <benchmark> <threads> "
+           "<clustered|spreaded> [freq_ghz]\n"
+           "  ecosched generate <chip> <duration_s> <seed>\n"
+           "  ecosched run <chip> <policy> <duration_s> <seed> "
+           "[timeline.csv]\n";
+    return 2;
+}
+
+ChipSpec
+chipByName(const std::string &name)
+{
+    if (name == "xgene2" || name == "x-gene-2")
+        return xGene2();
+    if (name == "xgene3" || name == "x-gene-3")
+        return xGene3();
+    fatal("unknown chip '", name, "' (use xgene2 or xgene3)");
+}
+
+PolicyKind
+policyByName(const std::string &name)
+{
+    if (name == "baseline")
+        return PolicyKind::Baseline;
+    if (name == "safevmin")
+        return PolicyKind::SafeVmin;
+    if (name == "placement")
+        return PolicyKind::Placement;
+    if (name == "optimal")
+        return PolicyKind::Optimal;
+    fatal("unknown policy '", name,
+          "' (baseline|safevmin|placement|optimal)");
+}
+
+int
+cmdChips()
+{
+    TextTable t({"name", "cores", "PMDs", "fmax", "Vnom", "TDP",
+                 "L3"});
+    for (const ChipSpec &spec : {xGene2(), xGene3()}) {
+        t.addRow({spec.name, std::to_string(spec.numCores),
+                  std::to_string(spec.numPmds()),
+                  formatDouble(units::toGHz(spec.fMax), 1) + " GHz",
+                  formatDouble(units::toMilliVolts(spec.vNominal),
+                               0) + " mV",
+                  formatDouble(spec.tdp, 0) + " W",
+                  formatDouble(static_cast<double>(spec.l3Bytes)
+                                   / (1024.0 * 1024.0),
+                               0) + " MB"});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdBenchmarks(const ChipSpec &chip)
+{
+    const MemorySystem memory(MemoryParams::forChipName(chip.name));
+    TextTable t({"benchmark", "suite", "threads", "L3C/Mcyc@fmax",
+                 "class", "characterized"});
+    for (const auto &p : Catalog::instance().all()) {
+        const double rate = memory.l3PerMCycles(p.work, chip.fMax);
+        t.addRow({p.name, suiteName(p.suite),
+                  p.parallel ? "parallel" : "single",
+                  formatDouble(rate, 0),
+                  rate > 3000.0 ? "memory-intensive"
+                                : "cpu-intensive",
+                  p.characterized ? "yes" : "no"});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdTable(const ChipSpec &chip, double guardband_mv,
+         const std::string &out_file)
+{
+    const VminModel model(chip);
+    const DroopClassTable table(model, units::mV(guardband_mv));
+    table.save(std::cout);
+    if (!out_file.empty()) {
+        std::ofstream out(out_file);
+        fatalIf(!out, "cannot open '", out_file, "' for writing");
+        table.save(out);
+        std::cout << "\nsaved to " << out_file << "\n";
+    }
+    return 0;
+}
+
+int
+cmdCharacterize(const ChipSpec &chip, const std::string &bench_name,
+                std::uint32_t threads, Allocation alloc, Hertz freq)
+{
+    const BenchmarkProfile &bench =
+        Catalog::instance().byName(bench_name);
+    const VminModel model(chip);
+    const FailureModel failures;
+    const VminCharacterizer characterizer(model, failures);
+    Rng rng(1);
+    const auto cores = allocateCores(chip.numCores, threads, alloc);
+    const auto result = characterizer.characterize(
+        rng, freq, cores, bench.vminSensitivity);
+
+    TextTable t({"voltage (mV)", "trials", "failures", "pfail"});
+    for (const auto &pt : result.sweep) {
+        t.addRow({formatDouble(units::toMilliVolts(pt.voltage), 0),
+                  std::to_string(pt.trials),
+                  std::to_string(pt.failures),
+                  formatPercent(pt.pfail(), 1)});
+    }
+    t.print(std::cout);
+    std::cout << "safe Vmin: "
+              << formatDouble(
+                     units::toMilliVolts(result.safeVmin), 0)
+              << " mV, crash point: "
+              << formatDouble(
+                     units::toMilliVolts(result.crashVoltage), 0)
+              << " mV\n";
+    return 0;
+}
+
+int
+cmdGenerate(const ChipSpec &chip, Seconds duration,
+            std::uint64_t seed)
+{
+    GeneratorConfig gc;
+    gc.duration = duration;
+    gc.maxCores = chip.numCores;
+    gc.seed = seed;
+    gc.chipName = chip.name;
+    gc.referenceFrequency = chip.fMax;
+    const GeneratedWorkload wl = WorkloadGenerator(gc).generate();
+
+    TextTable t({"arrival_s", "benchmark", "threads"});
+    for (const auto &item : wl.items) {
+        t.addRow({formatDouble(item.arrival, 1), item.benchmark,
+                  std::to_string(item.threads)});
+    }
+    t.printCsv(std::cout);
+    std::cerr << wl.items.size() << " invocations over "
+              << formatDouble(duration, 0) << " s (peak "
+              << wl.peakEstimatedThreads << " threads)\n";
+    return 0;
+}
+
+int
+cmdRun(const ChipSpec &chip, PolicyKind policy, Seconds duration,
+       std::uint64_t seed, const std::string &csv_file)
+{
+    GeneratorConfig gc;
+    gc.duration = duration;
+    gc.maxCores = chip.numCores;
+    gc.seed = seed;
+    gc.chipName = chip.name;
+    gc.referenceFrequency = chip.fMax;
+    const GeneratedWorkload wl = WorkloadGenerator(gc).generate();
+
+    ScenarioConfig sc;
+    sc.chip = chip;
+    sc.policy = policy;
+    const ScenarioResult r = ScenarioRunner(sc).run(wl);
+
+    TextTable t({"metric", "value"});
+    t.addRow({"configuration", policyKindName(policy)});
+    t.addRow({"completion time", formatDouble(r.completionTime, 1)
+                                     + " s"});
+    t.addRow({"average power", formatDouble(r.averagePower, 2)
+                                   + " W"});
+    t.addRow({"energy", formatDouble(r.energy, 1) + " J"});
+    t.addRow({"ED2P", formatSi(r.ed2p, 2)});
+    t.addRow({"processes", std::to_string(r.processesCompleted)});
+    t.addRow({"migrations", std::to_string(r.migrations)});
+    t.addRow({"voltage transitions",
+              std::to_string(r.voltageTransitions)});
+    t.print(std::cout);
+
+    if (!csv_file.empty()) {
+        std::ofstream out(csv_file);
+        fatalIf(!out, "cannot open '", csv_file, "' for writing");
+        r.writeTimelineCsv(out);
+        std::cout << "timeline written to " << csv_file << "\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "chips")
+            return cmdChips();
+        if (cmd == "benchmarks") {
+            return cmdBenchmarks(
+                chipByName(argc > 2 ? argv[2] : "xgene3"));
+        }
+        if (cmd == "table") {
+            if (argc < 3)
+                return usage();
+            return cmdTable(chipByName(argv[2]),
+                            argc > 3 ? std::atof(argv[3]) : 0.0,
+                            argc > 4 ? argv[4] : "");
+        }
+        if (cmd == "characterize") {
+            if (argc < 6)
+                return usage();
+            const ChipSpec chip = chipByName(argv[2]);
+            const Allocation alloc =
+                std::strcmp(argv[5], "clustered") == 0
+                    ? Allocation::Clustered
+                    : Allocation::Spreaded;
+            const Hertz freq = argc > 6
+                ? chip.snapToLadder(units::GHz(std::atof(argv[6])))
+                : chip.fMax;
+            return cmdCharacterize(
+                chip, argv[3],
+                static_cast<std::uint32_t>(std::atoi(argv[4])),
+                alloc, freq);
+        }
+        if (cmd == "generate") {
+            if (argc < 5)
+                return usage();
+            return cmdGenerate(
+                chipByName(argv[2]), std::atof(argv[3]),
+                static_cast<std::uint64_t>(std::atoll(argv[4])));
+        }
+        if (cmd == "run") {
+            if (argc < 6)
+                return usage();
+            return cmdRun(
+                chipByName(argv[2]), policyByName(argv[3]),
+                std::atof(argv[4]),
+                static_cast<std::uint64_t>(std::atoll(argv[5])),
+                argc > 6 ? argv[6] : "");
+        }
+    } catch (const FatalError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return usage();
+}
