@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_daemon_knobs.dir/ablation_daemon_knobs.cc.o"
+  "CMakeFiles/ablation_daemon_knobs.dir/ablation_daemon_knobs.cc.o.d"
+  "ablation_daemon_knobs"
+  "ablation_daemon_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_daemon_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

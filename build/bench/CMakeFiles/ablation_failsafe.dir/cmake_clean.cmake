@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_failsafe.dir/ablation_failsafe.cc.o"
+  "CMakeFiles/ablation_failsafe.dir/ablation_failsafe.cc.o.d"
+  "ablation_failsafe"
+  "ablation_failsafe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_failsafe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

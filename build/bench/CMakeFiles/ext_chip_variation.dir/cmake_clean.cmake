@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_chip_variation.dir/ext_chip_variation.cc.o"
+  "CMakeFiles/ext_chip_variation.dir/ext_chip_variation.cc.o.d"
+  "ext_chip_variation"
+  "ext_chip_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_chip_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

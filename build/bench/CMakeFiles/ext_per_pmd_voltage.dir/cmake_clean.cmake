@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_per_pmd_voltage.dir/ext_per_pmd_voltage.cc.o"
+  "CMakeFiles/ext_per_pmd_voltage.dir/ext_per_pmd_voltage.cc.o.d"
+  "ext_per_pmd_voltage"
+  "ext_per_pmd_voltage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_per_pmd_voltage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_phased_workloads.dir/ext_phased_workloads.cc.o"
+  "CMakeFiles/ext_phased_workloads.dir/ext_phased_workloads.cc.o.d"
+  "ext_phased_workloads"
+  "ext_phased_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_phased_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

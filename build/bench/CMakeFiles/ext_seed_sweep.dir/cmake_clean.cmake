@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_seed_sweep.dir/ext_seed_sweep.cc.o"
+  "CMakeFiles/ext_seed_sweep.dir/ext_seed_sweep.cc.o.d"
+  "ext_seed_sweep"
+  "ext_seed_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_seed_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

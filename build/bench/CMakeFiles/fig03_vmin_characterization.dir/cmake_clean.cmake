@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_vmin_characterization.dir/fig03_vmin_characterization.cc.o"
+  "CMakeFiles/fig03_vmin_characterization.dir/fig03_vmin_characterization.cc.o.d"
+  "fig03_vmin_characterization"
+  "fig03_vmin_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_vmin_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

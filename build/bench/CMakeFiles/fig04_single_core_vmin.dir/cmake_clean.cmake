@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_single_core_vmin.dir/fig04_single_core_vmin.cc.o"
+  "CMakeFiles/fig04_single_core_vmin.dir/fig04_single_core_vmin.cc.o.d"
+  "fig04_single_core_vmin"
+  "fig04_single_core_vmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_single_core_vmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_pfail.dir/fig05_pfail.cc.o"
+  "CMakeFiles/fig05_pfail.dir/fig05_pfail.cc.o.d"
+  "fig05_pfail"
+  "fig05_pfail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_pfail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_droops.dir/fig06_droops.cc.o"
+  "CMakeFiles/fig06_droops.dir/fig06_droops.cc.o.d"
+  "fig06_droops"
+  "fig06_droops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_droops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

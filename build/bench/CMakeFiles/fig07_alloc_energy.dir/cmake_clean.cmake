@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_alloc_energy.dir/fig07_alloc_energy.cc.o"
+  "CMakeFiles/fig07_alloc_energy.dir/fig07_alloc_energy.cc.o.d"
+  "fig07_alloc_energy"
+  "fig07_alloc_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_alloc_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

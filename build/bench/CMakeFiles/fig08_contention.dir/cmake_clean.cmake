@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_contention.dir/fig08_contention.cc.o"
+  "CMakeFiles/fig08_contention.dir/fig08_contention.cc.o.d"
+  "fig08_contention"
+  "fig08_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_vmin_factors.dir/fig10_vmin_factors.cc.o"
+  "CMakeFiles/fig10_vmin_factors.dir/fig10_vmin_factors.cc.o.d"
+  "fig10_vmin_factors"
+  "fig10_vmin_factors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_vmin_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_ed2p.dir/fig12_ed2p.cc.o"
+  "CMakeFiles/fig12_ed2p.dir/fig12_ed2p.cc.o.d"
+  "fig12_ed2p"
+  "fig12_ed2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ed2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

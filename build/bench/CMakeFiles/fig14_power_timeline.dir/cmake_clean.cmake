@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_power_timeline.dir/fig14_power_timeline.cc.o"
+  "CMakeFiles/fig14_power_timeline.dir/fig14_power_timeline.cc.o.d"
+  "fig14_power_timeline"
+  "fig14_power_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_power_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

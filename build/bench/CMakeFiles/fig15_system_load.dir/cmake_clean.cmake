@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_system_load.dir/fig15_system_load.cc.o"
+  "CMakeFiles/fig15_system_load.dir/fig15_system_load.cc.o.d"
+  "fig15_system_load"
+  "fig15_system_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_system_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_daemon_overhead.dir/micro_daemon_overhead.cc.o"
+  "CMakeFiles/micro_daemon_overhead.dir/micro_daemon_overhead.cc.o.d"
+  "micro_daemon_overhead"
+  "micro_daemon_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_daemon_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

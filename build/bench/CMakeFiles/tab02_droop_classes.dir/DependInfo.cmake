@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab02_droop_classes.cc" "bench/CMakeFiles/tab02_droop_classes.dir/tab02_droop_classes.cc.o" "gcc" "bench/CMakeFiles/tab02_droop_classes.dir/tab02_droop_classes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ecosched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/ecosched_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ecosched_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecosched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ecosched_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmin/CMakeFiles/ecosched_vmin.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/ecosched_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ecosched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_droop_classes.dir/tab02_droop_classes.cc.o"
+  "CMakeFiles/tab02_droop_classes.dir/tab02_droop_classes.cc.o.d"
+  "tab02_droop_classes"
+  "tab02_droop_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_droop_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

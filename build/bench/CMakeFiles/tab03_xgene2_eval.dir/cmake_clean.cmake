@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_xgene2_eval.dir/tab03_xgene2_eval.cc.o"
+  "CMakeFiles/tab03_xgene2_eval.dir/tab03_xgene2_eval.cc.o.d"
+  "tab03_xgene2_eval"
+  "tab03_xgene2_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_xgene2_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_xgene3_eval.dir/tab04_xgene3_eval.cc.o"
+  "CMakeFiles/tab04_xgene3_eval.dir/tab04_xgene3_eval.cc.o.d"
+  "tab04_xgene3_eval"
+  "tab04_xgene3_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_xgene3_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

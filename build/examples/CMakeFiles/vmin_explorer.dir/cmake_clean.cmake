@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmin_explorer.dir/vmin_explorer.cpp.o"
+  "CMakeFiles/vmin_explorer.dir/vmin_explorer.cpp.o.d"
+  "vmin_explorer"
+  "vmin_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmin_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

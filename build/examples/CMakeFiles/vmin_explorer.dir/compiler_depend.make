@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vmin_explorer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecosched_common.dir/error.cc.o"
+  "CMakeFiles/ecosched_common.dir/error.cc.o.d"
+  "CMakeFiles/ecosched_common.dir/histogram.cc.o"
+  "CMakeFiles/ecosched_common.dir/histogram.cc.o.d"
+  "CMakeFiles/ecosched_common.dir/logging.cc.o"
+  "CMakeFiles/ecosched_common.dir/logging.cc.o.d"
+  "CMakeFiles/ecosched_common.dir/rng.cc.o"
+  "CMakeFiles/ecosched_common.dir/rng.cc.o.d"
+  "CMakeFiles/ecosched_common.dir/stats.cc.o"
+  "CMakeFiles/ecosched_common.dir/stats.cc.o.d"
+  "CMakeFiles/ecosched_common.dir/table.cc.o"
+  "CMakeFiles/ecosched_common.dir/table.cc.o.d"
+  "libecosched_common.a"
+  "libecosched_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecosched_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecosched_core.dir/classifier.cc.o"
+  "CMakeFiles/ecosched_core.dir/classifier.cc.o.d"
+  "CMakeFiles/ecosched_core.dir/daemon.cc.o"
+  "CMakeFiles/ecosched_core.dir/daemon.cc.o.d"
+  "CMakeFiles/ecosched_core.dir/droop_table.cc.o"
+  "CMakeFiles/ecosched_core.dir/droop_table.cc.o.d"
+  "CMakeFiles/ecosched_core.dir/placement.cc.o"
+  "CMakeFiles/ecosched_core.dir/placement.cc.o.d"
+  "CMakeFiles/ecosched_core.dir/policy.cc.o"
+  "CMakeFiles/ecosched_core.dir/policy.cc.o.d"
+  "CMakeFiles/ecosched_core.dir/predictor.cc.o"
+  "CMakeFiles/ecosched_core.dir/predictor.cc.o.d"
+  "CMakeFiles/ecosched_core.dir/scenario.cc.o"
+  "CMakeFiles/ecosched_core.dir/scenario.cc.o.d"
+  "libecosched_core.a"
+  "libecosched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecosched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecosched_os.dir/governor.cc.o"
+  "CMakeFiles/ecosched_os.dir/governor.cc.o.d"
+  "CMakeFiles/ecosched_os.dir/perf_reader.cc.o"
+  "CMakeFiles/ecosched_os.dir/perf_reader.cc.o.d"
+  "CMakeFiles/ecosched_os.dir/system.cc.o"
+  "CMakeFiles/ecosched_os.dir/system.cc.o.d"
+  "libecosched_os.a"
+  "libecosched_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecosched_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/chip.cc" "src/platform/CMakeFiles/ecosched_platform.dir/chip.cc.o" "gcc" "src/platform/CMakeFiles/ecosched_platform.dir/chip.cc.o.d"
+  "/root/repo/src/platform/chip_spec.cc" "src/platform/CMakeFiles/ecosched_platform.dir/chip_spec.cc.o" "gcc" "src/platform/CMakeFiles/ecosched_platform.dir/chip_spec.cc.o.d"
+  "/root/repo/src/platform/slimpro.cc" "src/platform/CMakeFiles/ecosched_platform.dir/slimpro.cc.o" "gcc" "src/platform/CMakeFiles/ecosched_platform.dir/slimpro.cc.o.d"
+  "/root/repo/src/platform/topology.cc" "src/platform/CMakeFiles/ecosched_platform.dir/topology.cc.o" "gcc" "src/platform/CMakeFiles/ecosched_platform.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ecosched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

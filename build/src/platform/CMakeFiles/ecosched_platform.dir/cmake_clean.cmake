@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecosched_platform.dir/chip.cc.o"
+  "CMakeFiles/ecosched_platform.dir/chip.cc.o.d"
+  "CMakeFiles/ecosched_platform.dir/chip_spec.cc.o"
+  "CMakeFiles/ecosched_platform.dir/chip_spec.cc.o.d"
+  "CMakeFiles/ecosched_platform.dir/slimpro.cc.o"
+  "CMakeFiles/ecosched_platform.dir/slimpro.cc.o.d"
+  "CMakeFiles/ecosched_platform.dir/topology.cc.o"
+  "CMakeFiles/ecosched_platform.dir/topology.cc.o.d"
+  "libecosched_platform.a"
+  "libecosched_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecosched_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

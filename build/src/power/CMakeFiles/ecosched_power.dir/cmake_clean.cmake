@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecosched_power.dir/energy_meter.cc.o"
+  "CMakeFiles/ecosched_power.dir/energy_meter.cc.o.d"
+  "CMakeFiles/ecosched_power.dir/power_model.cc.o"
+  "CMakeFiles/ecosched_power.dir/power_model.cc.o.d"
+  "CMakeFiles/ecosched_power.dir/thermal.cc.o"
+  "CMakeFiles/ecosched_power.dir/thermal.cc.o.d"
+  "libecosched_power.a"
+  "libecosched_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecosched_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

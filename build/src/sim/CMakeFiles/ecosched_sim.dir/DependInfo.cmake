@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/ecosched_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/ecosched_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/memory_system.cc" "src/sim/CMakeFiles/ecosched_sim.dir/memory_system.cc.o" "gcc" "src/sim/CMakeFiles/ecosched_sim.dir/memory_system.cc.o.d"
+  "/root/repo/src/sim/perf_counters.cc" "src/sim/CMakeFiles/ecosched_sim.dir/perf_counters.cc.o" "gcc" "src/sim/CMakeFiles/ecosched_sim.dir/perf_counters.cc.o.d"
+  "/root/repo/src/sim/work_profile.cc" "src/sim/CMakeFiles/ecosched_sim.dir/work_profile.cc.o" "gcc" "src/sim/CMakeFiles/ecosched_sim.dir/work_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/ecosched_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ecosched_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmin/CMakeFiles/ecosched_vmin.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ecosched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

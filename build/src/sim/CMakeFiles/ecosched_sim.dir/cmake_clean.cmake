@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecosched_sim.dir/machine.cc.o"
+  "CMakeFiles/ecosched_sim.dir/machine.cc.o.d"
+  "CMakeFiles/ecosched_sim.dir/memory_system.cc.o"
+  "CMakeFiles/ecosched_sim.dir/memory_system.cc.o.d"
+  "CMakeFiles/ecosched_sim.dir/perf_counters.cc.o"
+  "CMakeFiles/ecosched_sim.dir/perf_counters.cc.o.d"
+  "CMakeFiles/ecosched_sim.dir/work_profile.cc.o"
+  "CMakeFiles/ecosched_sim.dir/work_profile.cc.o.d"
+  "libecosched_sim.a"
+  "libecosched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecosched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

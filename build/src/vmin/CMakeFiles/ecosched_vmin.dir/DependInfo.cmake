@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmin/characterizer.cc" "src/vmin/CMakeFiles/ecosched_vmin.dir/characterizer.cc.o" "gcc" "src/vmin/CMakeFiles/ecosched_vmin.dir/characterizer.cc.o.d"
+  "/root/repo/src/vmin/droop_model.cc" "src/vmin/CMakeFiles/ecosched_vmin.dir/droop_model.cc.o" "gcc" "src/vmin/CMakeFiles/ecosched_vmin.dir/droop_model.cc.o.d"
+  "/root/repo/src/vmin/failure_model.cc" "src/vmin/CMakeFiles/ecosched_vmin.dir/failure_model.cc.o" "gcc" "src/vmin/CMakeFiles/ecosched_vmin.dir/failure_model.cc.o.d"
+  "/root/repo/src/vmin/vmin_model.cc" "src/vmin/CMakeFiles/ecosched_vmin.dir/vmin_model.cc.o" "gcc" "src/vmin/CMakeFiles/ecosched_vmin.dir/vmin_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/ecosched_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ecosched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecosched_vmin.dir/characterizer.cc.o"
+  "CMakeFiles/ecosched_vmin.dir/characterizer.cc.o.d"
+  "CMakeFiles/ecosched_vmin.dir/droop_model.cc.o"
+  "CMakeFiles/ecosched_vmin.dir/droop_model.cc.o.d"
+  "CMakeFiles/ecosched_vmin.dir/failure_model.cc.o"
+  "CMakeFiles/ecosched_vmin.dir/failure_model.cc.o.d"
+  "CMakeFiles/ecosched_vmin.dir/vmin_model.cc.o"
+  "CMakeFiles/ecosched_vmin.dir/vmin_model.cc.o.d"
+  "libecosched_vmin.a"
+  "libecosched_vmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecosched_vmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

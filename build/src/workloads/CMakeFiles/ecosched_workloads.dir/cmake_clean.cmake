@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecosched_workloads.dir/benchmark.cc.o"
+  "CMakeFiles/ecosched_workloads.dir/benchmark.cc.o.d"
+  "CMakeFiles/ecosched_workloads.dir/catalog.cc.o"
+  "CMakeFiles/ecosched_workloads.dir/catalog.cc.o.d"
+  "CMakeFiles/ecosched_workloads.dir/generator.cc.o"
+  "CMakeFiles/ecosched_workloads.dir/generator.cc.o.d"
+  "libecosched_workloads.a"
+  "libecosched_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecosched_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

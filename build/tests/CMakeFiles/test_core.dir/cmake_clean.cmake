@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_classifier.cc.o"
+  "CMakeFiles/test_core.dir/core/test_classifier.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_daemon.cc.o"
+  "CMakeFiles/test_core.dir/core/test_daemon.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_droop_table.cc.o"
+  "CMakeFiles/test_core.dir/core/test_droop_table.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_placement.cc.o"
+  "CMakeFiles/test_core.dir/core/test_placement.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_policy.cc.o"
+  "CMakeFiles/test_core.dir/core/test_policy.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_predictor.cc.o"
+  "CMakeFiles/test_core.dir/core/test_predictor.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_scenario.cc.o"
+  "CMakeFiles/test_core.dir/core/test_scenario.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_os.dir/os/test_governor.cc.o"
+  "CMakeFiles/test_os.dir/os/test_governor.cc.o.d"
+  "CMakeFiles/test_os.dir/os/test_perf_reader.cc.o"
+  "CMakeFiles/test_os.dir/os/test_perf_reader.cc.o.d"
+  "CMakeFiles/test_os.dir/os/test_system.cc.o"
+  "CMakeFiles/test_os.dir/os/test_system.cc.o.d"
+  "test_os"
+  "test_os.pdb"
+  "test_os[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

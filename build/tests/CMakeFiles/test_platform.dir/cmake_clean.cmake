@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_platform.dir/platform/test_chip.cc.o"
+  "CMakeFiles/test_platform.dir/platform/test_chip.cc.o.d"
+  "CMakeFiles/test_platform.dir/platform/test_chip_spec.cc.o"
+  "CMakeFiles/test_platform.dir/platform/test_chip_spec.cc.o.d"
+  "CMakeFiles/test_platform.dir/platform/test_slimpro.cc.o"
+  "CMakeFiles/test_platform.dir/platform/test_slimpro.cc.o.d"
+  "CMakeFiles/test_platform.dir/platform/test_topology.cc.o"
+  "CMakeFiles/test_platform.dir/platform/test_topology.cc.o.d"
+  "test_platform"
+  "test_platform.pdb"
+  "test_platform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

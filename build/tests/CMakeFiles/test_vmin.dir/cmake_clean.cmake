@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmin.dir/vmin/test_characterizer.cc.o"
+  "CMakeFiles/test_vmin.dir/vmin/test_characterizer.cc.o.d"
+  "CMakeFiles/test_vmin.dir/vmin/test_droop_model.cc.o"
+  "CMakeFiles/test_vmin.dir/vmin/test_droop_model.cc.o.d"
+  "CMakeFiles/test_vmin.dir/vmin/test_failure_model.cc.o"
+  "CMakeFiles/test_vmin.dir/vmin/test_failure_model.cc.o.d"
+  "CMakeFiles/test_vmin.dir/vmin/test_vmin_model.cc.o"
+  "CMakeFiles/test_vmin.dir/vmin/test_vmin_model.cc.o.d"
+  "test_vmin"
+  "test_vmin.pdb"
+  "test_vmin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

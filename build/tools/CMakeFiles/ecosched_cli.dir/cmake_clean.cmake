@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecosched_cli.dir/ecosched_cli.cc.o"
+  "CMakeFiles/ecosched_cli.dir/ecosched_cli.cc.o.d"
+  "ecosched"
+  "ecosched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecosched_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
