@@ -17,6 +17,7 @@ using namespace ecosched::bench;
 int
 main(int argc, char **argv)
 {
+    const unsigned jobs = stripJobsFlag(argc, argv);
     Seconds duration = 1200.0;
     int seeds = 6;
     if (argc > 1)
@@ -29,6 +30,34 @@ main(int argc, char **argv)
               << " random workloads (" << chip.name << ", "
               << formatDouble(duration, 0) << " s each) ===\n\n";
 
+    // Fan the full (seed x policy) grid across the engine's workers;
+    // each cell is a pure function of its spec, so the grid is
+    // bit-identical at any --jobs value.
+    struct Cell
+    {
+        std::uint64_t seed;
+        PolicyKind policy;
+    };
+    std::vector<Cell> cells;
+    for (int s = 1; s <= seeds; ++s) {
+        for (PolicyKind policy : allPolicies) {
+            cells.push_back(
+                {static_cast<std::uint64_t>(s * 101 + 7), policy});
+        }
+    }
+    EngineConfig ec;
+    ec.jobs = jobs;
+    const ExperimentEngine engine{ec};
+    const std::vector<ScenarioResult> grid =
+        engine.mapSpecs<ScenarioResult, Cell>(
+            cells, [&](std::size_t, const Cell &cell, Rng &) {
+                ScenarioOptions opt;
+                opt.duration = duration;
+                opt.seed = cell.seed;
+                return runPolicy(chip, makeWorkload(chip, opt),
+                                 cell.policy);
+            });
+
     RunningStats safe_savings;
     RunningStats place_savings;
     RunningStats optimal_savings;
@@ -36,20 +65,11 @@ main(int argc, char **argv)
 
     TextTable t({"seed", "Safe Vmin", "Placement", "Optimal",
                  "time penalty"});
-    for (int s = 1; s <= seeds; ++s) {
-        ScenarioOptions opt;
-        opt.duration = duration;
-        opt.seed = static_cast<std::uint64_t>(s * 101 + 7);
-        const GeneratedWorkload wl = makeWorkload(chip, opt);
-
-        const ScenarioResult base =
-            runPolicy(chip, wl, PolicyKind::Baseline);
-        const ScenarioResult safe =
-            runPolicy(chip, wl, PolicyKind::SafeVmin);
-        const ScenarioResult place =
-            runPolicy(chip, wl, PolicyKind::Placement);
-        const ScenarioResult optimal =
-            runPolicy(chip, wl, PolicyKind::Optimal);
+    for (int s = 0; s < seeds; ++s) {
+        const ScenarioResult &base = grid[s * 4 + 0];
+        const ScenarioResult &safe = grid[s * 4 + 1];
+        const ScenarioResult &place = grid[s * 4 + 2];
+        const ScenarioResult &optimal = grid[s * 4 + 3];
 
         const double sv = 1.0 - safe.energy / base.energy;
         const double pv = 1.0 - place.energy / base.energy;
@@ -60,9 +80,9 @@ main(int argc, char **argv)
         place_savings.add(pv);
         optimal_savings.add(ov);
         time_penalty.add(tp);
-        t.addRow({std::to_string(opt.seed), formatPercent(sv, 1),
-                  formatPercent(pv, 1), formatPercent(ov, 1),
-                  formatPercent(tp, 1)});
+        t.addRow({std::to_string(cells[s * 4].seed),
+                  formatPercent(sv, 1), formatPercent(pv, 1),
+                  formatPercent(ov, 1), formatPercent(tp, 1)});
     }
     t.print(std::cout);
 

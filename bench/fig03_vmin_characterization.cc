@@ -13,7 +13,10 @@
  * 0.9 GHz shows the large clock-division drop.
  */
 
+#include <cstdint>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "ecosched/ecosched.hh"
 
@@ -28,7 +31,7 @@ struct Config
 };
 
 void
-characterizeChip(const ChipSpec &chip,
+characterizeChip(const ExperimentEngine &engine, const ChipSpec &chip,
                  const std::vector<Config> &configs)
 {
     const VminModel model(chip);
@@ -44,42 +47,48 @@ characterizeChip(const ChipSpec &chip,
     }
     TextTable table(header);
 
-    Rng rng(2024);
-    RunningStats spread_per_config;
+    // The full (benchmark x config) campaign as one engine batch.
+    std::vector<CharacterizationTask> tasks;
     for (const auto *bench : benchmarks) {
-        std::vector<std::string> row{bench->name};
         for (const auto &c : configs) {
-            const auto cores = allocateCores(
-                chip.numCores, c.threads, Allocation::Spreaded);
-            const auto result = characterizer.characterize(
-                rng, c.freq, cores, bench->vminSensitivity);
+            tasks.push_back({c.freq,
+                             allocateCores(chip.numCores, c.threads,
+                                           Allocation::Spreaded),
+                             bench->vminSensitivity});
+        }
+    }
+    const auto results = characterizer.characterizeBatch(engine,
+                                                         tasks);
+
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        std::vector<std::string> row{benchmarks[b]->name};
+        for (std::size_t c = 0; c < configs.size(); ++c) {
             row.push_back(formatDouble(
-                units::toMilliVolts(result.safeVmin), 0));
+                units::toMilliVolts(
+                    results[b * configs.size() + c].safeVmin),
+                0));
         }
         table.addRow(row);
     }
     std::cout << "--- " << chip.name << " (safe Vmin, mV) ---\n";
     table.print(std::cout);
 
-    // Workload spread per configuration (paper: <= ~10 mV).
+    // Workload spread per configuration (paper: <= ~10 mV),
+    // computed from the same campaign results.
     std::cout << "\nper-configuration workload spread:\n";
-    for (const auto &c : configs) {
+    for (std::size_t c = 0; c < configs.size(); ++c) {
         RunningStats stats;
-        Rng rng2(99);
-        for (const auto *bench : benchmarks) {
-            const auto cores = allocateCores(
-                chip.numCores, c.threads, Allocation::Spreaded);
-            const auto result = characterizer.characterize(
-                rng2, c.freq, cores, bench->vminSensitivity);
-            stats.add(units::toMilliVolts(result.safeVmin));
+        for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+            stats.add(units::toMilliVolts(
+                results[b * configs.size() + c].safeVmin));
         }
-        std::cout << "  " << c.threads << "T@"
-                  << formatDouble(units::toGHz(c.freq), 1) << "GHz: "
+        std::cout << "  " << configs[c].threads << "T@"
+                  << formatDouble(units::toGHz(configs[c].freq), 1)
+                  << "GHz: "
                   << formatDouble(stats.max() - stats.min(), 0)
                   << " mV (min " << formatDouble(stats.min(), 0)
                   << ", max " << formatDouble(stats.max(), 0)
                   << ")\n";
-        spread_per_config.add(stats.max() - stats.min());
     }
     std::cout << "\n";
 }
@@ -87,24 +96,32 @@ characterizeChip(const ChipSpec &chip,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::cout << "=== Figure 3: safe Vmin characterization (1000 "
                  "runs per voltage level) ===\n\n";
 
+    const unsigned jobs = stripJobsFlag(argc, argv);
+    EngineConfig ec;
+    ec.jobs = jobs;
+    ec.baseSeed = 2024;
+
     {
         const ChipSpec chip = xGene2();
         using namespace units;
-        characterizeChip(chip, {{8, GHz(2.4)}, {4, GHz(2.4)},
-                                {8, GHz(1.2)}, {4, GHz(1.2)},
-                                {8, GHz(0.9)}, {4, GHz(0.9)}});
+        characterizeChip(ExperimentEngine{ec}, chip,
+                         {{8, GHz(2.4)}, {4, GHz(2.4)},
+                          {8, GHz(1.2)}, {4, GHz(1.2)},
+                          {8, GHz(0.9)}, {4, GHz(0.9)}});
     }
     {
         const ChipSpec chip = xGene3();
         using namespace units;
-        characterizeChip(chip, {{32, GHz(3.0)}, {16, GHz(3.0)},
-                                {8, GHz(3.0)}, {32, GHz(1.5)},
-                                {16, GHz(1.5)}, {8, GHz(1.5)}});
+        ec.baseSeed = 2025; // independent seed tree per chip
+        characterizeChip(ExperimentEngine{ec}, chip,
+                         {{32, GHz(3.0)}, {16, GHz(3.0)},
+                          {8, GHz(3.0)}, {32, GHz(1.5)},
+                          {16, GHz(1.5)}, {8, GHz(1.5)}});
     }
 
     std::cout << "Paper reference: same-configuration spread <= "

@@ -10,19 +10,24 @@
  */
 
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "ecosched/ecosched.hh"
 
 using namespace ecosched;
 
 int
-main()
+main(int argc, char **argv)
 {
     const ChipSpec chip = xGene2();
     const VminModel model(chip);
     const FailureModel failures;
     const VminCharacterizer characterizer(model, failures);
-    Rng rng(7);
+    EngineConfig ec;
+    ec.jobs = stripJobsFlag(argc, argv);
+    ec.baseSeed = 7;
+    const ExperimentEngine engine{ec};
 
     // A spread of workloads from most to least Vmin-sensitive.
     const auto &catalog = Catalog::instance();
@@ -34,18 +39,36 @@ main()
     std::cout << "=== Figure 4: single-core (top) and two-core "
                  "(bottom) safe Vmin on X-Gene 2 @ 2.4 GHz ===\n\n";
 
+    // Both sections as one engine batch: (bench x core) single-core
+    // sweeps first, then (bench x PMD) two-core sweeps.
+    std::vector<CharacterizationTask> tasks;
+    for (const auto *bench : workloads) {
+        for (CoreId c = 0; c < chip.numCores; ++c)
+            tasks.push_back({chip.fMax, {c}, bench->vminSensitivity});
+    }
+    const std::size_t pmd_base = tasks.size();
+    for (const auto *bench : workloads) {
+        for (PmdId p = 0; p < chip.numPmds(); ++p) {
+            tasks.push_back({chip.fMax,
+                             {firstCoreOfPmd(p), secondCoreOfPmd(p)},
+                             bench->vminSensitivity});
+        }
+    }
+    const auto results = characterizer.characterizeBatch(engine,
+                                                         tasks);
+
     {
         std::vector<std::string> header{"benchmark"};
         for (CoreId c = 0; c < chip.numCores; ++c)
             header.push_back("core" + std::to_string(c));
         TextTable t(header);
-        for (const auto *bench : workloads) {
-            std::vector<std::string> row{bench->name};
+        for (std::size_t b = 0; b < workloads.size(); ++b) {
+            std::vector<std::string> row{workloads[b]->name};
             for (CoreId c = 0; c < chip.numCores; ++c) {
-                const auto r = characterizer.characterize(
-                    rng, chip.fMax, {c}, bench->vminSensitivity);
                 row.push_back(formatDouble(
-                    units::toMilliVolts(r.safeVmin), 0));
+                    units::toMilliVolts(
+                        results[b * chip.numCores + c].safeVmin),
+                    0));
             }
             t.addRow(row);
         }
@@ -58,15 +81,14 @@ main()
         for (PmdId p = 0; p < chip.numPmds(); ++p)
             header.push_back("PMD" + std::to_string(p));
         TextTable t(header);
-        for (const auto *bench : workloads) {
-            std::vector<std::string> row{bench->name};
+        for (std::size_t b = 0; b < workloads.size(); ++b) {
+            std::vector<std::string> row{workloads[b]->name};
             for (PmdId p = 0; p < chip.numPmds(); ++p) {
-                const std::vector<CoreId> cores{
-                    firstCoreOfPmd(p), secondCoreOfPmd(p)};
-                const auto r = characterizer.characterize(
-                    rng, chip.fMax, cores, bench->vminSensitivity);
                 row.push_back(formatDouble(
-                    units::toMilliVolts(r.safeVmin), 0));
+                    units::toMilliVolts(
+                        results[pmd_base + b * chip.numPmds() + p]
+                            .safeVmin),
+                    0));
             }
             t.addRow(row);
         }

@@ -10,8 +10,11 @@
  * frequencies shift every curve further down.
  */
 
+#include <cstdint>
 #include <iostream>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "ecosched/ecosched.hh"
 
@@ -28,7 +31,8 @@ struct Config
 };
 
 void
-pfailCurves(const ChipSpec &chip, const std::vector<Config> &configs)
+pfailCurves(const ExperimentEngine &engine, const ChipSpec &chip,
+            const std::vector<Config> &configs)
 {
     const VminModel model(chip);
     const FailureModel failures;
@@ -38,18 +42,29 @@ pfailCurves(const ChipSpec &chip, const std::vector<Config> &configs)
     const VminCharacterizer characterizer(model, failures, cc);
     const auto benchmarks = Catalog::instance().characterizedSet();
 
+    // One task per (config, benchmark) cell, fanned across the
+    // engine's workers; task order (and thus the per-task seed tree)
+    // is fixed, so the curves are bit-identical at any --jobs value.
+    std::vector<CharacterizationTask> tasks;
+    for (const auto &c : configs) {
+        for (const auto *bench : benchmarks) {
+            tasks.push_back({c.freq,
+                             allocateCores(chip.numCores, c.threads,
+                                           c.alloc),
+                             bench->vminSensitivity});
+        }
+    }
+    const auto results = characterizer.characterizeBatch(engine,
+                                                         tasks);
+
     // voltage [mV] -> per-config mean pfail
     std::map<double, std::vector<double>,
              std::greater<double>> curves;
     for (std::size_t i = 0; i < configs.size(); ++i) {
-        const auto &c = configs[i];
-        Rng rng(555 + i);
         std::map<double, RunningStats> acc;
-        for (const auto *bench : benchmarks) {
-            const auto cores = allocateCores(chip.numCores,
-                                             c.threads, c.alloc);
-            const auto result = characterizer.characterize(
-                rng, c.freq, cores, bench->vminSensitivity);
+        for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+            const auto &result =
+                results[i * benchmarks.size() + b];
             for (const auto &pt : result.sweep)
                 acc[units::toMilliVolts(pt.voltage)].add(pt.pfail());
         }
@@ -90,20 +105,29 @@ pfailCurves(const ChipSpec &chip, const std::vector<Config> &configs)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace units;
     std::cout << "=== Figure 5: probability of failure below the "
                  "safe Vmin ===\n\n";
 
-    pfailCurves(xGene2(),
+    const unsigned jobs = stripJobsFlag(argc, argv);
+    EngineConfig ec;
+    ec.jobs = jobs;
+    ec.baseSeed = 555;
+    const ExperimentEngine engine{ec};
+    EngineConfig ec3 = ec;
+    ec3.baseSeed = 556; // independent seed tree for the second chip
+    const ExperimentEngine engine3{ec3};
+
+    pfailCurves(engine, xGene2(),
                 {{"8T@2.4", 8, Allocation::Spreaded, GHz(2.4)},
                  {"4T(spread)@2.4", 4, Allocation::Spreaded, GHz(2.4)},
                  {"4T(clust)@2.4", 4, Allocation::Clustered, GHz(2.4)},
                  {"8T@1.2", 8, Allocation::Spreaded, GHz(1.2)},
                  {"8T@0.9", 8, Allocation::Spreaded, GHz(0.9)}});
 
-    pfailCurves(xGene3(),
+    pfailCurves(engine3, xGene3(),
                 {{"32T@3.0", 32, Allocation::Spreaded, GHz(3.0)},
                  {"16T(spread)@3.0", 16, Allocation::Spreaded,
                   GHz(3.0)},

@@ -13,6 +13,8 @@
  */
 
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "run_common.hh"
 
@@ -22,7 +24,8 @@ using namespace ecosched::bench;
 namespace {
 
 void
-energyGrid(const ChipSpec &chip,
+energyGrid(const ExperimentEngine &engine,
+           MemoCache<RunStats> &cache, const ChipSpec &chip,
            const std::vector<std::uint32_t> &thread_options,
            const std::vector<Hertz> &freq_options)
 {
@@ -37,15 +40,26 @@ energyGrid(const ChipSpec &chip,
     }
     TextTable t(header);
 
+    std::vector<ConfigPoint> points;
     for (const auto *bench : benchmarks) {
-        std::vector<std::string> row{bench->name};
         for (std::uint32_t threads : thread_options) {
             for (Hertz f : freq_options) {
-                const RunStats r = runConfiguration(
-                    chip, *bench, threads, Allocation::Spreaded, f,
-                    /*undervolt=*/true);
-                row.push_back(formatDouble(r.energyNormalized, 0));
+                points.push_back({bench, threads,
+                                  Allocation::Spreaded, f,
+                                  /*undervolt=*/true, /*seed=*/1});
             }
+        }
+    }
+    const std::vector<RunStats> stats =
+        runConfigurations(engine, chip, points, &cache);
+
+    const std::size_t grid =
+        thread_options.size() * freq_options.size();
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        std::vector<std::string> row{benchmarks[b]->name};
+        for (std::size_t g = 0; g < grid; ++g) {
+            row.push_back(formatDouble(
+                stats[b * grid + g].energyNormalized, 0));
         }
         t.addRow(row);
     }
@@ -58,15 +72,22 @@ energyGrid(const ChipSpec &chip,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace units;
     std::cout << "=== Figure 11: energy across thread/frequency "
                  "configurations (benchmarks ordered from most "
                  "CPU- to most memory-intensive) ===\n\n";
 
-    energyGrid(xGene2(), {8, 4, 2}, {GHz(2.4), GHz(1.2), GHz(0.9)});
-    energyGrid(xGene3(), {32, 16, 8}, {GHz(3.0), GHz(1.5)});
+    EngineConfig ec;
+    ec.jobs = stripJobsFlag(argc, argv);
+    const ExperimentEngine engine{ec};
+    MemoCache<RunStats> cache;
+
+    energyGrid(engine, cache, xGene2(), {8, 4, 2},
+               {GHz(2.4), GHz(1.2), GHz(0.9)});
+    energyGrid(engine, cache, xGene3(), {32, 16, 8},
+               {GHz(3.0), GHz(1.5)});
 
     std::cout << "Paper reference: 0.9 GHz is cheapest for every "
                  "program on X-Gene 2; at 1.2/1.5 GHz only the "

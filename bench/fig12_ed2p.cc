@@ -11,6 +11,8 @@
  */
 
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "run_common.hh"
 
@@ -20,7 +22,8 @@ using namespace ecosched::bench;
 namespace {
 
 void
-ed2pGrid(const ChipSpec &chip,
+ed2pGrid(const ExperimentEngine &engine, MemoCache<RunStats> &cache,
+         const ChipSpec &chip,
          const std::vector<std::uint32_t> &thread_options,
          const std::vector<Hertz> &freq_options)
 {
@@ -32,6 +35,20 @@ ed2pGrid(const ChipSpec &chip,
     header.push_back("best");
     TextTable t(header);
 
+    std::vector<ConfigPoint> points;
+    for (const auto *bench : benchmarks) {
+        for (std::uint32_t threads : thread_options) {
+            for (Hertz f : freq_options) {
+                points.push_back({bench, threads,
+                                  Allocation::Spreaded, f,
+                                  /*undervolt=*/true, /*seed=*/1});
+            }
+        }
+    }
+    const std::vector<RunStats> stats =
+        runConfigurations(engine, chip, points, &cache);
+
+    std::size_t idx = 0;
     for (const auto *bench : benchmarks) {
         for (std::uint32_t threads : thread_options) {
             std::vector<std::string> row{bench->name,
@@ -39,10 +56,8 @@ ed2pGrid(const ChipSpec &chip,
             double best = 1e300;
             std::size_t best_idx = 0;
             std::vector<double> vals;
-            for (Hertz f : freq_options) {
-                const RunStats r = runConfiguration(
-                    chip, *bench, threads, Allocation::Spreaded, f,
-                    /*undervolt=*/true);
+            for (std::size_t f = 0; f < freq_options.size(); ++f) {
+                const RunStats &r = stats[idx++];
                 vals.push_back(r.ed2p);
                 if (r.ed2p < best) {
                     best = r.ed2p;
@@ -65,14 +80,21 @@ ed2pGrid(const ChipSpec &chip,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace units;
     std::cout << "=== Figure 12: ED2P across thread/frequency "
                  "configurations ===\n\n";
 
-    ed2pGrid(xGene2(), {8, 4, 2}, {GHz(2.4), GHz(1.2), GHz(0.9)});
-    ed2pGrid(xGene3(), {32, 16, 8}, {GHz(3.0), GHz(1.5)});
+    EngineConfig ec;
+    ec.jobs = stripJobsFlag(argc, argv);
+    const ExperimentEngine engine{ec};
+    MemoCache<RunStats> cache;
+
+    ed2pGrid(engine, cache, xGene2(), {8, 4, 2},
+             {GHz(2.4), GHz(1.2), GHz(0.9)});
+    ed2pGrid(engine, cache, xGene3(), {32, 16, 8},
+             {GHz(3.0), GHz(1.5)});
 
     std::cout << "Paper reference: namd/EP prefer the highest "
                  "frequency; milc/CG/FT prefer the reduced "

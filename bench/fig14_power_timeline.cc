@@ -42,10 +42,12 @@ main(int argc, char **argv)
     std::cout << "=== Figure 14: average power, Baseline vs "
                  "Optimal, " << chip.name << " ===\n\n";
 
-    const ScenarioResult base =
-        runPolicy(chip, workload, PolicyKind::Baseline);
-    const ScenarioResult optimal =
-        runPolicy(chip, workload, PolicyKind::Optimal);
+    const ExperimentEngine engine = makeEngine(opt);
+    const std::vector<ScenarioResult> results = runPolicies(
+        engine, chip, workload,
+        {PolicyKind::Baseline, PolicyKind::Optimal});
+    const ScenarioResult &base = results[0];
+    const ScenarioResult &optimal = results[1];
 
     const Seconds horizon =
         std::max(base.completionTime, optimal.completionTime);

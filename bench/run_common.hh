@@ -14,6 +14,9 @@
 #ifndef ECOSCHED_BENCH_RUN_COMMON_HH
 #define ECOSCHED_BENCH_RUN_COMMON_HH
 
+#include <cstdint>
+#include <vector>
+
 #include "ecosched/ecosched.hh"
 
 namespace ecosched {
@@ -82,6 +85,62 @@ runConfiguration(const ChipSpec &chip, const BenchmarkProfile &bench,
     out.meanL3PerMCycles = l3.mean();
     out.meanIpc = ipc.mean();
     return out;
+}
+
+/// One point of a characterization grid (the spec runConfiguration
+/// takes, minus the chip, which is shared by a whole sweep).
+struct ConfigPoint
+{
+    const BenchmarkProfile *bench = nullptr;
+    std::uint32_t threads = 0;
+    Allocation alloc = Allocation::Spreaded;
+    Hertz freq = 0.0;
+    bool undervolt = true;
+    std::uint64_t seed = 1;
+};
+
+/// Memoization key: every field that influences a RunStats result.
+inline std::uint64_t
+configPointKey(const ChipSpec &chip, const ConfigPoint &p)
+{
+    ConfigKey key;
+    key.mix(chip.name)
+        .mix(p.bench->name)
+        .mix(static_cast<std::uint64_t>(p.threads))
+        .mix(static_cast<std::uint64_t>(p.alloc))
+        .mix(p.freq)
+        .mix(static_cast<std::uint64_t>(p.undervolt))
+        .mix(p.seed);
+    return key.value();
+}
+
+/**
+ * Run a whole grid of configuration points on the engine's workers,
+ * returning RunStats in point order.  Each point is a pure function
+ * of (chip, point), so the output is bit-identical for any job
+ * count.  When @p cache is given, points whose key was already
+ * computed (by this sweep or an earlier one sharing the cache) are
+ * served from it.
+ */
+inline std::vector<RunStats>
+runConfigurations(const ExperimentEngine &engine, const ChipSpec &chip,
+                  const std::vector<ConfigPoint> &points,
+                  MemoCache<RunStats> *cache = nullptr)
+{
+    return engine.mapSpecs<RunStats, ConfigPoint>(
+        points,
+        [&chip, cache](std::size_t, const ConfigPoint &p, Rng &) {
+            auto compute = [&] {
+                return runConfiguration(chip, *p.bench, p.threads,
+                                        p.alloc, p.freq, p.undervolt,
+                                        p.seed);
+            };
+            if (cache) {
+                return cache->getOrCompute(configPointKey(chip, p),
+                                           compute);
+            }
+            return compute();
+        });
 }
 
 } // namespace bench

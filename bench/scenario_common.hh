@@ -4,15 +4,20 @@
  * Figures 14/15): generate the 1-hour random server workload for a
  * chip and replay it under the four configurations.
  *
- * Every scenario bench accepts two optional positional arguments:
- *   argv[1]  workload duration in seconds   (default 3600)
- *   argv[2]  generator seed                 (default 42)
+ * Every scenario bench accepts two optional positional arguments
+ * plus the engine's parallelism knob:
+ *   argv[1]   workload duration in seconds  (default 3600)
+ *   argv[2]   generator seed                (default 42)
+ *   --jobs N  worker threads (also ECOSCHED_JOBS; default: hardware
+ *             concurrency; 1 reproduces the serial behaviour, and
+ *             results are bit-identical for every N)
  */
 
 #ifndef ECOSCHED_BENCH_SCENARIO_COMMON_HH
 #define ECOSCHED_BENCH_SCENARIO_COMMON_HH
 
 #include <array>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -28,12 +33,14 @@ struct ScenarioOptions
 {
     Seconds duration = 3600.0;
     std::uint64_t seed = 42;
+    unsigned jobs = 0; ///< 0: ECOSCHED_JOBS, else hardware
 };
 
 inline ScenarioOptions
 parseOptions(int argc, char **argv)
 {
     ScenarioOptions opt;
+    opt.jobs = stripJobsFlag(argc, argv);
     if (argc > 1)
         opt.duration = std::atof(argv[1]);
     if (argc > 2)
@@ -41,6 +48,16 @@ parseOptions(int argc, char **argv)
     if (opt.duration <= 0.0)
         opt.duration = 3600.0;
     return opt;
+}
+
+/// Engine configured from the bench options.
+inline ExperimentEngine
+makeEngine(const ScenarioOptions &opt)
+{
+    EngineConfig ec;
+    ec.jobs = opt.jobs;
+    ec.baseSeed = opt.seed;
+    return ExperimentEngine(ec);
 }
 
 /// Generate the chip's random server workload (§VI.B).
@@ -71,6 +88,24 @@ runPolicy(const ChipSpec &chip, const GeneratedWorkload &workload,
 inline constexpr std::array<PolicyKind, 4> allPolicies = {
     PolicyKind::Baseline, PolicyKind::SafeVmin,
     PolicyKind::Placement, PolicyKind::Optimal};
+
+/**
+ * Replay one workload under several configurations on the engine's
+ * workers (one task per policy), results in policy order.  Each
+ * replay is a pure function of (chip, workload, policy), so the
+ * vector is bit-identical for any job count.
+ */
+inline std::vector<ScenarioResult>
+runPolicies(const ExperimentEngine &engine, const ChipSpec &chip,
+            const GeneratedWorkload &workload,
+            const std::vector<PolicyKind> &policies)
+{
+    return engine.mapSpecs<ScenarioResult, PolicyKind>(
+        policies,
+        [&](std::size_t, PolicyKind policy, Rng &) {
+            return runPolicy(chip, workload, policy);
+        });
+}
 
 /// Print the paper's Tables III/IV layout for one chip.
 inline void

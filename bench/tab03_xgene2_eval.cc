@@ -25,9 +25,10 @@ main(int argc, char **argv)
               << " s generated workload (" << workload.items.size()
               << " invocations, seed " << opt.seed << ") ===\n\n";
 
-    std::vector<ScenarioResult> results;
-    for (PolicyKind policy : allPolicies)
-        results.push_back(runPolicy(chip, workload, policy));
+    const ExperimentEngine engine = makeEngine(opt);
+    const std::vector<ScenarioResult> results = runPolicies(
+        engine, chip, workload,
+        {allPolicies.begin(), allPolicies.end()});
 
     printEvaluationTable(chip, results);
 

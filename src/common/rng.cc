@@ -122,9 +122,16 @@ Rng::exponential(double mean)
 }
 
 Rng
-Rng::fork(std::uint64_t stream_id)
+Rng::fork(std::uint64_t stream_id) const
 {
-    std::uint64_t s = next() ^ (stream_id * 0xd1342543de82ef95ull + 1);
+    // Pure counter hash of (state, stream id) — no parent draw, so
+    // sibling forks cannot perturb each other's streams.
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (const std::uint64_t word : state) {
+        std::uint64_t s = h ^ word;
+        h = splitMix64(s);
+    }
+    std::uint64_t s = h ^ (stream_id * 0xd1342543de82ef95ull + 1);
     return Rng(splitMix64(s));
 }
 

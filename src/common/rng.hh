@@ -56,10 +56,15 @@ class Rng
 
     /**
      * Derive an independent child generator.  The child's seed is a
-     * hash of this generator's next output and the supplied stream id,
-     * so distinct ids give distinct streams.
+     * pure counter hash of this generator's current state and the
+     * supplied stream id: forking consumes no draw from the parent,
+     * so fork(i) is independent of how many siblings were forked
+     * before it and in which order — distinct ids give distinct,
+     * order-free streams.  (The experiment engine's determinism
+     * guarantee relies on this: task i always sees the same stream
+     * no matter which worker forks first.)
      */
-    Rng fork(std::uint64_t stream_id);
+    Rng fork(std::uint64_t stream_id) const;
 
   private:
     std::array<std::uint64_t, 4> state;

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <deque>
 #include <limits>
+#include <utility>
 
 namespace ecosched {
 

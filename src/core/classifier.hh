@@ -15,6 +15,8 @@
 
 #include "common/units.hh"
 
+#include <cstdint>
+
 namespace ecosched {
 
 /// The two coarse-grain workload classes of the paper.

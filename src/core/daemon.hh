@@ -28,8 +28,10 @@
 #ifndef ECOSCHED_CORE_DAEMON_HH
 #define ECOSCHED_CORE_DAEMON_HH
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "common/rng.hh"
 #include "core/classifier.hh"

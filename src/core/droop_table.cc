@@ -1,9 +1,12 @@
 #include "core/droop_table.hh"
 
 #include <algorithm>
+#include <cstdint>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <string>
+#include <utility>
 
 #include "common/error.hh"
 
@@ -126,7 +129,9 @@ DroopClassTable::load(std::istream &is, const ChipSpec &spec)
     std::string version;
     fatalIf(!(is >> magic >> version) || magic != tableMagic,
             "not an ecosched droop table");
-    fatalIf(version != "v" + std::to_string(tableVersion),
+    std::string expected_version = "v";
+    expected_version += std::to_string(tableVersion);
+    fatalIf(version != expected_version,
             "unsupported droop-table version '", version, "'");
 
     std::string key;

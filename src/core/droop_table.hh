@@ -14,6 +14,7 @@
 #ifndef ECOSCHED_CORE_DROOP_TABLE_HH
 #define ECOSCHED_CORE_DROOP_TABLE_HH
 
+#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <vector>

@@ -23,6 +23,8 @@
 #define ECOSCHED_CORE_PREDICTOR_HH
 
 #include "common/units.hh"
+
+#include <cstdint>
 #include "core/droop_table.hh"
 
 namespace ecosched {

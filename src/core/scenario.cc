@@ -1,6 +1,9 @@
 #include "core/scenario.hh"
 
 #include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
 
 #include "common/error.hh"
 #include "common/stats.hh"
@@ -99,6 +102,31 @@ ScenarioRunner::run(const GeneratedWorkload &workload) const
     std::size_t next_item = 0;
     const Seconds bound = workload.duration * cfg.drainBoundFactor;
 
+    auto take_sample = [&] {
+        const auto busy = static_cast<double>(
+            machine.busyCores().size());
+        load_avg.add(system.now(), busy);
+
+        TimelineSample s;
+        s.time = system.now();
+        s.power = machine.lastPower().total();
+        s.loadAverage = load_avg.value();
+        const auto running = system.runningProcesses();
+        s.runningProcs =
+            static_cast<std::uint32_t>(running.size());
+        for (Pid pid : running) {
+            if (pid_is_mem[pid])
+                ++s.memProcs;
+            else
+                ++s.cpuProcs;
+        }
+        s.voltage = machine.chip().voltage();
+        s.utilizedPmds = machine.utilizedPmds();
+        s.temperature = machine.temperature();
+        result.timeline.push_back(s);
+    };
+
+    bool crashed = false;
     while (next_item < items.size() || !system.idle()) {
         fatalIf(system.now() > bound,
                 policyKindName(cfg.policy),
@@ -121,35 +149,24 @@ ScenarioRunner::run(const GeneratedWorkload &workload) const
 
         if (machine.halted()) {
             // Undervolting system crash (fault injection): the node
-            // is down; stop the replay and report what happened.
+            // is down; emit a terminal sample at the halt time, then
+            // stop the replay and report what happened.
             result.worstOutcome = RunOutcome::SystemCrash;
+            crashed = true;
+            take_sample();
             break;
         }
 
         // Timeline sampling.
         if (system.now() + cfg.timestep * 0.5 >= next_sample) {
-            const auto busy = static_cast<double>(
-                machine.busyCores().size());
-            load_avg.add(system.now(), busy);
-
-            TimelineSample s;
-            s.time = system.now();
-            s.power = machine.lastPower().total();
-            s.loadAverage = load_avg.value();
-            const auto running = system.runningProcesses();
-            s.runningProcs =
-                static_cast<std::uint32_t>(running.size());
-            for (Pid pid : running) {
-                if (pid_is_mem[pid])
-                    ++s.memProcs;
-                else
-                    ++s.cpuProcs;
-            }
-            s.voltage = machine.chip().voltage();
-            s.utilizedPmds = machine.utilizedPmds();
-            s.temperature = machine.temperature();
-            result.timeline.push_back(s);
-            next_sample += cfg.sampleInterval;
+            take_sample();
+            // Advance past the current time so a step overshooting
+            // several sample boundaries does not leave next_sample
+            // in the past (which would bunch up later samples).
+            do {
+                next_sample += cfg.sampleInterval;
+            } while (next_sample <= system.now()
+                     + cfg.timestep * 0.5);
         }
     }
 
@@ -165,7 +182,11 @@ ScenarioRunner::run(const GeneratedWorkload &workload) const
     }
     result.processesCompleted = static_cast<std::uint32_t>(
         system.finishedProcesses().size());
-    result.completionTime = last_completion;
+    // For a run that ended in a system crash the energy covers the
+    // whole execution up to the halt, so the power/ED2P denominator
+    // must be the elapsed time, not the last completed process
+    // (which may be 0 and would zero or wildly inflate averagePower).
+    result.completionTime = crashed ? system.now() : last_completion;
     result.energy = machine.energyMeter().energy();
     result.averagePower = result.completionTime > 0.0
         ? result.energy / result.completionTime : 0.0;

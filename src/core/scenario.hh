@@ -36,7 +36,10 @@ struct TimelineSample
 struct ScenarioResult
 {
     PolicyKind policy = PolicyKind::Baseline;
-    Seconds completionTime = 0.0; ///< last process completion
+    /// Last process completion; for a run that ended in a system
+    /// crash, the elapsed time up to the halt (so averagePower and
+    /// ed2p stay meaningful for crashed runs).
+    Seconds completionTime = 0.0;
     Joule energy = 0.0;           ///< total over the run
     Watt averagePower = 0.0;      ///< energy / completionTime
     double ed2p = 0.0;            ///< energy * completionTime^2

@@ -35,6 +35,9 @@
 #include "core/placement.hh"
 #include "core/policy.hh"
 #include "core/scenario.hh"
+#include "exp/engine.hh"
+#include "exp/memo_cache.hh"
+#include "exp/thread_pool.hh"
 #include "os/governor.hh"
 #include "os/perf_reader.hh"
 #include "os/process.hh"

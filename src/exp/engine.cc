@@ -1,0 +1,54 @@
+#include "exp/engine.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+namespace ecosched {
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("ECOSCHED_JOBS")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+unsigned
+stripJobsFlag(int &argc, char **argv)
+{
+    unsigned jobs = 0;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+            const long v = std::atol(argv[++i]);
+            if (v > 0)
+                jobs = static_cast<unsigned>(v);
+            continue;
+        }
+        if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            const long v = std::atol(arg + 7);
+            if (v > 0)
+                jobs = static_cast<unsigned>(v);
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+    return jobs;
+}
+
+ExperimentEngine::ExperimentEngine(EngineConfig config)
+    : cfg(config), jobCount(resolveJobs(config.jobs))
+{
+}
+
+} // namespace ecosched

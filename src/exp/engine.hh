@@ -1,0 +1,145 @@
+/**
+ * @file
+ * ExperimentEngine: deterministic parallel fan-out of experiment
+ * specs.
+ *
+ * The paper's evaluation is embarrassingly parallel — 1000 runs per
+ * voltage level (§III), four policies x many workloads (Tables
+ * III/IV) — and every run is a pure function of its spec.  The
+ * engine exploits that: it fans a vector of specs across a fixed
+ * ThreadPool while guaranteeing the results are **bit-identical
+ * regardless of thread count or completion order**:
+ *
+ *  - every task index i draws its randomness from an independent
+ *    stream Rng(baseSeed).fork(i) (fork is a pure counter hash, so
+ *    sibling streams never perturb each other);
+ *  - results are collected into a vector slot per task index, so
+ *    output order equals spec order, not completion order;
+ *  - `jobs == 1` runs the tasks inline on the calling thread through
+ *    the same seeding path, preserving serial behaviour exactly.
+ *
+ * Job-count resolution: an explicit count wins, else the
+ * ECOSCHED_JOBS environment variable, else the hardware concurrency.
+ */
+
+#ifndef ECOSCHED_EXP_ENGINE_HH
+#define ECOSCHED_EXP_ENGINE_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hh"
+#include "exp/thread_pool.hh"
+
+namespace ecosched {
+
+/// Engine knobs.
+struct EngineConfig
+{
+    /// Worker count; 0 resolves via ECOSCHED_JOBS, then hardware
+    /// concurrency.
+    unsigned jobs = 0;
+    /// Root of the per-task seed tree.
+    std::uint64_t baseSeed = 1;
+};
+
+/**
+ * Resolve a requested job count: @p requested if positive, else
+ * ECOSCHED_JOBS if set and positive, else hardware concurrency
+ * (at least 1).
+ */
+unsigned resolveJobs(unsigned requested);
+
+/**
+ * Strip a `--jobs N` / `--jobs=N` option from an argv vector and
+ * return the parsed count (0 when absent).  Lets every bench accept
+ * the knob without disturbing its positional arguments.
+ */
+unsigned stripJobsFlag(int &argc, char **argv);
+
+class ExperimentEngine
+{
+  public:
+    explicit ExperimentEngine(EngineConfig config = EngineConfig{});
+
+    /// Resolved worker count (>= 1).
+    unsigned jobs() const { return jobCount; }
+
+    std::uint64_t baseSeed() const { return cfg.baseSeed; }
+
+    /// Independent, order-free random stream for task @p index.
+    Rng taskRng(std::uint64_t index) const
+    {
+        return Rng(cfg.baseSeed).fork(index);
+    }
+
+    /**
+     * Evaluate fn(i, rng_i) for i in [0, n) and return the results in
+     * index order.  rng_i is the task's private stream (taskRng(i)),
+     * so the output is a pure function of (baseSeed, n, fn) — the
+     * job count only changes wall-clock time.  The first exception
+     * (in task order) is rethrown after all tasks settle.
+     */
+    template <typename R>
+    std::vector<R> map(std::size_t n,
+                       const std::function<R(std::size_t, Rng &)> &fn)
+        const
+    {
+        std::vector<R> out(n);
+        if (n == 0)
+            return out;
+        if (jobCount == 1 || n == 1) {
+            for (std::size_t i = 0; i < n; ++i) {
+                Rng rng = taskRng(i);
+                out[i] = fn(i, rng);
+            }
+            return out;
+        }
+        std::vector<std::exception_ptr> errors(n);
+        ThreadPool pool(std::min<std::size_t>(jobCount, n));
+        for (std::size_t i = 0; i < n; ++i) {
+            pool.submit([&, i] {
+                Rng rng = taskRng(i);
+                try {
+                    out[i] = fn(i, rng);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            });
+        }
+        pool.wait();
+        for (const auto &e : errors) {
+            if (e)
+                std::rethrow_exception(e);
+        }
+        return out;
+    }
+
+    /**
+     * Convenience overload: map over a spec vector.  fn receives the
+     * task index, the spec and the task's private random stream.
+     */
+    template <typename R, typename Spec>
+    std::vector<R> mapSpecs(
+        const std::vector<Spec> &specs,
+        const std::function<R(std::size_t, const Spec &, Rng &)> &fn)
+        const
+    {
+        return map<R>(specs.size(),
+                      [&](std::size_t i, Rng &rng) {
+                          return fn(i, specs[i], rng);
+                      });
+    }
+
+  private:
+    EngineConfig cfg;
+    unsigned jobCount;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_EXP_ENGINE_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Config-hash-keyed memoization cache for experiment results.
+ *
+ * Several figures sample the same (chip, frequency, allocation,
+ * threads, benchmark) point — e.g. Figures 11 and 12 share their
+ * whole configuration grid.  Because every experiment is a pure
+ * function of its spec (all randomness is seeded from the spec), a
+ * result computed once can be replayed from the cache bit-identically
+ * no matter which figure, thread or job count asks first.
+ */
+
+#ifndef ECOSCHED_EXP_MEMO_CACHE_HH
+#define ECOSCHED_EXP_MEMO_CACHE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+namespace ecosched {
+
+/**
+ * Incremental 64-bit hash for experiment-spec keys (FNV-1a over the
+ * mixed-in fields).  Mix in every field that influences the result;
+ * two specs with equal keys are assumed interchangeable.
+ */
+class ConfigKey
+{
+  public:
+    ConfigKey &mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xffu;
+            h *= 0x100000001b3ull;
+        }
+        return *this;
+    }
+
+    ConfigKey &mix(double v)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof bits == sizeof v);
+        __builtin_memcpy(&bits, &v, sizeof bits);
+        return mix(bits);
+    }
+
+    ConfigKey &mix(std::string_view s)
+    {
+        for (const char c : s) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 0x100000001b3ull;
+        }
+        return mix(static_cast<std::uint64_t>(s.size()));
+    }
+
+    std::uint64_t value() const { return h; }
+
+  private:
+    std::uint64_t h = 0xcbf29ce484222325ull; // FNV offset basis
+};
+
+/**
+ * Thread-safe memoization cache keyed by ConfigKey hashes.
+ *
+ * Values are computed outside the lock, so two threads racing on the
+ * same fresh key may both compute it; the first insert wins and both
+ * callers observe the same stored value.  That duplicate work is
+ * harmless precisely because experiments are deterministic functions
+ * of their key.
+ */
+template <typename V>
+class MemoCache
+{
+  public:
+    /// Return the cached value for @p key, computing it via @p fn on
+    /// a miss.
+    V getOrCompute(std::uint64_t key, const std::function<V()> &fn)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            auto it = values.find(key);
+            if (it != values.end()) {
+                ++hitCount;
+                return it->second;
+            }
+        }
+        V fresh = fn();
+        std::lock_guard<std::mutex> lock(mtx);
+        auto [it, inserted] = values.emplace(key, std::move(fresh));
+        if (inserted)
+            ++missCount;
+        else
+            ++hitCount; // lost the race; surface the winner's value
+        return it->second;
+    }
+
+    std::size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        return values.size();
+    }
+
+    std::size_t hits() const
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        return hitCount;
+    }
+
+    std::size_t misses() const
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        return missCount;
+    }
+
+  private:
+    mutable std::mutex mtx;
+    std::unordered_map<std::uint64_t, V> values;
+    std::size_t hitCount = 0;
+    std::size_t missCount = 0;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_EXP_MEMO_CACHE_HH

@@ -1,0 +1,71 @@
+#include "exp/thread_pool.hh"
+
+#include <algorithm>
+#include <utility>
+
+namespace ecosched {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned n = std::max(1u, threads);
+    workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    wakeWorker.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        queue.push_back(std::move(task));
+    }
+    wakeWorker.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    allDone.wait(lock,
+                 [this] { return queue.empty() && inFlight == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            wakeWorker.wait(lock, [this] {
+                return stopping || !queue.empty();
+            });
+            if (queue.empty())
+                return; // stopping and drained
+            task = std::move(queue.front());
+            queue.pop_front();
+            ++inFlight;
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            --inFlight;
+            if (queue.empty() && inFlight == 0)
+                allDone.notify_all();
+        }
+    }
+}
+
+} // namespace ecosched

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fixed-size worker pool for the experiment engine.
+ *
+ * Deliberately minimal: one shared FIFO queue, a fixed number of
+ * workers, no work stealing.  Experiment tasks are coarse (whole
+ * simulation runs), so a single locked queue is nowhere near
+ * contention and keeps the scheduling order easy to reason about.
+ */
+
+#ifndef ECOSCHED_EXP_THREAD_POOL_HH
+#define ECOSCHED_EXP_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ecosched {
+
+/**
+ * Fixed-size thread pool.  Tasks submitted with submit() run on the
+ * workers in FIFO order; wait() blocks until every submitted task has
+ * finished.  The destructor drains the queue and joins the workers.
+ *
+ * Tasks must not throw — the engine wraps user callables and captures
+ * their exceptions per task (see ExperimentEngine::map).
+ */
+class ThreadPool
+{
+  public:
+    /// Spawn @p threads workers (at least one).
+    explicit ThreadPool(unsigned threads);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /// Waits for all pending tasks, then joins the workers.
+    ~ThreadPool();
+
+    /// Enqueue one task.
+    void submit(std::function<void()> task);
+
+    /// Block until every task submitted so far has completed.
+    void wait();
+
+    /// Number of worker threads.
+    unsigned size() const
+    {
+        return static_cast<unsigned>(workers.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::mutex mtx;
+    std::condition_variable wakeWorker; ///< queue became non-empty
+    std::condition_variable allDone;    ///< inFlight + queue hit zero
+    std::deque<std::function<void()>> queue;
+    std::size_t inFlight = 0; ///< tasks popped but not yet finished
+    bool stopping = false;
+    std::vector<std::thread> workers;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_EXP_THREAD_POOL_HH

@@ -1,6 +1,8 @@
 #include "os/system.hh"
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
 
 #include "common/error.hh"
 #include "os/governor.hh"

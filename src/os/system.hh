@@ -15,6 +15,7 @@
 #ifndef ECOSCHED_OS_SYSTEM_HH
 #define ECOSCHED_OS_SYSTEM_HH
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>

@@ -1,6 +1,8 @@
 #include "platform/chip.hh"
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
 
 #include "common/error.hh"
 

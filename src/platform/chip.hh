@@ -11,6 +11,7 @@
 #ifndef ECOSCHED_PLATFORM_CHIP_HH
 #define ECOSCHED_PLATFORM_CHIP_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "common/units.hh"

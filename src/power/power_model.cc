@@ -1,6 +1,7 @@
 #include "power/power_model.hh"
 
 #include <cmath>
+#include <utility>
 
 #include "common/error.hh"
 

@@ -61,4 +61,19 @@ VminCharacterizer::characterize(Rng &rng, Hertz f,
     return result;
 }
 
+std::vector<CharacterizationResult>
+VminCharacterizer::characterizeBatch(
+    const ExperimentEngine &engine,
+    const std::vector<CharacterizationTask> &tasks) const
+{
+    return engine.mapSpecs<CharacterizationResult,
+                           CharacterizationTask>(
+        tasks,
+        [this](std::size_t, const CharacterizationTask &task,
+               Rng &rng) {
+            return characterize(rng, task.freq, task.cores,
+                                task.sensitivity);
+        });
+}
+
 } // namespace ecosched

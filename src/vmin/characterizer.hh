@@ -24,6 +24,7 @@
 
 #include "common/rng.hh"
 #include "common/units.hh"
+#include "exp/engine.hh"
 #include "vmin/failure_model.hh"
 #include "vmin/vmin_model.hh"
 
@@ -61,6 +62,14 @@ struct CharacterizerConfig
     Volt stepSize = units::mV(10);   ///< sweep granularity
 };
 
+/// One configuration of a characterization campaign (batch API).
+struct CharacterizationTask
+{
+    Hertz freq = 0.0;           ///< ladder frequency of used PMDs
+    std::vector<CoreId> cores;  ///< cores executing the workload
+    double sensitivity = 1.0;   ///< workload Vmin sensitivity [0, 1]
+};
+
 /**
  * Executes the downward-sweep protocol against a VminModel +
  * FailureModel pair.
@@ -84,6 +93,16 @@ class VminCharacterizer
     CharacterizationResult characterize(
         Rng &rng, Hertz f, const std::vector<CoreId> &cores,
         double sensitivity) const;
+
+    /**
+     * Characterize a whole campaign of configurations in parallel on
+     * the engine's workers.  Task i draws its trial randomness from
+     * engine.taskRng(i), so the result vector is bit-identical for
+     * any job count; results are returned in task order.
+     */
+    std::vector<CharacterizationResult> characterizeBatch(
+        const ExperimentEngine &engine,
+        const std::vector<CharacterizationTask> &tasks) const;
 
   private:
     const VminModel &vminModel;

@@ -1,6 +1,8 @@
 #include "vmin/droop_model.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/error.hh"
 

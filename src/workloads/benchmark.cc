@@ -1,5 +1,6 @@
 #include "workloads/benchmark.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hh"

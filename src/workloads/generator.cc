@@ -1,6 +1,7 @@
 #include "workloads/generator.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.hh"
 #include "common/rng.hh"

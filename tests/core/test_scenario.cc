@@ -186,6 +186,47 @@ TEST(Scenario, SafeRunsHaveNoUnsafeExposure)
     EXPECT_EQ(r.worstOutcome, RunOutcome::Ok);
 }
 
+TEST(Scenario, CrashedRunReportsElapsedTimeMetrics)
+{
+    // Predictor ablation that is known to undervolt past the true
+    // Vmin: aggressive predictor, no fail-safe ordering, fault
+    // injection on.  The run must end in SystemCrash, and the
+    // derived metrics must be based on the elapsed time up to the
+    // halt, not on the last process completion (which may be 0).
+    const ChipSpec spec = xGene2();
+    const GeneratedWorkload wl = makeWorkload(spec, 300.0);
+    ScenarioConfig sc;
+    sc.chip = spec;
+    sc.policy = PolicyKind::Optimal;
+    sc.injectFaults = true;
+    sc.machineSeed = 2;
+    sc.daemon.useVminPredictor = true;
+    sc.daemon.predictor.aggressiveness = 0.8;
+    sc.daemon.predictor.assumedSpreadMv = 80.0;
+    sc.daemon.failSafeOrdering = false;
+    const ScenarioResult r = ScenarioRunner(sc).run(wl);
+
+    ASSERT_EQ(r.worstOutcome, RunOutcome::SystemCrash);
+    EXPECT_GT(r.completionTime, 0.0);
+    EXPECT_GT(r.energy, 0.0);
+    // averagePower is energy over the elapsed time — a crashed run
+    // must not report the idle-machine 0 W (or an infinity).
+    EXPECT_DOUBLE_EQ(r.averagePower, r.energy / r.completionTime);
+    EXPECT_GT(r.averagePower, 0.1);
+    EXPECT_LT(r.averagePower, 10.0 * spec.tdp);
+    EXPECT_DOUBLE_EQ(
+        r.ed2p, r.energy * r.completionTime * r.completionTime);
+
+    // The timeline must carry a terminal sample at the halt instant.
+    ASSERT_FALSE(r.timeline.empty());
+    EXPECT_NEAR(r.timeline.back().time, r.completionTime, 1e-9);
+    Seconds prev = -1.0;
+    for (const auto &s : r.timeline) {
+        EXPECT_GT(s.time, prev);
+        prev = s.time;
+    }
+}
+
 TEST(Scenario, ProfileGroundTruthClassification)
 {
     const ChipSpec spec = xGene3();

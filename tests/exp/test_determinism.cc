@@ -1,0 +1,178 @@
+/**
+ * @file
+ * End-to-end determinism of the parallel experiment engine: the
+ * domain-level results (ScenarioResult, RunStats,
+ * CharacterizationResult) must be bit-identical no matter how many
+ * workers execute the fan-out.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/run_common.hh"
+#include "bench/scenario_common.hh"
+#include "common/units.hh"
+#include "ecosched/ecosched.hh"
+
+namespace ecosched {
+namespace {
+
+using namespace units;
+using bench::ConfigPoint;
+using bench::RunStats;
+
+ExperimentEngine
+engineWith(unsigned jobs, std::uint64_t seed)
+{
+    EngineConfig ec;
+    ec.jobs = jobs;
+    ec.baseSeed = seed;
+    return ExperimentEngine(ec);
+}
+
+void
+expectSameResult(const ScenarioResult &a, const ScenarioResult &b)
+{
+    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_EQ(a.completionTime, b.completionTime);
+    EXPECT_EQ(a.energy, b.energy);
+    EXPECT_EQ(a.averagePower, b.averagePower);
+    EXPECT_EQ(a.ed2p, b.ed2p);
+    EXPECT_EQ(a.processesCompleted, b.processesCompleted);
+    EXPECT_EQ(a.processesFailed, b.processesFailed);
+    EXPECT_EQ(a.migrations, b.migrations);
+    EXPECT_EQ(a.voltageTransitions, b.voltageTransitions);
+    EXPECT_EQ(a.frequencyTransitions, b.frequencyTransitions);
+    EXPECT_EQ(a.worstOutcome, b.worstOutcome);
+    ASSERT_EQ(a.timeline.size(), b.timeline.size());
+    for (std::size_t i = 0; i < a.timeline.size(); ++i) {
+        EXPECT_EQ(a.timeline[i].time, b.timeline[i].time);
+        EXPECT_EQ(a.timeline[i].power, b.timeline[i].power);
+        EXPECT_EQ(a.timeline[i].voltage, b.timeline[i].voltage);
+    }
+}
+
+TEST(Determinism, ScenarioReplayIdenticalAcrossJobCounts)
+{
+    const ChipSpec chip = xGene2();
+    GeneratorConfig gc;
+    gc.duration = 300.0;
+    gc.maxCores = chip.numCores;
+    gc.seed = 42;
+    gc.chipName = chip.name;
+    gc.referenceFrequency = chip.fMax;
+    const GeneratedWorkload workload = WorkloadGenerator(gc).generate();
+
+    const std::vector<PolicyKind> policies(
+        bench::allPolicies.begin(), bench::allPolicies.end());
+    auto runAll = [&](unsigned jobs) {
+        return bench::runPolicies(engineWith(jobs, 42), chip, workload,
+                                  policies);
+    };
+
+    const auto serial = runAll(1);
+    const auto par4 = runAll(4);
+    const auto par16 = runAll(16);
+    ASSERT_EQ(serial.size(), policies.size());
+    ASSERT_EQ(par4.size(), policies.size());
+    ASSERT_EQ(par16.size(), policies.size());
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+        EXPECT_EQ(serial[i].policy, policies[i]);
+        expectSameResult(serial[i], par4[i]);
+        expectSameResult(serial[i], par16[i]);
+    }
+}
+
+void
+expectSameStats(const RunStats &a, const RunStats &b)
+{
+    EXPECT_EQ(a.runtime, b.runtime);
+    EXPECT_EQ(a.energy, b.energy);
+    EXPECT_EQ(a.energyNormalized, b.energyNormalized);
+    EXPECT_EQ(a.ed2p, b.ed2p);
+    EXPECT_EQ(a.meanL3PerMCycles, b.meanL3PerMCycles);
+    EXPECT_EQ(a.meanIpc, b.meanIpc);
+}
+
+TEST(Determinism, ConfigurationGridIdenticalAcrossJobCounts)
+{
+    const ChipSpec chip = xGene2();
+    const auto benchmarks = Catalog::instance().figureBenchmarks();
+
+    std::vector<ConfigPoint> points;
+    for (const auto *bench : benchmarks) {
+        for (std::uint32_t threads : {8u, 2u}) {
+            points.push_back({bench, threads, Allocation::Spreaded,
+                              chip.fMax, /*undervolt=*/true,
+                              /*seed=*/1});
+        }
+    }
+
+    auto runGrid = [&](unsigned jobs, MemoCache<RunStats> *cache) {
+        return bench::runConfigurations(engineWith(jobs, 1), chip,
+                                        points, cache);
+    };
+
+    const auto serial = runGrid(1, nullptr);
+    const auto par = runGrid(4, nullptr);
+    MemoCache<RunStats> cache;
+    const auto cached = runGrid(4, &cache);
+    const auto replay = runGrid(16, &cache); // all hits
+    ASSERT_EQ(serial.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        expectSameStats(serial[i], par[i]);
+        expectSameStats(serial[i], cached[i]);
+        expectSameStats(serial[i], replay[i]);
+    }
+    EXPECT_EQ(cache.size(), points.size());
+    EXPECT_EQ(cache.hits(), points.size()); // replay fully memoized
+}
+
+TEST(Determinism, CharacterizationBatchIdenticalAcrossJobCounts)
+{
+    const ChipSpec spec = xGene2();
+    const VminModel model(spec);
+    const FailureModel failures;
+    CharacterizerConfig cc;
+    cc.safeTrials = 100; // keep the test quick; protocol unchanged
+    cc.unsafeTrials = 30;
+    const VminCharacterizer characterizer(model, failures, cc);
+
+    std::vector<CharacterizationTask> tasks;
+    for (std::uint32_t threads : {8u, 4u, 2u, 1u}) {
+        tasks.push_back(
+            {spec.fMax,
+             allocateCores(spec.numCores, threads,
+                           Allocation::Spreaded),
+             0.9});
+    }
+
+    auto runBatch = [&](unsigned jobs) {
+        return characterizer.characterizeBatch(engineWith(jobs, 99),
+                                               tasks);
+    };
+    const auto serial = runBatch(1);
+    const auto par4 = runBatch(4);
+    const auto par16 = runBatch(16);
+    ASSERT_EQ(serial.size(), tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        for (const auto *other : {&par4[i], &par16[i]}) {
+            EXPECT_EQ(serial[i].safeVmin, other->safeVmin);
+            EXPECT_EQ(serial[i].crashVoltage, other->crashVoltage);
+            ASSERT_EQ(serial[i].sweep.size(), other->sweep.size());
+            for (std::size_t p = 0; p < serial[i].sweep.size(); ++p) {
+                EXPECT_EQ(serial[i].sweep[p].voltage,
+                          other->sweep[p].voltage);
+                EXPECT_EQ(serial[i].sweep[p].failures,
+                          other->sweep[p].failures);
+                EXPECT_EQ(serial[i].sweep[p].outcomes,
+                          other->sweep[p].outcomes);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace ecosched

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Unit tests for the experiment engine: deterministic seed fan-out,
+ * ordered collection, job-count resolution and the memo cache.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "exp/engine.hh"
+#include "exp/memo_cache.hh"
+
+namespace ecosched {
+namespace {
+
+ExperimentEngine
+engineWith(unsigned jobs, std::uint64_t seed = 1234)
+{
+    EngineConfig ec;
+    ec.jobs = jobs;
+    ec.baseSeed = seed;
+    return ExperimentEngine(ec);
+}
+
+TEST(Engine, ResultsAreInTaskOrder)
+{
+    const auto out = engineWith(8).map<std::size_t>(
+        100, [](std::size_t i, Rng &) { return i * 3; });
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * 3);
+}
+
+TEST(Engine, TaskRngIsForkOfBaseSeed)
+{
+    const auto engine = engineWith(4, 77);
+    for (std::uint64_t i : {0ull, 1ull, 42ull}) {
+        Rng expected = Rng(77).fork(i);
+        Rng got = engine.taskRng(i);
+        for (int d = 0; d < 16; ++d)
+            EXPECT_EQ(got.next(), expected.next());
+    }
+}
+
+TEST(Engine, MapIsBitIdenticalForAnyJobCount)
+{
+    // Each task mixes 1000 draws from its private stream; any
+    // cross-task leakage or order dependence changes the digest.
+    auto digest = [](unsigned jobs) {
+        return engineWith(jobs).map<std::uint64_t>(
+            64, [](std::size_t, Rng &rng) {
+                std::uint64_t h = 0;
+                for (int d = 0; d < 1000; ++d)
+                    h = h * 31 + rng.next();
+                return h;
+            });
+    };
+    const auto serial = digest(1);
+    EXPECT_EQ(serial, digest(4));
+    EXPECT_EQ(serial, digest(16));
+}
+
+TEST(Engine, DifferentBaseSeedsGiveDifferentStreams)
+{
+    auto first = [](std::uint64_t seed) {
+        return engineWith(1, seed).map<std::uint64_t>(
+            4, [](std::size_t, Rng &rng) { return rng.next(); });
+    };
+    EXPECT_NE(first(1), first(2));
+}
+
+TEST(Engine, ExceptionsPropagateFromWorkers)
+{
+    const auto engine = engineWith(4);
+    EXPECT_THROW(
+        engine.map<int>(32,
+                        [](std::size_t i, Rng &) {
+                            if (i == 17)
+                                throw std::runtime_error("boom");
+                            return 0;
+                        }),
+        std::runtime_error);
+}
+
+TEST(Engine, MapSpecsPassesSpecAndIndex)
+{
+    const std::vector<int> specs = {5, 7, 9};
+    const auto out = engineWith(2).mapSpecs<int, int>(
+        specs, [](std::size_t i, const int &spec, Rng &) {
+            return static_cast<int>(i) * 100 + spec;
+        });
+    EXPECT_EQ(out, (std::vector<int>{5, 107, 209}));
+}
+
+TEST(Engine, EmptyMapReturnsEmpty)
+{
+    const auto out = engineWith(4).map<int>(
+        0, [](std::size_t, Rng &) { return 1; });
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Engine, ResolveJobsPrefersExplicitCount)
+{
+    EXPECT_EQ(resolveJobs(5), 5u);
+}
+
+TEST(Engine, ResolveJobsReadsEnvironment)
+{
+    ::setenv("ECOSCHED_JOBS", "3", 1);
+    EXPECT_EQ(resolveJobs(0), 3u);
+    ::setenv("ECOSCHED_JOBS", "0", 1);
+    EXPECT_GE(resolveJobs(0), 1u); // invalid env falls through
+    ::unsetenv("ECOSCHED_JOBS");
+    EXPECT_GE(resolveJobs(0), 1u);
+}
+
+TEST(Engine, StripJobsFlagBothForms)
+{
+    {
+        const char *raw[] = {"bench", "120", "--jobs", "6", "42"};
+        char *argv[5];
+        for (int i = 0; i < 5; ++i)
+            argv[i] = const_cast<char *>(raw[i]);
+        int argc = 5;
+        EXPECT_EQ(stripJobsFlag(argc, argv), 6u);
+        ASSERT_EQ(argc, 3);
+        EXPECT_STREQ(argv[1], "120");
+        EXPECT_STREQ(argv[2], "42");
+    }
+    {
+        const char *raw[] = {"bench", "--jobs=8", "7"};
+        char *argv[3];
+        for (int i = 0; i < 3; ++i)
+            argv[i] = const_cast<char *>(raw[i]);
+        int argc = 3;
+        EXPECT_EQ(stripJobsFlag(argc, argv), 8u);
+        ASSERT_EQ(argc, 2);
+        EXPECT_STREQ(argv[1], "7");
+    }
+    {
+        char prog[] = "bench";
+        char *argv[] = {prog};
+        int argc = 1;
+        EXPECT_EQ(stripJobsFlag(argc, argv), 0u);
+        EXPECT_EQ(argc, 1);
+    }
+}
+
+TEST(MemoCacheTest, ComputesOncePerKey)
+{
+    MemoCache<int> cache;
+    int computed = 0;
+    auto fn = [&computed] { return ++computed; };
+    EXPECT_EQ(cache.getOrCompute(11, fn), 1);
+    EXPECT_EQ(cache.getOrCompute(11, fn), 1); // cached
+    EXPECT_EQ(cache.getOrCompute(22, fn), 2);
+    EXPECT_EQ(computed, 2);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(MemoCacheTest, SharedAcrossEngineWorkers)
+{
+    MemoCache<std::uint64_t> cache;
+    // 64 tasks over 8 distinct keys: every key's value must be the
+    // same for all tasks that asked for it.
+    const auto out = engineWith(8).map<std::uint64_t>(
+        64, [&cache](std::size_t i, Rng &) {
+            const std::uint64_t key = i % 8;
+            return cache.getOrCompute(key, [key] {
+                Rng rng(key); // deterministic "experiment"
+                return rng.next();
+            });
+        });
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], out[i % 8]);
+    EXPECT_EQ(cache.size(), 8u);
+}
+
+TEST(ConfigKeyTest, SensitiveToEveryField)
+{
+    const auto base =
+        ConfigKey{}.mix(std::uint64_t{1}).mix(2.5).mix("milc");
+    EXPECT_NE(base.value(),
+              ConfigKey{}.mix(std::uint64_t{2}).mix(2.5).mix("milc")
+                  .value());
+    EXPECT_NE(base.value(),
+              ConfigKey{}.mix(std::uint64_t{1}).mix(2.6).mix("milc")
+                  .value());
+    EXPECT_NE(base.value(),
+              ConfigKey{}.mix(std::uint64_t{1}).mix(2.5).mix("CG")
+                  .value());
+    const auto again =
+        ConfigKey{}.mix(std::uint64_t{1}).mix(2.5).mix("milc");
+    EXPECT_EQ(base.value(), again.value());
+}
+
+} // namespace
+} // namespace ecosched

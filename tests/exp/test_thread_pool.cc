@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Unit tests for the fixed-size worker pool.
+ */
+
+#include <atomic>
+#include <cstddef>
+
+#include <gtest/gtest.h>
+
+#include "exp/thread_pool.hh"
+
+namespace ecosched {
+namespace {
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 1000; ++i)
+        pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, AtLeastOneWorker)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    ThreadPool pool4(4);
+    EXPECT_EQ(pool4.size(), 4u);
+}
+
+TEST(ThreadPool, ReusableAfterWait)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&counter] { ++counter; });
+        pool.wait();
+        EXPECT_EQ(counter.load(), 50 * (round + 1));
+    }
+}
+
+TEST(ThreadPool, WaitWithoutTasksReturns)
+{
+    ThreadPool pool(3);
+    pool.wait(); // must not deadlock
+    SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 200; ++i)
+            pool.submit([&counter] { ++counter; });
+        // no wait(): the destructor must finish the queue
+    }
+    EXPECT_EQ(counter.load(), 200);
+}
+
+} // namespace
+} // namespace ecosched

@@ -11,15 +11,22 @@
  *   generate <chip> <duration_s> <seed> print a §VI.B workload
  *   run <chip> <policy> <duration_s> <seed> [timeline.csv]
  *                                       replay under a policy
+ *   eval <chip> <duration_s> <seed>     replay under all four
+ *                                       policies (in parallel)
  *
  * Chips: xgene2 | xgene3.  Policies: baseline | safevmin |
- * placement | optimal.
+ * placement | optimal.  The global option `--jobs N` (or the
+ * ECOSCHED_JOBS environment variable) sets the experiment engine's
+ * worker count; results are bit-identical for every N.
  */
 
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "ecosched/ecosched.hh"
 
@@ -39,7 +46,10 @@ usage()
            "<clustered|spreaded> [freq_ghz]\n"
            "  ecosched generate <chip> <duration_s> <seed>\n"
            "  ecosched run <chip> <policy> <duration_s> <seed> "
-           "[timeline.csv]\n";
+           "[timeline.csv]\n"
+           "  ecosched eval <chip> <duration_s> <seed>\n"
+           "global options: --jobs N (parallel experiment workers; "
+           "also ECOSCHED_JOBS)\n";
     return 2;
 }
 
@@ -180,6 +190,66 @@ cmdGenerate(const ChipSpec &chip, Seconds duration,
 }
 
 int
+cmdEval(const ChipSpec &chip, Seconds duration, std::uint64_t seed,
+        unsigned jobs)
+{
+    GeneratorConfig gc;
+    gc.duration = duration;
+    gc.maxCores = chip.numCores;
+    gc.seed = seed;
+    gc.chipName = chip.name;
+    gc.referenceFrequency = chip.fMax;
+    const GeneratedWorkload wl = WorkloadGenerator(gc).generate();
+
+    const std::vector<PolicyKind> policies = {
+        PolicyKind::Baseline, PolicyKind::SafeVmin,
+        PolicyKind::Placement, PolicyKind::Optimal};
+    EngineConfig ec;
+    ec.jobs = jobs;
+    ec.baseSeed = seed;
+    const ExperimentEngine engine{ec};
+    const std::vector<ScenarioResult> results =
+        engine.mapSpecs<ScenarioResult, PolicyKind>(
+            policies, [&](std::size_t, PolicyKind policy, Rng &) {
+                ScenarioConfig sc;
+                sc.chip = chip;
+                sc.policy = policy;
+                return ScenarioRunner(sc).run(wl);
+            });
+
+    const ScenarioResult &base = results.front();
+    TextTable t({"metric", "Baseline", "Safe Vmin", "Placement",
+                 "Optimal"});
+    auto row = [&](const std::string &label, auto &&fmt) {
+        std::vector<std::string> cells{label};
+        for (const auto &r : results)
+            cells.push_back(fmt(r));
+        t.addRow(cells);
+    };
+    row("time (s)", [](const ScenarioResult &r) {
+        return formatDouble(r.completionTime, 0);
+    });
+    row("avg power (W)", [](const ScenarioResult &r) {
+        return formatDouble(r.averagePower, 2);
+    });
+    row("energy (J)", [](const ScenarioResult &r) {
+        return formatDouble(r.energy, 2);
+    });
+    row("energy savings", [&](const ScenarioResult &r) {
+        if (&r == &base)
+            return std::string("-");
+        return formatPercent(1.0 - r.energy / base.energy);
+    });
+    row("ED2P", [](const ScenarioResult &r) {
+        return formatSi(r.ed2p, 1);
+    });
+    t.print(std::cout);
+    std::cout << "(" << engine.jobs() << " worker"
+              << (engine.jobs() == 1 ? "" : "s") << ")\n";
+    return 0;
+}
+
+int
 cmdRun(const ChipSpec &chip, PolicyKind policy, Seconds duration,
        std::uint64_t seed, const std::string &csv_file)
 {
@@ -224,6 +294,7 @@ cmdRun(const ChipSpec &chip, PolicyKind policy, Seconds duration,
 int
 main(int argc, char **argv)
 {
+    const unsigned jobs = stripJobsFlag(argc, argv);
     if (argc < 2)
         return usage();
     const std::string cmd = argv[1];
@@ -263,6 +334,14 @@ main(int argc, char **argv)
             return cmdGenerate(
                 chipByName(argv[2]), std::atof(argv[3]),
                 static_cast<std::uint64_t>(std::atoll(argv[4])));
+        }
+        if (cmd == "eval") {
+            if (argc < 5)
+                return usage();
+            return cmdEval(
+                chipByName(argv[2]), std::atof(argv[3]),
+                static_cast<std::uint64_t>(std::atoll(argv[4])),
+                jobs);
         }
         if (cmd == "run") {
             if (argc < 6)
