@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fleet dispatch — the cluster layer as a library user would drive
+ * it.
+ *
+ * Builds a small heterogeneous fleet (X-Gene 3 + X-Gene 2 nodes,
+ * each a distinct chip sample with its own Vmin variation), offers
+ * it a diurnal open-arrival job stream, and serves the *same*
+ * stream under the three dispatch policies to compare fleet-level
+ * energy and tail latency.
+ *
+ * Usage:
+ *   fleet_dispatch [nodes] [duration_seconds] [seed] [--jobs N]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "ecosched/ecosched.hh"
+
+using namespace ecosched;
+
+int
+main(int argc, char **argv)
+{
+    const unsigned jobs = stripJobsFlag(argc, argv);
+    std::size_t num_nodes = 4;
+    Seconds duration = 300.0;
+    std::uint64_t seed = 7;
+    if (argc > 1)
+        num_nodes = static_cast<std::size_t>(std::atol(argv[1]));
+    if (argc > 2)
+        duration = std::atof(argv[2]);
+    if (argc > 3)
+        seed = static_cast<std::uint64_t>(std::atoll(argv[3]));
+    if (num_nodes == 0)
+        num_nodes = 4;
+    if (duration <= 0.0)
+        duration = 300.0;
+
+    // 1. A heterogeneous fleet: each node runs the paper's full
+    //    daemon (Optimal) locally; the dispatcher works above it.
+    const std::vector<NodeConfig> fleet = mixedFleet(num_nodes, seed);
+
+    // 2. A day-shaped open request stream, sized to offer ~25% of
+    //    the fleet's capacity at the mean — the diurnal peak then
+    //    reaches ~45%, leaving headroom for the long SPEC tail.
+    TrafficConfig traffic;
+    traffic.process = ArrivalProcess::Diurnal;
+    traffic.duration = duration;
+    traffic.seed = seed;
+    const TrafficModel planner(traffic);
+    double rate = 0.0;
+    for (const NodeConfig &nc : fleet) {
+        rate += 0.25 * static_cast<double>(nc.chip.numCores)
+            / planner.meanCoreSecondsPerJob(nc.chip.numCores);
+    }
+    traffic.arrivalsPerSecond = rate;
+
+    std::cout << "Fleet dispatch: " << num_nodes
+              << " nodes, diurnal arrivals over "
+              << formatDouble(duration, 0) << " s (seed " << seed
+              << ")\n\n";
+
+    // 3. Serve the identical stream under each dispatch policy.
+    TextTable table({"dispatch", "jobs", "energy (J)", "J/job",
+                     "p50 (s)", "p99 (s)", "SLO viol", "parked (s)"});
+    for (DispatchPolicy policy :
+         {DispatchPolicy::RoundRobin, DispatchPolicy::LeastLoaded,
+          DispatchPolicy::EnergyAware}) {
+        ClusterConfig cc;
+        cc.nodes = fleet;
+        cc.dispatch = policy;
+        cc.traffic = traffic;
+        cc.jobs = jobs;
+        // Long-tailed SPEC jobs on a small fleet: allow a generous
+        // drain window past the arrival cutoff.
+        cc.drainBoundFactor = 10.0;
+        const ClusterResult r = ClusterSim(std::move(cc)).run();
+        Seconds parked = 0.0;
+        for (const NodeSummary &s : r.nodes)
+            parked += s.parkedTime;
+        table.addRow({dispatchPolicyName(policy),
+                      std::to_string(r.jobsCompleted),
+                      formatDouble(r.totalEnergy, 1),
+                      formatDouble(r.energyPerJob(), 1),
+                      formatDouble(r.latencyP50, 2),
+                      formatDouble(r.latencyP99, 2),
+                      std::to_string(r.sloViolations),
+                      formatDouble(parked, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\nenergy_aware packs the deepest safe-Vmin chips "
+                 "first and parks idle nodes;\nround_robin keeps "
+                 "every node warm and pays for it.\n";
+    return 0;
+}

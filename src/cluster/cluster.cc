@@ -1,0 +1,291 @@
+#include "cluster/cluster.hh"
+
+#include <algorithm>
+#include <exception>
+#include <ostream>
+#include <utility>
+
+#include "common/error.hh"
+#include "common/histogram.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "exp/engine.hh"
+#include "exp/thread_pool.hh"
+#include "vmin/failure_model.hh"
+
+namespace ecosched {
+
+ClusterSim::ClusterSim(ClusterConfig config)
+    : cfg(std::move(config)), workerCount(resolveJobs(cfg.jobs))
+{
+    fatalIf(cfg.nodes.empty(), "cluster needs at least one node");
+    fatalIf(cfg.dispatchInterval <= 0.0,
+            "dispatch interval must be positive");
+    fatalIf(cfg.drainBoundFactor < 1.0,
+            "drain bound factor must be at least 1");
+    fatalIf(cfg.sloLatency <= 0.0, "SLO latency must be positive");
+    fatalIf(cfg.wakeDelay < 0.0, "wake delay must be non-negative");
+    fatalIf(cfg.latencyHistogramMax <= 0.0
+                || cfg.latencyHistogramBins == 0,
+            "latency histogram needs a positive range and bins");
+
+    fleet.reserve(cfg.nodes.size());
+    for (std::size_t i = 0; i < cfg.nodes.size(); ++i) {
+        fleet.push_back(std::make_unique<ClusterNode>(
+            static_cast<NodeId>(i), cfg.nodes[i]));
+    }
+}
+
+ClusterSim::~ClusterSim() = default;
+
+ClusterResult
+ClusterSim::run()
+{
+    fatalIf(consumed, "ClusterSim::run() is single-use");
+    consumed = true;
+
+    const std::vector<ClusterJob> arrivals =
+        TrafficModel(cfg.traffic).generate();
+
+    ClusterResult res;
+    res.dispatch = cfg.dispatch;
+    res.numNodes = fleet.size();
+    res.jobsSubmitted = arrivals.size();
+    res.sloLatency = cfg.sloLatency;
+
+    Dispatcher dispatcher(cfg.dispatch);
+    Histogram latency(0.0, cfg.latencyHistogramMax,
+                      cfg.latencyHistogramBins);
+    RunningStats latencyStats;
+
+    const std::size_t n = fleet.size();
+    std::vector<std::uint32_t> outstanding(n, 0);
+    // Every node starts empty, hence parked when idle-sleep is on.
+    std::vector<char> suspended(n, cfg.idleSleep ? 1 : 0);
+    std::vector<char> crashCounted(n, 0);
+    std::vector<Seconds> lastIssue(n, 0.0);
+    std::vector<std::uint64_t> nodeCompleted(n, 0);
+
+    // One persistent pool for all epochs; serial when --jobs 1.
+    std::unique_ptr<ThreadPool> pool;
+    if (workerCount > 1 && n > 1)
+        pool = std::make_unique<ThreadPool>(
+            std::min<unsigned>(workerCount,
+                               static_cast<unsigned>(n)));
+
+    const Seconds bound =
+        cfg.traffic.duration * cfg.drainBoundFactor;
+    std::size_t nextArrival = 0;
+    Seconds t = 0.0;
+
+    const auto settled = [&] {
+        return res.jobsCompleted + res.jobsDropped + res.jobsLost
+            == res.jobsSubmitted;
+    };
+
+    while (nextArrival < arrivals.size() || !settled()) {
+        fatalIf(t >= bound, "cluster failed to drain within ",
+                formatDouble(bound, 1), " s (offered load too high "
+                "for the fleet, or every node crashed)");
+        const Seconds epochEnd = t + cfg.dispatchInterval;
+
+        // --- Phase 1 (serial): route this epoch's arrivals using
+        // the epoch-boundary fleet view.
+        std::vector<NodeView> views(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            views[i].alive = fleet[i]->alive();
+            views[i].cores = fleet[i]->spec().numCores;
+            views[i].outstandingThreads = outstanding[i];
+            views[i].headroomMv = fleet[i]->vminHeadroomMv();
+        }
+        while (nextArrival < arrivals.size()
+               && arrivals[nextArrival].arrival < epochEnd) {
+            const ClusterJob &job = arrivals[nextArrival];
+            ++nextArrival;
+            const std::size_t pick = dispatcher.choose(views, job);
+            if (pick == Dispatcher::npos) {
+                ++res.jobsDropped; // whole fleet down
+                continue;
+            }
+            const std::uint32_t threads =
+                threadsForJob(job, views[pick].cores);
+            Seconds issue = job.arrival;
+            if (suspended[pick]) {
+                issue += cfg.wakeDelay; // pay the wake-up
+                suspended[pick] = 0;
+            }
+            issue = std::max(issue, lastIssue[pick]);
+            lastIssue[pick] = issue;
+            fleet[pick]->enqueue(job, threads, issue);
+            outstanding[pick] += threads;
+            views[pick].outstandingThreads = outstanding[pick];
+        }
+
+        // --- Phase 2 (parallel): step every node to the epoch end.
+        // Nodes share no state; per-node errors land in per-node
+        // slots and are rethrown in node order below, so the result
+        // is identical for any worker count.
+        std::vector<std::exception_ptr> errors(n);
+        const auto stepNode = [&](std::size_t i) {
+            try {
+                fleet[i]->stepTo(epochEnd, suspended[i] != 0);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        };
+        if (pool) {
+            for (std::size_t i = 0; i < n; ++i)
+                pool->submit([&, i] { stepNode(i); });
+            pool->wait();
+        } else {
+            for (std::size_t i = 0; i < n; ++i)
+                stepNode(i);
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            if (errors[i])
+                std::rethrow_exception(errors[i]);
+        }
+
+        // --- Phase 3 (serial, node order): harvest completions into
+        // the cluster-wide accounting.
+        for (std::size_t i = 0; i < n; ++i) {
+            for (const JobCompletion &c : fleet[i]->harvest()) {
+                ECOSCHED_ASSERT(outstanding[i] >= c.threads,
+                                "outstanding-thread underflow");
+                outstanding[i] -= c.threads;
+                ++res.jobsCompleted;
+                ++nodeCompleted[i];
+                const Seconds lat = c.latency();
+                latency.add(lat);
+                latencyStats.add(lat);
+                if (lat > cfg.sloLatency)
+                    ++res.sloViolations;
+                if (isFailure(c.outcome))
+                    ++res.jobsFailed;
+            }
+            if (!fleet[i]->alive() && !crashCounted[i]) {
+                // Fault injection took the node down: its remaining
+                // jobs are stranded.
+                crashCounted[i] = 1;
+                ++res.nodeCrashes;
+                res.jobsLost += fleet[i]->pendingJobs();
+                outstanding[i] = 0;
+            }
+            if (cfg.idleSleep && outstanding[i] == 0
+                && fleet[i]->alive()) {
+                suspended[i] = 1;
+            }
+        }
+
+        t = epochEnd;
+    }
+
+    res.makespan = t;
+    for (std::size_t i = 0; i < n; ++i) {
+        NodeSummary s;
+        s.node = fleet[i]->id();
+        s.chip = fleet[i]->spec().name;
+        s.headroomMv = fleet[i]->vminHeadroomMv();
+        s.jobsCompleted = nodeCompleted[i];
+        s.energy = fleet[i]->energy();
+        s.utilization = fleet[i]->utilization();
+        s.parkedTime = fleet[i]->parkedTime();
+        s.crashed = !fleet[i]->alive();
+        res.totalEnergy += s.energy;
+        res.nodes.push_back(std::move(s));
+    }
+    if (res.makespan > 0.0)
+        res.averagePower = res.totalEnergy / res.makespan;
+    if (latencyStats.count() > 0) {
+        res.latencyMean = latencyStats.mean();
+        res.latencyMax = latencyStats.max();
+        // In-bin interpolation can overshoot the true sample by up
+        // to a bin width; clamp to the observed extremum.
+        res.latencyP50 =
+            std::min(latency.quantile(0.50), res.latencyMax);
+        res.latencyP95 =
+            std::min(latency.quantile(0.95), res.latencyMax);
+        res.latencyP99 =
+            std::min(latency.quantile(0.99), res.latencyMax);
+    }
+    return res;
+}
+
+void
+ClusterResult::printSummary(std::ostream &os) const
+{
+    TextTable summary({"metric", "value"});
+    summary.addRow({"dispatch policy", dispatchPolicyName(dispatch)});
+    summary.addRow({"nodes", std::to_string(numNodes)});
+    summary.addRow({"jobs submitted", std::to_string(jobsSubmitted)});
+    summary.addRow({"jobs completed", std::to_string(jobsCompleted)});
+    summary.addRow({"jobs lost", std::to_string(jobsLost)});
+    summary.addRow({"jobs dropped", std::to_string(jobsDropped)});
+    summary.addRow({"failed runs", std::to_string(jobsFailed)});
+    summary.addRow({"node crashes", std::to_string(nodeCrashes)});
+    summary.addRow({"makespan [s]", formatDouble(makespan, 1)});
+    summary.addRow({"total energy [J]", formatDouble(totalEnergy, 1)});
+    summary.addRow(
+        {"average power [W]", formatDouble(averagePower, 2)});
+    summary.addRow(
+        {"energy per job [J]", formatDouble(energyPerJob(), 1)});
+    summary.addRow({"latency mean [s]", formatDouble(latencyMean, 2)});
+    summary.addRow({"latency p50 [s]", formatDouble(latencyP50, 2)});
+    summary.addRow({"latency p95 [s]", formatDouble(latencyP95, 2)});
+    summary.addRow({"latency p99 [s]", formatDouble(latencyP99, 2)});
+    summary.addRow({"latency max [s]", formatDouble(latencyMax, 2)});
+    summary.addRow({"SLO latency [s]", formatDouble(sloLatency, 1)});
+    summary.addRow(
+        {"SLO violations", std::to_string(sloViolations)});
+    summary.print(os);
+
+    os << "\n";
+    TextTable perNode({"node", "chip", "headroom [mV]", "jobs",
+                       "energy [J]", "util", "parked [s]", "state"});
+    for (const NodeSummary &s : nodes) {
+        perNode.addRow({std::to_string(s.node), s.chip,
+                        formatDouble(s.headroomMv, 1),
+                        std::to_string(s.jobsCompleted),
+                        formatDouble(s.energy, 1),
+                        formatPercent(s.utilization),
+                        formatDouble(s.parkedTime, 1),
+                        s.crashed ? "crashed" : "up"});
+    }
+    perNode.print(os);
+}
+
+std::vector<NodeConfig>
+uniformFleet(const ChipSpec &chip, std::size_t n,
+             std::uint64_t seed, PolicyKind policy)
+{
+    fatalIf(n == 0, "fleet needs at least one node");
+    const Rng root(seed);
+    std::vector<NodeConfig> nodes(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        nodes[i].chip = chip;
+        nodes[i].policy = policy;
+        // Each node is a distinct chip sample: per-chip Vmin
+        // variation comes from the machine seed.
+        nodes[i].machineSeed = root.fork(i).next();
+    }
+    return nodes;
+}
+
+std::vector<NodeConfig>
+mixedFleet(std::size_t n, std::uint64_t seed, PolicyKind policy)
+{
+    fatalIf(n == 0, "fleet needs at least one node");
+    const ChipSpec xg3 = xGene3();
+    const ChipSpec xg2 = xGene2();
+    const Rng root(seed);
+    std::vector<NodeConfig> nodes(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        nodes[i].chip = (i % 2 == 0) ? xg3 : xg2;
+        nodes[i].policy = policy;
+        nodes[i].machineSeed = root.fork(i).next();
+    }
+    return nodes;
+}
+
+} // namespace ecosched

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The fleet simulation: many independent nodes, one open job stream,
+ * one dispatcher — the production-scale layer above the paper's
+ * single-node daemon.
+ *
+ * Execution model (lockstep epochs of `dispatchInterval`):
+ *
+ *   1. arrivals due in the epoch are routed by the Dispatcher using
+ *      the previous epoch boundary's fleet view (serial, node order);
+ *   2. every node steps through the epoch *in parallel* on the
+ *      experiment ThreadPool — nodes share no state, and per-node
+ *      results land in per-node slots, so the simulation is
+ *      bit-identical for any `--jobs` worker count;
+ *   3. completions are harvested serially in node order into the
+ *      cluster-wide accounting (energy, latency histogram for
+ *      p50/p95/p99, SLO violations, crash/SDC counts).
+ *
+ * Idle nodes park into standby between epochs (suspend-to-idle) and
+ * pay a wake-up delay when the dispatcher routes work back to them —
+ * consolidation-friendly policies therefore save real energy.
+ */
+
+#ifndef ECOSCHED_CLUSTER_CLUSTER_HH
+#define ECOSCHED_CLUSTER_CLUSTER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/dispatch.hh"
+#include "cluster/node.hh"
+#include "cluster/traffic.hh"
+
+namespace ecosched {
+
+/// Fleet-simulation knobs.
+struct ClusterConfig
+{
+    /// The fleet (required, non-empty).  Use uniformFleet() /
+    /// mixedFleet() for the common shapes.
+    std::vector<NodeConfig> nodes;
+
+    DispatchPolicy dispatch = DispatchPolicy::RoundRobin;
+    TrafficConfig traffic;
+
+    /// Dispatch-epoch length (also the park/wake granularity).
+    Seconds dispatchInterval = 1.0;
+    /// Abort when the drain exceeds traffic.duration * this factor.
+    double drainBoundFactor = 5.0;
+
+    /// Latency SLO: completions slower than this count as violations.
+    Seconds sloLatency = 60.0;
+
+    /// Park empty nodes into standby between epochs.
+    bool idleSleep = true;
+    /// Wake-up delay a job pays when routed to a parked node.
+    Seconds wakeDelay = 0.2;
+
+    /// Latency-histogram layout backing the percentiles.
+    Seconds latencyHistogramMax = 600.0;
+    std::size_t latencyHistogramBins = 6000;
+
+    /// Node-stepping workers; 0 resolves via ECOSCHED_JOBS, then
+    /// hardware concurrency (results identical for every count).
+    unsigned jobs = 0;
+};
+
+/// Per-node slice of a cluster result.
+struct NodeSummary
+{
+    NodeId node = 0;
+    std::string chip;
+    double headroomMv = 0.0;
+    std::uint64_t jobsCompleted = 0;
+    Joule energy = 0.0;
+    double utilization = 0.0; ///< busy-core fraction while awake
+    Seconds parkedTime = 0.0;
+    bool crashed = false;
+};
+
+/// Fleet-wide result of one cluster run.
+struct ClusterResult
+{
+    DispatchPolicy dispatch = DispatchPolicy::RoundRobin;
+    std::size_t numNodes = 0;
+
+    std::uint64_t jobsSubmitted = 0;
+    std::uint64_t jobsCompleted = 0;
+    /// Jobs that could not be dispatched (whole fleet down).
+    std::uint64_t jobsDropped = 0;
+    /// Jobs stranded on nodes that crashed mid-run.
+    std::uint64_t jobsLost = 0;
+    /// Completions whose outcome was a failure (SDC & friends from
+    /// the fail-safe/fault-injection path).
+    std::uint64_t jobsFailed = 0;
+
+    Seconds makespan = 0.0;   ///< epoch time when the fleet drained
+    Joule totalEnergy = 0.0;  ///< across all nodes, standby included
+    Watt averagePower = 0.0;  ///< totalEnergy / makespan
+
+    Seconds latencyMean = 0.0;
+    Seconds latencyP50 = 0.0;
+    Seconds latencyP95 = 0.0;
+    Seconds latencyP99 = 0.0;
+    Seconds latencyMax = 0.0;
+
+    Seconds sloLatency = 0.0;
+    std::uint64_t sloViolations = 0;
+    std::uint64_t nodeCrashes = 0;
+
+    std::vector<NodeSummary> nodes;
+
+    /// Energy per completed job (0 when nothing completed).
+    Joule energyPerJob() const
+    {
+        return jobsCompleted == 0
+            ? 0.0
+            : totalEnergy / static_cast<double>(jobsCompleted);
+    }
+
+    /// Deterministic human-readable summary (cluster-wide metric
+    /// table plus the per-node table).  Contains no worker-count or
+    /// wall-clock data, so it is bit-identical for any `--jobs`.
+    void printSummary(std::ostream &os) const;
+};
+
+/**
+ * Runs one open-arrival traffic trace against a fleet.  Single-use:
+ * construct, run(), read the result.
+ */
+class ClusterSim
+{
+  public:
+    explicit ClusterSim(ClusterConfig config);
+    ~ClusterSim();
+
+    ClusterSim(const ClusterSim &) = delete;
+    ClusterSim &operator=(const ClusterSim &) = delete;
+
+    /// Resolved node-stepping worker count (>= 1).
+    unsigned jobs() const { return workerCount; }
+
+    /// Knobs in use.
+    const ClusterConfig &config() const { return cfg; }
+
+    /// Execute the trace to drain (or the drain bound).
+    ClusterResult run();
+
+  private:
+    ClusterConfig cfg;
+    unsigned workerCount;
+    std::vector<std::unique_ptr<ClusterNode>> fleet;
+    bool consumed = false;
+};
+
+/**
+ * @p n identical nodes of one chip model.  Per-node machine and
+ * daemon seeds are forked deterministically from @p seed, so every
+ * node is a distinct chip sample (per-chip Vmin variation).
+ */
+std::vector<NodeConfig> uniformFleet(const ChipSpec &chip,
+                                     std::size_t n,
+                                     std::uint64_t seed,
+                                     PolicyKind policy
+                                     = PolicyKind::Optimal);
+
+/**
+ * Heterogeneous fleet: X-Gene 3 and X-Gene 2 nodes alternating
+ * (even ids X-Gene 3), seeds forked from @p seed.
+ */
+std::vector<NodeConfig> mixedFleet(std::size_t n, std::uint64_t seed,
+                                   PolicyKind policy
+                                   = PolicyKind::Optimal);
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CLUSTER_CLUSTER_HH

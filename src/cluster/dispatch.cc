@@ -1,0 +1,120 @@
+#include "cluster/dispatch.hh"
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+const char *
+dispatchPolicyName(DispatchPolicy policy)
+{
+    switch (policy) {
+      case DispatchPolicy::RoundRobin:  return "round_robin";
+      case DispatchPolicy::LeastLoaded: return "least_loaded";
+      case DispatchPolicy::EnergyAware: return "energy_aware";
+    }
+    return "?";
+}
+
+DispatchPolicy
+dispatchPolicyByName(const std::string &name)
+{
+    if (name == "round_robin")
+        return DispatchPolicy::RoundRobin;
+    if (name == "least_loaded")
+        return DispatchPolicy::LeastLoaded;
+    if (name == "energy_aware")
+        return DispatchPolicy::EnergyAware;
+    fatal("unknown dispatch policy '", name,
+          "' (round_robin|least_loaded|energy_aware)");
+}
+
+Dispatcher::Dispatcher(DispatchPolicy policy) : kind(policy) {}
+
+std::size_t
+Dispatcher::choose(const std::vector<NodeView> &nodes,
+                   const ClusterJob &job)
+{
+    fatalIf(nodes.empty(), "dispatcher needs at least one node");
+    switch (kind) {
+      case DispatchPolicy::RoundRobin:
+        return chooseRoundRobin(nodes);
+      case DispatchPolicy::LeastLoaded:
+        return chooseLeastLoaded(nodes);
+      case DispatchPolicy::EnergyAware:
+        return chooseEnergyAware(nodes, job);
+    }
+    return npos;
+}
+
+std::size_t
+Dispatcher::chooseRoundRobin(const std::vector<NodeView> &nodes)
+{
+    for (std::size_t tried = 0; tried < nodes.size(); ++tried) {
+        const std::size_t i = cursor % nodes.size();
+        cursor = (cursor + 1) % nodes.size();
+        if (nodes[i].alive)
+            return i;
+    }
+    return npos;
+}
+
+std::size_t
+Dispatcher::chooseLeastLoaded(
+    const std::vector<NodeView> &nodes) const
+{
+    std::size_t best = npos;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (!nodes[i].alive)
+            continue;
+        if (best == npos
+            || nodes[i].relativeLoad()
+                < nodes[best].relativeLoad()) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+std::size_t
+Dispatcher::chooseEnergyAware(const std::vector<NodeView> &nodes,
+                              const ClusterJob &job) const
+{
+    // Pass 1: pack an already-awake node that still has room,
+    // deepest Vmin headroom first; among equals prefer the fuller
+    // node (tighter packing), then the lower id.
+    std::size_t best = npos;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const NodeView &n = nodes[i];
+        if (!n.alive || n.outstandingThreads == 0)
+            continue;
+        const std::uint32_t need = threadsForJob(job, n.cores);
+        if (n.outstandingThreads + need > n.cores)
+            continue;
+        if (best == npos
+            || n.headroomMv > nodes[best].headroomMv
+            || (n.headroomMv == nodes[best].headroomMv
+                && n.relativeLoad() > nodes[best].relativeLoad())) {
+            best = i;
+        }
+    }
+    if (best != npos)
+        return best;
+
+    // Pass 2: wake the parked node with the deepest headroom.
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const NodeView &n = nodes[i];
+        if (!n.alive || n.outstandingThreads != 0)
+            continue;
+        if (best == npos
+            || n.headroomMv > nodes[best].headroomMv) {
+            best = i;
+        }
+    }
+    if (best != npos)
+        return best;
+
+    // Pass 3: the fleet is saturated — join the shortest queue.
+    return chooseLeastLoaded(nodes);
+}
+
+} // namespace ecosched

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The fleet dispatcher: decides which node absorbs each arriving job.
+ *
+ * Three pluggable policies:
+ *
+ *  - round_robin:  rotate over live nodes, ignoring load — the
+ *                  classic DNS/LVS baseline.  Keeps every node warm.
+ *  - least_loaded: send the job to the node with the lowest relative
+ *                  outstanding-thread load (join-the-shortest-queue).
+ *  - energy_aware: consolidate.  Prefer nodes that are already awake
+ *                  and have room, packing the deepest safe-Vmin
+ *                  headroom first (per-chip variation: robust silicon
+ *                  runs cheapest); wake the deepest idle node only
+ *                  when no awake node has room; fall back to
+ *                  least-loaded when the whole fleet is saturated.
+ *                  Nodes left idle park into standby — that is where
+ *                  the fleet-level energy saving comes from.
+ *
+ * The dispatcher sees only epoch-boundary snapshots (NodeView), so
+ * its decisions are a pure function of the dispatch history — one
+ * ingredient of the cluster's any-job-count determinism.
+ */
+
+#ifndef ECOSCHED_CLUSTER_DISPATCH_HH
+#define ECOSCHED_CLUSTER_DISPATCH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/traffic.hh"
+
+namespace ecosched {
+
+/// Dispatch policy selector.
+enum class DispatchPolicy
+{
+    RoundRobin,
+    LeastLoaded,
+    EnergyAware,
+};
+
+/// Human-readable policy name (round_robin | least_loaded |
+/// energy_aware).
+const char *dispatchPolicyName(DispatchPolicy policy);
+
+/// Parse a policy name. @throws FatalError for unknown names.
+DispatchPolicy dispatchPolicyByName(const std::string &name);
+
+/// Epoch-boundary snapshot of one node, as the dispatcher sees it.
+struct NodeView
+{
+    bool alive = true;
+    std::uint32_t cores = 0;
+    /// Threads dispatched to the node and not yet completed
+    /// (running + queued + still in its inbox).
+    std::uint32_t outstandingThreads = 0;
+    /// Static safe-Vmin headroom of the chip sample [mV].
+    double headroomMv = 0.0;
+
+    /// Relative load in [0, inf): outstanding threads per core.
+    double relativeLoad() const
+    {
+        return cores == 0
+            ? 0.0
+            : static_cast<double>(outstandingThreads)
+                / static_cast<double>(cores);
+    }
+};
+
+/**
+ * Stateful node chooser (round-robin keeps a cursor).
+ */
+class Dispatcher
+{
+  public:
+    /// Returned when no live node exists.
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    explicit Dispatcher(DispatchPolicy policy);
+
+    DispatchPolicy policy() const { return kind; }
+
+    /**
+     * Pick the node for @p job given the current fleet view, or npos
+     * when every node is down.  The job's thread demand is resolved
+     * per candidate node (heterogeneous fleets).
+     */
+    std::size_t choose(const std::vector<NodeView> &nodes,
+                       const ClusterJob &job);
+
+  private:
+    std::size_t chooseRoundRobin(const std::vector<NodeView> &nodes);
+    std::size_t chooseLeastLoaded(
+        const std::vector<NodeView> &nodes) const;
+    std::size_t chooseEnergyAware(const std::vector<NodeView> &nodes,
+                                  const ClusterJob &job) const;
+
+    DispatchPolicy kind;
+    std::size_t cursor = 0; ///< round-robin position
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CLUSTER_DISPATCH_HH

@@ -1,0 +1,143 @@
+#include "cluster/node.hh"
+
+#include <utility>
+
+#include "common/error.hh"
+#include "workloads/catalog.hh"
+
+namespace ecosched {
+
+namespace {
+
+/// Static safe-Vmin headroom of one chip sample (see header).
+double
+computeHeadroomMv(const Machine &machine)
+{
+    const ChipSpec &spec = machine.spec();
+    const VminModel &model = machine.vminModel();
+    const double guardband_mv =
+        units::toMilliVolts(spec.vNominal)
+        - units::toMilliVolts(
+              model.tableVmin(spec.fMax, spec.numPmds()));
+    double offsets_mv = 0.0;
+    for (PmdId p = 0; p < spec.numPmds(); ++p)
+        offsets_mv -= units::toMilliVolts(model.pmdOffset(p));
+    return guardband_mv
+        + offsets_mv / static_cast<double>(spec.numPmds());
+}
+
+} // namespace
+
+ClusterNode::ClusterNode(NodeId id, NodeConfig config)
+    : nodeId(id), cfg(std::move(config))
+{
+    cfg.chip.validate();
+    fatalIf(cfg.timestep <= 0.0, "node timestep must be positive");
+    fatalIf(cfg.standbyPower < 0.0,
+            "standby power must be non-negative");
+
+    MachineConfig mcfg;
+    mcfg.seed = cfg.machineSeed;
+    mcfg.injectFaults = cfg.injectFaults;
+    mach = std::make_unique<Machine>(cfg.chip, mcfg);
+    sys = std::make_unique<System>(*mach, nullptr, nullptr,
+                                   SystemConfig{cfg.timestep, 0.2});
+    setup = configurePolicy(*sys, cfg.policy, cfg.daemon);
+    headroomMv = computeHeadroomMv(*mach);
+}
+
+void
+ClusterNode::enqueue(const ClusterJob &job, std::uint32_t threads,
+                     Seconds arrival)
+{
+    fatalIf(threads == 0 || threads > cfg.chip.numCores,
+            "job ", job.id, " needs ", threads, " threads but node ",
+            nodeId, " (", cfg.chip.name, ") has ",
+            cfg.chip.numCores, " cores");
+    fatalIf(!inbox.empty() && arrival < inbox.back().arrival,
+            "job ", job.id, " arrives out of order on node ", nodeId);
+    fatalIf(arrival + cfg.timestep * 0.5 < sys->now(),
+            "job ", job.id, " arrives in node ", nodeId, "'s past");
+    inbox.push_back({job, threads, arrival});
+}
+
+void
+ClusterNode::stepTo(Seconds t, bool parked)
+{
+    const Catalog &catalog = Catalog::instance();
+    const Joule meter_before = mach->energyMeter().energy();
+    const Seconds time_before = sys->now();
+
+    while (alive() && sys->now() + cfg.timestep * 0.5 < t) {
+        while (!inbox.empty()
+               && inbox.front().arrival
+                   <= sys->now() + cfg.timestep * 0.5) {
+            const Pending &p = inbox.front();
+            const Pid pid = sys->submit(
+                catalog.byName(p.job.benchmark), p.threads);
+            inFlight[pid] = {p.job.id, p.job.arrival, p.threads};
+            inbox.pop_front();
+        }
+        sys->step();
+        busyCoreSeconds +=
+            static_cast<double>(mach->busyCores().size())
+            * cfg.timestep;
+    }
+
+    if (parked) {
+        // Nothing ran: re-account the span's metered (awake-idle)
+        // energy as the standby draw.
+        parkedMeterJoules +=
+            mach->energyMeter().energy() - meter_before;
+        parkedSeconds += sys->now() - time_before;
+    }
+}
+
+std::vector<JobCompletion>
+ClusterNode::harvest()
+{
+    std::vector<JobCompletion> out;
+    const auto &finished = sys->finishedProcesses();
+    for (; harvested < finished.size(); ++harvested) {
+        const Process &proc = finished[harvested];
+        const auto it = inFlight.find(proc.pid);
+        ECOSCHED_ASSERT(it != inFlight.end(),
+                        "finished process without a cluster job");
+        const auto &[job_id, arrival, threads] = it->second;
+        JobCompletion c;
+        c.jobId = job_id;
+        c.arrival = arrival;
+        c.completed = proc.completed;
+        c.queueDelay = proc.queueDelay();
+        c.threads = threads;
+        c.outcome = proc.outcome;
+        out.push_back(c);
+        inFlight.erase(it);
+    }
+    return out;
+}
+
+std::size_t
+ClusterNode::pendingJobs() const
+{
+    return inbox.size() + inFlight.size();
+}
+
+Joule
+ClusterNode::energy() const
+{
+    return mach->energyMeter().energy() - parkedMeterJoules
+        + cfg.standbyPower * parkedSeconds;
+}
+
+double
+ClusterNode::utilization() const
+{
+    const Seconds awake = sys->now() - parkedSeconds;
+    if (awake <= 0.0)
+        return 0.0;
+    return busyCoreSeconds
+        / (static_cast<double>(cfg.chip.numCores) * awake);
+}
+
+} // namespace ecosched

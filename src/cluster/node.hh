@@ -1,0 +1,166 @@
+/**
+ * @file
+ * One node of the fleet: a full simulated machine (Machine + System
+ * + optional Daemon, exactly the single-node stack the paper
+ * evaluates) plus the cluster-facing plumbing — a dispatch inbox,
+ * incremental time-stepping, job completion harvesting and per-node
+ * accounting.
+ *
+ * Nodes are completely independent once jobs are enqueued: stepTo()
+ * touches only this node's state, which is what lets the cluster
+ * simulation fan nodes across the experiment ThreadPool while
+ * staying bit-identical for any worker count.
+ *
+ * Idle nodes can be *parked* by the fleet manager (suspend-to-idle):
+ * a parked epoch still advances virtual time — the machine state is
+ * frozen anyway since nothing runs — but its energy is re-accounted
+ * as a small standby draw instead of the awake idle power.  This is
+ * the consolidation payoff the energy-aware dispatcher exploits.
+ */
+
+#ifndef ECOSCHED_CLUSTER_NODE_HH
+#define ECOSCHED_CLUSTER_NODE_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "cluster/traffic.hh"
+#include "core/policy.hh"
+#include "os/system.hh"
+#include "sim/machine.hh"
+
+namespace ecosched {
+
+/// Fleet node identifier (0-based index into the fleet).
+using NodeId = std::uint32_t;
+
+/// Per-node construction knobs.
+struct NodeConfig
+{
+    ChipSpec chip;                 ///< platform (required)
+    /// Single-node policy each node runs locally (the paper's four
+    /// configurations; Optimal = the full daemon).
+    PolicyKind policy = PolicyKind::Optimal;
+    /// Chip-sample identity: drives the per-chip Vmin variation
+    /// (static PMD offsets) and all machine-internal randomness.
+    std::uint64_t machineSeed = 1;
+    Seconds timestep = 0.01;       ///< node simulation step
+    bool injectFaults = false;     ///< undervolting fault injection
+    DaemonConfig daemon;           ///< base daemon knobs
+    /// Standby power drawn while parked (suspend-to-idle).
+    Watt standbyPower = 0.5;
+};
+
+/// One harvested job completion.
+struct JobCompletion
+{
+    std::uint64_t jobId = 0;
+    Seconds arrival = 0.0;    ///< cluster arrival time
+    Seconds completed = 0.0;  ///< node completion time
+    Seconds queueDelay = 0.0; ///< node-local run-queue wait
+    std::uint32_t threads = 0;///< cores the job occupied
+    RunOutcome outcome = RunOutcome::Ok;
+
+    /// End-to-end sojourn time (dispatch latency the SLO sees).
+    Seconds latency() const { return completed - arrival; }
+};
+
+/**
+ * A fleet node.  Owns its machine/OS/daemon stack; noncopyable.
+ */
+class ClusterNode
+{
+  public:
+    ClusterNode(NodeId id, NodeConfig config);
+
+    ClusterNode(const ClusterNode &) = delete;
+    ClusterNode &operator=(const ClusterNode &) = delete;
+
+    NodeId id() const { return nodeId; }
+    const NodeConfig &config() const { return cfg; }
+    const ChipSpec &spec() const { return cfg.chip; }
+    const Machine &machine() const { return *mach; }
+    const System &system() const { return *sys; }
+    Seconds now() const { return sys->now(); }
+
+    /// Whether the node is still up (fault injection can crash it).
+    bool alive() const { return !mach->halted(); }
+
+    /**
+     * Static safe-Vmin headroom of this chip sample, in millivolts:
+     * how far below nominal the conservative all-PMD Table II value
+     * sits (the guardband the daemon reclaims), plus the sample's
+     * mean static PMD robustness (deeper offsets = more robust
+     * silicon).  The energy-aware dispatcher packs the deepest nodes
+     * first.
+     */
+    double vminHeadroomMv() const { return headroomMv; }
+
+    /**
+     * Accept a dispatched job.  @p arrival is the node-local issue
+     * time (the cluster arrival plus any wake-up delay) and must be
+     * non-decreasing across calls and not in this node's past.
+     */
+    void enqueue(const ClusterJob &job, std::uint32_t threads,
+                 Seconds arrival);
+
+    /**
+     * Advance the node to cluster time @p t.  @p parked marks the
+     * whole span as suspend-to-idle: virtual time still advances (the
+     * node is empty, so no software state changes) but the span's
+     * metered energy is replaced by the standby draw.  Stops early if
+     * a fault-injection system crash halts the machine.
+     */
+    void stepTo(Seconds t, bool parked = false);
+
+    /// Completions since the previous harvest, in completion order.
+    std::vector<JobCompletion> harvest();
+
+    /// Jobs accepted but not yet finished (inbox + queued + running).
+    std::size_t pendingJobs() const;
+
+    /**
+     * Node energy with parked spans re-accounted at standby power.
+     * For a crashed node, the total up to the halt.
+     */
+    Joule energy() const;
+
+    /// Mean fraction of cores busy over the node's awake lifetime.
+    double utilization() const;
+
+    /// Time spent parked so far.
+    Seconds parkedTime() const { return parkedSeconds; }
+
+  private:
+    struct Pending
+    {
+        ClusterJob job;
+        std::uint32_t threads;
+        Seconds arrival; ///< node-local issue time
+    };
+
+    NodeId nodeId;
+    NodeConfig cfg;
+    std::unique_ptr<Machine> mach;
+    std::unique_ptr<System> sys;
+    PolicySetup setup;
+    double headroomMv = 0.0;
+
+    std::deque<Pending> inbox; ///< dispatched, not yet submitted
+    /// pid -> (job id, cluster arrival, threads) of in-flight jobs.
+    std::map<Pid, std::tuple<std::uint64_t, Seconds, std::uint32_t>>
+        inFlight;
+    std::size_t harvested = 0; ///< finishedProcesses() consumed
+
+    double busyCoreSeconds = 0.0;
+    Seconds parkedSeconds = 0.0;
+    Joule parkedMeterJoules = 0.0;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CLUSTER_NODE_HH

@@ -1,0 +1,141 @@
+#include "cluster/traffic.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+
+namespace ecosched {
+
+namespace {
+
+/// The paper's three parallel threading configs (§VI.B): max, half
+/// and quarter of the cores.
+constexpr std::uint32_t sizeDivisors[] = {1, 2, 4};
+
+} // namespace
+
+const char *
+arrivalProcessName(ArrivalProcess process)
+{
+    switch (process) {
+      case ArrivalProcess::Poisson: return "poisson";
+      case ArrivalProcess::Diurnal: return "diurnal";
+    }
+    return "?";
+}
+
+std::uint32_t
+threadsForJob(const ClusterJob &job, std::uint32_t node_cores)
+{
+    fatalIf(node_cores == 0, "node must have at least one core");
+    if (!job.parallel)
+        return 1;
+    fatalIf(job.sizeDivisor == 0,
+            "parallel job ", job.id, " has no size divisor");
+    return std::max<std::uint32_t>(1, node_cores / job.sizeDivisor);
+}
+
+TrafficModel::TrafficModel(TrafficConfig config)
+    : cfg(std::move(config)),
+      memory(MemoryParams::forChipName(cfg.chipName))
+{
+    fatalIf(cfg.duration <= 0.0, "traffic duration must be positive");
+    fatalIf(cfg.arrivalsPerSecond <= 0.0,
+            "arrival rate must be positive");
+    fatalIf(cfg.diurnalAmplitude < 0.0 || cfg.diurnalAmplitude >= 1.0,
+            "diurnal amplitude must be in [0, 1)");
+    fatalIf(cfg.referenceFrequency <= 0.0,
+            "referenceFrequency must be positive");
+    if (cfg.diurnalPeriod <= 0.0)
+        cfg.diurnalPeriod = cfg.duration;
+}
+
+double
+TrafficModel::rateAt(Seconds t) const
+{
+    if (cfg.process == ArrivalProcess::Poisson)
+        return cfg.arrivalsPerSecond;
+    // Day curve: trough at t = 0, peak at half period, mean rate
+    // preserved over a whole period.
+    constexpr double pi = 3.14159265358979323846;
+    const double phase = 2.0 * pi * t / cfg.diurnalPeriod;
+    return cfg.arrivalsPerSecond
+        * (1.0 - cfg.diurnalAmplitude * std::cos(phase));
+}
+
+std::vector<ClusterJob>
+TrafficModel::generate() const
+{
+    Rng rng(cfg.seed * 0x9e3779b97f4a7c15ull + 29);
+    const auto pool = Catalog::instance().generatorPool();
+    ECOSCHED_ASSERT(!pool.empty(), "generator pool is empty");
+
+    // Thinning: draw candidate arrivals at the peak rate, accept each
+    // with probability rate(t) / peak — an exact nonhomogeneous
+    // Poisson sampler that stays deterministic under the seed.
+    const double peak =
+        cfg.arrivalsPerSecond * (1.0 + cfg.diurnalAmplitude);
+
+    std::vector<ClusterJob> jobs;
+    Seconds t = 0.0;
+    while (true) {
+        t += rng.exponential(1.0 / peak);
+        if (t >= cfg.duration)
+            break;
+        if (!rng.bernoulli(rateAt(t) / peak))
+            continue;
+
+        const BenchmarkProfile &profile =
+            *pool[rng.uniformInt(0, pool.size() - 1)];
+        ClusterJob job;
+        job.id = jobs.size() + 1;
+        job.arrival = t;
+        job.benchmark = profile.name;
+        job.parallel = profile.parallel;
+        if (profile.parallel)
+            job.sizeDivisor = sizeDivisors[rng.uniformInt(0, 2)];
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+Seconds
+TrafficModel::estimateRuntime(const BenchmarkProfile &profile,
+                              std::uint32_t threads) const
+{
+    const Instructions per_thread = profile.perThreadWork(threads);
+    const Seconds t_instr = memory.timePerInstruction(
+        profile.work, cfg.referenceFrequency, 1.0);
+    return static_cast<double>(per_thread) * t_instr;
+}
+
+double
+TrafficModel::meanCoreSecondsPerJob(
+    std::uint32_t reference_cores) const
+{
+    fatalIf(reference_cores == 0,
+            "reference core count must be positive");
+    const auto pool = Catalog::instance().generatorPool();
+    double total = 0.0;
+    for (const BenchmarkProfile *profile : pool) {
+        if (!profile->parallel) {
+            total += estimateRuntime(*profile, 1);
+            continue;
+        }
+        // Average over the three equally likely size classes.
+        double per_profile = 0.0;
+        for (std::uint32_t div : sizeDivisors) {
+            const std::uint32_t threads =
+                std::max<std::uint32_t>(1, reference_cores / div);
+            per_profile += static_cast<double>(threads)
+                * estimateRuntime(*profile, threads);
+        }
+        total += per_profile / 3.0;
+    }
+    return total / static_cast<double>(pool.size());
+}
+
+} // namespace ecosched

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Open-arrival traffic model for the cluster layer.
+ *
+ * The paper's §VI.B workload generator is *closed*: it caps active
+ * processes at one node's core count.  A fleet serves an *open*
+ * request stream — jobs arrive whether or not capacity is free, and
+ * the dispatcher decides which node absorbs each one.  This model
+ * produces such a stream from the same 35-program catalog pool
+ * (29 SPEC CPU2006 + 6 NPB):
+ *
+ *  - Poisson: memoryless arrivals at a constant mean rate, the
+ *    classic open-system server-load model;
+ *  - Diurnal: a Poisson process whose rate follows a day-shaped
+ *    sinusoid (trough at t = 0, peak at half period), produced by
+ *    thinning against the peak rate.
+ *
+ * Generation is a pure function of the config (deterministic seed),
+ * so the same stream can be replayed against different fleet sizes
+ * and dispatch policies.
+ */
+
+#ifndef ECOSCHED_CLUSTER_TRAFFIC_HH
+#define ECOSCHED_CLUSTER_TRAFFIC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "sim/memory_system.hh"
+#include "workloads/catalog.hh"
+
+namespace ecosched {
+
+/// Arrival process shape.
+enum class ArrivalProcess
+{
+    Poisson, ///< constant mean rate
+    Diurnal, ///< sinusoidally modulated rate (day curve)
+};
+
+/// Human-readable arrival-process name.
+const char *arrivalProcessName(ArrivalProcess process);
+
+/**
+ * One job of the open stream.  Parallel jobs are sized relative to
+ * whichever node they land on (the fleet is heterogeneous), so the
+ * job carries a core *divisor* rather than a thread count; resolve it
+ * with threadsForJob() once the target node is known.
+ */
+struct ClusterJob
+{
+    std::uint64_t id = 0;       ///< sequential, 1-based
+    Seconds arrival = 0.0;      ///< cluster-clock arrival time
+    std::string benchmark;      ///< catalog name
+    bool parallel = false;      ///< parallel program (NPB)
+    /// Core divisor for parallel jobs (1, 2 or 4: the paper's max /
+    /// half / quarter threading configs); 0 for single-thread copies.
+    std::uint32_t sizeDivisor = 0;
+};
+
+/// Threads the job occupies on a node with @p node_cores cores.
+std::uint32_t threadsForJob(const ClusterJob &job,
+                            std::uint32_t node_cores);
+
+/// Traffic knobs.
+struct TrafficConfig
+{
+    ArrivalProcess process = ArrivalProcess::Poisson;
+    Seconds duration = 600.0;       ///< arrival window
+    double arrivalsPerSecond = 0.5; ///< mean rate over the window
+
+    /// Diurnal only: modulation depth in [0, 1) — rate swings between
+    /// mean*(1-A) and mean*(1+A).
+    double diurnalAmplitude = 0.8;
+    /// Diurnal only: length of one day curve (defaults to the whole
+    /// window when <= 0).
+    Seconds diurnalPeriod = 0.0;
+
+    std::uint64_t seed = 42; ///< replay seed
+
+    /// Chip whose memory parameters anchor runtime estimation (load
+    /// planning; any catalog-known chip works).
+    std::string chipName = "X-Gene 3";
+    /// Reference frequency for runtime estimation.
+    Hertz referenceFrequency = units::GHz(3.0);
+};
+
+/**
+ * Deterministic open-arrival job stream generator.
+ */
+class TrafficModel
+{
+  public:
+    explicit TrafficModel(TrafficConfig config);
+
+    /// Configuration in use.
+    const TrafficConfig &config() const { return cfg; }
+
+    /// Instantaneous arrival rate at time @p t [jobs/s].
+    double rateAt(Seconds t) const;
+
+    /// Produce the job stream (ascending arrival, ids 1..n).
+    std::vector<ClusterJob> generate() const;
+
+    /**
+     * Estimated uncontended runtime of one invocation at the
+     * reference frequency (same capacity-planning estimate the §VI.B
+     * generator uses).
+     */
+    Seconds estimateRuntime(const BenchmarkProfile &profile,
+                            std::uint32_t threads) const;
+
+    /**
+     * Expected core-seconds one job of the pool occupies on a node
+     * with @p reference_cores cores (averaged over the pool and the
+     * parallel size classes).  Use it to translate a target fleet
+     * occupancy into an arrival rate:
+     * rate = occupancy * total_cores / meanCoreSecondsPerJob(...).
+     */
+    double meanCoreSecondsPerJob(std::uint32_t reference_cores) const;
+
+  private:
+    TrafficConfig cfg;
+    MemorySystem memory;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CLUSTER_TRAFFIC_HH

@@ -73,6 +73,30 @@ Histogram::countInRange(double a, double b) const
     return sum;
 }
 
+double
+Histogram::quantile(double q) const
+{
+    fatalIf(q < 0.0 || q > 1.0, "quantile fraction must be in [0, 1]");
+    if (totalCount == 0)
+        return 0.0;
+
+    // Target rank in [0, total]; walk the cumulative counts.
+    const double target = q * static_cast<double>(totalCount);
+    double cumulative = static_cast<double>(underflowCount);
+    if (target <= cumulative && underflowCount > 0)
+        return rangeLo;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const auto c = static_cast<double>(counts[i]);
+        if (c > 0.0 && target <= cumulative + c) {
+            // Interpolate linearly within the bin.
+            const double frac = (target - cumulative) / c;
+            return binLo(i) + width * frac;
+        }
+        cumulative += c;
+    }
+    return rangeHi;
+}
+
 void
 Histogram::reset()
 {

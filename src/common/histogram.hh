@@ -55,6 +55,16 @@ class Histogram
     /// interval must align with bin edges.
     std::uint64_t countInRange(double a, double b) const;
 
+    /**
+     * Estimate the @p q quantile (q in [0, 1]) of the recorded
+     * distribution, interpolating linearly inside the bin that the
+     * target rank falls into.  Underflow samples pin to the range's
+     * lower bound, overflow samples to its upper bound — a quantile
+     * landing there means the histogram range was too narrow.
+     * Returns 0 for an empty histogram.
+     */
+    double quantile(double q) const;
+
     std::size_t numBins() const { return counts.size(); }
     std::uint64_t underflow() const { return underflowCount; }
     std::uint64_t overflow() const { return overflowCount; }

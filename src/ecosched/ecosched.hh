@@ -17,11 +17,17 @@
  *  - WorkloadGenerator:     §VI.B random server workloads
  *  - ScenarioRunner:        Tables III/IV & Figures 14/15 quantities
  *  - VminCharacterizer:     §III Vmin sweeps (Figures 3-5)
+ *  - ClusterSim:            multi-node fleet with open arrivals and
+ *                           pluggable dispatch (production scale-out)
  */
 
 #ifndef ECOSCHED_ECOSCHED_HH
 #define ECOSCHED_ECOSCHED_HH
 
+#include "cluster/cluster.hh"
+#include "cluster/dispatch.hh"
+#include "cluster/node.hh"
+#include "cluster/traffic.hh"
 #include "common/error.hh"
 #include "common/histogram.hh"
 #include "common/logging.hh"

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the fleet node and the cluster simulation: accounting,
+ * parking, fleet builders and end-to-end conservation of jobs.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hh"
+#include "common/error.hh"
+#include "platform/chip_spec.hh"
+
+namespace ecosched {
+namespace {
+
+NodeConfig
+xg2Node(std::uint64_t seed = 1)
+{
+    NodeConfig cfg;
+    cfg.chip = xGene2();
+    cfg.machineSeed = seed;
+    return cfg;
+}
+
+ClusterJob
+job(std::uint64_t id, Seconds arrival, const std::string &bench,
+    bool parallel = false, std::uint32_t divisor = 0)
+{
+    ClusterJob j;
+    j.id = id;
+    j.arrival = arrival;
+    j.benchmark = bench;
+    j.parallel = parallel;
+    j.sizeDivisor = divisor;
+    return j;
+}
+
+TEST(ClusterNode, RunsAJobToCompletion)
+{
+    ClusterNode node(0, xg2Node());
+    EXPECT_TRUE(node.alive());
+    EXPECT_GT(node.vminHeadroomMv(), 0.0);
+
+    node.enqueue(job(1, 0.5, "mcf"), 1, 0.5);
+    EXPECT_EQ(node.pendingJobs(), 1u);
+
+    Seconds t = 0.0;
+    std::vector<JobCompletion> done;
+    while (done.empty() && t < 2000.0) {
+        t += 10.0;
+        node.stepTo(t);
+        for (const JobCompletion &c : node.harvest())
+            done.push_back(c);
+    }
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].jobId, 1u);
+    EXPECT_DOUBLE_EQ(done[0].arrival, 0.5);
+    EXPECT_GT(done[0].completed, 0.5);
+    EXPECT_GT(done[0].latency(), 0.0);
+    EXPECT_EQ(done[0].threads, 1u);
+    EXPECT_EQ(node.pendingJobs(), 0u);
+    EXPECT_GT(node.energy(), 0.0);
+    EXPECT_GT(node.utilization(), 0.0);
+}
+
+TEST(ClusterNode, ParkedSpansBillAtStandbyPower)
+{
+    NodeConfig cfg = xg2Node();
+    cfg.standbyPower = 0.5;
+    ClusterNode parked(0, cfg);
+    ClusterNode awake(1, cfg);
+
+    parked.stepTo(100.0, /*parked=*/true);
+    awake.stepTo(100.0, /*parked=*/false);
+
+    EXPECT_NEAR(parked.parkedTime(), 100.0, 1.0);
+    EXPECT_DOUBLE_EQ(awake.parkedTime(), 0.0);
+    // Standby ~0.5 W * 100 s; awake idle draws strictly more.
+    EXPECT_NEAR(parked.energy(), 50.0, 5.0);
+    EXPECT_GT(awake.energy(), 1.3 * parked.energy());
+}
+
+TEST(ClusterNode, RejectsBadEnqueue)
+{
+    ClusterNode node(0, xg2Node());
+    // More threads than the node has cores.
+    EXPECT_THROW(node.enqueue(job(1, 0.0, "CG", true, 1), 9, 0.0),
+                 FatalError);
+    // Out-of-order issue times.
+    node.enqueue(job(2, 5.0, "mcf"), 1, 5.0);
+    EXPECT_THROW(node.enqueue(job(3, 1.0, "mcf"), 1, 1.0),
+                 FatalError);
+    // Issue time in the node's past.
+    node.stepTo(50.0);
+    EXPECT_THROW(node.enqueue(job(4, 10.0, "mcf"), 1, 10.0),
+                 FatalError);
+}
+
+TEST(ClusterFleet, BuildersForkDistinctSamples)
+{
+    const auto uniform = uniformFleet(xGene3(), 4, 7);
+    ASSERT_EQ(uniform.size(), 4u);
+    for (const NodeConfig &nc : uniform)
+        EXPECT_EQ(nc.chip.name, "X-Gene 3");
+    EXPECT_NE(uniform[0].machineSeed, uniform[1].machineSeed);
+    EXPECT_NE(uniform[1].machineSeed, uniform[2].machineSeed);
+
+    const auto mixed = mixedFleet(4, 7);
+    ASSERT_EQ(mixed.size(), 4u);
+    EXPECT_EQ(mixed[0].chip.name, "X-Gene 3");
+    EXPECT_EQ(mixed[1].chip.name, "X-Gene 2");
+    EXPECT_EQ(mixed[2].chip.name, "X-Gene 3");
+
+    // Same seed, same fleet.
+    const auto again = mixedFleet(4, 7);
+    for (std::size_t i = 0; i < mixed.size(); ++i)
+        EXPECT_EQ(mixed[i].machineSeed, again[i].machineSeed);
+    EXPECT_THROW(uniformFleet(xGene3(), 0, 7), FatalError);
+}
+
+TEST(ClusterFleet, DistinctSamplesHaveDistinctHeadroom)
+{
+    // X-Gene 3 offsets are seed-derived: two samples almost surely
+    // differ in static headroom.
+    const auto fleet = uniformFleet(xGene3(), 2, 11);
+    const ClusterNode a(0, fleet[0]);
+    const ClusterNode b(1, fleet[1]);
+    EXPECT_NE(a.vminHeadroomMv(), b.vminHeadroomMv());
+}
+
+ClusterConfig
+smallCluster(DispatchPolicy policy, std::uint64_t seed = 7)
+{
+    ClusterConfig cc;
+    cc.nodes = mixedFleet(2, seed);
+    cc.dispatch = policy;
+    cc.traffic.duration = 60.0;
+    cc.traffic.arrivalsPerSecond = 0.05;
+    cc.traffic.seed = seed;
+    cc.drainBoundFactor = 20.0;
+    cc.jobs = 1;
+    return cc;
+}
+
+TEST(ClusterSim, ConservesJobs)
+{
+    const ClusterResult r =
+        ClusterSim(smallCluster(DispatchPolicy::LeastLoaded)).run();
+    EXPECT_EQ(r.numNodes, 2u);
+    EXPECT_GT(r.jobsSubmitted, 0u);
+    EXPECT_EQ(r.jobsSubmitted,
+              r.jobsCompleted + r.jobsLost + r.jobsDropped);
+    EXPECT_GT(r.makespan, 0.0);
+    EXPECT_GT(r.totalEnergy, 0.0);
+    EXPECT_GT(r.averagePower, 0.0);
+    ASSERT_EQ(r.nodes.size(), 2u);
+    std::uint64_t per_node = 0;
+    double node_energy = 0.0;
+    for (const NodeSummary &s : r.nodes) {
+        per_node += s.jobsCompleted;
+        node_energy += s.energy;
+    }
+    EXPECT_EQ(per_node, r.jobsCompleted);
+    EXPECT_NEAR(node_energy, r.totalEnergy, 1e-6);
+}
+
+TEST(ClusterSim, LatencyPercentilesAreOrdered)
+{
+    const ClusterResult r =
+        ClusterSim(smallCluster(DispatchPolicy::RoundRobin)).run();
+    ASSERT_GT(r.jobsCompleted, 0u);
+    EXPECT_GT(r.latencyP50, 0.0);
+    EXPECT_LE(r.latencyP50, r.latencyP95);
+    EXPECT_LE(r.latencyP95, r.latencyP99);
+    EXPECT_LE(r.latencyP99, r.latencyMax + 1e-9);
+}
+
+TEST(ClusterSim, SingleUse)
+{
+    ClusterSim sim(smallCluster(DispatchPolicy::RoundRobin));
+    sim.run();
+    EXPECT_THROW(sim.run(), FatalError);
+}
+
+TEST(ClusterSim, RejectsBadConfig)
+{
+    ClusterConfig cc = smallCluster(DispatchPolicy::RoundRobin);
+    cc.nodes.clear();
+    EXPECT_THROW(ClusterSim{cc}, FatalError);
+    cc = smallCluster(DispatchPolicy::RoundRobin);
+    cc.dispatchInterval = 0.0;
+    EXPECT_THROW(ClusterSim{cc}, FatalError);
+    cc = smallCluster(DispatchPolicy::RoundRobin);
+    cc.sloLatency = 0.0;
+    EXPECT_THROW(ClusterSim{cc}, FatalError);
+}
+
+TEST(ClusterSim, SummaryMentionsTheHeadlineNumbers)
+{
+    const ClusterResult r =
+        ClusterSim(smallCluster(DispatchPolicy::EnergyAware)).run();
+    std::ostringstream oss;
+    r.printSummary(oss);
+    const std::string text = oss.str();
+    EXPECT_NE(text.find("energy_aware"), std::string::npos);
+    EXPECT_NE(text.find("latency p99"), std::string::npos);
+    EXPECT_NE(text.find("X-Gene 2"), std::string::npos);
+    EXPECT_NE(text.find("X-Gene 3"), std::string::npos);
+    // No worker-count leakage: the summary is --jobs invariant.
+    EXPECT_EQ(text.find("worker"), std::string::npos);
+}
+
+TEST(ClusterSim, IdleSleepSavesEnergyForSparseLoad)
+{
+    // Same sparse stream with and without idle parking: parking
+    // must strictly reduce fleet energy.
+    ClusterConfig with = smallCluster(DispatchPolicy::EnergyAware);
+    ClusterConfig without = with;
+    without.idleSleep = false;
+    const ClusterResult a = ClusterSim(with).run();
+    const ClusterResult b = ClusterSim(without).run();
+    EXPECT_EQ(a.jobsCompleted, b.jobsCompleted);
+    EXPECT_LT(a.totalEnergy, b.totalEnergy);
+    Seconds parked_b = 0.0;
+    for (const NodeSummary &s : b.nodes)
+        parked_b += s.parkedTime;
+    EXPECT_DOUBLE_EQ(parked_b, 0.0);
+}
+
+} // namespace
+} // namespace ecosched

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the fleet dispatcher policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/dispatch.hh"
+#include "common/error.hh"
+
+namespace ecosched {
+namespace {
+
+NodeView
+view(std::uint32_t cores, std::uint32_t outstanding,
+     double headroom_mv = 0.0, bool alive = true)
+{
+    NodeView v;
+    v.alive = alive;
+    v.cores = cores;
+    v.outstandingThreads = outstanding;
+    v.headroomMv = headroom_mv;
+    return v;
+}
+
+ClusterJob
+serialJob()
+{
+    ClusterJob job;
+    job.id = 1;
+    job.benchmark = "mcf";
+    job.parallel = false;
+    return job;
+}
+
+ClusterJob
+parallelJob(std::uint32_t divisor)
+{
+    ClusterJob job;
+    job.id = 2;
+    job.benchmark = "CG";
+    job.parallel = true;
+    job.sizeDivisor = divisor;
+    return job;
+}
+
+TEST(Dispatch, NamesRoundTrip)
+{
+    EXPECT_STREQ(dispatchPolicyName(DispatchPolicy::RoundRobin),
+                 "round_robin");
+    EXPECT_STREQ(dispatchPolicyName(DispatchPolicy::LeastLoaded),
+                 "least_loaded");
+    EXPECT_STREQ(dispatchPolicyName(DispatchPolicy::EnergyAware),
+                 "energy_aware");
+    EXPECT_EQ(dispatchPolicyByName("round_robin"),
+              DispatchPolicy::RoundRobin);
+    EXPECT_EQ(dispatchPolicyByName("least_loaded"),
+              DispatchPolicy::LeastLoaded);
+    EXPECT_EQ(dispatchPolicyByName("energy_aware"),
+              DispatchPolicy::EnergyAware);
+    EXPECT_THROW(dispatchPolicyByName("bogus"), FatalError);
+}
+
+TEST(Dispatch, RoundRobinRotates)
+{
+    Dispatcher d(DispatchPolicy::RoundRobin);
+    const std::vector<NodeView> nodes = {view(8, 0), view(8, 0),
+                                         view(8, 0)};
+    EXPECT_EQ(d.choose(nodes, serialJob()), 0u);
+    EXPECT_EQ(d.choose(nodes, serialJob()), 1u);
+    EXPECT_EQ(d.choose(nodes, serialJob()), 2u);
+    EXPECT_EQ(d.choose(nodes, serialJob()), 0u);
+}
+
+TEST(Dispatch, RoundRobinSkipsDeadNodes)
+{
+    Dispatcher d(DispatchPolicy::RoundRobin);
+    const std::vector<NodeView> nodes = {
+        view(8, 0), view(8, 0, 0.0, false), view(8, 0)};
+    EXPECT_EQ(d.choose(nodes, serialJob()), 0u);
+    EXPECT_EQ(d.choose(nodes, serialJob()), 2u);
+    EXPECT_EQ(d.choose(nodes, serialJob()), 0u);
+}
+
+TEST(Dispatch, AllDeadReturnsNpos)
+{
+    for (DispatchPolicy p :
+         {DispatchPolicy::RoundRobin, DispatchPolicy::LeastLoaded,
+          DispatchPolicy::EnergyAware}) {
+        Dispatcher d(p);
+        const std::vector<NodeView> nodes = {
+            view(8, 0, 0.0, false), view(8, 0, 0.0, false)};
+        EXPECT_EQ(d.choose(nodes, serialJob()), Dispatcher::npos);
+    }
+}
+
+TEST(Dispatch, LeastLoadedPicksLowestRelativeLoad)
+{
+    Dispatcher d(DispatchPolicy::LeastLoaded);
+    // Loads: 4/8 = 0.5, 8/32 = 0.25, 20/32 = 0.625.
+    const std::vector<NodeView> nodes = {view(8, 4), view(32, 8),
+                                         view(32, 20)};
+    EXPECT_EQ(d.choose(nodes, serialJob()), 1u);
+}
+
+TEST(Dispatch, LeastLoadedTieBreaksToLowestId)
+{
+    Dispatcher d(DispatchPolicy::LeastLoaded);
+    const std::vector<NodeView> nodes = {view(8, 2), view(32, 8)};
+    EXPECT_EQ(d.choose(nodes, serialJob()), 0u);
+}
+
+TEST(Dispatch, EnergyAwarePacksAwakeNodeWithDeepestHeadroom)
+{
+    Dispatcher d(DispatchPolicy::EnergyAware);
+    // Node 0 parked (deep headroom), nodes 1-2 awake with room:
+    // prefer the awake node with the deepest headroom, not the
+    // parked one.
+    const std::vector<NodeView> nodes = {
+        view(32, 0, 99.0), view(32, 4, 50.0), view(32, 4, 70.0)};
+    EXPECT_EQ(d.choose(nodes, serialJob()), 2u);
+}
+
+TEST(Dispatch, EnergyAwareRespectsRoomForTheJob)
+{
+    Dispatcher d(DispatchPolicy::EnergyAware);
+    // Half-size job needs 16 threads on 32 cores: node 1 (awake,
+    // 20 outstanding) has no room, node 2 (awake, 10) does.
+    const std::vector<NodeView> nodes = {
+        view(32, 0, 99.0), view(32, 20, 80.0), view(32, 10, 40.0)};
+    EXPECT_EQ(d.choose(nodes, parallelJob(2)), 2u);
+}
+
+TEST(Dispatch, EnergyAwareWakesDeepestParkedNode)
+{
+    Dispatcher d(DispatchPolicy::EnergyAware);
+    // Everyone parked: wake the deepest-headroom node.
+    const std::vector<NodeView> nodes = {
+        view(32, 0, 40.0), view(32, 0, 75.0), view(32, 0, 60.0)};
+    EXPECT_EQ(d.choose(nodes, serialJob()), 1u);
+}
+
+TEST(Dispatch, EnergyAwareFallsBackWhenSaturated)
+{
+    Dispatcher d(DispatchPolicy::EnergyAware);
+    // No node has room for a full-size job: join the shortest
+    // relative queue (node 1: 33/32 < 40/32 < 50/32).
+    const std::vector<NodeView> nodes = {
+        view(32, 50, 90.0), view(32, 33, 10.0), view(32, 40, 60.0)};
+    EXPECT_EQ(d.choose(nodes, parallelJob(1)), 1u);
+}
+
+TEST(Dispatch, EmptyFleetIsFatal)
+{
+    Dispatcher d(DispatchPolicy::RoundRobin);
+    EXPECT_THROW(d.choose({}, serialJob()), FatalError);
+}
+
+} // namespace
+} // namespace ecosched

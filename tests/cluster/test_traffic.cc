@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the open-arrival traffic model: determinism, rate
+ * shaping, job sizing and load planning.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cluster/traffic.hh"
+#include "common/error.hh"
+
+namespace ecosched {
+namespace {
+
+TrafficConfig
+poissonConfig(std::uint64_t seed = 42, Seconds duration = 600.0)
+{
+    TrafficConfig cfg;
+    cfg.process = ArrivalProcess::Poisson;
+    cfg.duration = duration;
+    cfg.arrivalsPerSecond = 0.5;
+    cfg.seed = seed;
+    return cfg;
+}
+
+TEST(Traffic, DeterministicForSameSeed)
+{
+    const TrafficModel model(poissonConfig(7));
+    const auto a = model.generate();
+    const auto b = model.generate();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].arrival, b[i].arrival);
+        EXPECT_EQ(a[i].benchmark, b[i].benchmark);
+        EXPECT_EQ(a[i].sizeDivisor, b[i].sizeDivisor);
+    }
+}
+
+TEST(Traffic, DifferentSeedsDiffer)
+{
+    const auto a = TrafficModel(poissonConfig(1)).generate();
+    const auto b = TrafficModel(poissonConfig(2)).generate();
+    bool differ = a.size() != b.size();
+    for (std::size_t i = 0;
+         !differ && i < std::min(a.size(), b.size()); ++i) {
+        differ = a[i].arrival != b[i].arrival
+            || a[i].benchmark != b[i].benchmark;
+    }
+    EXPECT_TRUE(differ);
+}
+
+TEST(Traffic, ArrivalsAscendingIdsSequential)
+{
+    const auto jobs = TrafficModel(poissonConfig()).generate();
+    ASSERT_FALSE(jobs.empty());
+    EXPECT_GE(jobs.front().arrival, 0.0);
+    EXPECT_LT(jobs.back().arrival, 600.0);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(jobs[i].id, i + 1);
+        if (i > 0)
+            EXPECT_GE(jobs[i].arrival, jobs[i - 1].arrival);
+    }
+}
+
+TEST(Traffic, PoissonHitsTheMeanRate)
+{
+    // Long window: the realized count concentrates near rate*T.
+    TrafficConfig cfg = poissonConfig(3, 20000.0);
+    cfg.arrivalsPerSecond = 0.25;
+    const auto jobs = TrafficModel(cfg).generate();
+    const double expected = 0.25 * 20000.0;
+    EXPECT_NEAR(static_cast<double>(jobs.size()), expected,
+                4.0 * std::sqrt(expected));
+}
+
+TEST(Traffic, DiurnalRateShape)
+{
+    TrafficConfig cfg = poissonConfig();
+    cfg.process = ArrivalProcess::Diurnal;
+    cfg.diurnalAmplitude = 0.8;
+    const TrafficModel model(cfg);
+    // Trough at t = 0, peak at half the period (= duration / 2).
+    EXPECT_NEAR(model.rateAt(0.0), 0.5 * (1.0 - 0.8), 1e-9);
+    EXPECT_NEAR(model.rateAt(300.0), 0.5 * (1.0 + 0.8), 1e-9);
+    EXPECT_NEAR(model.rateAt(600.0), 0.5 * (1.0 - 0.8), 1e-9);
+    // The second half of the window is busier than the first.
+    const auto jobs = model.generate();
+    const auto mid = std::count_if(
+        jobs.begin(), jobs.end(),
+        [](const ClusterJob &j) { return j.arrival < 300.0; });
+    EXPECT_LT(mid, static_cast<long>(jobs.size()) - mid);
+}
+
+TEST(Traffic, PoolOnlyAndSizingRules)
+{
+    const auto jobs = TrafficModel(poissonConfig()).generate();
+    const Catalog &cat = Catalog::instance();
+    for (const ClusterJob &job : jobs) {
+        const BenchmarkProfile &p = cat.byName(job.benchmark);
+        EXPECT_NE(p.suite, Suite::Parsec) << job.benchmark;
+        EXPECT_EQ(p.parallel, job.parallel) << job.benchmark;
+        if (job.parallel) {
+            EXPECT_TRUE(job.sizeDivisor == 1 || job.sizeDivisor == 2
+                        || job.sizeDivisor == 4)
+                << job.benchmark;
+        } else {
+            EXPECT_EQ(job.sizeDivisor, 0u) << job.benchmark;
+        }
+    }
+}
+
+TEST(Traffic, ThreadsForJobResolvesPerNode)
+{
+    ClusterJob serial;
+    serial.parallel = false;
+    serial.sizeDivisor = 0;
+    EXPECT_EQ(threadsForJob(serial, 8), 1u);
+    EXPECT_EQ(threadsForJob(serial, 32), 1u);
+
+    ClusterJob half;
+    half.parallel = true;
+    half.sizeDivisor = 2;
+    EXPECT_EQ(threadsForJob(half, 32), 16u);
+    EXPECT_EQ(threadsForJob(half, 8), 4u);
+
+    ClusterJob quarter;
+    quarter.parallel = true;
+    quarter.sizeDivisor = 4;
+    // Never sized to zero, even on tiny nodes.
+    EXPECT_EQ(threadsForJob(quarter, 2), 1u);
+}
+
+TEST(Traffic, MeanCoreSecondsSupportsLoadPlanning)
+{
+    const TrafficModel model(poissonConfig());
+    const double mean32 = model.meanCoreSecondsPerJob(32);
+    const double mean8 = model.meanCoreSecondsPerJob(8);
+    EXPECT_GT(mean32, 0.0);
+    EXPECT_GT(mean8, 0.0);
+    // Parallel jobs occupy more cores on a bigger node.
+    EXPECT_GT(mean32, mean8);
+}
+
+TEST(Traffic, ConfigValidation)
+{
+    TrafficConfig cfg = poissonConfig();
+    cfg.duration = 0.0;
+    EXPECT_THROW(TrafficModel{cfg}, FatalError);
+    cfg = poissonConfig();
+    cfg.arrivalsPerSecond = -1.0;
+    EXPECT_THROW(TrafficModel{cfg}, FatalError);
+    cfg = poissonConfig();
+    cfg.process = ArrivalProcess::Diurnal;
+    cfg.diurnalAmplitude = 1.5;
+    EXPECT_THROW(TrafficModel{cfg}, FatalError);
+}
+
+TEST(Traffic, ProcessNames)
+{
+    EXPECT_STREQ(arrivalProcessName(ArrivalProcess::Poisson),
+                 "poisson");
+    EXPECT_STREQ(arrivalProcessName(ArrivalProcess::Diurnal),
+                 "diurnal");
+}
+
+} // namespace
+} // namespace ecosched

@@ -60,6 +60,56 @@ TEST(Histogram, CountInRange)
     EXPECT_EQ(h.countInRange(35.0, 65.0), 5u);
 }
 
+TEST(Histogram, QuantileEmptyIsZero)
+{
+    const Histogram h(0.0, 10.0, 10);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBin)
+{
+    // 100 samples in [0, 1): the q quantile sits at ~q within the
+    // bin's span.
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5, 100);
+    EXPECT_NEAR(h.quantile(0.5), 0.5, 1e-9);
+    EXPECT_NEAR(h.quantile(0.99), 0.99, 1e-9);
+    EXPECT_NEAR(h.quantile(1.0), 1.0, 1e-9);
+}
+
+TEST(Histogram, QuantileAcrossBins)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int v = 0; v < 100; ++v)
+        h.add(static_cast<double>(v) + 0.5);
+    // Uniform distribution: quantiles track the value range.
+    EXPECT_NEAR(h.quantile(0.50), 50.0, 1.0);
+    EXPECT_NEAR(h.quantile(0.95), 95.0, 1.0);
+    EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+    // Monotone in q.
+    EXPECT_LE(h.quantile(0.50), h.quantile(0.95));
+    EXPECT_LE(h.quantile(0.95), h.quantile(0.99));
+}
+
+TEST(Histogram, QuantilePinsOutOfRangeMass)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-5.0, 10); // underflow
+    h.add(5.0, 10);
+    h.add(50.0, 10); // overflow
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);   // underflow -> lo
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);  // overflow -> hi
+    EXPECT_NEAR(h.quantile(0.5), 5.5, 0.1);
+}
+
+TEST(Histogram, QuantileRejectsBadFraction)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.5);
+    EXPECT_THROW(h.quantile(-0.1), FatalError);
+    EXPECT_THROW(h.quantile(1.1), FatalError);
+}
+
 TEST(Histogram, ResetKeepsLayout)
 {
     Histogram h(0.0, 1.0, 2);

@@ -4,6 +4,11 @@
  * core-capacity guarantee, phase structure and runtime estimation.
  */
 
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/error.hh"
@@ -60,6 +65,69 @@ TEST(Generator, RespectsCoreCapacity)
     EXPECT_LE(wl.peakEstimatedThreads, wl.maxCores);
     for (const auto &item : wl.items)
         EXPECT_LE(item.threads, wl.maxCores);
+}
+
+TEST(Generator, CapacityInvariantAcrossSeedsAndChips)
+{
+    // §VI.B: "the number of active processes never exceeds the
+    // number of cores".  Check the generator's own peak estimate and
+    // an independent sweep-line reconstruction of concurrent thread
+    // demand (using the same runtime estimates the ledger uses, plus
+    // its 15% slack), across seeds and both chip sizes.
+    struct ChipCase
+    {
+        const char *name;
+        std::uint32_t cores;
+        double ghz;
+    };
+    const ChipCase chips[] = {{"X-Gene 2", 8, 2.4},
+                              {"X-Gene 3", 32, 3.0}};
+    for (const ChipCase &chip : chips) {
+        for (std::uint64_t seed : {1, 2, 3, 5, 8, 13, 21}) {
+            GeneratorConfig cfg;
+            cfg.duration = 1800.0;
+            cfg.maxCores = chip.cores;
+            cfg.seed = seed;
+            cfg.chipName = chip.name;
+            cfg.referenceFrequency = units::GHz(chip.ghz);
+            const WorkloadGenerator gen(cfg);
+            const GeneratedWorkload wl = gen.generate();
+            EXPECT_LE(wl.peakEstimatedThreads, chip.cores)
+                << chip.name << " seed " << seed;
+
+            // Sweep-line over (start, +threads) / (end, -threads)
+            // events; ends sort before starts at equal times.
+            std::vector<std::pair<double, std::int64_t>> events;
+            const Catalog &cat = Catalog::instance();
+            for (const auto &item : wl.items) {
+                EXPECT_LE(item.threads, chip.cores)
+                    << chip.name << " seed " << seed;
+                const Seconds est = gen.estimateRuntime(
+                    cat.byName(item.benchmark), item.threads);
+                events.emplace_back(item.arrival,
+                                    static_cast<std::int64_t>(
+                                        item.threads));
+                events.emplace_back(
+                    item.arrival + est * 1.15,
+                    -static_cast<std::int64_t>(item.threads));
+            }
+            std::sort(events.begin(), events.end(),
+                      [](const auto &a, const auto &b) {
+                          if (a.first != b.first)
+                              return a.first < b.first;
+                          return a.second < b.second;
+                      });
+            std::int64_t active = 0;
+            std::int64_t peak = 0;
+            for (const auto &[t, delta] : events) {
+                active += delta;
+                peak = std::max(peak, active);
+            }
+            EXPECT_LE(peak,
+                      static_cast<std::int64_t>(chip.cores))
+                << chip.name << " seed " << seed;
+        }
+    }
 }
 
 TEST(Generator, ArrivalsSortedWithinWindow)

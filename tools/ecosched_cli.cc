@@ -13,9 +13,13 @@
  *                                       replay under a policy
  *   eval <chip> <duration_s> <seed>     replay under all four
  *                                       policies (in parallel)
+ *   cluster <nodes> <policy> <duration_s> <seed>
+ *                                       simulate a heterogeneous
+ *                                       fleet under open arrivals
  *
  * Chips: xgene2 | xgene3.  Policies: baseline | safevmin |
- * placement | optimal.  The global option `--jobs N` (or the
+ * placement | optimal.  Dispatch policies (cluster): round_robin |
+ * least_loaded | energy_aware.  The global option `--jobs N` (or the
  * ECOSCHED_JOBS environment variable) sets the experiment engine's
  * worker count; results are bit-identical for every N.
  */
@@ -34,23 +38,40 @@ using namespace ecosched;
 
 namespace {
 
+void
+printUsage(std::ostream &os)
+{
+    os << "usage:\n"
+          "  ecosched chips\n"
+          "  ecosched benchmarks [xgene2|xgene3]\n"
+          "  ecosched table <chip> [guardband_mv] [out_file]\n"
+          "  ecosched characterize <chip> <benchmark> <threads> "
+          "<clustered|spreaded> [freq_ghz]\n"
+          "  ecosched generate <chip> <duration_s> <seed>\n"
+          "  ecosched run <chip> <policy> <duration_s> <seed> "
+          "[timeline.csv]\n"
+          "  ecosched eval <chip> <duration_s> <seed>\n"
+          "  ecosched cluster <nodes> <dispatch> <duration_s> <seed>\n"
+          "chips: xgene2 | xgene3\n"
+          "policies: baseline | safevmin | placement | optimal\n"
+          "dispatch: round_robin | least_loaded | energy_aware\n"
+          "global options: --jobs N (parallel experiment workers; "
+          "also ECOSCHED_JOBS), --help\n";
+}
+
 int
 usage()
 {
-    std::cerr
-        << "usage:\n"
-           "  ecosched chips\n"
-           "  ecosched benchmarks [xgene2|xgene3]\n"
-           "  ecosched table <chip> [guardband_mv] [out_file]\n"
-           "  ecosched characterize <chip> <benchmark> <threads> "
-           "<clustered|spreaded> [freq_ghz]\n"
-           "  ecosched generate <chip> <duration_s> <seed>\n"
-           "  ecosched run <chip> <policy> <duration_s> <seed> "
-           "[timeline.csv]\n"
-           "  ecosched eval <chip> <duration_s> <seed>\n"
-           "global options: --jobs N (parallel experiment workers; "
-           "also ECOSCHED_JOBS)\n";
+    printUsage(std::cerr);
     return 2;
+}
+
+/// Named-argument complaint + usage, e.g. missing operands.
+int
+usageError(const std::string &message)
+{
+    std::cerr << "error: " << message << "\n";
+    return usage();
 }
 
 ChipSpec
@@ -289,14 +310,54 @@ cmdRun(const ChipSpec &chip, PolicyKind policy, Seconds duration,
     return 0;
 }
 
+int
+cmdCluster(std::size_t nodes, DispatchPolicy dispatch,
+           Seconds duration, std::uint64_t seed, unsigned jobs)
+{
+    ClusterConfig cc;
+    cc.nodes = mixedFleet(nodes, seed);
+    cc.dispatch = dispatch;
+    cc.traffic.duration = duration;
+    cc.traffic.seed = seed;
+    cc.jobs = jobs;
+
+    // Offer the same moderate load per unit of fleet capacity
+    // regardless of fleet size, so policies and sizes compare
+    // apples-to-apples.
+    const double occupancy = 0.4;
+    const TrafficModel planner(cc.traffic);
+    double rate = 0.0;
+    for (const NodeConfig &nc : cc.nodes) {
+        rate += occupancy
+            * static_cast<double>(nc.chip.numCores)
+            / planner.meanCoreSecondsPerJob(nc.chip.numCores);
+    }
+    cc.traffic.arrivalsPerSecond = rate;
+
+    ClusterSim sim(std::move(cc));
+    // Worker count goes to stderr: the stdout summary is
+    // bit-identical for every --jobs value.
+    std::cerr << "(" << sim.jobs() << " worker"
+              << (sim.jobs() == 1 ? "" : "s") << ")\n";
+    sim.run().printSummary(std::cout);
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--help") == 0
+            || std::strcmp(argv[i], "-h") == 0) {
+            printUsage(std::cout);
+            return 0;
+        }
+    }
     const unsigned jobs = stripJobsFlag(argc, argv);
     if (argc < 2)
-        return usage();
+        return usageError("missing subcommand");
     const std::string cmd = argv[1];
     try {
         if (cmd == "chips")
@@ -307,14 +368,16 @@ main(int argc, char **argv)
         }
         if (cmd == "table") {
             if (argc < 3)
-                return usage();
+                return usageError("table: missing <chip>");
             return cmdTable(chipByName(argv[2]),
                             argc > 3 ? std::atof(argv[3]) : 0.0,
                             argc > 4 ? argv[4] : "");
         }
         if (cmd == "characterize") {
             if (argc < 6)
-                return usage();
+                return usageError(
+                    "characterize: needs <chip> <benchmark> "
+                    "<threads> <clustered|spreaded>");
             const ChipSpec chip = chipByName(argv[2]);
             const Allocation alloc =
                 std::strcmp(argv[5], "clustered") == 0
@@ -330,14 +393,16 @@ main(int argc, char **argv)
         }
         if (cmd == "generate") {
             if (argc < 5)
-                return usage();
+                return usageError(
+                    "generate: needs <chip> <duration_s> <seed>");
             return cmdGenerate(
                 chipByName(argv[2]), std::atof(argv[3]),
                 static_cast<std::uint64_t>(std::atoll(argv[4])));
         }
         if (cmd == "eval") {
             if (argc < 5)
-                return usage();
+                return usageError(
+                    "eval: needs <chip> <duration_s> <seed>");
             return cmdEval(
                 chipByName(argv[2]), std::atof(argv[3]),
                 static_cast<std::uint64_t>(std::atoll(argv[4])),
@@ -345,16 +410,32 @@ main(int argc, char **argv)
         }
         if (cmd == "run") {
             if (argc < 6)
-                return usage();
+                return usageError("run: needs <chip> <policy> "
+                                  "<duration_s> <seed>");
             return cmdRun(
                 chipByName(argv[2]), policyByName(argv[3]),
                 std::atof(argv[4]),
                 static_cast<std::uint64_t>(std::atoll(argv[5])),
                 argc > 6 ? argv[6] : "");
         }
+        if (cmd == "cluster") {
+            if (argc < 6)
+                return usageError("cluster: needs <nodes> "
+                                  "<dispatch> <duration_s> <seed>");
+            const long n = std::atol(argv[2]);
+            if (n < 1)
+                return usageError(
+                    std::string("cluster: invalid node count '")
+                    + argv[2] + "'");
+            return cmdCluster(
+                static_cast<std::size_t>(n),
+                dispatchPolicyByName(argv[3]), std::atof(argv[4]),
+                static_cast<std::uint64_t>(std::atoll(argv[5])),
+                jobs);
+        }
     } catch (const FatalError &e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;
     }
-    return usage();
+    return usageError("unknown subcommand '" + cmd + "'");
 }
