@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Step-throughput microbenchmark of the simulation kernel.
+ *
+ * Measures virtual steps per wall-clock second of the Machine hot
+ * path for both chip presets at idle / half / full occupancy, on two
+ * stepping paths:
+ *
+ *  - fixed: back-to-back Machine::step(dt) calls — what every bench
+ *    and the ScenarioRunner drive;
+ *  - macro: Machine::runUntil(t, dt) — the adaptive macro-stepping
+ *    path, which collapses uniform stretches of steps into a cheap
+ *    scalar replay while remaining bit-identical to the fixed path.
+ *
+ * Emits machine-readable JSON (schema `ecosched.step_throughput/1`,
+ * documented in EXPERIMENTS.md) to BENCH_step_throughput.json and to
+ * stdout, so CI can compare runs against a committed baseline.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ecosched/ecosched.hh"
+
+using namespace ecosched;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One measured configuration.
+struct Result
+{
+    std::string chip;
+    std::string occupancy;
+    std::uint32_t threads = 0;
+    std::string path; ///< "fixed" or "macro"
+    std::uint64_t virtualSteps = 0;
+    double wallSec = 0.0;
+
+    double stepsPerSec() const
+    {
+        return wallSec > 0.0
+            ? static_cast<double>(virtualSteps) / wallSec
+            : 0.0;
+    }
+
+    double nsPerStep() const
+    {
+        return virtualSteps > 0
+            ? wallSec * 1e9 / static_cast<double>(virtualSteps)
+            : 0.0;
+    }
+};
+
+/// Mixed compute/memory profile so the contention solver and the
+/// full power decomposition are exercised each step.
+WorkProfile
+benchProfile()
+{
+    WorkProfile p;
+    p.cpiBase = 1.0;
+    p.l3Apki = 10.0;
+    p.dramApki = 2.0;
+    p.mlp = 2.0;
+    return p;
+}
+
+Machine
+makeMachine(const ChipSpec &chip, std::uint32_t threads)
+{
+    Machine machine(chip);
+    // Enough work that no thread retires during the measurement.
+    const Instructions work = 1'000'000'000'000'000ull;
+    for (CoreId c :
+         threads == 0
+             ? std::vector<CoreId>{}
+             : allocateCores(chip.numCores, threads,
+                             Allocation::Spreaded)) {
+        machine.startThread(benchProfile(), work, c);
+    }
+    return machine;
+}
+
+/// Wall seconds to execute @p steps virtual steps on one path.
+double
+measure(const ChipSpec &chip, std::uint32_t threads, bool macro,
+        Seconds dt, std::uint64_t steps)
+{
+    Machine machine = makeMachine(chip, threads);
+    machine.runUntil(100.0 * dt, dt); // warm caches and thermal
+    const auto begin = Clock::now();
+    if (macro) {
+        machine.runUntil(machine.now()
+                             + static_cast<double>(steps) * dt,
+                         dt);
+    } else {
+        for (std::uint64_t i = 0; i < steps; ++i)
+            machine.step(dt);
+    }
+    const auto end = Clock::now();
+    return std::chrono::duration<double>(end - begin).count();
+}
+
+/// Pick a step count targeting ~@p budget wall seconds per case.
+std::uint64_t
+calibrate(const ChipSpec &chip, std::uint32_t threads, Seconds dt,
+          double budget)
+{
+    const std::uint64_t probe = 2000;
+    const double t =
+        measure(chip, threads, /*macro=*/false, dt, probe);
+    if (t <= 0.0)
+        return probe * 100;
+    const auto steps = static_cast<std::uint64_t>(
+        budget / t * static_cast<double>(probe));
+    return std::clamp<std::uint64_t>(steps, probe, 50'000'000);
+}
+
+std::string
+toJson(const std::vector<Result> &results, Seconds dt)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "{\n  \"schema\": \"ecosched.step_throughput/1\",\n"
+       << "  \"dt_sec\": " << dt << ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const Result &r = results[i];
+        os << "    {\"chip\": \"" << r.chip << "\", \"occupancy\": \""
+           << r.occupancy << "\", \"threads\": " << r.threads
+           << ", \"path\": \"" << r.path << "\", \"virtual_steps\": "
+           << r.virtualSteps << ", \"wall_sec\": " << r.wallSec
+           << ", \"steps_per_sec\": " << r.stepsPerSec()
+           << ", \"ns_per_step\": " << r.nsPerStep() << "}"
+           << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out = "BENCH_step_throughput.json";
+    double budget = 0.3;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            budget = 0.05;
+        } else if (arg == "--out" && i + 1 < argc) {
+            out = argv[++i];
+        } else {
+            std::cerr << "usage: " << argv[0]
+                      << " [--quick] [--out FILE]\n";
+            return 2;
+        }
+    }
+
+    const Seconds dt = units::ms(1);
+    const std::vector<ChipSpec> chips{xGene2(), xGene3()};
+    std::vector<Result> results;
+    for (const ChipSpec &chip : chips) {
+        const std::vector<std::pair<std::string, std::uint32_t>>
+            occupancies{{"idle", 0},
+                        {"half", chip.numCores / 2},
+                        {"full", chip.numCores}};
+        for (const auto &[name, threads] : occupancies) {
+            const std::uint64_t steps =
+                calibrate(chip, threads, dt, budget);
+            for (const bool macro : {false, true}) {
+                Result r;
+                r.chip = chip.name;
+                r.occupancy = name;
+                r.threads = threads;
+                r.path = macro ? "macro" : "fixed";
+                r.virtualSteps = steps;
+                r.wallSec = measure(chip, threads, macro, dt, steps);
+                results.push_back(r);
+            }
+        }
+    }
+
+    const std::string json = toJson(results, dt);
+    std::cout << json;
+    std::ofstream file(out);
+    file << json;
+    if (!file) {
+        std::cerr << "failed to write " << out << "\n";
+        return 1;
+    }
+    return 0;
+}

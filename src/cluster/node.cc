@@ -68,20 +68,42 @@ ClusterNode::stepTo(Seconds t, bool parked)
     const Joule meter_before = mach->energyMeter().energy();
     const Seconds time_before = sys->now();
 
-    while (alive() && sys->now() + cfg.timestep * 0.5 < t) {
-        while (!inbox.empty()
-               && inbox.front().arrival
-                   <= sys->now() + cfg.timestep * 0.5) {
-            const Pending &p = inbox.front();
-            const Pid pid = sys->submit(
-                catalog.byName(p.job.benchmark), p.threads);
-            inFlight[pid] = {p.job.id, p.job.arrival, p.threads};
-            inbox.pop_front();
+    if (mach->macroEligible()) {
+        // Fast path (no fault injection, so the node cannot halt
+        // mid-span): run segment-wise between arrival boundaries and
+        // let System::runUntil coalesce macro windows.  runUntil
+        // stops exactly at the first step whose start time makes the
+        // next arrival due — the same boundary the per-step loop's
+        // submit check uses — so submissions are bit-identical.
+        while (sys->now() + cfg.timestep * 0.5 < t) {
+            while (!inbox.empty()
+                   && inbox.front().arrival
+                       <= sys->now() + cfg.timestep * 0.5) {
+                const Pending &p = inbox.front();
+                const Pid pid = sys->submit(
+                    catalog.byName(p.job.benchmark), p.threads);
+                inFlight[pid] = {p.job.id, p.job.arrival, p.threads};
+                inbox.pop_front();
+            }
+            const Seconds segment_end = inbox.empty()
+                ? t : std::min(t, inbox.front().arrival);
+            sys->runUntil(segment_end);
+            if (segment_end >= t)
+                break;
         }
-        sys->step();
-        busyCoreSeconds +=
-            static_cast<double>(mach->busyCores().size())
-            * cfg.timestep;
+    } else {
+        while (alive() && sys->now() + cfg.timestep * 0.5 < t) {
+            while (!inbox.empty()
+                   && inbox.front().arrival
+                       <= sys->now() + cfg.timestep * 0.5) {
+                const Pending &p = inbox.front();
+                const Pid pid = sys->submit(
+                    catalog.byName(p.job.benchmark), p.threads);
+                inFlight[pid] = {p.job.id, p.job.arrival, p.threads};
+                inbox.pop_front();
+            }
+            sys->step();
+        }
     }
 
     if (parked) {
@@ -136,7 +158,7 @@ ClusterNode::utilization() const
     const Seconds awake = sys->now() - parkedSeconds;
     if (awake <= 0.0)
         return 0.0;
-    return busyCoreSeconds
+    return sys->busyCoreTime()
         / (static_cast<double>(cfg.chip.numCores) * awake);
 }
 

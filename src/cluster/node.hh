@@ -156,7 +156,6 @@ class ClusterNode
         inFlight;
     std::size_t harvested = 0; ///< finishedProcesses() consumed
 
-    double busyCoreSeconds = 0.0;
     Seconds parkedSeconds = 0.0;
     Joule parkedMeterJoules = 0.0;
 };

@@ -94,4 +94,17 @@ fatalIf(bool condition, Args &&...args)
                                       + #cond + ": " + (msg));            \
     } while (0)
 
+/**
+ * Assert an *expensive* internal invariant: compiled out under NDEBUG
+ * (Release/RelWithDebInfo) so hot-path verification — recomputing a
+ * cached value, rebuilding an incrementally maintained count — costs
+ * nothing in optimized builds while the Debug/sanitizer CI jobs still
+ * exercise it on every step.
+ */
+#ifdef NDEBUG
+#define ECOSCHED_DEBUG_ASSERT(cond, msg) ((void)0)
+#else
+#define ECOSCHED_DEBUG_ASSERT(cond, msg) ECOSCHED_ASSERT(cond, msg)
+#endif
+
 #endif // ECOSCHED_COMMON_ERROR_HH

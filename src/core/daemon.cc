@@ -37,6 +37,10 @@ class DaemonGovernor : public Governor
     explicit DaemonGovernor(Daemon &daemon) : owner(daemon) {}
     const char *name() const override { return "ecosched-daemon"; }
     void tick(System &) override { owner.tick(); }
+    bool wouldAct(const System &) const override
+    {
+        return owner.wouldTick();
+    }
 
   private:
     Daemon &owner;
@@ -263,6 +267,13 @@ Daemon::placeNewProcess(const Process &process, std::uint32_t threads)
     logDebug("daemon: admit pid ", process.pid, " (",
              workloadClassName(np.cls), ", ", threads, "T)");
     return it->second;
+}
+
+bool
+Daemon::wouldTick() const
+{
+    return !(lastMonitorRun >= 0.0 &&
+             sys.now() - lastMonitorRun < cfg.samplingInterval);
 }
 
 void

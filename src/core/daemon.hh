@@ -148,6 +148,11 @@ class Daemon
     /// Governor-tick hook: runs the monitoring part.
     void tick();
 
+    /// Whether the next tick() would pass the sampling-interval
+    /// throttle (the governor adapter's quiescence predicate for
+    /// macro-stepped execution).
+    bool wouldTick() const;
+
     /// Placement-policy hook: admit a new process.
     std::vector<CoreId> placeNewProcess(const Process &process,
                                         std::uint32_t threads);

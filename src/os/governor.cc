@@ -42,6 +42,13 @@ OndemandGovernor::tick(System &system)
     }
 }
 
+bool
+OndemandGovernor::wouldAct(const System &system) const
+{
+    return !(lastRun >= 0.0
+             && system.now() - lastRun < cfg.samplingPeriod);
+}
+
 SchedutilGovernor::SchedutilGovernor(Config config)
     : cfg(config)
 {
@@ -71,6 +78,13 @@ SchedutilGovernor::tick(System &system)
     }
 }
 
+bool
+SchedutilGovernor::wouldAct(const System &system) const
+{
+    return !(lastRun >= 0.0
+             && system.now() - lastRun < cfg.samplingPeriod);
+}
+
 void
 PerformanceGovernor::tick(System &system)
 {
@@ -84,6 +98,16 @@ PerformanceGovernor::tick(System &system)
     }
 }
 
+bool
+PerformanceGovernor::wouldAct(const System &system) const
+{
+    const ChipSpec &spec = system.spec();
+    for (PmdId p = 0; p < spec.numPmds(); ++p)
+        if (system.machine().chip().pmdFrequency(p) != spec.fMax)
+            return true;
+    return false;
+}
+
 void
 PowersaveGovernor::tick(System &system)
 {
@@ -95,6 +119,18 @@ PowersaveGovernor::tick(System &system)
                                                   spec.freqStep());
         }
     }
+}
+
+bool
+PowersaveGovernor::wouldAct(const System &system) const
+{
+    const ChipSpec &spec = system.spec();
+    for (PmdId p = 0; p < spec.numPmds(); ++p)
+        if (system.machine().chip().pmdFrequency(p)
+                != spec.freqStep()) {
+            return true;
+        }
+    return false;
 }
 
 } // namespace ecosched

@@ -36,6 +36,8 @@ class OndemandGovernor : public Governor
 
     const char *name() const override { return "ondemand"; }
     void tick(System &system) override;
+    /// Quiescent while the sampling-period throttle holds.
+    bool wouldAct(const System &system) const override;
 
   private:
     Config cfg;
@@ -50,6 +52,8 @@ class PerformanceGovernor : public Governor
   public:
     const char *name() const override { return "performance"; }
     void tick(System &system) override;
+    /// Quiescent once every PMD sits at fmax.
+    bool wouldAct(const System &system) const override;
 };
 
 /**
@@ -60,6 +64,8 @@ class PowersaveGovernor : public Governor
   public:
     const char *name() const override { return "powersave"; }
     void tick(System &system) override;
+    /// Quiescent once every PMD sits at the lowest ladder step.
+    bool wouldAct(const System &system) const override;
 };
 
 /**
@@ -84,6 +90,8 @@ class SchedutilGovernor : public Governor
 
     const char *name() const override { return "schedutil"; }
     void tick(System &system) override;
+    /// Quiescent while the sampling-period throttle holds.
+    bool wouldAct(const System &system) const override;
 
   private:
     Config cfg;
@@ -99,6 +107,7 @@ class UserspaceGovernor : public Governor
   public:
     const char *name() const override { return "userspace"; }
     void tick(System &) override {}
+    bool wouldAct(const System &) const override { return false; }
 };
 
 } // namespace ecosched

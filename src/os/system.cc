@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <utility>
 
 #include "common/error.hh"
@@ -302,6 +303,8 @@ System::step()
 
     harvestFinishedThreads();
     tryPlaceQueued();
+    busyCoreSeconds +=
+        static_cast<double>(node.numBusyCores()) * cfg.timestep;
 }
 
 void
@@ -363,11 +366,54 @@ System::tryPlaceQueued()
     }
 }
 
+bool
+System::macroAdvance(Seconds t, Seconds fatal_bound)
+{
+    if (!node.macroEligible() || !runQueue.empty())
+        return false;
+
+    // No process can finish or be placed inside a macro window (the
+    // machine guarantees no thread finishes and the run queue is
+    // empty), so harvestFinishedThreads()/tryPlaceQueued() are
+    // no-ops there; only the governor tick and the utilization EWMA
+    // need interleaving.
+    struct Hooks final : Machine::MacroStepHooks
+    {
+        System &s;
+        Seconds bound;
+
+        Hooks(System &system, Seconds b) : s(system), bound(b) {}
+
+        bool beforeStep() override
+        {
+            if (bound >= 0.0 && s.now() > bound)
+                return false; // drain()'s fatalIf must fire here
+            return !s.freqGovernor->wouldAct(s);
+        }
+
+        void afterStep() override
+        {
+            for (CoreId c = 0; c < s.spec().numCores; ++c) {
+                const double busy = s.node.coreBusy(c) ? 1.0 : 0.0;
+                s.coreUtil[c] = s.cfg.utilizationAlpha * busy
+                    + (1.0 - s.cfg.utilizationAlpha) * s.coreUtil[c];
+            }
+            s.busyCoreSeconds +=
+                static_cast<double>(s.node.numBusyCores())
+                * s.cfg.timestep;
+        }
+    } hooks{*this, fatal_bound};
+
+    return node.macroAdvance(t, cfg.timestep, &hooks) > 0;
+}
+
 void
 System::runUntil(Seconds t)
 {
-    while (now() + cfg.timestep * 0.5 < t)
-        step();
+    while (now() + cfg.timestep * 0.5 < t) {
+        if (!macroAdvance(t, -1.0))
+            step();
+    }
 }
 
 void
@@ -377,7 +423,10 @@ System::drain(Seconds max_time)
         fatalIf(now() > max_time,
                 "drain() exceeded its time bound of ", max_time,
                 " s with ", pendingCount(), " processes pending");
-        step();
+        if (!macroAdvance(std::numeric_limits<Seconds>::infinity(),
+                          max_time)) {
+            step();
+        }
     }
 }
 

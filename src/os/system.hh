@@ -64,6 +64,19 @@ class Governor
 
     /// Periodic hook; inspect the system and program the SlimPro.
     virtual void tick(System &system) = 0;
+
+    /**
+     * Whether the next tick() could observe or change anything —
+     * i.e. is NOT provably a no-op.  runUntil()'s macro-stepped fast
+     * path coalesces steps only across spans where every governor
+     * tick is quiescent; the conservative default forces a full
+     * step.  Must not mutate governor state.
+     */
+    virtual bool wouldAct(const System &system) const
+    {
+        (void)system;
+        return true;
+    }
 };
 
 /// System construction knobs.
@@ -176,6 +189,10 @@ class System
     /// EWMA utilization of a PMD (max of its cores).
     double pmdUtilization(PmdId pmd) const;
 
+    /// Cumulative busy-core time over all completed steps,
+    /// measured after end-of-step placements [core-seconds].
+    Seconds busyCoreTime() const { return busyCoreSeconds; }
+
     /// Idle cores right now.
     std::vector<CoreId> freeCores() const;
 
@@ -188,6 +205,14 @@ class System
     bool placeProcess(Process &proc);
     void harvestFinishedThreads();
     void publish(const ProcessEvent &event);
+    /**
+     * Try one machine-level macro window toward @p t, replaying the
+     * utilization EWMA per step and vetoing steps where the governor
+     * would act.  @p fatal_bound mirrors drain()'s time bound inside
+     * the window (negative: unbounded).  Returns false when no step
+     * could be coalesced — the caller takes a full step().
+     */
+    bool macroAdvance(Seconds t, Seconds fatal_bound);
 
     Machine &node;
     std::unique_ptr<PlacementPolicy> placer;
@@ -200,6 +225,7 @@ class System
     std::vector<Process> finished;      ///< completed processes
     std::map<SimThreadId, Pid> threadOwner;
     std::vector<double> coreUtil;       ///< EWMA per core
+    Seconds busyCoreSeconds = 0.0;      ///< post-step busy integral
     std::vector<std::function<void(const ProcessEvent &)>> observers;
 };
 

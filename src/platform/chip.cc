@@ -24,6 +24,8 @@ Chip::setVoltage(Volt v)
             chipSpec.name, ": voltage ", units::toMilliVolts(v),
             " mV outside [", units::toMilliVolts(chipSpec.vFloor),
             ", ", units::toMilliVolts(chipSpec.vNominal), "] mV");
+    if (supplyVoltage != v)
+        ++epoch;
     supplyVoltage = v;
 }
 
@@ -41,6 +43,8 @@ Chip::setPmdFrequency(PmdId pmd, Hertz f)
     fatalIf(!chipSpec.onLadder(f),
             chipSpec.name, ": ", units::toGHz(f),
             " GHz is not a ladder frequency");
+    if (pmdFreq[pmd] != f)
+        ++epoch;
     pmdFreq[pmd] = f;
 }
 
@@ -62,6 +66,8 @@ void
 Chip::setPmdClockGated(PmdId pmd, bool gated)
 {
     checkPmd(pmd);
+    if (pmdGated[pmd] != gated)
+        ++epoch;
     pmdGated[pmd] = gated;
 }
 
@@ -99,6 +105,7 @@ Chip::reset()
     supplyVoltage = chipSpec.vNominal;
     std::fill(pmdFreq.begin(), pmdFreq.end(), chipSpec.fMax);
     std::fill(pmdGated.begin(), pmdGated.end(), false);
+    ++epoch; // conservative: invalidate epoch-keyed caches
 }
 
 void

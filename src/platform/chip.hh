@@ -64,6 +64,15 @@ class Chip
     /// Frequency seen by a core (its PMD's frequency; 0 when gated).
     Hertz coreFrequency(CoreId core) const;
 
+    /**
+     * State-version counter: bumped whenever the voltage, a PMD
+     * frequency, or a gating flag actually changes (no-op writes do
+     * not count).  Hot-path caches key derived quantities (power,
+     * safe Vmin) on this epoch instead of re-reading the whole
+     * V/F state.
+     */
+    std::uint64_t stateEpoch() const { return epoch; }
+
     /// Number of PMDs whose clock is currently running (not gated).
     std::uint32_t numActivePmds() const;
 
@@ -80,6 +89,7 @@ class Chip
     Volt supplyVoltage;
     std::vector<Hertz> pmdFreq;
     std::vector<bool> pmdGated;
+    std::uint64_t epoch = 0;
 };
 
 } // namespace ecosched

@@ -145,4 +145,33 @@ PowerModel::totalPower(const Chip &chip,
     return pb;
 }
 
+const PowerBreakdown &
+PowerCache::evaluate(const PowerModel &model, const Chip &chip,
+                     const std::vector<CoreActivity> &core_activity,
+                     const UncoreActivity &uncore,
+                     std::uint64_t version_pre,
+                     std::uint64_t version_post,
+                     std::uint32_t stalled, Seconds dt)
+{
+    if (valid && keyEpoch == chip.stateEpoch()
+            && keyVersionPre == version_pre
+            && keyVersionPost == version_post
+            && keyStalled == stalled && keyDt == dt) {
+        ECOSCHED_DEBUG_ASSERT(
+            keyUncore == uncore && keyActivity == core_activity,
+            "power step key matched a different activity set");
+        return value;
+    }
+    value = model.totalPower(chip, core_activity, uncore);
+    keyEpoch = chip.stateEpoch();
+    keyVersionPre = version_pre;
+    keyVersionPost = version_post;
+    keyStalled = stalled;
+    keyDt = dt;
+    keyUncore = uncore;
+    keyActivity = core_activity;
+    valid = true;
+    return value;
+}
+
 } // namespace ecosched

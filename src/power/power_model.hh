@@ -22,6 +22,7 @@
 #ifndef ECOSCHED_POWER_POWER_MODEL_HH
 #define ECOSCHED_POWER_POWER_MODEL_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "common/units.hh"
@@ -40,6 +41,9 @@ struct CoreActivity
      * (~1.1-1.3); stall-heavy memory-bound code lower (~0.6-0.8).
      */
     double switchingFactor = 1.0;
+
+    friend bool operator==(const CoreActivity &,
+                           const CoreActivity &) = default;
 };
 
 /// Chip-wide uncore activity inputs for one evaluation instant.
@@ -47,6 +51,9 @@ struct UncoreActivity
 {
     double l3AccessesPerSec = 0.0;   ///< L3 lookups per second
     double dramAccessesPerSec = 0.0; ///< memory-controller accesses/s
+
+    friend bool operator==(const UncoreActivity &,
+                           const UncoreActivity &) = default;
 };
 
 /// Decomposed power result.
@@ -127,6 +134,62 @@ class PowerModel
   private:
     ChipSpec chipSpec;
     PowerParams modelParams;
+};
+
+/**
+ * Memoizes PowerModel::totalPower behind an O(1) step key: the
+ * chip's state epoch (bumped only when voltage, a PMD frequency, or
+ * a gate actually changes), the machine's thread-set version sampled
+ * both *before and after* the step's execute phase, the stalled
+ * count, and the step length.  Those values pin the per-core
+ * activity and uncore access rates exactly:
+ *
+ *  - steady steps of one version run share (V, V) and retire
+ *    identical per-step work, hence identical activity;
+ *  - a step that hits a finish or phase boundary — and hence
+ *    produces a different utilization — bumps the version during
+ *    execute, giving it the unique pair (V, V') with V' > V (only
+ *    one step can ever depart version V);
+ *  - the stalled subset is a threshold family determined by its
+ *    count, and all rates divide by dt.
+ *
+ * In steady state the per-step power evaluation collapses to five
+ * scalar compares.  Debug builds verify the pinned inputs on every
+ * hit (ECOSCHED_DEBUG_ASSERT).
+ *
+ * The cached value is the raw model output — callers that post-scale
+ * (e.g. thermal leakage) must copy, not mutate in place.
+ */
+class PowerCache
+{
+  public:
+    /**
+     * Evaluate (or replay) the breakdown for the given inputs.
+     * @p version_pre / @p version_post are the thread-set version
+     * before and after the caller's execute phase; @p stalled is
+     * sampled pre-execute; @p dt is the step length whose rates
+     * @p core_activity and @p uncore reflect.
+     */
+    const PowerBreakdown &evaluate(
+        const PowerModel &model, const Chip &chip,
+        const std::vector<CoreActivity> &core_activity,
+        const UncoreActivity &uncore,
+        std::uint64_t version_pre, std::uint64_t version_post,
+        std::uint32_t stalled, Seconds dt);
+
+    /// Drop the cached breakdown.
+    void invalidate() { valid = false; }
+
+  private:
+    std::vector<CoreActivity> keyActivity; ///< hit verification only
+    UncoreActivity keyUncore;              ///< hit verification only
+    std::uint64_t keyEpoch = 0;
+    std::uint64_t keyVersionPre = 0;
+    std::uint64_t keyVersionPost = 0;
+    std::uint32_t keyStalled = 0;
+    Seconds keyDt = 0.0;
+    PowerBreakdown value;
+    bool valid = false;
 };
 
 } // namespace ecosched

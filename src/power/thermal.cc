@@ -54,18 +54,37 @@ void
 ThermalModel::step(Seconds dt, Watt power)
 {
     fatalIf(dt < 0.0, "negative time step");
-    const double target = steadyState(power);
+    stepWithAlpha(stepAlpha(dt), power);
+}
+
+double
+ThermalModel::stepAlpha(Seconds dt) const
+{
     // Exact first-order response over the step (stable for any dt).
-    const double alpha =
-        1.0 - std::exp(-dt / thermalParams.timeConstant);
+    if (dt != alphaDt) {
+        alphaValue = 1.0 - std::exp(-dt / thermalParams.timeConstant);
+        alphaDt = dt;
+    }
+    return alphaValue;
+}
+
+void
+ThermalModel::stepWithAlpha(double alpha, Watt power)
+{
+    const double target = steadyState(power);
     tempCelsius += (target - tempCelsius) * alpha;
 }
 
 double
 ThermalModel::leakageMultiplier() const
 {
-    return std::exp(thermalParams.leakageTempExp
-                    * (tempCelsius - thermalParams.referenceCelsius));
+    if (tempCelsius != leakTemp) {
+        leakValue = std::exp(
+            thermalParams.leakageTempExp
+            * (tempCelsius - thermalParams.referenceCelsius));
+        leakTemp = tempCelsius;
+    }
+    return leakValue;
 }
 
 void

@@ -66,8 +66,24 @@ class ThermalModel
     /// Advance by @p dt under dissipated power @p power.
     void step(Seconds dt, Watt power);
 
+    /**
+     * The exact first-order blend factor step() applies for @p dt.
+     * Constant for a fixed dt — macro-stepped replay precomputes it
+     * once per window and advances with stepWithAlpha(), reproducing
+     * step(dt, p) bit for bit without the per-step exp.  Memoized on
+     * @p dt (a pure function of it), so fixed-dt stepping also pays
+     * the exp only once.
+     */
+    double stepAlpha(Seconds dt) const;
+
+    /// Advance one step using a precomputed stepAlpha(dt) factor.
+    void stepWithAlpha(double alpha, Watt power);
+
     /// Leakage scale factor exp(k * (T - Tref)) at the current
-    /// temperature (1 at the reference temperature).
+    /// temperature (1 at the reference temperature).  Memoized on
+    /// the temperature: once the first-order response reaches its
+    /// floating-point fixed point under constant power, the per-step
+    /// exp collapses to one compare.
     double leakageMultiplier() const;
 
     /// Return to the ambient-temperature initial state.
@@ -76,6 +92,13 @@ class ThermalModel
   private:
     ThermalParams thermalParams;
     double tempCelsius;
+
+    // Memo slots (logically const: pure-function caching only).
+    // Sentinels are unreachable inputs, so first use computes.
+    mutable double alphaDt = -1.0;  ///< dt of the cached stepAlpha
+    mutable double alphaValue = 0.0;
+    mutable double leakTemp = -1.0e300; ///< T of the cached multiplier
+    mutable double leakValue = 1.0;
 };
 
 } // namespace ecosched

@@ -33,12 +33,65 @@ Machine::Machine(const ChipSpec &spec, MachineConfig config)
       cfg(config),
       rng(config.seed * 0x2545f4914f6cdd1dull + 7),
       coreOwner(spec.numCores, invalidSimThread),
+      pmdBusy(spec.numPmds(), 0),
       droopHist(makeDroopHistogram(spec))
 {
     fatalIf(cfg.faultReferenceRuntime <= 0.0,
             "faultReferenceRuntime must be positive");
     fatalIf(cfg.migrationCost < 0.0,
             "migrationCost must be non-negative");
+}
+
+SimThread *
+Machine::findThread(SimThreadId tid)
+{
+    if (tid == invalidSimThread || tid >= nextThreadId)
+        return nullptr;
+    const std::uint32_t slot = slotOfId[tid - 1];
+    return slot == noSlot ? nullptr : &threadSlots[slot];
+}
+
+const SimThread *
+Machine::findThread(SimThreadId tid) const
+{
+    return const_cast<Machine *>(this)->findThread(tid);
+}
+
+void
+Machine::occupyCore(CoreId core)
+{
+    ++busyCoreCount;
+    if (++pmdBusy[pmdOfCore(core)] == 1)
+        ++busyPmdCount;
+}
+
+void
+Machine::releaseCore(CoreId core)
+{
+    ECOSCHED_ASSERT(busyCoreCount > 0 && pmdBusy[pmdOfCore(core)] > 0,
+                    "releasing an idle core");
+    --busyCoreCount;
+    if (--pmdBusy[pmdOfCore(core)] == 0)
+        --busyPmdCount;
+}
+
+void
+Machine::retireThread(SimThread &t)
+{
+    t.finished = true;
+    coreOwner[t.core] = invalidSimThread;
+    releaseCore(t.core);
+    finishedQueue.push_back(t.id);
+    ++threadsVersion;
+}
+
+void
+Machine::eraseSlot(std::uint32_t slot)
+{
+    slotOfId[threadSlots[slot].id - 1] = noSlot;
+    threadSlots.erase(threadSlots.begin() + slot);
+    for (std::uint32_t s = slot; s < threadSlots.size(); ++s)
+        slotOfId[threadSlots[s].id - 1] = s;
 }
 
 SimThreadId
@@ -77,20 +130,31 @@ Machine::startThreadPhased(const std::vector<WorkPhase> &phases,
     t.pendingPhases.assign(phases.begin() + 1, phases.end());
     t.core = core;
     t.vminSensitivity = vmin_sensitivity;
-    coreOwner[core] = t.id;
-    threads.emplace(t.id, t);
-    return t.id;
+
+    const SimThreadId tid = t.id;
+    coreOwner[core] = tid;
+    occupyCore(core);
+    ++threadsVersion;
+    ECOSCHED_ASSERT(slotOfId.size() == tid - 1,
+                    "thread-id index out of sync");
+    slotOfId.push_back(
+        static_cast<std::uint32_t>(threadSlots.size()));
+    threadSlots.push_back(std::move(t));
+    return tid;
 }
 
 void
 Machine::stopThread(SimThreadId tid)
 {
-    auto it = threads.find(tid);
-    fatalIf(it == threads.end(), "unknown thread ", tid);
-    if (!it->second.finished)
-        coreOwner[it->second.core] = invalidSimThread;
+    SimThread *t = findThread(tid);
+    fatalIf(t == nullptr, "unknown thread ", tid);
+    if (!t->finished) {
+        coreOwner[t->core] = invalidSimThread;
+        releaseCore(t->core);
+    }
     std::erase(finishedQueue, tid);
-    threads.erase(it);
+    ++threadsVersion;
+    eraseSlot(slotOfId[tid - 1]);
 }
 
 void
@@ -106,7 +170,10 @@ Machine::migrateThread(SimThreadId tid, CoreId core)
             "migration target core ", core, " occupied by thread ",
             coreOwner[core]);
     coreOwner[t.core] = invalidSimThread;
+    releaseCore(t.core);
     coreOwner[core] = tid;
+    occupyCore(core);
+    ++threadsVersion;
     t.core = core;
     ++t.migrations;
     t.stallUntil = std::max(t.stallUntil, simTime + cfg.migrationCost);
@@ -122,6 +189,7 @@ Machine::swapThreads(SimThreadId a, SimThreadId b)
             "cannot swap finished threads");
     std::swap(coreOwner[ta.core], coreOwner[tb.core]);
     std::swap(ta.core, tb.core);
+    ++threadsVersion; // busy set is unchanged, but stay conservative
     for (SimThread *t : {&ta, &tb}) {
         ++t->migrations;
         t->stallUntil =
@@ -132,17 +200,17 @@ Machine::swapThreads(SimThreadId a, SimThreadId b)
 const SimThread &
 Machine::thread(SimThreadId tid) const
 {
-    auto it = threads.find(tid);
-    fatalIf(it == threads.end(), "unknown thread ", tid);
-    return it->second;
+    const SimThread *t = findThread(tid);
+    fatalIf(t == nullptr, "unknown thread ", tid);
+    return *t;
 }
 
 SimThread &
 Machine::threadRef(SimThreadId tid)
 {
-    auto it = threads.find(tid);
-    fatalIf(it == threads.end(), "unknown thread ", tid);
-    return it->second;
+    SimThread *t = findThread(tid);
+    fatalIf(t == nullptr, "unknown thread ", tid);
+    return *t;
 }
 
 SimThreadId
@@ -163,9 +231,9 @@ std::vector<SimThreadId>
 Machine::runningThreads() const
 {
     std::vector<SimThreadId> ids;
-    for (const auto &[id, t] : threads)
+    for (const SimThread &t : threadSlots)
         if (!t.finished)
-            ids.push_back(id);
+            ids.push_back(t.id);
     return ids;
 }
 
@@ -173,16 +241,11 @@ std::vector<CoreId>
 Machine::busyCores() const
 {
     std::vector<CoreId> cores;
+    cores.reserve(busyCoreCount);
     for (CoreId c = 0; c < spec().numCores; ++c)
         if (coreOwner[c] != invalidSimThread)
             cores.push_back(c);
     return cores;
-}
-
-std::uint32_t
-Machine::utilizedPmds() const
-{
-    return countUtilizedPmds(busyCores());
 }
 
 std::vector<SimThread>
@@ -191,11 +254,11 @@ Machine::collectFinished()
     std::vector<SimThread> done;
     done.reserve(finishedQueue.size());
     for (SimThreadId tid : finishedQueue) {
-        auto it = threads.find(tid);
-        ECOSCHED_ASSERT(it != threads.end(),
+        const std::uint32_t slot = slotOfId[tid - 1];
+        ECOSCHED_ASSERT(slot != noSlot,
                         "finished queue references unknown thread");
-        done.push_back(it->second);
-        threads.erase(it);
+        done.push_back(std::move(threadSlots[slot]));
+        eraseSlot(slot);
     }
     finishedQueue.clear();
     return done;
@@ -207,10 +270,37 @@ Machine::applyAutoClockGating()
     if (!cfg.autoClockGateIdlePmds)
         return;
     for (PmdId p = 0; p < spec().numPmds(); ++p) {
-        const bool busy = coreBusy(firstCoreOfPmd(p))
-            || coreBusy(secondCoreOfPmd(p));
-        controlPlane.requestClockGate(simTime, p, !busy);
+        const bool busy = pmdBusy[p] != 0;
+        // The SlimPro no-ops unchanged requests; skip the call (and
+        // its gate re-read) unless this pass would flip the gate.
+        if (chipState.pmdClockGated(p) == busy)
+            controlPlane.requestClockGate(simTime, p, !busy);
     }
+}
+
+bool
+Machine::gatingSettled() const
+{
+    if (!cfg.autoClockGateIdlePmds)
+        return true;
+    for (PmdId p = 0; p < spec().numPmds(); ++p) {
+        const bool busy = pmdBusy[p] != 0;
+        if (chipState.pmdClockGated(p) == busy)
+            return false; // the next gating pass would flip this PMD
+    }
+    return true;
+}
+
+const Hertz *
+Machine::coreFrequencies()
+{
+    if (coreFreqEpoch != chipState.stateEpoch()) {
+        coreFreqCache.resize(spec().numCores);
+        for (CoreId c = 0; c < spec().numCores; ++c)
+            coreFreqCache[c] = chipState.coreFrequency(c);
+        coreFreqEpoch = chipState.stateEpoch();
+    }
+    return coreFreqCache.data();
 }
 
 void
@@ -224,28 +314,33 @@ Machine::step(Seconds dt)
         lastStepPower = PowerBreakdown{};
         lastStepContention = 1.0;
         lastStepUtilization = 0.0;
+        busyCoreSeconds += static_cast<double>(busyCoreCount) * dt;
         return;
     }
 
     applyAutoClockGating();
 
     // --- gather running threads and solve memory contention ---------
-    struct Running
-    {
-        SimThread *t;
-        double apkiScale;
-        Hertz freq;
-    };
-    std::vector<Running> running;
-    std::vector<MemoryDemand> demands;
+    // The step key (chip epoch, thread-set version, stalled count)
+    // is sampled here, before the execute phase mutates anything: it
+    // pins the gathered demand/activity inputs for the caches below.
+    const std::uint64_t step_epoch = chipState.stateEpoch();
+    const std::uint64_t step_version = threadsVersion;
+    std::uint32_t stalled = 0;
+    const Hertz *freqs = coreFrequencies();
+    runningScratch.clear();
+    demandScratch.clear();
     for (CoreId c = 0; c < spec().numCores; ++c) {
         const SimThreadId tid = coreOwner[c];
         if (tid == invalidSimThread)
             continue;
-        SimThread &t = threadRef(tid);
-        if (t.stallUntil > simTime + dt * 0.5)
+        const std::uint32_t slot = slotOfId[tid - 1];
+        SimThread &t = threadSlots[slot];
+        if (t.stallUntil > simTime + dt * 0.5) {
+            ++stalled;
             continue; // migration warm-up: no progress this step
-        const Hertz f = chipState.coreFrequency(c);
+        }
+        const Hertz f = freqs[c];
         ECOSCHED_ASSERT(f > 0.0, "busy core on a gated PMD");
         const CoreId sibling = (c % coresPerPmd == 0)
             ? c + 1 : c - 1;
@@ -253,19 +348,20 @@ Machine::step(Seconds dt)
             && coreOwner[sibling] != invalidSimThread;
         const double scale =
             partner_busy ? t.profile.l2SharingPenalty : 1.0;
-        running.push_back({&t, scale, f});
-        demands.push_back({&t.profile, f, scale});
+        runningScratch.push_back({slot, scale, f});
+        demandScratch.push_back({&t.profile, f, scale});
     }
-    const double contention = memory.solveContention(demands);
+    const double contention = contentionCache.solve(
+        memory, demandScratch, step_epoch, step_version, stalled);
 
     // --- execute -----------------------------------------------------
-    std::vector<CoreActivity> activity(spec().numCores);
+    activityScratch.assign(spec().numCores, CoreActivity{});
     double l3_rate = 0.0;
     double dram_rate = 0.0;
     double util_sum = 0.0;
 
-    for (auto &r : running) {
-        SimThread &t = *r.t;
+    for (const RunningRef &r : runningScratch) {
+        SimThread &t = threadSlots[r.slot];
         const Seconds t_instr = memory.timePerInstruction(
             t.profile, r.freq, contention, r.apkiScale);
         const double rate = 1.0 / t_instr;
@@ -280,24 +376,26 @@ Machine::step(Seconds dt)
         const Seconds busy = retired_d * t_instr;
         const double util = std::clamp(busy / dt, 0.0, 1.0);
 
+        const double l3_acc =
+            retired_d * t.profile.l3Apki * r.apkiScale * 1e-3;
+        const double dram_acc =
+            retired_d * t.profile.dramApki * r.apkiScale * 1e-3;
+
         t.counters.instructions += retired;
         t.counters.cycles += static_cast<Cycles>(
             std::llround(busy * r.freq));
-        t.counters.l3Accesses += static_cast<std::uint64_t>(
-            std::llround(retired_d * t.profile.l3Apki * r.apkiScale
-                         * 1e-3));
-        t.counters.dramAccesses += static_cast<std::uint64_t>(
-            std::llround(retired_d * t.profile.dramApki * r.apkiScale
-                         * 1e-3));
+        t.counters.l3Accesses +=
+            static_cast<std::uint64_t>(std::llround(l3_acc));
+        t.counters.dramAccesses +=
+            static_cast<std::uint64_t>(std::llround(dram_acc));
         t.counters.busyTime += busy;
 
-        l3_rate += retired_d * t.profile.l3Apki * r.apkiScale * 1e-3
-            / dt;
-        dram_rate += retired_d * t.profile.dramApki * r.apkiScale
-            * 1e-3 / dt;
+        l3_rate += l3_acc / dt;
+        dram_rate += dram_acc / dt;
 
-        activity[t.core].utilization = util;
-        activity[t.core].switchingFactor = t.profile.switchingFactor;
+        activityScratch[t.core].utilization = util;
+        activityScratch[t.core].switchingFactor =
+            t.profile.switchingFactor;
         util_sum += util;
 
         t.remaining = (retired >= t.remaining)
@@ -308,21 +406,22 @@ Machine::step(Seconds dt)
             t.profile = t.pendingPhases.front().profile;
             t.phaseRemaining = t.pendingPhases.front().instructions;
             t.pendingPhases.erase(t.pendingPhases.begin());
+            ++threadsVersion; // the running profile changed
         }
-        if (t.remaining == 0 && !t.finished) {
-            t.finished = true;
-            coreOwner[t.core] = invalidSimThread;
-            finishedQueue.push_back(t.id);
-        }
+        if (t.remaining == 0 && !t.finished)
+            retireThread(t);
     }
 
     lastStepContention = contention;
-    lastStepUtilization =
-        running.empty() ? 0.0 : util_sum / running.size();
+    lastStepUtilization = runningScratch.empty()
+        ? 0.0 : util_sum / runningScratch.size();
 
     // --- power integration --------------------------------------------
-    lastStepPower = power.totalPower(chipState, activity,
-                                     {l3_rate, dram_rate});
+    lastStepPower = powerCache.evaluate(power, chipState,
+                                        activityScratch,
+                                        {l3_rate, dram_rate},
+                                        step_version, threadsVersion,
+                                        stalled, dt);
     if (cfg.enableThermal) {
         // Leakage responds to the die temperature reached so far;
         // the thermal state then advances under this step's power.
@@ -332,13 +431,16 @@ Machine::step(Seconds dt)
     meter.add(dt, lastStepPower);
 
     // --- droop sampling -------------------------------------------------
-    if (cfg.sampleDroops && !running.empty()) {
+    if (cfg.sampleDroops && !runningScratch.empty()) {
         Hertz fmax_busy = 0.0;
-        for (const auto &r : running)
+        for (const RunningRef &r : runningScratch)
             fmax_busy = std::max(fmax_busy, r.freq);
         const auto cycles = static_cast<Cycles>(
             std::llround(dt * fmax_busy));
-        droop.sampleEvents(rng, cycles, utilizedPmds(),
+        ECOSCHED_DEBUG_ASSERT(
+            busyPmdCount == countUtilizedPmds(busyCores()),
+            "incremental busy-PMD count out of sync");
+        droop.sampleEvents(rng, cycles, busyPmdCount,
                            cfg.droopRateBias, lastStepUtilization,
                            droopHist);
         droopRefCycles += cycles;
@@ -349,6 +451,172 @@ Machine::step(Seconds dt)
         injectFaultsForStep(dt);
 
     simTime += dt;
+    busyCoreSeconds += static_cast<double>(busyCoreCount) * dt;
+}
+
+std::uint64_t
+Machine::macroAdvance(Seconds t, Seconds dt, MacroStepHooks *hooks)
+{
+    fatalIf(dt <= 0.0, "macroAdvance needs a positive dt");
+    if (!macroEligible() || !(simTime + dt * 0.5 < t))
+        return 0;
+    if (hooks != nullptr && !hooks->beforeStep())
+        return 0; // the caller's next per-step work is not a no-op
+    if (!gatingSettled())
+        return 0; // let step()'s gating pass apply (and log) flips
+
+    // --- plan: the window's per-step constants (mutates nothing) ----
+    const std::uint64_t step_epoch = chipState.stateEpoch();
+    const std::uint64_t step_version = threadsVersion;
+    const Hertz *freqs = coreFrequencies();
+    runningScratch.clear();
+    demandScratch.clear();
+    stalledScratch.clear();
+    for (CoreId c = 0; c < spec().numCores; ++c) {
+        const SimThreadId tid = coreOwner[c];
+        if (tid == invalidSimThread)
+            continue;
+        const std::uint32_t slot = slotOfId[tid - 1];
+        SimThread &th = threadSlots[slot];
+        if (th.stallUntil > simTime + dt * 0.5) {
+            stalledScratch.push_back(slot);
+            continue;
+        }
+        const Hertz f = freqs[c];
+        ECOSCHED_ASSERT(f > 0.0, "busy core on a gated PMD");
+        const CoreId sibling = (c % coresPerPmd == 0)
+            ? c + 1 : c - 1;
+        const bool partner_busy = sibling < spec().numCores
+            && coreOwner[sibling] != invalidSimThread;
+        const double scale =
+            partner_busy ? th.profile.l2SharingPenalty : 1.0;
+        runningScratch.push_back({slot, scale, f});
+        demandScratch.push_back({&th.profile, f, scale});
+    }
+    const std::uint32_t stalled =
+        static_cast<std::uint32_t>(stalledScratch.size());
+    const double contention = contentionCache.solve(
+        memory, demandScratch, step_epoch, step_version, stalled);
+
+    activityScratch.assign(spec().numCores, CoreActivity{});
+    uniformScratch.clear();
+    double l3_rate = 0.0;
+    double dram_rate = 0.0;
+    double util_sum = 0.0;
+    // Steps until the first thread gets within one step of a finish
+    // or phase boundary (those must run through step()).
+    std::uint64_t window = UINT64_MAX;
+
+    for (const RunningRef &r : runningScratch) {
+        SimThread &th = threadSlots[r.slot];
+        const Seconds t_instr = memory.timePerInstruction(
+            th.profile, r.freq, contention, r.apkiScale);
+        const double rate = 1.0 / t_instr;
+        const double target = rate * dt;
+        if (target >= 4.5e15)
+            return 0; // keep integer<->double casts exact
+        const auto retired =
+            static_cast<Instructions>(std::llround(target));
+        const Instructions limit =
+            std::min(th.remaining, th.phaseRemaining);
+        // A steady step retires exactly llround(target) and leaves
+        // at least one instruction: requires limit >= retired + 1
+        // (retired + 1 > target always, so the double-valued min in
+        // step() picks `target` for every step of the window).
+        if (limit < retired + 1)
+            return 0; // boundary within one step: use step()
+        if (retired > 0)
+            window = std::min(window, (limit - 1) / retired);
+
+        const Seconds busy = target * t_instr;
+        const double util = std::clamp(busy / dt, 0.0, 1.0);
+        UniformRun u;
+        u.slot = r.slot;
+        u.busy = busy;
+        u.retired = retired;
+        u.cyclesInc = static_cast<Cycles>(
+            std::llround(busy * r.freq));
+        u.l3Inc = static_cast<std::uint64_t>(
+            std::llround(target * th.profile.l3Apki * r.apkiScale
+                         * 1e-3));
+        u.dramInc = static_cast<std::uint64_t>(
+            std::llround(target * th.profile.dramApki * r.apkiScale
+                         * 1e-3));
+        uniformScratch.push_back(u);
+
+        l3_rate += target * th.profile.l3Apki * r.apkiScale * 1e-3
+            / dt;
+        dram_rate += target * th.profile.dramApki * r.apkiScale
+            * 1e-3 / dt;
+        activityScratch[th.core].utilization = util;
+        activityScratch[th.core].switchingFactor =
+            th.profile.switchingFactor;
+        util_sum += util;
+    }
+
+    lastStepContention = contention;
+    lastStepUtilization = runningScratch.empty()
+        ? 0.0 : util_sum / runningScratch.size();
+    // The plan mutates nothing, so pre- and post-execute versions
+    // coincide — matching the steady (V, V) steps of the plain loop.
+    const PowerBreakdown &raw = powerCache.evaluate(
+        power, chipState, activityScratch, {l3_rate, dram_rate},
+        step_version, step_version, stalled, dt);
+    const double alpha =
+        cfg.enableThermal ? thermal.stepAlpha(dt) : 0.0;
+
+    // --- replay: per-step state whose evolution is order-sensitive --
+    // (FP accumulators must see the exact per-step addition sequence
+    // of the plain loop; integer counters are batched afterwards.)
+    // Only the leakage component of lastStepPower varies inside the
+    // window (thermal feedback), so the breakdown is copied once and
+    // just that field is rewritten per step.
+    lastStepPower = raw;
+    std::uint64_t steps = 0;
+    while (steps < window) {
+        if (steps > 0) {
+            if (!(simTime + dt * 0.5 < t))
+                break; // horizon reached
+            bool stall_flip = false;
+            for (std::uint32_t slot : stalledScratch) {
+                if (!(threadSlots[slot].stallUntil
+                      > simTime + dt * 0.5)) {
+                    stall_flip = true;
+                    break;
+                }
+            }
+            if (stall_flip)
+                break; // a stall expires: step() re-gathers
+            if (hooks != nullptr && !hooks->beforeStep())
+                break;
+        }
+
+        for (const UniformRun &u : uniformScratch)
+            threadSlots[u.slot].counters.busyTime += u.busy;
+        if (cfg.enableThermal) {
+            lastStepPower.leakage =
+                raw.leakage * thermal.leakageMultiplier();
+            thermal.stepWithAlpha(alpha, lastStepPower.total());
+        }
+        meter.add(dt, lastStepPower);
+        simTime += dt;
+        busyCoreSeconds += static_cast<double>(busyCoreCount) * dt;
+        ++steps;
+        if (hooks != nullptr)
+            hooks->afterStep();
+    }
+
+    // --- batch the associative integer counters ----------------------
+    for (const UniformRun &u : uniformScratch) {
+        SimThread &th = threadSlots[u.slot];
+        th.counters.instructions += u.retired * steps;
+        th.counters.cycles += u.cyclesInc * steps;
+        th.counters.l3Accesses += u.l3Inc * steps;
+        th.counters.dramAccesses += u.dramInc * steps;
+        th.remaining -= u.retired * steps;
+        th.phaseRemaining -= u.retired * steps;
+    }
+    return steps;
 }
 
 void
@@ -376,61 +644,90 @@ Machine::injectFaultsForStep(Seconds dt)
         failures.sampleFailureType(rng, v, true_vmin);
     if (type == RunOutcome::SystemCrash) {
         isHalted = true;
-        for (auto &[id, t] : threads) {
+        for (SimThread &t : threadSlots) {
             if (t.finished)
                 continue;
-            t.finished = true;
             t.outcome = RunOutcome::SystemCrash;
-            coreOwner[t.core] = invalidSimThread;
-            finishedQueue.push_back(id);
+            retireThread(t);
         }
         return;
     }
 
-    // Strike one running thread uniformly at random.
-    const auto ids = runningThreads();
-    if (ids.empty())
+    // Strike one running thread uniformly at random.  Every
+    // unfinished thread occupies exactly one core, so the busy-core
+    // count is the running-thread count.
+    if (busyCoreCount == 0)
         return;
-    const SimThreadId victim = ids[rng.uniformInt(0, ids.size() - 1)];
-    SimThread &t = threadRef(victim);
+    const std::size_t pick = rng.uniformInt(
+        0, static_cast<std::size_t>(busyCoreCount) - 1);
+    SimThread *victim = nullptr;
+    std::size_t i = 0;
+    for (SimThread &t : threadSlots) {
+        if (t.finished)
+            continue;
+        if (i++ == pick) {
+            victim = &t;
+            break;
+        }
+    }
+    ECOSCHED_ASSERT(victim != nullptr,
+                    "busy-core count out of sync with threads");
     if (type == RunOutcome::Sdc) {
         // Silent corruption: the run continues to completion but its
         // output is wrong.
-        t.outcome = RunOutcome::Sdc;
+        victim->outcome = RunOutcome::Sdc;
         return;
     }
-    t.finished = true;
-    t.outcome = type;
-    coreOwner[t.core] = invalidSimThread;
-    finishedQueue.push_back(victim);
+    victim->outcome = type;
+    retireThread(*victim);
 }
 
 void
 Machine::runUntil(Seconds t, Seconds dt)
 {
     fatalIf(dt <= 0.0, "runUntil needs a positive dt");
-    while (simTime + dt * 0.5 < t)
-        step(dt);
+    while (simTime + dt * 0.5 < t) {
+        if (macroAdvance(t, dt) == 0)
+            step(dt);
+    }
 }
 
 Volt
 Machine::currentTrueVmin() const
 {
-    const auto cores = busyCores();
-    if (cores.empty())
-        return 0.0;
-    Hertz fmax_busy = 0.0;
-    double sens = 0.0;
-    for (CoreId c : cores) {
-        fmax_busy = std::max(fmax_busy, chipState.coreFrequency(c));
-        const auto it = threads.find(coreOwner[c]);
-        ECOSCHED_ASSERT(it != threads.end(),
-                        "core owner references unknown thread");
-        sens = std::max(sens, it->second.vminSensitivity);
+    if (vminValid && vminChipEpoch == chipState.stateEpoch()
+            && vminThreadsVersion == threadsVersion) {
+        return vminValue;
     }
-    if (fmax_busy <= 0.0)
-        return 0.0;
-    return vmin.trueVmin(spec().snapToLadder(fmax_busy), cores, sens);
+
+    vminCoresScratch.clear();
+    for (CoreId c = 0; c < spec().numCores; ++c)
+        if (coreOwner[c] != invalidSimThread)
+            vminCoresScratch.push_back(c);
+
+    Volt result = 0.0;
+    if (!vminCoresScratch.empty()) {
+        Hertz fmax_busy = 0.0;
+        double sens = 0.0;
+        for (CoreId c : vminCoresScratch) {
+            fmax_busy =
+                std::max(fmax_busy, chipState.coreFrequency(c));
+            const SimThread *t = findThread(coreOwner[c]);
+            ECOSCHED_ASSERT(t != nullptr,
+                            "core owner references unknown thread");
+            sens = std::max(sens, t->vminSensitivity);
+        }
+        if (fmax_busy > 0.0) {
+            result = vmin.trueVmin(spec().snapToLadder(fmax_busy),
+                                   vminCoresScratch, sens);
+        }
+    }
+
+    vminChipEpoch = chipState.stateEpoch();
+    vminThreadsVersion = threadsVersion;
+    vminValue = result;
+    vminValid = true;
+    return result;
 }
 
 } // namespace ecosched

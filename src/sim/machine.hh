@@ -7,14 +7,29 @@
  * executes bound software threads in fixed time steps.  The OS layer
  * (src/os) places threads on cores and drives governors; the daemon
  * (src/core) sits on top of the OS layer.
+ *
+ * Hot-path design (see DESIGN.md "Simulation hot path"):
+ *  - Threads live in a dense, id-ordered vector with an id->slot
+ *    index; busy-core and busy-PMD counts are maintained
+ *    incrementally so per-step occupancy queries never scan or
+ *    allocate.
+ *  - All per-step scratch (running set, memory demands, activity
+ *    vector) is machine-owned and reused; steady-state stepping
+ *    performs no heap allocation.
+ *  - The memory-contention solve, the power-model evaluation and the
+ *    true-Vmin computation are memoized behind epoch-keyed caches
+ *    (chip state epoch + thread-set version + exact activity
+ *    inputs), so unchanged configurations replay cached values.
+ *  - runUntil() coalesces spans whose per-step state evolution is
+ *    provably uniform into macro windows (macroAdvance()), replaying
+ *    only the order-sensitive floating-point accumulations per step.
+ *    Results are bit-identical to the plain step loop.
  */
 
 #ifndef ECOSCHED_SIM_MACHINE_HH
 #define ECOSCHED_SIM_MACHINE_HH
 
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <vector>
 
 #include "common/histogram.hh"
@@ -175,8 +190,11 @@ class Machine
     /// Cores of all bound, unfinished threads.
     std::vector<CoreId> busyCores() const;
 
+    /// Number of busy cores (incremental count; never scans).
+    std::uint32_t numBusyCores() const { return busyCoreCount; }
+
     /// PMDs hosting at least one busy core.
-    std::uint32_t utilizedPmds() const;
+    std::uint32_t utilizedPmds() const { return busyPmdCount; }
 
     /**
      * Remove and return all finished threads (completed or failed),
@@ -189,7 +207,45 @@ class Machine
     void step(Seconds dt);
 
     /// Step repeatedly (granularity @p dt) until virtual time @p t.
+    /// Uses macroAdvance() windows where legal; bit-identical to the
+    /// plain step loop.
     void runUntil(Seconds t, Seconds dt);
+
+    /**
+     * Per-step callbacks a caller (the OS layer) interleaves with
+     * macro-stepped execution.  beforeStep() runs before each step
+     * is committed and vetoes the window (return false) when the
+     * caller's own step work would not be a no-op; afterStep() runs
+     * after each committed step (e.g. utilization EWMA replay).
+     */
+    struct MacroStepHooks
+    {
+        virtual ~MacroStepHooks() = default;
+        virtual bool beforeStep() = 0;
+        virtual void afterStep() = 0;
+    };
+
+    /// Whether macro windows are legal at all under the current
+    /// config and state (droop sampling and fault injection are
+    /// per-step stochastic; a halted machine takes trivial steps).
+    bool macroEligible() const
+    {
+        return !cfg.sampleDroops && !cfg.injectFaults && !isHalted;
+    }
+
+    /**
+     * Try to advance toward time @p t in one uniform macro window of
+     * fixed-@p dt steps, committing bit-identical state to the
+     * equivalent step(dt) sequence.  A window only covers steps
+     * whose inputs are provably constant: no thread finishes,
+     * crosses a phase boundary, or leaves a migration stall inside
+     * it, and clock gating is already settled.  Mutates nothing when
+     * it returns 0 — the caller must then take one plain step().
+     *
+     * @return number of steps committed (0: fall back to step()).
+     */
+    std::uint64_t macroAdvance(Seconds t, Seconds dt,
+                               MacroStepHooks *hooks = nullptr);
 
     /// Current virtual time.
     Seconds now() const { return simTime; }
@@ -211,6 +267,10 @@ class Machine
     /// is disabled).
     double temperature() const { return thermal.temperature(); }
 
+    /// Cumulative busy-core time: the integral of numBusyCores()
+    /// over all completed steps [core-seconds].
+    Seconds busyCoreTime() const { return busyCoreSeconds; }
+
     /// Cumulative droop-magnitude histogram [mV] (when sampling).
     const Histogram &droopHistogram() const { return droopHist; }
 
@@ -228,14 +288,50 @@ class Machine
     /**
      * True Vmin of the configuration currently executing (highest
      * active frequency, busy cores, most sensitive thread).  Returns
-     * 0 when idle.
+     * 0 when idle.  Memoized on (chip state epoch, thread-set
+     * version).
      */
     Volt currentTrueVmin() const;
 
   private:
+    /// One running thread's inputs for the current step/window.
+    struct RunningRef
+    {
+        std::uint32_t slot;
+        double apkiScale;
+        Hertz freq;
+    };
+
+    /// Per-thread steady-state increments of one macro-window step.
+    struct UniformRun
+    {
+        std::uint32_t slot;
+        Seconds busy;              ///< busy seconds per step
+        Instructions retired;      ///< instructions per step
+        Cycles cyclesInc;          ///< cycles per step
+        std::uint64_t l3Inc;       ///< L3 accesses per step
+        std::uint64_t dramInc;     ///< DRAM accesses per step
+    };
+
+    static constexpr std::uint32_t noSlot = 0xffffffffu;
+
+    SimThread *findThread(SimThreadId tid);
+    const SimThread *findThread(SimThreadId tid) const;
     SimThread &threadRef(SimThreadId tid);
+    void occupyCore(CoreId core);
+    void releaseCore(CoreId core);
+    /// Mark an unfinished thread finished and free its core.
+    void retireThread(SimThread &t);
+    /// Remove one slot, keeping the id->slot index dense.
+    void eraseSlot(std::uint32_t slot);
     void applyAutoClockGating();
+    /// Whether applyAutoClockGating() would change any gate.
+    bool gatingSettled() const;
     void injectFaultsForStep(Seconds dt);
+    /// Per-core frequencies, snapshotted per chip state epoch (the
+    /// per-core Chip query is an out-of-line call the gather loop
+    /// would otherwise pay once per busy core per step).
+    const Hertz *coreFrequencies();
 
     Chip chipState;
     SlimPro controlPlane;
@@ -252,9 +348,44 @@ class Machine
     Seconds simTime = 0.0;
     bool isHalted = false;
     SimThreadId nextThreadId = 1;
-    std::map<SimThreadId, SimThread> threads;
+    /// Bound threads, dense and id-ascending (ids are monotonic and
+    /// appended, so insertion order is id order).
+    std::vector<SimThread> threadSlots;
+    /// (id - 1) -> slot in threadSlots, noSlot once removed.
+    std::vector<std::uint32_t> slotOfId;
     std::vector<SimThreadId> coreOwner; ///< per core, 0 when idle
     std::vector<SimThreadId> finishedQueue;
+
+    /// Incremental occupancy (maintained on every binding change).
+    std::uint32_t busyCoreCount = 0;
+    std::uint32_t busyPmdCount = 0;
+    std::vector<std::uint8_t> pmdBusy; ///< busy cores per PMD
+    /// Bumped whenever the thread set, a core binding, or a running
+    /// profile (phase switch) changes; keys the contention, power
+    /// and true-Vmin caches together with the chip state epoch.
+    std::uint64_t threadsVersion = 0;
+    Seconds busyCoreSeconds = 0.0;
+
+    /// coreFrequencies() snapshot (sentinel epoch: first use fills).
+    std::vector<Hertz> coreFreqCache;
+    std::uint64_t coreFreqEpoch = ~std::uint64_t{0};
+
+    // Reusable per-step scratch (zero steady-state allocation).
+    std::vector<RunningRef> runningScratch;
+    std::vector<MemoryDemand> demandScratch;
+    std::vector<CoreActivity> activityScratch;
+    std::vector<std::uint32_t> stalledScratch; ///< stalled slots
+    std::vector<UniformRun> uniformScratch;
+
+    ContentionCache contentionCache;
+    PowerCache powerCache;
+
+    // currentTrueVmin() memo (logically const: caching only).
+    mutable std::vector<CoreId> vminCoresScratch;
+    mutable std::uint64_t vminChipEpoch = 0;
+    mutable std::uint64_t vminThreadsVersion = 0;
+    mutable Volt vminValue = 0.0;
+    mutable bool vminValid = false;
 
     PowerBreakdown lastStepPower;
     double lastStepContention = 1.0;

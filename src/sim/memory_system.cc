@@ -119,4 +119,27 @@ MemorySystem::solveContention(
     return hi;
 }
 
+double
+ContentionCache::solve(const MemorySystem &memory,
+                       const std::vector<MemoryDemand> &demands,
+                       std::uint64_t chip_epoch,
+                       std::uint64_t threads_version,
+                       std::uint32_t stalled)
+{
+    if (valid && keyEpoch == chip_epoch
+            && keyVersion == threads_version
+            && keyStalled == stalled) {
+        ECOSCHED_DEBUG_ASSERT(
+            value == memory.solveContention(demands),
+            "contention step key matched a different demand set");
+        return value;
+    }
+    value = memory.solveContention(demands);
+    keyEpoch = chip_epoch;
+    keyVersion = threads_version;
+    keyStalled = stalled;
+    valid = true;
+    return value;
+}
+
 } // namespace ecosched

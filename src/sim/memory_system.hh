@@ -14,6 +14,7 @@
 #ifndef ECOSCHED_SIM_MEMORY_SYSTEM_HH
 #define ECOSCHED_SIM_MEMORY_SYSTEM_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -91,6 +92,54 @@ class MemorySystem
 
   private:
     MemoryParams memParams;
+};
+
+/**
+ * Memoizes MemorySystem::solveContention behind an O(1) step key
+ * instead of comparing demand contents (which costs O(threads) per
+ * step and dominated the steady-state step at high occupancy).
+ *
+ * The key is (chip state epoch, thread-set version, stalled count),
+ * all sampled *before* the step's execute phase mutates anything:
+ *
+ *  - every core frequency a demand reads is pinned by the chip
+ *    epoch (bumped only on actual V/F/gating changes);
+ *  - the bound thread set, core bindings, profile phases and the
+ *    L2-sharing APKI scales are pinned by the machine's thread-set
+ *    version (bumped on start/stop/migrate/swap/retire and on phase
+ *    switches);
+ *  - the stalled subset is pinned by its *count* alone: membership
+ *    is the threshold family {t : stallUntil > now + dt/2} over
+ *    per-thread stall deadlines that are constant at a given
+ *    version, so equal counts imply the identical subset.
+ *
+ * Equal keys therefore guarantee byte-identical demand sets, and
+ * replaying the cached factor is bit-identical to re-solving.  The
+ * Debug/sanitizer builds re-solve on every hit and verify
+ * (ECOSCHED_DEBUG_ASSERT).
+ */
+class ContentionCache
+{
+  public:
+    /**
+     * Solve (or replay) the contention factor for @p demands.
+     * @p chip_epoch / @p threads_version / @p stalled must pin the
+     * demand contents as described above.
+     */
+    double solve(const MemorySystem &memory,
+                 const std::vector<MemoryDemand> &demands,
+                 std::uint64_t chip_epoch,
+                 std::uint64_t threads_version, std::uint32_t stalled);
+
+    /// Drop the cached solution.
+    void invalidate() { valid = false; }
+
+  private:
+    std::uint64_t keyEpoch = 0;
+    std::uint64_t keyVersion = 0;
+    std::uint32_t keyStalled = 0;
+    double value = 1.0;
+    bool valid = false;
 };
 
 } // namespace ecosched

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "common/error.hh"
 #include "common/units.hh"
 #include "platform/chip.hh"
@@ -76,6 +78,42 @@ TEST(Chip, MaxActiveFrequency)
         chip.setPmdClockGated(p, true);
     EXPECT_DOUBLE_EQ(chip.maxActiveFrequency(), 0.0);
     EXPECT_EQ(chip.numActivePmds(), 0u);
+}
+
+TEST(Chip, StateEpochBumpsOnlyOnActualChange)
+{
+    Chip chip(xGene3());
+    const std::uint64_t e0 = chip.stateEpoch();
+
+    // No-op writes must not invalidate epoch-keyed caches.
+    chip.setVoltage(chip.voltage());
+    chip.setPmdFrequency(3, chip.pmdFrequency(3));
+    chip.setPmdClockGated(3, false);
+    EXPECT_EQ(chip.stateEpoch(), e0);
+
+    // Each actual change bumps exactly once.
+    chip.setVoltage(mV(820));
+    EXPECT_EQ(chip.stateEpoch(), e0 + 1);
+    chip.setPmdFrequency(3, GHz(1.5));
+    EXPECT_EQ(chip.stateEpoch(), e0 + 2);
+    chip.setPmdClockGated(3, true);
+    EXPECT_EQ(chip.stateEpoch(), e0 + 3);
+
+    // Repeating the same values is again a no-op.
+    chip.setVoltage(mV(820));
+    chip.setPmdFrequency(3, GHz(1.5));
+    chip.setPmdClockGated(3, true);
+    EXPECT_EQ(chip.stateEpoch(), e0 + 3);
+}
+
+TEST(Chip, StateEpochBumpsOnReset)
+{
+    Chip chip(xGene2());
+    chip.setVoltage(mV(880));
+    const std::uint64_t before = chip.stateEpoch();
+    // reset() bumps unconditionally (conservative invalidation).
+    chip.reset();
+    EXPECT_GT(chip.stateEpoch(), before);
 }
 
 TEST(Chip, ResetRestoresDefaults)

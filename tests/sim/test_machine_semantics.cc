@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Pins subtle Machine::step semantics that the hot-path refactor
+ * must preserve exactly: phase boundaries never being crossed within
+ * a step, migration warm-up stalls keeping the core busy for Vmin
+ * purposes while retiring nothing, and collectFinished ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "platform/topology.hh"
+#include "sim/machine.hh"
+
+namespace ecosched {
+namespace {
+
+using namespace units;
+
+WorkProfile
+cpuProfile()
+{
+    WorkProfile p;
+    p.cpiBase = 1.0;
+    p.l3Apki = 0.1;
+    p.dramApki = 0.01;
+    p.mlp = 2.0;
+    return p;
+}
+
+TEST(MachineSemantics, StepNeverCrossesPhaseBoundary)
+{
+    Machine machine(xGene3());
+    WorkPhase tiny{cpuProfile(), 1000};
+    WorkPhase bulk{cpuProfile(), 500'000'000};
+    bulk.profile.l3Apki = 20.0; // distinct second-phase behaviour
+    const SimThreadId tid =
+        machine.startThreadPhased({tiny, bulk}, 0);
+
+    // One ms(10) step could retire ~30M instructions at 3 GHz, far
+    // more than phase one holds — yet the step must stop at the
+    // boundary and idle out the remainder.
+    machine.step(ms(10));
+    const SimThread &t = machine.thread(tid);
+    EXPECT_EQ(t.counters.instructions, 1000u);
+    EXPECT_FALSE(t.finished);
+    EXPECT_LT(t.counters.busyTime, ms(1));
+    // The next phase's profile is already staged...
+    EXPECT_DOUBLE_EQ(t.profile.l3Apki, 20.0);
+    EXPECT_EQ(t.phaseRemaining, 500'000'000u);
+    // ...and only the next step executes it.
+    machine.step(ms(10));
+    EXPECT_GT(machine.thread(tid).counters.instructions, 1000u);
+}
+
+TEST(MachineSemantics, MigrationStallSkipsProgressButStaysBusy)
+{
+    Machine machine(xGene3()); // migrationCost = 200 us
+    const SimThreadId tid =
+        machine.startThread(cpuProfile(), 1'000'000'000, 0);
+    machine.step(us(100));
+    const Instructions before =
+        machine.thread(tid).counters.instructions;
+    EXPECT_GT(before, 0u);
+    EXPECT_GT(machine.currentTrueVmin(), 0.0);
+
+    machine.migrateThread(tid, 4);
+    // The target PMD stays clock-gated until the next step's gating
+    // pass, so the busy core contributes no frequency yet.
+    EXPECT_EQ(machine.currentTrueVmin(), 0.0);
+
+    // Two 100 us steps fall inside the 200 us warm-up window: the
+    // stalled thread retires nothing, but still occupies its core —
+    // it counts for clock gating, utilized PMDs, and the true-Vmin
+    // configuration (whose value shifts with the PMD's offset).
+    machine.step(us(100));
+    const Volt vmin_stalled = machine.currentTrueVmin();
+    EXPECT_GT(vmin_stalled, 0.0);
+    for (int i = 0; i < 2; ++i) {
+        EXPECT_EQ(machine.thread(tid).counters.instructions, before);
+        EXPECT_TRUE(machine.coreBusy(4));
+        EXPECT_EQ(machine.utilizedPmds(), 1u);
+        EXPECT_EQ(machine.currentTrueVmin(), vmin_stalled);
+        machine.step(us(100));
+    }
+
+    // Warm-up over: progress resumed in the loop's final step.
+    EXPECT_GT(machine.thread(tid).counters.instructions, before);
+}
+
+TEST(MachineSemantics, CollectFinishedOrderedByFinishTime)
+{
+    Machine machine(xGene3());
+    // First-started thread carries more work, so it finishes later:
+    // collectFinished must report finish order, not id order.
+    const SimThreadId slow =
+        machine.startThread(cpuProfile(), 40'000'000, 2);
+    const SimThreadId fast =
+        machine.startThread(cpuProfile(), 1000, 5);
+    machine.step(ms(10));
+    EXPECT_TRUE(machine.thread(fast).finished);
+    EXPECT_FALSE(machine.thread(slow).finished);
+    machine.step(ms(10));
+    const auto done = machine.collectFinished();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[0].id, fast);
+    EXPECT_EQ(done[1].id, slow);
+}
+
+TEST(MachineSemantics, CollectFinishedOrderedByCoreWithinStep)
+{
+    Machine machine(xGene3());
+    // Started in descending core order; all finish in the same step,
+    // which walks cores in ascending order.
+    const SimThreadId c7 = machine.startThread(cpuProfile(), 1000, 7);
+    const SimThreadId c3 = machine.startThread(cpuProfile(), 1000, 3);
+    const SimThreadId c1 = machine.startThread(cpuProfile(), 1000, 1);
+    machine.step(ms(10));
+    const auto done = machine.collectFinished();
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_EQ(done[0].id, c1);
+    EXPECT_EQ(done[1].id, c3);
+    EXPECT_EQ(done[2].id, c7);
+}
+
+} // namespace
+} // namespace ecosched

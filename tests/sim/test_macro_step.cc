@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Determinism tests for adaptive macro-stepping: runUntil()'s
+ * coalesced fast path must commit *bit-identical* state to the plain
+ * fixed-dt step loop — energies, counters, temperatures, finish
+ * times, everything.  Exact floating-point equality is intentional;
+ * any tolerance here would let the macro path drift from the
+ * semantics the rest of the suite pins.
+ *
+ * Suite names contain "Determinism" so the TSan CI filter picks
+ * them up.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.hh"
+#include "os/governor.hh"
+#include "os/system.hh"
+#include "platform/topology.hh"
+#include "sim/machine.hh"
+#include "workloads/catalog.hh"
+
+namespace ecosched {
+namespace {
+
+using namespace units;
+
+WorkProfile
+cpuProfile()
+{
+    WorkProfile p;
+    p.cpiBase = 1.0;
+    p.l3Apki = 0.5;
+    p.dramApki = 0.05;
+    p.mlp = 2.0;
+    return p;
+}
+
+WorkProfile
+memProfile()
+{
+    WorkProfile p;
+    p.cpiBase = 1.2;
+    p.l3Apki = 25.0;
+    p.dramApki = 8.0;
+    p.mlp = 4.0;
+    return p;
+}
+
+/// Bind a representative mixed workload: a long CPU-bound thread, a
+/// memory-bound sibling sharing its PMD, a short thread that finishes
+/// mid-run, and a phased thread that flips behaviour mid-run.
+std::vector<SimThreadId>
+populate(Machine &m)
+{
+    std::vector<SimThreadId> ids;
+    ids.push_back(m.startThread(cpuProfile(), 900'000'000, 0));
+    ids.push_back(m.startThread(memProfile(), 400'000'000, 1, 0.8));
+    ids.push_back(m.startThread(cpuProfile(), 40'000'000, 4));
+    ids.push_back(m.startThreadPhased(
+        {{cpuProfile(), 200'000'000}, {memProfile(), 200'000'000}},
+        6));
+    return ids;
+}
+
+/// Compare every observable the step loop commits, bit-exactly.
+/// EXPECT_EQ on doubles is operator== — no ULP tolerance.
+void
+expectIdentical(const Machine &a, const Machine &b,
+                const std::vector<SimThreadId> &ids)
+{
+    EXPECT_EQ(a.now(), b.now());
+    EXPECT_EQ(a.temperature(), b.temperature());
+    EXPECT_EQ(a.busyCoreTime(), b.busyCoreTime());
+    EXPECT_EQ(a.numBusyCores(), b.numBusyCores());
+    EXPECT_EQ(a.utilizedPmds(), b.utilizedPmds());
+    EXPECT_EQ(a.currentTrueVmin(), b.currentTrueVmin());
+    EXPECT_EQ(a.lastContention(), b.lastContention());
+    EXPECT_EQ(a.lastUtilization(), b.lastUtilization());
+
+    EXPECT_EQ(a.lastPower().coreDynamic, b.lastPower().coreDynamic);
+    EXPECT_EQ(a.lastPower().pmdOverhead, b.lastPower().pmdOverhead);
+    EXPECT_EQ(a.lastPower().uncoreDynamic,
+              b.lastPower().uncoreDynamic);
+    EXPECT_EQ(a.lastPower().leakage, b.lastPower().leakage);
+
+    const EnergyMeter &ma = a.energyMeter();
+    const EnergyMeter &mb = b.energyMeter();
+    EXPECT_EQ(ma.energy(), mb.energy());
+    EXPECT_EQ(ma.coreDynamicEnergy(), mb.coreDynamicEnergy());
+    EXPECT_EQ(ma.pmdOverheadEnergy(), mb.pmdOverheadEnergy());
+    EXPECT_EQ(ma.uncoreEnergy(), mb.uncoreEnergy());
+    EXPECT_EQ(ma.leakageEnergy(), mb.leakageEnergy());
+    EXPECT_EQ(ma.elapsed(), mb.elapsed());
+    EXPECT_EQ(ma.peakPower(), mb.peakPower());
+
+    for (SimThreadId tid : ids) {
+        const SimThread &ta = a.thread(tid);
+        const SimThread &tb = b.thread(tid);
+        EXPECT_EQ(ta.counters.instructions, tb.counters.instructions);
+        EXPECT_EQ(ta.counters.cycles, tb.counters.cycles);
+        EXPECT_EQ(ta.counters.l3Accesses, tb.counters.l3Accesses);
+        EXPECT_EQ(ta.counters.dramAccesses, tb.counters.dramAccesses);
+        EXPECT_EQ(ta.counters.busyTime, tb.counters.busyTime);
+        EXPECT_EQ(ta.finished, tb.finished);
+        EXPECT_EQ(ta.remaining, tb.remaining);
+        EXPECT_EQ(ta.phaseRemaining, tb.phaseRemaining);
+        EXPECT_EQ(ta.stallUntil, tb.stallUntil);
+        EXPECT_EQ(ta.core, tb.core);
+    }
+}
+
+TEST(MacroStepDeterminism, RunUntilMatchesFixedStepLoop)
+{
+    Machine fixed(xGene3());
+    Machine macro(xGene3());
+    const auto ids_f = populate(fixed);
+    const auto ids_m = populate(macro);
+    ASSERT_EQ(ids_f, ids_m);
+
+    // Thread finishes, a phase switch, and steady spans all occur
+    // inside this horizon; the step count is large enough that the
+    // macro path must engage to pass within test time budgets.
+    const Seconds dt = ms(1);
+    for (int i = 0; i < 800; ++i)
+        fixed.step(dt);
+    macro.runUntil(fixed.now(), dt);
+
+    expectIdentical(fixed, macro, ids_f);
+}
+
+TEST(MacroStepDeterminism, SegmentedRunWithMigrationsAndDvfs)
+{
+    Machine fixed(xGene3());
+    Machine macro(xGene3());
+    const auto ids = populate(fixed);
+    ASSERT_EQ(populate(macro), ids);
+
+    const Seconds dt = ms(1);
+    auto advance = [&](Seconds until) {
+        while (fixed.now() < until - dt * 0.5)
+            fixed.step(dt);
+        macro.runUntil(fixed.now(), dt);
+    };
+
+    // Segment 1: plain execution.
+    advance(ms(150));
+    // Mid-run reconfiguration: migrate across PMDs (warm-up stall
+    // expires inside the next segment) and drop V/F like a governor.
+    fixed.migrateThread(ids[1], 9);
+    macro.migrateThread(ids[1], 9);
+    fixed.chip().setAllFrequencies(GHz(1.5));
+    macro.chip().setAllFrequencies(GHz(1.5));
+    fixed.chip().setVoltage(mV(820));
+    macro.chip().setVoltage(mV(820));
+    advance(ms(400));
+    // Segment 3: back to nominal; short thread already finished.
+    fixed.chip().setAllFrequencies(GHz(3.0));
+    macro.chip().setAllFrequencies(GHz(3.0));
+    fixed.chip().setVoltage(mV(870));
+    macro.chip().setVoltage(mV(870));
+    advance(ms(700));
+
+    expectIdentical(fixed, macro, ids);
+    EXPECT_GT(fixed.thread(ids[1]).migrations, 0u);
+}
+
+TEST(MacroStepDeterminism, ThermalDisabledStillIdentical)
+{
+    MachineConfig cfg;
+    cfg.enableThermal = false;
+    Machine fixed(xGene2(), cfg);
+    Machine macro(xGene2(), cfg);
+    const SimThreadId tf =
+        fixed.startThread(memProfile(), 300'000'000, 2);
+    const SimThreadId tm =
+        macro.startThread(memProfile(), 300'000'000, 2);
+    ASSERT_EQ(tf, tm);
+
+    const Seconds dt = ms(2);
+    for (int i = 0; i < 400; ++i)
+        fixed.step(dt);
+    macro.runUntil(fixed.now(), dt);
+
+    expectIdentical(fixed, macro, {tf});
+    EXPECT_EQ(fixed.temperature(), 28.0); // ambient: thermal off
+}
+
+TEST(MacroStepDeterminism, IdleMachineFastForwardIdentical)
+{
+    Machine fixed(xGene3());
+    Machine macro(xGene3());
+    const Seconds dt = ms(5);
+    for (int i = 0; i < 200; ++i)
+        fixed.step(dt);
+    macro.runUntil(fixed.now(), dt);
+    expectIdentical(fixed, macro, {});
+    // simTime accumulates step-by-step in both paths (200 additions,
+    // not one multiply), so only near-equality with the product.
+    EXPECT_NEAR(macro.now(), 200 * dt, 1e-12);
+    EXPECT_GT(macro.energyMeter().energy(), 0.0); // leakage accrues
+}
+
+TEST(MacroStepDeterminism, DroopSamplingDisablesMacroButStillRuns)
+{
+    MachineConfig cfg;
+    cfg.sampleDroops = true;
+    Machine fixed(xGene3(), cfg);
+    Machine macro(xGene3(), cfg);
+    EXPECT_FALSE(macro.macroEligible());
+    // Enough work that the thread outlives the horizon: the droop
+    // branch requires a non-empty running set on every sampled step.
+    const SimThreadId tf =
+        fixed.startThread(cpuProfile(), 1'000'000'000, 0);
+    const SimThreadId tm =
+        macro.startThread(cpuProfile(), 1'000'000'000, 0);
+    ASSERT_EQ(tf, tm);
+
+    // Droop sampling draws per-step randomness: runUntil must take
+    // the per-step path and stay identical to the loop (same RNG
+    // consumption order).
+    const Seconds dt = ms(1);
+    for (int i = 0; i < 50; ++i)
+        fixed.step(dt);
+    macro.runUntil(fixed.now(), dt);
+    expectIdentical(fixed, macro, {tf});
+    EXPECT_EQ(fixed.droopReferenceCycles(),
+              macro.droopReferenceCycles());
+}
+
+// --- System level -----------------------------------------------------
+
+const BenchmarkProfile &
+bench(const char *name)
+{
+    return Catalog::instance().byName(name);
+}
+
+void
+expectSystemsIdentical(System &a, System &b)
+{
+    expectIdentical(a.machine(), b.machine(), {});
+    EXPECT_EQ(a.busyCoreTime(), b.busyCoreTime());
+    for (CoreId c = 0; c < a.spec().numCores; ++c)
+        EXPECT_EQ(a.coreUtilization(c), b.coreUtilization(c));
+    ASSERT_EQ(a.finishedProcesses().size(),
+              b.finishedProcesses().size());
+    for (std::size_t i = 0; i < a.finishedProcesses().size(); ++i) {
+        const Process &pa = a.finishedProcesses()[i];
+        const Process &pb = b.finishedProcesses()[i];
+        EXPECT_EQ(pa.pid, pb.pid);
+        EXPECT_EQ(pa.completed, pb.completed);
+        EXPECT_EQ(pa.retiredCounters.instructions,
+                  pb.retiredCounters.instructions);
+        EXPECT_EQ(pa.retiredCounters.cycles,
+                  pb.retiredCounters.cycles);
+    }
+}
+
+void
+submitMix(System &s)
+{
+    s.submit(bench("EP"), 8);
+    s.submit(bench("milc"), 1);
+    s.submit(bench("namd"), 1);
+}
+
+TEST(SystemMacroDeterminism, RunUntilMatchesStepLoop)
+{
+    // Ondemand governor: quiescent while utilization is stable, so
+    // macro windows open between its actions.
+    Machine m1(xGene3());
+    Machine m2(xGene3());
+    System fixed(m1);
+    System macro(m2);
+    submitMix(fixed);
+    submitMix(macro);
+
+    const Seconds horizon = 20.0;
+    while (fixed.now() < horizon - 1e-9)
+        fixed.step();
+    macro.runUntil(horizon);
+
+    EXPECT_EQ(fixed.now(), macro.now());
+    expectSystemsIdentical(fixed, macro);
+}
+
+TEST(SystemMacroDeterminism, DrainMatchesStepLoop)
+{
+    Machine m1(xGene3());
+    Machine m2(xGene3());
+    System fixed(m1);
+    System macro(m2);
+    submitMix(fixed);
+    submitMix(macro);
+
+    while (!fixed.idle())
+        fixed.step();
+    macro.drain(3600.0);
+
+    EXPECT_EQ(fixed.now(), macro.now());
+    EXPECT_TRUE(macro.idle());
+    expectSystemsIdentical(fixed, macro);
+}
+
+} // namespace
+} // namespace ecosched

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Compare a micro_step_throughput run against the committed baseline.
+
+Usage: check_step_throughput.py BASELINE.json CURRENT.json [MAX_SLOWDOWN]
+
+Exits non-zero when any (chip, occupancy, path) case runs more than
+MAX_SLOWDOWN times slower than the baseline (default 3.0).  The wide
+margin makes the check meaningful only for order-of-magnitude
+regressions — CI runners are too noisy for tight thresholds, which is
+also why the CI job wiring is non-gating.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "ecosched.step_throughput/1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {
+        (r["chip"], r["occupancy"], r["path"]): r["steps_per_sec"]
+        for r in doc["results"]
+    }
+
+
+def main(argv):
+    if len(argv) not in (3, 4):
+        sys.exit(__doc__)
+    baseline = load(argv[1])
+    current = load(argv[2])
+    max_slowdown = float(argv[3]) if len(argv) == 4 else 3.0
+
+    failed = False
+    for key, base_sps in sorted(baseline.items()):
+        cur_sps = current.get(key)
+        if cur_sps is None:
+            print(f"MISSING {key}")
+            failed = True
+            continue
+        ratio = cur_sps / base_sps
+        status = "ok"
+        if ratio * max_slowdown < 1.0:
+            status = f"REGRESSION (> {max_slowdown:.1f}x slower)"
+            failed = True
+        print(f"{key[0]:>8} {key[1]:>4} {key[2]:>5}: "
+              f"{cur_sps:12.0f} steps/s ({ratio:5.2f}x baseline) {status}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
