@@ -32,8 +32,23 @@ ClusterSim::ClusterSim(ClusterConfig config)
 
     fleet.reserve(cfg.nodes.size());
     for (std::size_t i = 0; i < cfg.nodes.size(); ++i) {
+        NodeConfig node_cfg = cfg.nodes[i];
+        // Route the fleet plan's machine-level events to their
+        // target node (NodeCrash stays at this layer).
+        const InjectionPlan mine = cfg.injection.eventsForNode(
+            static_cast<NodeId>(i));
+        if (!mine.empty()) {
+            std::vector<FaultEvent> merged =
+                node_cfg.injection.events();
+            for (const FaultEvent &ev : mine.events()) {
+                if (ev.kind != FaultKind::NodeCrash)
+                    merged.push_back(ev);
+            }
+            node_cfg.injection =
+                InjectionPlan::scripted(std::move(merged));
+        }
         fleet.push_back(std::make_unique<ClusterNode>(
-            static_cast<NodeId>(i), cfg.nodes[i]));
+            static_cast<NodeId>(i), std::move(node_cfg)));
     }
 }
 
@@ -79,6 +94,18 @@ ClusterSim::run()
     std::size_t nextArrival = 0;
     Seconds t = 0.0;
 
+    // Scheduled NodeCrash events (the plan is time-sorted) and the
+    // per-node restart deadline (negative: not scheduled).
+    std::vector<FaultEvent> crashes;
+    for (const FaultEvent &ev : cfg.injection.events()) {
+        if (ev.kind == FaultKind::NodeCrash
+            && ev.node < static_cast<NodeId>(n)) {
+            crashes.push_back(ev);
+        }
+    }
+    std::size_t nextCrash = 0;
+    std::vector<Seconds> restartAt(n, -1.0);
+
     const auto settled = [&] {
         return res.jobsCompleted + res.jobsDropped + res.jobsLost
             == res.jobsSubmitted;
@@ -89,6 +116,36 @@ ClusterSim::run()
                 formatDouble(bound, 1), " s (offered load too high "
                 "for the fleet, or every node crashed)");
         const Seconds epochEnd = t + cfg.dispatchInterval;
+
+        // --- Phase 0 (serial): scheduled node restarts, then due
+        // NodeCrash events.  Both land on epoch boundaries, so they
+        // are independent of the node-stepping worker count.
+        for (std::size_t i = 0; i < n; ++i) {
+            if (restartAt[i] < 0.0 || restartAt[i] > t
+                || fleet[i]->alive()) {
+                continue;
+            }
+            fleet[i]->restart(t);
+            restartAt[i] = -1.0;
+            ++res.nodeRestarts;
+            crashCounted[i] = 0;
+            outstanding[i] = 0;
+            lastIssue[i] = std::max(lastIssue[i], t);
+            // A restarted node comes back empty, hence parked.
+            suspended[i] = cfg.idleSleep ? 1 : 0;
+        }
+        while (nextCrash < crashes.size()
+               && crashes[nextCrash].time <= t) {
+            const FaultEvent &ev = crashes[nextCrash];
+            ++nextCrash;
+            if (!fleet[ev.node]->alive())
+                continue; // already down
+            fleet[ev.node]->forceCrash();
+            const Seconds down = ev.duration >= 0.0
+                ? ev.duration : cfg.nodeRestartDelay;
+            restartAt[ev.node] =
+                down >= 0.0 ? ev.time + down : -1.0;
+        }
 
         // --- Phase 1 (serial): route this epoch's arrivals using
         // the epoch-boundary fleet view.
@@ -192,6 +249,7 @@ ClusterSim::run()
         s.utilization = fleet[i]->utilization();
         s.parkedTime = fleet[i]->parkedTime();
         s.crashed = !fleet[i]->alive();
+        s.restarts = fleet[i]->restarts();
         res.totalEnergy += s.energy;
         res.nodes.push_back(std::move(s));
     }
@@ -224,6 +282,7 @@ ClusterResult::printSummary(std::ostream &os) const
     summary.addRow({"jobs dropped", std::to_string(jobsDropped)});
     summary.addRow({"failed runs", std::to_string(jobsFailed)});
     summary.addRow({"node crashes", std::to_string(nodeCrashes)});
+    summary.addRow({"node restarts", std::to_string(nodeRestarts)});
     summary.addRow({"makespan [s]", formatDouble(makespan, 1)});
     summary.addRow({"total energy [J]", formatDouble(totalEnergy, 1)});
     summary.addRow(
@@ -250,7 +309,9 @@ ClusterResult::printSummary(std::ostream &os) const
                         formatDouble(s.energy, 1),
                         formatPercent(s.utilization),
                         formatDouble(s.parkedTime, 1),
-                        s.crashed ? "crashed" : "up"});
+                        s.crashed
+                            ? "crashed"
+                            : (s.restarts > 0 ? "recovered" : "up")});
     }
     perNode.print(os);
 }

@@ -66,6 +66,17 @@ struct ClusterConfig
     /// Node-stepping workers; 0 resolves via ECOSCHED_JOBS, then
     /// hardware concurrency (results identical for every count).
     unsigned jobs = 0;
+
+    /// Fleet-wide fault-injection plan.  NodeCrash events are applied
+    /// here at epoch boundaries (crash at the first epoch whose start
+    /// covers the event, restart after the event's duration);
+    /// machine-level events are routed to their target node's
+    /// injector by eventsForNode().  Applied serially, so campaigns
+    /// stay bit-identical for any `jobs` count.
+    InjectionPlan injection;
+    /// Downtime for NodeCrash events with a negative duration
+    /// (negative here too: such nodes stay down forever).
+    Seconds nodeRestartDelay = -1.0;
 };
 
 /// Per-node slice of a cluster result.
@@ -79,6 +90,7 @@ struct NodeSummary
     double utilization = 0.0; ///< busy-core fraction while awake
     Seconds parkedTime = 0.0;
     bool crashed = false;
+    std::uint32_t restarts = 0; ///< crash recoveries so far
 };
 
 /// Fleet-wide result of one cluster run.
@@ -110,6 +122,7 @@ struct ClusterResult
     Seconds sloLatency = 0.0;
     std::uint64_t sloViolations = 0;
     std::uint64_t nodeCrashes = 0;
+    std::uint64_t nodeRestarts = 0;
 
     std::vector<NodeSummary> nodes;
 

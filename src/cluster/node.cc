@@ -1,8 +1,10 @@
 #include "cluster/node.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/error.hh"
+#include "inject/injector.hh"
 #include "workloads/catalog.hh"
 
 namespace ecosched {
@@ -35,7 +37,17 @@ ClusterNode::ClusterNode(NodeId id, NodeConfig config)
     fatalIf(cfg.timestep <= 0.0, "node timestep must be positive");
     fatalIf(cfg.standbyPower < 0.0,
             "standby power must be non-negative");
+    // The node owns job re-runs (the daemon's resubmissions would
+    // not carry a cluster-job identity and would break harvesting).
+    cfg.daemon.recovery.rerunFailedJobs = false;
+    buildStack();
+}
 
+ClusterNode::~ClusterNode() = default;
+
+void
+ClusterNode::buildStack()
+{
     MachineConfig mcfg;
     mcfg.seed = cfg.machineSeed;
     mcfg.injectFaults = cfg.injectFaults;
@@ -43,7 +55,41 @@ ClusterNode::ClusterNode(NodeId id, NodeConfig config)
     sys = std::make_unique<System>(*mach, nullptr, nullptr,
                                    SystemConfig{cfg.timestep, 0.2});
     setup = configurePolicy(*sys, cfg.policy, cfg.daemon);
+    injector.reset();
+    if (!cfg.injection.empty()) {
+        // Re-base the plan tail onto the stack's local clock; the
+        // injector stream is forked from the machine seed, so replays
+        // are exact for the same (plan, seed).
+        injector = std::make_unique<MachineInjector>(
+            cfg.injection.after(timeBase),
+            Rng(cfg.machineSeed).fork(0xfau).next());
+        injector->attach(*mach, setup.daemon.get());
+    }
     headroomMv = computeHeadroomMv(*mach);
+}
+
+void
+ClusterNode::forceCrash()
+{
+    mach->injectSystemCrash();
+}
+
+void
+ClusterNode::restart(Seconds at)
+{
+    fatalIf(alive(), "restart() needs a crashed node");
+    fatalIf(at + cfg.timestep * 0.5 < now(),
+            "node ", nodeId, " cannot restart in its past");
+    priorMeterJoules += mach->energyMeter().energy();
+    priorBusyCoreSeconds += sys->busyCoreTime();
+    priorUpSeconds += sys->now();
+    timeBase = at;
+    inbox.clear();
+    inFlight.clear();
+    retriesSpent.clear();
+    harvested = 0;
+    ++restartCount;
+    buildStack();
 }
 
 void
@@ -56,7 +102,7 @@ ClusterNode::enqueue(const ClusterJob &job, std::uint32_t threads,
             cfg.chip.numCores, " cores");
     fatalIf(!inbox.empty() && arrival < inbox.back().arrival,
             "job ", job.id, " arrives out of order on node ", nodeId);
-    fatalIf(arrival + cfg.timestep * 0.5 < sys->now(),
+    fatalIf(arrival + cfg.timestep * 0.5 < now(),
             "job ", job.id, " arrives in node ", nodeId, "'s past");
     inbox.push_back({job, threads, arrival});
 }
@@ -67,41 +113,41 @@ ClusterNode::stepTo(Seconds t, bool parked)
     const Catalog &catalog = Catalog::instance();
     const Joule meter_before = mach->energyMeter().energy();
     const Seconds time_before = sys->now();
+    const Seconds local_t = t - timeBase;
+
+    const auto submitDue = [&] {
+        while (!inbox.empty()
+               && inbox.front().arrival - timeBase
+                   <= sys->now() + cfg.timestep * 0.5) {
+            const Pending &p = inbox.front();
+            const Pid pid = sys->submit(
+                catalog.byName(p.job.benchmark), p.threads);
+            inFlight[pid] = {p.job, p.threads};
+            inbox.pop_front();
+        }
+    };
 
     if (mach->macroEligible()) {
-        // Fast path (no fault injection, so the node cannot halt
-        // mid-span): run segment-wise between arrival boundaries and
+        // Fast path: run segment-wise between arrival boundaries and
         // let System::runUntil coalesce macro windows.  runUntil
         // stops exactly at the first step whose start time makes the
         // next arrival due — the same boundary the per-step loop's
-        // submit check uses — so submissions are bit-identical.
-        while (sys->now() + cfg.timestep * 0.5 < t) {
-            while (!inbox.empty()
-                   && inbox.front().arrival
-                       <= sys->now() + cfg.timestep * 0.5) {
-                const Pending &p = inbox.front();
-                const Pid pid = sys->submit(
-                    catalog.byName(p.job.benchmark), p.threads);
-                inFlight[pid] = {p.job.id, p.job.arrival, p.threads};
-                inbox.pop_front();
-            }
+        // submit check uses — so submissions are bit-identical.  An
+        // armed injector bounds every macro window to its next fault
+        // (Machine::FaultHook), so strikes land on the same step they
+        // would in a per-step replay; a crash ends the span early.
+        while (sys->now() + cfg.timestep * 0.5 < local_t) {
+            submitDue();
             const Seconds segment_end = inbox.empty()
-                ? t : std::min(t, inbox.front().arrival);
+                ? local_t
+                : std::min(local_t, inbox.front().arrival - timeBase);
             sys->runUntil(segment_end);
-            if (segment_end >= t)
+            if (segment_end >= local_t || !alive())
                 break;
         }
     } else {
-        while (alive() && sys->now() + cfg.timestep * 0.5 < t) {
-            while (!inbox.empty()
-                   && inbox.front().arrival
-                       <= sys->now() + cfg.timestep * 0.5) {
-                const Pending &p = inbox.front();
-                const Pid pid = sys->submit(
-                    catalog.byName(p.job.benchmark), p.threads);
-                inFlight[pid] = {p.job.id, p.job.arrival, p.threads};
-                inbox.pop_front();
-            }
+        while (alive() && sys->now() + cfg.timestep * 0.5 < local_t) {
+            submitDue();
             sys->step();
         }
     }
@@ -118,6 +164,7 @@ ClusterNode::stepTo(Seconds t, bool parked)
 std::vector<JobCompletion>
 ClusterNode::harvest()
 {
+    const Catalog &catalog = Catalog::instance();
     std::vector<JobCompletion> out;
     const auto &finished = sys->finishedProcesses();
     for (; harvested < finished.size(); ++harvested) {
@@ -125,16 +172,32 @@ ClusterNode::harvest()
         const auto it = inFlight.find(proc.pid);
         ECOSCHED_ASSERT(it != inFlight.end(),
                         "finished process without a cluster job");
-        const auto &[job_id, arrival, threads] = it->second;
+        const InFlightJob record = it->second;
+        inFlight.erase(it);
+
+        // Node-level re-run: a failed job (SDC, process crash, hang,
+        // timeout — not a machine crash) goes back through the local
+        // run queue under the same cluster identity.
+        if (cfg.rerunFailedJobs && isFailure(proc.outcome)
+            && proc.outcome != RunOutcome::SystemCrash && alive()
+            && retriesSpent[record.job.id] < cfg.maxJobRetries) {
+            ++retriesSpent[record.job.id];
+            const Pid pid = sys->submit(
+                catalog.byName(record.job.benchmark),
+                record.threads);
+            inFlight[pid] = record;
+            continue;
+        }
+
         JobCompletion c;
-        c.jobId = job_id;
-        c.arrival = arrival;
-        c.completed = proc.completed;
+        c.jobId = record.job.id;
+        c.arrival = record.job.arrival;
+        c.completed = timeBase + proc.completed;
         c.queueDelay = proc.queueDelay();
-        c.threads = threads;
+        c.threads = record.threads;
         c.outcome = proc.outcome;
         out.push_back(c);
-        inFlight.erase(it);
+        retriesSpent.erase(record.job.id);
     }
     return out;
 }
@@ -148,17 +211,18 @@ ClusterNode::pendingJobs() const
 Joule
 ClusterNode::energy() const
 {
-    return mach->energyMeter().energy() - parkedMeterJoules
-        + cfg.standbyPower * parkedSeconds;
+    return priorMeterJoules + mach->energyMeter().energy()
+        - parkedMeterJoules + cfg.standbyPower * parkedSeconds;
 }
 
 double
 ClusterNode::utilization() const
 {
-    const Seconds awake = sys->now() - parkedSeconds;
+    const Seconds awake =
+        priorUpSeconds + sys->now() - parkedSeconds;
     if (awake <= 0.0)
         return 0.0;
-    return sys->busyCoreTime()
+    return (priorBusyCoreSeconds + sys->busyCoreTime())
         / (static_cast<double>(cfg.chip.numCores) * awake);
 }
 

@@ -25,15 +25,17 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <tuple>
 #include <vector>
 
 #include "cluster/traffic.hh"
 #include "core/policy.hh"
+#include "inject/fault_plan.hh"
 #include "os/system.hh"
 #include "sim/machine.hh"
 
 namespace ecosched {
+
+class MachineInjector;
 
 /// Fleet node identifier (0-based index into the fleet).
 using NodeId = std::uint32_t;
@@ -53,6 +55,18 @@ struct NodeConfig
     DaemonConfig daemon;           ///< base daemon knobs
     /// Standby power drawn while parked (suspend-to-idle).
     Watt standbyPower = 0.5;
+
+    /// Machine-level faults to arm on this node (NodeCrash entries
+    /// are consumed by the cluster layer, not here).  Event times are
+    /// cluster times; a restarted node re-arms the remaining tail.
+    InjectionPlan injection;
+    /// Re-submit jobs that complete with a failure outcome (SDC &
+    /// friends; never system crashes) on this node, up to
+    /// maxJobRetries attempts per job.  The daemon-level re-run is
+    /// always disabled on cluster nodes — the node owns the retry so
+    /// the job keeps its cluster identity.
+    bool rerunFailedJobs = false;
+    std::uint32_t maxJobRetries = 1;
 };
 
 /// One harvested job completion.
@@ -76,6 +90,7 @@ class ClusterNode
 {
   public:
     ClusterNode(NodeId id, NodeConfig config);
+    ~ClusterNode();
 
     ClusterNode(const ClusterNode &) = delete;
     ClusterNode &operator=(const ClusterNode &) = delete;
@@ -85,10 +100,14 @@ class ClusterNode
     const ChipSpec &spec() const { return cfg.chip; }
     const Machine &machine() const { return *mach; }
     const System &system() const { return *sys; }
-    Seconds now() const { return sys->now(); }
+    /// Node clock in cluster time (restarts rebase the local clock).
+    Seconds now() const { return timeBase + sys->now(); }
 
     /// Whether the node is still up (fault injection can crash it).
     bool alive() const { return !mach->halted(); }
+
+    /// Times the node was brought back up after a crash.
+    std::uint32_t restarts() const { return restartCount; }
 
     /**
      * Static safe-Vmin headroom of this chip sample, in millivolts:
@@ -135,29 +154,66 @@ class ClusterNode
     /// Time spent parked so far.
     Seconds parkedTime() const { return parkedSeconds; }
 
+    /**
+     * Crash the node immediately (cluster-level fault injection):
+     * the machine halts, every in-flight and inbox job strands, and
+     * stepTo() becomes a no-op until restart().  Idempotent.
+     */
+    void forceCrash();
+
+    /**
+     * Bring a crashed node back up at cluster time @p at >= now():
+     * a fresh machine/OS/daemon stack on the same chip sample
+     * (machineSeed is identity, not history), stranded jobs
+     * discarded, energy/busy-time accounting carried over, and the
+     * injection plan's remaining tail re-armed.  The downtime span
+     * [crash, at) draws no energy.
+     */
+    void restart(Seconds at);
+
   private:
     struct Pending
     {
         ClusterJob job;
         std::uint32_t threads;
-        Seconds arrival; ///< node-local issue time
+        Seconds arrival; ///< node-local issue time (cluster clock)
     };
+
+    /// In-flight record: the cluster job and its core occupancy.
+    struct InFlightJob
+    {
+        ClusterJob job;
+        std::uint32_t threads = 0;
+    };
+
+    /// (Re)build the machine/OS/daemon stack and re-arm the
+    /// injection-plan tail from timeBase onward.
+    void buildStack();
 
     NodeId nodeId;
     NodeConfig cfg;
     std::unique_ptr<Machine> mach;
     std::unique_ptr<System> sys;
     PolicySetup setup;
+    std::unique_ptr<MachineInjector> injector;
     double headroomMv = 0.0;
 
     std::deque<Pending> inbox; ///< dispatched, not yet submitted
-    /// pid -> (job id, cluster arrival, threads) of in-flight jobs.
-    std::map<Pid, std::tuple<std::uint64_t, Seconds, std::uint32_t>>
-        inFlight;
+    std::map<Pid, InFlightJob> inFlight;
     std::size_t harvested = 0; ///< finishedProcesses() consumed
+    /// Re-runs already spent per job id (node-level retry).
+    std::map<std::uint64_t, std::uint32_t> retriesSpent;
 
     Seconds parkedSeconds = 0.0;
     Joule parkedMeterJoules = 0.0;
+
+    /// Cluster time of the current stack's local t = 0.
+    Seconds timeBase = 0.0;
+    /// Accounting carried across restarts.
+    Joule priorMeterJoules = 0.0;
+    Seconds priorBusyCoreSeconds = 0.0;
+    Seconds priorUpSeconds = 0.0;
+    std::uint32_t restartCount = 0;
 };
 
 } // namespace ecosched

@@ -133,14 +133,50 @@ Daemon::predictorMargin() const
 }
 
 Volt
+Daemon::quarantineExtra(Hertz f, std::uint32_t utilized_pmds) const
+{
+    if (utilized_pmds == 0 || quarantine.empty() || f <= 0.0)
+        return 0.0;
+    const ChipSpec &spec = sys.spec();
+    const VminFreqClass cls =
+        spec.vminFreqClass(spec.snapToLadder(f));
+    const std::size_t idx = spec.droopClassIndex(utilized_pmds);
+    const Seconds now = sys.now();
+    for (const QuarantineEntry &q : quarantine)
+        if (q.until > now && q.cls == cls && q.droopClass == idx)
+            return cfg.recovery.quarantineMargin;
+    return 0.0;
+}
+
+bool
+Daemon::isQuarantined(Hertz f, std::uint32_t utilized_pmds) const
+{
+    return quarantineExtra(f, utilized_pmds) > 0.0;
+}
+
+bool
+Daemon::inRecovery() const
+{
+    return recoveryHoldUntil >= 0.0 && sys.now() < recoveryHoldUntil;
+}
+
+Volt
 Daemon::requiredVoltage(const PlacementPlan &plan) const
 {
     const Volt table = droopTable.safeVoltageFor(
         plan.pmdFrequencies, plan.pmdUtilized);
     if (plan.utilizedPmds == 0)
         return table;
-    return std::max(table - predictorMargin(),
-                    sys.spec().vFloor);
+    Volt v = std::max(table - predictorMargin(),
+                      sys.spec().vFloor);
+    Hertz fmax = 0.0;
+    for (PmdId p = 0; p < sys.spec().numPmds(); ++p)
+        if (plan.pmdUtilized[p])
+            fmax = std::max(fmax, plan.pmdFrequencies[p]);
+    const Volt extra = quarantineExtra(fmax, plan.utilizedPmds);
+    if (extra > 0.0)
+        v = std::min(sys.spec().vNominal, std::max(v, table + extra));
+    return v;
 }
 
 Volt
@@ -160,13 +196,25 @@ Daemon::currentRequiredVoltage() const
     const Volt table = droopTable.safeVoltageFor(freqs, util);
     if (!any_busy)
         return table;
-    return std::max(table - predictorMargin(), spec.vFloor);
+    Volt v = std::max(table - predictorMargin(), spec.vFloor);
+    Hertz fmax = 0.0;
+    std::uint32_t utilized = 0;
+    for (PmdId p = 0; p < spec.numPmds(); ++p) {
+        if (!util[p])
+            continue;
+        ++utilized;
+        fmax = std::max(fmax, freqs[p]);
+    }
+    const Volt extra = quarantineExtra(fmax, utilized);
+    if (extra > 0.0)
+        v = std::min(spec.vNominal, std::max(v, table + extra));
+    return v;
 }
 
 void
 Daemon::lowerVoltageIfPossible()
 {
-    if (!cfg.controlVoltage)
+    if (!cfg.controlVoltage || inRecovery())
         return;
     Machine &machine = sys.machine();
     const Volt v_req = currentRequiredVoltage();
@@ -243,6 +291,8 @@ Daemon::applyPlan(const PlacementPlan &plan, Pid admit_pid)
         // Admissions settle on the Started event, once the new
         // process's threads actually occupy their cores.
     }
+
+    noteActivePoint();
 }
 
 std::vector<CoreId>
@@ -345,11 +395,106 @@ Daemon::tick()
         if (machine.chip().voltage() < v_req - voltEps) {
             machine.slimPro().requestVoltage(now, v_req);
             ++statistics.voltageRaises;
-        } else if (machine.chip().voltage() > v_req + voltEps) {
+        } else if (!inRecovery()
+                   && machine.chip().voltage() > v_req + voltEps) {
             machine.slimPro().requestVoltage(now, v_req);
             ++statistics.voltageDrops;
         }
     }
+
+    // Drop expired quarantine entries (their margin no longer
+    // applies; keeping them would only grow the scan).
+    std::erase_if(quarantine, [now](const QuarantineEntry &q) {
+        return q.until <= now;
+    });
+    noteActivePoint();
+}
+
+void
+Daemon::noteActivePoint()
+{
+    const Machine &machine = sys.machine();
+    const ChipSpec &spec = sys.spec();
+    Hertz fmax = 0.0;
+    std::uint32_t utilized = 0;
+    for (PmdId p = 0; p < spec.numPmds(); ++p) {
+        const bool busy = machine.coreBusy(firstCoreOfPmd(p))
+            || machine.coreBusy(secondCoreOfPmd(p));
+        if (!busy)
+            continue;
+        ++utilized;
+        fmax = std::max(fmax, machine.chip().pmdFrequency(p));
+    }
+    if (utilized == 0 || fmax <= 0.0)
+        return; // idle: a failure cannot surface from this state
+    pointCls = spec.vminFreqClass(spec.snapToLadder(fmax));
+    pointDroopClass = spec.droopClassIndex(utilized);
+    pointValid = true;
+}
+
+void
+Daemon::handleFailure(const Process &proc)
+{
+    ++recStats.detections;
+    Machine &machine = sys.machine();
+    const ChipSpec &spec = sys.spec();
+    const Seconds now = sys.now();
+
+    // Recovery phase 1 (§VI.A): restore the known-good nominal
+    // supply before any other control action touches the chip.
+    if (cfg.controlVoltage
+        && machine.chip().voltage() < spec.vNominal - voltEps) {
+        machine.slimPro().requestVoltage(now, spec.vNominal);
+        ++statistics.voltageRaises;
+    }
+    ++recStats.recoveries;
+    recoveryHoldUntil = now + cfg.recovery.hold;
+
+    // Phase 2: quarantine the V/F point that was live when the
+    // failure surfaced — its table entry is evidently optimistic
+    // for this workload.
+    if (pointValid) {
+        bool fresh = true;
+        for (QuarantineEntry &q : quarantine) {
+            if (q.cls == pointCls
+                && q.droopClass == pointDroopClass) {
+                q.until = now + cfg.recovery.quarantineWindow;
+                fresh = false;
+                break;
+            }
+        }
+        if (fresh) {
+            quarantine.push_back(
+                {pointCls, pointDroopClass,
+                 now + cfg.recovery.quarantineWindow});
+            ++recStats.quarantinedPoints;
+        }
+    }
+
+    // Phase 3: re-run or write off the victim job.
+    const auto gen_it = retryGeneration.find(proc.pid);
+    const std::uint32_t gen =
+        gen_it == retryGeneration.end() ? 0 : gen_it->second;
+    if (gen_it != retryGeneration.end())
+        retryGeneration.erase(gen_it);
+    if (cfg.recovery.rerunFailedJobs && proc.profile != nullptr
+        && gen < cfg.recovery.maxRetries) {
+        ++recStats.retries;
+        logDebug("daemon: re-running failed pid ", proc.pid,
+                 " (attempt ", gen + 1, ")");
+        const Pid retry = sys.submit(*proc.profile, proc.threads);
+        retryGeneration[retry] = gen + 1;
+    } else {
+        ++recStats.jobsLost;
+    }
+}
+
+void
+Daemon::decoratePerfReader(const PerfReaderDecorator &wrap)
+{
+    fatalIf(!wrap, "perf-reader decorator must not be null");
+    reader = wrap(std::move(reader));
+    fatalIf(!reader, "perf-reader decorator returned no reader");
 }
 
 void
@@ -364,11 +509,21 @@ Daemon::onProcessEvent(const ProcessEvent &event)
         }
         if (cfg.failSafeOrdering)
             lowerVoltageIfPossible();
+        noteActivePoint();
         return;
     }
 
     // Completed: drop monitoring state and consolidate.
     monitored.erase(event.pid);
+    const Process &proc = sys.process(event.pid);
+    if (cfg.recovery.enabled && cfg.failSafeOrdering
+        && isFailure(proc.outcome) && !sys.machine().halted()) {
+        // Fail-safe recovery runs before the consolidation below, so
+        // the first command after a detection is the nominal raise.
+        handleFailure(proc);
+    } else {
+        retryGeneration.erase(event.pid);
+    }
     if (cfg.controlPlacement) {
         const PlacementPlan plan =
             engine.plan(snapshotRequest(false));

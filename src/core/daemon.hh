@@ -28,7 +28,9 @@
 #ifndef ECOSCHED_CORE_DAEMON_HH
 #define ECOSCHED_CORE_DAEMON_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -42,6 +44,47 @@
 #include "os/system.hh"
 
 namespace ecosched {
+
+/**
+ * Fail-safe recovery knobs (§VI.A).  When a process completes with a
+ * failure outcome (SDC, crash, hang) the daemon first restores the
+ * nominal supply, then quarantines the V/F point that was live when
+ * the failure surfaced (its table entry is evidently optimistic for
+ * this workload) behind an extra guard margin, and finally re-runs
+ * or writes off the victim job.
+ */
+struct RecoveryConfig
+{
+    /// React to failed completions at all.  Recovery is part of the
+    /// fail-safe protocol: it also requires failSafeOrdering.
+    bool enabled = true;
+
+    /// Hold the supply at nominal after a detection before any
+    /// voltage lowering resumes.
+    Seconds hold = 1.0;
+
+    /// Extra margin added onto a quarantined point's table entry.
+    Volt quarantineMargin = units::mV(20.0);
+
+    /// How long a quarantined point keeps the extra margin.
+    Seconds quarantineWindow = 120.0;
+
+    /// Re-submit the victim job after a failure.
+    bool rerunFailedJobs = true;
+
+    /// Re-submissions per original job before it is written off.
+    std::uint32_t maxRetries = 1;
+};
+
+/// Fail-safe recovery bookkeeping.
+struct RecoveryStats
+{
+    std::uint64_t detections = 0;  ///< failed completions observed
+    std::uint64_t recoveries = 0;  ///< raise-to-nominal sequences
+    std::uint64_t retries = 0;     ///< victim jobs re-submitted
+    std::uint64_t quarantinedPoints = 0; ///< distinct points penalised
+    std::uint64_t jobsLost = 0;    ///< failures not re-run
+};
 
 /// Daemon knobs.
 struct DaemonConfig
@@ -93,6 +136,9 @@ struct DaemonConfig
     /// Predictor knobs (when useVminPredictor is set).
     CounterVminPredictor::Config predictor;
 
+    /// Fail-safe recovery knobs.
+    RecoveryConfig recovery;
+
     /// Seed for measurement-noise sampling.
     std::uint64_t seed = 99;
 };
@@ -143,6 +189,27 @@ class Daemon
     /// Counter-read path in use.
     const PerfReader &perfReader() const { return *reader; }
 
+    /// Fail-safe recovery bookkeeping.
+    const RecoveryStats &recoveryStats() const { return recStats; }
+
+    /// Whether a recovery hold window is active (the supply stays at
+    /// nominal; no voltage lowering until it expires).
+    bool inRecovery() const;
+
+    /// Whether the table point for running @p utilized_pmds PMDs
+    /// with the highest clock at @p f currently carries a quarantine
+    /// margin.
+    bool isQuarantined(Hertz f, std::uint32_t utilized_pmds) const;
+
+    /// Wraps the counter-read path (fault injection installs sensor
+    /// noise here; the wrapper must return a non-null reader).
+    using PerfReaderDecorator = std::function<
+        std::unique_ptr<PerfReader>(std::unique_ptr<PerfReader>)>;
+
+    /// Replace the counter-read path with a wrapper around the
+    /// current one.
+    void decoratePerfReader(const PerfReaderDecorator &wrap);
+
     // --- hooks driven by the System adapters (public so the
     // adapters can reach them; not intended for direct use) ---------
     /// Governor-tick hook: runs the monitoring part.
@@ -169,6 +236,15 @@ class Daemon
         double lastRate = -1.0; ///< last observed L3C/1M cycles
     };
 
+    /// One quarantined table point: a (frequency class, droop class)
+    /// pair, penalised until a deadline.
+    struct QuarantineEntry
+    {
+        VminFreqClass cls;
+        std::size_t droopClass;
+        Seconds until;
+    };
+
     PlacementRequest snapshotRequest(bool restrict_pmds) const;
     void applyPlan(const PlacementPlan &plan, Pid admit_pid);
     Volt requiredVoltage(const PlacementPlan &plan) const;
@@ -177,6 +253,14 @@ class Daemon
     /// Predictor margin for the live configuration (0 when the
     /// predictor is disabled or nothing runs).
     Volt predictorMargin() const;
+    /// Quarantine margin owed by the (f, utilized) table point (0
+    /// when it is not quarantined).
+    Volt quarantineExtra(Hertz f, std::uint32_t utilized_pmds) const;
+    /// Record the live V/F point (the one a later failure would
+    /// incriminate).
+    void noteActivePoint();
+    /// Fail-safe recovery for a process that completed failed.
+    void handleFailure(const Process &proc);
 
     System &sys;
     DaemonConfig cfg;
@@ -192,6 +276,18 @@ class Daemon
     /// next monitoring period (models the lazy daemon the paper's
     /// fail-safe ordering exists to avoid).  Negative when unset.
     Volt pendingVoltage = -1.0;
+
+    // --- fail-safe recovery state ----------------------------------
+    RecoveryStats recStats;
+    std::vector<QuarantineEntry> quarantine;
+    /// End of the active recovery hold window (negative when none).
+    Seconds recoveryHoldUntil = -1.0;
+    /// Retries already consumed per re-submitted pid's job chain.
+    std::map<Pid, std::uint32_t> retryGeneration;
+    /// Last busy V/F point observed after a daemon action.
+    bool pointValid = false;
+    VminFreqClass pointCls = VminFreqClass::High;
+    std::size_t pointDroopClass = 0;
 };
 
 } // namespace ecosched

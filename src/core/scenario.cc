@@ -68,6 +68,8 @@ ScenarioRunner::run(const GeneratedWorkload &workload) const
                   SystemConfig{cfg.timestep, 0.2});
     PolicySetup setup = configurePolicy(system, cfg.policy,
                                         cfg.daemon);
+    if (cfg.instrument)
+        cfg.instrument(machine, system, setup.daemon.get());
 
     const Catalog &catalog = Catalog::instance();
 
@@ -201,6 +203,7 @@ ScenarioRunner::run(const GeneratedWorkload &workload) const
     if (setup.daemon) {
         result.hasDaemon = true;
         result.daemonStats = setup.daemon->stats();
+        result.recoveryStats = setup.daemon->recoveryStats();
     }
     return result;
 }

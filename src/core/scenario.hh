@@ -10,6 +10,7 @@
 #define ECOSCHED_CORE_SCENARIO_HH
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <vector>
 
@@ -59,6 +60,7 @@ struct ScenarioResult
 
     bool hasDaemon = false;
     DaemonStats daemonStats; ///< valid when hasDaemon
+    RecoveryStats recoveryStats; ///< valid when hasDaemon
 
     std::vector<TimelineSample> timeline;
 
@@ -87,6 +89,12 @@ struct ScenarioConfig
     Seconds migrationCost = -1.0;
     /// Abort if the run exceeds workload.duration * this factor.
     double drainBoundFactor = 3.0;
+
+    /// Called once per run after the policy stack is wired and
+    /// before the first arrival (the fault-injection campaign
+    /// attaches its injector here; the daemon pointer is null for
+    /// daemon-less policies).  The callees only live for the run.
+    std::function<void(Machine &, System &, Daemon *)> instrument;
 };
 
 /**

@@ -44,6 +44,9 @@
 #include "exp/engine.hh"
 #include "exp/memo_cache.hh"
 #include "exp/thread_pool.hh"
+#include "inject/campaign.hh"
+#include "inject/fault_plan.hh"
+#include "inject/injector.hh"
 #include "os/governor.hh"
 #include "os/perf_reader.hh"
 #include "os/process.hh"

@@ -1,0 +1,52 @@
+#include "inject/campaign.hh"
+
+#include "common/error.hh"
+#include "workloads/generator.hh"
+
+namespace ecosched {
+
+CampaignRunner::CampaignRunner(CampaignConfig config)
+    : cfg(std::move(config))
+{
+    cfg.chip.validate();
+    fatalIf(cfg.duration <= 0.0,
+            "campaign duration must be positive");
+    fatalIf(cfg.drainBoundFactor <= 1.0,
+            "campaign drain bound factor must exceed 1");
+}
+
+CampaignResult
+CampaignRunner::run() const
+{
+    GeneratorConfig gc;
+    gc.duration = cfg.duration;
+    gc.maxCores = cfg.chip.numCores;
+    gc.seed = cfg.seed;
+    gc.chipName = cfg.chip.name;
+    gc.referenceFrequency = cfg.chip.fMax;
+    const GeneratedWorkload workload =
+        WorkloadGenerator(gc).generate();
+
+    // The injector's stream is forked from the campaign seed so the
+    // workload generator and injector never share draws.
+    MachineInjector injector(cfg.plan,
+                             Rng(cfg.seed).fork(0xfau).next());
+
+    ScenarioConfig sc;
+    sc.chip = cfg.chip;
+    sc.policy = cfg.policy;
+    sc.daemon = cfg.daemon;
+    sc.drainBoundFactor = cfg.drainBoundFactor;
+    sc.instrument = [&injector](Machine &machine, System &,
+                                Daemon *daemon) {
+        injector.attach(machine, daemon);
+    };
+
+    CampaignResult result;
+    result.scenario = ScenarioRunner(sc).run(workload);
+    result.injector = injector.stats();
+    result.recovery = result.scenario.recoveryStats;
+    return result;
+}
+
+} // namespace ecosched

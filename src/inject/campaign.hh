@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fault-injection campaigns over the scenario runner.
+ *
+ * A campaign replays one generated server workload with an
+ * InjectionPlan armed against the stack and reports what the faults
+ * cost: the usual scenario quantities plus the injector's delivery
+ * counters and the daemon's recovery record.  Campaigns are pure
+ * functions of (config, plan), so sweeping injection rates on the
+ * experiment engine is bit-identical for any worker count.
+ */
+
+#ifndef ECOSCHED_INJECT_CAMPAIGN_HH
+#define ECOSCHED_INJECT_CAMPAIGN_HH
+
+#include <cstdint>
+
+#include "core/scenario.hh"
+#include "inject/fault_plan.hh"
+#include "inject/injector.hh"
+
+namespace ecosched {
+
+/// One campaign's knobs.
+struct CampaignConfig
+{
+    ChipSpec chip;                       ///< platform (required)
+    PolicyKind policy = PolicyKind::Optimal;
+    Seconds duration = 600.0;            ///< workload duration
+    std::uint64_t seed = 42;             ///< workload + injector seed
+    DaemonConfig daemon;                 ///< base daemon knobs
+    InjectionPlan plan;                  ///< faults to deliver
+    /// Abort if a run exceeds duration * this factor (recovery
+    /// retries can legitimately run far past the clean drain time).
+    double drainBoundFactor = 8.0;
+};
+
+/// Everything one campaign run produced.
+struct CampaignResult
+{
+    ScenarioResult scenario;
+    InjectorStats injector;
+    RecoveryStats recovery; ///< valid when scenario.hasDaemon
+};
+
+/**
+ * Runs fault-injection campaigns.  Stateless across run() calls;
+ * each run builds a fresh workload, stack, and injector.
+ */
+class CampaignRunner
+{
+  public:
+    explicit CampaignRunner(CampaignConfig config);
+
+    /// Knobs in use.
+    const CampaignConfig &config() const { return cfg; }
+
+    /// Replay the configured workload with the plan armed.
+    CampaignResult run() const;
+
+  private:
+    CampaignConfig cfg;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_INJECT_CAMPAIGN_HH

@@ -1,0 +1,312 @@
+#include "inject/fault_plan.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+
+namespace ecosched {
+
+namespace {
+
+constexpr const char *traceHeader = "ecosched-injection-plan v1";
+
+/// Per-category fork ids for randomCampaign(): each category owns
+/// its own child stream so changing one rate never perturbs the
+/// arrivals of another.
+enum CampaignStream : std::uint64_t
+{
+    StreamThreadFaults = 1,
+    StreamDroopSpikes = 2,
+    StreamSensorNoise = 3,
+    StreamSlimPro = 4,
+    StreamNodeCrashes = 5,
+};
+
+bool
+isWindowKind(FaultKind kind)
+{
+    return kind == FaultKind::DroopSpike
+        || kind == FaultKind::SensorNoise
+        || kind == FaultKind::SlimProDelay;
+}
+
+void
+validateEvent(const FaultEvent &ev)
+{
+    fatalIf(ev.time < 0.0, "fault event time must be >= 0, got ",
+            ev.time);
+    fatalIf(isWindowKind(ev.kind) && ev.duration < 0.0,
+            faultKindName(ev.kind),
+            " window duration must be >= 0, got ", ev.duration);
+    fatalIf(ev.kind == FaultKind::ThreadFault
+                && !isFailure(ev.outcome),
+            "a ThreadFault event must carry a failure outcome");
+    fatalIf(ev.probability < 0.0 || ev.probability > 1.0,
+            "fault event probability must be in [0,1], got ",
+            ev.probability);
+    fatalIf(ev.kind == FaultKind::SlimProDelay && ev.magnitude < 0.0,
+            "SlimProDelay extra latency must be >= 0");
+    fatalIf(ev.kind == FaultKind::SensorNoise
+                && (ev.magnitude < 0.0 || ev.magnitude >= 1.0),
+            "SensorNoise relative error must be in [0,1), got ",
+            ev.magnitude);
+}
+
+void
+sortEvents(std::vector<FaultEvent> &events)
+{
+    std::stable_sort(events.begin(), events.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return std::tie(a.time, a.node, a.kind)
+                             < std::tie(b.time, b.node, b.kind);
+                     });
+}
+
+RunOutcome
+outcomeFromName(const std::string &name)
+{
+    for (const RunOutcome o :
+         {RunOutcome::Ok, RunOutcome::Sdc, RunOutcome::ProcessCrash,
+          RunOutcome::Hang, RunOutcome::Timeout,
+          RunOutcome::SystemCrash}) {
+        if (name == runOutcomeName(o))
+            return o;
+    }
+    fatal("unknown run outcome '", name, "' in injection trace");
+}
+
+FaultKind
+kindFromName(const std::string &name)
+{
+    for (const FaultKind k :
+         {FaultKind::ThreadFault, FaultKind::SystemCrash,
+          FaultKind::DroopSpike, FaultKind::SensorNoise,
+          FaultKind::SlimProDelay, FaultKind::NodeCrash}) {
+        if (name == faultKindName(k))
+            return k;
+    }
+    fatal("unknown fault kind '", name, "' in injection trace");
+}
+
+/// Poisson arrivals at @p per_hour over [0, duration) via
+/// exponential inter-arrival gaps.
+std::vector<Seconds>
+poissonArrivals(Rng rng, double per_hour, Seconds duration)
+{
+    std::vector<Seconds> times;
+    if (per_hour <= 0.0 || duration <= 0.0)
+        return times;
+    const Seconds mean_gap = 3600.0 / per_hour;
+    Seconds t = rng.exponential(mean_gap);
+    while (t < duration) {
+        times.push_back(t);
+        t += rng.exponential(mean_gap);
+    }
+    return times;
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::ThreadFault: return "thread-fault";
+    case FaultKind::SystemCrash: return "system-crash";
+    case FaultKind::DroopSpike: return "droop-spike";
+    case FaultKind::SensorNoise: return "sensor-noise";
+    case FaultKind::SlimProDelay: return "slimpro-delay";
+    case FaultKind::NodeCrash: return "node-crash";
+    }
+    ECOSCHED_PANIC("unhandled FaultKind");
+}
+
+InjectionPlan
+InjectionPlan::scripted(std::vector<FaultEvent> events)
+{
+    for (const FaultEvent &ev : events)
+        validateEvent(ev);
+    sortEvents(events);
+    InjectionPlan plan;
+    plan.list = std::move(events);
+    return plan;
+}
+
+InjectionPlan
+InjectionPlan::randomCampaign(const CampaignProfile &profile,
+                              std::uint64_t seed)
+{
+    fatalIf(profile.duration <= 0.0,
+            "campaign duration must be positive");
+    fatalIf(profile.nodes == 0, "campaign needs at least one node");
+    fatalIf(profile.sdcFraction < 0.0 || profile.sdcFraction > 1.0,
+            "sdcFraction must be in [0,1]");
+
+    const Rng root(seed);
+    std::vector<FaultEvent> events;
+
+    auto pick_node = [&](Rng &rng) {
+        return profile.nodes == 1
+            ? std::uint32_t{0}
+            : static_cast<std::uint32_t>(
+                  rng.uniformInt(0, profile.nodes - 1));
+    };
+
+    {
+        Rng rng = root.fork(StreamThreadFaults);
+        for (Seconds t : poissonArrivals(root.fork(
+                 StreamThreadFaults + 100), profile.threadFaultsPerHour,
+                 profile.duration)) {
+            FaultEvent ev;
+            ev.kind = FaultKind::ThreadFault;
+            ev.time = t;
+            ev.node = pick_node(rng);
+            ev.outcome = rng.bernoulli(profile.sdcFraction)
+                ? RunOutcome::Sdc : RunOutcome::ProcessCrash;
+            events.push_back(ev);
+        }
+    }
+    {
+        Rng rng = root.fork(StreamDroopSpikes);
+        for (Seconds t : poissonArrivals(root.fork(
+                 StreamDroopSpikes + 100), profile.droopSpikesPerHour,
+                 profile.duration)) {
+            FaultEvent ev;
+            ev.kind = FaultKind::DroopSpike;
+            ev.time = t;
+            ev.node = pick_node(rng);
+            ev.duration = profile.droopSpikeDuration;
+            ev.magnitude = profile.droopSpikeMv;
+            events.push_back(ev);
+        }
+    }
+    {
+        Rng rng = root.fork(StreamSensorNoise);
+        for (Seconds t : poissonArrivals(root.fork(
+                 StreamSensorNoise + 100),
+                 profile.sensorNoiseWindowsPerHour,
+                 profile.duration)) {
+            FaultEvent ev;
+            ev.kind = FaultKind::SensorNoise;
+            ev.time = t;
+            ev.node = pick_node(rng);
+            ev.duration = profile.sensorNoiseDuration;
+            ev.magnitude = profile.sensorNoise;
+            events.push_back(ev);
+        }
+    }
+    {
+        Rng rng = root.fork(StreamSlimPro);
+        for (Seconds t : poissonArrivals(root.fork(
+                 StreamSlimPro + 100), profile.slimproWindowsPerHour,
+                 profile.duration)) {
+            FaultEvent ev;
+            ev.kind = FaultKind::SlimProDelay;
+            ev.time = t;
+            ev.node = pick_node(rng);
+            ev.duration = profile.slimproWindowDuration;
+            ev.magnitude = profile.slimproExtraLatency;
+            ev.probability = profile.slimproDropProbability;
+            events.push_back(ev);
+        }
+    }
+    {
+        Rng rng = root.fork(StreamNodeCrashes);
+        for (Seconds t : poissonArrivals(root.fork(
+                 StreamNodeCrashes + 100), profile.nodeCrashesPerHour,
+                 profile.duration)) {
+            FaultEvent ev;
+            ev.kind = FaultKind::NodeCrash;
+            ev.time = t;
+            ev.node = pick_node(rng);
+            ev.duration = profile.nodeRestartDelay;
+            events.push_back(ev);
+        }
+    }
+
+    sortEvents(events);
+    InjectionPlan plan;
+    plan.list = std::move(events);
+    return plan;
+}
+
+InjectionPlan
+InjectionPlan::eventsForNode(std::uint32_t node) const
+{
+    InjectionPlan plan;
+    for (const FaultEvent &ev : list) {
+        if (ev.node == node)
+            plan.list.push_back(ev);
+    }
+    return plan;
+}
+
+InjectionPlan
+InjectionPlan::after(Seconds t) const
+{
+    InjectionPlan plan;
+    for (const FaultEvent &ev : list) {
+        if (ev.time < t)
+            continue;
+        FaultEvent shifted = ev;
+        shifted.time -= t;
+        plan.list.push_back(shifted);
+    }
+    return plan;
+}
+
+void
+InjectionPlan::save(std::ostream &os) const
+{
+    os << traceHeader << '\n';
+    os << std::setprecision(17);
+    for (const FaultEvent &ev : list) {
+        os << faultKindName(ev.kind) << ' ' << ev.node << ' '
+           << ev.time << ' ' << ev.duration << ' '
+           << runOutcomeName(ev.outcome) << ' ' << ev.magnitude
+           << ' ' << ev.probability << '\n';
+    }
+}
+
+InjectionPlan
+InjectionPlan::load(std::istream &is)
+{
+    std::string header;
+    fatalIf(!std::getline(is, header),
+            "injection trace is empty");
+    fatalIf(header != traceHeader,
+            "bad injection trace header '", header, "' (expected '",
+            traceHeader, "')");
+
+    std::vector<FaultEvent> events;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        std::string kind_name;
+        std::string outcome_name;
+        FaultEvent ev;
+        ls >> kind_name >> ev.node >> ev.time >> ev.duration
+           >> outcome_name >> ev.magnitude >> ev.probability;
+        fatalIf(!ls, "malformed injection trace line: '", line, "'");
+        ev.kind = kindFromName(kind_name);
+        ev.outcome = outcomeFromName(outcome_name);
+        validateEvent(ev);
+        events.push_back(ev);
+    }
+    sortEvents(events);
+    InjectionPlan plan;
+    plan.list = std::move(events);
+    return plan;
+}
+
+} // namespace ecosched

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Deterministic fault-injection plans.
+ *
+ * A plan is a time-sorted list of fault events to plant into a
+ * running stack: point strikes (a thread fault, a whole-machine
+ * crash, a whole-node crash in a fleet) and windows (a droop spike
+ * that transiently raises the required Vmin, sensor noise on the
+ * daemon's counter reads, a congested/lossy SLIMpro mailbox).
+ * Plans are either scripted directly or sampled from a rate profile
+ * with Rng::fork streams, and round-trip through a compact text
+ * trace so any campaign can be replayed exactly.
+ *
+ * The plan itself is passive data; MachineInjector (injector.hh)
+ * arms one against a Machine/Daemon stack, and ClusterSim consumes
+ * NodeCrash events directly.
+ */
+
+#ifndef ECOSCHED_INJECT_FAULT_PLAN_HH
+#define ECOSCHED_INJECT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/units.hh"
+#include "vmin/failure_model.hh"
+
+namespace ecosched {
+
+/// Kinds of faults a plan can plant.
+enum class FaultKind
+{
+    /// Point: strike one running thread with `outcome`.
+    ThreadFault,
+    /// Point: halt the whole machine (all threads die).
+    SystemCrash,
+    /// Window: the required Vmin is effectively `magnitude` mV
+    /// higher; a configuration that was safe by less than that
+    /// margin becomes stochastically lethal (FailureModel hazard).
+    DroopSpike,
+    /// Window: the daemon's counter reads are perturbed by a
+    /// relative error uniform in [-magnitude, +magnitude].
+    SensorNoise,
+    /// Window: SLIMpro voltage/frequency commands take `magnitude`
+    /// seconds longer and are dropped with `probability`.
+    SlimProDelay,
+    /// Cluster only: crash node `node`; it restarts after
+    /// `duration` seconds (never, when duration is negative).
+    NodeCrash,
+};
+
+/// Human-readable kind name (also the trace keyword).
+const char *faultKindName(FaultKind kind);
+
+/// One planned fault.
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::ThreadFault;
+    /// Target node in a fleet (single-machine runs use node 0).
+    std::uint32_t node = 0;
+    /// Start time [s].
+    Seconds time = 0.0;
+    /// Window length [s] (point events: 0; NodeCrash: downtime).
+    Seconds duration = 0.0;
+    /// ThreadFault only: the outcome to inflict.
+    RunOutcome outcome = RunOutcome::Sdc;
+    /// Kind-specific magnitude: mV (DroopSpike), relative error
+    /// (SensorNoise), extra latency in seconds (SlimProDelay).
+    double magnitude = 0.0;
+    /// SlimProDelay only: per-command drop probability.
+    double probability = 0.0;
+};
+
+/// Rates for randomCampaign() — all per hour of simulated time.
+struct CampaignProfile
+{
+    /// Planning horizon: events are drawn in [0, duration).
+    Seconds duration = 600.0;
+
+    /// Direct thread strikes (the Papadimitriou-style SDC/crash
+    /// population observed below Vmin).
+    double threadFaultsPerHour = 0.0;
+    /// Fraction of thread faults that are SDCs (the rest are
+    /// process crashes).
+    double sdcFraction = 0.6;
+
+    /// Transient droop spikes.
+    double droopSpikesPerHour = 0.0;
+    double droopSpikeMv = 25.0;
+    Seconds droopSpikeDuration = 0.5;
+
+    /// Perf-counter/sensor noise windows.
+    double sensorNoiseWindowsPerHour = 0.0;
+    double sensorNoise = 0.10;
+    Seconds sensorNoiseDuration = 5.0;
+
+    /// SLIMpro mailbox congestion windows.
+    double slimproWindowsPerHour = 0.0;
+    Seconds slimproExtraLatency = units::us(2000);
+    double slimproDropProbability = 0.5;
+    Seconds slimproWindowDuration = 2.0;
+
+    /// Whole-node crashes (fleets; nodes picked uniformly).
+    double nodeCrashesPerHour = 0.0;
+    Seconds nodeRestartDelay = 30.0;
+
+    /// Fleet size events are spread over (1: single machine).
+    std::uint32_t nodes = 1;
+};
+
+/**
+ * An immutable, time-sorted fault schedule.
+ */
+class InjectionPlan
+{
+  public:
+    /// The empty (zero-fault) plan.
+    InjectionPlan() = default;
+
+    /// Build from explicit events (sorted internally; validated).
+    /// @throws FatalError on negative times/durations or bad fields.
+    static InjectionPlan scripted(std::vector<FaultEvent> events);
+
+    /**
+     * Sample a stochastic campaign from @p profile.  Each fault
+     * category draws its Poisson arrivals from its own
+     * Rng(seed).fork(category) stream, so rates can be changed
+     * independently without perturbing the other categories.
+     */
+    static InjectionPlan randomCampaign(const CampaignProfile &profile,
+                                        std::uint64_t seed);
+
+    /// All events, ascending by (time, node, kind).
+    const std::vector<FaultEvent> &events() const { return list; }
+
+    bool empty() const { return list.empty(); }
+    std::size_t size() const { return list.size(); }
+
+    /// Subset of events targeting @p node (times unchanged).
+    InjectionPlan eventsForNode(std::uint32_t node) const;
+
+    /// Events starting at or after @p t, re-based to t = 0 (node
+    /// restarts re-arm their injector with this).  Windows that
+    /// straddle @p t are dropped with the past.
+    InjectionPlan after(Seconds t) const;
+
+    /// Write the compact replayable text trace.
+    void save(std::ostream &os) const;
+
+    /// Re-load a trace written by save().
+    /// @throws FatalError on malformed input.
+    static InjectionPlan load(std::istream &is);
+
+  private:
+    std::vector<FaultEvent> list;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_INJECT_FAULT_PLAN_HH

@@ -1,0 +1,224 @@
+#include "inject/injector.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "common/error.hh"
+#include "core/daemon.hh"
+#include "os/perf_reader.hh"
+
+namespace ecosched {
+
+namespace {
+
+/**
+ * Perf-reader decorator: forwards to the wrapped access path and
+ * multiplies the result by the injector's current noise factor.
+ * Reports the inner reader's name and cost so instrumented runs
+ * outside noise windows are indistinguishable from clean ones.
+ */
+class NoisySensorReader final : public PerfReader
+{
+  public:
+    NoisySensorReader(MachineInjector &injector,
+                      std::unique_ptr<PerfReader> inner_reader)
+        : inj(injector), inner(std::move(inner_reader))
+    {
+        fatalIf(inner == nullptr,
+                "NoisySensorReader needs an inner reader");
+    }
+
+    const char *name() const override { return inner->name(); }
+
+    double readL3PerMCycles(const ThreadCounters &delta,
+                            Rng &rng) const override
+    {
+        const double clean = inner->readL3PerMCycles(delta, rng);
+        return clean * inj.sensorPerturbation(rng);
+    }
+
+    Seconds readCost() const override { return inner->readCost(); }
+
+  private:
+    MachineInjector &inj;
+    std::unique_ptr<PerfReader> inner;
+};
+
+} // namespace
+
+MachineInjector::MachineInjector(const InjectionPlan &plan,
+                                 std::uint64_t seed)
+    : rng(seed)
+{
+    for (const FaultEvent &ev : plan.events()) {
+        switch (ev.kind) {
+        case FaultKind::ThreadFault:
+        case FaultKind::SystemCrash:
+            points.push_back(ev);
+            break;
+        case FaultKind::DroopSpike:
+            droops.push_back(ev);
+            break;
+        case FaultKind::SensorNoise:
+            noise.push_back(ev);
+            break;
+        case FaultKind::SlimProDelay:
+            slimpro.push_back(ev);
+            break;
+        case FaultKind::NodeCrash:
+            break; // cluster-level; not ours
+        }
+    }
+}
+
+void
+MachineInjector::attach(Machine &machine, Daemon *daemon)
+{
+    fatalIf(mach != nullptr,
+            "MachineInjector is already attached");
+    mach = &machine;
+    machine.setFaultHook(this);
+    machine.slimPro().setFaultModel(this);
+    if (daemon != nullptr) {
+        daemon->decoratePerfReader(
+            [this](std::unique_ptr<PerfReader> inner) {
+                return std::make_unique<NoisySensorReader>(
+                    *this, std::move(inner));
+            });
+    }
+}
+
+const FaultEvent *
+MachineInjector::activeWindow(FaultKind kind, Seconds now) const
+{
+    const std::vector<FaultEvent> *list = nullptr;
+    std::size_t *cursor = nullptr;
+    switch (kind) {
+    case FaultKind::DroopSpike:
+        list = &droops;
+        cursor = &droopCursor;
+        break;
+    case FaultKind::SensorNoise:
+        list = &noise;
+        cursor = &noiseCursor;
+        break;
+    case FaultKind::SlimProDelay:
+        list = &slimpro;
+        cursor = &slimproCursor;
+        break;
+    default:
+        ECOSCHED_PANIC("activeWindow wants a window kind");
+    }
+    while (*cursor < list->size()
+           && (*list)[*cursor].time + (*list)[*cursor].duration
+               <= now) {
+        ++*cursor;
+    }
+    if (*cursor < list->size() && (*list)[*cursor].time <= now)
+        return &(*list)[*cursor];
+    return nullptr;
+}
+
+Seconds
+MachineInjector::nextActivity(Seconds now) const
+{
+    Seconds next = std::numeric_limits<Seconds>::infinity();
+    if (pointCursor < points.size())
+        next = std::min(next, points[pointCursor].time);
+    // A live droop spike must be sampled every step; outside one the
+    // next window start bounds the macro horizon.  Sensor-noise and
+    // SLIMpro windows act only on daemon ticks and control commands,
+    // which already veto macro-stepping, so they need no bound here.
+    if (activeWindow(FaultKind::DroopSpike, now) != nullptr)
+        return now;
+    if (droopCursor < droops.size())
+        next = std::min(next, droops[droopCursor].time);
+    return next;
+}
+
+void
+MachineInjector::onStep(Machine &machine, Seconds dt)
+{
+    const Seconds now = machine.now();
+
+    // Deliver due point strikes (midpoint rule, matching arrivals).
+    while (pointCursor < points.size()
+           && points[pointCursor].time <= now + dt * 0.5) {
+        const FaultEvent &ev = points[pointCursor];
+        ++pointCursor;
+        if (ev.kind == FaultKind::SystemCrash) {
+            machine.injectSystemCrash();
+            ++injStats.systemCrashes;
+            continue;
+        }
+        if (machine.injectThreadFault(ev.outcome, rng)
+                != invalidSimThread) {
+            ++injStats.threadFaults;
+        }
+    }
+
+    // Droop spike: the effective Vmin is biased upward, so a
+    // configuration running with less margin than the spike depth
+    // becomes stochastically lethal for the window's duration.
+    const FaultEvent *spike =
+        activeWindow(FaultKind::DroopSpike, now);
+    if (spike == nullptr || machine.halted())
+        return;
+    const Volt true_vmin = machine.currentTrueVmin();
+    if (true_vmin <= 0.0)
+        return; // idle machine: a droop has nothing to corrupt
+    const Volt biased = true_vmin + units::mV(spike->magnitude);
+    const Volt v = machine.chip().voltage();
+    if (v >= biased)
+        return;
+    injStats.biasedUnsafeTime += dt;
+    const double p_run = machine.failureModel().pfail(v, biased);
+    if (p_run <= 0.0)
+        return;
+    const double hazard = -std::log(std::max(1e-12, 1.0 - p_run))
+        / machine.config().faultReferenceRuntime;
+    const double p_step = 1.0 - std::exp(-hazard * dt);
+    if (!rng.bernoulli(p_step))
+        return;
+    const RunOutcome type =
+        machine.failureModel().sampleFailureType(rng, v, biased);
+    if (machine.injectThreadFault(type, rng) != invalidSimThread)
+        ++injStats.droopStrikes;
+}
+
+bool
+MachineInjector::intercept(Seconds now, VfEventKind kind,
+                           Seconds &extra_latency)
+{
+    (void)kind;
+    const FaultEvent *window =
+        activeWindow(FaultKind::SlimProDelay, now);
+    if (window == nullptr)
+        return false;
+    if (rng.bernoulli(window->probability)) {
+        ++injStats.droppedCommands;
+        return true;
+    }
+    extra_latency += window->magnitude;
+    ++injStats.delayedCommands;
+    return false;
+}
+
+double
+MachineInjector::sensorPerturbation(Rng &reader_rng)
+{
+    if (mach == nullptr)
+        return 1.0;
+    const FaultEvent *window =
+        activeWindow(FaultKind::SensorNoise, mach->now());
+    if (window == nullptr)
+        return 1.0;
+    ++injStats.noisyReads;
+    return 1.0 + reader_rng.uniform(-window->magnitude,
+                                    window->magnitude);
+}
+
+} // namespace ecosched

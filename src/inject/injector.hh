@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Arms an InjectionPlan against one Machine/Daemon stack.
+ *
+ * The MachineInjector plugs into the three seams the simulator
+ * exposes — the machine's per-step fault hook, the SLIMpro's fault
+ * model, and the daemon's perf-reader decorator — and delivers the
+ * plan's events deterministically: point strikes land on the step
+ * whose midpoint covers their timestamp, and windows act only while
+ * simulated time is inside them.  Outside any fault window the hook
+ * reports the next activity time, so macro-stepping stays fully
+ * effective and a zero-fault plan leaves every output byte-identical
+ * to an uninstrumented run.
+ */
+
+#ifndef ECOSCHED_INJECT_INJECTOR_HH
+#define ECOSCHED_INJECT_INJECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "inject/fault_plan.hh"
+#include "platform/slimpro.hh"
+#include "sim/machine.hh"
+
+namespace ecosched {
+
+class Daemon;
+
+/// What an armed injector actually delivered.
+struct InjectorStats
+{
+    std::uint64_t threadFaults = 0;   ///< scripted strikes that hit
+    std::uint64_t systemCrashes = 0;  ///< whole-machine halts
+    std::uint64_t droopStrikes = 0;   ///< faults caused by droop bias
+    std::uint64_t droppedCommands = 0; ///< SLIMpro requests dropped
+    std::uint64_t delayedCommands = 0; ///< SLIMpro requests delayed
+    std::uint64_t noisyReads = 0;      ///< perturbed counter reads
+    /// Time spent below the droop-biased Vmin while a spike was live.
+    Seconds biasedUnsafeTime = 0.0;
+};
+
+/**
+ * Delivers one plan's machine-level events (everything except
+ * NodeCrash, which the cluster layer consumes) into a running stack.
+ * Must outlive the Machine it is attached to, or be detached first.
+ */
+class MachineInjector final : public Machine::FaultHook,
+                              public SlimProFaultModel
+{
+  public:
+    /**
+     * @param plan  Events to deliver (NodeCrash entries ignored).
+     * @param seed  Seed of the injector's private draw stream; the
+     *              injector never draws from it outside fault
+     *              windows, so a zero-fault plan consumes nothing.
+     */
+    MachineInjector(const InjectionPlan &plan, std::uint64_t seed);
+
+    /**
+     * Wire this injector into @p machine (fault hook + SLIMpro fault
+     * model) and, when @p daemon is non-null, wrap its perf reader
+     * with the sensor-noise decorator.  Call once, before the run.
+     */
+    void attach(Machine &machine, Daemon *daemon);
+
+    /// Delivery counters so far.
+    const InjectorStats &stats() const { return injStats; }
+
+    // --- Machine::FaultHook --------------------------------------------
+    Seconds nextActivity(Seconds now) const override;
+    void onStep(Machine &machine, Seconds dt) override;
+
+    // --- SlimProFaultModel ---------------------------------------------
+    bool intercept(Seconds now, VfEventKind kind,
+                   Seconds &extra_latency) override;
+
+    /**
+     * Multiplicative factor for one counter read (1.0 outside noise
+     * windows, drawing nothing; inside, uniform in [1-m, 1+m] drawn
+     * from @p reader_rng so noisy reads perturb the daemon stream
+     * the same way a noisy hardware path would).
+     */
+    double sensorPerturbation(Rng &reader_rng);
+
+  private:
+    /// Active window of @p kind at @p now, or nullptr.  Advances the
+    /// matching cursor past expired windows.
+    const FaultEvent *activeWindow(FaultKind kind, Seconds now) const;
+
+    std::vector<FaultEvent> points;   ///< ThreadFault + SystemCrash
+    std::vector<FaultEvent> droops;   ///< DroopSpike windows
+    std::vector<FaultEvent> noise;    ///< SensorNoise windows
+    std::vector<FaultEvent> slimpro;  ///< SlimProDelay windows
+    mutable std::size_t pointCursor = 0;
+    mutable std::size_t droopCursor = 0;
+    mutable std::size_t noiseCursor = 0;
+    mutable std::size_t slimproCursor = 0;
+
+    Machine *mach = nullptr;
+    Rng rng;
+    InjectorStats injStats;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_INJECT_INJECTOR_HH

@@ -268,6 +268,40 @@ System::applyPlacement(
     }
 }
 
+void
+System::terminate(Pid pid, RunOutcome outcome)
+{
+    fatalIf(outcome == RunOutcome::Ok,
+            "terminate() needs a failure outcome");
+    auto it = table.find(pid);
+    fatalIf(it == table.end(), "unknown or finished pid ", pid);
+    Process &proc = it->second;
+
+    if (proc.state == ProcessState::Queued)
+        std::erase(runQueue, pid);
+    for (std::size_t i = 0; i < proc.liveThreads.size(); ++i) {
+        const SimThreadId tid = proc.liveThreads[i];
+        const SimThread &t = node.thread(tid);
+        proc.retiredCounters.accumulate(t.counters);
+        proc.migrations += t.migrations;
+        node.stopThread(tid);
+        threadOwner.erase(tid);
+    }
+    proc.liveThreads.clear();
+    proc.cores.clear();
+
+    proc.state = ProcessState::Finished;
+    if (outcomeSeverity(outcome) > outcomeSeverity(proc.outcome))
+        proc.outcome = outcome;
+    proc.completed = now();
+    const Pid done = proc.pid;
+    finished.push_back(std::move(proc));
+    table.erase(it);
+    publish({ProcessEventKind::Completed, done, now()});
+    // The stop freed cores: the queue head may be placeable now.
+    tryPlaceQueued();
+}
+
 ThreadCounters
 System::processCounters(Pid pid) const
 {

@@ -165,6 +165,15 @@ class System
     void applyPlacement(
         const std::map<Pid, std::vector<CoreId>> &assignment);
 
+    /**
+     * Forcibly end a queued or running process with @p outcome
+     * (fault injection, fuzzing): its threads are stopped mid-
+     * flight, accumulated counters are preserved, and the Completed
+     * event is published.  @p outcome must not be Ok — a forced stop
+     * is a failure by definition.
+     */
+    void terminate(Pid pid, RunOutcome outcome);
+
     /// Aggregated PMU counters of a process (live + retired threads).
     ThreadCounters processCounters(Pid pid) const;
 

@@ -20,10 +20,16 @@ SlimPro::requestVoltage(Seconds now, Volt v)
     const Volt before = managed.voltage();
     if (std::fabs(before - v) < 1e-9)
         return 0.0;
+    Seconds extra = 0.0;
+    if (faults != nullptr
+        && faults->intercept(now, VfEventKind::VoltageChange, extra)) {
+        ++nDropped;
+        return 0.0;
+    }
     managed.setVoltage(v);
     const Seconds latency = std::fabs(v - before)
         / timingModel.voltageSlewVoltsPerSec
-        + timingModel.voltageSettle;
+        + timingModel.voltageSettle + extra;
     ++nVoltage;
     latencySum += latency;
     record({now, VfEventKind::VoltageChange, 0, before, v, latency});
@@ -37,8 +43,15 @@ SlimPro::requestPmdFrequency(Seconds now, PmdId pmd, Hertz f)
     const Hertz before = managed.pmdFrequency(pmd);
     if (std::fabs(before - snapped) < 1e-3)
         return 0.0;
+    Seconds extra = 0.0;
+    if (faults != nullptr
+        && faults->intercept(now, VfEventKind::FrequencyChange,
+                             extra)) {
+        ++nDropped;
+        return 0.0;
+    }
     managed.setPmdFrequency(pmd, snapped);
-    const Seconds latency = timingModel.frequencySettle;
+    const Seconds latency = timingModel.frequencySettle + extra;
     ++nFrequency;
     latencySum += latency;
     record({now, VfEventKind::FrequencyChange, pmd, before, snapped,

@@ -51,6 +51,27 @@ struct VfEvent
 using VfObserver = std::function<void(const Chip &, const VfEvent &)>;
 
 /**
+ * Fault model for the mailbox between the kernel and the SLIMpro
+ * (src/inject).  Voltage and frequency requests pass through it: the
+ * model may add extra latency (a congested mailbox) or drop the
+ * request outright (a lost command — the chip state is unchanged and
+ * no event is logged).  Clock-gate requests are not intercepted;
+ * they are the machine's own idle management, not daemon commands.
+ */
+class SlimProFaultModel
+{
+  public:
+    virtual ~SlimProFaultModel() = default;
+    /**
+     * Intercept one request at time @p now.  May add to
+     * @p extra_latency.
+     * @return true to drop the request entirely.
+     */
+    virtual bool intercept(Seconds now, VfEventKind kind,
+                           Seconds &extra_latency) = 0;
+};
+
+/**
  * Control plane for one Chip.  All voltage/frequency changes in the
  * library flow through this class so that transition counts and
  * latencies are accounted uniformly.
@@ -100,6 +121,13 @@ class SlimPro
     /// Install an observer (replaces any previous one).
     void setObserver(VfObserver observer);
 
+    /// Install (or clear, with nullptr) the mailbox fault model.
+    /// Non-owning; the model must outlive the SlimPro or be cleared.
+    void setFaultModel(SlimProFaultModel *model) { faults = model; }
+
+    /// Number of requests the fault model dropped.
+    std::uint64_t droppedRequests() const { return nDropped; }
+
     /// Full audit log since construction (or clearLog()).
     const std::vector<VfEvent> &log() const { return events; }
 
@@ -121,9 +149,11 @@ class SlimPro
     Chip &managed;
     Timing timingModel;
     VfObserver observer;
+    SlimProFaultModel *faults = nullptr;
     std::vector<VfEvent> events;
     std::uint64_t nVoltage = 0;
     std::uint64_t nFrequency = 0;
+    std::uint64_t nDropped = 0;
     Seconds latencySum = 0.0;
 };
 

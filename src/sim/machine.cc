@@ -449,6 +449,8 @@ Machine::step(Seconds dt)
     // --- undervolting fault injection -------------------------------
     if (cfg.injectFaults)
         injectFaultsForStep(dt);
+    if (faultHook != nullptr)
+        faultHook->onStep(*this, dt);
 
     simTime += dt;
     busyCoreSeconds += static_cast<double>(busyCoreCount) * dt;
@@ -458,6 +460,12 @@ std::uint64_t
 Machine::macroAdvance(Seconds t, Seconds dt, MacroStepHooks *hooks)
 {
     fatalIf(dt <= 0.0, "macroAdvance needs a positive dt");
+    // Fault-injection hooks need plain steps around their events:
+    // clamping the horizon to the hook's next activity both stops a
+    // window short of a pending fault and forces the per-step
+    // fallback while one is due.
+    if (faultHook != nullptr)
+        t = std::min(t, faultHook->nextActivity(simTime));
     if (!macroEligible() || !(simTime + dt * 0.5 < t))
         return 0;
     if (hooks != nullptr && !hooks->beforeStep())
@@ -642,23 +650,39 @@ Machine::injectFaultsForStep(Seconds dt)
 
     const RunOutcome type =
         failures.sampleFailureType(rng, v, true_vmin);
-    if (type == RunOutcome::SystemCrash) {
-        isHalted = true;
-        for (SimThread &t : threadSlots) {
-            if (t.finished)
-                continue;
-            t.outcome = RunOutcome::SystemCrash;
-            retireThread(t);
-        }
+    injectThreadFault(type, rng);
+}
+
+void
+Machine::injectSystemCrash()
+{
+    if (isHalted)
         return;
+    isHalted = true;
+    for (SimThread &t : threadSlots) {
+        if (t.finished)
+            continue;
+        t.outcome = RunOutcome::SystemCrash;
+        retireThread(t);
+    }
+}
+
+SimThreadId
+Machine::injectThreadFault(RunOutcome outcome, Rng &strike_rng)
+{
+    ECOSCHED_ASSERT(outcome != RunOutcome::Ok,
+                    "a fault strike needs a failure outcome");
+    if (outcome == RunOutcome::SystemCrash) {
+        injectSystemCrash();
+        return invalidSimThread;
     }
 
     // Strike one running thread uniformly at random.  Every
     // unfinished thread occupies exactly one core, so the busy-core
     // count is the running-thread count.
-    if (busyCoreCount == 0)
-        return;
-    const std::size_t pick = rng.uniformInt(
+    if (isHalted || busyCoreCount == 0)
+        return invalidSimThread;
+    const std::size_t pick = strike_rng.uniformInt(
         0, static_cast<std::size_t>(busyCoreCount) - 1);
     SimThread *victim = nullptr;
     std::size_t i = 0;
@@ -672,14 +696,15 @@ Machine::injectFaultsForStep(Seconds dt)
     }
     ECOSCHED_ASSERT(victim != nullptr,
                     "busy-core count out of sync with threads");
-    if (type == RunOutcome::Sdc) {
+    if (outcome == RunOutcome::Sdc) {
         // Silent corruption: the run continues to completion but its
         // output is wrong.
         victim->outcome = RunOutcome::Sdc;
-        return;
+        return victim->id;
     }
-    victim->outcome = type;
+    victim->outcome = outcome;
     retireThread(*victim);
+    return victim->id;
 }
 
 void

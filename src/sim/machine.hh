@@ -141,6 +141,7 @@ class Machine
     const VminModel &vminModel() const { return vmin; }
     const DroopModel &droopModel() const { return droop; }
     const FailureModel &failureModel() const { return failures; }
+    const MachineConfig &config() const { return cfg; }
     const ThermalModel &thermalModel() const { return thermal; }
     EnergyMeter &energyMeter() { return meter; }
     const EnergyMeter &energyMeter() const { return meter; }
@@ -224,6 +225,49 @@ class Machine
         virtual bool beforeStep() = 0;
         virtual void afterStep() = 0;
     };
+
+    /**
+     * External fault-injection hook (src/inject).  onStep() runs at
+     * the end of every committed plain step and may strike the
+     * machine through injectSystemCrash()/injectThreadFault().
+     * nextActivity() reports the earliest virtual time at which the
+     * hook needs per-step execution; macroAdvance() clamps its
+     * horizon to it, so a plan with no pending faults leaves the
+     * macro-stepped hot path (and its bit-exact results) untouched.
+     * nextActivity() must be non-decreasing in @p now.
+     */
+    class FaultHook
+    {
+      public:
+        virtual ~FaultHook() = default;
+        /// Earliest time per-step execution is needed (infinity:
+        /// never; <= now: right now).
+        virtual Seconds nextActivity(Seconds now) const = 0;
+        /// Called once per committed plain step, after execution and
+        /// power integration, before time advances past the step.
+        virtual void onStep(Machine &machine, Seconds dt) = 0;
+    };
+
+    /// Install (or clear, with nullptr) the fault-injection hook.
+    /// Non-owning; the hook must outlive the machine or be cleared.
+    void setFaultHook(FaultHook *hook) { faultHook = hook; }
+
+    /**
+     * Halt the whole machine, retiring every unfinished thread with
+     * a SystemCrash outcome.  The primitive behind both stochastic
+     * undervolting crashes and scripted injection; idempotent.
+     */
+    void injectSystemCrash();
+
+    /**
+     * Strike one running thread, picked uniformly via @p strike_rng,
+     * with a failure @p outcome.  SDC marks the victim but lets it
+     * run to completion; other outcomes retire it immediately, and
+     * SystemCrash halts the whole machine.
+     * @return the victim's id (invalidSimThread when nothing runs).
+     */
+    SimThreadId injectThreadFault(RunOutcome outcome,
+                                  Rng &strike_rng);
 
     /// Whether macro windows are legal at all under the current
     /// config and state (droop sampling and fault injection are
@@ -347,6 +391,7 @@ class Machine
 
     Seconds simTime = 0.0;
     bool isHalted = false;
+    FaultHook *faultHook = nullptr;
     SimThreadId nextThreadId = 1;
     /// Bound threads, dense and id-ascending (ids are monotonic and
     /// appended, so insertion order is id order).

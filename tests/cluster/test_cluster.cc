@@ -10,7 +10,9 @@
 
 #include "cluster/cluster.hh"
 #include "common/error.hh"
+#include "inject/fault_plan.hh"
 #include "platform/chip_spec.hh"
+#include "support/invariants.hh"
 
 namespace ecosched {
 namespace {
@@ -227,6 +229,143 @@ TEST(ClusterSim, IdleSleepSavesEnergyForSparseLoad)
     for (const NodeSummary &s : b.nodes)
         parked_b += s.parkedTime;
     EXPECT_DOUBLE_EQ(parked_b, 0.0);
+}
+
+TEST(ClusterNode, StructuralInvariantsHoldWhileStepping)
+{
+    ClusterNode node(0, xg2Node());
+    node.enqueue(job(1, 0.5, "mcf"), 1, 0.5);
+    node.enqueue(job(2, 2.0, "swaptions"), 4, 2.0);
+    testsupport::EnergyMonotonicityChecker energy;
+    for (Seconds t = 1.0; t <= 60.0; t += 1.0) {
+        node.stepTo(t);
+        node.harvest();
+        testsupport::checkStructuralInvariants(node.system(),
+                                               node.machine());
+        energy.check(node.machine());
+    }
+}
+
+TEST(ClusterNode, InjectedCrashIsRetriedAtNodeLevel)
+{
+    NodeConfig cfg = xg2Node();
+    cfg.rerunFailedJobs = true;
+    FaultEvent ev;
+    ev.kind = FaultKind::ThreadFault;
+    ev.time = 5.0;
+    ev.outcome = RunOutcome::ProcessCrash;
+    cfg.injection = InjectionPlan::scripted({ev});
+    ClusterNode node(0, cfg);
+
+    node.enqueue(job(1, 0.5, "mcf"), 1, 0.5);
+    std::vector<JobCompletion> done;
+    for (Seconds t = 5.0; done.empty() && t < 4000.0; t += 5.0) {
+        node.stepTo(t);
+        for (const JobCompletion &c : node.harvest())
+            done.push_back(c);
+        testsupport::checkStructuralInvariants(node.system(),
+                                               node.machine());
+    }
+    // The node absorbs the crash: the cluster sees exactly one
+    // completion for the job, and it is the successful retry.
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].jobId, 1u);
+    EXPECT_EQ(done[0].outcome, RunOutcome::Ok);
+}
+
+TEST(ClusterNode, CrashAndRestartResumesService)
+{
+    ClusterNode node(0, xg2Node());
+    node.stepTo(10.0);
+    node.forceCrash();
+    EXPECT_FALSE(node.alive());
+    const Joule crashed_energy = node.energy();
+
+    // A downed node holds its clock and billing still.
+    node.stepTo(40.0);
+    EXPECT_DOUBLE_EQ(node.energy(), crashed_energy);
+
+    node.restart(50.0);
+    EXPECT_TRUE(node.alive());
+    EXPECT_EQ(node.restarts(), 1u);
+    EXPECT_DOUBLE_EQ(node.now(), 50.0);
+
+    node.enqueue(job(1, 55.0, "mcf"), 1, 55.0);
+    std::vector<JobCompletion> done;
+    for (Seconds t = 60.0; done.empty() && t < 4000.0; t += 10.0) {
+        node.stepTo(t);
+        for (const JobCompletion &c : node.harvest())
+            done.push_back(c);
+    }
+    ASSERT_EQ(done.size(), 1u);
+    // Completion is reported on the cluster clock, not node-local.
+    EXPECT_GT(done[0].completed, 55.0);
+    EXPECT_GT(node.energy(), crashed_energy);
+}
+
+ClusterConfig
+crashCluster(unsigned jobs)
+{
+    ClusterConfig cc;
+    cc.nodes = uniformFleet(xGene2(), 4, 7);
+    cc.dispatch = DispatchPolicy::EnergyAware;
+    cc.traffic.duration = 120.0;
+    cc.traffic.arrivalsPerSecond = 0.1;
+    cc.traffic.seed = 7;
+    cc.drainBoundFactor = 20.0;
+    cc.jobs = jobs;
+    FaultEvent crash;
+    crash.kind = FaultKind::NodeCrash;
+    crash.node = 1;
+    crash.time = 30.0;
+    crash.duration = 60.0;
+    cc.injection = InjectionPlan::scripted({crash});
+    return cc;
+}
+
+TEST(ClusterSim, NodeCrashAndRestartPreservesDeterminism)
+{
+    // A mid-run node crash with restart must not disturb the
+    // worker-count invariance: the whole summary is bit-identical
+    // for --jobs 1 and --jobs 4.
+    const ClusterResult serial = ClusterSim(crashCluster(1)).run();
+    const ClusterResult threaded =
+        ClusterSim(crashCluster(4)).run();
+
+    EXPECT_EQ(serial.nodeCrashes, 1u);
+    EXPECT_EQ(serial.nodeRestarts, 1u);
+    ASSERT_EQ(serial.nodes.size(), 4u);
+    EXPECT_EQ(serial.nodes[1].restarts, 1u);
+    EXPECT_EQ(serial.jobsSubmitted,
+              serial.jobsCompleted + serial.jobsLost
+                  + serial.jobsDropped);
+
+    EXPECT_EQ(serial.totalEnergy, threaded.totalEnergy);
+    EXPECT_EQ(serial.makespan, threaded.makespan);
+    EXPECT_EQ(serial.jobsCompleted, threaded.jobsCompleted);
+    EXPECT_EQ(serial.jobsLost, threaded.jobsLost);
+    std::ostringstream a, b;
+    serial.printSummary(a);
+    threaded.printSummary(b);
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_NE(a.str().find("node restarts"), std::string::npos);
+}
+
+TEST(ClusterSim, PermanentNodeCrashStaysDown)
+{
+    ClusterConfig cc = crashCluster(1);
+    FaultEvent crash;
+    crash.kind = FaultKind::NodeCrash;
+    crash.node = 1;
+    crash.time = 30.0;
+    crash.duration = -1.0; // never restarts on its own...
+    cc.injection = InjectionPlan::scripted({crash});
+    cc.nodeRestartDelay = -1.0; // ...and no fleet-level fallback
+    const ClusterResult r = ClusterSim(cc).run();
+    EXPECT_EQ(r.nodeCrashes, 1u);
+    EXPECT_EQ(r.nodeRestarts, 0u);
+    EXPECT_EQ(r.jobsSubmitted,
+              r.jobsCompleted + r.jobsLost + r.jobsDropped);
 }
 
 } // namespace

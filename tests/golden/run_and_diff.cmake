@@ -1,0 +1,38 @@
+# Run a deterministic binary and byte-diff its stdout against a
+# committed golden file.
+#
+# Usage:
+#   cmake -DBIN=<executable> -DARGS="<space-separated args>"
+#         -DGOLDEN=<file> -DOUT=<scratch file> -P run_and_diff.cmake
+#
+# The comparison is exact (cmake -E compare_files): any drift in the
+# simulation's arithmetic, iteration order, or formatting fails the
+# test.  Regenerate a golden by running the same command and
+# committing its stdout, after convincing yourself the change is
+# intentional.
+
+if(NOT BIN OR NOT GOLDEN OR NOT OUT)
+    message(FATAL_ERROR "run_and_diff.cmake needs BIN, GOLDEN, OUT")
+endif()
+
+separate_arguments(arg_list UNIX_COMMAND "${ARGS}")
+execute_process(
+    COMMAND ${BIN} ${arg_list}
+    OUTPUT_FILE ${OUT}
+    ERROR_VARIABLE run_stderr
+    RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR
+        "${BIN} exited with ${run_rc}:\n${run_stderr}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+    RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+    execute_process(COMMAND diff -u ${GOLDEN} ${OUT}
+                    OUTPUT_VARIABLE diff_text
+                    ERROR_VARIABLE diff_text)
+    message(FATAL_ERROR
+        "output differs from golden ${GOLDEN}:\n${diff_text}")
+endif()

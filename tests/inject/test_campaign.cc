@@ -1,0 +1,369 @@
+/**
+ * @file
+ * End-to-end tests of the fault-injection campaign engine and the
+ * daemon's recovery semantics: an injected crash raises the voltage
+ * to nominal before any further scaling command, an injected SDC is
+ * flagged and re-run, the quarantined V/F point keeps its guard
+ * margin for the guard window, SLIMpro faults drop/delay commands,
+ * campaigns are seed-deterministic and worker-count invariant, and a
+ * zero-fault plan leaves the scenario outputs bit-identical.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/daemon.hh"
+#include "exp/engine.hh"
+#include "inject/campaign.hh"
+#include "inject/injector.hh"
+#include "support/invariants.hh"
+#include "workloads/catalog.hh"
+
+namespace ecosched {
+namespace {
+
+using testsupport::EnergyMonotonicityChecker;
+using testsupport::checkStructuralInvariants;
+using testsupport::checkVoltageSafeOrRecovering;
+
+/// Manual stack: machine + OS + daemon with an armed injector.
+struct Stack
+{
+    explicit Stack(const InjectionPlan &plan,
+                   DaemonConfig daemon_cfg = DaemonConfig{})
+        : machine(xGene2()), system(machine),
+          daemon(std::make_unique<Daemon>(system, daemon_cfg)),
+          injector(plan, /*seed=*/99)
+    {
+        injector.attach(machine, daemon.get());
+    }
+
+    Machine machine;
+    System system;
+    std::unique_ptr<Daemon> daemon;
+    MachineInjector injector;
+};
+
+FaultEvent
+strike(Seconds t, RunOutcome outcome)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::ThreadFault;
+    ev.time = t;
+    ev.outcome = outcome;
+    return ev;
+}
+
+TEST(Recovery, CrashRaisesVoltageToNominalBeforeAnythingElse)
+{
+    // Strike time sits off every tick/step boundary so the step
+    // that detects the failure contains no unrelated daemon tick.
+    Stack s(InjectionPlan::scripted(
+        {strike(5.0371, RunOutcome::ProcessCrash)}));
+    const ChipSpec &spec = s.machine.spec();
+    s.system.submit(Catalog::instance().byName("mcf"), 1);
+
+    // Let the daemon settle into its undervolted operating point.
+    s.system.runUntil(4.5);
+    ASSERT_LT(s.machine.chip().voltage(), spec.vNominal - 1e-6)
+        << "daemon never undervolted; the test premise is broken";
+    ASSERT_EQ(s.daemon->recoveryStats().detections, 0u);
+
+    // Step to the strike, keeping a SLIMpro-log watermark of the
+    // instant just before the detecting step.
+    std::size_t mark = s.machine.slimPro().log().size();
+    while (s.daemon->recoveryStats().detections == 0
+           && s.system.now() < 20.0) {
+        mark = s.machine.slimPro().log().size();
+        s.system.step();
+    }
+    ASSERT_EQ(s.daemon->recoveryStats().detections, 1u);
+    EXPECT_EQ(s.injector.stats().threadFaults, 1u);
+
+    // The paper's fail-safe recovery: the very first voltage or
+    // frequency command after the failure must be the raise to
+    // nominal — scaling resumes only afterwards.
+    const auto &log = s.machine.slimPro().log();
+    bool found = false;
+    for (std::size_t i = mark; i < log.size(); ++i) {
+        const VfEvent &ev = log[i];
+        if (ev.kind == VfEventKind::ClockGateChange)
+            continue;
+        ASSERT_EQ(ev.kind, VfEventKind::VoltageChange);
+        EXPECT_DOUBLE_EQ(ev.after, spec.vNominal);
+        EXPECT_GT(ev.after, ev.before);
+        found = true;
+        break;
+    }
+    ASSERT_TRUE(found) << "no control command followed the crash";
+    EXPECT_GE(s.daemon->recoveryStats().recoveries, 1u);
+}
+
+TEST(Recovery, SdcIsFlaggedAndRerun)
+{
+    Stack s(InjectionPlan::scripted({strike(5.0, RunOutcome::Sdc)}));
+    s.system.submit(Catalog::instance().byName("mcf"), 1);
+    s.system.drain(4000.0);
+
+    // The victim completes with the SDC flag; the daemon re-runs it
+    // and the retry completes Ok.
+    const auto &finished = s.system.finishedProcesses();
+    ASSERT_EQ(finished.size(), 2u);
+    EXPECT_EQ(finished[0].outcome, RunOutcome::Sdc);
+    EXPECT_EQ(finished[1].outcome, RunOutcome::Ok);
+    EXPECT_EQ(finished[0].profile, finished[1].profile);
+    EXPECT_EQ(s.daemon->recoveryStats().detections, 1u);
+    EXPECT_EQ(s.daemon->recoveryStats().retries, 1u);
+    EXPECT_EQ(s.daemon->recoveryStats().jobsLost, 0u);
+}
+
+TEST(Recovery, RetriesAreBounded)
+{
+    // Crash every attempt (crashes kill immediately; SDC lets the
+    // run finish): the first failure is retried once (maxRetries
+    // default), the second failure writes the job off.
+    Stack s(InjectionPlan::scripted(
+        {strike(2.0, RunOutcome::ProcessCrash),
+         strike(4.0, RunOutcome::ProcessCrash),
+         strike(6.0, RunOutcome::ProcessCrash),
+         strike(8.0, RunOutcome::ProcessCrash)}));
+    s.system.submit(Catalog::instance().byName("mcf"), 1);
+    s.system.drain(4000.0);
+
+    EXPECT_EQ(s.daemon->recoveryStats().retries, 1u);
+    EXPECT_EQ(s.daemon->recoveryStats().jobsLost, 1u);
+}
+
+TEST(Recovery, QuarantineHoldsItsGuardMarginThenExpires)
+{
+    DaemonConfig dc;
+    dc.recovery.quarantineWindow = 60.0;
+    dc.recovery.rerunFailedJobs = false;
+    Stack s(InjectionPlan::scripted(
+                {strike(5.0, RunOutcome::ProcessCrash)}),
+            dc);
+    const ChipSpec &spec = s.machine.spec();
+
+    // Keep the machine busy across the whole window so the struck
+    // operating point keeps getting re-selected.  Sample the live
+    // operating point before every step: the last sample taken
+    // before the detection is the point the daemon quarantines (the
+    // victim is already gone by the time the failure surfaces).
+    const BenchmarkProfile &prof = Catalog::instance().byName("mcf");
+    s.system.submit(prof, 1);
+    const auto sample_point = [&](Hertz &f, std::uint32_t &util) {
+        std::uint32_t u = 0;
+        Hertz fm = 0.0;
+        for (PmdId p = 0; p < spec.numPmds(); ++p) {
+            if (s.machine.coreBusy(firstCoreOfPmd(p))
+                || s.machine.coreBusy(secondCoreOfPmd(p))) {
+                ++u;
+                fm = std::max(fm,
+                              s.machine.chip().pmdFrequency(p));
+            }
+        }
+        if (u > 0) {
+            f = fm;
+            util = u;
+        }
+    };
+    Hertz fmax = 0.0;
+    std::uint32_t utilized = 0;
+    while (s.daemon->recoveryStats().detections == 0
+           && s.system.now() < 20.0) {
+        sample_point(fmax, utilized);
+        s.system.step();
+    }
+    ASSERT_EQ(s.daemon->recoveryStats().detections, 1u);
+    EXPECT_EQ(s.daemon->recoveryStats().quarantinedPoints, 1u);
+    const Seconds struck = s.system.now();
+    ASSERT_GT(utilized, 0u);
+    EXPECT_TRUE(s.daemon->isQuarantined(fmax, utilized));
+
+    // Inside the window the daemon must hold the guard margin above
+    // the table's safe voltage whenever that point is active (the
+    // quarantined entry is never trusted at its bare table value).
+    EnergyMonotonicityChecker energy;
+    while (s.system.now() < struck + 55.0) {
+        if (s.system.idle())
+            s.system.submit(prof, 1);
+        s.system.step();
+        checkStructuralInvariants(s.system, s.machine);
+        checkVoltageSafeOrRecovering(s.system, *s.daemon);
+        energy.check(s.machine);
+        if (s.daemon->inRecovery() || s.system.idle()
+            || !s.daemon->isQuarantined(fmax, utilized)) {
+            continue;
+        }
+        std::uint32_t util_now = 0;
+        Hertz f_now = 0.0;
+        for (PmdId p = 0; p < spec.numPmds(); ++p) {
+            if (s.machine.coreBusy(firstCoreOfPmd(p))
+                || s.machine.coreBusy(secondCoreOfPmd(p))) {
+                ++util_now;
+                f_now = std::max(
+                    f_now, s.machine.chip().pmdFrequency(p));
+            }
+        }
+        if (util_now != utilized || f_now != fmax)
+            continue; // a different operating point is live
+        const Volt guarded = std::min(
+            spec.vNominal,
+            s.daemon->table().safeVoltage(fmax, utilized)
+                + s.daemon->config().recovery.quarantineMargin);
+        EXPECT_GE(s.machine.chip().voltage(), guarded - 1e-9)
+            << "quarantined point re-selected at its bare table "
+               "voltage at t=" << s.system.now();
+    }
+
+    // Past the guard window the quarantine entry expires.
+    while (s.system.now() < struck + dc.recovery.quarantineWindow
+               + 10.0) {
+        s.system.step();
+    }
+    EXPECT_FALSE(s.daemon->isQuarantined(fmax, utilized));
+}
+
+TEST(Injector, SystemCrashHaltsTheMachine)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::SystemCrash;
+    ev.time = 3.0;
+    Stack s(InjectionPlan::scripted({ev}));
+    s.system.submit(Catalog::instance().byName("mcf"), 1);
+    for (int i = 0; i < 1000 && !s.machine.halted(); ++i)
+        s.system.step();
+    EXPECT_TRUE(s.machine.halted());
+    EXPECT_EQ(s.injector.stats().systemCrashes, 1u);
+    ASSERT_EQ(s.system.finishedProcesses().size(), 1u);
+    EXPECT_EQ(s.system.finishedProcesses()[0].outcome,
+              RunOutcome::SystemCrash);
+}
+
+TEST(Injector, SlimProWindowDropsAndDelaysCommands)
+{
+    FaultEvent window;
+    window.kind = FaultKind::SlimProDelay;
+    window.time = 0.0;
+    window.duration = 1e9;
+    window.magnitude = 0.5;
+    window.probability = 1.0; // drop everything
+    Stack drop_all(InjectionPlan::scripted({window}));
+    const Volt before = drop_all.machine.chip().voltage();
+    drop_all.machine.slimPro().requestVoltage(1.0, before - 0.05);
+    EXPECT_DOUBLE_EQ(drop_all.machine.chip().voltage(), before);
+    EXPECT_EQ(drop_all.machine.slimPro().droppedRequests(), 1u);
+    EXPECT_EQ(drop_all.injector.stats().droppedCommands, 1u);
+
+    window.probability = 0.0; // delay everything instead
+    Stack delay_all(InjectionPlan::scripted({window}));
+    const Seconds lat = delay_all.machine.slimPro().requestVoltage(
+        1.0, delay_all.machine.chip().voltage() - 0.05);
+    EXPECT_GE(lat, window.magnitude);
+    EXPECT_EQ(delay_all.injector.stats().delayedCommands, 1u);
+}
+
+TEST(Injector, SensorNoisePerturbsOnlyInsideTheWindow)
+{
+    FaultEvent window;
+    window.kind = FaultKind::SensorNoise;
+    window.time = 2.0;
+    window.duration = 6.0;
+    window.magnitude = 0.2;
+    Stack s(InjectionPlan::scripted({window}));
+    s.system.submit(Catalog::instance().byName("mcf"), 1);
+    s.system.runUntil(1.5);
+    EXPECT_EQ(s.injector.stats().noisyReads, 0u);
+    s.system.runUntil(7.5);
+    EXPECT_GT(s.injector.stats().noisyReads, 0u);
+}
+
+TEST(Campaign, ZeroFaultPlanIsBitIdentical)
+{
+    // An armed-but-empty plan must not perturb the run at all: the
+    // injector draws nothing and every macro window stays intact.
+    CampaignConfig cc;
+    cc.chip = xGene2();
+    cc.duration = 60.0;
+    cc.seed = 42;
+    const CampaignResult with = CampaignRunner(cc).run();
+    EXPECT_EQ(with.injector.threadFaults
+                  + with.injector.systemCrashes
+                  + with.injector.droopStrikes
+                  + with.injector.noisyReads,
+              0u);
+
+    GeneratorConfig gc;
+    gc.duration = cc.duration;
+    gc.maxCores = cc.chip.numCores;
+    gc.seed = cc.seed;
+    gc.chipName = cc.chip.name;
+    gc.referenceFrequency = cc.chip.fMax;
+    ScenarioConfig sc;
+    sc.chip = cc.chip;
+    sc.policy = cc.policy;
+    sc.drainBoundFactor = cc.drainBoundFactor;
+    const ScenarioResult plain = ScenarioRunner(sc).run(
+        WorkloadGenerator(gc).generate());
+
+    EXPECT_EQ(with.scenario.energy, plain.energy);
+    EXPECT_EQ(with.scenario.completionTime, plain.completionTime);
+    EXPECT_EQ(with.scenario.voltageTransitions,
+              plain.voltageTransitions);
+    EXPECT_EQ(with.scenario.frequencyTransitions,
+              plain.frequencyTransitions);
+    EXPECT_EQ(with.scenario.processesCompleted,
+              plain.processesCompleted);
+    EXPECT_EQ(with.scenario.migrations, plain.migrations);
+}
+
+TEST(Campaign, SeededCampaignIsWorkerCountInvariant)
+{
+    // Sweep injection rates on the experiment engine with 1 and 4
+    // workers: the mapped results must be bit-identical (campaigns
+    // are pure functions of their spec).
+    const std::vector<double> rates{0.0, 60.0, 180.0};
+    const auto sweep = [&](unsigned jobs) {
+        EngineConfig ec;
+        ec.jobs = jobs;
+        ec.baseSeed = 42;
+        const ExperimentEngine engine(ec);
+        return engine.mapSpecs<CampaignResult, double>(
+            rates, [](std::size_t, double rate, Rng &) {
+                CampaignProfile profile;
+                profile.duration = 60.0;
+                profile.threadFaultsPerHour = rate;
+                profile.droopSpikesPerHour = rate / 3.0;
+                CampaignConfig cc;
+                cc.chip = xGene2();
+                cc.duration = 60.0;
+                cc.seed = 42;
+                cc.plan = InjectionPlan::randomCampaign(profile, 42);
+                return CampaignRunner(cc).run();
+            });
+    };
+    const auto serial = sweep(1);
+    const auto parallel = sweep(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].scenario.energy,
+                  parallel[i].scenario.energy);
+        EXPECT_EQ(serial[i].scenario.completionTime,
+                  parallel[i].scenario.completionTime);
+        EXPECT_EQ(serial[i].recovery.detections,
+                  parallel[i].recovery.detections);
+        EXPECT_EQ(serial[i].recovery.retries,
+                  parallel[i].recovery.retries);
+        EXPECT_EQ(serial[i].injector.threadFaults,
+                  parallel[i].injector.threadFaults);
+    }
+    // The faulted runs actually injected something.
+    EXPECT_GT(serial.back().injector.threadFaults, 0u);
+}
+
+} // namespace
+} // namespace ecosched

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for InjectionPlan: scripting, validation, the stochastic
+ * campaign generator's determinism and stream independence, node
+ * filtering/re-basing, and the replayable text trace.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "inject/fault_plan.hh"
+
+namespace ecosched {
+namespace {
+
+FaultEvent
+threadFault(Seconds t, RunOutcome outcome = RunOutcome::Sdc,
+            std::uint32_t node = 0)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::ThreadFault;
+    ev.time = t;
+    ev.outcome = outcome;
+    ev.node = node;
+    return ev;
+}
+
+TEST(InjectionPlan, ScriptedSortsByTime)
+{
+    std::vector<FaultEvent> events{threadFault(5.0),
+                                   threadFault(1.0),
+                                   threadFault(3.0)};
+    const InjectionPlan plan =
+        InjectionPlan::scripted(std::move(events));
+    ASSERT_EQ(plan.size(), 3u);
+    EXPECT_DOUBLE_EQ(plan.events()[0].time, 1.0);
+    EXPECT_DOUBLE_EQ(plan.events()[1].time, 3.0);
+    EXPECT_DOUBLE_EQ(plan.events()[2].time, 5.0);
+}
+
+TEST(InjectionPlan, ScriptedValidates)
+{
+    EXPECT_THROW(InjectionPlan::scripted({threadFault(-1.0)}),
+                 FatalError);
+
+    FaultEvent ok_outcome = threadFault(1.0, RunOutcome::Ok);
+    EXPECT_THROW(InjectionPlan::scripted({ok_outcome}), FatalError);
+
+    FaultEvent bad_prob = threadFault(1.0);
+    bad_prob.probability = 1.5;
+    EXPECT_THROW(InjectionPlan::scripted({bad_prob}), FatalError);
+
+    FaultEvent bad_window;
+    bad_window.kind = FaultKind::DroopSpike;
+    bad_window.time = 1.0;
+    bad_window.duration = -2.0;
+    EXPECT_THROW(InjectionPlan::scripted({bad_window}), FatalError);
+}
+
+TEST(InjectionPlan, SaveLoadRoundTripsExactly)
+{
+    FaultEvent droop;
+    droop.kind = FaultKind::DroopSpike;
+    droop.time = 12.345678901234567;
+    droop.duration = 0.5;
+    droop.magnitude = 25.0;
+
+    FaultEvent mailbox;
+    mailbox.kind = FaultKind::SlimProDelay;
+    mailbox.time = 40.0;
+    mailbox.duration = 2.0;
+    mailbox.magnitude = 0.002;
+    mailbox.probability = 0.5;
+
+    FaultEvent crash;
+    crash.kind = FaultKind::NodeCrash;
+    crash.node = 3;
+    crash.time = 99.0;
+    crash.duration = 30.0;
+
+    const InjectionPlan plan = InjectionPlan::scripted(
+        {threadFault(7.25, RunOutcome::ProcessCrash, 1), droop,
+         mailbox, crash});
+
+    std::stringstream trace;
+    plan.save(trace);
+    const InjectionPlan replay = InjectionPlan::load(trace);
+
+    ASSERT_EQ(replay.size(), plan.size());
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        const FaultEvent &a = plan.events()[i];
+        const FaultEvent &b = replay.events()[i];
+        EXPECT_EQ(a.kind, b.kind);
+        EXPECT_EQ(a.node, b.node);
+        EXPECT_EQ(a.time, b.time); // bit-exact (precision 17)
+        EXPECT_EQ(a.duration, b.duration);
+        EXPECT_EQ(a.outcome, b.outcome);
+        EXPECT_EQ(a.magnitude, b.magnitude);
+        EXPECT_EQ(a.probability, b.probability);
+    }
+}
+
+TEST(InjectionPlan, LoadRejectsGarbage)
+{
+    std::stringstream empty;
+    EXPECT_THROW(InjectionPlan::load(empty), FatalError);
+
+    std::stringstream bad_header("not-a-plan\n");
+    EXPECT_THROW(InjectionPlan::load(bad_header), FatalError);
+
+    std::stringstream bad_line(
+        "ecosched-injection-plan v1\n"
+        "thread-fault zero NaN - oops\n");
+    EXPECT_THROW(InjectionPlan::load(bad_line), FatalError);
+}
+
+CampaignProfile
+busyProfile()
+{
+    CampaignProfile p;
+    p.duration = 3600.0;
+    p.threadFaultsPerHour = 40.0;
+    p.droopSpikesPerHour = 20.0;
+    p.sensorNoiseWindowsPerHour = 10.0;
+    p.slimproWindowsPerHour = 10.0;
+    p.nodeCrashesPerHour = 5.0;
+    p.nodes = 4;
+    return p;
+}
+
+TEST(RandomCampaign, DeterministicPerSeed)
+{
+    const InjectionPlan a =
+        InjectionPlan::randomCampaign(busyProfile(), 7);
+    const InjectionPlan b =
+        InjectionPlan::randomCampaign(busyProfile(), 7);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_GT(a.size(), 0u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.events()[i].time, b.events()[i].time);
+        EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+        EXPECT_EQ(a.events()[i].node, b.events()[i].node);
+    }
+
+    const InjectionPlan c =
+        InjectionPlan::randomCampaign(busyProfile(), 8);
+    bool differs = c.size() != a.size();
+    for (std::size_t i = 0; !differs && i < a.size(); ++i)
+        differs = a.events()[i].time != c.events()[i].time;
+    EXPECT_TRUE(differs);
+}
+
+TEST(RandomCampaign, RespectsHorizonAndFleet)
+{
+    const CampaignProfile p = busyProfile();
+    const InjectionPlan plan = InjectionPlan::randomCampaign(p, 11);
+    for (const FaultEvent &ev : plan.events()) {
+        EXPECT_GE(ev.time, 0.0);
+        EXPECT_LT(ev.time, p.duration);
+        EXPECT_LT(ev.node, p.nodes);
+    }
+}
+
+TEST(RandomCampaign, ZeroRatesGiveEmptyPlan)
+{
+    CampaignProfile p;
+    p.duration = 3600.0;
+    EXPECT_TRUE(InjectionPlan::randomCampaign(p, 3).empty());
+}
+
+TEST(RandomCampaign, CategoriesDrawIndependentStreams)
+{
+    // Turning one category off must not move another category's
+    // arrivals — each draws from its own fork of the seed.
+    CampaignProfile with = busyProfile();
+    CampaignProfile without = busyProfile();
+    without.droopSpikesPerHour = 0.0;
+    without.nodeCrashesPerHour = 0.0;
+
+    const auto faults_of = [](const InjectionPlan &plan,
+                              FaultKind kind) {
+        std::vector<Seconds> times;
+        for (const FaultEvent &ev : plan.events())
+            if (ev.kind == kind)
+                times.push_back(ev.time);
+        return times;
+    };
+
+    const InjectionPlan a =
+        InjectionPlan::randomCampaign(with, 21);
+    const InjectionPlan b =
+        InjectionPlan::randomCampaign(without, 21);
+    EXPECT_EQ(faults_of(a, FaultKind::ThreadFault),
+              faults_of(b, FaultKind::ThreadFault));
+    EXPECT_EQ(faults_of(a, FaultKind::SensorNoise),
+              faults_of(b, FaultKind::SensorNoise));
+    EXPECT_TRUE(faults_of(b, FaultKind::DroopSpike).empty());
+}
+
+TEST(InjectionPlan, EventsForNodeFilters)
+{
+    const InjectionPlan plan = InjectionPlan::scripted(
+        {threadFault(1.0, RunOutcome::Sdc, 0),
+         threadFault(2.0, RunOutcome::Sdc, 1),
+         threadFault(3.0, RunOutcome::Sdc, 0)});
+    const InjectionPlan mine = plan.eventsForNode(0);
+    ASSERT_EQ(mine.size(), 2u);
+    EXPECT_DOUBLE_EQ(mine.events()[0].time, 1.0);
+    EXPECT_DOUBLE_EQ(mine.events()[1].time, 3.0);
+    EXPECT_EQ(plan.eventsForNode(7).size(), 0u);
+}
+
+TEST(InjectionPlan, AfterRebasesTimes)
+{
+    const InjectionPlan plan = InjectionPlan::scripted(
+        {threadFault(1.0), threadFault(5.0), threadFault(9.0)});
+    const InjectionPlan tail = plan.after(4.0);
+    ASSERT_EQ(tail.size(), 2u);
+    EXPECT_DOUBLE_EQ(tail.events()[0].time, 1.0); // was 5.0
+    EXPECT_DOUBLE_EQ(tail.events()[1].time, 5.0); // was 9.0
+}
+
+} // namespace
+} // namespace ecosched

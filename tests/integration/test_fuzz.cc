@@ -2,56 +2,50 @@
  * @file
  * Randomised stress tests: drive the full stack (System + Daemon on
  * a Machine) with random operation sequences and check global
- * invariants at every step.
+ * invariants at every step.  The shared invariant set lives in
+ * tests/support/invariants.hh so the campaign and cluster suites
+ * assert exactly the same properties.
+ *
+ * Iteration count: 600 ops per seed by default; override with the
+ * ECOSCHED_FUZZ_ITERS environment variable (CI's Debug job bumps it
+ * so the ECOSCHED_DEBUG_ASSERT re-verification paths get real
+ * coverage).
  */
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
 
 #include "common/rng.hh"
 #include "core/daemon.hh"
 #include "core/droop_table.hh"
 #include "os/governor.hh"
+#include "support/invariants.hh"
 #include "workloads/catalog.hh"
 
 namespace ecosched {
 namespace {
 
-/// Structural invariants that must hold at any instant.
-void
-checkInvariants(const System &system, const Machine &machine)
+using testsupport::EnergyMonotonicityChecker;
+using testsupport::checkStructuralInvariants;
+using testsupport::checkVoltageSafeOrRecovering;
+
+/// Ops per fuzz run (env-overridable for deeper CI sweeps).
+int
+fuzzIters()
 {
-    const ChipSpec &spec = machine.spec();
-
-    // Core ownership is single-valued and consistent.
-    std::size_t busy = 0;
-    for (CoreId c = 0; c < spec.numCores; ++c) {
-        const SimThreadId tid = machine.threadOnCore(c);
-        if (tid == invalidSimThread)
-            continue;
-        ++busy;
-        ASSERT_EQ(machine.thread(tid).core, c);
+    if (const char *env = std::getenv("ECOSCHED_FUZZ_ITERS")) {
+        const int v = std::atoi(env);
+        if (v > 0)
+            return v;
     }
-    // Process records agree with machine occupancy.
-    std::size_t live = 0;
-    for (Pid pid : system.runningProcesses()) {
-        const Process &proc = system.process(pid);
-        ASSERT_EQ(proc.liveThreads.size(), proc.cores.size());
-        for (std::size_t i = 0; i < proc.cores.size(); ++i) {
-            ASSERT_EQ(machine.threadOnCore(proc.cores[i]),
-                      proc.liveThreads[i]);
-        }
-        live += proc.liveThreads.size();
-    }
-    ASSERT_EQ(live, busy);
-
-    // Electrical state stays inside the chip's envelope.
-    ASSERT_GE(machine.chip().voltage(), spec.vFloor - 1e-9);
-    ASSERT_LE(machine.chip().voltage(), spec.vNominal + 1e-9);
-    for (PmdId p = 0; p < spec.numPmds(); ++p)
-        ASSERT_TRUE(spec.onLadder(machine.chip().pmdFrequency(p)));
+    return 600;
 }
 
-/// One fuzz scenario: random submissions and random daemon churn.
+/// One fuzz scenario: random submissions, daemon churn, forced
+/// process kills (which exercise the fail-safe recovery window), and
+/// migrations under the default stack.
 void
 fuzzRun(std::uint64_t seed, bool with_daemon)
 {
@@ -65,8 +59,15 @@ fuzzRun(std::uint64_t seed, bool with_daemon)
     const auto &catalog = Catalog::instance();
     const auto pool = catalog.generatorPool();
 
-    Joule last_energy = 0.0;
-    for (int op = 0; op < 600; ++op) {
+    // Pids we forcibly killed: these (and only these) may finish
+    // with a failure outcome.  The daemon re-runs each victim once;
+    // the retry is a fresh pid and must complete Ok unless it is
+    // killed as well.
+    std::set<Pid> killed;
+
+    EnergyMonotonicityChecker energy;
+    const int iters = fuzzIters();
+    for (int op = 0; op < iters; ++op) {
         const double dice = rng.uniform();
         if (dice < 0.25) {
             // Random submission (may queue).
@@ -77,7 +78,22 @@ fuzzRun(std::uint64_t seed, bool with_daemon)
                       1u << rng.uniformInt(0, 4))
                 : 1u;
             system.submit(profile, threads);
-        } else if (dice < 0.35 && !with_daemon) {
+        } else if (dice < 0.32) {
+            // Forced kill: a failure completion mid-flight.  Under
+            // the daemon this opens a recovery window (voltage to
+            // nominal, quarantine, re-run) that the following ops —
+            // submissions, migrations, more kills — then run inside.
+            const auto running = system.runningProcesses();
+            if (!running.empty()) {
+                const Pid pid = running[rng.uniformInt(
+                    0, running.size() - 1)];
+                system.terminate(pid,
+                                 rng.bernoulli(0.5)
+                                     ? RunOutcome::Sdc
+                                     : RunOutcome::ProcessCrash);
+                killed.insert(pid);
+            }
+        } else if (dice < 0.40 && !with_daemon) {
             // Random (valid) migration under the default stack.
             const auto running = system.runningProcesses();
             const auto free = system.freeCores();
@@ -95,18 +111,23 @@ fuzzRun(std::uint64_t seed, bool with_daemon)
             for (int s = 0; s < 5; ++s)
                 system.step();
         }
-        checkInvariants(system, machine);
-        // Energy must be monotonically non-decreasing.
-        ASSERT_GE(machine.energyMeter().energy(),
-                  last_energy - 1e-12);
-        last_energy = machine.energyMeter().energy();
+        checkStructuralInvariants(system, machine);
+        if (daemon)
+            checkVoltageSafeOrRecovering(system, *daemon);
+        energy.check(machine);
     }
 
     // Everything eventually drains without violations.
     system.drain(machine.now() + 4000.0);
-    checkInvariants(system, machine);
-    for (const Process &proc : system.finishedProcesses())
-        ASSERT_EQ(proc.outcome, RunOutcome::Ok);
+    checkStructuralInvariants(system, machine);
+    if (daemon)
+        checkVoltageSafeOrRecovering(system, *daemon);
+    for (const Process &proc : system.finishedProcesses()) {
+        if (killed.count(proc.pid) != 0)
+            ASSERT_TRUE(isFailure(proc.outcome));
+        else
+            ASSERT_EQ(proc.outcome, RunOutcome::Ok);
+    }
 }
 
 class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t>
@@ -138,7 +159,8 @@ TEST(FuzzDaemonSafety, RandomChurnNeverUnsafe)
 
     Rng rng(77);
     const auto pool = Catalog::instance().generatorPool();
-    for (int op = 0; op < 400; ++op) {
+    const int iters = fuzzIters() * 2 / 3;
+    for (int op = 0; op < iters; ++op) {
         if (rng.uniform() < 0.3) {
             const auto &profile =
                 *pool[rng.uniformInt(0, pool.size() - 1)];
@@ -152,6 +174,7 @@ TEST(FuzzDaemonSafety, RandomChurnNeverUnsafe)
             system.step();
         ASSERT_FALSE(machine.halted());
         ASSERT_DOUBLE_EQ(machine.unsafeExposure(), 0.0);
+        checkVoltageSafeOrRecovering(system, daemon);
     }
 }
 

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Reusable whole-stack invariants shared by the fuzz, campaign, and
+ * cluster test suites.  Each checker is a void function asserting
+ * with gtest; call them between steps (a step may transiently pass
+ * through intermediate states, but every post-step instant must
+ * satisfy all of these).
+ */
+
+#ifndef ECOSCHED_TESTS_SUPPORT_INVARIANTS_HH
+#define ECOSCHED_TESTS_SUPPORT_INVARIANTS_HH
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/daemon.hh"
+#include "os/system.hh"
+#include "platform/topology.hh"
+#include "power/energy_meter.hh"
+
+namespace ecosched {
+namespace testsupport {
+
+/**
+ * Structural consistency: core ownership is single-valued, process
+ * records agree with machine occupancy, and the electrical state
+ * stays inside the chip's envelope (ladder frequencies, voltage
+ * within [vFloor, vNominal]).
+ */
+inline void
+checkStructuralInvariants(const System &system,
+                          const Machine &machine)
+{
+    const ChipSpec &spec = machine.spec();
+
+    // Core ownership is single-valued and consistent.
+    std::size_t busy = 0;
+    for (CoreId c = 0; c < spec.numCores; ++c) {
+        const SimThreadId tid = machine.threadOnCore(c);
+        if (tid == invalidSimThread)
+            continue;
+        ++busy;
+        ASSERT_EQ(machine.thread(tid).core, c);
+    }
+    // Process records agree with machine occupancy.
+    std::size_t live = 0;
+    for (Pid pid : system.runningProcesses()) {
+        const Process &proc = system.process(pid);
+        ASSERT_EQ(proc.liveThreads.size(), proc.cores.size());
+        for (std::size_t i = 0; i < proc.cores.size(); ++i) {
+            ASSERT_EQ(machine.threadOnCore(proc.cores[i]),
+                      proc.liveThreads[i]);
+        }
+        live += proc.liveThreads.size();
+    }
+    ASSERT_EQ(live, busy);
+
+    // Electrical state stays inside the chip's envelope.
+    ASSERT_GE(machine.chip().voltage(), spec.vFloor - 1e-9);
+    ASSERT_LE(machine.chip().voltage(), spec.vNominal + 1e-9);
+    for (PmdId p = 0; p < spec.numPmds(); ++p)
+        ASSERT_TRUE(spec.onLadder(machine.chip().pmdFrequency(p)));
+}
+
+/**
+ * Fail-safe voltage invariant of a daemon-controlled stack: outside
+ * a recovery window the supply must cover the droop table's safe
+ * Vmin for the current operating point (per-PMD frequencies and the
+ * utilized-PMD set).  During recovery the daemon has just commanded
+ * nominal and the invariant is suspended while the plan re-settles.
+ */
+inline void
+checkVoltageSafeOrRecovering(const System &system,
+                             const Daemon &daemon)
+{
+    const Machine &machine = system.machine();
+    if (machine.halted() || !daemon.config().controlVoltage
+        || daemon.inRecovery()) {
+        return;
+    }
+    const ChipSpec &spec = machine.spec();
+    std::vector<Hertz> freqs(spec.numPmds(), 0.0);
+    std::vector<bool> utilized(spec.numPmds(), false);
+    bool any = false;
+    for (PmdId p = 0; p < spec.numPmds(); ++p) {
+        freqs[p] = machine.chip().pmdFrequency(p);
+        utilized[p] = machine.coreBusy(firstCoreOfPmd(p))
+            || machine.coreBusy(secondCoreOfPmd(p));
+        any = any || utilized[p];
+    }
+    if (!any)
+        return; // idle chip: no operating point to cover
+    const Volt safe = daemon.table().safeVoltageFor(freqs, utilized);
+    ASSERT_GE(machine.chip().voltage(), safe - 1e-9)
+        << "supply below the table-safe Vmin at t="
+        << machine.now();
+}
+
+/**
+ * Stateful energy-meter monotonicity checker: metered energy must
+ * never decrease across checks on the same machine.
+ */
+class EnergyMonotonicityChecker
+{
+  public:
+    void check(const Machine &machine)
+    {
+        const Joule now = machine.energyMeter().energy();
+        ASSERT_GE(now, last - 1e-12);
+        last = now;
+    }
+
+  private:
+    Joule last = 0.0;
+};
+
+} // namespace testsupport
+} // namespace ecosched
+
+#endif // ECOSCHED_TESTS_SUPPORT_INVARIANTS_HH

@@ -16,6 +16,11 @@
  *   cluster <nodes> <policy> <duration_s> <seed>
  *                                       simulate a heterogeneous
  *                                       fleet under open arrivals
+ *   campaign <chip> <duration_s> <seed> [faults_per_hour]
+ *                                       sweep fault-injection rates
+ *                                       against the fail-safe
+ *                                       protocol; --save-plan/--plan
+ *                                       dump or replay a trace
  *
  * Chips: xgene2 | xgene3.  Policies: baseline | safevmin |
  * placement | optimal.  Dispatch policies (cluster): round_robin |
@@ -52,6 +57,8 @@ printUsage(std::ostream &os)
           "[timeline.csv]\n"
           "  ecosched eval <chip> <duration_s> <seed>\n"
           "  ecosched cluster <nodes> <dispatch> <duration_s> <seed>\n"
+          "  ecosched campaign <chip> <duration_s> <seed> "
+          "[faults_per_hour] [--plan file | --save-plan file]\n"
           "chips: xgene2 | xgene3\n"
           "policies: baseline | safevmin | placement | optimal\n"
           "dispatch: round_robin | least_loaded | energy_aware\n"
@@ -72,6 +79,28 @@ usageError(const std::string &message)
 {
     std::cerr << "error: " << message << "\n";
     return usage();
+}
+
+/// Strip `<flag> VALUE` / `<flag>=VALUE` from argv; "" if absent.
+std::string
+stripValueFlag(int &argc, char **argv, const std::string &flag)
+{
+    std::string value;
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == flag && i + 1 < argc) {
+            value = argv[++i];
+            continue;
+        }
+        if (arg.rfind(flag + "=", 0) == 0) {
+            value = arg.substr(flag.size() + 1);
+            continue;
+        }
+        argv[w++] = argv[i];
+    }
+    argc = w;
+    return value;
 }
 
 ChipSpec
@@ -343,6 +372,82 @@ cmdCluster(std::size_t nodes, DispatchPolicy dispatch,
     return 0;
 }
 
+int
+cmdCampaign(const ChipSpec &chip, Seconds duration,
+            std::uint64_t seed, double rate, unsigned jobs,
+            const std::string &plan_in, const std::string &plan_out)
+{
+    // Replay mode: a saved trace pins the exact fault sequence.
+    InjectionPlan loaded;
+    const bool replay = !plan_in.empty();
+    if (replay) {
+        std::ifstream in(plan_in);
+        fatalIf(!in, "cannot open '", plan_in, "' for reading");
+        loaded = InjectionPlan::load(in);
+    }
+
+    // One campaign per rate rung (replay: one rung, the trace).
+    const std::vector<double> rates = replay
+        ? std::vector<double>{rate}
+        : std::vector<double>{0.0, rate / 2.0, rate, rate * 2.0};
+    const auto planFor = [&](double r) {
+        if (replay)
+            return loaded;
+        CampaignProfile profile;
+        profile.duration = duration;
+        profile.threadFaultsPerHour = r;
+        profile.droopSpikesPerHour = r / 3.0;
+        profile.sensorNoiseWindowsPerHour = r / 6.0;
+        profile.slimproWindowsPerHour = r / 6.0;
+        return InjectionPlan::randomCampaign(profile, seed);
+    };
+
+    if (!plan_out.empty()) {
+        std::ofstream out(plan_out);
+        fatalIf(!out, "cannot open '", plan_out, "' for writing");
+        planFor(rates.back()).save(out);
+        std::cerr << "plan saved to " << plan_out << "\n";
+    }
+
+    EngineConfig ec;
+    ec.jobs = jobs;
+    ec.baseSeed = seed;
+    const ExperimentEngine engine{ec};
+    const std::vector<CampaignResult> results =
+        engine.mapSpecs<CampaignResult, double>(
+            rates, [&](std::size_t, double r, Rng &) {
+                CampaignConfig cc;
+                cc.chip = chip;
+                cc.duration = duration;
+                cc.seed = seed;
+                cc.plan = planFor(r);
+                return CampaignRunner(cc).run();
+            });
+
+    TextTable t({"faults/h", "events", "detect", "recover", "retry",
+                 "quarant", "lost", "energy (J)", "time (s)"});
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        const CampaignResult &r = results[i];
+        t.addRow({replay ? "replay" : formatDouble(rates[i], 0),
+                  std::to_string(planFor(rates[i]).size()),
+                  std::to_string(r.recovery.detections),
+                  std::to_string(r.recovery.recoveries),
+                  std::to_string(r.recovery.retries),
+                  std::to_string(r.recovery.quarantinedPoints),
+                  std::to_string(r.recovery.jobsLost),
+                  formatDouble(r.scenario.energy, 2),
+                  formatDouble(r.scenario.completionTime, 1)});
+    }
+    std::cout << chip.name << " fail-safe campaign ("
+              << policyKindName(PolicyKind::Optimal)
+              << " configuration, seed " << seed << "):\n";
+    t.print(std::cout);
+    // Worker count goes to stderr: stdout is --jobs invariant.
+    std::cerr << "(" << engine.jobs() << " worker"
+              << (engine.jobs() == 1 ? "" : "s") << ")\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -432,6 +537,20 @@ main(int argc, char **argv)
                 dispatchPolicyByName(argv[3]), std::atof(argv[4]),
                 static_cast<std::uint64_t>(std::atoll(argv[5])),
                 jobs);
+        }
+        if (cmd == "campaign") {
+            const std::string plan_in =
+                stripValueFlag(argc, argv, "--plan");
+            const std::string plan_out =
+                stripValueFlag(argc, argv, "--save-plan");
+            if (argc < 5)
+                return usageError(
+                    "campaign: needs <chip> <duration_s> <seed>");
+            return cmdCampaign(
+                chipByName(argv[2]), std::atof(argv[3]),
+                static_cast<std::uint64_t>(std::atoll(argv[4])),
+                argc > 5 ? std::atof(argv[5]) : 30.0, jobs,
+                plan_in, plan_out);
         }
     } catch (const FatalError &e) {
         std::cerr << "error: " << e.what() << "\n";
