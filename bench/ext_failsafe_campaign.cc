@@ -47,6 +47,9 @@ main(int argc, char **argv)
     }
 
     const ExperimentEngine engine = makeEngine(opt);
+    // Campaign cells on one chip share a stack identity; the pool
+    // rewinds a parked stack to its pristine snapshot per cell.
+    SimStackPool stacks;
     const std::vector<CampaignResult> grid =
         engine.mapSpecs<CampaignResult, Cell>(
             cells, [&](std::size_t, const Cell &cell, Rng &) {
@@ -60,6 +63,7 @@ main(int argc, char **argv)
                 cc.seed = opt.seed;
                 cc.plan =
                     InjectionPlan::randomCampaign(profile, opt.seed);
+                cc.stackPool = &stacks;
                 return CampaignRunner(cc).run();
             });
 

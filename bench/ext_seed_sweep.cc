@@ -48,6 +48,10 @@ main(int argc, char **argv)
     EngineConfig ec;
     ec.jobs = jobs;
     const ExperimentEngine engine{ec};
+    // One stack identity per policy: every seed replays through a
+    // stack rewound to its pristine snapshot instead of a fresh
+    // construction per cell (4 builds for seeds x 4 cells).
+    SimStackPool stacks;
     const std::vector<ScenarioResult> grid =
         engine.mapSpecs<ScenarioResult, Cell>(
             cells, [&](std::size_t, const Cell &cell, Rng &) {
@@ -55,7 +59,7 @@ main(int argc, char **argv)
                 opt.duration = duration;
                 opt.seed = cell.seed;
                 return runPolicy(chip, makeWorkload(chip, opt),
-                                 cell.policy);
+                                 cell.policy, &stacks);
             });
 
     RunningStats safe_savings;

@@ -25,7 +25,8 @@ namespace {
 
 void
 energyGrid(const ExperimentEngine &engine,
-           MemoCache<RunStats> &cache, const ChipSpec &chip,
+           MemoCache<RunStats> &cache, MachinePool &arenas,
+           const ChipSpec &chip,
            const std::vector<std::uint32_t> &thread_options,
            const std::vector<Hertz> &freq_options)
 {
@@ -51,7 +52,7 @@ energyGrid(const ExperimentEngine &engine,
         }
     }
     const std::vector<RunStats> stats =
-        runConfigurations(engine, chip, points, &cache);
+        runConfigurations(engine, chip, points, &cache, &arenas);
 
     const std::size_t grid =
         thread_options.size() * freq_options.size();
@@ -83,10 +84,11 @@ main(int argc, char **argv)
     ec.jobs = stripJobsFlag(argc, argv);
     const ExperimentEngine engine{ec};
     MemoCache<RunStats> cache;
+    MachinePool arenas;
 
-    energyGrid(engine, cache, xGene2(), {8, 4, 2},
+    energyGrid(engine, cache, arenas, xGene2(), {8, 4, 2},
                {GHz(2.4), GHz(1.2), GHz(0.9)});
-    energyGrid(engine, cache, xGene3(), {32, 16, 8},
+    energyGrid(engine, cache, arenas, xGene3(), {32, 16, 8},
                {GHz(3.0), GHz(1.5)});
 
     std::cout << "Paper reference: 0.9 GHz is cheapest for every "

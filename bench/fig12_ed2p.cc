@@ -23,7 +23,7 @@ namespace {
 
 void
 ed2pGrid(const ExperimentEngine &engine, MemoCache<RunStats> &cache,
-         const ChipSpec &chip,
+         MachinePool &arenas, const ChipSpec &chip,
          const std::vector<std::uint32_t> &thread_options,
          const std::vector<Hertz> &freq_options)
 {
@@ -46,7 +46,7 @@ ed2pGrid(const ExperimentEngine &engine, MemoCache<RunStats> &cache,
         }
     }
     const std::vector<RunStats> stats =
-        runConfigurations(engine, chip, points, &cache);
+        runConfigurations(engine, chip, points, &cache, &arenas);
 
     std::size_t idx = 0;
     for (const auto *bench : benchmarks) {
@@ -90,10 +90,11 @@ main(int argc, char **argv)
     ec.jobs = stripJobsFlag(argc, argv);
     const ExperimentEngine engine{ec};
     MemoCache<RunStats> cache;
+    MachinePool arenas;
 
-    ed2pGrid(engine, cache, xGene2(), {8, 4, 2},
+    ed2pGrid(engine, cache, arenas, xGene2(), {8, 4, 2},
              {GHz(2.4), GHz(1.2), GHz(0.9)});
-    ed2pGrid(engine, cache, xGene3(), {32, 16, 8},
+    ed2pGrid(engine, cache, arenas, xGene3(), {32, 16, 8},
              {GHz(3.0), GHz(1.5)});
 
     std::cout << "Paper reference: namd/EP prefer the highest "

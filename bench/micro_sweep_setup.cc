@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Sweep-setup microbenchmark: end-to-end cost of a Figure 11 style
+ * characterization grid on the two execution paths.
+ *
+ *  - legacy: one fresh Machine per grid point, plain 10 ms step loop
+ *    (`runConfiguration`) — what every characterization bench did
+ *    before the snapshot/prototype layer;
+ *  - arena:  the pooled path (`runConfigurations`) — points sharing
+ *    a chip sample fork off one prototype machine rewound to its
+ *    pristine snapshot, macro-stepped to completion.
+ *
+ * Both paths produce bit-identical RunStats (pinned here and by the
+ * sweep-equality tests); what the arena path buys is setup time: the
+ * Vmin characterization, droop tables and placement engine are built
+ * once per (chip, seed) instead of once per point.
+ *
+ * Emits machine-readable JSON (schema `ecosched.sweep_setup/1`,
+ * documented in EXPERIMENTS.md) to BENCH_sweep_setup.json and to
+ * stdout, so CI can compare runs against a committed baseline with
+ * tools/check_sweep_setup.py.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "run_common.hh"
+
+using namespace ecosched;
+using namespace ecosched::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One chip's measured sweep.
+struct Result
+{
+    std::string chip;
+    std::size_t points = 0;
+    double legacyWallSec = 0.0;
+    double arenaWallSec = 0.0;
+    std::uint64_t arenaBuilds = 0;
+    std::uint64_t arenaReuses = 0;
+
+    double speedup() const
+    {
+        return arenaWallSec > 0.0 ? legacyWallSec / arenaWallSec
+                                  : 0.0;
+    }
+};
+
+/// The Figure 11 grid for one chip (every spotlight benchmark at
+/// every thread/frequency configuration, safe Vmin).
+std::vector<ConfigPoint>
+fig11Grid(const std::vector<std::uint32_t> &thread_options,
+          const std::vector<Hertz> &freq_options)
+{
+    std::vector<ConfigPoint> points;
+    for (const auto *bench : Catalog::instance().figureBenchmarks()) {
+        for (std::uint32_t threads : thread_options) {
+            for (Hertz f : freq_options) {
+                points.push_back({bench, threads,
+                                  Allocation::Spreaded, f,
+                                  /*undervolt=*/true, /*seed=*/1});
+            }
+        }
+    }
+    return points;
+}
+
+/// Bitwise equality of two RunStats (every field is a double).
+bool
+identical(const RunStats &a, const RunStats &b)
+{
+    return std::memcmp(&a, &b, sizeof(RunStats)) == 0;
+}
+
+Result
+measureChip(const ExperimentEngine &engine, const ChipSpec &chip,
+            const std::vector<ConfigPoint> &points, int repeats)
+{
+    Result r;
+    r.chip = chip.name;
+    r.points = points.size();
+
+    std::vector<RunStats> legacy;
+    std::vector<RunStats> arena;
+    for (int rep = 0; rep < repeats; ++rep) {
+        const auto t0 = Clock::now();
+        legacy = engine.mapSpecs<RunStats, ConfigPoint>(
+            points, [&chip](std::size_t, const ConfigPoint &p, Rng &) {
+                return runConfiguration(chip, *p.bench, p.threads,
+                                        p.alloc, p.freq, p.undervolt,
+                                        p.seed);
+            });
+        const auto t1 = Clock::now();
+        MachinePool pool;
+        arena = runConfigurations(engine, chip, points,
+                                  /*cache=*/nullptr, &pool);
+        const auto t2 = Clock::now();
+        r.legacyWallSec +=
+            std::chrono::duration<double>(t1 - t0).count();
+        r.arenaWallSec +=
+            std::chrono::duration<double>(t2 - t1).count();
+        r.arenaBuilds += pool.stats().builds;
+        r.arenaReuses += pool.stats().reuses;
+    }
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (!identical(legacy[i], arena[i])) {
+            std::cerr << "FATAL: legacy/arena divergence on "
+                      << chip.name << " point " << i << "\n";
+            std::exit(1);
+        }
+    }
+    return r;
+}
+
+std::string
+toJson(const std::vector<Result> &results, unsigned jobs)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "{\n  \"schema\": \"ecosched.sweep_setup/1\",\n"
+       << "  \"jobs\": " << jobs << ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const Result &r = results[i];
+        os << "    {\"chip\": \"" << r.chip << "\", \"points\": "
+           << r.points << ", \"legacy_wall_sec\": " << r.legacyWallSec
+           << ", \"arena_wall_sec\": " << r.arenaWallSec
+           << ", \"speedup\": " << r.speedup()
+           << ", \"arena_builds\": " << r.arenaBuilds
+           << ", \"arena_reuses\": " << r.arenaReuses << "}"
+           << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out = "BENCH_sweep_setup.json";
+    int repeats = 3;
+    unsigned jobs = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            repeats = 1;
+        } else if (arg == "--out" && i + 1 < argc) {
+            out = argv[++i];
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else {
+            std::cerr << "usage: " << argv[0]
+                      << " [--quick] [--jobs N] [--out FILE]\n";
+            return 2;
+        }
+    }
+
+    using namespace units;
+    EngineConfig ec;
+    ec.jobs = jobs == 0 ? 1 : jobs;
+    const ExperimentEngine engine{ec};
+
+    std::vector<Result> results;
+    results.push_back(measureChip(
+        engine, xGene2(),
+        fig11Grid({8, 4, 2}, {GHz(2.4), GHz(1.2), GHz(0.9)}),
+        repeats));
+    results.push_back(measureChip(
+        engine, xGene3(),
+        fig11Grid({32, 16, 8}, {GHz(3.0), GHz(1.5)}), repeats));
+
+    const std::string json = toJson(results, ec.jobs);
+    std::cout << json;
+    std::ofstream file(out);
+    file << json;
+    if (!file) {
+        std::cerr << "failed to write " << out << "\n";
+        return 1;
+    }
+    return 0;
+}

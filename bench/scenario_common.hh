@@ -73,14 +73,17 @@ makeWorkload(const ChipSpec &chip, const ScenarioOptions &opt)
     return WorkloadGenerator(gc).generate();
 }
 
-/// Run one configuration over a workload.
+/// Run one configuration over a workload.  @p pool (optional) lets
+/// repeated replays of the same policy reuse a leased stack instead
+/// of constructing one per run — bit-identical either way.
 inline ScenarioResult
 runPolicy(const ChipSpec &chip, const GeneratedWorkload &workload,
-          PolicyKind policy)
+          PolicyKind policy, SimStackPool *pool = nullptr)
 {
     ScenarioConfig sc;
     sc.chip = chip;
     sc.policy = policy;
+    sc.stackPool = pool;
     return ScenarioRunner(sc).run(workload);
 }
 
@@ -98,12 +101,13 @@ inline constexpr std::array<PolicyKind, 4> allPolicies = {
 inline std::vector<ScenarioResult>
 runPolicies(const ExperimentEngine &engine, const ChipSpec &chip,
             const GeneratedWorkload &workload,
-            const std::vector<PolicyKind> &policies)
+            const std::vector<PolicyKind> &policies,
+            SimStackPool *pool = nullptr)
 {
     return engine.mapSpecs<ScenarioResult, PolicyKind>(
         policies,
-        [&](std::size_t, PolicyKind policy, Rng &) {
-            return runPolicy(chip, workload, policy);
+        [&, pool](std::size_t, PolicyKind policy, Rng &) {
+            return runPolicy(chip, workload, policy, pool);
         });
 }
 

@@ -26,9 +26,10 @@ main(int argc, char **argv)
               << " invocations, seed " << opt.seed << ") ===\n\n";
 
     const ExperimentEngine engine = makeEngine(opt);
+    SimStackPool stacks;
     const std::vector<ScenarioResult> results = runPolicies(
         engine, chip, workload,
-        {allPolicies.begin(), allPolicies.end()});
+        {allPolicies.begin(), allPolicies.end()}, &stacks);
 
     printEvaluationTable(chip, results);
 

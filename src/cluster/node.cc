@@ -48,13 +48,21 @@ ClusterNode::~ClusterNode() = default;
 void
 ClusterNode::buildStack()
 {
-    MachineConfig mcfg;
-    mcfg.seed = cfg.machineSeed;
-    mcfg.injectFaults = cfg.injectFaults;
-    mach = std::make_unique<Machine>(cfg.chip, mcfg);
-    sys = std::make_unique<System>(*mach, nullptr, nullptr,
-                                   SystemConfig{cfg.timestep, 0.2});
-    setup = configurePolicy(*sys, cfg.policy, cfg.daemon);
+    if (stack == nullptr) {
+        SimStackConfig scfg;
+        scfg.chip = cfg.chip;
+        scfg.policy = cfg.policy;
+        scfg.machineSeed = cfg.machineSeed;
+        scfg.timestep = cfg.timestep;
+        scfg.daemon = cfg.daemon;
+        scfg.injectFaults = cfg.injectFaults;
+        stack = std::make_unique<SimStack>(scfg);
+    } else {
+        // Restart path: a pristine rewind is bit-identical to a
+        // fresh construction (the snapshot round-trip guarantee)
+        // and skips rebuilding the machine and its models.
+        stack->restoreToPristine();
+    }
     injector.reset();
     if (!cfg.injection.empty()) {
         // Re-base the plan tail onto the stack's local clock; the
@@ -63,15 +71,75 @@ ClusterNode::buildStack()
         injector = std::make_unique<MachineInjector>(
             cfg.injection.after(timeBase),
             Rng(cfg.machineSeed).fork(0xfau).next());
-        injector->attach(*mach, setup.daemon.get());
+        injector->attach(stack->machine(), stack->daemon());
     }
-    headroomMv = computeHeadroomMv(*mach);
+    headroomMv = computeHeadroomMv(stack->machine());
+}
+
+ClusterNode::Snapshot
+ClusterNode::capture() const
+{
+    Snapshot s;
+    s.stack = stack->capture();
+    s.hasInjector = injector != nullptr;
+    if (injector)
+        s.injector = injector->capture();
+    s.inbox = inbox;
+    s.inFlight = inFlight;
+    s.harvested = harvested;
+    s.retriesSpent = retriesSpent;
+    s.parkedSeconds = parkedSeconds;
+    s.parkedMeterJoules = parkedMeterJoules;
+    s.timeBase = timeBase;
+    s.priorMeterJoules = priorMeterJoules;
+    s.priorBusyCoreSeconds = priorBusyCoreSeconds;
+    s.priorUpSeconds = priorUpSeconds;
+    s.restartCount = restartCount;
+    return s;
+}
+
+void
+ClusterNode::restore(const Snapshot &s)
+{
+    stack->restore(s.stack);
+    inbox = s.inbox;
+    inFlight = s.inFlight;
+    harvested = s.harvested;
+    retriesSpent = s.retriesSpent;
+    parkedSeconds = s.parkedSeconds;
+    parkedMeterJoules = s.parkedMeterJoules;
+    timeBase = s.timeBase;
+    priorMeterJoules = s.priorMeterJoules;
+    priorBusyCoreSeconds = s.priorBusyCoreSeconds;
+    priorUpSeconds = s.priorUpSeconds;
+    restartCount = s.restartCount;
+    // Re-arm the injector at the captured time base and delivery
+    // position (the stack restore dropped the old wiring).
+    injector.reset();
+    if (s.hasInjector) {
+        fatalIf(cfg.injection.empty(),
+                "snapshot carries an injector but node ", nodeId,
+                " has no injection plan");
+        injector = std::make_unique<MachineInjector>(
+            cfg.injection.after(timeBase),
+            Rng(cfg.machineSeed).fork(0xfau).next());
+        injector->restore(s.injector);
+        injector->attach(stack->machine(), stack->daemon());
+    }
+}
+
+std::unique_ptr<ClusterNode>
+ClusterNode::clone() const
+{
+    auto copy = std::make_unique<ClusterNode>(nodeId, cfg);
+    copy->restore(capture());
+    return copy;
 }
 
 void
 ClusterNode::forceCrash()
 {
-    mach->injectSystemCrash();
+    stack->machine().injectSystemCrash();
 }
 
 void
@@ -80,9 +148,9 @@ ClusterNode::restart(Seconds at)
     fatalIf(alive(), "restart() needs a crashed node");
     fatalIf(at + cfg.timestep * 0.5 < now(),
             "node ", nodeId, " cannot restart in its past");
-    priorMeterJoules += mach->energyMeter().energy();
-    priorBusyCoreSeconds += sys->busyCoreTime();
-    priorUpSeconds += sys->now();
+    priorMeterJoules += stack->machine().energyMeter().energy();
+    priorBusyCoreSeconds += stack->system().busyCoreTime();
+    priorUpSeconds += stack->system().now();
     timeBase = at;
     inbox.clear();
     inFlight.clear();
@@ -111,23 +179,25 @@ void
 ClusterNode::stepTo(Seconds t, bool parked)
 {
     const Catalog &catalog = Catalog::instance();
-    const Joule meter_before = mach->energyMeter().energy();
-    const Seconds time_before = sys->now();
+    Machine &machine = stack->machine();
+    System &system = stack->system();
+    const Joule meter_before = machine.energyMeter().energy();
+    const Seconds time_before = system.now();
     const Seconds local_t = t - timeBase;
 
     const auto submitDue = [&] {
         while (!inbox.empty()
                && inbox.front().arrival - timeBase
-                   <= sys->now() + cfg.timestep * 0.5) {
+                   <= system.now() + cfg.timestep * 0.5) {
             const Pending &p = inbox.front();
-            const Pid pid = sys->submit(
+            const Pid pid = system.submit(
                 catalog.byName(p.job.benchmark), p.threads);
             inFlight[pid] = {p.job, p.threads};
             inbox.pop_front();
         }
     };
 
-    if (mach->macroEligible()) {
+    if (machine.macroEligible()) {
         // Fast path: run segment-wise between arrival boundaries and
         // let System::runUntil coalesce macro windows.  runUntil
         // stops exactly at the first step whose start time makes the
@@ -136,19 +206,19 @@ ClusterNode::stepTo(Seconds t, bool parked)
         // armed injector bounds every macro window to its next fault
         // (Machine::FaultHook), so strikes land on the same step they
         // would in a per-step replay; a crash ends the span early.
-        while (sys->now() + cfg.timestep * 0.5 < local_t) {
+        while (system.now() + cfg.timestep * 0.5 < local_t) {
             submitDue();
             const Seconds segment_end = inbox.empty()
                 ? local_t
                 : std::min(local_t, inbox.front().arrival - timeBase);
-            sys->runUntil(segment_end);
+            system.runUntil(segment_end);
             if (segment_end >= local_t || !alive())
                 break;
         }
     } else {
-        while (alive() && sys->now() + cfg.timestep * 0.5 < local_t) {
+        while (alive() && system.now() + cfg.timestep * 0.5 < local_t) {
             submitDue();
-            sys->step();
+            system.step();
         }
     }
 
@@ -156,8 +226,8 @@ ClusterNode::stepTo(Seconds t, bool parked)
         // Nothing ran: re-account the span's metered (awake-idle)
         // energy as the standby draw.
         parkedMeterJoules +=
-            mach->energyMeter().energy() - meter_before;
-        parkedSeconds += sys->now() - time_before;
+            machine.energyMeter().energy() - meter_before;
+        parkedSeconds += system.now() - time_before;
     }
 }
 
@@ -165,8 +235,9 @@ std::vector<JobCompletion>
 ClusterNode::harvest()
 {
     const Catalog &catalog = Catalog::instance();
+    System &system = stack->system();
     std::vector<JobCompletion> out;
-    const auto &finished = sys->finishedProcesses();
+    const auto &finished = system.finishedProcesses();
     for (; harvested < finished.size(); ++harvested) {
         const Process &proc = finished[harvested];
         const auto it = inFlight.find(proc.pid);
@@ -182,7 +253,7 @@ ClusterNode::harvest()
             && proc.outcome != RunOutcome::SystemCrash && alive()
             && retriesSpent[record.job.id] < cfg.maxJobRetries) {
             ++retriesSpent[record.job.id];
-            const Pid pid = sys->submit(
+            const Pid pid = system.submit(
                 catalog.byName(record.job.benchmark),
                 record.threads);
             inFlight[pid] = record;
@@ -211,7 +282,7 @@ ClusterNode::pendingJobs() const
 Joule
 ClusterNode::energy() const
 {
-    return priorMeterJoules + mach->energyMeter().energy()
+    return priorMeterJoules + stack->machine().energyMeter().energy()
         - parkedMeterJoules + cfg.standbyPower * parkedSeconds;
 }
 
@@ -219,10 +290,10 @@ double
 ClusterNode::utilization() const
 {
     const Seconds awake =
-        priorUpSeconds + sys->now() - parkedSeconds;
+        priorUpSeconds + stack->system().now() - parkedSeconds;
     if (awake <= 0.0)
         return 0.0;
-    return (priorBusyCoreSeconds + sys->busyCoreTime())
+    return (priorBusyCoreSeconds + stack->system().busyCoreTime())
         / (static_cast<double>(cfg.chip.numCores) * awake);
 }
 

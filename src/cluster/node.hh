@@ -28,14 +28,13 @@
 #include <vector>
 
 #include "cluster/traffic.hh"
-#include "core/policy.hh"
+#include "core/sim_stack.hh"
 #include "inject/fault_plan.hh"
+#include "inject/injector.hh"
 #include "os/system.hh"
 #include "sim/machine.hh"
 
 namespace ecosched {
-
-class MachineInjector;
 
 /// Fleet node identifier (0-based index into the fleet).
 using NodeId = std::uint32_t;
@@ -98,13 +97,13 @@ class ClusterNode
     NodeId id() const { return nodeId; }
     const NodeConfig &config() const { return cfg; }
     const ChipSpec &spec() const { return cfg.chip; }
-    const Machine &machine() const { return *mach; }
-    const System &system() const { return *sys; }
+    const Machine &machine() const { return stack->machine(); }
+    const System &system() const { return stack->system(); }
     /// Node clock in cluster time (restarts rebase the local clock).
-    Seconds now() const { return timeBase + sys->now(); }
+    Seconds now() const { return timeBase + stack->system().now(); }
 
     /// Whether the node is still up (fault injection can crash it).
-    bool alive() const { return !mach->halted(); }
+    bool alive() const { return !stack->machine().halted(); }
 
     /// Times the node was brought back up after a crash.
     std::uint32_t restarts() const { return restartCount; }
@@ -186,15 +185,57 @@ class ClusterNode
         std::uint32_t threads = 0;
     };
 
-    /// (Re)build the machine/OS/daemon stack and re-arm the
-    /// injection-plan tail from timeBase onward.
+    /// (Re)build the machine/OS/daemon stack — a pristine rewind of
+    /// the owned SimStack after the first construction — and re-arm
+    /// the injection-plan tail from timeBase onward.
     void buildStack();
 
+  public:
+    /**
+     * Deep copy of the node's full state: the simulation stack, the
+     * injector's delivery position, the dispatch inbox, in-flight
+     * and retry bookkeeping, and all cross-restart accounting.  The
+     * job payloads reference only value types, so a restored node is
+     * fully independent of the captured one.
+     */
+    struct Snapshot
+    {
+        SimSnapshot stack;
+        bool hasInjector = false;
+        MachineInjector::Snapshot injector; ///< valid when hasInjector
+        std::deque<Pending> inbox;
+        std::map<Pid, InFlightJob> inFlight;
+        std::size_t harvested = 0;
+        std::map<std::uint64_t, std::uint32_t> retriesSpent;
+        Seconds parkedSeconds = 0.0;
+        Joule parkedMeterJoules = 0.0;
+        Seconds timeBase = 0.0;
+        Joule priorMeterJoules = 0.0;
+        Seconds priorBusyCoreSeconds = 0.0;
+        Seconds priorUpSeconds = 0.0;
+        std::uint32_t restartCount = 0;
+    };
+
+    /// Deep-copy the node's full state.
+    Snapshot capture() const;
+
+    /**
+     * Rewind to @p snapshot.  Only valid for a node built with the
+     * same NodeConfig (same chip sample, policy and injection plan).
+     * The injector is reconstructed at the snapshot's time base and
+     * rewound to its captured delivery position, so faults keep
+     * landing exactly where the captured node would place them.
+     */
+    void restore(const Snapshot &snapshot);
+
+    /// Fork: a fresh node with the same id/config carrying this
+    /// node's current state.
+    std::unique_ptr<ClusterNode> clone() const;
+
+  private:
     NodeId nodeId;
     NodeConfig cfg;
-    std::unique_ptr<Machine> mach;
-    std::unique_ptr<System> sys;
-    PolicySetup setup;
+    std::unique_ptr<SimStack> stack;
     std::unique_ptr<MachineInjector> injector;
     double headroomMv = 0.0;
 

@@ -497,6 +497,59 @@ Daemon::decoratePerfReader(const PerfReaderDecorator &wrap)
     fatalIf(!reader, "perf-reader decorator returned no reader");
 }
 
+Daemon::Snapshot
+Daemon::capture() const
+{
+    Snapshot s;
+    s.rng = rng;
+    s.lastMonitorRun = lastMonitorRun;
+    s.monitored = monitored;
+    s.statistics = statistics;
+    s.pendingVoltage = pendingVoltage;
+    s.recStats = recStats;
+    s.quarantine = quarantine;
+    s.recoveryHoldUntil = recoveryHoldUntil;
+    s.retryGeneration = retryGeneration;
+    s.pointValid = pointValid;
+    s.pointCls = pointCls;
+    s.pointDroopClass = pointDroopClass;
+    return s;
+}
+
+void
+Daemon::restore(const Snapshot &s)
+{
+    rng = s.rng;
+    lastMonitorRun = s.lastMonitorRun;
+    monitored = s.monitored;
+    statistics = s.statistics;
+    pendingVoltage = s.pendingVoltage;
+    recStats = s.recStats;
+    quarantine = s.quarantine;
+    recoveryHoldUntil = s.recoveryHoldUntil;
+    retryGeneration = s.retryGeneration;
+    pointValid = s.pointValid;
+    pointCls = s.pointCls;
+    pointDroopClass = s.pointDroopClass;
+    // Rebuild the counter-read path from the config.  Decorators
+    // (fault-injection sensor noise) wrap the reader with pointers
+    // into injector state; carrying them across a restore would both
+    // stack wrappers on arena reuse and dangle once the old injector
+    // dies.  They are wiring — callers re-install them afterwards.
+    if (cfg.usePerfToolReader)
+        reader = std::make_unique<PerfToolReader>();
+    else
+        reader = std::make_unique<KernelModuleReader>();
+}
+
+std::unique_ptr<Daemon>
+Daemon::clone(System &target) const
+{
+    auto copy = std::make_unique<Daemon>(target, cfg);
+    copy->restore(capture());
+    return copy;
+}
+
 void
 Daemon::onProcessEvent(const ProcessEvent &event)
 {

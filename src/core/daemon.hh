@@ -245,6 +245,56 @@ class Daemon
         Seconds until;
     };
 
+  public:
+    /**
+     * Deep copy of the daemon's mutable state (snapshot-and-branch
+     * sweep execution): monitoring entries with their classifier
+     * hysteresis, the RNG position, bookkeeping counters, and the
+     * full fail-safe recovery state — hold window, quarantined
+     * points, retry generations and the live V/F point.  A clone
+     * taken inside a recovery window carries the window.  The Table
+     * II copy, the placement engine and the predictor are pure
+     * functions of (machine, config) — construction identity, not
+     * state.  Only valid for a daemon built over the same machine
+     * with the same DaemonConfig; the SimStack layer enforces this.
+     */
+    struct Snapshot
+    {
+        Rng rng;
+        Seconds lastMonitorRun = -1.0;
+        std::map<Pid, MonitorEntry> monitored;
+        DaemonStats statistics;
+        Volt pendingVoltage = -1.0;
+        RecoveryStats recStats;
+        std::vector<QuarantineEntry> quarantine;
+        Seconds recoveryHoldUntil = -1.0;
+        std::map<Pid, std::uint32_t> retryGeneration;
+        bool pointValid = false;
+        VminFreqClass pointCls = VminFreqClass::High;
+        std::size_t pointDroopClass = 0;
+    };
+
+    /// Deep-copy the daemon's mutable state.
+    Snapshot capture() const;
+
+    /**
+     * Restore previously captured state.  The counter-read path is
+     * rebuilt from the config, which drops any decorators installed
+     * after construction (fault-injection sensor noise) — restored
+     * state matches a freshly constructed daemon, and callers re-arm
+     * their decorators exactly as they do after construction.
+     */
+    void restore(const Snapshot &snapshot);
+
+    /**
+     * Build a new daemon over @p target carrying this daemon's
+     * state.  The new daemon installs its own adapters into
+     * @p target (exactly like construction); @p target must mirror
+     * this daemon's system state (System::capture()/restore()).
+     */
+    std::unique_ptr<Daemon> clone(System &target) const;
+
+  private:
     PlacementRequest snapshotRequest(bool restrict_pmds) const;
     void applyPlan(const PlacementPlan &plan, Pid admit_pid);
     Volt requiredVoltage(const PlacementPlan &plan) const;

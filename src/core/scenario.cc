@@ -58,18 +58,28 @@ ScenarioRunner::run(const GeneratedWorkload &workload) const
             " cores but ", cfg.chip.name, " has ",
             cfg.chip.numCores);
 
-    MachineConfig mcfg;
-    mcfg.seed = cfg.machineSeed;
-    mcfg.injectFaults = cfg.injectFaults;
-    if (cfg.migrationCost >= 0.0)
-        mcfg.migrationCost = cfg.migrationCost;
-    Machine machine(cfg.chip, mcfg);
-    System system(machine, nullptr, nullptr,
-                  SystemConfig{cfg.timestep, 0.2});
-    PolicySetup setup = configurePolicy(system, cfg.policy,
-                                        cfg.daemon);
+    SimStackConfig scfg;
+    scfg.chip = cfg.chip;
+    scfg.policy = cfg.policy;
+    scfg.machineSeed = cfg.machineSeed;
+    scfg.timestep = cfg.timestep;
+    scfg.daemon = cfg.daemon;
+    scfg.injectFaults = cfg.injectFaults;
+    scfg.migrationCost = cfg.migrationCost;
+
+    // Leased from the pool (rewound to pristine) or run-local; both
+    // paths are bit-identical by the snapshot round-trip guarantee.
+    SimStackPool::Lease lease;
+    std::unique_ptr<SimStack> local;
+    if (cfg.stackPool != nullptr)
+        lease = cfg.stackPool->acquire(scfg);
+    else
+        local = std::make_unique<SimStack>(scfg);
+    SimStack &stack = lease ? *lease : *local;
+    Machine &machine = stack.machine();
+    System &system = stack.system();
     if (cfg.instrument)
-        cfg.instrument(machine, system, setup.daemon.get());
+        cfg.instrument(machine, system, stack.daemon());
 
     const Catalog &catalog = Catalog::instance();
 
@@ -200,10 +210,10 @@ ScenarioRunner::run(const GeneratedWorkload &workload) const
         machine.slimPro().voltageTransitions();
     result.frequencyTransitions =
         machine.slimPro().frequencyTransitions();
-    if (setup.daemon) {
+    if (const Daemon *daemon = stack.daemon()) {
         result.hasDaemon = true;
-        result.daemonStats = setup.daemon->stats();
-        result.recoveryStats = setup.daemon->recoveryStats();
+        result.daemonStats = daemon->stats();
+        result.recoveryStats = daemon->recoveryStats();
     }
     return result;
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/policy.hh"
+#include "core/sim_stack.hh"
 #include "workloads/generator.hh"
 
 namespace ecosched {
@@ -95,6 +96,15 @@ struct ScenarioConfig
     /// attaches its injector here; the daemon pointer is null for
     /// daemon-less policies).  The callees only live for the run.
     std::function<void(Machine &, System &, Daemon *)> instrument;
+
+    /**
+     * Reusable-stack pool (sweep engines share one across a grid).
+     * Null: each run constructs its own stack, as before.  A leased
+     * stack is rewound to pristine before the run, so results are
+     * byte-identical either way; instrument hooks are re-armed after
+     * the rewind.  Non-owning — the pool must outlive the runner.
+     */
+    SimStackPool *stackPool = nullptr;
 };
 
 /**

@@ -1,0 +1,104 @@
+#include "core/sim_stack.hh"
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+std::uint64_t
+SimStackConfig::key() const
+{
+    ConfigKey k;
+    // Chip identity: the name picks the calibrated models and the
+    // topology/ladder fields guard against hand-modified specs.
+    k.mix(chip.name)
+        .mix(std::uint64_t{chip.numCores})
+        .mix(chip.fMax)
+        .mix(static_cast<std::uint64_t>(policy))
+        .mix(machineSeed)
+        .mix(timestep)
+        .mix(utilizationAlpha)
+        .mix(std::uint64_t{injectFaults})
+        .mix(migrationCost);
+    // Every daemon knob, nested configs included: the daemon's
+    // Table II copy, engine and predictor derive from these.
+    const DaemonConfig &d = daemon;
+    k.mix(std::uint64_t{d.controlPlacement})
+        .mix(std::uint64_t{d.controlFrequency})
+        .mix(std::uint64_t{d.controlVoltage})
+        .mix(std::uint64_t{d.failSafeOrdering})
+        .mix(d.samplingInterval)
+        .mix(std::uint64_t{d.minSampleCycles})
+        .mix(d.classifier.thresholdPerMCycles)
+        .mix(d.classifier.hysteresis)
+        .mix(static_cast<std::uint64_t>(d.classifier.initialClass))
+        .mix(d.placement.cpuFrequency)
+        .mix(d.placement.memFrequency)
+        .mix(d.placement.idleFrequency)
+        .mix(d.guardband)
+        .mix(std::uint64_t{d.usePerfToolReader})
+        .mix(std::uint64_t{d.useVminPredictor})
+        .mix(d.predictor.aggressiveness)
+        .mix(d.predictor.assumedSpreadMv)
+        .mix(d.predictor.attenExponent)
+        .mix(d.predictor.saturationRate)
+        .mix(std::uint64_t{d.recovery.enabled})
+        .mix(d.recovery.hold)
+        .mix(d.recovery.quarantineMargin)
+        .mix(d.recovery.quarantineWindow)
+        .mix(std::uint64_t{d.recovery.rerunFailedJobs})
+        .mix(std::uint64_t{d.recovery.maxRetries})
+        .mix(d.seed);
+    return k.value();
+}
+
+SimStack::SimStack(const SimStackConfig &config) : cfg(config)
+{
+    cfg.chip.validate();
+    fatalIf(cfg.timestep <= 0.0, "stack timestep must be positive");
+
+    MachineConfig mcfg;
+    mcfg.seed = cfg.machineSeed;
+    mcfg.injectFaults = cfg.injectFaults;
+    if (cfg.migrationCost >= 0.0)
+        mcfg.migrationCost = cfg.migrationCost;
+    mach = std::make_unique<Machine>(cfg.chip, mcfg);
+    sys = std::make_unique<System>(
+        *mach, nullptr, nullptr,
+        SystemConfig{cfg.timestep, cfg.utilizationAlpha});
+    setup = configurePolicy(*sys, cfg.policy, cfg.daemon);
+    pristineState = std::make_unique<SimSnapshot>(capture());
+}
+
+SimSnapshot
+SimStack::capture() const
+{
+    SimSnapshot s;
+    s.machine = mach->capture();
+    s.system = sys->capture();
+    s.hasDaemon = setup.daemon != nullptr;
+    if (setup.daemon)
+        s.daemon = setup.daemon->capture();
+    return s;
+}
+
+void
+SimStack::restore(const SimSnapshot &s)
+{
+    fatalIf(s.hasDaemon != (setup.daemon != nullptr),
+            "snapshot/stack daemon mismatch — snapshots only apply "
+            "to stacks built from the same SimStackConfig");
+    mach->restore(s.machine);
+    sys->restore(s.system);
+    if (setup.daemon)
+        setup.daemon->restore(s.daemon);
+}
+
+std::unique_ptr<SimStack>
+SimStack::clone() const
+{
+    auto copy = std::make_unique<SimStack>(cfg);
+    copy->restore(capture());
+    return copy;
+}
+
+} // namespace ecosched

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * One-config simulation stack bundle with snapshot-and-branch
+ * support.
+ *
+ * A SimStack owns the Machine + System + policy objects that one
+ * scenario or sweep point runs on, captures a pristine snapshot the
+ * moment the stack is wired, and can rewind to it (or to any later
+ * capture) bit-identically.  Sweep engines use this in two ways:
+ *
+ *  - *Arena reuse*: a SimStackPool hands out leased stacks keyed by
+ *    the full construction config; returning a lease parks the stack
+ *    and the next acquire for the same config rewinds it to pristine
+ *    instead of constructing a new one.  Steady-state sweep
+ *    execution therefore does zero stack construction and only the
+ *    container churn of the restore.
+ *
+ *  - *Prefix forking*: simulate a shared warmup prefix once, then
+ *    capture() and restore the snapshot into one leased stack per
+ *    grid point at the divergence (see bench/run_common.hh and the
+ *    campaign/cluster layers).
+ *
+ * Ownership and lifetime: the pool owns parked stacks; a Lease owns
+ * a checked-out stack and returns it on destruction.  Hooks wired
+ * into a stack (fault injectors, SlimPro observers, instrument
+ * callbacks) are NOT owned and NOT captured — every restore clears
+ * them and the caller re-arms its own, exactly as it would after
+ * fresh construction.
+ */
+
+#ifndef ECOSCHED_CORE_SIM_STACK_HH
+#define ECOSCHED_CORE_SIM_STACK_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "core/policy.hh"
+#include "exp/memo_cache.hh"
+#include "exp/prototype_cache.hh"
+#include "os/system.hh"
+#include "sim/machine.hh"
+
+namespace ecosched {
+
+/**
+ * Everything that determines a stack's construction identity.  Two
+ * configs with equal key() are interchangeable: same chip sample
+ * (machineSeed feeds the VminModel calibration), same policy stack,
+ * same knobs.
+ */
+struct SimStackConfig
+{
+    ChipSpec chip;                    ///< platform (required)
+    PolicyKind policy = PolicyKind::Baseline;
+    std::uint64_t machineSeed = 1;    ///< chip-sample identity
+    Seconds timestep = 0.01;
+    double utilizationAlpha = 0.2;
+    DaemonConfig daemon;              ///< base daemon knobs
+    bool injectFaults = false;
+    /// Negative: keep the machine default.
+    Seconds migrationCost = -1.0;
+
+    /// Injective-per-field key over every construction knob (the
+    /// pool's arena key).  Distinct configs collide only if the
+    /// 64-bit hash does.
+    std::uint64_t key() const;
+};
+
+/// Deep copy of a full stack's mutable state.  Pairs with
+/// SimStack::capture()/restore(); layers restore bottom-up
+/// (machine, then OS, then daemon).
+struct SimSnapshot
+{
+    MachineSnapshot machine;
+    SystemSnapshot system;
+    bool hasDaemon = false;
+    Daemon::Snapshot daemon; ///< valid when hasDaemon
+};
+
+/**
+ * The bundle.  Construction wires the full stack (machine, system,
+ * configurePolicy) and immediately captures the pristine snapshot.
+ */
+class SimStack
+{
+  public:
+    explicit SimStack(const SimStackConfig &config);
+
+    const SimStackConfig &config() const { return cfg; }
+    Machine &machine() { return *mach; }
+    System &system() { return *sys; }
+    /// Daemon of the Placement/Optimal stacks (null otherwise).
+    Daemon *daemon() { return setup.daemon.get(); }
+    const Daemon *daemon() const { return setup.daemon.get(); }
+
+    /// Deep-copy the whole stack's mutable state.
+    SimSnapshot capture() const;
+
+    /**
+     * Rewind the stack to @p snapshot.  All non-owned hooks (fault
+     * injectors, observers installed after setup) are dropped; the
+     * caller re-arms its own afterwards.
+     */
+    void restore(const SimSnapshot &snapshot);
+
+    /// The snapshot captured right after construction.
+    const SimSnapshot &pristine() const { return *pristineState; }
+
+    /// Rewind to the as-constructed state (arena reuse).
+    void restoreToPristine() { restore(*pristineState); }
+
+    /// Fork: build a fresh stack with the same config and copy this
+    /// stack's current state into it (prefix-and-branch execution).
+    std::unique_ptr<SimStack> clone() const;
+
+  private:
+    SimStackConfig cfg;
+    std::unique_ptr<Machine> mach;
+    std::unique_ptr<System> sys;
+    PolicySetup setup;
+    std::unique_ptr<SimSnapshot> pristineState;
+};
+
+/**
+ * Pool of reusable stacks keyed by SimStackConfig::key().  Thread-
+ * safe; the sweep engines keep one pool per sweep so each worker
+ * thread converges on its own arena per hot config (~jobs arenas per
+ * key in steady state).
+ */
+class SimStackPool
+{
+  public:
+    using Lease = ArenaPool<SimStack>::Lease;
+
+    /// Check out a stack for @p config — a parked arena rewound to
+    /// pristine when one exists, a fresh construction otherwise.
+    Lease acquire(const SimStackConfig &config)
+    {
+        return pool.acquire(
+            config.key(),
+            [&config] {
+                return std::make_unique<SimStack>(config);
+            },
+            [](SimStack &stack) { stack.restoreToPristine(); });
+    }
+
+    ArenaPool<SimStack>::Stats stats() const { return pool.stats(); }
+
+    /// Stacks currently parked across all keys.
+    std::size_t idleCount() const { return pool.idleCount(); }
+
+  private:
+    ArenaPool<SimStack> pool;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CORE_SIM_STACK_HH

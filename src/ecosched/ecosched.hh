@@ -41,8 +41,10 @@
 #include "core/placement.hh"
 #include "core/policy.hh"
 #include "core/scenario.hh"
+#include "core/sim_stack.hh"
 #include "exp/engine.hh"
 #include "exp/memo_cache.hh"
+#include "exp/prototype_cache.hh"
 #include "exp/thread_pool.hh"
 #include "inject/campaign.hh"
 #include "inject/fault_plan.hh"

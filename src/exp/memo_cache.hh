@@ -8,6 +8,10 @@
  * function of its spec (all randomness is seeded from the spec), a
  * result computed once can be replayed from the cache bit-identically
  * no matter which figure, thread or job count asks first.
+ *
+ * The cache is bounded: long campaigns sweep far more distinct specs
+ * than they revisit, so entries are evicted least-recently-used once
+ * the cap is reached (default from ECOSCHED_MEMO_CAP).
  */
 
 #ifndef ECOSCHED_EXP_MEMO_CACHE_HH
@@ -15,7 +19,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
+#include <list>
 #include <mutex>
 #include <string_view>
 #include <unordered_map>
@@ -27,16 +33,22 @@ namespace ecosched {
  * Incremental 64-bit hash for experiment-spec keys (FNV-1a over the
  * mixed-in fields).  Mix in every field that influences the result;
  * two specs with equal keys are assumed interchangeable.
+ *
+ * Every field is framed so the byte stream decodes unambiguously: a
+ * type-tag byte starts each field and strings announce their length
+ * before their contents.  Without the framing, adjacent fields could
+ * collide across their boundary — e.g. mix("A").mix(uint64{9}) fed
+ * exactly the same bytes as mix() of the single 9-byte string
+ * "A\x01\0\0\0\0\0\0\0" (the old content-then-size string encoding),
+ * so two different specs shared one key.
  */
 class ConfigKey
 {
   public:
     ConfigKey &mix(std::uint64_t v)
     {
-        for (int i = 0; i < 8; ++i) {
-            h ^= (v >> (8 * i)) & 0xffu;
-            h *= 0x100000001b3ull;
-        }
+        mixByte(tagU64);
+        mixRaw(v);
         return *this;
     }
 
@@ -45,63 +57,110 @@ class ConfigKey
         std::uint64_t bits;
         static_assert(sizeof bits == sizeof v);
         __builtin_memcpy(&bits, &v, sizeof bits);
-        return mix(bits);
+        mixByte(tagDouble);
+        mixRaw(bits);
+        return *this;
     }
 
     ConfigKey &mix(std::string_view s)
     {
-        for (const char c : s) {
-            h ^= static_cast<unsigned char>(c);
-            h *= 0x100000001b3ull;
-        }
-        return mix(static_cast<std::uint64_t>(s.size()));
+        mixByte(tagString);
+        mixRaw(static_cast<std::uint64_t>(s.size()));
+        for (const char c : s)
+            mixByte(static_cast<unsigned char>(c));
+        return *this;
     }
 
     std::uint64_t value() const { return h; }
 
   private:
+    // Field framing: one tag byte per field; strings are
+    // length-prefixed so their extent is known before their bytes.
+    static constexpr unsigned char tagU64 = 0x01;
+    static constexpr unsigned char tagDouble = 0x02;
+    static constexpr unsigned char tagString = 0x03;
+
+    void mixByte(unsigned char b)
+    {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+
+    void mixRaw(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            mixByte(static_cast<unsigned char>((v >> (8 * i))
+                                               & 0xffu));
+    }
+
     std::uint64_t h = 0xcbf29ce484222325ull; // FNV offset basis
 };
 
 /**
- * Thread-safe memoization cache keyed by ConfigKey hashes.
+ * Thread-safe, bounded memoization cache keyed by ConfigKey hashes.
  *
  * Values are computed outside the lock, so two threads racing on the
  * same fresh key may both compute it; the first insert wins and both
  * callers observe the same stored value.  That duplicate work is
  * harmless precisely because experiments are deterministic functions
  * of their key.
+ *
+ * Growth is bounded by an LRU entry cap: the default comes from the
+ * ECOSCHED_MEMO_CAP environment variable (entries; falls back to
+ * 4096), and an explicit constructor argument overrides both.
+ * Evicting only ever costs a recompute, never correctness.
  */
 template <typename V>
 class MemoCache
 {
   public:
+    /// @param max_entries Entry cap; 0 resolves ECOSCHED_MEMO_CAP,
+    ///        then the built-in default.
+    explicit MemoCache(std::size_t max_entries = 0)
+        : cap(max_entries > 0 ? max_entries : defaultCapacity())
+    {
+    }
+
     /// Return the cached value for @p key, computing it via @p fn on
     /// a miss.
     V getOrCompute(std::uint64_t key, const std::function<V()> &fn)
     {
         {
             std::lock_guard<std::mutex> lock(mtx);
-            auto it = values.find(key);
-            if (it != values.end()) {
+            auto it = index.find(key);
+            if (it != index.end()) {
                 ++hitCount;
-                return it->second;
+                lru.splice(lru.begin(), lru, it->second);
+                return it->second->second;
             }
         }
         V fresh = fn();
         std::lock_guard<std::mutex> lock(mtx);
-        auto [it, inserted] = values.emplace(key, std::move(fresh));
-        if (inserted)
-            ++missCount;
-        else
-            ++hitCount; // lost the race; surface the winner's value
-        return it->second;
+        auto it = index.find(key);
+        if (it != index.end()) {
+            // Lost the race; surface the winner's value.
+            ++hitCount;
+            lru.splice(lru.begin(), lru, it->second);
+            return it->second->second;
+        }
+        ++missCount;
+        lru.emplace_front(key, std::move(fresh));
+        index.emplace(key, lru.begin());
+        while (lru.size() > cap) {
+            index.erase(lru.back().first);
+            lru.pop_back();
+            ++evictionCount;
+        }
+        return lru.front().second;
     }
+
+    /// Entry cap in force.
+    std::size_t capacity() const { return cap; }
 
     std::size_t size() const
     {
         std::lock_guard<std::mutex> lock(mtx);
-        return values.size();
+        return lru.size();
     }
 
     std::size_t hits() const
@@ -116,11 +175,35 @@ class MemoCache
         return missCount;
     }
 
+    std::size_t evictions() const
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        return evictionCount;
+    }
+
   private:
+    static std::size_t defaultCapacity()
+    {
+        if (const char *env = std::getenv("ECOSCHED_MEMO_CAP")) {
+            char *end = nullptr;
+            const unsigned long long v = std::strtoull(env, &end, 10);
+            if (end != env && *end == '\0' && v > 0)
+                return static_cast<std::size_t>(v);
+        }
+        return 4096;
+    }
+
     mutable std::mutex mtx;
-    std::unordered_map<std::uint64_t, V> values;
+    /// Front = most recently used; entries own the values.
+    std::list<std::pair<std::uint64_t, V>> lru;
+    std::unordered_map<std::uint64_t,
+                       typename std::list<
+                           std::pair<std::uint64_t, V>>::iterator>
+        index;
+    std::size_t cap;
     std::size_t hitCount = 0;
     std::size_t missCount = 0;
+    std::size_t evictionCount = 0;
 };
 
 } // namespace ecosched

@@ -37,6 +37,7 @@ CampaignRunner::run() const
     sc.policy = cfg.policy;
     sc.daemon = cfg.daemon;
     sc.drainBoundFactor = cfg.drainBoundFactor;
+    sc.stackPool = cfg.stackPool;
     sc.instrument = [&injector](Machine &machine, System &,
                                 Daemon *daemon) {
         injector.attach(machine, daemon);

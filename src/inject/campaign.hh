@@ -33,6 +33,11 @@ struct CampaignConfig
     /// Abort if a run exceeds duration * this factor (recovery
     /// retries can legitimately run far past the clean drain time).
     double drainBoundFactor = 8.0;
+
+    /// Reusable-stack pool shared across a campaign sweep (null:
+    /// per-run construction).  Non-owning; forwarded to the
+    /// scenario runner.
+    SimStackPool *stackPool = nullptr;
 };
 
 /// Everything one campaign run produced.

@@ -221,4 +221,28 @@ MachineInjector::sensorPerturbation(Rng &reader_rng)
                                     window->magnitude);
 }
 
+MachineInjector::Snapshot
+MachineInjector::capture() const
+{
+    Snapshot s;
+    s.pointCursor = pointCursor;
+    s.droopCursor = droopCursor;
+    s.noiseCursor = noiseCursor;
+    s.slimproCursor = slimproCursor;
+    s.rng = rng;
+    s.injStats = injStats;
+    return s;
+}
+
+void
+MachineInjector::restore(const Snapshot &s)
+{
+    pointCursor = s.pointCursor;
+    droopCursor = s.droopCursor;
+    noiseCursor = s.noiseCursor;
+    slimproCursor = s.slimproCursor;
+    rng = s.rng;
+    injStats = s.injStats;
+}
+
 } // namespace ecosched

@@ -84,6 +84,31 @@ class MachineInjector final : public Machine::FaultHook,
      */
     double sensorPerturbation(Rng &reader_rng);
 
+    // --- snapshot support ----------------------------------------------
+    /**
+     * Mutable injector state: delivery cursors, the private draw
+     * stream and the delivery counters.  The plan vectors and the
+     * attachment are construction/wiring identity — a snapshot is
+     * only valid for an injector built from the same plan and seed.
+     */
+    struct Snapshot
+    {
+        std::size_t pointCursor = 0;
+        std::size_t droopCursor = 0;
+        std::size_t noiseCursor = 0;
+        std::size_t slimproCursor = 0;
+        Rng rng;
+        InjectorStats injStats;
+    };
+
+    /// Capture cursors, RNG position and counters.
+    Snapshot capture() const;
+
+    /// Restore state captured from an identically constructed
+    /// injector.  The attachment is untouched — re-attach only when
+    /// the target stack changed.
+    void restore(const Snapshot &snapshot);
+
   private:
     /// Active window of @p kind at @p now, or nullptr.  Advances the
     /// matching cursor past expired windows.

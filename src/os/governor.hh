@@ -38,6 +38,14 @@ class OndemandGovernor : public Governor
     void tick(System &system) override;
     /// Quiescent while the sampling-period throttle holds.
     bool wouldAct(const System &system) const override;
+    std::vector<double> captureState() const override
+    {
+        return {lastRun};
+    }
+    void restoreState(const std::vector<double> &state) override
+    {
+        lastRun = state.at(0);
+    }
 
   private:
     Config cfg;
@@ -92,6 +100,14 @@ class SchedutilGovernor : public Governor
     void tick(System &system) override;
     /// Quiescent while the sampling-period throttle holds.
     bool wouldAct(const System &system) const override;
+    std::vector<double> captureState() const override
+    {
+        return {lastRun};
+    }
+    void restoreState(const std::vector<double> &state) override
+    {
+        lastRun = state.at(0);
+    }
 
   private:
     Config cfg;

@@ -504,6 +504,65 @@ System::publish(const ProcessEvent &event)
         obs(event);
 }
 
+SystemSnapshot
+System::capture() const
+{
+    SystemSnapshot s;
+    s.config = cfg;
+    s.governorName = freqGovernor->name();
+    s.nextPid = nextPid;
+    s.table = table;
+    s.runQueue = runQueue;
+    s.finished = finished;
+    s.threadOwner = threadOwner;
+    s.coreUtil = coreUtil;
+    s.busyCoreSeconds = busyCoreSeconds;
+    s.observerCount = observers.size();
+    s.governorState = freqGovernor->captureState();
+    return s;
+}
+
+void
+System::restore(const SystemSnapshot &s)
+{
+    fatalIf(s.config.timestep != cfg.timestep
+                || s.config.utilizationAlpha != cfg.utilizationAlpha,
+            "restoring a snapshot captured under a different "
+            "SystemConfig");
+    fatalIf(s.governorName != freqGovernor->name(),
+            "restoring a ", s.governorName,
+            " snapshot into a system governed by ",
+            freqGovernor->name());
+    fatalIf(s.observerCount > observers.size(),
+            "snapshot expects ", s.observerCount,
+            " process observers but only ", observers.size(),
+            " are registered");
+    nextPid = s.nextPid;
+    table = s.table;
+    runQueue = s.runQueue;
+    finished = s.finished;
+    threadOwner = s.threadOwner;
+    coreUtil = s.coreUtil;
+    busyCoreSeconds = s.busyCoreSeconds;
+    // Observers added after the capture point (per-run
+    // instrumentation) are dropped; the setup-time ones — installed
+    // before the pristine capture, e.g. the daemon's lifecycle hook —
+    // are kept.  This is what makes arena reuse equivalent to fresh
+    // construction: the surviving prefix is exactly the set a fresh
+    // setup would have installed.
+    observers.resize(s.observerCount);
+    freqGovernor->restoreState(s.governorState);
+}
+
+std::unique_ptr<System>
+System::clone(Machine &target) const
+{
+    auto copy =
+        std::make_unique<System>(target, nullptr, nullptr, cfg);
+    copy->restore(capture());
+    return copy;
+}
+
 std::vector<CoreId>
 LinuxSpreadPlacer::place(const System &system, const Process &,
                          std::uint32_t threads)

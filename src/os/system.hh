@@ -20,6 +20,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "os/process.hh"
@@ -77,6 +78,21 @@ class Governor
         (void)system;
         return true;
     }
+
+    /**
+     * Mutable governor state as an opaque flat vector (snapshot
+     * support).  Stateless governors (the default) return {};
+     * throttled ones carry their last-run timestamps.  Forwarding
+     * governors (DaemonGovernor) stay stateless here — the daemon
+     * they forward to is snapshotted by its owner.
+     */
+    virtual std::vector<double> captureState() const { return {}; }
+
+    /// Restore state produced by captureState() of the same type.
+    virtual void restoreState(const std::vector<double> &state)
+    {
+        (void)state;
+    }
 };
 
 /// System construction knobs.
@@ -87,6 +103,33 @@ struct SystemConfig
 
     /// Smoothing factor of the per-core utilization EWMA.
     double utilizationAlpha = 0.2;
+};
+
+/**
+ * Deep copy of a System's mutable OS state (snapshot-and-branch
+ * sweep execution).  Carries the process table, the run queue,
+ * finished-process records, thread ownership, the utilization EWMA
+ * and the governor's opaque state.  The placement policy and the
+ * governor *objects* are construction identity and stay in place; a
+ * restore only rewinds the governor's state vector.  Observers are
+ * wiring: the snapshot remembers how many were registered so a
+ * restore can truncate later additions (per-run instrumentation)
+ * while keeping the ones installed at setup time (the daemon's
+ * lifecycle hook).
+ */
+struct SystemSnapshot
+{
+    SystemConfig config;
+    std::string governorName;
+    Pid nextPid = 1;
+    std::map<Pid, Process> table;
+    std::deque<Pid> runQueue;
+    std::vector<Process> finished;
+    std::map<SimThreadId, Pid> threadOwner;
+    std::vector<double> coreUtil;
+    Seconds busyCoreSeconds = 0.0;
+    std::size_t observerCount = 0;
+    std::vector<double> governorState;
 };
 
 /**
@@ -208,6 +251,30 @@ class System
     /// Register a lifecycle-event observer.
     void addProcessObserver(std::function<void(const ProcessEvent &)>
                                 observer);
+
+    // --- snapshot / restore ----------------------------------------------
+    /// Deep-copy the OS state (see SystemSnapshot).  The underlying
+    /// Machine is captured separately via Machine::capture().
+    SystemSnapshot capture() const;
+
+    /**
+     * Restore previously captured OS state onto this System.  The
+     * snapshot must come from a System built with the same config,
+     * placer and governor types (checked by governor name).
+     * Observers registered after the capture point are dropped;
+     * earlier ones are kept.  The caller restores the Machine first.
+     */
+    void restore(const SystemSnapshot &snapshot);
+
+    /**
+     * Build a new System over @p target carrying this system's OS
+     * state.  Only valid when the policy objects are the
+     * construction defaults (spread placer + ondemand governor —
+     * the Baseline/SafeVmin stacks); daemon-governed stacks fork
+     * through SimStack, which rebuilds the daemon first.  @p target
+     * must mirror this system's machine state (Machine::clone()).
+     */
+    std::unique_ptr<System> clone(Machine &target) const;
 
   private:
     void tryPlaceQueued();

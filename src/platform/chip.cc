@@ -108,6 +108,30 @@ Chip::reset()
     ++epoch; // conservative: invalidate epoch-keyed caches
 }
 
+Chip::State
+Chip::captureState() const
+{
+    State s;
+    s.voltage = supplyVoltage;
+    s.pmdFreq = pmdFreq;
+    s.pmdGated = pmdGated;
+    s.epoch = epoch;
+    return s;
+}
+
+void
+Chip::restoreState(const State &state)
+{
+    fatalIf(state.pmdFreq.size() != chipSpec.numPmds()
+                || state.pmdGated.size() != chipSpec.numPmds(),
+            chipSpec.name, ": restoring chip state captured from a ",
+            state.pmdFreq.size(), "-PMD topology");
+    supplyVoltage = state.voltage;
+    pmdFreq = state.pmdFreq;
+    pmdGated = state.pmdGated;
+    epoch = state.epoch;
+}
+
 void
 Chip::checkPmd(PmdId pmd) const
 {

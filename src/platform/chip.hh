@@ -82,6 +82,29 @@ class Chip
     /// Reset to nominal voltage, fMax everywhere, no gating.
     void reset();
 
+    // --- snapshot support ------------------------------------------------
+    /// Full mutable V/F state (snapshot-and-branch execution).  The
+    /// spec is construction identity, not state, and is not carried.
+    struct State
+    {
+        Volt voltage = 0.0;
+        std::vector<Hertz> pmdFreq;
+        std::vector<bool> pmdGated;
+        std::uint64_t epoch = 0;
+    };
+
+    /// Capture the mutable state.
+    State captureState() const;
+
+    /**
+     * Restore previously captured state, including the epoch, so a
+     * restored chip replays exactly like the captured one.  Callers
+     * holding epoch-keyed caches over this chip must invalidate them
+     * (the epoch may move backwards).
+     * @throws FatalError when the state belongs to another topology.
+     */
+    void restoreState(const State &state);
+
   private:
     void checkPmd(PmdId pmd) const;
 

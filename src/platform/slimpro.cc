@@ -94,6 +94,30 @@ SlimPro::clearLog()
     events.clear();
 }
 
+SlimPro::State
+SlimPro::captureState() const
+{
+    State s;
+    s.events = events;
+    s.nVoltage = nVoltage;
+    s.nFrequency = nFrequency;
+    s.nDropped = nDropped;
+    s.latencySum = latencySum;
+    return s;
+}
+
+void
+SlimPro::restoreState(const State &state)
+{
+    events = state.events;
+    nVoltage = state.nVoltage;
+    nFrequency = state.nFrequency;
+    nDropped = state.nDropped;
+    latencySum = state.latencySum;
+    observer = VfObserver{};
+    faults = nullptr;
+}
+
 void
 SlimPro::record(const VfEvent &ev)
 {

@@ -143,6 +143,30 @@ class SlimPro
     /// Sum of all modelled transition latencies.
     Seconds totalTransitionLatency() const { return latencySum; }
 
+    // --- snapshot support ------------------------------------------------
+    /// Mutable control-plane state: audit log + counters.  The
+    /// managed chip, the timing model, the observer and the fault
+    /// model are wiring, not state, and are not carried.
+    struct State
+    {
+        std::vector<VfEvent> events;
+        std::uint64_t nVoltage = 0;
+        std::uint64_t nFrequency = 0;
+        std::uint64_t nDropped = 0;
+        Seconds latencySum = 0.0;
+    };
+
+    /// Capture the audit log and counters.
+    State captureState() const;
+
+    /**
+     * Restore previously captured state.  Also clears the observer
+     * and the fault model, so a restored control plane matches a
+     * freshly constructed one — callers re-install their hooks after
+     * restoring, exactly as they do after construction.
+     */
+    void restoreState(const State &state);
+
   private:
     void record(const VfEvent &ev);
 

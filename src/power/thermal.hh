@@ -89,6 +89,16 @@ class ThermalModel
     /// Return to the ambient-temperature initial state.
     void reset();
 
+    /**
+     * Restore a previously captured temperature (snapshot support).
+     * The memo slots are pure-function caches keyed on their inputs,
+     * so they stay valid across a restore.
+     */
+    void restoreTemperature(double t_celsius)
+    {
+        tempCelsius = t_celsius;
+    }
+
   private:
     ThermalParams thermalParams;
     double tempCelsius;

@@ -707,6 +707,104 @@ Machine::injectThreadFault(RunOutcome outcome, Rng &strike_rng)
     return victim->id;
 }
 
+MachineSnapshot
+Machine::capture() const
+{
+    MachineSnapshot s;
+    s.chipName = spec().name;
+    s.config = cfg;
+    s.chip = chipState.captureState();
+    s.slimPro = controlPlane.captureState();
+    s.temperature = thermal.temperature();
+    s.meter = meter;
+    s.rng = rng;
+    s.simTime = simTime;
+    s.isHalted = isHalted;
+    s.nextThreadId = nextThreadId;
+    s.threadSlots = threadSlots;
+    s.slotOfId = slotOfId;
+    s.coreOwner = coreOwner;
+    s.finishedQueue = finishedQueue;
+    s.busyCoreCount = busyCoreCount;
+    s.busyPmdCount = busyPmdCount;
+    s.pmdBusy = pmdBusy;
+    s.threadsVersion = threadsVersion;
+    s.busyCoreSeconds = busyCoreSeconds;
+    s.lastStepPower = lastStepPower;
+    s.lastStepContention = lastStepContention;
+    s.lastStepUtilization = lastStepUtilization;
+    s.droopHist = droopHist;
+    s.droopRefCycles = droopRefCycles;
+    s.unsafeTime = unsafeTime;
+    s.maxDeficit = maxDeficit;
+    return s;
+}
+
+void
+Machine::restore(const MachineSnapshot &s)
+{
+    // The models (power, memory, vmin, droop, failure, thermal
+    // constants) are pure functions of (spec, config): a snapshot is
+    // only valid on a machine with the same construction identity.
+    fatalIf(s.chipName != spec().name,
+            "restoring a ", s.chipName, " snapshot into a ",
+            spec().name, " machine");
+    fatalIf(s.config.seed != cfg.seed
+                || s.config.autoClockGateIdlePmds
+                       != cfg.autoClockGateIdlePmds
+                || s.config.sampleDroops != cfg.sampleDroops
+                || s.config.injectFaults != cfg.injectFaults
+                || s.config.faultReferenceRuntime
+                       != cfg.faultReferenceRuntime
+                || s.config.droopRateBias != cfg.droopRateBias
+                || s.config.migrationCost != cfg.migrationCost
+                || s.config.enableThermal != cfg.enableThermal,
+            "restoring a snapshot captured under a different "
+            "MachineConfig");
+
+    chipState.restoreState(s.chip);
+    controlPlane.restoreState(s.slimPro);
+    thermal.restoreTemperature(s.temperature);
+    meter = s.meter;
+    rng = s.rng;
+    simTime = s.simTime;
+    isHalted = s.isHalted;
+    faultHook = nullptr; // hooks are wiring; callers re-arm
+    nextThreadId = s.nextThreadId;
+    threadSlots = s.threadSlots;
+    slotOfId = s.slotOfId;
+    coreOwner = s.coreOwner;
+    finishedQueue = s.finishedQueue;
+    busyCoreCount = s.busyCoreCount;
+    busyPmdCount = s.busyPmdCount;
+    pmdBusy = s.pmdBusy;
+    threadsVersion = s.threadsVersion;
+    busyCoreSeconds = s.busyCoreSeconds;
+    lastStepPower = s.lastStepPower;
+    lastStepContention = s.lastStepContention;
+    lastStepUtilization = s.lastStepUtilization;
+    droopHist = s.droopHist;
+    droopRefCycles = s.droopRefCycles;
+    unsafeTime = s.unsafeTime;
+    maxDeficit = s.maxDeficit;
+
+    // The restored chip epoch and thread version can collide with
+    // keys already cached on this machine: drop every stateful memo.
+    // (The thermal memo slots are input-keyed pure caches and stay.)
+    contentionCache.invalidate();
+    powerCache.invalidate();
+    coreFreqEpoch = ~std::uint64_t{0};
+    vminValid = false;
+}
+
+std::unique_ptr<Machine>
+Machine::clone() const
+{
+    auto copy = std::make_unique<Machine>(spec(), cfg);
+    copy->restore(capture());
+    return copy;
+}
+
 void
 Machine::runUntil(Seconds t, Seconds dt)
 {

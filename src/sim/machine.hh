@@ -30,6 +30,8 @@
 #define ECOSCHED_SIM_MACHINE_HH
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/histogram.hh"
@@ -116,6 +118,54 @@ struct MachineConfig
 
     /// Seed for all machine-internal randomness.
     std::uint64_t seed = 1;
+};
+
+/**
+ * Deep copy of a Machine's full mutable state (snapshot-and-branch
+ * sweep execution).  Everything a step can read or write is carried:
+ * chip V/F state, control-plane log and counters, die temperature,
+ * energy accounting, the RNG stream position, the flat thread
+ * storage with its occupancy indices, and all telemetry
+ * accumulators.  Construction identity — the chip spec, the
+ * calibrated models (including the seed-derived Vmin offsets) and
+ * the MachineConfig — is *not* state: a snapshot may only be
+ * restored into a machine built with the same spec and config,
+ * which restore() enforces.  Non-owning hooks (the fault hook) are
+ * wiring, not state, and are cleared by restore(); callers re-arm
+ * them afterwards, exactly as they do after construction.
+ */
+struct MachineSnapshot
+{
+    // Restore-target identity check.
+    std::string chipName;
+    MachineConfig config;
+
+    Chip::State chip;
+    SlimPro::State slimPro;
+    double temperature = 0.0;
+    EnergyMeter meter;
+    Rng rng;
+
+    Seconds simTime = 0.0;
+    bool isHalted = false;
+    SimThreadId nextThreadId = 1;
+    std::vector<SimThread> threadSlots;
+    std::vector<std::uint32_t> slotOfId;
+    std::vector<SimThreadId> coreOwner;
+    std::vector<SimThreadId> finishedQueue;
+    std::uint32_t busyCoreCount = 0;
+    std::uint32_t busyPmdCount = 0;
+    std::vector<std::uint8_t> pmdBusy;
+    std::uint64_t threadsVersion = 0;
+    Seconds busyCoreSeconds = 0.0;
+
+    PowerBreakdown lastStepPower;
+    double lastStepContention = 1.0;
+    double lastStepUtilization = 0.0;
+    Histogram droopHist{0.0, 1.0, 1};
+    Cycles droopRefCycles = 0;
+    Seconds unsafeTime = 0.0;
+    Volt maxDeficit = 0.0;
 };
 
 /**
@@ -290,6 +340,25 @@ class Machine
      */
     std::uint64_t macroAdvance(Seconds t, Seconds dt,
                                MacroStepHooks *hooks = nullptr);
+
+    // --- snapshot / clone ----------------------------------------------
+    /// Deep-copy the full mutable state (see MachineSnapshot).
+    MachineSnapshot capture() const;
+
+    /**
+     * Restore a snapshot captured from a machine with the same chip
+     * spec and MachineConfig (enforced; the calibrated models are
+     * construction identity and are reused, not copied).  All
+     * epoch-keyed hot-path caches are invalidated — the restored
+     * epochs may collide with stale entries — and the fault hook is
+     * cleared: hooks are wiring, re-armed by the caller.  After
+     * restore() the machine is bit-identical to the captured one.
+     */
+    void restore(const MachineSnapshot &snapshot);
+
+    /// Fresh machine with identical spec/config, restored to this
+    /// machine's current state (the fault hook is not cloned).
+    std::unique_ptr<Machine> clone() const;
 
     /// Current virtual time.
     Seconds now() const { return simTime; }

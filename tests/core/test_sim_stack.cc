@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Whole-stack snapshot tests: a SimStack rewound to its pristine
+ * snapshot replays *bit-identically* to a fresh-constructed stack
+ * for every policy, the pool's lease/rewind cycle preserves that
+ * guarantee, and a clone taken inside a fail-safe recovery window
+ * carries the quarantine/hold state with it.
+ *
+ * Suite names contain "Snapshot" so the TSan/debug CI filters pick
+ * them up.
+ */
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "core/sim_stack.hh"
+#include "inject/injector.hh"
+#include "workloads/catalog.hh"
+
+namespace ecosched {
+namespace {
+
+/// Everything a drained system-level run commits, bit-exact.
+struct RunFingerprint
+{
+    Seconds time = 0.0;
+    Joule energy = 0.0;
+    std::uint64_t voltageTransitions = 0;
+    std::uint64_t frequencyTransitions = 0;
+    std::vector<Pid> pids;
+    std::vector<RunOutcome> outcomes;
+    std::vector<std::uint64_t> instructions;
+    std::vector<double> busyTimes;
+
+    bool operator==(const RunFingerprint &o) const
+    {
+        return time == o.time && energy == o.energy
+            && voltageTransitions == o.voltageTransitions
+            && frequencyTransitions == o.frequencyTransitions
+            && pids == o.pids && outcomes == o.outcomes
+            && instructions == o.instructions
+            && busyTimes == o.busyTimes;
+    }
+};
+
+/// Submit a fixed job mix and drain the stack.
+RunFingerprint
+runMix(SimStack &stack)
+{
+    const Catalog &catalog = Catalog::instance();
+    System &system = stack.system();
+    system.submit(catalog.byName("EP"), 4);
+    system.submit(catalog.byName("milc"), 1);
+    system.submit(catalog.byName("mcf"), 1);
+    system.drain(4000.0);
+
+    RunFingerprint fp;
+    fp.time = system.now();
+    fp.energy = stack.machine().energyMeter().energy();
+    fp.voltageTransitions =
+        stack.machine().slimPro().voltageTransitions();
+    fp.frequencyTransitions =
+        stack.machine().slimPro().frequencyTransitions();
+    for (const Process &p : system.finishedProcesses()) {
+        fp.pids.push_back(p.pid);
+        fp.outcomes.push_back(p.outcome);
+        fp.instructions.push_back(p.retiredCounters.instructions);
+        fp.busyTimes.push_back(p.retiredCounters.busyTime);
+    }
+    return fp;
+}
+
+TEST(SimStackSnapshot, PristineRewindMatchesFreshForEveryPolicy)
+{
+    for (PolicyKind policy :
+         {PolicyKind::Baseline, PolicyKind::SafeVmin,
+          PolicyKind::Placement, PolicyKind::Optimal}) {
+        SimStackConfig cfg;
+        cfg.chip = xGene2();
+        cfg.policy = policy;
+
+        SimStack fresh(cfg);
+        const RunFingerprint reference = runMix(fresh);
+
+        SimStack reused(cfg);
+        runMix(reused); // dirty pass
+        reused.restoreToPristine();
+        EXPECT_EQ(runMix(reused), reference)
+            << "policy " << static_cast<int>(policy)
+            << ": rewound stack diverged from fresh construction";
+    }
+}
+
+TEST(SimStackSnapshot, PoolLeaseRewindPreservesResults)
+{
+    SimStackConfig cfg;
+    cfg.chip = xGene2();
+    cfg.policy = PolicyKind::Optimal;
+
+    SimStackPool pool;
+    RunFingerprint first;
+    {
+        auto lease = pool.acquire(cfg);
+        first = runMix(*lease);
+    }
+    {
+        auto lease = pool.acquire(cfg);
+        EXPECT_EQ(runMix(*lease), first);
+    }
+    EXPECT_EQ(pool.stats().builds, 1u);
+    EXPECT_EQ(pool.stats().reuses, 1u);
+    EXPECT_EQ(pool.idleCount(), 1u);
+
+    // A different construction identity builds its own arena.
+    SimStackConfig other = cfg;
+    other.machineSeed = 2;
+    ASSERT_NE(other.key(), cfg.key());
+    auto lease = pool.acquire(other);
+    EXPECT_EQ(pool.stats().builds, 2u);
+}
+
+TEST(SimStackSnapshot, CloneInsideRecoveryWindowCarriesQuarantine)
+{
+    SimStackConfig cfg;
+    cfg.chip = xGene2();
+    cfg.policy = PolicyKind::Optimal;
+    SimStack stack(cfg);
+    ASSERT_NE(stack.daemon(), nullptr);
+
+    // Strike off every tick boundary; the daemon detects the crash,
+    // raises to nominal, quarantines the live point and opens its
+    // hold window.
+    FaultEvent ev;
+    ev.kind = FaultKind::ThreadFault;
+    ev.time = 5.0371;
+    ev.outcome = RunOutcome::ProcessCrash;
+    MachineInjector injector(InjectionPlan::scripted({ev}),
+                             /*seed=*/99);
+    injector.attach(stack.machine(), stack.daemon());
+
+    System &system = stack.system();
+    system.submit(Catalog::instance().byName("mcf"), 1);
+    while (stack.daemon()->recoveryStats().detections == 0
+           && system.now() < 20.0) {
+        system.step();
+    }
+    ASSERT_EQ(stack.daemon()->recoveryStats().detections, 1u);
+    ASSERT_EQ(stack.daemon()->recoveryStats().quarantinedPoints, 1u);
+
+    // Fork inside the window: the clone starts from the captured
+    // recovery state (the injector is wiring, not state — the clone
+    // runs unarmed, and the original's single strike is spent).
+    std::unique_ptr<SimStack> copy = stack.clone();
+    EXPECT_EQ(copy->daemon()->inRecovery(),
+              stack.daemon()->inRecovery());
+    EXPECT_EQ(copy->daemon()->recoveryStats().quarantinedPoints, 1u);
+    EXPECT_EQ(copy->daemon()->recoveryStats().detections, 1u);
+
+    // Both halves finish the workload identically: hold expiry,
+    // quarantine margins and the re-run all replay from the carried
+    // state.
+    system.drain(4000.0);
+    copy->system().drain(4000.0);
+    EXPECT_EQ(system.now(), copy->system().now());
+    EXPECT_EQ(stack.machine().energyMeter().energy(),
+              copy->machine().energyMeter().energy());
+    EXPECT_EQ(stack.daemon()->recoveryStats().retries,
+              copy->daemon()->recoveryStats().retries);
+    EXPECT_EQ(stack.daemon()->recoveryStats().recoveries,
+              copy->daemon()->recoveryStats().recoveries);
+    ASSERT_EQ(system.finishedProcesses().size(),
+              copy->system().finishedProcesses().size());
+    for (std::size_t i = 0; i < system.finishedProcesses().size();
+         ++i) {
+        EXPECT_EQ(system.finishedProcesses()[i].outcome,
+                  copy->system().finishedProcesses()[i].outcome);
+    }
+}
+
+TEST(SimStackSnapshot, RestoreRejectsForeignSnapshots)
+{
+    SimStackConfig daemonless;
+    daemonless.chip = xGene2();
+    daemonless.policy = PolicyKind::Baseline;
+    SimStackConfig daemonful = daemonless;
+    daemonful.policy = PolicyKind::Optimal;
+
+    SimStack a(daemonless);
+    SimStack b(daemonful);
+    EXPECT_THROW(a.restore(b.capture()), FatalError);
+    EXPECT_THROW(b.restore(a.capture()), FatalError);
+}
+
+} // namespace
+} // namespace ecosched

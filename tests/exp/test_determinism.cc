@@ -130,6 +130,75 @@ TEST(Determinism, ConfigurationGridIdenticalAcrossJobCounts)
     EXPECT_EQ(cache.hits(), points.size()); // replay fully memoized
 }
 
+TEST(Determinism, PrototypeCacheGridIdenticalAcrossJobCounts)
+{
+    // The pooled (snapshot-and-branch) sweep path: points fork off a
+    // prototype machine rewound to its pristine snapshot.  Results
+    // must match the fresh-machine path bit-exactly at any worker
+    // count, with workers contending for the same shared pool.
+    const ChipSpec chip = xGene2();
+    std::vector<ConfigPoint> points;
+    for (const auto *bench : Catalog::instance().figureBenchmarks()) {
+        for (Hertz f : {GHz(2.4), GHz(0.9)}) {
+            points.push_back({bench, 4u, Allocation::Spreaded, f,
+                              /*undervolt=*/true, /*seed=*/1});
+        }
+    }
+
+    // Reference: the legacy one-fresh-machine-per-point runner.
+    std::vector<RunStats> reference;
+    for (const ConfigPoint &p : points) {
+        reference.push_back(bench::runConfiguration(
+            chip, *p.bench, p.threads, p.alloc, p.freq, p.undervolt,
+            p.seed));
+    }
+
+    for (unsigned jobs : {1u, 4u}) {
+        bench::MachinePool pool;
+        const auto pooled = bench::runConfigurations(
+            engineWith(jobs, 1), chip, points, nullptr, &pool);
+        ASSERT_EQ(pooled.size(), points.size());
+        for (std::size_t i = 0; i < points.size(); ++i)
+            expectSameStats(pooled[i], reference[i]);
+        EXPECT_EQ(pool.stats().builds + pool.stats().reuses,
+                  points.size());
+        EXPECT_GT(pool.stats().reuses, 0u);
+    }
+}
+
+TEST(Determinism, PooledScenarioReplayIdenticalAcrossJobCounts)
+{
+    // Same workload as ScenarioReplayIdenticalAcrossJobCounts, but
+    // replayed through a shared SimStackPool: leased stacks rewound
+    // to pristine must match per-run construction bit-exactly.
+    const ChipSpec chip = xGene2();
+    GeneratorConfig gc;
+    gc.duration = 300.0;
+    gc.maxCores = chip.numCores;
+    gc.seed = 42;
+    gc.chipName = chip.name;
+    gc.referenceFrequency = chip.fMax;
+    const GeneratedWorkload workload =
+        WorkloadGenerator(gc).generate();
+
+    const std::vector<PolicyKind> policies(
+        bench::allPolicies.begin(), bench::allPolicies.end());
+    const auto unpooled = bench::runPolicies(
+        engineWith(1, 42), chip, workload, policies);
+
+    SimStackPool pool;
+    // Two passes: the second drains entirely from parked stacks.
+    bench::runPolicies(engineWith(4, 42), chip, workload, policies,
+                       &pool);
+    const auto pooled = bench::runPolicies(
+        engineWith(4, 42), chip, workload, policies, &pool);
+    ASSERT_EQ(pooled.size(), policies.size());
+    for (std::size_t i = 0; i < policies.size(); ++i)
+        expectSameResult(pooled[i], unpooled[i]);
+    EXPECT_EQ(pool.stats().builds, policies.size());
+    EXPECT_EQ(pool.stats().reuses, policies.size());
+}
+
 TEST(Determinism, CharacterizationBatchIdenticalAcrossJobCounts)
 {
     const ChipSpec spec = xGene2();

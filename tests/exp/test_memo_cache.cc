@@ -1,0 +1,153 @@
+/**
+ * @file
+ * MemoCache bounding and ConfigKey framing: the LRU cap (explicit,
+ * from ECOSCHED_MEMO_CAP, or the built-in default), the hit/miss/
+ * eviction counters, and the regression pinning that adjacent mixed
+ * fields can no longer collide across their boundary.
+ *
+ * Suite names contain "MemoCache" so the TSan CI filter picks them
+ * up.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "exp/memo_cache.hh"
+
+namespace ecosched {
+namespace {
+
+TEST(MemoCache, HitsMissesAndSizeAreCounted)
+{
+    MemoCache<int> cache(8);
+    int computed = 0;
+    auto compute = [&] { return ++computed; };
+
+    EXPECT_EQ(cache.getOrCompute(1, compute), 1);
+    EXPECT_EQ(cache.getOrCompute(2, compute), 2);
+    EXPECT_EQ(cache.getOrCompute(1, compute), 1); // hit: not recomputed
+    EXPECT_EQ(computed, 2);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(MemoCache, LruCapEvictsTheColdestEntry)
+{
+    MemoCache<int> cache(3);
+    EXPECT_EQ(cache.capacity(), 3u);
+    int computed = 0;
+    auto compute = [&] { return ++computed; };
+
+    cache.getOrCompute(1, compute);
+    cache.getOrCompute(2, compute);
+    cache.getOrCompute(3, compute);
+    cache.getOrCompute(1, compute); // refresh 1: 2 is now coldest
+    cache.getOrCompute(4, compute); // evicts 2
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.evictions(), 1u);
+
+    // 1, 3 and 4 survived; 2 must be recomputed.
+    const std::size_t misses_before = cache.misses();
+    EXPECT_EQ(cache.getOrCompute(1, compute), 1);
+    EXPECT_EQ(cache.getOrCompute(3, compute), 3);
+    EXPECT_EQ(cache.getOrCompute(4, compute), 4);
+    EXPECT_EQ(cache.misses(), misses_before);
+    cache.getOrCompute(2, compute);
+    EXPECT_EQ(cache.misses(), misses_before + 1);
+    EXPECT_EQ(cache.evictions(), 2u); // 2's re-insert evicted again
+}
+
+TEST(MemoCache, CapacityComesFromTheEnvironment)
+{
+    ASSERT_EQ(setenv("ECOSCHED_MEMO_CAP", "17", /*overwrite=*/1), 0);
+    EXPECT_EQ(MemoCache<int>().capacity(), 17u);
+    // Explicit argument beats the environment.
+    EXPECT_EQ(MemoCache<int>(5).capacity(), 5u);
+    // Malformed values fall back to the built-in default.
+    ASSERT_EQ(setenv("ECOSCHED_MEMO_CAP", "banana", 1), 0);
+    EXPECT_EQ(MemoCache<int>().capacity(), 4096u);
+    ASSERT_EQ(unsetenv("ECOSCHED_MEMO_CAP"), 0);
+    EXPECT_EQ(MemoCache<int>().capacity(), 4096u);
+}
+
+/**
+ * Regression: the pre-framing ConfigKey hashed a string as its bytes
+ * followed by its length, with no field tags, so the spec pair
+ * mix("A").mix(uint64 9) fed the hash exactly the same byte stream as
+ * the single 9-byte string "A\x01\0\0\0\0\0\0\0" — two different
+ * experiment specs shared one memo key.  Reimplement the old scheme
+ * here to prove the collision existed, then pin that the framed
+ * ConfigKey separates the two.
+ */
+class LegacyKey
+{
+  public:
+    LegacyKey &mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            byte(static_cast<unsigned char>((v >> (8 * i)) & 0xffu));
+        return *this;
+    }
+
+    LegacyKey &mix(const std::string &s)
+    {
+        for (const char c : s)
+            byte(static_cast<unsigned char>(c));
+        return mix(static_cast<std::uint64_t>(s.size()));
+    }
+
+    std::uint64_t value() const { return h; }
+
+  private:
+    void byte(unsigned char b)
+    {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+
+    std::uint64_t h = 0xcbf29ce484222325ull;
+};
+
+TEST(MemoCacheConfigKey, FramingSeparatesFieldsTheOldSchemeMerged)
+{
+    const std::string colliding("A\x01\0\0\0\0\0\0\0", 9);
+
+    // The old scheme really collided on these two specs.
+    EXPECT_EQ(LegacyKey().mix("A").mix(std::uint64_t{9}).value(),
+              LegacyKey().mix(colliding).value());
+
+    // The framed key tells them apart.
+    EXPECT_NE(ConfigKey().mix("A").mix(std::uint64_t{9}).value(),
+              ConfigKey().mix(colliding).value());
+}
+
+TEST(MemoCacheConfigKey, TypeTagsSeparateEqualBitPatterns)
+{
+    // A u64 and the double sharing its bit pattern are distinct
+    // fields; so are "" + "ab" and "a" + "b".
+    const double d = 2.5;
+    std::uint64_t bits;
+    __builtin_memcpy(&bits, &d, sizeof bits);
+    EXPECT_NE(ConfigKey().mix(bits).value(),
+              ConfigKey().mix(d).value());
+    EXPECT_NE(ConfigKey().mix("").mix("ab").value(),
+              ConfigKey().mix("a").mix("b").value());
+}
+
+TEST(MemoCacheConfigKey, OrderAndValueSensitivity)
+{
+    EXPECT_NE(ConfigKey().mix(std::uint64_t{1}).mix(std::uint64_t{2})
+                  .value(),
+              ConfigKey().mix(std::uint64_t{2}).mix(std::uint64_t{1})
+                  .value());
+    EXPECT_EQ(ConfigKey().mix("chip").mix(3.0).value(),
+              ConfigKey().mix("chip").mix(3.0).value());
+}
+
+} // namespace
+} // namespace ecosched

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Machine snapshot determinism: capture()/restore()/clone() must
+ * replay *bit-identically* — a rewound or cloned machine commits
+ * exactly the bytes a fresh-constructed one would, on both chip
+ * presets, with droop sampling's extra RNG draws, and after restoring
+ * over a warm machine (which must invalidate every epoch-keyed
+ * hot-path cache).
+ *
+ * Suite names contain "Snapshot" so the TSan/debug CI filters pick
+ * them up.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hh"
+#include "common/units.hh"
+#include "sim/machine.hh"
+
+namespace ecosched {
+namespace {
+
+using namespace units;
+
+WorkProfile
+cpuProfile()
+{
+    WorkProfile p;
+    p.cpiBase = 1.0;
+    p.l3Apki = 0.5;
+    p.dramApki = 0.05;
+    p.mlp = 2.0;
+    return p;
+}
+
+WorkProfile
+memProfile()
+{
+    WorkProfile p;
+    p.cpiBase = 1.2;
+    p.l3Apki = 25.0;
+    p.dramApki = 8.0;
+    p.mlp = 4.0;
+    return p;
+}
+
+/// Mixed workload exercising finishes, phases and PMD sharing.
+std::vector<SimThreadId>
+populate(Machine &m)
+{
+    std::vector<SimThreadId> ids;
+    ids.push_back(m.startThread(cpuProfile(), 900'000'000, 0));
+    ids.push_back(m.startThread(memProfile(), 400'000'000, 1, 0.8));
+    ids.push_back(m.startThread(cpuProfile(), 40'000'000, 4));
+    ids.push_back(m.startThreadPhased(
+        {{cpuProfile(), 200'000'000}, {memProfile(), 200'000'000}},
+        6));
+    return ids;
+}
+
+/// Bit-exact comparison of every observable the step loop commits.
+void
+expectIdentical(const Machine &a, const Machine &b,
+                const std::vector<SimThreadId> &ids)
+{
+    EXPECT_EQ(a.now(), b.now());
+    EXPECT_EQ(a.temperature(), b.temperature());
+    EXPECT_EQ(a.busyCoreTime(), b.busyCoreTime());
+    EXPECT_EQ(a.numBusyCores(), b.numBusyCores());
+    EXPECT_EQ(a.utilizedPmds(), b.utilizedPmds());
+    EXPECT_EQ(a.currentTrueVmin(), b.currentTrueVmin());
+    EXPECT_EQ(a.lastContention(), b.lastContention());
+    EXPECT_EQ(a.lastUtilization(), b.lastUtilization());
+
+    EXPECT_EQ(a.lastPower().coreDynamic, b.lastPower().coreDynamic);
+    EXPECT_EQ(a.lastPower().pmdOverhead, b.lastPower().pmdOverhead);
+    EXPECT_EQ(a.lastPower().uncoreDynamic,
+              b.lastPower().uncoreDynamic);
+    EXPECT_EQ(a.lastPower().leakage, b.lastPower().leakage);
+
+    const EnergyMeter &ma = a.energyMeter();
+    const EnergyMeter &mb = b.energyMeter();
+    EXPECT_EQ(ma.energy(), mb.energy());
+    EXPECT_EQ(ma.coreDynamicEnergy(), mb.coreDynamicEnergy());
+    EXPECT_EQ(ma.pmdOverheadEnergy(), mb.pmdOverheadEnergy());
+    EXPECT_EQ(ma.uncoreEnergy(), mb.uncoreEnergy());
+    EXPECT_EQ(ma.leakageEnergy(), mb.leakageEnergy());
+    EXPECT_EQ(ma.elapsed(), mb.elapsed());
+    EXPECT_EQ(ma.peakPower(), mb.peakPower());
+
+    for (SimThreadId tid : ids) {
+        const SimThread &ta = a.thread(tid);
+        const SimThread &tb = b.thread(tid);
+        EXPECT_EQ(ta.counters.instructions, tb.counters.instructions);
+        EXPECT_EQ(ta.counters.cycles, tb.counters.cycles);
+        EXPECT_EQ(ta.counters.l3Accesses, tb.counters.l3Accesses);
+        EXPECT_EQ(ta.counters.dramAccesses, tb.counters.dramAccesses);
+        EXPECT_EQ(ta.counters.busyTime, tb.counters.busyTime);
+        EXPECT_EQ(ta.finished, tb.finished);
+        EXPECT_EQ(ta.remaining, tb.remaining);
+        EXPECT_EQ(ta.phaseRemaining, tb.phaseRemaining);
+        EXPECT_EQ(ta.stallUntil, tb.stallUntil);
+        EXPECT_EQ(ta.core, tb.core);
+    }
+}
+
+TEST(SnapshotDeterminism, PristineRestoreReplaysIdenticallyToFresh)
+{
+    for (const ChipSpec &chip : {xGene2(), xGene3()}) {
+        Machine fresh(chip);
+        Machine reused(chip);
+        const MachineSnapshot pristine = reused.capture();
+
+        // Dirty the reused machine: run a full workload, drain the
+        // finish queue, leave warm caches and advanced RNGs behind.
+        populate(reused);
+        for (int i = 0; i < 300; ++i)
+            reused.step(ms(1));
+        reused.collectFinished();
+        reused.restore(pristine);
+
+        const auto ids_f = populate(fresh);
+        const auto ids_r = populate(reused);
+        ASSERT_EQ(ids_f, ids_r) << chip.name
+            << ": thread ids must restart from the pristine counter";
+        for (int i = 0; i < 500; ++i) {
+            fresh.step(ms(1));
+            reused.step(ms(1));
+        }
+        expectIdentical(fresh, reused, ids_f);
+    }
+}
+
+TEST(SnapshotDeterminism, WarmRestoreMatchesCloneContinuation)
+{
+    // Mid-run capture: the clone (restore into a cold machine) and a
+    // warm restore of the original must continue identically.  The
+    // warm path is the interesting one — a restore that failed to
+    // invalidate the step-keyed contention/power caches would replay
+    // stale values here.
+    Machine original(xGene3());
+    const auto ids = populate(original);
+    for (int i = 0; i < 300; ++i)
+        original.step(ms(1));
+
+    const MachineSnapshot mid = original.capture();
+    std::unique_ptr<Machine> cold = original.clone();
+
+    for (int i = 0; i < 400; ++i)
+        original.step(ms(1));
+    for (int i = 0; i < 400; ++i)
+        cold->step(ms(1));
+    expectIdentical(original, *cold, ids);
+
+    original.restore(mid); // warm machine, caches primed past `mid`
+    for (int i = 0; i < 400; ++i)
+        original.step(ms(1));
+    expectIdentical(original, *cold, ids);
+}
+
+TEST(SnapshotDeterminism, DroopSamplingRngPositionSurvivesRoundTrip)
+{
+    // Droop sampling draws per-step randomness: the snapshot carries
+    // the RNG position, so a restored machine must replay the exact
+    // draw sequence of the continuation it was captured from.
+    MachineConfig cfg;
+    cfg.sampleDroops = true;
+    Machine a(xGene3(), cfg);
+    const SimThreadId tid =
+        a.startThread(cpuProfile(), 1'000'000'000, 0);
+    for (int i = 0; i < 120; ++i)
+        a.step(ms(1));
+
+    const MachineSnapshot mid = a.capture();
+    std::unique_ptr<Machine> b = a.clone();
+    for (int i = 0; i < 150; ++i)
+        a.step(ms(1));
+    a.restore(mid);
+    for (int i = 0; i < 150; ++i) {
+        a.step(ms(1));
+        b->step(ms(1));
+    }
+    expectIdentical(a, *b, {tid});
+    EXPECT_EQ(a.droopReferenceCycles(), b->droopReferenceCycles());
+}
+
+TEST(SnapshotDeterminism, RestoreRejectsForeignIdentity)
+{
+    // Snapshots are state, not identity: restoring across chips or
+    // construction configs must refuse instead of silently mixing
+    // calibrated models with foreign state.
+    Machine g2(xGene2());
+    Machine g3(xGene3());
+    EXPECT_THROW(g3.restore(g2.capture()), FatalError);
+
+    MachineConfig seeded;
+    seeded.seed = 7;
+    Machine other_sample(xGene2(), seeded);
+    EXPECT_THROW(other_sample.restore(g2.capture()), FatalError);
+}
+
+} // namespace
+} // namespace ecosched

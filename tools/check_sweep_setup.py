@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Compare a micro_sweep_setup run against the committed baseline.
+
+Usage: check_sweep_setup.py BASELINE.json CURRENT.json [MIN_SPEEDUP]
+
+Exits non-zero when any chip present in the baseline is missing from
+the current run, or when its arena-over-legacy speedup drops below
+MIN_SPEEDUP (default 2.0).  The gate is the self-relative speedup —
+both paths run in the same process on the same machine, so the ratio
+is immune to runner speed, unlike absolute wall times.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "ecosched.sweep_setup/1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {r["chip"]: r for r in doc["results"]}
+
+
+def main(argv):
+    if len(argv) not in (3, 4):
+        sys.exit(__doc__)
+    baseline = load(argv[1])
+    current = load(argv[2])
+    min_speedup = float(argv[3]) if len(argv) == 4 else 2.0
+
+    failed = False
+    for chip, base in sorted(baseline.items()):
+        cur = current.get(chip)
+        if cur is None:
+            print(f"MISSING {chip}")
+            failed = True
+            continue
+        speedup = cur["speedup"]
+        status = "ok"
+        if speedup < min_speedup:
+            status = f"REGRESSION (< {min_speedup:.1f}x)"
+            failed = True
+        print(f"{chip:>8}: {speedup:6.2f}x arena speedup over legacy "
+              f"(baseline {base['speedup']:.2f}x, "
+              f"{cur['points']} points) {status}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
