@@ -1,29 +1,54 @@
 /**
  * @file
- * Extension — fleet scaling under the three dispatch policies.
+ * Extension — fleet scaling to 10k nodes under diurnal traffic.
  *
  * Scales a heterogeneous fleet (alternating X-Gene 3 / X-Gene 2
- * nodes) across {1, 2, 4, 8, 16} nodes and serves the *same offered
- * load per unit of fleet capacity* under round_robin, least_loaded
- * and energy_aware dispatch.  Reports total energy, energy per job,
- * p99 sojourn latency and fleet utilization for each point.
+ * nodes) across {10, 100, 1000, 10000} nodes and serves the *same
+ * offered load per unit of fleet capacity* — a day-shaped diurnal
+ * arrival curve at 10% mean occupancy — under round_robin,
+ * least_loaded and energy_aware dispatch.  Every run exercises the
+ * full production feature set of the cluster layer:
  *
- * The expected picture: round_robin keeps every node warm and pays
- * awake-idle power fleet-wide; energy_aware consolidates onto the
- * deepest safe-Vmin chips and parks the rest, cutting total energy
- * at equal load without giving up tail latency.
+ *  - the sharded, window-pipelined epoch engine (nodes stamped from
+ *    per-shape prototype stacks, stepped across the thread pool);
+ *  - the SLO autoscaler parking the idle bulk of the fleet through
+ *    the diurnal trough and re-opening it for the peak;
+ *  - a rack-scoped correlated-failure campaign (32-node racks, one
+ *    expected whole-rack outage per run) for fleets large enough to
+ *    have racks.
+ *
+ * Reports per point: job accounting, energy, p99 sojourn latency,
+ * autoscaler activity, crash/restart counts, and the engine's wall
+ * throughput in node-epochs/s (the scaling figure of merit).  Emits
+ * machine-readable JSON (schema `ecosched.cluster_scaling/1`,
+ * documented in EXPERIMENTS.md) so CI can compare a quick run
+ * against the committed BENCH_cluster_scaling.json trajectory.
  *
  * Usage: ext_cluster_scaling [duration_s] [seed] [--jobs N]
+ *                            [--quick] [--out FILE]
+ *
+ * --quick caps the sweep at 1000 nodes (CI smoke); the default runs
+ * to 10000.
  */
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "ecosched/ecosched.hh"
 
 using namespace ecosched;
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 /// Arrival rate that offers `occupancy` of the fleet's capacity.
 double
@@ -39,59 +64,188 @@ plannedRate(const std::vector<NodeConfig> &nodes,
     return rate;
 }
 
+/// One measured (fleet size, dispatch policy) point.
+struct Point
+{
+    std::size_t nodes = 0;
+    std::string dispatch;
+    ClusterResult r;
+    Seconds parked = 0.0;
+    double wallSec = 0.0;
+
+    /// Engine throughput: fleet-size × simulated epochs per wall
+    /// second (dispatchInterval = 1 s, so epochs = makespan).
+    double nodeEpochsPerSec() const
+    {
+        return wallSec > 0.0
+            ? static_cast<double>(nodes) * r.makespan / wallSec
+            : 0.0;
+    }
+};
+
+constexpr double kOccupancy = 0.10;
+constexpr std::uint32_t kNodesPerRack = 32;
+
+Point
+runPoint(std::size_t n, DispatchPolicy policy, Seconds duration,
+         std::uint64_t seed, unsigned jobs)
+{
+    ClusterConfig cc;
+    cc.nodes = mixedFleet(n, seed);
+    cc.dispatch = policy;
+    cc.traffic.process = ArrivalProcess::Diurnal;
+    cc.traffic.duration = duration;
+    cc.traffic.diurnalAmplitude = 0.8;
+    cc.traffic.seed = seed;
+    cc.drainBoundFactor = 20.0;
+    cc.jobs = jobs;
+    cc.traffic.arrivalsPerSecond =
+        plannedRate(cc.nodes, TrafficModel(cc.traffic), kOccupancy);
+
+    // SLO autoscaler: park the idle bulk through the trough, re-open
+    // capacity when the peak pushes the p99 sojourn past target.
+    cc.autoscale.enabled = true;
+    cc.autoscale.targetP99 = 420.0;
+    cc.autoscale.lowWatermark = 0.7;
+    cc.autoscale.evalInterval = 20.0;
+    cc.autoscale.window = 200.0;
+    cc.autoscale.minLiveNodes = std::max<std::size_t>(1, n / 16);
+
+    // Correlated whole-rack outages for fleets with rack structure
+    // (two expected rack crashes per run, restart after 60 s).
+    if (n >= kNodesPerRack) {
+        cc.nodesPerRack = kNodesPerRack;
+        CampaignProfile faults;
+        faults.duration = duration;
+        faults.nodes = static_cast<std::uint32_t>(n);
+        faults.nodesPerRack = kNodesPerRack;
+        faults.rackCrashesPerHour = 2.0 * 3600.0 / duration;
+        faults.rackRestartDelay = 60.0;
+        cc.injection = InjectionPlan::randomCampaign(faults, seed);
+    }
+
+    Point p;
+    p.nodes = n;
+    p.dispatch = dispatchPolicyName(policy);
+    const auto begin = Clock::now();
+    p.r = ClusterSim(std::move(cc)).run();
+    const auto end = Clock::now();
+    p.wallSec = std::chrono::duration<double>(end - begin).count();
+    for (const NodeSummary &s : p.r.nodes)
+        p.parked += s.parkedTime;
+    return p;
+}
+
+std::string
+toJson(const std::vector<Point> &points, Seconds duration,
+       std::uint64_t seed)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "{\n  \"schema\": \"ecosched.cluster_scaling/1\",\n"
+       << "  \"duration_sec\": " << duration << ",\n"
+       << "  \"seed\": " << seed << ",\n"
+       << "  \"occupancy\": " << kOccupancy << ",\n"
+       << "  \"results\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &p = points[i];
+        const ClusterResult &r = p.r;
+        os << "    {\"nodes\": " << p.nodes << ", \"dispatch\": \""
+           << p.dispatch << "\", \"jobs_submitted\": "
+           << r.jobsSubmitted << ", \"jobs_completed\": "
+           << r.jobsCompleted << ", \"jobs_dropped\": "
+           << r.jobsDropped << ", \"jobs_lost\": " << r.jobsLost
+           << ", \"node_crashes\": " << r.nodeCrashes
+           << ", \"node_restarts\": " << r.nodeRestarts
+           << ", \"autoscale_parks\": " << r.autoscaleParks
+           << ", \"autoscale_unparks\": " << r.autoscaleUnparks
+           << ", \"total_energy_j\": " << r.totalEnergy
+           << ", \"energy_per_job_j\": " << r.energyPerJob()
+           << ", \"avg_power_w\": " << r.averagePower
+           << ", \"latency_p99_s\": " << r.latencyP99
+           << ", \"makespan_s\": " << r.makespan
+           << ", \"parked_s\": " << p.parked
+           << ", \"wall_sec\": " << p.wallSec
+           << ", \"node_epochs_per_sec\": " << p.nodeEpochsPerSec()
+           << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const unsigned jobs = stripJobsFlag(argc, argv);
-    const Seconds duration = argc > 1 ? std::atof(argv[1]) : 300.0;
-    const std::uint64_t seed = argc > 2
-        ? static_cast<std::uint64_t>(std::atoll(argv[2]))
+    bool quick = false;
+    std::string out = "BENCH_cluster_scaling.json";
+    std::vector<char *> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--out" && i + 1 < argc) {
+            out = argv[++i];
+        } else {
+            positional.push_back(argv[i]);
+        }
+    }
+    const Seconds duration =
+        !positional.empty() ? std::atof(positional[0]) : 120.0;
+    const std::uint64_t seed = positional.size() > 1
+        ? static_cast<std::uint64_t>(std::atoll(positional[1]))
         : 7;
 
-    std::cout << "=== Extension: fleet scaling vs dispatch policy "
-                 "(mixed X-Gene 3/2 fleet, "
+    std::cout << "=== Extension: fleet scaling to 10k nodes "
+                 "(diurnal traffic, SLO autoscaler, rack faults; "
               << formatDouble(duration, 0) << " s of arrivals, seed "
               << seed << ") ===\n\n";
 
     const std::vector<DispatchPolicy> policies = {
         DispatchPolicy::RoundRobin, DispatchPolicy::LeastLoaded,
         DispatchPolicy::EnergyAware};
+    std::vector<std::size_t> sizes = {10, 100, 1000};
+    if (!quick)
+        sizes.push_back(10000);
 
-    TextTable t({"nodes", "dispatch", "jobs", "energy [J]",
-                 "J/job", "p99 [s]", "avg power [W]", "parked [s]",
-                 "crashes"});
-    for (std::size_t n : {1, 2, 4, 8, 16}) {
+    std::vector<Point> points;
+    TextTable t({"nodes", "dispatch", "jobs", "energy [J]", "J/job",
+                 "p99 [s]", "parks", "unparks", "crashes",
+                 "restarts", "wall [s]", "node-epochs/s"});
+    for (std::size_t n : sizes) {
         for (DispatchPolicy policy : policies) {
-            ClusterConfig cc;
-            cc.nodes = mixedFleet(n, seed);
-            cc.dispatch = policy;
-            cc.traffic.duration = duration;
-            cc.traffic.seed = seed;
-            cc.jobs = jobs;
-            cc.traffic.arrivalsPerSecond =
-                plannedRate(cc.nodes, TrafficModel(cc.traffic), 0.4);
-
-            const ClusterResult r = ClusterSim(std::move(cc)).run();
-            Seconds parked = 0.0;
-            for (const NodeSummary &s : r.nodes)
-                parked += s.parkedTime;
-            t.addRow({std::to_string(n),
-                      dispatchPolicyName(policy),
-                      std::to_string(r.jobsCompleted),
-                      formatDouble(r.totalEnergy, 1),
-                      formatDouble(r.energyPerJob(), 1),
-                      formatDouble(r.latencyP99, 2),
-                      formatDouble(r.averagePower, 2),
-                      formatDouble(parked, 1),
-                      std::to_string(r.nodeCrashes)});
+            Point p = runPoint(n, policy, duration, seed, jobs);
+            t.addRow({std::to_string(p.nodes), p.dispatch,
+                      std::to_string(p.r.jobsCompleted),
+                      formatDouble(p.r.totalEnergy, 1),
+                      formatDouble(p.r.energyPerJob(), 1),
+                      formatDouble(p.r.latencyP99, 2),
+                      std::to_string(p.r.autoscaleParks),
+                      std::to_string(p.r.autoscaleUnparks),
+                      std::to_string(p.r.nodeCrashes),
+                      std::to_string(p.r.nodeRestarts),
+                      formatDouble(p.wallSec, 2),
+                      formatDouble(p.nodeEpochsPerSec(), 0)});
+            points.push_back(std::move(p));
         }
     }
     t.print(std::cout);
     std::cout << "\nEqual offered load per unit capacity at every "
-                 "fleet size (40% planned occupancy);\nenergy_aware "
-                 "parks idle nodes into standby, round_robin keeps "
-                 "the whole fleet warm.\n";
+                 "fleet size (10% mean occupancy, 0.8 diurnal "
+                 "swing);\nthe autoscaler parks the trough, "
+                 "energy_aware additionally consolidates the awake "
+                 "set;\nfleets of >= " << kNodesPerRack
+              << " nodes absorb one expected whole-rack outage.\n";
+
+    const std::string json = toJson(points, duration, seed);
+    std::ofstream file(out);
+    file << json;
+    if (!file) {
+        std::cerr << "failed to write " << out << "\n";
+        return 1;
+    }
+    std::cerr << "wrote " << out << "\n";
     return 0;
 }

@@ -1,0 +1,98 @@
+#include "cluster/autoscale.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+SloAutoscaler::SloAutoscaler(AutoscaleConfig config)
+    : cfg(config)
+{
+    fatalIf(cfg.targetP99 <= 0.0,
+            "autoscaler targetP99 must be positive");
+    fatalIf(cfg.lowWatermark <= 0.0 || cfg.lowWatermark >= 1.0,
+            "autoscaler lowWatermark must be in (0,1), got ",
+            cfg.lowWatermark);
+    fatalIf(cfg.evalInterval <= 0.0,
+            "autoscaler evalInterval must be positive");
+    fatalIf(cfg.window <= 0.0, "autoscaler window must be positive");
+    fatalIf(cfg.minLiveNodes == 0,
+            "autoscaler minLiveNodes must be >= 1");
+}
+
+void
+SloAutoscaler::observe(Seconds completed_at, Seconds latency)
+{
+    fatalIf(!samples.empty() && completed_at < samples.back().first,
+            "autoscaler observations must be time-ordered");
+    samples.emplace_back(completed_at, latency);
+}
+
+void
+SloAutoscaler::prune(Seconds now)
+{
+    const Seconds horizon = now - cfg.window;
+    while (!samples.empty() && samples.front().first < horizon)
+        samples.pop_front();
+}
+
+Seconds
+SloAutoscaler::windowedP99(Seconds now)
+{
+    prune(now);
+    if (samples.empty())
+        return 0.0;
+    std::vector<Seconds> lat;
+    lat.reserve(samples.size());
+    for (const auto &s : samples)
+        lat.push_back(s.second);
+    // Nearest-rank p99 (1-based rank ceil(0.99 n)): exact, and free
+    // of the interpolation ambiguity a histogram would add.
+    const std::size_t rank =
+        (lat.size() * 99 + 99) / 100; // ceil(0.99 n), n >= 1
+    const std::size_t idx = std::min(rank, lat.size()) - 1;
+    std::nth_element(lat.begin(), lat.begin() + idx, lat.end());
+    return lat[idx];
+}
+
+SloAutoscaler::Decision
+SloAutoscaler::evaluate(Seconds now, std::size_t schedulable_nodes)
+{
+    Decision d;
+    const Seconds p99 = windowedP99(now);
+    if (samples.empty())
+        return d; // empty window: idle and stuck look alike — hold
+    if (p99 > cfg.targetP99) {
+        // Scale out by ~25% of current capacity, at least one node.
+        d.unpark = std::min(cfg.maxUnparkPerEval,
+                            std::max<std::size_t>(
+                                1, schedulable_nodes / 4));
+    } else if (p99 < cfg.lowWatermark * cfg.targetP99) {
+        // Scale in by ~12.5%, bounded below by the live floor.
+        if (schedulable_nodes > cfg.minLiveNodes) {
+            const std::size_t step = std::max<std::size_t>(
+                1, schedulable_nodes / 8);
+            d.park = std::min(
+                {cfg.maxParkPerEval, step,
+                 schedulable_nodes - cfg.minLiveNodes});
+        }
+    }
+    return d;
+}
+
+SloAutoscaler::State
+SloAutoscaler::captureState() const
+{
+    State s;
+    s.samples.assign(samples.begin(), samples.end());
+    return s;
+}
+
+void
+SloAutoscaler::restoreState(const State &s)
+{
+    samples.assign(s.samples.begin(), s.samples.end());
+}
+
+} // namespace ecosched

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * SLO-driven fleet autoscaler: parks and unparks whole nodes against
+ * a windowed p99 completion latency under open (e.g. diurnal)
+ * traffic.
+ *
+ * The controller is deliberately simple and fully deterministic —
+ * integer step sizes derived from the current schedulable-node count,
+ * evaluated at fixed epoch-aligned intervals:
+ *
+ *  - p99 above the target        → scale OUT: unpark ~25% more nodes
+ *                                  (capped by maxUnparkPerEval and by
+ *                                  how many parked nodes exist);
+ *  - p99 below lowWatermark×target → scale IN: drain-and-park ~12.5%
+ *                                  of the schedulable fleet (capped
+ *                                  by maxParkPerEval, idle candidates
+ *                                  and the minLiveNodes floor);
+ *  - no completions in the window → hold (an empty window cannot
+ *                                  distinguish "idle" from "stuck",
+ *                                  so the controller never acts on
+ *                                  it).
+ *
+ * The autoscaler only *counts*; ClusterSim picks which nodes to park
+ * (schedulable, alive, idle — shallowest Vmin headroom first, so the
+ * cheapest silicon keeps running) and which to unpark (deepest
+ * headroom first).  A scaled-in node keeps draining its queue but
+ * receives no new work (NodeView::schedulable gate) and parks into
+ * standby once idle.
+ *
+ * All observations and decisions happen in the serial reconcile
+ * phase, so runs stay bit-identical for any worker count.
+ */
+
+#ifndef ECOSCHED_CLUSTER_AUTOSCALE_HH
+#define ECOSCHED_CLUSTER_AUTOSCALE_HH
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace ecosched {
+
+/// Autoscaler knobs.  Disabled by default: a default-constructed
+/// ClusterConfig behaves exactly as before the autoscaler existed.
+struct AutoscaleConfig
+{
+    bool enabled = false;
+
+    /// The latency objective the controller regulates to: windowed
+    /// p99 completion latency [s].
+    Seconds targetP99 = 30.0;
+    /// Scale in when p99 drops below lowWatermark * targetP99.  The
+    /// dead band in between damps oscillation.
+    double lowWatermark = 0.5;
+
+    /// Evaluation cadence [s]; rounded up to whole dispatch epochs.
+    Seconds evalInterval = 10.0;
+    /// Sliding sample window the p99 is computed over [s].
+    Seconds window = 120.0;
+
+    /// Never scale in below this many schedulable nodes.
+    std::size_t minLiveNodes = 1;
+    /// Per-evaluation step caps (keep single decisions bounded on
+    /// 10k-node fleets).
+    std::size_t maxParkPerEval = 64;
+    std::size_t maxUnparkPerEval = 256;
+};
+
+/**
+ * The windowed-p99 controller.  Feed every job completion through
+ * observe(); call evaluate() at the configured cadence.
+ */
+class SloAutoscaler
+{
+  public:
+    explicit SloAutoscaler(AutoscaleConfig config);
+
+    /// What evaluate() wants changed, as node *counts*.
+    struct Decision
+    {
+        std::size_t park = 0;
+        std::size_t unpark = 0;
+    };
+
+    /// Record one job completion (monotone non-decreasing
+    /// completion times; the window is pruned lazily).
+    void observe(Seconds completed_at, Seconds latency);
+
+    /// Controller step at simulation time @p now, given the current
+    /// number of schedulable (gate-open, alive) nodes.
+    Decision evaluate(Seconds now, std::size_t schedulable_nodes);
+
+    /// Windowed p99 at @p now (prunes expired samples); 0 when the
+    /// window holds no completions.
+    Seconds windowedP99(Seconds now);
+
+    /// Samples currently inside the window (after the last prune).
+    std::size_t sampleCount() const { return samples.size(); }
+
+    /// Snapshot state for ClusterSim capture/restore: the sample
+    /// window content as (completedAt, latency) pairs.
+    struct State
+    {
+        std::vector<std::pair<Seconds, Seconds>> samples;
+    };
+
+    State captureState() const;
+    void restoreState(const State &s);
+
+  private:
+    void prune(Seconds now);
+
+    AutoscaleConfig cfg;
+    /// (completedAt, latency), ascending by completedAt.
+    std::deque<std::pair<Seconds, Seconds>> samples;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CLUSTER_AUTOSCALE_HH

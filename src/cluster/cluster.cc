@@ -1,14 +1,15 @@
 #include "cluster/cluster.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <exception>
+#include <map>
 #include <ostream>
+#include <tuple>
 #include <utility>
 
 #include "common/error.hh"
-#include "common/histogram.hh"
 #include "common/rng.hh"
-#include "common/stats.hh"
 #include "common/table.hh"
 #include "exp/engine.hh"
 #include "exp/thread_pool.hh"
@@ -16,8 +17,131 @@
 
 namespace ecosched {
 
+namespace {
+
+/// Contiguous node range [begin, end) owned by one shard.
+struct ShardRange
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+};
+
+std::vector<ShardRange>
+makeShards(std::size_t n, std::size_t count)
+{
+    std::vector<ShardRange> out;
+    out.reserve(count);
+    for (std::size_t s = 0; s < count; ++s)
+        out.push_back({n * s / count, n * (s + 1) / count});
+    return out;
+}
+
+} // namespace
+
+/// Live state of one cluster run (start() .. finish()).
+struct ClusterSim::Run
+{
+    Run(const ClusterConfig &cfg, unsigned workers,
+        std::size_t shard_count, std::size_t n)
+        : arrivals(TrafficModel(cfg.traffic).generate()),
+          dispatcher(cfg.dispatch), autoscaler(cfg.autoscale),
+          latency(0.0, cfg.latencyHistogramMax,
+                  cfg.latencyHistogramBins),
+          outstanding(n, 0),
+          // Every node starts empty, hence parked when idle-sleep
+          // is on.
+          suspended(n, cfg.idleSleep ? char{1} : char{0}),
+          crashCounted(n, 0), schedulable(n, 1), lastIssue(n, 0.0),
+          restartAt(n, -1.0), nodeCompleted(n, 0),
+          bound(cfg.traffic.duration * cfg.drainBoundFactor),
+          shards(makeShards(n, shard_count))
+    {
+        res.dispatch = cfg.dispatch;
+        res.numNodes = n;
+        res.jobsSubmitted = arrivals.size();
+        res.sloLatency = cfg.sloLatency;
+
+        // Scheduled NodeCrash events, rack-scoped ones expanded to
+        // their member nodes, re-sorted by (time, node).
+        for (const FaultEvent &ev : cfg.injection.events()) {
+            if (ev.kind != FaultKind::NodeCrash)
+                continue;
+            if (ev.rackScoped) {
+                if (cfg.nodesPerRack == 0)
+                    continue; // no rack layout: dropped, like
+                              // eventsForNode()
+                const std::size_t lo =
+                    static_cast<std::size_t>(ev.node)
+                    * cfg.nodesPerRack;
+                const std::size_t hi =
+                    std::min<std::size_t>(lo + cfg.nodesPerRack, n);
+                for (std::size_t i = lo; i < hi; ++i) {
+                    FaultEvent mine = ev;
+                    mine.node = static_cast<NodeId>(i);
+                    mine.rackScoped = false;
+                    crashes.push_back(mine);
+                }
+            } else if (ev.node < n) {
+                crashes.push_back(ev);
+            }
+        }
+        std::stable_sort(crashes.begin(), crashes.end(),
+                         [](const FaultEvent &a, const FaultEvent &b) {
+                             return std::tie(a.time, a.node)
+                                 < std::tie(b.time, b.node);
+                         });
+
+        evalEveryEpochs = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   std::ceil(cfg.autoscale.evalInterval
+                             / cfg.dispatchInterval)));
+
+        // One persistent pool for all windows; serial when --jobs 1
+        // or a single shard.
+        if (workers > 1 && shards.size() > 1)
+            pool = std::make_unique<ThreadPool>(
+                std::min<unsigned>(
+                    workers, static_cast<unsigned>(shards.size())));
+    }
+
+    bool settled() const
+    {
+        return res.jobsCompleted + res.jobsDropped + res.jobsLost
+            == res.jobsSubmitted;
+    }
+
+    std::vector<ClusterJob> arrivals;
+    std::vector<FaultEvent> crashes; ///< expanded, (time, node)-sorted
+    Dispatcher dispatcher;
+    SloAutoscaler autoscaler;
+    Histogram latency;
+    RunningStats latencyStats;
+    ClusterResult res;
+
+    std::vector<std::uint32_t> outstanding;
+    std::vector<char> suspended;
+    std::vector<char> crashCounted;
+    /// Autoscaler gate: 1 while the dispatcher may route new work to
+    /// the node.
+    std::vector<char> schedulable;
+    std::vector<Seconds> lastIssue;
+    std::vector<Seconds> restartAt; ///< negative: not scheduled
+    std::vector<std::uint64_t> nodeCompleted;
+
+    std::size_t nextArrival = 0;
+    std::size_t nextCrash = 0;
+    Seconds t = 0.0;
+    std::size_t epochIndex = 0;
+    Seconds bound = 0.0;
+    std::size_t evalEveryEpochs = 1;
+
+    std::vector<ShardRange> shards;
+    std::unique_ptr<ThreadPool> pool;
+};
+
 ClusterSim::ClusterSim(ClusterConfig config)
-    : cfg(std::move(config)), workerCount(resolveJobs(cfg.jobs))
+    : cfg(std::move(config)), workerCount(resolveJobs(cfg.jobs)),
+      shardCount(1)
 {
     fatalIf(cfg.nodes.empty(), "cluster needs at least one node");
     fatalIf(cfg.dispatchInterval <= 0.0,
@@ -29,14 +153,23 @@ ClusterSim::ClusterSim(ClusterConfig config)
     fatalIf(cfg.latencyHistogramMax <= 0.0
                 || cfg.latencyHistogramBins == 0,
             "latency histogram needs a positive range and bins");
+    fatalIf(cfg.maxPipelineWindow == 0,
+            "maxPipelineWindow must be at least 1");
 
-    fleet.reserve(cfg.nodes.size());
-    for (std::size_t i = 0; i < cfg.nodes.size(); ++i) {
+    const std::size_t n = cfg.nodes.size();
+    shardCount = cfg.shards != 0
+        ? std::min(cfg.shards, n)
+        : std::min<std::size_t>(workerCount, n);
+
+    // Per-node configs with the fleet plan's machine-level events
+    // routed in (NodeCrash stays at this layer; rack-scoped events
+    // expand through the rack layout).
+    std::vector<NodeConfig> prepared;
+    prepared.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
         NodeConfig node_cfg = cfg.nodes[i];
-        // Route the fleet plan's machine-level events to their
-        // target node (NodeCrash stays at this layer).
         const InjectionPlan mine = cfg.injection.eventsForNode(
-            static_cast<NodeId>(i));
+            static_cast<NodeId>(i), cfg.nodesPerRack);
         if (!mine.empty()) {
             std::vector<FaultEvent> merged =
                 node_cfg.injection.events();
@@ -47,204 +180,427 @@ ClusterSim::ClusterSim(ClusterConfig config)
             node_cfg.injection =
                 InjectionPlan::scripted(std::move(merged));
         }
-        fleet.push_back(std::make_unique<ClusterNode>(
-            static_cast<NodeId>(i), std::move(node_cfg)));
+        prepared.push_back(std::move(node_cfg));
+    }
+
+    // One pristine prototype stack per distinct node shape; every
+    // node is stamped from its shape's prototype (bit-identical to a
+    // fresh build, without re-deriving the calibrated models 10 000
+    // times).
+    std::map<std::uint64_t, std::unique_ptr<SimStack>> prototypes;
+    std::vector<const SimStack *> proto(n, nullptr);
+    for (std::size_t i = 0; i < n; ++i) {
+        const SimStackConfig scfg =
+            ClusterNode::stackConfig(prepared[i]);
+        std::unique_ptr<SimStack> &slot = prototypes[scfg.shapeKey()];
+        if (!slot)
+            slot = std::make_unique<SimStack>(scfg);
+        proto[i] = slot.get();
+    }
+
+    fleet.resize(n);
+    const auto buildRange = [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            fleet[i] = std::make_unique<ClusterNode>(
+                static_cast<NodeId>(i), std::move(prepared[i]),
+                *proto[i]);
+        }
+    };
+    if (workerCount > 1 && n >= 64) {
+        // Stamp the fleet in parallel (prototypes are only read).
+        const std::vector<ShardRange> chunks = makeShards(
+            n, std::min<std::size_t>(
+                   n, static_cast<std::size_t>(workerCount) * 4));
+        std::vector<std::exception_ptr> errors(chunks.size());
+        ThreadPool pool(std::min<unsigned>(
+            workerCount, static_cast<unsigned>(chunks.size())));
+        for (std::size_t c = 0; c < chunks.size(); ++c) {
+            pool.submit([&, c] {
+                try {
+                    buildRange(chunks[c].begin, chunks[c].end);
+                } catch (...) {
+                    errors[c] = std::current_exception();
+                }
+            });
+        }
+        pool.wait();
+        for (const std::exception_ptr &e : errors) {
+            if (e)
+                std::rethrow_exception(e);
+        }
+    } else {
+        buildRange(0, n);
     }
 }
 
 ClusterSim::~ClusterSim() = default;
 
-ClusterResult
-ClusterSim::run()
+void
+ClusterSim::start()
 {
-    fatalIf(consumed, "ClusterSim::run() is single-use");
+    fatalIf(consumed, "a ClusterSim run is single-use");
     consumed = true;
+    live = std::make_unique<Run>(cfg, workerCount, shardCount,
+                                 fleet.size());
+}
 
-    const std::vector<ClusterJob> arrivals =
-        TrafficModel(cfg.traffic).generate();
+bool
+ClusterSim::finished() const
+{
+    fatalIf(!live, "ClusterSim::finished() needs a started run");
+    return live->nextArrival >= live->arrivals.size()
+        && live->settled();
+}
 
-    ClusterResult res;
-    res.dispatch = cfg.dispatch;
-    res.numNodes = fleet.size();
-    res.jobsSubmitted = arrivals.size();
-    res.sloLatency = cfg.sloLatency;
+std::size_t
+ClusterSim::planWindow() const
+{
+    const Run &r = *live;
+    // Drain: the settle check runs at every epoch boundary, so the
+    // final epoch — the makespan — must be found one epoch at a time.
+    if (r.nextArrival >= r.arrivals.size())
+        return 1;
 
-    Dispatcher dispatcher(cfg.dispatch);
-    Histogram latency(0.0, cfg.latencyHistogramMax,
-                      cfg.latencyHistogramBins);
-    RunningStats latencyStats;
+    std::size_t cap = cfg.maxPipelineWindow;
+    if (cfg.autoscale.enabled) {
+        // No autoscaler evaluation boundary may fall inside the
+        // window (boundary indices are multiples of evalEveryEpochs).
+        cap = std::min(cap, r.evalEveryEpochs
+                                - r.epochIndex % r.evalEveryEpochs);
+    }
 
+    Seconds min_restart = -1.0;
+    for (const Seconds at : r.restartAt) {
+        if (at >= 0.0 && (min_restart < 0.0 || at < min_restart))
+            min_restart = at;
+    }
+
+    // Grow the window while the next boundary is inert.  Epoch ends
+    // accumulate sequentially (t + dt + dt + ...) — the exact values
+    // the one-epoch-at-a-time loop would compute — so every
+    // comparison below matches the serial schedule bitwise.
+    std::size_t window = 1;
+    Seconds last_end = r.t + cfg.dispatchInterval;
+    while (window < cap) {
+        const Seconds next_end = last_end + cfg.dispatchInterval;
+        if (r.arrivals[r.nextArrival].arrival < next_end)
+            break; // an arrival routes at the next boundary
+        if (r.nextCrash < r.crashes.size()
+            && r.crashes[r.nextCrash].time <= last_end) {
+            break; // a NodeCrash fires at the next boundary
+        }
+        if (min_restart >= 0.0 && min_restart <= last_end)
+            break; // a node restart is due at the next boundary
+        if (last_end >= r.bound)
+            break; // the drain-bound check must run there
+        last_end = next_end;
+        ++window;
+    }
+    return window;
+}
+
+void
+ClusterSim::autoscaleStep()
+{
+    Run &r = *live;
     const std::size_t n = fleet.size();
-    std::vector<std::uint32_t> outstanding(n, 0);
-    // Every node starts empty, hence parked when idle-sleep is on.
-    std::vector<char> suspended(n, cfg.idleSleep ? 1 : 0);
-    std::vector<char> crashCounted(n, 0);
-    std::vector<Seconds> lastIssue(n, 0.0);
-    std::vector<std::uint64_t> nodeCompleted(n, 0);
+    std::size_t open = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (fleet[i]->alive() && r.schedulable[i])
+            ++open;
+    }
+    const SloAutoscaler::Decision d = r.autoscaler.evaluate(r.t, open);
 
-    // One persistent pool for all epochs; serial when --jobs 1.
-    std::unique_ptr<ThreadPool> pool;
-    if (workerCount > 1 && n > 1)
-        pool = std::make_unique<ThreadPool>(
-            std::min<unsigned>(workerCount,
-                               static_cast<unsigned>(n)));
-
-    const Seconds bound =
-        cfg.traffic.duration * cfg.drainBoundFactor;
-    std::size_t nextArrival = 0;
-    Seconds t = 0.0;
-
-    // Scheduled NodeCrash events (the plan is time-sorted) and the
-    // per-node restart deadline (negative: not scheduled).
-    std::vector<FaultEvent> crashes;
-    for (const FaultEvent &ev : cfg.injection.events()) {
-        if (ev.kind == FaultKind::NodeCrash
-            && ev.node < static_cast<NodeId>(n)) {
-            crashes.push_back(ev);
+    if (d.park > 0) {
+        // Drain-and-park the shallowest-headroom idle nodes first:
+        // the deepest (cheapest-running) silicon stays schedulable.
+        std::vector<std::size_t> cand;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (fleet[i]->alive() && r.schedulable[i]
+                && r.outstanding[i] == 0) {
+                cand.push_back(i);
+            }
+        }
+        std::sort(cand.begin(), cand.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      const double ha = fleet[a]->vminHeadroomMv();
+                      const double hb = fleet[b]->vminHeadroomMv();
+                      return std::tie(ha, a) < std::tie(hb, b);
+                  });
+        const std::size_t take = std::min(d.park, cand.size());
+        for (std::size_t j = 0; j < take; ++j) {
+            r.schedulable[cand[j]] = 0;
+            ++r.res.autoscaleParks;
         }
     }
-    std::size_t nextCrash = 0;
-    std::vector<Seconds> restartAt(n, -1.0);
+    if (d.unpark > 0) {
+        // Re-open the deepest-headroom parked nodes first.
+        std::vector<std::size_t> cand;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (fleet[i]->alive() && !r.schedulable[i])
+                cand.push_back(i);
+        }
+        std::sort(cand.begin(), cand.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      const double ha = fleet[a]->vminHeadroomMv();
+                      const double hb = fleet[b]->vminHeadroomMv();
+                      return ha != hb ? ha > hb : a < b;
+                  });
+        const std::size_t take = std::min(d.unpark, cand.size());
+        for (std::size_t j = 0; j < take; ++j) {
+            r.schedulable[cand[j]] = 1;
+            ++r.res.autoscaleUnparks;
+        }
+    }
+}
 
-    const auto settled = [&] {
-        return res.jobsCompleted + res.jobsDropped + res.jobsLost
-            == res.jobsSubmitted;
+void
+ClusterSim::reconcileBoundary()
+{
+    Run &r = *live;
+    const std::size_t n = fleet.size();
+    const Seconds t = r.t;
+    const Seconds epochEnd = t + cfg.dispatchInterval;
+
+    // Scheduled node restarts, then due NodeCrash events.  Both land
+    // on epoch boundaries, so they are independent of the worker and
+    // shard counts.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (r.restartAt[i] < 0.0 || r.restartAt[i] > t
+            || fleet[i]->alive()) {
+            continue;
+        }
+        fleet[i]->restart(t);
+        r.restartAt[i] = -1.0;
+        ++r.res.nodeRestarts;
+        r.crashCounted[i] = 0;
+        r.outstanding[i] = 0;
+        r.lastIssue[i] = std::max(r.lastIssue[i], t);
+        // A restarted node comes back empty, hence parked — and it
+        // rejoins the schedulable pool.
+        r.suspended[i] = cfg.idleSleep ? 1 : 0;
+        r.schedulable[i] = 1;
+    }
+    while (r.nextCrash < r.crashes.size()
+           && r.crashes[r.nextCrash].time <= t) {
+        const FaultEvent &ev = r.crashes[r.nextCrash];
+        ++r.nextCrash;
+        if (!fleet[ev.node]->alive())
+            continue; // already down
+        fleet[ev.node]->forceCrash();
+        const Seconds down = ev.duration >= 0.0
+            ? ev.duration : cfg.nodeRestartDelay;
+        r.restartAt[ev.node] = down >= 0.0 ? ev.time + down : -1.0;
+    }
+
+    // The autoscaler's park/unpark step, on its epoch-aligned
+    // cadence (before routing, so this boundary's arrivals already
+    // see the updated gates).
+    if (cfg.autoscale.enabled && r.epochIndex > 0
+        && r.epochIndex % r.evalEveryEpochs == 0) {
+        autoscaleStep();
+    }
+
+    // Route this epoch's arrivals using the epoch-boundary fleet
+    // view.
+    std::vector<NodeView> views(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        views[i].alive = fleet[i]->alive();
+        views[i].schedulable = r.schedulable[i] != 0;
+        views[i].cores = fleet[i]->spec().numCores;
+        views[i].outstandingThreads = r.outstanding[i];
+        views[i].headroomMv = fleet[i]->vminHeadroomMv();
+    }
+    while (r.nextArrival < r.arrivals.size()
+           && r.arrivals[r.nextArrival].arrival < epochEnd) {
+        const ClusterJob &job = r.arrivals[r.nextArrival];
+        ++r.nextArrival;
+        const std::size_t pick = r.dispatcher.choose(views, job);
+        if (pick == Dispatcher::npos) {
+            ++r.res.jobsDropped; // whole fleet down
+            continue;
+        }
+        const std::uint32_t threads =
+            threadsForJob(job, views[pick].cores);
+        Seconds issue = job.arrival;
+        if (r.suspended[pick]) {
+            issue += cfg.wakeDelay; // pay the wake-up
+            r.suspended[pick] = 0;
+        }
+        issue = std::max(issue, r.lastIssue[pick]);
+        r.lastIssue[pick] = issue;
+        fleet[pick]->enqueue(job, threads, issue);
+        r.outstanding[pick] += threads;
+        views[pick].outstandingThreads = r.outstanding[pick];
+    }
+}
+
+void
+ClusterSim::executeWindow(const std::vector<Seconds> &ends)
+{
+    Run &r = *live;
+    const std::size_t window = ends.size();
+    const std::size_t nshards = r.shards.size();
+
+    // Per-(shard, epoch) completion/crash buffers.  Each shard owns
+    // its slots exclusively; the serial fold below replays them in
+    // epoch-major, node-ascending order — exactly the order the
+    // one-epoch serial loop feeds the latency accumulators.
+    struct EpochBuf
+    {
+        std::vector<std::pair<std::size_t, std::vector<JobCompletion>>>
+            completions; ///< node-ascending
+        /// (node, stranded jobs) for crashes detected this epoch.
+        std::vector<std::pair<std::size_t, std::uint64_t>> crashed;
+    };
+    std::vector<EpochBuf> buf(nshards * window);
+
+    struct ShardError
+    {
+        std::size_t epoch = 0;
+        std::size_t node = 0;
+        std::exception_ptr error;
+    };
+    std::vector<ShardError> errors(nshards);
+
+    const auto runShard = [&](std::size_t s) {
+        const ShardRange range = r.shards[s];
+        for (std::size_t k = 0; k < window; ++k) {
+            EpochBuf &out = buf[s * window + k];
+            for (std::size_t i = range.begin; i < range.end; ++i) {
+                try {
+                    // Always one stepTo() per epoch: the parked-
+                    // energy re-accounting telescopes per span, so
+                    // coalescing a multi-epoch window into one call
+                    // would change the floating-point sums.
+                    fleet[i]->stepTo(ends[k], r.suspended[i] != 0);
+                    std::vector<JobCompletion> comps =
+                        fleet[i]->harvest();
+                    for (const JobCompletion &c : comps) {
+                        ECOSCHED_ASSERT(
+                            r.outstanding[i] >= c.threads,
+                            "outstanding-thread underflow");
+                        r.outstanding[i] -= c.threads;
+                        ++r.nodeCompleted[i];
+                    }
+                    if (!comps.empty()) {
+                        out.completions.emplace_back(
+                            i, std::move(comps));
+                    }
+                    if (!fleet[i]->alive() && !r.crashCounted[i]) {
+                        // Fault injection took the node down: its
+                        // remaining jobs are stranded.
+                        r.crashCounted[i] = 1;
+                        out.crashed.emplace_back(
+                            i, fleet[i]->pendingJobs());
+                        r.outstanding[i] = 0;
+                    }
+                    if (cfg.idleSleep && r.outstanding[i] == 0
+                        && fleet[i]->alive()) {
+                        r.suspended[i] = 1;
+                    }
+                } catch (...) {
+                    errors[s] = {k, i, std::current_exception()};
+                    return;
+                }
+            }
+        }
     };
 
-    while (nextArrival < arrivals.size() || !settled()) {
-        fatalIf(t >= bound, "cluster failed to drain within ",
-                formatDouble(bound, 1), " s (offered load too high "
-                "for the fleet, or every node crashed)");
-        const Seconds epochEnd = t + cfg.dispatchInterval;
-
-        // --- Phase 0 (serial): scheduled node restarts, then due
-        // NodeCrash events.  Both land on epoch boundaries, so they
-        // are independent of the node-stepping worker count.
-        for (std::size_t i = 0; i < n; ++i) {
-            if (restartAt[i] < 0.0 || restartAt[i] > t
-                || fleet[i]->alive()) {
-                continue;
-            }
-            fleet[i]->restart(t);
-            restartAt[i] = -1.0;
-            ++res.nodeRestarts;
-            crashCounted[i] = 0;
-            outstanding[i] = 0;
-            lastIssue[i] = std::max(lastIssue[i], t);
-            // A restarted node comes back empty, hence parked.
-            suspended[i] = cfg.idleSleep ? 1 : 0;
-        }
-        while (nextCrash < crashes.size()
-               && crashes[nextCrash].time <= t) {
-            const FaultEvent &ev = crashes[nextCrash];
-            ++nextCrash;
-            if (!fleet[ev.node]->alive())
-                continue; // already down
-            fleet[ev.node]->forceCrash();
-            const Seconds down = ev.duration >= 0.0
-                ? ev.duration : cfg.nodeRestartDelay;
-            restartAt[ev.node] =
-                down >= 0.0 ? ev.time + down : -1.0;
-        }
-
-        // --- Phase 1 (serial): route this epoch's arrivals using
-        // the epoch-boundary fleet view.
-        std::vector<NodeView> views(n);
-        for (std::size_t i = 0; i < n; ++i) {
-            views[i].alive = fleet[i]->alive();
-            views[i].cores = fleet[i]->spec().numCores;
-            views[i].outstandingThreads = outstanding[i];
-            views[i].headroomMv = fleet[i]->vminHeadroomMv();
-        }
-        while (nextArrival < arrivals.size()
-               && arrivals[nextArrival].arrival < epochEnd) {
-            const ClusterJob &job = arrivals[nextArrival];
-            ++nextArrival;
-            const std::size_t pick = dispatcher.choose(views, job);
-            if (pick == Dispatcher::npos) {
-                ++res.jobsDropped; // whole fleet down
-                continue;
-            }
-            const std::uint32_t threads =
-                threadsForJob(job, views[pick].cores);
-            Seconds issue = job.arrival;
-            if (suspended[pick]) {
-                issue += cfg.wakeDelay; // pay the wake-up
-                suspended[pick] = 0;
-            }
-            issue = std::max(issue, lastIssue[pick]);
-            lastIssue[pick] = issue;
-            fleet[pick]->enqueue(job, threads, issue);
-            outstanding[pick] += threads;
-            views[pick].outstandingThreads = outstanding[pick];
-        }
-
-        // --- Phase 2 (parallel): step every node to the epoch end.
-        // Nodes share no state; per-node errors land in per-node
-        // slots and are rethrown in node order below, so the result
-        // is identical for any worker count.
-        std::vector<std::exception_ptr> errors(n);
-        const auto stepNode = [&](std::size_t i) {
-            try {
-                fleet[i]->stepTo(epochEnd, suspended[i] != 0);
-            } catch (...) {
-                errors[i] = std::current_exception();
-            }
-        };
-        if (pool) {
-            for (std::size_t i = 0; i < n; ++i)
-                pool->submit([&, i] { stepNode(i); });
-            pool->wait();
-        } else {
-            for (std::size_t i = 0; i < n; ++i)
-                stepNode(i);
-        }
-        for (std::size_t i = 0; i < n; ++i) {
-            if (errors[i])
-                std::rethrow_exception(errors[i]);
-        }
-
-        // --- Phase 3 (serial, node order): harvest completions into
-        // the cluster-wide accounting.
-        for (std::size_t i = 0; i < n; ++i) {
-            for (const JobCompletion &c : fleet[i]->harvest()) {
-                ECOSCHED_ASSERT(outstanding[i] >= c.threads,
-                                "outstanding-thread underflow");
-                outstanding[i] -= c.threads;
-                ++res.jobsCompleted;
-                ++nodeCompleted[i];
-                const Seconds lat = c.latency();
-                latency.add(lat);
-                latencyStats.add(lat);
-                if (lat > cfg.sloLatency)
-                    ++res.sloViolations;
-                if (isFailure(c.outcome))
-                    ++res.jobsFailed;
-            }
-            if (!fleet[i]->alive() && !crashCounted[i]) {
-                // Fault injection took the node down: its remaining
-                // jobs are stranded.
-                crashCounted[i] = 1;
-                ++res.nodeCrashes;
-                res.jobsLost += fleet[i]->pendingJobs();
-                outstanding[i] = 0;
-            }
-            if (cfg.idleSleep && outstanding[i] == 0
-                && fleet[i]->alive()) {
-                suspended[i] = 1;
-            }
-        }
-
-        t = epochEnd;
+    if (r.pool) {
+        for (std::size_t s = 0; s < nshards; ++s)
+            r.pool->submit([&, s] { runShard(s); });
+        r.pool->wait();
+    } else {
+        for (std::size_t s = 0; s < nshards; ++s)
+            runShard(s);
     }
 
-    res.makespan = t;
-    for (std::size_t i = 0; i < n; ++i) {
+    // Rethrow the earliest (epoch, node) error — a shard stops at
+    // its first failure and shards cover ascending node ranges, so
+    // this is the error the serial loop would have hit first.
+    const ShardError *first = nullptr;
+    for (const ShardError &e : errors) {
+        if (e.error
+            && (first == nullptr
+                || std::tie(e.epoch, e.node)
+                    < std::tie(first->epoch, first->node))) {
+            first = &e;
+        }
+    }
+    if (first != nullptr)
+        std::rethrow_exception(first->error);
+
+    // Serial fold into the cluster-wide accounting.
+    for (std::size_t k = 0; k < window; ++k) {
+        for (std::size_t s = 0; s < nshards; ++s) {
+            const EpochBuf &b = buf[s * window + k];
+            for (const auto &[node, comps] : b.completions) {
+                (void)node;
+                for (const JobCompletion &c : comps) {
+                    ++r.res.jobsCompleted;
+                    const Seconds lat = c.latency();
+                    r.latency.add(lat);
+                    r.latencyStats.add(lat);
+                    if (lat > cfg.sloLatency)
+                        ++r.res.sloViolations;
+                    if (isFailure(c.outcome))
+                        ++r.res.jobsFailed;
+                    if (cfg.autoscale.enabled) {
+                        // Timestamped at the epoch end: monotone, and
+                        // identical for every shard/worker count.
+                        r.autoscaler.observe(ends[k], lat);
+                    }
+                }
+            }
+            for (const auto &[node, lost] : b.crashed) {
+                (void)node;
+                ++r.res.nodeCrashes;
+                r.res.jobsLost += lost;
+            }
+        }
+    }
+}
+
+void
+ClusterSim::advance()
+{
+    fatalIf(!live, "ClusterSim::advance() needs a started run");
+    fatalIf(finished(), "ClusterSim::advance() past the drain");
+    Run &r = *live;
+    fatalIf(r.t >= r.bound, "cluster failed to drain within ",
+            formatDouble(r.bound, 1), " s (offered load too high "
+            "for the fleet, or every node crashed)");
+
+    reconcileBoundary();
+    const std::size_t window = planWindow();
+    std::vector<Seconds> ends(window);
+    Seconds end = r.t;
+    for (std::size_t k = 0; k < window; ++k) {
+        end += cfg.dispatchInterval;
+        ends[k] = end;
+    }
+    executeWindow(ends);
+    r.t = ends.back();
+    r.epochIndex += window;
+}
+
+ClusterResult
+ClusterSim::finish()
+{
+    fatalIf(!live, "ClusterSim::finish() needs a started run");
+    fatalIf(!finished(),
+            "ClusterSim::finish() before the fleet drained");
+    Run &r = *live;
+    ClusterResult res = std::move(r.res);
+
+    res.makespan = r.t;
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
         NodeSummary s;
         s.node = fleet[i]->id();
         s.chip = fleet[i]->spec().name;
         s.headroomMv = fleet[i]->vminHeadroomMv();
-        s.jobsCompleted = nodeCompleted[i];
+        s.jobsCompleted = r.nodeCompleted[i];
         s.energy = fleet[i]->energy();
         s.utilization = fleet[i]->utilization();
         s.parkedTime = fleet[i]->parkedTime();
@@ -255,19 +611,90 @@ ClusterSim::run()
     }
     if (res.makespan > 0.0)
         res.averagePower = res.totalEnergy / res.makespan;
-    if (latencyStats.count() > 0) {
-        res.latencyMean = latencyStats.mean();
-        res.latencyMax = latencyStats.max();
-        // In-bin interpolation can overshoot the true sample by up
-        // to a bin width; clamp to the observed extremum.
-        res.latencyP50 =
-            std::min(latency.quantile(0.50), res.latencyMax);
-        res.latencyP95 =
-            std::min(latency.quantile(0.95), res.latencyMax);
-        res.latencyP99 =
-            std::min(latency.quantile(0.99), res.latencyMax);
+    if (r.latencyStats.count() > 0) {
+        res.latencyMean = r.latencyStats.mean();
+        res.latencyMin = r.latencyStats.min();
+        res.latencyMax = r.latencyStats.max();
+        // In-bin interpolation can miss the true sample by up to a
+        // bin width on either side; clamp to the observed extrema.
+        res.latencyP50 = std::clamp(r.latency.quantile(0.50),
+                                    res.latencyMin, res.latencyMax);
+        res.latencyP95 = std::clamp(r.latency.quantile(0.95),
+                                    res.latencyMin, res.latencyMax);
+        res.latencyP99 = std::clamp(r.latency.quantile(0.99),
+                                    res.latencyMin, res.latencyMax);
     }
+    live.reset();
     return res;
+}
+
+ClusterResult
+ClusterSim::run()
+{
+    start();
+    while (!finished())
+        advance();
+    return finish();
+}
+
+ClusterSim::Snapshot
+ClusterSim::capture() const
+{
+    fatalIf(!live,
+            "ClusterSim::capture() needs a live run (between "
+            "start() and finish())");
+    const Run &r = *live;
+    Snapshot s;
+    s.nodes.reserve(fleet.size());
+    for (const auto &node : fleet)
+        s.nodes.push_back(node->capture());
+    s.dispatcher = r.dispatcher.state();
+    s.autoscaler = r.autoscaler.captureState();
+    s.partial = r.res;
+    s.latency = r.latency;
+    s.latencyStats = r.latencyStats;
+    s.outstanding = r.outstanding;
+    s.suspended = r.suspended;
+    s.crashCounted = r.crashCounted;
+    s.schedulable = r.schedulable;
+    s.lastIssue = r.lastIssue;
+    s.restartAt = r.restartAt;
+    s.nodeCompleted = r.nodeCompleted;
+    s.nextArrival = r.nextArrival;
+    s.nextCrash = r.nextCrash;
+    s.t = r.t;
+    s.epochIndex = r.epochIndex;
+    return s;
+}
+
+void
+ClusterSim::restore(const Snapshot &snapshot)
+{
+    fatalIf(!live,
+            "ClusterSim::restore() needs a live run (call start() "
+            "first)");
+    fatalIf(snapshot.nodes.size() != fleet.size(),
+            "cluster snapshot is for a ", snapshot.nodes.size(),
+            "-node fleet, this one has ", fleet.size());
+    Run &r = *live;
+    for (std::size_t i = 0; i < fleet.size(); ++i)
+        fleet[i]->restore(snapshot.nodes[i]);
+    r.dispatcher.setState(snapshot.dispatcher);
+    r.autoscaler.restoreState(snapshot.autoscaler);
+    r.res = snapshot.partial;
+    r.latency = snapshot.latency;
+    r.latencyStats = snapshot.latencyStats;
+    r.outstanding = snapshot.outstanding;
+    r.suspended = snapshot.suspended;
+    r.crashCounted = snapshot.crashCounted;
+    r.schedulable = snapshot.schedulable;
+    r.lastIssue = snapshot.lastIssue;
+    r.restartAt = snapshot.restartAt;
+    r.nodeCompleted = snapshot.nodeCompleted;
+    r.nextArrival = snapshot.nextArrival;
+    r.nextCrash = snapshot.nextCrash;
+    r.t = snapshot.t;
+    r.epochIndex = snapshot.epochIndex;
 }
 
 void
@@ -283,6 +710,10 @@ ClusterResult::printSummary(std::ostream &os) const
     summary.addRow({"failed runs", std::to_string(jobsFailed)});
     summary.addRow({"node crashes", std::to_string(nodeCrashes)});
     summary.addRow({"node restarts", std::to_string(nodeRestarts)});
+    summary.addRow(
+        {"autoscale parks", std::to_string(autoscaleParks)});
+    summary.addRow(
+        {"autoscale unparks", std::to_string(autoscaleUnparks)});
     summary.addRow({"makespan [s]", formatDouble(makespan, 1)});
     summary.addRow({"total energy [J]", formatDouble(totalEnergy, 1)});
     summary.addRow(
@@ -290,6 +721,7 @@ ClusterResult::printSummary(std::ostream &os) const
     summary.addRow(
         {"energy per job [J]", formatDouble(energyPerJob(), 1)});
     summary.addRow({"latency mean [s]", formatDouble(latencyMean, 2)});
+    summary.addRow({"latency min [s]", formatDouble(latencyMin, 2)});
     summary.addRow({"latency p50 [s]", formatDouble(latencyP50, 2)});
     summary.addRow({"latency p95 [s]", formatDouble(latencyP95, 2)});
     summary.addRow({"latency p99 [s]", formatDouble(latencyP99, 2)});

@@ -4,21 +4,38 @@
  * one dispatcher — the production-scale layer above the paper's
  * single-node daemon.
  *
- * Execution model (lockstep epochs of `dispatchInterval`):
+ * Execution model (sharded, pipelined epochs of `dispatchInterval`):
  *
- *   1. arrivals due in the epoch are routed by the Dispatcher using
- *      the previous epoch boundary's fleet view (serial, node order);
- *   2. every node steps through the epoch *in parallel* on the
- *      experiment ThreadPool — nodes share no state, and per-node
- *      results land in per-node slots, so the simulation is
- *      bit-identical for any `--jobs` worker count;
- *   3. completions are harvested serially in node order into the
- *      cluster-wide accounting (energy, latency histogram for
- *      p50/p95/p99, SLO violations, crash/SDC counts).
+ * Nodes interact only through the dispatcher, and the dispatcher only
+ * acts at epoch boundaries.  The fleet is therefore split into
+ * contiguous *shards*, and each advance() executes a *window* of
+ * consecutive epochs chosen so that every boundary interior to the
+ * window is inert — no arrival to route, no scheduled crash or
+ * restart, no autoscaler evaluation due.  Within the window:
+ *
+ *   1. boundary reconcile (serial): scheduled restarts, due NodeCrash
+ *      events, the SLO autoscaler's park/unpark step, then arrival
+ *      routing against the epoch-boundary fleet view;
+ *   2. every shard runs its node range through all window epochs *in
+ *      parallel* on the experiment ThreadPool — still calling
+ *      stepTo() once per epoch per node (parked-energy re-accounting
+ *      telescopes per epoch, so coalescing spans would change bits) —
+ *      and buffers completions per (shard, epoch);
+ *   3. the buffers are folded serially in epoch-major, node-ascending
+ *      order — exactly the order the one-epoch-at-a-time serial loop
+ *      feeds the latency accumulators — so the result is
+ *      bit-identical for any worker count and any shard count.
+ *
+ * Large fleets are stamped from one pristine prototype stack per
+ * distinct node shape (SimStack's stamp constructor) instead of
+ * re-deriving the calibrated models 10 000 times.
  *
  * Idle nodes park into standby between epochs (suspend-to-idle) and
  * pay a wake-up delay when the dispatcher routes work back to them —
- * consolidation-friendly policies therefore save real energy.
+ * consolidation-friendly policies therefore save real energy.  The
+ * optional SLO autoscaler (autoscale.hh) additionally gates whole
+ * nodes off the dispatcher when the windowed p99 latency runs far
+ * below target, and re-opens them when it overshoots.
  */
 
 #ifndef ECOSCHED_CLUSTER_CLUSTER_HH
@@ -30,9 +47,12 @@
 #include <string>
 #include <vector>
 
+#include "cluster/autoscale.hh"
 #include "cluster/dispatch.hh"
 #include "cluster/node.hh"
 #include "cluster/traffic.hh"
+#include "common/histogram.hh"
+#include "common/stats.hh"
 
 namespace ecosched {
 
@@ -67,12 +87,30 @@ struct ClusterConfig
     /// hardware concurrency (results identical for every count).
     unsigned jobs = 0;
 
+    /// Fleet shards (contiguous node ranges stepped as one pool task
+    /// each); 0 picks min(jobs, nodes).  Results are identical for
+    /// every shard count.
+    std::size_t shards = 0;
+    /// Upper bound on the pipelined epoch window (>= 1; 1 disables
+    /// pipelining and reconciles every epoch).
+    std::size_t maxPipelineWindow = 8;
+
+    /// Rack layout for correlated failures: nodes
+    /// [r*nodesPerRack, (r+1)*nodesPerRack) form rack r.  0 means no
+    /// rack structure (rack-scoped fault events are dropped).
+    std::uint32_t nodesPerRack = 0;
+
+    /// SLO autoscaler (disabled by default: behavior is then
+    /// identical to a build without the autoscaler).
+    AutoscaleConfig autoscale;
+
     /// Fleet-wide fault-injection plan.  NodeCrash events are applied
     /// here at epoch boundaries (crash at the first epoch whose start
     /// covers the event, restart after the event's duration);
-    /// machine-level events are routed to their target node's
-    /// injector by eventsForNode().  Applied serially, so campaigns
-    /// stay bit-identical for any `jobs` count.
+    /// rack-scoped NodeCrash events expand to every member node of
+    /// the rack; machine-level events are routed to their target
+    /// node's injector by eventsForNode().  Applied serially, so
+    /// campaigns stay bit-identical for any `jobs` count.
     InjectionPlan injection;
     /// Downtime for NodeCrash events with a negative duration
     /// (negative here too: such nodes stay down forever).
@@ -111,9 +149,11 @@ struct ClusterResult
 
     Seconds makespan = 0.0;   ///< epoch time when the fleet drained
     Joule totalEnergy = 0.0;  ///< across all nodes, standby included
-    Watt averagePower = 0.0;  ///< totalEnergy / makespan
+    Watt averagePower = 0.0;  ///< totalEnergy / makespan (0 for a
+                              ///< zero-makespan run)
 
     Seconds latencyMean = 0.0;
+    Seconds latencyMin = 0.0;
     Seconds latencyP50 = 0.0;
     Seconds latencyP95 = 0.0;
     Seconds latencyP99 = 0.0;
@@ -124,9 +164,14 @@ struct ClusterResult
     std::uint64_t nodeCrashes = 0;
     std::uint64_t nodeRestarts = 0;
 
+    /// Autoscaler activity (0 when disabled).
+    std::uint64_t autoscaleParks = 0;
+    std::uint64_t autoscaleUnparks = 0;
+
     std::vector<NodeSummary> nodes;
 
-    /// Energy per completed job (0 when nothing completed).
+    /// Energy per completed job (0 when nothing completed, so
+    /// degenerate runs report 0 rather than inf/nan).
     Joule energyPerJob() const
     {
         return jobsCompleted == 0
@@ -136,13 +181,18 @@ struct ClusterResult
 
     /// Deterministic human-readable summary (cluster-wide metric
     /// table plus the per-node table).  Contains no worker-count or
-    /// wall-clock data, so it is bit-identical for any `--jobs`.
+    /// wall-clock data, so it is bit-identical for any `--jobs` and
+    /// any `--shards`.
     void printSummary(std::ostream &os) const;
 };
 
 /**
  * Runs one open-arrival traffic trace against a fleet.  Single-use:
- * construct, run(), read the result.
+ * construct, run(), read the result — or drive the run stepwise with
+ * start() / advance() / finish() and capture()/restore() mid-run
+ * snapshots (the snapshot carries the dispatcher cursor and the
+ * autoscaler window alongside the node states, so a restored run
+ * replays bit-identically).
  */
 class ClusterSim
 {
@@ -156,16 +206,77 @@ class ClusterSim
     /// Resolved node-stepping worker count (>= 1).
     unsigned jobs() const { return workerCount; }
 
+    /// Resolved shard count (>= 1, <= fleet size).
+    std::size_t shards() const { return shardCount; }
+
     /// Knobs in use.
     const ClusterConfig &config() const { return cfg; }
 
-    /// Execute the trace to drain (or the drain bound).
+    /// Execute the trace to drain (or the drain bound).  Equivalent
+    /// to start(); while (!finished()) advance(); finish().
     ClusterResult run();
 
+    /// Begin a stepwise run (single-use, like run()).
+    void start();
+
+    /// Whether the trace is fully settled (every submitted job
+    /// completed, dropped or lost).  Valid after start().
+    bool finished() const;
+
+    /// Execute the next pipelined epoch window.
+    void advance();
+
+    /// Finalize and return the result (valid once finished()).
+    ClusterResult finish();
+
+    /**
+     * Full mid-run state: the per-node snapshots plus every piece of
+     * cluster-layer bookkeeping a replay needs — dispatcher cursor,
+     * autoscaler sample window, partial accounting, latency
+     * accumulators and the epoch clock.  A same-config ClusterSim
+     * that restore()s this snapshot continues bit-identically.
+     */
+    struct Snapshot
+    {
+        std::vector<ClusterNode::Snapshot> nodes;
+        Dispatcher::State dispatcher;
+        SloAutoscaler::State autoscaler;
+        ClusterResult partial;
+        Histogram latency = Histogram(0.0, 1.0, 1);
+        RunningStats latencyStats;
+        std::vector<std::uint32_t> outstanding;
+        std::vector<char> suspended;
+        std::vector<char> crashCounted;
+        std::vector<char> schedulable;
+        std::vector<Seconds> lastIssue;
+        std::vector<Seconds> restartAt;
+        std::vector<std::uint64_t> nodeCompleted;
+        std::size_t nextArrival = 0;
+        std::size_t nextCrash = 0;
+        Seconds t = 0.0;
+        std::size_t epochIndex = 0;
+    };
+
+    /// Capture the mid-run state (valid between start() and
+    /// finish()).
+    Snapshot capture() const;
+
+    /// Rewind a started same-config sim to @p snapshot.
+    void restore(const Snapshot &snapshot);
+
   private:
+    struct Run; ///< live run state (cluster.cc)
+
+    std::size_t planWindow() const;
+    void reconcileBoundary();
+    void autoscaleStep();
+    void executeWindow(const std::vector<Seconds> &ends);
+
     ClusterConfig cfg;
     unsigned workerCount;
+    std::size_t shardCount;
     std::vector<std::unique_ptr<ClusterNode>> fleet;
+    std::unique_ptr<Run> live;
     bool consumed = false;
 };
 

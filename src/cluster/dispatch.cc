@@ -35,36 +35,46 @@ Dispatcher::choose(const std::vector<NodeView> &nodes,
                    const ClusterJob &job)
 {
     fatalIf(nodes.empty(), "dispatcher needs at least one node");
+    // Honor the autoscaler's gate only while something schedulable
+    // is up; otherwise any live node beats dropping the job.
+    bool honor_gate = false;
+    for (const NodeView &n : nodes) {
+        if (n.alive && n.schedulable) {
+            honor_gate = true;
+            break;
+        }
+    }
     switch (kind) {
       case DispatchPolicy::RoundRobin:
-        return chooseRoundRobin(nodes);
+        return chooseRoundRobin(nodes, honor_gate);
       case DispatchPolicy::LeastLoaded:
-        return chooseLeastLoaded(nodes);
+        return chooseLeastLoaded(nodes, honor_gate);
       case DispatchPolicy::EnergyAware:
-        return chooseEnergyAware(nodes, job);
+        return chooseEnergyAware(nodes, job, honor_gate);
     }
     return npos;
 }
 
 std::size_t
-Dispatcher::chooseRoundRobin(const std::vector<NodeView> &nodes)
+Dispatcher::chooseRoundRobin(const std::vector<NodeView> &nodes,
+                             bool honor_gate)
 {
     for (std::size_t tried = 0; tried < nodes.size(); ++tried) {
         const std::size_t i = cursor % nodes.size();
         cursor = (cursor + 1) % nodes.size();
-        if (nodes[i].alive)
+        if (eligible(nodes[i], honor_gate))
             return i;
     }
     return npos;
 }
 
 std::size_t
-Dispatcher::chooseLeastLoaded(
-    const std::vector<NodeView> &nodes) const
+Dispatcher::chooseLeastLoaded(const std::vector<NodeView> &nodes,
+                              bool honor_gate) const
 {
     std::size_t best = npos;
     for (std::size_t i = 0; i < nodes.size(); ++i) {
-        if (!nodes[i].alive)
+        if (!eligible(nodes[i], honor_gate))
             continue;
         if (best == npos
             || nodes[i].relativeLoad()
@@ -77,7 +87,8 @@ Dispatcher::chooseLeastLoaded(
 
 std::size_t
 Dispatcher::chooseEnergyAware(const std::vector<NodeView> &nodes,
-                              const ClusterJob &job) const
+                              const ClusterJob &job,
+                              bool honor_gate) const
 {
     // Pass 1: pack an already-awake node that still has room,
     // deepest Vmin headroom first; among equals prefer the fuller
@@ -85,7 +96,7 @@ Dispatcher::chooseEnergyAware(const std::vector<NodeView> &nodes,
     std::size_t best = npos;
     for (std::size_t i = 0; i < nodes.size(); ++i) {
         const NodeView &n = nodes[i];
-        if (!n.alive || n.outstandingThreads == 0)
+        if (!eligible(n, honor_gate) || n.outstandingThreads == 0)
             continue;
         const std::uint32_t need = threadsForJob(job, n.cores);
         if (n.outstandingThreads + need > n.cores)
@@ -103,7 +114,7 @@ Dispatcher::chooseEnergyAware(const std::vector<NodeView> &nodes,
     // Pass 2: wake the parked node with the deepest headroom.
     for (std::size_t i = 0; i < nodes.size(); ++i) {
         const NodeView &n = nodes[i];
-        if (!n.alive || n.outstandingThreads != 0)
+        if (!eligible(n, honor_gate) || n.outstandingThreads != 0)
             continue;
         if (best == npos
             || n.headroomMv > nodes[best].headroomMv) {
@@ -114,7 +125,7 @@ Dispatcher::chooseEnergyAware(const std::vector<NodeView> &nodes,
         return best;
 
     // Pass 3: the fleet is saturated — join the shortest queue.
-    return chooseLeastLoaded(nodes);
+    return chooseLeastLoaded(nodes, honor_gate);
 }
 
 } // namespace ecosched

@@ -53,6 +53,11 @@ DispatchPolicy dispatchPolicyByName(const std::string &name);
 struct NodeView
 {
     bool alive = true;
+    /// Autoscaler gate: a scaled-in node is alive but should not
+    /// receive new work (it drains, then parks).  Every policy
+    /// prefers schedulable nodes and falls back to any live node
+    /// only when nothing schedulable is up.
+    bool schedulable = true;
     std::uint32_t cores = 0;
     /// Threads dispatched to the node and not yet completed
     /// (running + queued + still in its inbox).
@@ -84,6 +89,20 @@ class Dispatcher
     DispatchPolicy policy() const { return kind; }
 
     /**
+     * Mutable policy state (the round-robin rotation).  It is part
+     * of a cluster run's replay identity: a rewound/forked
+     * ClusterSim must restore it alongside the node snapshots, or
+     * round-robin routing silently restarts from node 0.
+     */
+    struct State
+    {
+        std::size_t cursor = 0;
+    };
+
+    State state() const { return State{cursor}; }
+    void setState(const State &s) { cursor = s.cursor; }
+
+    /**
      * Pick the node for @p job given the current fleet view, or npos
      * when every node is down.  The job's thread demand is resolved
      * per candidate node (heterogeneous fleets).
@@ -92,11 +111,22 @@ class Dispatcher
                        const ClusterJob &job);
 
   private:
-    std::size_t chooseRoundRobin(const std::vector<NodeView> &nodes);
-    std::size_t chooseLeastLoaded(
-        const std::vector<NodeView> &nodes) const;
+    /// Whether a policy may route to this node.  @p honor_gate skips
+    /// scaled-in nodes; the caller drops the gate when nothing
+    /// schedulable is alive (jobs are never dropped while any node
+    /// is up).
+    static bool eligible(const NodeView &node, bool honor_gate)
+    {
+        return node.alive && (!honor_gate || node.schedulable);
+    }
+
+    std::size_t chooseRoundRobin(const std::vector<NodeView> &nodes,
+                                 bool honor_gate);
+    std::size_t chooseLeastLoaded(const std::vector<NodeView> &nodes,
+                                  bool honor_gate) const;
     std::size_t chooseEnergyAware(const std::vector<NodeView> &nodes,
-                                  const ClusterJob &job) const;
+                                  const ClusterJob &job,
+                                  bool honor_gate) const;
 
     DispatchPolicy kind;
     std::size_t cursor = 0; ///< round-robin position

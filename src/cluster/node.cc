@@ -43,20 +43,43 @@ ClusterNode::ClusterNode(NodeId id, NodeConfig config)
     buildStack();
 }
 
+ClusterNode::ClusterNode(NodeId id, NodeConfig config,
+                         const SimStack &prototype)
+    : nodeId(id), cfg(std::move(config))
+{
+    cfg.chip.validate();
+    fatalIf(cfg.timestep <= 0.0, "node timestep must be positive");
+    fatalIf(cfg.standbyPower < 0.0,
+            "standby power must be non-negative");
+    cfg.daemon.recovery.rerunFailedJobs = false;
+    buildStack(&prototype);
+}
+
 ClusterNode::~ClusterNode() = default;
 
+SimStackConfig
+ClusterNode::stackConfig(NodeConfig config)
+{
+    // Same normalization the node constructor applies.
+    config.daemon.recovery.rerunFailedJobs = false;
+    SimStackConfig scfg;
+    scfg.chip = config.chip;
+    scfg.policy = config.policy;
+    scfg.machineSeed = config.machineSeed;
+    scfg.timestep = config.timestep;
+    scfg.daemon = config.daemon;
+    scfg.injectFaults = config.injectFaults;
+    return scfg;
+}
+
 void
-ClusterNode::buildStack()
+ClusterNode::buildStack(const SimStack *prototype)
 {
     if (stack == nullptr) {
-        SimStackConfig scfg;
-        scfg.chip = cfg.chip;
-        scfg.policy = cfg.policy;
-        scfg.machineSeed = cfg.machineSeed;
-        scfg.timestep = cfg.timestep;
-        scfg.daemon = cfg.daemon;
-        scfg.injectFaults = cfg.injectFaults;
-        stack = std::make_unique<SimStack>(scfg);
+        const SimStackConfig scfg = stackConfig(cfg);
+        stack = prototype != nullptr
+            ? std::make_unique<SimStack>(*prototype, scfg)
+            : std::make_unique<SimStack>(scfg);
     } else {
         // Restart path: a pristine rewind is bit-identical to a
         // fresh construction (the snapshot round-trip guarantee)

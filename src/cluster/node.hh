@@ -89,6 +89,17 @@ class ClusterNode
 {
   public:
     ClusterNode(NodeId id, NodeConfig config);
+
+    /**
+     * Stamp-construct: build the node's stack from @p prototype (a
+     * pristine same-shape SimStack; see SimStack's stamp ctor)
+     * instead of re-deriving the calibrated models.  Bit-identical
+     * to the plain constructor — large fleets stamp one prototype
+     * per distinct (chip, policy, knobs) shape.
+     */
+    ClusterNode(NodeId id, NodeConfig config,
+                const SimStack &prototype);
+
     ~ClusterNode();
 
     ClusterNode(const ClusterNode &) = delete;
@@ -96,6 +107,13 @@ class ClusterNode
 
     NodeId id() const { return nodeId; }
     const NodeConfig &config() const { return cfg; }
+
+    /**
+     * The SimStackConfig a node built from @p config runs on (node-
+     * level normalization applied).  Fleet construction groups nodes
+     * by its shapeKey() and stamps each group from one prototype.
+     */
+    static SimStackConfig stackConfig(NodeConfig config);
     const ChipSpec &spec() const { return cfg.chip; }
     const Machine &machine() const { return stack->machine(); }
     const System &system() const { return stack->system(); }
@@ -185,10 +203,11 @@ class ClusterNode
         std::uint32_t threads = 0;
     };
 
-    /// (Re)build the machine/OS/daemon stack — a pristine rewind of
-    /// the owned SimStack after the first construction — and re-arm
-    /// the injection-plan tail from timeBase onward.
-    void buildStack();
+    /// (Re)build the machine/OS/daemon stack — stamped from
+    /// @p prototype when given, a pristine rewind of the owned
+    /// SimStack after the first construction — and re-arm the
+    /// injection-plan tail from timeBase onward.
+    void buildStack(const SimStack *prototype = nullptr);
 
   public:
     /**

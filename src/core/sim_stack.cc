@@ -69,6 +69,26 @@ SimStack::SimStack(const SimStackConfig &config) : cfg(config)
     pristineState = std::make_unique<SimSnapshot>(capture());
 }
 
+SimStack::SimStack(const SimStack &prototype,
+                   const SimStackConfig &config)
+    : cfg(config)
+{
+    fatalIf(prototype.cfg.shapeKey() != cfg.shapeKey(),
+            "stack stamping needs a same-shape prototype (configs "
+            "may differ only in machineSeed)");
+    MachineConfig mcfg;
+    mcfg.seed = cfg.machineSeed;
+    mcfg.injectFaults = cfg.injectFaults;
+    if (cfg.migrationCost >= 0.0)
+        mcfg.migrationCost = cfg.migrationCost;
+    mach = std::make_unique<Machine>(*prototype.mach, mcfg);
+    sys = std::make_unique<System>(
+        *mach, nullptr, nullptr,
+        SystemConfig{cfg.timestep, cfg.utilizationAlpha});
+    setup = configurePolicy(*sys, cfg.policy, cfg.daemon);
+    pristineState = std::make_unique<SimSnapshot>(capture());
+}
+
 SimSnapshot
 SimStack::capture() const
 {

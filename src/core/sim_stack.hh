@@ -64,6 +64,16 @@ struct SimStackConfig
     /// pool's arena key).  Distinct configs collide only if the
     /// 64-bit hash does.
     std::uint64_t key() const;
+
+    /// key() with the chip-sample seed masked out: two configs with
+    /// equal shapeKey() differ only in machineSeed, so either stack
+    /// can stamp the other's chip sample (see the stamp ctor).
+    std::uint64_t shapeKey() const
+    {
+        SimStackConfig shape = *this;
+        shape.machineSeed = 0;
+        return shape.key();
+    }
 };
 
 /// Deep copy of a full stack's mutable state.  Pairs with
@@ -85,6 +95,16 @@ class SimStack
 {
   public:
     explicit SimStack(const SimStackConfig &config);
+
+    /**
+     * Stamp a stack for @p config out of @p prototype — a stack
+     * whose config matches in everything but the chip-sample seed
+     * (shapeKey() equality, enforced).  The machine is stamped (see
+     * Machine's stamp ctor), the OS/policy layers are wired fresh,
+     * and the result is bit-identical to SimStack(config).  The
+     * prototype must be unstepped; it is only read.
+     */
+    SimStack(const SimStack &prototype, const SimStackConfig &config);
 
     const SimStackConfig &config() const { return cfg; }
     Machine &machine() { return *mach; }

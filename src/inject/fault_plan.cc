@@ -28,6 +28,7 @@ enum CampaignStream : std::uint64_t
     StreamSensorNoise = 3,
     StreamSlimPro = 4,
     StreamNodeCrashes = 5,
+    StreamRackCrashes = 6,
 };
 
 bool
@@ -231,6 +232,29 @@ InjectionPlan::randomCampaign(const CampaignProfile &profile,
             events.push_back(ev);
         }
     }
+    if (profile.rackCrashesPerHour > 0.0) {
+        fatalIf(profile.nodesPerRack == 0,
+                "rack-scoped crashes need a rack layout "
+                "(nodesPerRack > 0)");
+        const std::uint32_t racks =
+            (profile.nodes + profile.nodesPerRack - 1)
+            / profile.nodesPerRack;
+        Rng rng = root.fork(StreamRackCrashes);
+        for (Seconds t : poissonArrivals(root.fork(
+                 StreamRackCrashes + 100),
+                 profile.rackCrashesPerHour, profile.duration)) {
+            FaultEvent ev;
+            ev.kind = FaultKind::NodeCrash;
+            ev.rackScoped = true;
+            ev.time = t;
+            ev.node = racks == 1
+                ? std::uint32_t{0}
+                : static_cast<std::uint32_t>(
+                      rng.uniformInt(0, racks - 1));
+            ev.duration = profile.rackRestartDelay;
+            events.push_back(ev);
+        }
+    }
 
     sortEvents(events);
     InjectionPlan plan;
@@ -239,10 +263,23 @@ InjectionPlan::randomCampaign(const CampaignProfile &profile,
 }
 
 InjectionPlan
-InjectionPlan::eventsForNode(std::uint32_t node) const
+InjectionPlan::eventsForNode(std::uint32_t node,
+                             std::uint32_t nodes_per_rack) const
 {
     InjectionPlan plan;
     for (const FaultEvent &ev : list) {
+        if (ev.rackScoped) {
+            // Rack grouping: the event's node field is a rack id.
+            if (nodes_per_rack == 0
+                || node / nodes_per_rack != ev.node) {
+                continue;
+            }
+            FaultEvent mine = ev;
+            mine.node = node;
+            mine.rackScoped = false;
+            plan.list.push_back(mine);
+            continue;
+        }
         if (ev.node == node)
             plan.list.push_back(ev);
     }
@@ -272,7 +309,12 @@ InjectionPlan::save(std::ostream &os) const
         os << faultKindName(ev.kind) << ' ' << ev.node << ' '
            << ev.time << ' ' << ev.duration << ' '
            << runOutcomeName(ev.outcome) << ' ' << ev.magnitude
-           << ' ' << ev.probability << '\n';
+           << ' ' << ev.probability;
+        // The rack keyword is written only when set, so traces
+        // without rack events stay byte-identical to the v1 format.
+        if (ev.rackScoped)
+            os << " rack";
+        os << '\n';
     }
 }
 
@@ -298,6 +340,12 @@ InjectionPlan::load(std::istream &is)
         ls >> kind_name >> ev.node >> ev.time >> ev.duration
            >> outcome_name >> ev.magnitude >> ev.probability;
         fatalIf(!ls, "malformed injection trace line: '", line, "'");
+        std::string scope;
+        if (ls >> scope) {
+            fatalIf(scope != "rack", "unknown event scope '", scope,
+                    "' in injection trace line: '", line, "'");
+            ev.rackScoped = true;
+        }
         ev.kind = kindFromName(kind_name);
         ev.outcome = outcomeFromName(outcome_name);
         validateEvent(ev);

@@ -58,7 +58,13 @@ struct FaultEvent
 {
     FaultKind kind = FaultKind::ThreadFault;
     /// Target node in a fleet (single-machine runs use node 0).
+    /// Rack-scoped events store the *rack* id here instead.
     std::uint32_t node = 0;
+    /// Correlated failure: the event targets every node of rack
+    /// `node` under the fleet's rack layout (eventsForNode() expands
+    /// it per member node).  Models the shared blast radius of a
+    /// rack PDU/top-of-rack switch.
+    bool rackScoped = false;
     /// Start time [s].
     Seconds time = 0.0;
     /// Window length [s] (point events: 0; NodeCrash: downtime).
@@ -105,8 +111,17 @@ struct CampaignProfile
     double nodeCrashesPerHour = 0.0;
     Seconds nodeRestartDelay = 30.0;
 
+    /// Correlated whole-rack crashes (racks picked uniformly over
+    /// the fleet's rack layout; every member node goes down
+    /// together).  Requires nodesPerRack > 0.
+    double rackCrashesPerHour = 0.0;
+    Seconds rackRestartDelay = 60.0;
+
     /// Fleet size events are spread over (1: single machine).
     std::uint32_t nodes = 1;
+    /// Rack layout: nodes [r*nodesPerRack, (r+1)*nodesPerRack) form
+    /// rack r.  0 disables rack-scoped sampling.
+    std::uint32_t nodesPerRack = 0;
 };
 
 /**
@@ -137,8 +152,17 @@ class InjectionPlan
     bool empty() const { return list.empty(); }
     std::size_t size() const { return list.size(); }
 
-    /// Subset of events targeting @p node (times unchanged).
-    InjectionPlan eventsForNode(std::uint32_t node) const;
+    /**
+     * Subset of events targeting @p node (times unchanged).  With a
+     * rack layout (@p nodes_per_rack > 0), rack-scoped events whose
+     * rack contains the node are included too, rewritten to plain
+     * per-node events (node id set, rackScoped cleared) so the
+     * receiving injector sees an ordinary schedule.  Rack-scoped
+     * events are dropped when no layout is given.
+     */
+    InjectionPlan eventsForNode(std::uint32_t node,
+                                std::uint32_t nodes_per_rack
+                                = 0) const;
 
     /// Events starting at or after @p t, re-based to t = 0 (node
     /// restarts re-arm their injector with this).  Windows that

@@ -42,6 +42,36 @@ Machine::Machine(const ChipSpec &spec, MachineConfig config)
             "migrationCost must be non-negative");
 }
 
+Machine::Machine(const Machine &prototype,
+                 const MachineConfig &config)
+    : chipState(prototype.spec()),
+      controlPlane(chipState),
+      power(prototype.power),
+      memory(prototype.memory),
+      vmin(prototype.vmin),
+      droop(prototype.droop),
+      failures(prototype.failures),
+      thermal(prototype.thermal),
+      cfg(config),
+      rng(config.seed * 0x2545f4914f6cdd1dull + 7),
+      coreOwner(prototype.spec().numCores, invalidSimThread),
+      pmdBusy(prototype.spec().numPmds(), 0),
+      droopHist(makeDroopHistogram(prototype.spec()))
+{
+    // Only an unstepped, thread-free prototype is a valid stamp
+    // source: every copied model must still hold its as-constructed
+    // state for the fresh-construction equivalence to hold.
+    fatalIf(prototype.simTime != 0.0 || prototype.isHalted
+                || !prototype.threadSlots.empty()
+                || prototype.meter.energy() != 0.0,
+            "machine stamping needs a pristine prototype");
+    fatalIf(cfg.faultReferenceRuntime <= 0.0,
+            "faultReferenceRuntime must be positive");
+    fatalIf(cfg.migrationCost < 0.0,
+            "migrationCost must be non-negative");
+    vmin.reseed(cfg.seed);
+}
+
 SimThread *
 Machine::findThread(SimThreadId tid)
 {

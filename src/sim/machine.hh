@@ -180,6 +180,19 @@ class Machine
     explicit Machine(const ChipSpec &spec,
                      MachineConfig config = MachineConfig{});
 
+    /**
+     * Stamp a machine out of a pristine @p prototype: the calibrated
+     * models (power, memory, Vmin surface, droop, failure, thermal)
+     * are copied instead of re-derived from the spec, the per-sample
+     * Vmin offsets are re-seeded from config.seed, and all mutable
+     * state starts fresh.  Bit-identical to
+     * Machine(prototype.spec(), config) — fleet construction stamps
+     * thousands of chip samples from one calibrated prototype.  The
+     * prototype must be unstepped and thread-free (enforced); its
+     * chip/control-plane state is NOT inherited.
+     */
+    Machine(const Machine &prototype, const MachineConfig &config);
+
     // --- component access -------------------------------------------------
     const ChipSpec &spec() const { return chipState.spec(); }
     Chip &chip() { return chipState; }

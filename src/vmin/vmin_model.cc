@@ -106,24 +106,36 @@ VminModel::VminModel(ChipSpec spec, VminParams params,
     chipSpec.validate();
     modelParams.validate(chipSpec);
 
+    deriveOffsets(chip_seed);
+}
+
+void
+VminModel::deriveOffsets(std::uint64_t chip_seed)
+{
     if (!modelParams.pmdOffsetsMv.empty()) {
         offsetsMv = modelParams.pmdOffsetsMv;
-    } else {
-        // Deterministic chip-sample variation: |N(0, spread/3)|
-        // below the table value, re-anchored so the most sensitive
-        // PMD sits exactly at 0.
-        Rng rng(chip_seed * 0x51ed2701u + 17);
-        offsetsMv.resize(chipSpec.numPmds());
-        double max_off = -1e9;
-        for (auto &off : offsetsMv) {
-            off = -std::fabs(rng.normal(
-                0.0, modelParams.staticSpreadMv / 3.0));
-            off = std::max(off, -modelParams.staticSpreadMv);
-            max_off = std::max(max_off, off);
-        }
-        for (auto &off : offsetsMv)
-            off -= max_off;
+        return;
     }
+    // Deterministic chip-sample variation: |N(0, spread/3)|
+    // below the table value, re-anchored so the most sensitive
+    // PMD sits exactly at 0.
+    Rng rng(chip_seed * 0x51ed2701u + 17);
+    offsetsMv.resize(chipSpec.numPmds());
+    double max_off = -1e9;
+    for (auto &off : offsetsMv) {
+        off = -std::fabs(rng.normal(
+            0.0, modelParams.staticSpreadMv / 3.0));
+        off = std::max(off, -modelParams.staticSpreadMv);
+        max_off = std::max(max_off, off);
+    }
+    for (auto &off : offsetsMv)
+        off -= max_off;
+}
+
+void
+VminModel::reseed(std::uint64_t chip_seed)
+{
+    deriveOffsets(chip_seed);
 }
 
 Volt

@@ -121,7 +121,19 @@ class VminModel
     /// Variation attenuation for an active-core count.
     double attenuation(std::uint32_t active_cores) const;
 
+    /**
+     * Re-derive the per-PMD offsets for a different chip sample —
+     * the result is bit-identical to constructing a fresh model with
+     * @p chip_seed.  Node-stamping uses this to turn one calibrated
+     * prototype into any sample without redoing the table setup.
+     * A no-op when the params pin explicit offsets (the seed never
+     * mattered for those).
+     */
+    void reseed(std::uint64_t chip_seed);
+
   private:
+    void deriveOffsets(std::uint64_t chip_seed);
+
     ChipSpec chipSpec;
     VminParams modelParams;
     std::vector<double> offsetsMv; ///< resolved per-PMD offsets

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the SLO autoscaler: the windowed-p99 controller's
+ * decisions (scale out / dead band / scale in / empty-window hold),
+ * its state snapshot, and the end-to-end ClusterSim integration —
+ * an autoscaled diurnal run must park and unpark nodes while staying
+ * bit-identical for every worker and shard count.
+ */
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cluster/autoscale.hh"
+#include "cluster/cluster.hh"
+#include "common/error.hh"
+
+namespace ecosched {
+namespace {
+
+AutoscaleConfig
+controller()
+{
+    AutoscaleConfig a;
+    a.enabled = true;
+    a.targetP99 = 30.0;
+    a.lowWatermark = 0.5;
+    a.evalInterval = 10.0;
+    a.window = 120.0;
+    return a;
+}
+
+TEST(ClusterAutoscale, RejectsBadConfig)
+{
+    AutoscaleConfig bad = controller();
+    bad.targetP99 = 0.0;
+    EXPECT_THROW(SloAutoscaler{bad}, FatalError);
+
+    bad = controller();
+    bad.lowWatermark = 0.0;
+    EXPECT_THROW(SloAutoscaler{bad}, FatalError);
+    bad.lowWatermark = 1.0;
+    EXPECT_THROW(SloAutoscaler{bad}, FatalError);
+
+    bad = controller();
+    bad.evalInterval = -1.0;
+    EXPECT_THROW(SloAutoscaler{bad}, FatalError);
+
+    bad = controller();
+    bad.window = 0.0;
+    EXPECT_THROW(SloAutoscaler{bad}, FatalError);
+
+    bad = controller();
+    bad.minLiveNodes = 0;
+    EXPECT_THROW(SloAutoscaler{bad}, FatalError);
+}
+
+TEST(ClusterAutoscale, ScalesOutWhenP99OvershootsTarget)
+{
+    SloAutoscaler ctl(controller());
+    for (int i = 0; i < 10; ++i)
+        ctl.observe(5.0 + i, 100.0); // far above the 30 s target
+    const SloAutoscaler::Decision d = ctl.evaluate(20.0, 16);
+    EXPECT_EQ(d.park, 0u);
+    EXPECT_EQ(d.unpark, 4u); // ~25% of 16 schedulable nodes
+}
+
+TEST(ClusterAutoscale, ScaleOutIsAtLeastOneNodeAndCapped)
+{
+    AutoscaleConfig cfg = controller();
+    cfg.maxUnparkPerEval = 2;
+    SloAutoscaler capped(cfg);
+    capped.observe(1.0, 100.0);
+    EXPECT_EQ(capped.evaluate(2.0, 64).unpark, 2u); // 16 wanted, cap 2
+
+    SloAutoscaler tiny(controller());
+    tiny.observe(1.0, 100.0);
+    EXPECT_EQ(tiny.evaluate(2.0, 1).unpark, 1u); // 1/4 rounds up to 1
+}
+
+TEST(ClusterAutoscale, ScalesInBelowTheWatermark)
+{
+    SloAutoscaler ctl(controller());
+    for (int i = 0; i < 10; ++i)
+        ctl.observe(5.0 + i, 1.0); // far below 0.5 * 30 s
+    const SloAutoscaler::Decision d = ctl.evaluate(20.0, 16);
+    EXPECT_EQ(d.unpark, 0u);
+    EXPECT_EQ(d.park, 2u); // ~12.5% of 16
+}
+
+TEST(ClusterAutoscale, ScaleInRespectsTheLiveFloor)
+{
+    AutoscaleConfig cfg = controller();
+    cfg.minLiveNodes = 4;
+    SloAutoscaler ctl(cfg);
+    ctl.observe(1.0, 1.0);
+    EXPECT_EQ(ctl.evaluate(2.0, 4).park, 0u);  // at the floor: hold
+    EXPECT_EQ(ctl.evaluate(2.0, 5).park, 1u);  // one above: park one
+}
+
+TEST(ClusterAutoscale, DeadBandHolds)
+{
+    SloAutoscaler ctl(controller());
+    ctl.observe(1.0, 20.0); // between 15 s (watermark) and 30 s
+    const SloAutoscaler::Decision d = ctl.evaluate(2.0, 16);
+    EXPECT_EQ(d.park, 0u);
+    EXPECT_EQ(d.unpark, 0u);
+}
+
+TEST(ClusterAutoscale, EmptyWindowHolds)
+{
+    SloAutoscaler ctl(controller());
+    // Never observed: hold.
+    SloAutoscaler::Decision d = ctl.evaluate(50.0, 16);
+    EXPECT_EQ(d.park, 0u);
+    EXPECT_EQ(d.unpark, 0u);
+
+    // Observed, but the sample has aged out of the 120 s window.
+    ctl.observe(10.0, 1.0);
+    d = ctl.evaluate(200.0, 16);
+    EXPECT_EQ(d.park, 0u);
+    EXPECT_EQ(d.unpark, 0u);
+    EXPECT_EQ(ctl.sampleCount(), 0u);
+}
+
+TEST(ClusterAutoscale, WindowedP99IsNearestRank)
+{
+    SloAutoscaler ctl(controller());
+    for (int i = 1; i <= 100; ++i)
+        ctl.observe(5.0, static_cast<Seconds>(i));
+    // Nearest-rank p99 of 1..100 is the 99th smallest value.
+    EXPECT_DOUBLE_EQ(ctl.windowedP99(10.0), 99.0);
+
+    SloAutoscaler one(controller());
+    one.observe(5.0, 42.0);
+    EXPECT_DOUBLE_EQ(one.windowedP99(10.0), 42.0);
+}
+
+TEST(ClusterAutoscale, ObservationsMustBeTimeOrdered)
+{
+    SloAutoscaler ctl(controller());
+    ctl.observe(10.0, 1.0);
+    ctl.observe(10.0, 2.0); // ties are fine
+    EXPECT_THROW(ctl.observe(5.0, 1.0), FatalError);
+}
+
+TEST(ClusterAutoscale, StateRoundTrips)
+{
+    SloAutoscaler a(controller());
+    a.observe(1.0, 10.0);
+    a.observe(2.0, 50.0);
+    a.observe(3.0, 20.0);
+
+    SloAutoscaler b(controller());
+    b.restoreState(a.captureState());
+    EXPECT_EQ(b.sampleCount(), 3u);
+    EXPECT_DOUBLE_EQ(b.windowedP99(5.0), a.windowedP99(5.0));
+}
+
+// --- ClusterSim integration -----------------------------------------
+
+std::string
+summaryOf(const ClusterResult &r)
+{
+    std::ostringstream oss;
+    r.printSummary(oss);
+    return oss.str();
+}
+
+/// A small fleet on diurnal traffic with the autoscaler tuned so the
+/// trough scales in and the peak scales back out.
+ClusterConfig
+diurnalCluster(unsigned jobs, std::size_t shards,
+               std::size_t window = 8)
+{
+    ClusterConfig cc;
+    cc.nodes = mixedFleet(6, 7);
+    cc.dispatch = DispatchPolicy::EnergyAware;
+    cc.traffic.process = ArrivalProcess::Diurnal;
+    cc.traffic.duration = 400.0;
+    cc.traffic.arrivalsPerSecond = 0.05;
+    cc.traffic.diurnalAmplitude = 0.9;
+    cc.traffic.seed = 11;
+    cc.drainBoundFactor = 20.0;
+    cc.jobs = jobs;
+    cc.shards = shards;
+    cc.maxPipelineWindow = window;
+    cc.autoscale.enabled = true;
+    cc.autoscale.targetP99 = 400.0;
+    cc.autoscale.lowWatermark = 0.7;
+    cc.autoscale.evalInterval = 20.0;
+    cc.autoscale.window = 150.0;
+    cc.autoscale.minLiveNodes = 1;
+    return cc;
+}
+
+TEST(ClusterAutoscale, DiurnalRunParksAndUnparksNodes)
+{
+    const ClusterResult r = ClusterSim(diurnalCluster(2, 2)).run();
+    EXPECT_EQ(r.jobsSubmitted,
+              r.jobsCompleted + r.jobsLost + r.jobsDropped);
+    EXPECT_GT(r.jobsCompleted, 0u);
+    // The trough must have scaled the fleet in, and the peak must
+    // have brought capacity back.
+    EXPECT_GT(r.autoscaleParks, 0u);
+    EXPECT_GT(r.autoscaleUnparks, 0u);
+    // The summary surfaces the controller's activity.
+    const std::string s = summaryOf(r);
+    EXPECT_NE(s.find("autoscale parks"), std::string::npos);
+    EXPECT_NE(s.find("autoscale unparks"), std::string::npos);
+}
+
+TEST(ClusterAutoscale, AutoscaledRunIsWorkerAndShardInvariant)
+{
+    const ClusterResult serial =
+        ClusterSim(diurnalCluster(1, 1, 1)).run();
+    const std::string expected = summaryOf(serial);
+    ASSERT_GT(serial.jobsCompleted, 0u);
+
+    const struct { unsigned jobs; std::size_t shards, window; }
+    combos[] = {{2, 2, 8}, {4, 3, 8}, {4, 6, 4}};
+    for (const auto &c : combos) {
+        const ClusterResult r =
+            ClusterSim(diurnalCluster(c.jobs, c.shards, c.window))
+                .run();
+        EXPECT_EQ(r.totalEnergy, serial.totalEnergy)
+            << c.jobs << " workers, " << c.shards << " shards";
+        EXPECT_EQ(r.autoscaleParks, serial.autoscaleParks);
+        EXPECT_EQ(r.autoscaleUnparks, serial.autoscaleUnparks);
+        EXPECT_EQ(summaryOf(r), expected)
+            << c.jobs << " workers, " << c.shards << " shards";
+    }
+}
+
+} // namespace
+} // namespace ecosched

@@ -4,7 +4,9 @@
  * parking, fleet builders and end-to-end conservation of jobs.
  */
 
+#include <cmath>
 #include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -366,6 +368,150 @@ TEST(ClusterSim, PermanentNodeCrashStaysDown)
     EXPECT_EQ(r.nodeRestarts, 0u);
     EXPECT_EQ(r.jobsSubmitted,
               r.jobsCompleted + r.jobsLost + r.jobsDropped);
+}
+
+bool
+mentionsNonFinite(const std::string &s)
+{
+    return s.find("nan") != std::string::npos
+        || s.find("inf") != std::string::npos;
+}
+
+TEST(ClusterSim, ZeroArrivalRunReportsZeroesNotNan)
+{
+    // A rate this low draws no arrivals in the window: the fleet
+    // never runs a job, the makespan is zero, and every per-job /
+    // per-second ratio must degrade to 0 rather than inf or nan.
+    ClusterConfig cc;
+    cc.nodes = uniformFleet(xGene2(), 2, 7);
+    cc.traffic.duration = 10.0;
+    cc.traffic.arrivalsPerSecond = 1e-9;
+    cc.jobs = 1;
+    const ClusterResult r = ClusterSim(cc).run();
+    ASSERT_EQ(r.jobsSubmitted, 0u);
+    EXPECT_EQ(r.jobsCompleted, 0u);
+    EXPECT_DOUBLE_EQ(r.makespan, 0.0);
+    EXPECT_DOUBLE_EQ(r.averagePower, 0.0);
+    EXPECT_DOUBLE_EQ(r.energyPerJob(), 0.0);
+    EXPECT_DOUBLE_EQ(r.latencyMean, 0.0);
+    EXPECT_DOUBLE_EQ(r.latencyMin, 0.0);
+    EXPECT_DOUBLE_EQ(r.latencyP99, 0.0);
+    EXPECT_DOUBLE_EQ(r.latencyMax, 0.0);
+
+    std::ostringstream oss;
+    r.printSummary(oss);
+    EXPECT_FALSE(mentionsNonFinite(oss.str())) << oss.str();
+}
+
+TEST(ClusterSim, WholeFleetCrashAtZeroStaysFinite)
+{
+    // Every node dies at t = 0 and never restarts: all jobs are
+    // dropped, nothing completes, and the accounting must still be
+    // finite everywhere (energyPerJob with zero completions was the
+    // classic div-by-zero here).
+    ClusterConfig cc;
+    cc.nodes = uniformFleet(xGene2(), 2, 7);
+    cc.traffic.duration = 30.0;
+    cc.traffic.arrivalsPerSecond = 0.2;
+    cc.jobs = 1;
+    std::vector<FaultEvent> crashes;
+    for (std::uint32_t i = 0; i < 2; ++i) {
+        FaultEvent ev;
+        ev.kind = FaultKind::NodeCrash;
+        ev.node = i;
+        ev.time = 0.0;
+        ev.duration = -1.0;
+        crashes.push_back(ev);
+    }
+    cc.injection = InjectionPlan::scripted(std::move(crashes));
+    cc.nodeRestartDelay = -1.0;
+
+    const ClusterResult r = ClusterSim(cc).run();
+    ASSERT_GT(r.jobsSubmitted, 0u);
+    EXPECT_EQ(r.jobsCompleted, 0u);
+    EXPECT_EQ(r.jobsDropped, r.jobsSubmitted);
+    EXPECT_EQ(r.nodeCrashes, 2u);
+    EXPECT_DOUBLE_EQ(r.energyPerJob(), 0.0);
+    EXPECT_DOUBLE_EQ(r.latencyP99, 0.0);
+    EXPECT_GT(r.makespan, 0.0); // drained the (dropped) arrivals
+    EXPECT_TRUE(std::isfinite(r.averagePower));
+
+    std::ostringstream oss;
+    r.printSummary(oss);
+    EXPECT_FALSE(mentionsNonFinite(oss.str())) << oss.str();
+}
+
+TEST(ClusterSim, PercentilesClampToTheObservedRange)
+{
+    // The histogram interpolates inside bins, so a deliberately
+    // coarse layout over- and under-shoots the true order statistics.
+    // The reported percentiles must be pinned to the *observed*
+    // [min, max] from both sides.
+    ClusterConfig base;
+    base.nodes = mixedFleet(2, 7);
+    base.traffic.duration = 60.0;
+    base.traffic.arrivalsPerSecond = 0.05;
+    base.drainBoundFactor = 20.0;
+    base.jobs = 1;
+
+    // One giant bin: interpolated quantiles land far above the real
+    // maximum and must clamp down onto it.
+    ClusterConfig coarse = base;
+    coarse.latencyHistogramMax = 20000.0;
+    coarse.latencyHistogramBins = 1;
+    const ClusterResult hi = ClusterSim(coarse).run();
+    ASSERT_GT(hi.jobsCompleted, 0u);
+    EXPECT_GT(hi.latencyMin, 0.0);
+    EXPECT_EQ(hi.latencyP50, hi.latencyMax);
+    EXPECT_EQ(hi.latencyP95, hi.latencyMax);
+    EXPECT_EQ(hi.latencyP99, hi.latencyMax);
+
+    // A range far below every real latency: all samples overflow, the
+    // histogram pins quantiles at its tiny upper edge, and the report
+    // must clamp them *up* onto the observed minimum.
+    ClusterConfig tiny = base;
+    tiny.latencyHistogramMax = 0.5;
+    tiny.latencyHistogramBins = 4;
+    const ClusterResult lo = ClusterSim(tiny).run();
+    ASSERT_GT(lo.jobsCompleted, 0u);
+    EXPECT_GT(lo.latencyMin, 0.5);
+    EXPECT_EQ(lo.latencyP50, lo.latencyMin);
+    EXPECT_EQ(lo.latencyP95, lo.latencyMin);
+    EXPECT_EQ(lo.latencyP99, lo.latencyMin);
+
+    // And the ordering invariant holds in both degenerate layouts.
+    for (const ClusterResult *r : {&hi, &lo}) {
+        EXPECT_LE(r->latencyMin, r->latencyP50);
+        EXPECT_LE(r->latencyP50, r->latencyP95);
+        EXPECT_LE(r->latencyP95, r->latencyP99);
+        EXPECT_LE(r->latencyP99, r->latencyMax);
+    }
+}
+
+TEST(ClusterScale, ThousandNodeFleetSmoke)
+{
+    // Construction-by-stamping and the sharded engine at fleet scale:
+    // 1000 nodes, a sparse trickle of jobs, the autoscaler gating the
+    // idle bulk.  Exercises the 10k-node code paths at a size a
+    // sanitizer lane can still afford.
+    ClusterConfig cc;
+    cc.nodes = uniformFleet(xGene2(), 1000, 3);
+    cc.dispatch = DispatchPolicy::EnergyAware;
+    cc.traffic.duration = 20.0;
+    cc.traffic.arrivalsPerSecond = 0.15;
+    cc.traffic.seed = 3;
+    cc.drainBoundFactor = 40.0;
+    cc.autoscale.enabled = true;
+    cc.autoscale.targetP99 = 600.0;
+    cc.autoscale.evalInterval = 20.0;
+    const ClusterResult r = ClusterSim(cc).run();
+    EXPECT_EQ(r.numNodes, 1000u);
+    EXPECT_EQ(r.jobsSubmitted,
+              r.jobsCompleted + r.jobsLost + r.jobsDropped);
+    EXPECT_GT(r.jobsCompleted, 0u);
+    EXPECT_EQ(r.nodeCrashes, 0u);
+    EXPECT_GT(r.totalEnergy, 0.0);
+    EXPECT_EQ(r.nodes.size(), 1000u);
 }
 
 } // namespace

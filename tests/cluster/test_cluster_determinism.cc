@@ -76,6 +76,85 @@ TEST(ClusterDeterminism, SeedChangesTheRun)
     EXPECT_NE(summaryOf(a), summaryOf(b));
 }
 
+TEST(ClusterDeterminism, BitIdenticalAcrossShardCounts)
+{
+    // The sharded, window-pipelined engine must reproduce the serial
+    // single-epoch loop exactly — for any shard count, any worker
+    // count and any pipeline-window cap, in every combination.
+    ClusterConfig serial_cfg = testCluster(1);
+    serial_cfg.shards = 1;
+    serial_cfg.maxPipelineWindow = 1;
+    const ClusterResult serial = ClusterSim(serial_cfg).run();
+    ASSERT_GT(serial.jobsCompleted, 0u);
+    const std::string expected = summaryOf(serial);
+
+    const struct { unsigned jobs; std::size_t shards, window; }
+    combos[] = {{1, 3, 8}, {2, 2, 4}, {4, 3, 8}, {8, 2, 1}};
+    for (const auto &c : combos) {
+        ClusterConfig cfg = testCluster(c.jobs);
+        cfg.shards = c.shards;
+        cfg.maxPipelineWindow = c.window;
+        const ClusterResult r = ClusterSim(cfg).run();
+        EXPECT_EQ(r.totalEnergy, serial.totalEnergy)
+            << c.jobs << " workers, " << c.shards << " shards, "
+            << c.window << " window";
+        EXPECT_EQ(r.latencyP99, serial.latencyP99);
+        EXPECT_EQ(r.latencyMean, serial.latencyMean);
+        EXPECT_EQ(r.makespan, serial.makespan);
+        EXPECT_EQ(summaryOf(r), expected)
+            << c.jobs << " workers, " << c.shards << " shards, "
+            << c.window << " window";
+    }
+}
+
+TEST(ClusterDeterminism, RackCrashAcrossShardBoundaryIsInvariant)
+{
+    // Rack 0 = nodes {0,1,2} of a 4-node fleet.  With two shards the
+    // fleet splits {0,1} | {2,3}, so the correlated crash (and the
+    // later mass restart) straddles the shard boundary — the
+    // reconcile step must apply it identically on both sides.
+    const auto config = [](unsigned jobs, std::size_t shards,
+                           std::size_t window) {
+        ClusterConfig cc;
+        cc.nodes = mixedFleet(4, 7);
+        cc.dispatch = DispatchPolicy::EnergyAware;
+        cc.traffic.duration = 90.0;
+        cc.traffic.arrivalsPerSecond = 0.08;
+        cc.traffic.seed = 7;
+        cc.drainBoundFactor = 20.0;
+        cc.nodesPerRack = 3;
+        FaultEvent rack_crash;
+        rack_crash.kind = FaultKind::NodeCrash;
+        rack_crash.rackScoped = true;
+        rack_crash.node = 0; // rack id
+        rack_crash.time = 30.0;
+        rack_crash.duration = 45.0;
+        cc.injection = InjectionPlan::scripted({rack_crash});
+        cc.jobs = jobs;
+        cc.shards = shards;
+        cc.maxPipelineWindow = window;
+        return cc;
+    };
+
+    const ClusterResult serial = ClusterSim(config(1, 1, 1)).run();
+    EXPECT_EQ(serial.nodeCrashes, 3u);   // the whole rack went down
+    EXPECT_EQ(serial.nodeRestarts, 3u);  // ...and came back
+    const std::string expected = summaryOf(serial);
+
+    const struct { unsigned jobs; std::size_t shards, window; }
+    combos[] = {{2, 2, 8}, {4, 2, 4}, {4, 4, 8}};
+    for (const auto &c : combos) {
+        const ClusterResult r =
+            ClusterSim(config(c.jobs, c.shards, c.window)).run();
+        EXPECT_EQ(r.nodeCrashes, serial.nodeCrashes);
+        EXPECT_EQ(r.nodeRestarts, serial.nodeRestarts);
+        EXPECT_EQ(r.totalEnergy, serial.totalEnergy)
+            << c.jobs << " workers, " << c.shards << " shards";
+        EXPECT_EQ(summaryOf(r), expected)
+            << c.jobs << " workers, " << c.shards << " shards";
+    }
+}
+
 TEST(ClusterDeterminism, PolicyChangesOnlyDispatch)
 {
     // Different dispatch policies serve the identical arrival

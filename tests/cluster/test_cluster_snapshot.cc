@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for mid-run ClusterSim snapshots: the stepwise
+ * start()/advance()/finish() API, and capture()/restore() carrying
+ * the *whole* replay identity — node states, the dispatcher's
+ * round-robin cursor and the autoscaler window — so a restored run
+ * finishes bit-identically to the donor.
+ */
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hh"
+#include "common/error.hh"
+
+namespace ecosched {
+namespace {
+
+std::string
+summaryOf(const ClusterResult &r)
+{
+    std::ostringstream oss;
+    r.printSummary(oss);
+    return oss.str();
+}
+
+/// Round-robin on purpose: its cursor is the one piece of dispatcher
+/// state a snapshot could silently lose.
+ClusterConfig
+snapCluster(std::size_t nodes = 3)
+{
+    ClusterConfig cc;
+    cc.nodes = mixedFleet(nodes, 7);
+    cc.dispatch = DispatchPolicy::RoundRobin;
+    cc.traffic.duration = 90.0;
+    cc.traffic.arrivalsPerSecond = 0.08;
+    cc.traffic.seed = 7;
+    cc.drainBoundFactor = 20.0;
+    cc.jobs = 2;
+    cc.shards = 2;
+    return cc;
+}
+
+TEST(ClusterSnapshot, DispatcherStateRoundTrips)
+{
+    std::vector<NodeView> views(3);
+    for (NodeView &v : views)
+        v.cores = 8;
+    ClusterJob job;
+    job.id = 1;
+    job.benchmark = "mcf";
+
+    Dispatcher a(DispatchPolicy::RoundRobin);
+    EXPECT_EQ(a.choose(views, job), 0u);
+    EXPECT_EQ(a.choose(views, job), 1u);
+    const Dispatcher::State mid = a.state();
+    EXPECT_EQ(a.choose(views, job), 2u);
+
+    // A fresh dispatcher restored to `mid` continues the rotation.
+    Dispatcher b(DispatchPolicy::RoundRobin);
+    b.setState(mid);
+    EXPECT_EQ(b.choose(views, job), 2u);
+    EXPECT_EQ(b.choose(views, job), 0u);
+}
+
+TEST(ClusterSnapshot, StepwiseRunMatchesOneShot)
+{
+    const ClusterResult oneshot = ClusterSim(snapCluster()).run();
+
+    ClusterSim sim(snapCluster());
+    sim.start();
+    while (!sim.finished())
+        sim.advance();
+    const ClusterResult stepwise = sim.finish();
+
+    EXPECT_EQ(stepwise.totalEnergy, oneshot.totalEnergy);
+    EXPECT_EQ(stepwise.makespan, oneshot.makespan);
+    EXPECT_EQ(summaryOf(stepwise), summaryOf(oneshot));
+}
+
+TEST(ClusterSnapshot, MidRunCloneReplaysBitIdentically)
+{
+    ClusterSim donor(snapCluster());
+    donor.start();
+    // Advance into the middle of the trace, then fork.
+    for (int i = 0; i < 12 && !donor.finished(); ++i)
+        donor.advance();
+    const ClusterSim::Snapshot snap = donor.capture();
+    while (!donor.finished())
+        donor.advance();
+    const ClusterResult expected = donor.finish();
+
+    ClusterSim clone(snapCluster());
+    clone.start();
+    clone.restore(snap);
+    while (!clone.finished())
+        clone.advance();
+    const ClusterResult replay = clone.finish();
+
+    // Bit-equal, not approximately equal: the snapshot carried the
+    // dispatcher cursor, so round-robin routing did not restart.
+    EXPECT_EQ(replay.totalEnergy, expected.totalEnergy);
+    EXPECT_EQ(replay.latencyP99, expected.latencyP99);
+    EXPECT_EQ(replay.makespan, expected.makespan);
+    EXPECT_EQ(replay.jobsCompleted, expected.jobsCompleted);
+    EXPECT_EQ(summaryOf(replay), summaryOf(expected));
+}
+
+TEST(ClusterSnapshot, AutoscaledCloneKeepsTheSampleWindow)
+{
+    ClusterConfig cc = snapCluster();
+    cc.dispatch = DispatchPolicy::EnergyAware;
+    cc.traffic.duration = 200.0;
+    cc.autoscale.enabled = true;
+    cc.autoscale.targetP99 = 400.0;
+    cc.autoscale.lowWatermark = 0.7;
+    cc.autoscale.evalInterval = 20.0;
+
+    ClusterSim donor(cc);
+    donor.start();
+    for (int i = 0; i < 40 && !donor.finished(); ++i)
+        donor.advance();
+    const ClusterSim::Snapshot snap = donor.capture();
+    while (!donor.finished())
+        donor.advance();
+    const ClusterResult expected = donor.finish();
+
+    ClusterSim clone(cc);
+    clone.start();
+    clone.restore(snap);
+    while (!clone.finished())
+        clone.advance();
+    const ClusterResult replay = clone.finish();
+
+    EXPECT_EQ(replay.autoscaleParks, expected.autoscaleParks);
+    EXPECT_EQ(replay.autoscaleUnparks, expected.autoscaleUnparks);
+    EXPECT_EQ(summaryOf(replay), summaryOf(expected));
+}
+
+TEST(ClusterSnapshot, CaptureAndRestoreNeedALiveRun)
+{
+    ClusterSim fresh(snapCluster());
+    EXPECT_THROW(fresh.capture(), FatalError);
+
+    ClusterSim donor(snapCluster());
+    donor.start();
+    const ClusterSim::Snapshot snap = donor.capture();
+
+    ClusterSim other(snapCluster());
+    EXPECT_THROW(other.restore(snap), FatalError); // not started
+}
+
+TEST(ClusterSnapshot, RestoreRejectsAFleetSizeMismatch)
+{
+    ClusterSim donor(snapCluster(3));
+    donor.start();
+    const ClusterSim::Snapshot snap = donor.capture();
+
+    ClusterSim smaller(snapCluster(2));
+    smaller.start();
+    EXPECT_THROW(smaller.restore(snap), FatalError);
+}
+
+} // namespace
+} // namespace ecosched

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for prototype stamping at the cluster layer: a node stamped
+ * out of a pristine same-shape SimStack must be bit-identical to a
+ * node built from scratch — same chip sample, same headroom, same
+ * energy and completion times — and the stamp path must refuse a
+ * prototype of a different shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hh"
+#include "common/error.hh"
+#include "core/sim_stack.hh"
+#include "platform/chip_spec.hh"
+
+namespace ecosched {
+namespace {
+
+NodeConfig
+node(std::uint64_t seed, const ChipSpec &chip)
+{
+    NodeConfig cfg;
+    cfg.chip = chip;
+    cfg.machineSeed = seed;
+    return cfg;
+}
+
+ClusterJob
+job(std::uint64_t id, Seconds arrival)
+{
+    ClusterJob j;
+    j.id = id;
+    j.arrival = arrival;
+    j.benchmark = "mcf";
+    return j;
+}
+
+/// Run the same two-job trace on a node and report its observables.
+struct Trace
+{
+    std::vector<JobCompletion> done;
+    Joule energy = 0.0;
+    double utilization = 0.0;
+    double headroomMv = 0.0;
+};
+
+Trace
+drive(ClusterNode &n)
+{
+    n.enqueue(job(1, 0.5), 1, 0.5);
+    n.enqueue(job(2, 2.0), 1, 2.0);
+    Trace t;
+    for (Seconds clock = 10.0;
+         t.done.size() < 2 && clock < 4000.0; clock += 10.0) {
+        n.stepTo(clock);
+        for (const JobCompletion &c : n.harvest())
+            t.done.push_back(c);
+    }
+    t.energy = n.energy();
+    t.utilization = n.utilization();
+    t.headroomMv = n.vminHeadroomMv();
+    return t;
+}
+
+TEST(ClusterStamping, StampedNodeMatchesFreshBitwise)
+{
+    // One prototype (any seed of the shape) stamps several distinct
+    // chip samples; each must equal its from-scratch twin exactly.
+    const SimStack prototype(
+        ClusterNode::stackConfig(node(999, xGene3())));
+
+    for (std::uint64_t seed : {1u, 2u, 17u}) {
+        ClusterNode fresh(0, node(seed, xGene3()));
+        ClusterNode stamped(0, node(seed, xGene3()), prototype);
+
+        const Trace a = drive(fresh);
+        const Trace b = drive(stamped);
+
+        EXPECT_EQ(a.headroomMv, b.headroomMv) << "seed " << seed;
+        EXPECT_EQ(a.energy, b.energy) << "seed " << seed;
+        EXPECT_EQ(a.utilization, b.utilization) << "seed " << seed;
+        ASSERT_EQ(a.done.size(), b.done.size()) << "seed " << seed;
+        for (std::size_t i = 0; i < a.done.size(); ++i) {
+            EXPECT_EQ(a.done[i].jobId, b.done[i].jobId);
+            EXPECT_EQ(a.done[i].completed, b.done[i].completed);
+            EXPECT_EQ(a.done[i].queueDelay, b.done[i].queueDelay);
+            EXPECT_EQ(a.done[i].outcome, b.done[i].outcome);
+        }
+    }
+}
+
+TEST(ClusterStamping, DistinctSeedsStampDistinctSamples)
+{
+    const SimStack prototype(
+        ClusterNode::stackConfig(node(1, xGene3())));
+    ClusterNode a(0, node(2, xGene3()), prototype);
+    ClusterNode b(1, node(3, xGene3()), prototype);
+    // Different machineSeed = different chip sample = different
+    // static Vmin offsets.
+    EXPECT_NE(a.vminHeadroomMv(), b.vminHeadroomMv());
+}
+
+TEST(ClusterStamping, StampRejectsAShapeMismatch)
+{
+    const SimStack xg3(ClusterNode::stackConfig(node(1, xGene3())));
+    EXPECT_THROW(ClusterNode(0, node(1, xGene2()), xg3), FatalError);
+
+    NodeConfig other = node(1, xGene3());
+    other.policy = PolicyKind::Baseline;
+    EXPECT_THROW(ClusterNode(0, other, xg3), FatalError);
+}
+
+TEST(ClusterStamping, StackConfigNormalizesNodeKnobs)
+{
+    // Node-level normalization (the node owns job retries, never the
+    // daemon) must be part of the shape, or fleet construction would
+    // stamp from a prototype that diverges on the first failure.
+    NodeConfig a = node(1, xGene3());
+    a.rerunFailedJobs = true; // node-level knob, not stack-level
+    NodeConfig b = node(1, xGene3());
+    EXPECT_EQ(ClusterNode::stackConfig(a).shapeKey(),
+              ClusterNode::stackConfig(b).shapeKey());
+}
+
+} // namespace
+} // namespace ecosched

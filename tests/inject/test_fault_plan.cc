@@ -212,6 +212,133 @@ TEST(InjectionPlan, EventsForNodeFilters)
     EXPECT_EQ(plan.eventsForNode(7).size(), 0u);
 }
 
+FaultEvent
+rackCrash(Seconds t, std::uint32_t rack, Seconds down = 30.0)
+{
+    FaultEvent ev;
+    ev.kind = FaultKind::NodeCrash;
+    ev.rackScoped = true;
+    ev.node = rack; // rack id, not a node id
+    ev.time = t;
+    ev.duration = down;
+    return ev;
+}
+
+TEST(InjectionPlan, RackEventsExpandToEveryMemberNode)
+{
+    // Rack 1 = nodes {3,4,5} under a 3-per-rack layout.
+    const InjectionPlan plan =
+        InjectionPlan::scripted({rackCrash(10.0, 1)});
+    for (std::uint32_t node : {3u, 4u, 5u}) {
+        const InjectionPlan mine = plan.eventsForNode(node, 3);
+        ASSERT_EQ(mine.size(), 1u) << "node " << node;
+        const FaultEvent &ev = mine.events()[0];
+        // Rewritten to an ordinary per-node event.
+        EXPECT_EQ(ev.node, node);
+        EXPECT_FALSE(ev.rackScoped);
+        EXPECT_DOUBLE_EQ(ev.time, 10.0);
+        EXPECT_DOUBLE_EQ(ev.duration, 30.0);
+    }
+    // Neighbors in other racks see nothing.
+    EXPECT_TRUE(plan.eventsForNode(2, 3).empty());
+    EXPECT_TRUE(plan.eventsForNode(6, 3).empty());
+}
+
+TEST(InjectionPlan, RackEventsAreDroppedWithoutALayout)
+{
+    const InjectionPlan plan =
+        InjectionPlan::scripted({rackCrash(10.0, 0)});
+    // No nodes_per_rack: the rack id cannot be resolved, so no node
+    // receives the event (rather than node 0 aliasing the rack id).
+    EXPECT_TRUE(plan.eventsForNode(0).empty());
+    EXPECT_TRUE(plan.eventsForNode(0, 0).empty());
+}
+
+TEST(InjectionPlan, RackFlagRoundTripsThroughTheTrace)
+{
+    FaultEvent plain;
+    plain.kind = FaultKind::NodeCrash;
+    plain.node = 2;
+    plain.time = 5.0;
+    plain.duration = 10.0;
+    const InjectionPlan plan =
+        InjectionPlan::scripted({plain, rackCrash(10.0, 1)});
+
+    std::stringstream trace;
+    plan.save(trace);
+    const InjectionPlan replay = InjectionPlan::load(trace);
+    ASSERT_EQ(replay.size(), 2u);
+    EXPECT_FALSE(replay.events()[0].rackScoped);
+    EXPECT_TRUE(replay.events()[1].rackScoped);
+    EXPECT_EQ(replay.events()[1].node, 1u);
+}
+
+TEST(InjectionPlan, TracesWithoutRackEventsKeepTheOldFormat)
+{
+    FaultEvent plain;
+    plain.kind = FaultKind::NodeCrash;
+    plain.node = 2;
+    plain.time = 5.0;
+    plain.duration = 10.0;
+    std::stringstream trace;
+    InjectionPlan::scripted({plain, threadFault(7.0)}).save(trace);
+    // The scope keyword is appended only when set, so pre-rack traces
+    // (and plans with no rack events) stay byte-compatible.
+    EXPECT_EQ(trace.str().find("rack"), std::string::npos);
+}
+
+TEST(RandomCampaign, RackCrashesTargetRacks)
+{
+    CampaignProfile p;
+    p.duration = 3600.0;
+    p.nodes = 8;
+    p.nodesPerRack = 4; // racks {0..3} and {4..7}
+    p.rackCrashesPerHour = 20.0;
+    const InjectionPlan plan = InjectionPlan::randomCampaign(p, 5);
+    std::size_t rack_events = 0;
+    for (const FaultEvent &ev : plan.events()) {
+        if (!ev.rackScoped)
+            continue;
+        ++rack_events;
+        EXPECT_EQ(ev.kind, FaultKind::NodeCrash);
+        EXPECT_LT(ev.node, 2u); // a rack id, not a node id
+        EXPECT_DOUBLE_EQ(ev.duration, p.rackRestartDelay);
+    }
+    EXPECT_GT(rack_events, 0u);
+}
+
+TEST(RandomCampaign, RackCrashesRequireALayout)
+{
+    CampaignProfile p;
+    p.duration = 3600.0;
+    p.nodes = 8;
+    p.rackCrashesPerHour = 20.0; // nodesPerRack left at 0
+    EXPECT_THROW(InjectionPlan::randomCampaign(p, 5), FatalError);
+}
+
+TEST(RandomCampaign, RackStreamIsIndependent)
+{
+    // Adding rack crashes must not perturb the per-node crash draws
+    // (each category forks its own stream).
+    CampaignProfile without = busyProfile();
+    CampaignProfile with = busyProfile();
+    with.nodesPerRack = 2;
+    with.rackCrashesPerHour = 10.0;
+
+    const auto node_crash_times = [](const InjectionPlan &plan) {
+        std::vector<Seconds> times;
+        for (const FaultEvent &ev : plan.events())
+            if (ev.kind == FaultKind::NodeCrash && !ev.rackScoped)
+                times.push_back(ev.time);
+        return times;
+    };
+
+    const InjectionPlan a = InjectionPlan::randomCampaign(with, 31);
+    const InjectionPlan b =
+        InjectionPlan::randomCampaign(without, 31);
+    EXPECT_EQ(node_crash_times(a), node_crash_times(b));
+}
+
 TEST(InjectionPlan, AfterRebasesTimes)
 {
     const InjectionPlan plan = InjectionPlan::scripted(

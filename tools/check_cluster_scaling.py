@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Compare an ext_cluster_scaling run against the committed trajectory.
+
+Usage: check_cluster_scaling.py BASELINE.json CURRENT.json [MAX_SLOWDOWN]
+
+Exits non-zero when any (nodes, dispatch) point present in *both*
+files runs more than MAX_SLOWDOWN times slower than the baseline
+(default 3.0), or when the two files share no points at all.  The
+comparison iterates over the *current* run, so a --quick CI run (which
+skips the 10k tier) checks only the tiers it measured.  The wide
+margin makes the check meaningful only for order-of-magnitude
+regressions — CI runners are too noisy for tight thresholds, which is
+also why the CI job wiring is non-gating.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "ecosched.cluster_scaling/1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {
+        (r["nodes"], r["dispatch"]): r["node_epochs_per_sec"]
+        for r in doc["results"]
+    }
+
+
+def main(argv):
+    if len(argv) not in (3, 4):
+        sys.exit(__doc__)
+    baseline = load(argv[1])
+    current = load(argv[2])
+    max_slowdown = float(argv[3]) if len(argv) == 4 else 3.0
+
+    failed = False
+    compared = 0
+    for key, cur_neps in sorted(current.items()):
+        base_neps = baseline.get(key)
+        if base_neps is None:
+            print(f"NEW {key} (not in baseline, skipped)")
+            continue
+        compared += 1
+        ratio = cur_neps / base_neps if base_neps > 0 else 0.0
+        status = "ok"
+        if ratio * max_slowdown < 1.0:
+            status = f"REGRESSION (> {max_slowdown:.1f}x slower)"
+            failed = True
+        print(f"{key[0]:>6} nodes {key[1]:>12}: "
+              f"{cur_neps:12.0f} node-epochs/s "
+              f"({ratio:5.2f}x baseline) {status}")
+    if compared == 0:
+        print("no overlapping points between baseline and current")
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

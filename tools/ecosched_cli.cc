@@ -56,7 +56,8 @@ printUsage(std::ostream &os)
           "  ecosched run <chip> <policy> <duration_s> <seed> "
           "[timeline.csv]\n"
           "  ecosched eval <chip> <duration_s> <seed>\n"
-          "  ecosched cluster <nodes> <dispatch> <duration_s> <seed>\n"
+          "  ecosched cluster <nodes> <dispatch> <duration_s> <seed> "
+          "[--shards N]\n"
           "  ecosched campaign <chip> <duration_s> <seed> "
           "[faults_per_hour] [--plan file | --save-plan file]\n"
           "chips: xgene2 | xgene3\n"
@@ -341,7 +342,8 @@ cmdRun(const ChipSpec &chip, PolicyKind policy, Seconds duration,
 
 int
 cmdCluster(std::size_t nodes, DispatchPolicy dispatch,
-           Seconds duration, std::uint64_t seed, unsigned jobs)
+           Seconds duration, std::uint64_t seed, unsigned jobs,
+           std::size_t shards)
 {
     ClusterConfig cc;
     cc.nodes = mixedFleet(nodes, seed);
@@ -349,6 +351,7 @@ cmdCluster(std::size_t nodes, DispatchPolicy dispatch,
     cc.traffic.duration = duration;
     cc.traffic.seed = seed;
     cc.jobs = jobs;
+    cc.shards = shards;
 
     // Offer the same moderate load per unit of fleet capacity
     // regardless of fleet size, so policies and sizes compare
@@ -364,10 +367,11 @@ cmdCluster(std::size_t nodes, DispatchPolicy dispatch,
     cc.traffic.arrivalsPerSecond = rate;
 
     ClusterSim sim(std::move(cc));
-    // Worker count goes to stderr: the stdout summary is
-    // bit-identical for every --jobs value.
+    // Worker/shard counts go to stderr: the stdout summary is
+    // bit-identical for every --jobs and --shards value.
     std::cerr << "(" << sim.jobs() << " worker"
-              << (sim.jobs() == 1 ? "" : "s") << ")\n";
+              << (sim.jobs() == 1 ? "" : "s") << ", " << sim.shards()
+              << " shard" << (sim.shards() == 1 ? "" : "s") << ")\n";
     sim.run().printSummary(std::cout);
     return 0;
 }
@@ -524,6 +528,8 @@ main(int argc, char **argv)
                 argc > 6 ? argv[6] : "");
         }
         if (cmd == "cluster") {
+            const std::string shards_arg =
+                stripValueFlag(argc, argv, "--shards");
             if (argc < 6)
                 return usageError("cluster: needs <nodes> "
                                   "<dispatch> <duration_s> <seed>");
@@ -532,11 +538,16 @@ main(int argc, char **argv)
                 return usageError(
                     std::string("cluster: invalid node count '")
                     + argv[2] + "'");
+            const long shards =
+                shards_arg.empty() ? 0 : std::atol(shards_arg.c_str());
+            if (shards < 0 || (!shards_arg.empty() && shards == 0))
+                return usageError(
+                    "cluster: invalid --shards '" + shards_arg + "'");
             return cmdCluster(
                 static_cast<std::size_t>(n),
                 dispatchPolicyByName(argv[3]), std::atof(argv[4]),
                 static_cast<std::uint64_t>(std::atoll(argv[5])),
-                jobs);
+                jobs, static_cast<std::size_t>(shards));
         }
         if (cmd == "campaign") {
             const std::string plan_in =
