@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Extension — core idle states and the COREIDLE consolidation
+ * governor (src/idle), beyond the paper's four configurations.
+ *
+ * Replays the §VI.B server workload plus a light-load diurnal
+ * scenario (≤ ~30% mean occupancy with long troughs — the regime
+ * where consolidation pays) on both chips, each extended with the
+ * c-state table (withCStates: a c1 clock-stop analog per core and a
+ * c6 power-gate analog per PMD), under four placements:
+ *
+ *  - linux-spread:  Baseline — stock spread placer + ondemand.
+ *  - clustered:     Placement — the paper's daemon packs by class.
+ *  - coreidle-pack: CoreIdle — mask-aware spread placer + hysteresis
+ *                   governor parking whole PMDs behind the mask.
+ *  - race-to-idle:  RaceToIdle — same mask, active PMDs pinned at
+ *                   fmax so idle residency starts sooner.
+ *
+ * Reports energy, p95 sojourn latency, and c1/c6 residency per
+ * configuration.  The headline claim this bench pins: at light load
+ * coreidle-pack beats linux-spread on energy while keeping p95
+ * sojourn within 10%.  Emits machine-readable JSON (schema
+ * `ecosched.coreidle/1`, documented in EXPERIMENTS.md) so CI can
+ * compare a quick run against the committed BENCH_coreidle.json.
+ *
+ * Usage: ext_coreidle [duration_s] [seed] [--jobs N] [--quick]
+ *                     [--out FILE]
+ *
+ * --quick shortens the workloads to 900 s (CI smoke); the default is
+ * the paper's 3600 s window.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scenario_common.hh"
+
+using namespace ecosched;
+using namespace ecosched::bench;
+
+namespace {
+
+/// The four placements under comparison, bench-facing names.
+struct Config
+{
+    PolicyKind policy;
+    const char *label;
+};
+
+constexpr Config kConfigs[] = {
+    {PolicyKind::Baseline, "linux-spread"},
+    {PolicyKind::Placement, "clustered"},
+    {PolicyKind::CoreIdle, "coreidle-pack"},
+    {PolicyKind::RaceToIdle, "race-to-idle"},
+};
+
+/// One measured (chip, scenario, placement) point.
+struct Point
+{
+    std::string chip;
+    std::string scenario;
+    std::string config;
+    ScenarioResult r;
+};
+
+/// The standard §VI.B server workload for a chip.
+GeneratedWorkload
+serverWorkload(const ChipSpec &chip, Seconds duration,
+               std::uint64_t seed)
+{
+    GeneratorConfig gc;
+    gc.duration = duration;
+    gc.maxCores = chip.numCores;
+    gc.seed = seed;
+    gc.chipName = chip.name;
+    gc.referenceFrequency = chip.fMax;
+    return WorkloadGenerator(gc).generate();
+}
+
+/// Light-load diurnal variant: every regime's occupancy is scaled
+/// down so the mean load stays at or below ~30% of the cores, and
+/// idle troughs are frequent and long — the consolidation regime.
+GeneratedWorkload
+lightWorkload(const ChipSpec &chip, Seconds duration,
+              std::uint64_t seed)
+{
+    GeneratorConfig gc;
+    gc.duration = duration;
+    gc.maxCores = chip.numCores;
+    gc.seed = seed + 1;
+    gc.chipName = chip.name;
+    gc.referenceFrequency = chip.fMax;
+    gc.heavyOccupancy = 0.30;
+    gc.averageOccupancy = 0.18;
+    gc.lightOccupancy = 0.08;
+    gc.idleProbability = 0.25;
+    return WorkloadGenerator(gc).generate();
+}
+
+std::string
+toJson(const std::vector<Point> &points, Seconds duration,
+       std::uint64_t seed)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "{\n  \"schema\": \"ecosched.coreidle/1\",\n"
+       << "  \"duration_sec\": " << duration << ",\n"
+       << "  \"seed\": " << seed << ",\n"
+       << "  \"results\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &p = points[i];
+        const ScenarioResult &r = p.r;
+        os << "    {\"chip\": \"" << p.chip << "\", \"scenario\": \""
+           << p.scenario << "\", \"config\": \"" << p.config
+           << "\", \"completion_s\": " << r.completionTime
+           << ", \"energy_j\": " << r.energy
+           << ", \"avg_power_w\": " << r.averagePower
+           << ", \"ed2p\": " << r.ed2p
+           << ", \"processes\": " << r.processesCompleted
+           << ", \"latency_p50_s\": " << r.latencyP50
+           << ", \"latency_p95_s\": " << r.latencyP95
+           << ", \"migrations\": " << r.migrations
+           << ", \"c1_core_s\": " << r.idleC1Seconds
+           << ", \"c6_pmd_s\": " << r.idleC6Seconds
+           << ", \"c1_entries\": " << r.idleC1Entries
+           << ", \"c6_entries\": " << r.idleC6Entries
+           << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const unsigned jobs = stripJobsFlag(argc, argv);
+    bool quick = false;
+    std::string out = "BENCH_coreidle.json";
+    std::vector<char *> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--out" && i + 1 < argc) {
+            out = argv[++i];
+        } else {
+            positional.push_back(argv[i]);
+        }
+    }
+    Seconds duration =
+        !positional.empty() ? std::atof(positional[0]) : 3600.0;
+    if (duration <= 0.0)
+        duration = 3600.0;
+    if (quick)
+        duration = std::min(duration, 900.0);
+    const std::uint64_t seed = positional.size() > 1
+        ? static_cast<std::uint64_t>(std::atoll(positional[1]))
+        : 42;
+
+    std::cout << "=== Extension: core idle states + COREIDLE "
+                 "consolidation (c-state chips; "
+              << formatDouble(duration, 0) << " s workloads, seed "
+              << seed << ") ===\n\n";
+
+    EngineConfig ec;
+    ec.jobs = jobs;
+    ec.baseSeed = seed;
+    const ExperimentEngine engine{ec};
+
+    const std::vector<PolicyKind> policies = {
+        PolicyKind::Baseline, PolicyKind::Placement,
+        PolicyKind::CoreIdle, PolicyKind::RaceToIdle};
+
+    std::vector<Point> points;
+    for (const ChipSpec &chip :
+         {withCStates(xGene2()), withCStates(xGene3())}) {
+        struct Scenario
+        {
+            const char *name;
+            GeneratedWorkload workload;
+        };
+        const Scenario scenarios[] = {
+            {"server", serverWorkload(chip, duration, seed)},
+            {"light-diurnal", lightWorkload(chip, duration, seed)},
+        };
+        for (const Scenario &sc : scenarios) {
+            // Process sojourns are hundreds of seconds regardless of
+            // the trace length, and packed placement stretches them
+            // further, so short runs need more drain headroom than
+            // the stock 3x-duration bound.  The factor only arms the
+            // runaway assertion; results are unaffected.
+            const std::vector<ScenarioResult> results =
+                engine.mapSpecs<ScenarioResult, PolicyKind>(
+                    policies,
+                    [&](std::size_t, PolicyKind policy, Rng &) {
+                        ScenarioConfig scen;
+                        scen.chip = chip;
+                        scen.policy = policy;
+                        scen.drainBoundFactor = 10.0;
+                        return ScenarioRunner(scen).run(sc.workload);
+                    });
+            for (std::size_t i = 0; i < results.size(); ++i) {
+                points.push_back({chip.name, sc.name,
+                                  kConfigs[i].label, results[i]});
+            }
+        }
+    }
+
+    TextTable t({"chip", "scenario", "config", "energy [J]",
+                 "vs spread", "p95 [s]", "c1 [core-s]", "c6 [PMD-s]",
+                 "migr"});
+    const Point *base = nullptr;
+    for (const Point &p : points) {
+        if (p.config == kConfigs[0].label)
+            base = &p;
+        const bool is_base = base == &p;
+        t.addRow({p.chip, p.scenario, p.config,
+                  formatDouble(p.r.energy, 1),
+                  is_base || base == nullptr || base->r.energy <= 0.0
+                      ? std::string("-")
+                      : formatPercent(1.0
+                                      - p.r.energy / base->r.energy),
+                  formatDouble(p.r.latencyP95, 2),
+                  formatDouble(p.r.idleC1Seconds, 1),
+                  formatDouble(p.r.idleC6Seconds, 1),
+                  std::to_string(p.r.migrations)});
+    }
+    t.print(std::cout);
+    std::cout << "\nAll placements run on c-state-enabled chips; "
+                 "\"vs spread\" is the energy saving against the "
+                 "linux-spread row\nof the same (chip, scenario).  "
+                 "The consolidation payoff concentrates in the "
+                 "light-diurnal rows,\nwhere packed PMDs reach c6 "
+                 "and gate their leakage share.\n";
+
+    const std::string json = toJson(points, duration, seed);
+    std::ofstream file(out);
+    file << json;
+    if (!file) {
+        std::cerr << "failed to write " << out << "\n";
+        return 1;
+    }
+    std::cerr << "wrote " << out << "\n";
+    return 0;
+}

@@ -495,7 +495,12 @@ ClusterSim::executeWindow(const std::vector<Seconds> &ends)
                             i, fleet[i]->pendingJobs());
                         r.outstanding[i] = 0;
                     }
-                    if (cfg.idleSleep && r.outstanding[i] == 0
+                    // Autoscaler-parked nodes must draw the deep
+                    // standby floor even when idleSleep is off — a
+                    // drained, unschedulable node left at awake-idle
+                    // power would overstate fleet energy.
+                    if ((cfg.idleSleep || !r.schedulable[i])
+                        && r.outstanding[i] == 0
                         && fleet[i]->alive()) {
                         r.suspended[i] = 1;
                     }

@@ -1,19 +1,60 @@
 #include "core/policy.hh"
 
+#include <cstdlib>
+
 #include "common/error.hh"
 #include "core/droop_table.hh"
+#include "idle/coreidle.hh"
 #include "os/governor.hh"
 
 namespace ecosched {
+
+namespace {
+
+/// ECOSCHED_COREIDLE_SHADOW=1: Baseline/SafeVmin run the coreidle
+/// mask placer with an empty mask instead of LinuxSpreadPlacer.
+/// Used by the inertness goldens — outputs must stay byte-identical.
+bool
+coreidleShadow()
+{
+    const char *env = std::getenv("ECOSCHED_COREIDLE_SHADOW");
+    return env != nullptr && *env != '\0' && *env != '0';
+}
+
+/// The stock spread placer, or its mask-aware twin in shadow mode.
+std::unique_ptr<PlacementPolicy>
+defaultSpreadPlacer()
+{
+    if (coreidleShadow())
+        return std::make_unique<CoreIdleMaskPlacer>();
+    return std::make_unique<LinuxSpreadPlacer>();
+}
+
+/// Install the COREIDLE policy/mechanism pair.
+void
+installCoreIdle(System &system, bool race_to_idle)
+{
+    auto placer = std::make_unique<CoreIdleMaskPlacer>();
+    CoreIdleGovernor::Config gcfg;
+    gcfg.raceToIdle = race_to_idle;
+    auto governor =
+        std::make_unique<CoreIdleGovernor>(gcfg, placer.get());
+    system.setPlacementPolicy(std::move(placer));
+    system.setGovernor(std::move(governor));
+}
+
+} // namespace
 
 const char *
 policyKindName(PolicyKind kind)
 {
     switch (kind) {
-      case PolicyKind::Baseline:  return "Baseline";
-      case PolicyKind::SafeVmin:  return "Safe Vmin";
-      case PolicyKind::Placement: return "Placement";
-      case PolicyKind::Optimal:   return "Optimal";
+      case PolicyKind::Baseline:   return "Baseline";
+      case PolicyKind::SafeVmin:   return "Safe Vmin";
+      case PolicyKind::Placement:  return "Placement";
+      case PolicyKind::Optimal:    return "Optimal";
+      case PolicyKind::CoreIdle:   return "CoreIdle";
+      case PolicyKind::RaceToIdle: return "RaceToIdle";
     }
     return "?";
 }
@@ -27,14 +68,12 @@ configurePolicy(System &system, PolicyKind kind,
 
     switch (kind) {
       case PolicyKind::Baseline:
-        system.setPlacementPolicy(
-            std::make_unique<LinuxSpreadPlacer>());
+        system.setPlacementPolicy(defaultSpreadPlacer());
         system.setGovernor(std::make_unique<OndemandGovernor>());
         break;
 
       case PolicyKind::SafeVmin: {
-        system.setPlacementPolicy(
-            std::make_unique<LinuxSpreadPlacer>());
+        system.setPlacementPolicy(defaultSpreadPlacer());
         system.setGovernor(std::make_unique<OndemandGovernor>());
         // Static undervolt to the most conservative characterized
         // level: fmax with every PMD utilized.
@@ -58,6 +97,14 @@ configurePolicy(System &system, PolicyKind kind,
         daemon_base.controlFrequency = true;
         daemon_base.controlVoltage = true;
         setup.daemon = std::make_unique<Daemon>(system, daemon_base);
+        break;
+
+      case PolicyKind::CoreIdle:
+        installCoreIdle(system, false);
+        break;
+
+      case PolicyKind::RaceToIdle:
+        installCoreIdle(system, true);
         break;
     }
     return setup;

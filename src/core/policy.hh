@@ -11,6 +11,20 @@
  *               per-PMD frequency; voltage stays nominal.
  *  - Optimal:   the full daemon: placement + frequency + adaptive
  *               safe-Vmin voltage with fail-safe ordering.
+ *
+ * Plus two consolidation configurations the paper never explored
+ * (COREIDLE-style policy/mechanism split, src/idle):
+ *
+ *  - CoreIdle:   mask-aware spread placer + hysteresis governor that
+ *                packs light load onto the fewest whole PMDs so the
+ *                masked modules reach deep c-states.
+ *  - RaceToIdle: same, with active PMDs pinned at fmax so work
+ *                finishes sooner and idle residency lengthens.
+ *
+ * Setting ECOSCHED_COREIDLE_SHADOW=1 makes Baseline/SafeVmin install
+ * the coreidle mask placer with an empty mask instead of
+ * LinuxSpreadPlacer — an inertness proof: the goldens must stay
+ * byte-identical.
  */
 
 #ifndef ECOSCHED_CORE_POLICY_HH
@@ -23,13 +37,16 @@
 
 namespace ecosched {
 
-/// The four named configurations.
+/// The named configurations (four from §VI.B plus the two
+/// consolidation variants).
 enum class PolicyKind
 {
     Baseline,
     SafeVmin,
     Placement,
     Optimal,
+    CoreIdle,
+    RaceToIdle,
 };
 
 /// Human-readable configuration name.

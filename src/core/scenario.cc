@@ -1,6 +1,7 @@
 #include "core/scenario.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <string>
 #include <utility>
@@ -182,9 +183,12 @@ ScenarioRunner::run(const GeneratedWorkload &workload) const
         }
     }
 
+    std::vector<Seconds> sojourns;
+    sojourns.reserve(system.finishedProcesses().size());
     for (const Process &proc : system.finishedProcesses()) {
         last_completion = std::max(last_completion, proc.completed);
         result.migrations += proc.migrations;
+        sojourns.push_back(proc.turnaround());
         if (isFailure(proc.outcome))
             ++result.processesFailed;
         if (outcomeSeverity(proc.outcome)
@@ -194,6 +198,30 @@ ScenarioRunner::run(const GeneratedWorkload &workload) const
     }
     result.processesCompleted = static_cast<std::uint32_t>(
         system.finishedProcesses().size());
+    if (!sojourns.empty()) {
+        std::sort(sojourns.begin(), sojourns.end());
+        auto rank = [&](double p) {
+            const auto n = static_cast<double>(sojourns.size());
+            const auto idx = static_cast<std::size_t>(
+                std::ceil(p * n)) - 1;
+            return sojourns[std::min(idx, sojourns.size() - 1)];
+        };
+        result.latencyP50 = rank(0.50);
+        result.latencyP95 = rank(0.95);
+        result.latencyMax = sojourns.back();
+    }
+    const IdleStateTracker &idle = machine.idleTracker();
+    if (idle.enabled()) {
+        const Seconds now = system.now();
+        for (CoreId c = 0; c < cfg.chip.numCores; ++c) {
+            result.idleC1Seconds += idle.coreC1Seconds(c, now);
+            result.idleC1Entries += idle.coreC1Entries(c);
+        }
+        for (PmdId p = 0; p < cfg.chip.numPmds(); ++p) {
+            result.idleC6Seconds += idle.pmdC6Seconds(p, now);
+            result.idleC6Entries += idle.pmdC6Entries(p);
+        }
+    }
     // For a run that ended in a system crash the energy covers the
     // whole execution up to the halt, so the power/ED2P denominator
     // must be the elapsed time, not the last completed process

@@ -49,6 +49,20 @@ struct ScenarioResult
     std::uint32_t processesCompleted = 0;
     /// Processes that ended with a failure outcome (fault injection).
     std::uint32_t processesFailed = 0;
+
+    /// Process sojourn latency (completed - submitted), nearest-rank
+    /// percentiles over the completed set; 0 when nothing completed.
+    Seconds latencyP50 = 0.0;
+    Seconds latencyP95 = 0.0;
+    Seconds latencyMax = 0.0;
+
+    /// Idle-state residency aggregates (all 0 when the chip has no
+    /// c-state table): summed per-core c1 residency, summed per-PMD
+    /// c6 residency, and the respective entry counts.
+    Seconds idleC1Seconds = 0.0;
+    Seconds idleC6Seconds = 0.0;
+    std::uint64_t idleC1Entries = 0;
+    std::uint64_t idleC6Entries = 0;
     std::uint64_t migrations = 0;
     std::uint64_t voltageTransitions = 0;
     std::uint64_t frequencyTransitions = 0;

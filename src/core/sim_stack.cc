@@ -19,6 +19,20 @@ SimStackConfig::key() const
         .mix(utilizationAlpha)
         .mix(std::uint64_t{injectFaults})
         .mix(migrationCost);
+    // The c-state table changes machine behaviour but not the chip
+    // name (the calibrated models match on the literal name), so a
+    // c-state-enabled spec must not alias the plain one in the
+    // prototype/arena caches.
+    k.mix(std::uint64_t{chip.cstates.size()});
+    for (const CStateSpec &cs : chip.cstates) {
+        k.mix(cs.name)
+            .mix(std::uint64_t{cs.perPmd})
+            .mix(cs.entryLatency)
+            .mix(cs.exitLatency)
+            .mix(cs.residency)
+            .mix(cs.idleClockScale)
+            .mix(cs.leakageShare);
+    }
     // Every daemon knob, nested configs included: the daemon's
     // Table II copy, engine and predictor derive from these.
     const DaemonConfig &d = daemon;

@@ -46,6 +46,8 @@
 #include "exp/memo_cache.hh"
 #include "exp/prototype_cache.hh"
 #include "exp/thread_pool.hh"
+#include "idle/coreidle.hh"
+#include "idle/idle_tracker.hh"
 #include "inject/campaign.hh"
 #include "inject/fault_plan.hh"
 #include "inject/injector.hh"

@@ -1,0 +1,239 @@
+#include "idle/coreidle.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+std::vector<CoreId>
+CoreIdleMaskPlacer::place(const System &system, const Process &,
+                          std::uint32_t threads)
+{
+    const auto free = system.freeCores();
+    if (free.size() < threads)
+        return {};
+
+    const auto &spec = system.spec();
+    const std::uint32_t num_pmds = spec.numPmds();
+    // Never mask the whole chip; the mask is advisory.
+    const std::uint32_t masked = std::min(
+        maskCount, num_pmds > 0 ? num_pmds - 1 : 0);
+    const PmdId first_masked = num_pmds - masked;
+
+    // Soft mask: honour it only when the unmasked free cores can
+    // host the whole process — never queue work behind idle
+    // hardware the governor parked.
+    bool honor_mask = masked > 0;
+    if (honor_mask) {
+        std::uint32_t unmasked_free = 0;
+        for (CoreId c : free)
+            if (pmdOfCore(c) < first_masked)
+                ++unmasked_free;
+        honor_mask = unmasked_free >= threads;
+    }
+
+    // The stock CFS-domain-style greedy (LinuxSpreadPlacer), with
+    // masked cores excluded.  With an empty mask the loop below is
+    // the exact same iteration and comparison sequence, so the
+    // choices are byte-identical to linux-spread.
+    std::vector<int> busy_per_pmd(spec.numPmds(), 0);
+    for (CoreId c = 0; c < spec.numCores; ++c)
+        if (system.machine().coreBusy(c))
+            ++busy_per_pmd[pmdOfCore(c)];
+
+    std::vector<CoreId> chosen;
+    std::vector<bool> taken(spec.numCores, false);
+    for (std::uint32_t i = 0; i < threads; ++i) {
+        CoreId best = spec.numCores;
+        for (CoreId c : free) {
+            if (taken[c])
+                continue;
+            if (honor_mask && pmdOfCore(c) >= first_masked)
+                continue;
+            if (best == spec.numCores ||
+                busy_per_pmd[pmdOfCore(c)]
+                    < busy_per_pmd[pmdOfCore(best)]) {
+                best = c;
+            }
+        }
+        ECOSCHED_ASSERT(best < spec.numCores,
+                        "ran out of free cores mid-placement");
+        taken[best] = true;
+        ++busy_per_pmd[pmdOfCore(best)];
+        chosen.push_back(best);
+    }
+    return chosen;
+}
+
+CoreIdleGovernor::CoreIdleGovernor(Config config,
+                                   CoreIdleMaskPlacer *mask_placer)
+    : cfg(config), placer(mask_placer)
+{
+    fatalIf(placer == nullptr,
+            "coreidle governor needs the mask placer it steers");
+    fatalIf(cfg.samplingPeriod <= 0.0,
+            "coreidle sampling period must be positive");
+    fatalIf(cfg.upThreshold <= 0.0 || cfg.upThreshold > 1.0,
+            "coreidle up-threshold must be in (0, 1]");
+    fatalIf(cfg.shrinkThreshold >= cfg.growThreshold,
+            "coreidle shrink threshold must sit below grow");
+    fatalIf(cfg.shrinkHold < 0.0,
+            "coreidle shrink hold must be non-negative");
+    fatalIf(cfg.minActivePmds == 0,
+            "coreidle needs at least one active PMD");
+}
+
+void
+CoreIdleGovernor::consolidate(System &system, std::uint32_t num_pmds)
+{
+    const std::uint32_t masked = placer->maskedPmds();
+    if (masked == 0)
+        return;
+    const PmdId first_masked = num_pmds - masked;
+
+    // Free unmasked cores, ascending — filling from the bottom packs
+    // the migrated threads onto the lowest active modules.
+    std::vector<CoreId> spare;
+    for (CoreId c : system.freeCores())
+        if (pmdOfCore(c) < first_masked)
+            spare.push_back(c);
+
+    for (Pid pid : system.runningProcesses()) {
+        const Process &proc = system.process(pid);
+        bool straggler = false;
+        for (CoreId c : proc.cores)
+            if (pmdOfCore(c) >= first_masked)
+                straggler = true;
+        if (!straggler)
+            continue;
+        std::vector<CoreId> target = proc.cores;
+        bool fits = true;
+        std::size_t next = 0;
+        for (CoreId &c : target) {
+            if (pmdOfCore(c) < first_masked)
+                continue;
+            if (next >= spare.size()) {
+                fits = false;
+                break;
+            }
+            c = spare[next++];
+        }
+        if (!fits)
+            continue; // not enough room; the soft mask covers it
+        spare.erase(spare.begin(),
+                    spare.begin() + static_cast<std::ptrdiff_t>(next));
+        system.migrateProcess(pid, target);
+    }
+}
+
+void
+CoreIdleGovernor::tick(System &system)
+{
+    const Seconds now = system.now();
+    if (lastRun >= 0.0 && now - lastRun < cfg.samplingPeriod)
+        return;
+    lastRun = now;
+
+    const ChipSpec &spec = system.spec();
+    const std::uint32_t num_pmds = spec.numPmds();
+    if (activePmds == 0 || activePmds > num_pmds)
+        activePmds = num_pmds; // first tick: size to the chip
+
+    // --- hysteresis: size the active set ------------------------------
+    // Core-granularity occupancy of the active set.  (pmdUtilization
+    // is the max of the module's two cores — right for the frequency
+    // decision, but it would read 100% for a half-empty module and
+    // the mask would never shrink under spread placement.)
+    const std::uint32_t busy = system.machine().numBusyCores();
+    double util_sum = 0.0;
+    for (CoreId c = 0; c < activePmds * coresPerPmd; ++c)
+        util_sum += system.coreUtilization(c);
+    const double load =
+        util_sum / static_cast<double>(activePmds * coresPerPmd);
+    const bool queued = !system.queuedProcesses().empty();
+
+    if (queued) {
+        // Queue pressure: unmask everything immediately.
+        activePmds = num_pmds;
+        lowSince = -1.0;
+    } else if (load > cfg.growThreshold && activePmds < num_pmds) {
+        ++activePmds;
+        lowSince = -1.0;
+    } else if (load < cfg.shrinkThreshold
+               && activePmds > cfg.minActivePmds
+               && busy <= coresPerPmd * (activePmds - 1)) {
+        if (lowSince < 0.0) {
+            lowSince = now;
+        } else if (now - lowSince >= cfg.shrinkHold) {
+            --activePmds;
+            lowSince = now; // re-arm for the next shrink step
+        }
+    } else {
+        lowSince = -1.0;
+    }
+
+    placer->setMaskedPmds(num_pmds - activePmds);
+    if (cfg.consolidate)
+        consolidate(system, num_pmds);
+
+    // --- frequencies ---------------------------------------------------
+    Machine &machine = system.machine();
+    for (PmdId p = 0; p < num_pmds; ++p) {
+        const bool occupied =
+            machine.coreBusy(firstCoreOfPmd(p))
+            || machine.coreBusy(secondCoreOfPmd(p));
+        Hertz target;
+        if (p >= activePmds && !occupied) {
+            // Empty masked module: park at the ladder floor (it is
+            // clock-gated outright while idle anyway).  A masked
+            // module still hosting soft-mask-fallback threads keeps
+            // its demand-driven frequency — stranding live work at
+            // the floor would wreck tail latency for no energy win.
+            target = spec.freqStep();
+        } else if (cfg.raceToIdle) {
+            target = spec.fMax;
+        } else {
+            const double util = system.pmdUtilization(p);
+            if (util >= cfg.upThreshold) {
+                target = spec.fMax;
+            } else {
+                const Hertz raw =
+                    spec.fMax * util / cfg.upThreshold;
+                target = std::max(
+                    spec.freqStep(),
+                    spec.snapToLadder(
+                        std::max(raw, spec.freqStep())));
+            }
+        }
+        machine.slimPro().requestPmdFrequency(now, p, target);
+    }
+}
+
+bool
+CoreIdleGovernor::wouldAct(const System &system) const
+{
+    return !(lastRun >= 0.0
+             && system.now() - lastRun < cfg.samplingPeriod);
+}
+
+std::vector<double>
+CoreIdleGovernor::captureState() const
+{
+    return {lastRun, static_cast<double>(activePmds), lowSince,
+            static_cast<double>(placer->maskedPmds())};
+}
+
+void
+CoreIdleGovernor::restoreState(const std::vector<double> &state)
+{
+    lastRun = state.at(0);
+    activePmds = static_cast<std::uint32_t>(state.at(1));
+    lowSince = state.at(2);
+    // The mask lives in the placer, which the System snapshot does
+    // not carry — re-sync it from the governor's state.
+    placer->setMaskedPmds(static_cast<std::uint32_t>(state.at(3)));
+}
+
+} // namespace ecosched

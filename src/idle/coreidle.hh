@@ -1,0 +1,116 @@
+/**
+ * @file
+ * COREIDLE-style consolidation: policy/mechanism split.
+ *
+ * The *mechanism* is CoreIdleMaskPlacer: a placement policy that
+ * runs the stock CFS-like spread greedy but excludes cores whose PMD
+ * is in the idle mask, so light load packs onto the fewest whole
+ * PMDs and the masked modules can sink into deep c-states.  With an
+ * empty mask it is byte-identical to LinuxSpreadPlacer.  The mask is
+ * soft: when the unmasked cores cannot host a process, the full core
+ * set is used rather than queueing work behind idle hardware.
+ *
+ * The *policy* is CoreIdleGovernor: a hysteresis governor that sizes
+ * the mask (grow the active set immediately on queue pressure or
+ * high load, shrink only after sustained low load), migrates
+ * straggler threads off newly masked PMDs, and drives frequencies —
+ * ondemand-style proportional scaling by default, or pinned at fmax
+ * in the race-to-idle variant (finish sooner, idle deeper), with
+ * masked PMDs parked at the lowest ladder step.
+ */
+
+#ifndef ECOSCHED_IDLE_COREIDLE_HH
+#define ECOSCHED_IDLE_COREIDLE_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+#include "os/system.hh"
+
+namespace ecosched {
+
+/**
+ * Mask-aware spread placer (the COREIDLE mechanism).  PMDs are
+ * masked from the top of the chip: maskedPmds() == k masks the k
+ * highest-numbered PMDs.
+ */
+class CoreIdleMaskPlacer : public PlacementPolicy
+{
+  public:
+    const char *name() const override { return "coreidle-mask"; }
+
+    std::vector<CoreId> place(const System &system,
+                              const Process &process,
+                              std::uint32_t threads) override;
+
+    /// Mask the @p count highest-numbered PMDs (governor interface).
+    void setMaskedPmds(std::uint32_t count) { maskCount = count; }
+
+    /// Number of PMDs currently masked.
+    std::uint32_t maskedPmds() const { return maskCount; }
+
+  private:
+    std::uint32_t maskCount = 0;
+};
+
+/**
+ * Hysteresis consolidation governor (the COREIDLE policy).  Holds a
+ * non-owning pointer to the mask placer it steers; both must be
+ * installed on the same System and the placer must stay installed
+ * for the governor's lifetime.
+ */
+class CoreIdleGovernor : public Governor
+{
+  public:
+    struct Config
+    {
+        /// Tick throttle (matches ondemand's default period).
+        Seconds samplingPeriod = units::ms(100);
+        /// Ondemand-style up-threshold for active-PMD frequency.
+        double upThreshold = 0.80;
+        /// Active-set core occupancy above which the set grows by
+        /// one PMD (queue pressure unmasks everything).
+        double growThreshold = 0.75;
+        /// Active-set core occupancy below which shrinking arms.
+        double shrinkThreshold = 0.45;
+        /// Sustained low-load time before one PMD is masked.
+        Seconds shrinkHold = 1.0;
+        /// Floor of the active set.
+        std::uint32_t minActivePmds = 1;
+        /// Migrate straggler threads off masked PMDs each tick.
+        bool consolidate = true;
+        /// Race to idle: pin active PMDs at fmax so work finishes
+        /// sooner and the masked modules idle deeper/longer.
+        bool raceToIdle = false;
+    };
+
+    CoreIdleGovernor(Config config, CoreIdleMaskPlacer *placer);
+
+    const char *name() const override
+    {
+        return cfg.raceToIdle ? "race-to-idle" : "coreidle";
+    }
+
+    void tick(System &system) override;
+    /// Quiescent while the sampling-period throttle holds.
+    bool wouldAct(const System &system) const override;
+    std::vector<double> captureState() const override;
+    void restoreState(const std::vector<double> &state) override;
+
+    /// Current size of the active (unmasked) PMD set; 0 until the
+    /// first tick sizes it to the chip.
+    std::uint32_t activePmdCount() const { return activePmds; }
+
+  private:
+    void consolidate(System &system, std::uint32_t num_pmds);
+
+    Config cfg;
+    CoreIdleMaskPlacer *placer; ///< non-owning (see class docs)
+    Seconds lastRun = -1.0;
+    std::uint32_t activePmds = 0; ///< 0: not yet sized to the chip
+    Seconds lowSince = -1.0;      ///< shrink-hysteresis arm time
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_IDLE_COREIDLE_HH

@@ -1,0 +1,237 @@
+#include "idle/idle_tracker.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hh"
+
+namespace ecosched {
+
+IdleStateTracker::IdleStateTracker(const ChipSpec &spec)
+{
+    spec.validate();
+    if (!spec.hasCStates())
+        return; // inert: every call below no-ops
+    tracking = true;
+    numCores = spec.numCores;
+    numPmds = spec.numPmds();
+    if (const CStateSpec *cs = spec.coreCState()) {
+        hasC1 = true;
+        c1 = *cs;
+    }
+    if (const CStateSpec *cs = spec.pmdCState()) {
+        hasC6 = true;
+        c6 = *cs;
+    }
+    // Every core starts idle at t = 0 and accrues residency from
+    // there, exactly as if its thread had just left.
+    coreIdle.assign(numCores, 1);
+    idleSince.assign(numCores, 0.0);
+    inC1.assign(numCores, 0);
+    c1Since.assign(numCores, 0.0);
+    c1Acc.assign(numCores, 0.0);
+    c1EntryCount.assign(numCores, 0);
+    inC6.assign(numPmds, 0);
+    c6Since.assign(numPmds, 0.0);
+    c6Acc.assign(numPmds, 0.0);
+    c6EntryCount.assign(numPmds, 0);
+    view.coreDeepIdle = inC1.data();
+    view.coreIdleClockScale = hasC1 ? c1.idleClockScale : 0.0;
+    refreshLeakageScale();
+}
+
+void
+IdleStateTracker::refreshLeakageScale()
+{
+    view.leakageScale = gatedPmds == 0
+        ? 1.0
+        : 1.0 - c6.leakageShare * static_cast<double>(gatedPmds);
+}
+
+Seconds
+IdleStateTracker::occupy(CoreId core, Seconds now)
+{
+    if (!tracking)
+        return 0.0;
+    ECOSCHED_ASSERT(coreIdle[core] != 0,
+                    "occupying a core the tracker thinks is busy");
+    Seconds stall = 0.0;
+    const PmdId pmd = pmdOfCore(core);
+    if (inC6[pmd] != 0) {
+        stall = std::max(stall, c6.exitLatency);
+        c6Acc[pmd] += now - c6Since[pmd];
+        inC6[pmd] = 0;
+        ECOSCHED_ASSERT(gatedPmds > 0, "c6 count out of sync");
+        --gatedPmds;
+        refreshLeakageScale();
+        ++transitionEpoch;
+    }
+    if (inC1[core] != 0) {
+        stall = std::max(stall, c1.exitLatency);
+        c1Acc[core] += now - c1Since[core];
+        inC1[core] = 0;
+        ++transitionEpoch;
+    }
+    coreIdle[core] = 0;
+    return stall;
+}
+
+void
+IdleStateTracker::release(CoreId core, Seconds now)
+{
+    if (!tracking)
+        return;
+    ECOSCHED_ASSERT(coreIdle[core] == 0,
+                    "releasing a core the tracker thinks is idle");
+    coreIdle[core] = 1;
+    idleSince[core] = now;
+}
+
+void
+IdleStateTracker::enterC6(PmdId pmd, Seconds now)
+{
+    inC6[pmd] = 1;
+    c6Since[pmd] = now;
+    ++c6EntryCount[pmd];
+    ++gatedPmds;
+    refreshLeakageScale();
+    ++transitionEpoch;
+}
+
+void
+IdleStateTracker::poll(Seconds now, Seconds dt)
+{
+    if (!tracking)
+        return;
+    const Seconds due = now + dt * 0.5;
+    if (hasC1) {
+        const Seconds lead = c1.residency + c1.entryLatency;
+        for (CoreId c = 0; c < numCores; ++c) {
+            if (coreIdle[c] != 0 && inC1[c] == 0
+                    && idleSince[c] + lead <= due) {
+                inC1[c] = 1;
+                c1Since[c] = now;
+                ++c1EntryCount[c];
+                ++transitionEpoch;
+            }
+        }
+    }
+    if (hasC6) {
+        const Seconds lead = c6.residency + c6.entryLatency;
+        for (PmdId p = 0; p < numPmds; ++p) {
+            if (inC6[p] != 0)
+                continue;
+            const CoreId a = firstCoreOfPmd(p);
+            const CoreId b = secondCoreOfPmd(p);
+            if (coreIdle[a] == 0 || coreIdle[b] == 0)
+                continue;
+            const Seconds since =
+                std::max(idleSince[a], idleSince[b]);
+            if (since + lead <= due)
+                enterC6(p, now);
+        }
+    }
+}
+
+Seconds
+IdleStateTracker::nextTransition() const
+{
+    Seconds next = std::numeric_limits<Seconds>::infinity();
+    if (!tracking)
+        return next;
+    if (hasC1) {
+        const Seconds lead = c1.residency + c1.entryLatency;
+        for (CoreId c = 0; c < numCores; ++c)
+            if (coreIdle[c] != 0 && inC1[c] == 0)
+                next = std::min(next, idleSince[c] + lead);
+    }
+    if (hasC6) {
+        const Seconds lead = c6.residency + c6.entryLatency;
+        for (PmdId p = 0; p < numPmds; ++p) {
+            if (inC6[p] != 0)
+                continue;
+            const CoreId a = firstCoreOfPmd(p);
+            const CoreId b = secondCoreOfPmd(p);
+            if (coreIdle[a] == 0 || coreIdle[b] == 0)
+                continue;
+            next = std::min(
+                next, std::max(idleSince[a], idleSince[b]) + lead);
+        }
+    }
+    return next;
+}
+
+Seconds
+IdleStateTracker::coreC1Seconds(CoreId core, Seconds now) const
+{
+    if (!tracking)
+        return 0.0;
+    Seconds total = c1Acc[core];
+    if (inC1[core] != 0)
+        total += now - c1Since[core];
+    return total;
+}
+
+Seconds
+IdleStateTracker::pmdC6Seconds(PmdId pmd, Seconds now) const
+{
+    if (!tracking)
+        return 0.0;
+    Seconds total = c6Acc[pmd];
+    if (inC6[pmd] != 0)
+        total += now - c6Since[pmd];
+    return total;
+}
+
+IdleStateTracker::State
+IdleStateTracker::captureState() const
+{
+    State s;
+    s.coreIdle = coreIdle;
+    s.idleSince = idleSince;
+    s.coreInC1 = inC1;
+    s.c1Since = c1Since;
+    s.c1Seconds = c1Acc;
+    s.c1Entries = c1EntryCount;
+    s.pmdInC6 = inC6;
+    s.c6Since = c6Since;
+    s.c6Seconds = c6Acc;
+    s.c6Entries = c6EntryCount;
+    s.transitionEpoch = transitionEpoch;
+    return s;
+}
+
+void
+IdleStateTracker::restoreState(const State &s)
+{
+    if (!tracking) {
+        fatalIf(!s.coreIdle.empty(),
+                "restoring c-state residency into a tracker built"
+                " without c-states");
+        return;
+    }
+    fatalIf(s.coreIdle.size() != numCores
+                || s.pmdInC6.size() != numPmds,
+            "idle-tracker snapshot shape mismatch");
+    coreIdle = s.coreIdle;
+    idleSince = s.idleSince;
+    inC1 = s.coreInC1;
+    c1Since = s.c1Since;
+    c1Acc = s.c1Seconds;
+    c1EntryCount = s.c1Entries;
+    inC6 = s.pmdInC6;
+    c6Since = s.c6Since;
+    c6Acc = s.c6Seconds;
+    c6EntryCount = s.c6Entries;
+    transitionEpoch = s.transitionEpoch;
+    gatedPmds = 0;
+    for (PmdId p = 0; p < numPmds; ++p)
+        gatedPmds += inC6[p] != 0 ? 1u : 0u;
+    // The vectors were assigned (not swapped), but assignment can
+    // reallocate only on growth; sizes are fixed, so the view's data
+    // pointer stays valid.  Refresh it anyway to stay safe.
+    view.coreDeepIdle = inC1.data();
+    refreshLeakageScale();
+}
+
+} // namespace ecosched

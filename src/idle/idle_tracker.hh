@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Occupancy-driven hardware idle-state tracker (c-state mechanism).
+ *
+ * The Machine owns one IdleStateTracker and reports every core
+ * busy/idle transition to it.  The tracker promotes cores into the
+ * chip's per-core c-state (c1 analog) and whole PMDs into the
+ * per-PMD c-state (c6 analog) after their break-even residency plus
+ * entry latency have elapsed, and charges the exit latency as a wake
+ * stall when a promoted core is occupied again.  Its IdlePowerView
+ * feeds the power model: c1 residency stops the idle clock of the
+ * core, c6 residency gates the PMD's share of chip leakage.
+ *
+ * Determinism contract (the same one the fault hook obeys):
+ *  - promotions fire only in poll(), with the half-step convention
+ *    `promoteAt <= now + dt/2` — the same grid test the stepping
+ *    loop uses for stalls and horizons;
+ *  - nextTransition() reports the earliest pending promotion so
+ *    macroAdvance() can clamp its horizon: a macro window never
+ *    spans a promotion, keeping fixed-vs-macro bit-identity;
+ *  - every transition bumps epoch(), the power-cache key that pins
+ *    the view's contents;
+ *  - the whole mutable state is a flat State blob that snapshots,
+ *    restores and clones bit-identically (mid-wake capture included:
+ *    the pending wake stall lives in the thread's stallUntil, the
+ *    pending promotion timers in idleSince).
+ *
+ * A tracker built for a chip without c-states is inert: every call
+ * is a cheap no-op, powerView() is null, and all pre-existing
+ * results stay byte-identical.
+ */
+
+#ifndef ECOSCHED_IDLE_IDLE_TRACKER_HH
+#define ECOSCHED_IDLE_IDLE_TRACKER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+#include "platform/chip_spec.hh"
+#include "power/power_model.hh"
+
+namespace ecosched {
+
+class IdleStateTracker
+{
+  public:
+    /// Full mutable state (snapshot-and-branch).
+    struct State
+    {
+        std::vector<std::uint8_t> coreIdle;
+        std::vector<Seconds> idleSince;
+        std::vector<std::uint8_t> coreInC1;
+        std::vector<Seconds> c1Since;
+        std::vector<Seconds> c1Seconds;
+        std::vector<std::uint64_t> c1Entries;
+        std::vector<std::uint8_t> pmdInC6;
+        std::vector<Seconds> c6Since;
+        std::vector<Seconds> c6Seconds;
+        std::vector<std::uint64_t> c6Entries;
+        std::uint64_t transitionEpoch = 0;
+    };
+
+    /// Build for a chip spec; inert when the spec has no c-states.
+    explicit IdleStateTracker(const ChipSpec &spec);
+
+    /// Whether the chip models c-states at all.
+    bool enabled() const { return tracking; }
+
+    /**
+     * A thread was bound to @p core at time @p now.  Demotes the
+     * core (and its PMD, if power-gated) back to active and returns
+     * the wake stall the first slice must pay (0 when the core was
+     * not in a c-state).
+     */
+    Seconds occupy(CoreId core, Seconds now);
+
+    /// The thread on @p core left at time @p now; the core starts
+    /// accruing idle residency.
+    void release(CoreId core, Seconds now);
+
+    /**
+     * Fire every promotion due on the step starting at @p now with
+     * length @p dt (half-step convention: due means
+     * promoteAt <= now + dt/2).  Called once at the top of every
+     * plain step.
+     */
+    void poll(Seconds now, Seconds dt);
+
+    /// Earliest pending promotion time (infinity when none).
+    /// macroAdvance() clamps its horizon to this.
+    Seconds nextTransition() const;
+
+    /// Bumped on every c-state entry/exit; power-cache key.
+    std::uint64_t epoch() const { return transitionEpoch; }
+
+    /// Power-model view (null when the tracker is inert).
+    const IdlePowerView *powerView() const
+    {
+        return tracking ? &view : nullptr;
+    }
+
+    // --- residency telemetry -------------------------------------------
+    /// Whether @p core is resident in the per-core c-state.
+    bool coreInC1(CoreId core) const
+    {
+        return tracking && inC1[core] != 0;
+    }
+
+    /// Whether @p pmd is resident in the per-PMD c-state.
+    bool pmdInC6(PmdId pmd) const
+    {
+        return tracking && inC6[pmd] != 0;
+    }
+
+    /// Cumulative c1 residency of @p core up to time @p now.
+    Seconds coreC1Seconds(CoreId core, Seconds now) const;
+
+    /// Cumulative c6 residency of @p pmd up to time @p now.
+    Seconds pmdC6Seconds(PmdId pmd, Seconds now) const;
+
+    /// Times @p core entered the per-core c-state.
+    std::uint64_t coreC1Entries(CoreId core) const
+    {
+        return tracking ? c1EntryCount[core] : 0;
+    }
+
+    /// Times @p pmd entered the per-PMD c-state.
+    std::uint64_t pmdC6Entries(PmdId pmd) const
+    {
+        return tracking ? c6EntryCount[pmd] : 0;
+    }
+
+    // --- snapshot ------------------------------------------------------
+    State captureState() const;
+    void restoreState(const State &state);
+
+  private:
+    void enterC6(PmdId pmd, Seconds now);
+    /// Deterministic function of the gated-PMD count (no FP drift).
+    void refreshLeakageScale();
+
+    bool tracking = false;
+    bool hasC1 = false;
+    bool hasC6 = false;
+    CStateSpec c1;
+    CStateSpec c6;
+    std::uint32_t numCores = 0;
+    std::uint32_t numPmds = 0;
+
+    std::vector<std::uint8_t> coreIdle; ///< 1 = no thread bound
+    std::vector<Seconds> idleSince;     ///< valid while idle
+    std::vector<std::uint8_t> inC1;     ///< the view's deep-idle flags
+    std::vector<Seconds> c1Since;       ///< open-span start while in c1
+    std::vector<Seconds> c1Acc;         ///< closed c1 residency
+    std::vector<std::uint64_t> c1EntryCount;
+    std::vector<std::uint8_t> inC6;
+    std::vector<Seconds> c6Since;
+    std::vector<Seconds> c6Acc;
+    std::vector<std::uint64_t> c6EntryCount;
+    std::uint32_t gatedPmds = 0;        ///< PMDs currently in c6
+    std::uint64_t transitionEpoch = 0;
+
+    IdlePowerView view;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_IDLE_IDLE_TRACKER_HH

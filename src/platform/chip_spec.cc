@@ -29,6 +29,24 @@ vminFreqClassName(VminFreqClass cls)
     return "?";
 }
 
+const CStateSpec *
+ChipSpec::coreCState() const
+{
+    for (const CStateSpec &cs : cstates)
+        if (!cs.perPmd)
+            return &cs;
+    return nullptr;
+}
+
+const CStateSpec *
+ChipSpec::pmdCState() const
+{
+    for (const CStateSpec &cs : cstates)
+        if (cs.perPmd)
+            return &cs;
+    return nullptr;
+}
+
 std::vector<Hertz>
 ChipSpec::frequencyLadder() const
 {
@@ -135,6 +153,32 @@ ChipSpec::validate() const
     }
     fatalIf(droopClasses.back().maxPmds < numPmds(),
             name, ": droop classes must cover all ", numPmds(), " PMDs");
+    bool saw_core = false;
+    bool saw_pmd = false;
+    for (const CStateSpec &cs : cstates) {
+        fatalIf(cs.name.empty(), name, ": c-state needs a name");
+        fatalIf(cs.entryLatency < 0.0 || cs.exitLatency < 0.0
+                    || cs.residency < 0.0,
+                name, ": c-state ", cs.name,
+                " latencies/residency must be non-negative");
+        if (cs.perPmd) {
+            fatalIf(saw_pmd, name, ": at most one per-PMD c-state");
+            fatalIf(cs.leakageShare < 0.0
+                        || cs.leakageShare * numPmds() > 1.0 + 1e-9,
+                    name, ": c-state ", cs.name,
+                    " leakage share must satisfy share*numPmds <= 1");
+            saw_pmd = true;
+        } else {
+            fatalIf(saw_core, name, ": at most one per-core c-state");
+            fatalIf(saw_pmd, name,
+                    ": the per-core c-state must precede the per-PMD"
+                    " one");
+            fatalIf(cs.idleClockScale < 0.0 || cs.idleClockScale > 1.0,
+                    name, ": c-state ", cs.name,
+                    " idleClockScale must be in [0, 1]");
+            saw_core = true;
+        }
+    }
 }
 
 ChipSpec
@@ -192,6 +236,37 @@ xGene3()
         {8, 45.0, 55.0},
         {16, 55.0, 65.0},
     };
+    spec.validate();
+    return spec;
+}
+
+ChipSpec
+withCStates(ChipSpec spec)
+{
+    using namespace units;
+    spec.validate();
+    // c1 analog: the core clock stops (no idle-clock toggling) but
+    // the PMD stays powered.  Cheap to enter/exit, so the break-even
+    // residency is short.
+    CStateSpec c1;
+    c1.name = "c1";
+    c1.perPmd = false;
+    c1.entryLatency = us(10);
+    c1.exitLatency = us(20);
+    c1.residency = us(200);
+    c1.idleClockScale = 0.0;
+    // c6 analog: the whole PMD power-gates, dropping its share of
+    // chip leakage (cores + L2 dominate the static power; the uncore
+    // keeps leaking).  Expensive transition, long break-even.
+    CStateSpec c6;
+    c6.name = "c6";
+    c6.perPmd = true;
+    c6.entryLatency = us(200);
+    c6.exitLatency = us(600);
+    c6.residency = ms(4);
+    c6.leakageShare =
+        0.75 / static_cast<double>(spec.numPmds());
+    spec.cstates = {c1, c6};
     spec.validate();
     return spec;
 }

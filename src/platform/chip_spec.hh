@@ -66,6 +66,36 @@ struct DroopClass
 };
 
 /**
+ * One hardware idle state (c-state analog).  Two scopes exist: a
+ * per-core state (c1 analog: the core clock stops but the PMD stays
+ * up) and a per-PMD state (c6 analog: the whole PMD power-gates,
+ * dropping its share of chip leakage).  A core/PMD is promoted into
+ * the state only after sitting idle for @c residency (the break-even
+ * time) plus @c entryLatency; waking out of it stalls the first
+ * slice of the waking thread by @c exitLatency.
+ */
+struct CStateSpec
+{
+    std::string name;     ///< e.g. "c1", "c6"
+    bool perPmd = false;  ///< false: per-core state; true: per-PMD
+    Seconds entryLatency = 0.0; ///< time the entry transition takes
+    Seconds exitLatency = 0.0;  ///< wake stall paid by the first run
+    Seconds residency = 0.0;    ///< break-even idle time before entry
+    /**
+     * Per-core states: multiplier on the power model's
+     * idleClockFactor while resident (0 = the idle clock fully
+     * stops).  Ignored for per-PMD states.
+     */
+    double idleClockScale = 0.0;
+    /**
+     * Per-PMD states: fraction of total chip leakage gated off while
+     * this PMD is resident (the PMD's leakage share).  Must satisfy
+     * leakageShare * numPmds <= 1.  Ignored for per-core states.
+     */
+    double leakageShare = 0.0;
+};
+
+/**
  * Immutable description of a chip model.  Use the xGene2() / xGene3()
  * presets for the paper's platforms or build a custom spec (validated
  * by validate()).
@@ -90,6 +120,24 @@ struct ChipSpec
 
     /// Droop-magnitude classes ordered by increasing PMD count.
     std::vector<DroopClass> droopClasses;
+
+    /**
+     * Idle-state table: at most one per-core entry (listed first)
+     * and one per-PMD entry.  Empty (the presets' default) means the
+     * platform has no c-states and the idle subsystem is inert —
+     * every pre-existing result stays byte-identical.  Use
+     * withCStates() for the calibrated tables.
+     */
+    std::vector<CStateSpec> cstates;
+
+    /// Whether the chip models hardware idle states at all.
+    bool hasCStates() const { return !cstates.empty(); }
+
+    /// Per-core idle state (c1 analog), or nullptr when absent.
+    const CStateSpec *coreCState() const;
+
+    /// Per-PMD idle state (c6 analog), or nullptr when absent.
+    const CStateSpec *pmdCState() const;
 
     /// Number of PMDs (numCores / 2).
     std::uint32_t numPmds() const { return numCores / coresPerPmd; }
@@ -137,6 +185,14 @@ ChipSpec xGene2();
 
 /// Preset for Applied Micro X-Gene 3 (Table I).
 ChipSpec xGene3();
+
+/**
+ * Copy of @p spec with a calibrated idle-state table attached (c1 +
+ * c6 analogs scaled to the chip's PMD count).  The chip name is kept
+ * unchanged — the calibrated power/memory models match on it — so
+ * only the cstates field differs from the input.
+ */
+ChipSpec withCStates(ChipSpec spec);
 
 } // namespace ecosched
 

@@ -79,7 +79,8 @@ PowerModel::PowerModel(ChipSpec spec, PowerParams params)
 
 Watt
 PowerModel::corePower(const Chip &chip, CoreId core,
-                      const CoreActivity &activity) const
+                      const CoreActivity &activity,
+                      const IdlePowerView *idle) const
 {
     ECOSCHED_ASSERT(activity.utilization >= 0.0 &&
                         activity.utilization <= 1.0 + 1e-9,
@@ -88,8 +89,14 @@ PowerModel::corePower(const Chip &chip, CoreId core,
     if (f <= 0.0)
         return 0.0; // PMD clock-gated
     const Volt v = chip.voltage();
+    // A core resident in the per-core c-state stops (or scales) its
+    // idle clock toggling; the branch keeps the no-c-state
+    // arithmetic bit-for-bit unchanged.
+    double idle_factor = modelParams.idleClockFactor;
+    if (idle != nullptr && idle->coreDeepIdle[core])
+        idle_factor *= idle->coreIdleClockScale;
     const double act = activity.utilization * activity.switchingFactor
-        + (1.0 - activity.utilization) * modelParams.idleClockFactor;
+        + (1.0 - activity.utilization) * idle_factor;
     return modelParams.cdynCore * v * v * f * act;
 }
 
@@ -119,29 +126,37 @@ PowerModel::uncorePower(const Chip &chip,
 }
 
 Watt
-PowerModel::leakagePower(const Chip &chip) const
+PowerModel::leakagePower(const Chip &chip,
+                         const IdlePowerView *idle) const
 {
     const Volt v = chip.voltage();
-    return modelParams.leakageAmps * v
+    const Watt leak = modelParams.leakageAmps * v
         * std::exp(modelParams.leakageExpPerVolt
                    * (v - chipSpec.vNominal));
+    // PMDs resident in the per-PMD c-state have power-gated their
+    // leakage share; the branch keeps the no-c-state value
+    // bit-identical.
+    if (idle != nullptr && idle->leakageScale != 1.0)
+        return leak * idle->leakageScale;
+    return leak;
 }
 
 PowerBreakdown
 PowerModel::totalPower(const Chip &chip,
                        const std::vector<CoreActivity> &core_activity,
-                       const UncoreActivity &uncore) const
+                       const UncoreActivity &uncore,
+                       const IdlePowerView *idle) const
 {
     fatalIf(core_activity.size() != chipSpec.numCores,
             "expected ", chipSpec.numCores, " core-activity entries, got ",
             core_activity.size());
     PowerBreakdown pb;
     for (CoreId c = 0; c < chipSpec.numCores; ++c)
-        pb.coreDynamic += corePower(chip, c, core_activity[c]);
+        pb.coreDynamic += corePower(chip, c, core_activity[c], idle);
     for (PmdId p = 0; p < chipSpec.numPmds(); ++p)
         pb.pmdOverhead += pmdOverheadPower(chip, p);
     pb.uncoreDynamic = uncorePower(chip, uncore);
-    pb.leakage = leakagePower(chip);
+    pb.leakage = leakagePower(chip, idle);
     return pb;
 }
 
@@ -151,23 +166,27 @@ PowerCache::evaluate(const PowerModel &model, const Chip &chip,
                      const UncoreActivity &uncore,
                      std::uint64_t version_pre,
                      std::uint64_t version_post,
-                     std::uint32_t stalled, Seconds dt)
+                     std::uint32_t stalled, Seconds dt,
+                     const IdlePowerView *idle,
+                     std::uint64_t idle_epoch)
 {
     if (valid && keyEpoch == chip.stateEpoch()
             && keyVersionPre == version_pre
             && keyVersionPost == version_post
-            && keyStalled == stalled && keyDt == dt) {
+            && keyStalled == stalled && keyDt == dt
+            && keyIdleEpoch == idle_epoch) {
         ECOSCHED_DEBUG_ASSERT(
             keyUncore == uncore && keyActivity == core_activity,
             "power step key matched a different activity set");
         return value;
     }
-    value = model.totalPower(chip, core_activity, uncore);
+    value = model.totalPower(chip, core_activity, uncore, idle);
     keyEpoch = chip.stateEpoch();
     keyVersionPre = version_pre;
     keyVersionPost = version_post;
     keyStalled = stalled;
     keyDt = dt;
+    keyIdleEpoch = idle_epoch;
     keyUncore = uncore;
     keyActivity = core_activity;
     valid = true;

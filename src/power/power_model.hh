@@ -56,6 +56,28 @@ struct UncoreActivity
                            const UncoreActivity &) = default;
 };
 
+/**
+ * Occupancy-derived idle-state residency inputs for one evaluation
+ * instant (filled by the sim layer's IdleStateTracker).  Replaces
+ * the flat idle floor: a core resident in the per-core c-state stops
+ * its idle clock (@c coreIdleClockScale on top of idleClockFactor),
+ * and every PMD resident in the per-PMD c-state gates its share of
+ * chip leakage (@c leakageScale < 1).  A null view means the
+ * platform has no c-states; the arithmetic then stays byte-for-byte
+ * the pre-idle-subsystem model.
+ */
+struct IdlePowerView
+{
+    /// Per-core flag (numCores entries): core is in the per-core
+    /// deep-idle state (its idle clock is stopped/scaled).
+    const std::uint8_t *coreDeepIdle = nullptr;
+    /// idleClockFactor multiplier for deep-idle cores.
+    double coreIdleClockScale = 0.0;
+    /// Chip-leakage multiplier from PMD-level power gating, in
+    /// (0, 1]; 1 when no PMD is gated down.
+    double leakageScale = 1.0;
+};
+
 /// Decomposed power result.
 struct PowerBreakdown
 {
@@ -108,9 +130,11 @@ class PowerModel
     /// Calibration constants in use.
     const PowerParams &params() const { return modelParams; }
 
-    /// Dynamic power of one core given its activity.
+    /// Dynamic power of one core given its activity.  @p idle (may
+    /// be null) scales the idle clock of deep-idle cores.
     Watt corePower(const Chip &chip, CoreId core,
-                   const CoreActivity &activity) const;
+                   const CoreActivity &activity,
+                   const IdlePowerView *idle = nullptr) const;
 
     /// Clock/L2 overhead power of one PMD (0 when gated).
     Watt pmdOverheadPower(const Chip &chip, PmdId pmd) const;
@@ -119,17 +143,22 @@ class PowerModel
     Watt uncorePower(const Chip &chip,
                      const UncoreActivity &activity) const;
 
-    /// Static leakage power at the chip's current voltage.
-    Watt leakagePower(const Chip &chip) const;
+    /// Static leakage power at the chip's current voltage.  @p idle
+    /// (may be null) applies PMD power-gating (c6 residency).
+    Watt leakagePower(const Chip &chip,
+                      const IdlePowerView *idle = nullptr) const;
 
     /**
      * Full decomposition.  @p core_activity must have one entry per
-     * core of the chip.
+     * core of the chip.  @p idle (may be null) carries the
+     * occupancy-derived idle-state residency.
      */
     PowerBreakdown totalPower(const Chip &chip,
                               const std::vector<CoreActivity>
                                   &core_activity,
-                              const UncoreActivity &uncore) const;
+                              const UncoreActivity &uncore,
+                              const IdlePowerView *idle
+                                  = nullptr) const;
 
   private:
     ChipSpec chipSpec;
@@ -168,14 +197,19 @@ class PowerCache
      * @p version_pre / @p version_post are the thread-set version
      * before and after the caller's execute phase; @p stalled is
      * sampled pre-execute; @p dt is the step length whose rates
-     * @p core_activity and @p uncore reflect.
+     * @p core_activity and @p uncore reflect.  @p idle is the
+     * idle-state residency view (null when the platform has no
+     * c-states) and @p idle_epoch its transition epoch — it pins the
+     * view's contents the same way the chip epoch pins V/F state.
      */
     const PowerBreakdown &evaluate(
         const PowerModel &model, const Chip &chip,
         const std::vector<CoreActivity> &core_activity,
         const UncoreActivity &uncore,
         std::uint64_t version_pre, std::uint64_t version_post,
-        std::uint32_t stalled, Seconds dt);
+        std::uint32_t stalled, Seconds dt,
+        const IdlePowerView *idle = nullptr,
+        std::uint64_t idle_epoch = 0);
 
     /// Drop the cached breakdown.
     void invalidate() { valid = false; }
@@ -188,6 +222,7 @@ class PowerCache
     std::uint64_t keyVersionPost = 0;
     std::uint32_t keyStalled = 0;
     Seconds keyDt = 0.0;
+    std::uint64_t keyIdleEpoch = 0;
     PowerBreakdown value;
     bool valid = false;
 };

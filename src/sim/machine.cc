@@ -34,6 +34,7 @@ Machine::Machine(const ChipSpec &spec, MachineConfig config)
       rng(config.seed * 0x2545f4914f6cdd1dull + 7),
       coreOwner(spec.numCores, invalidSimThread),
       pmdBusy(spec.numPmds(), 0),
+      idleState(spec),
       droopHist(makeDroopHistogram(spec))
 {
     fatalIf(cfg.faultReferenceRuntime <= 0.0,
@@ -56,6 +57,7 @@ Machine::Machine(const Machine &prototype,
       rng(config.seed * 0x2545f4914f6cdd1dull + 7),
       coreOwner(prototype.spec().numCores, invalidSimThread),
       pmdBusy(prototype.spec().numPmds(), 0),
+      idleState(prototype.spec()),
       droopHist(makeDroopHistogram(prototype.spec()))
 {
     // Only an unstepped, thread-free prototype is a valid stamp
@@ -87,12 +89,13 @@ Machine::findThread(SimThreadId tid) const
     return const_cast<Machine *>(this)->findThread(tid);
 }
 
-void
+Seconds
 Machine::occupyCore(CoreId core)
 {
     ++busyCoreCount;
     if (++pmdBusy[pmdOfCore(core)] == 1)
         ++busyPmdCount;
+    return idleState.occupy(core, simTime);
 }
 
 void
@@ -103,6 +106,7 @@ Machine::releaseCore(CoreId core)
     --busyCoreCount;
     if (--pmdBusy[pmdOfCore(core)] == 0)
         --busyPmdCount;
+    idleState.release(core, simTime);
 }
 
 void
@@ -163,7 +167,12 @@ Machine::startThreadPhased(const std::vector<WorkPhase> &phases,
 
     const SimThreadId tid = t.id;
     coreOwner[core] = tid;
-    occupyCore(core);
+    const Seconds wake = occupyCore(core);
+    if (wake > 0.0) {
+        // The core sat in a deep idle state: its first slice pays
+        // the exit latency.
+        t.stallUntil = std::max(t.stallUntil, simTime + wake);
+    }
     ++threadsVersion;
     ECOSCHED_ASSERT(slotOfId.size() == tid - 1,
                     "thread-id index out of sync");
@@ -202,11 +211,13 @@ Machine::migrateThread(SimThreadId tid, CoreId core)
     coreOwner[t.core] = invalidSimThread;
     releaseCore(t.core);
     coreOwner[core] = tid;
-    occupyCore(core);
+    const Seconds wake = occupyCore(core);
     ++threadsVersion;
     t.core = core;
     ++t.migrations;
-    t.stallUntil = std::max(t.stallUntil, simTime + cfg.migrationCost);
+    t.stallUntil = std::max(
+        t.stallUntil,
+        simTime + std::max(cfg.migrationCost, wake));
 }
 
 void
@@ -348,6 +359,11 @@ Machine::step(Seconds dt)
         return;
     }
 
+    // Fire idle-state promotions due on this step before the step
+    // key is sampled: the power evaluation below sees the updated
+    // residency view (macroAdvance() clamps its horizon to
+    // nextTransition(), so promotions only ever fire here).
+    idleState.poll(simTime, dt);
     applyAutoClockGating();
 
     // --- gather running threads and solve memory contention ---------
@@ -451,7 +467,9 @@ Machine::step(Seconds dt)
                                         activityScratch,
                                         {l3_rate, dram_rate},
                                         step_version, threadsVersion,
-                                        stalled, dt);
+                                        stalled, dt,
+                                        idleState.powerView(),
+                                        idleState.epoch());
     if (cfg.enableThermal) {
         // Leakage responds to the die temperature reached so far;
         // the thermal state then advances under this step's power.
@@ -496,6 +514,11 @@ Machine::macroAdvance(Seconds t, Seconds dt, MacroStepHooks *hooks)
     // fallback while one is due.
     if (faultHook != nullptr)
         t = std::min(t, faultHook->nextActivity(simTime));
+    // Pending c-state promotions are activity the same way pending
+    // faults are: clamping the horizon keeps every promotion inside
+    // a plain step (where poll() fires it), so a macro window never
+    // spans an idle-state transition.
+    t = std::min(t, idleState.nextTransition());
     if (!macroEligible() || !(simTime + dt * 0.5 < t))
         return 0;
     if (hooks != nullptr && !hooks->beforeStep())
@@ -599,7 +622,8 @@ Machine::macroAdvance(Seconds t, Seconds dt, MacroStepHooks *hooks)
     // coincide — matching the steady (V, V) steps of the plain loop.
     const PowerBreakdown &raw = powerCache.evaluate(
         power, chipState, activityScratch, {l3_rate, dram_rate},
-        step_version, step_version, stalled, dt);
+        step_version, step_version, stalled, dt,
+        idleState.powerView(), idleState.epoch());
     const double alpha =
         cfg.enableThermal ? thermal.stepAlpha(dt) : 0.0;
 
@@ -760,6 +784,7 @@ Machine::capture() const
     s.pmdBusy = pmdBusy;
     s.threadsVersion = threadsVersion;
     s.busyCoreSeconds = busyCoreSeconds;
+    s.idle = idleState.captureState();
     s.lastStepPower = lastStepPower;
     s.lastStepContention = lastStepContention;
     s.lastStepUtilization = lastStepUtilization;
@@ -810,6 +835,7 @@ Machine::restore(const MachineSnapshot &s)
     pmdBusy = s.pmdBusy;
     threadsVersion = s.threadsVersion;
     busyCoreSeconds = s.busyCoreSeconds;
+    idleState.restoreState(s.idle);
     lastStepPower = s.lastStepPower;
     lastStepContention = s.lastStepContention;
     lastStepUtilization = s.lastStepUtilization;

@@ -37,6 +37,7 @@
 #include "common/histogram.hh"
 #include "common/rng.hh"
 #include "common/units.hh"
+#include "idle/idle_tracker.hh"
 #include "platform/chip.hh"
 #include "platform/slimpro.hh"
 #include "power/energy_meter.hh"
@@ -158,6 +159,7 @@ struct MachineSnapshot
     std::vector<std::uint8_t> pmdBusy;
     std::uint64_t threadsVersion = 0;
     Seconds busyCoreSeconds = 0.0;
+    IdleStateTracker::State idle;
 
     PowerBreakdown lastStepPower;
     double lastStepContention = 1.0;
@@ -208,6 +210,9 @@ class Machine
     const ThermalModel &thermalModel() const { return thermal; }
     EnergyMeter &energyMeter() { return meter; }
     const EnergyMeter &energyMeter() const { return meter; }
+    /// Hardware idle-state tracker (inert when the chip spec carries
+    /// no c-state table).
+    const IdleStateTracker &idleTracker() const { return idleState; }
 
     // --- thread management -------------------------------------------------
     /**
@@ -444,7 +449,9 @@ class Machine
     SimThread *findThread(SimThreadId tid);
     const SimThread *findThread(SimThreadId tid) const;
     SimThread &threadRef(SimThreadId tid);
-    void occupyCore(CoreId core);
+    /// Mark a core busy; returns the c-state wake stall its new
+    /// thread must pay (0 without c-states).
+    Seconds occupyCore(CoreId core);
     void releaseCore(CoreId core);
     /// Mark an unfinished thread finished and free its core.
     void retireThread(SimThread &t);
@@ -492,6 +499,7 @@ class Machine
     /// and true-Vmin caches together with the chip state epoch.
     std::uint64_t threadsVersion = 0;
     Seconds busyCoreSeconds = 0.0;
+    IdleStateTracker idleState;
 
     /// coreFrequencies() snapshot (sentinel epoch: first use fills).
     std::vector<Hertz> coreFreqCache;

@@ -3,7 +3,12 @@
 #
 # Usage:
 #   cmake -DBIN=<executable> -DARGS="<space-separated args>"
-#         -DGOLDEN=<file> -DOUT=<scratch file> -P run_and_diff.cmake
+#         -DGOLDEN=<file> -DOUT=<scratch file>
+#         [-DENV="VAR=value;VAR2=value2"] -P run_and_diff.cmake
+#
+# ENV (optional) sets environment variables for the run — used by the
+# shadow-mode goldens, which re-run a bench with an env knob flipped
+# and diff against the *same* golden to prove the knob is inert.
 #
 # The comparison is exact (cmake -E compare_files): any drift in the
 # simulation's arithmetic, iteration order, or formatting fails the
@@ -16,8 +21,12 @@ if(NOT BIN OR NOT GOLDEN OR NOT OUT)
 endif()
 
 separate_arguments(arg_list UNIX_COMMAND "${ARGS}")
+set(launcher "")
+if(ENV)
+    set(launcher ${CMAKE_COMMAND} -E env ${ENV})
+endif()
 execute_process(
-    COMMAND ${BIN} ${arg_list}
+    COMMAND ${launcher} ${BIN} ${arg_list}
     OUTPUT_FILE ${OUT}
     ERROR_VARIABLE run_stderr
     RESULT_VARIABLE run_rc)

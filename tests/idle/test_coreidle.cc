@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Tests for the COREIDLE policy/mechanism split: the mask-aware
+ * spread placer (empty-mask equivalence with LinuxSpreadPlacer,
+ * mask honouring, soft-mask fallback), the hysteresis consolidation
+ * governor (shrink on sustained idle, unmask on queue pressure,
+ * race-to-idle frequency pinning, state snapshot), and the
+ * PolicyKind wiring including the ECOSCHED_COREIDLE_SHADOW knob.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/units.hh"
+#include "core/policy.hh"
+#include "idle/coreidle.hh"
+#include "os/governor.hh"
+#include "os/system.hh"
+#include "platform/topology.hh"
+#include "workloads/catalog.hh"
+
+namespace ecosched {
+namespace {
+
+using namespace units;
+
+const BenchmarkProfile &
+someBenchmark()
+{
+    // A parallel NPB program: multi-thread submits are allowed.
+    return Catalog::instance().byName("EP");
+}
+
+/// System with a CoreIdle governor whose internals stay observable.
+struct CoreIdleRig
+{
+    Machine machine;
+    System system;
+    CoreIdleMaskPlacer *placer = nullptr;
+    CoreIdleGovernor *governor = nullptr;
+
+    explicit CoreIdleRig(CoreIdleGovernor::Config cfg = {},
+                         ChipSpec spec = xGene2())
+        : machine(spec), system(machine)
+    {
+        auto p = std::make_unique<CoreIdleMaskPlacer>();
+        placer = p.get();
+        auto g = std::make_unique<CoreIdleGovernor>(cfg, placer);
+        governor = g.get();
+        system.setPlacementPolicy(std::move(p));
+        system.setGovernor(std::move(g));
+    }
+
+    void stepFor(Seconds span)
+    {
+        const Seconds until = system.now() + span;
+        while (system.now() < until - 0.005)
+            system.step();
+    }
+};
+
+TEST(CoreIdlePlacer, EmptyMaskMatchesLinuxSpreadExactly)
+{
+    Machine machine(xGene2());
+    System system(machine);
+    // Occupy a few cores so the greedy has real choices to make.
+    system.submit(someBenchmark(), 3);
+    system.step();
+
+    CoreIdleMaskPlacer masked;
+    LinuxSpreadPlacer stock;
+    const Process dummy;
+    for (std::uint32_t threads = 1; threads <= 5; ++threads) {
+        EXPECT_EQ(masked.place(system, dummy, threads),
+                  stock.place(system, dummy, threads))
+            << threads << " threads";
+    }
+}
+
+TEST(CoreIdlePlacer, MaskedPmdsAreAvoided)
+{
+    Machine machine(xGene2());
+    System system(machine);
+    CoreIdleMaskPlacer placer;
+    placer.setMaskedPmds(2); // PMDs 2 and 3 parked
+    const Process dummy;
+    const auto cores = placer.place(system, dummy, 4);
+    ASSERT_EQ(cores.size(), 4u);
+    for (CoreId c : cores)
+        EXPECT_LT(pmdOfCore(c), 2u);
+}
+
+TEST(CoreIdlePlacer, MaskIsAdvisoryNeverWholeChipAndSoft)
+{
+    Machine machine(xGene2());
+    System system(machine);
+    CoreIdleMaskPlacer placer;
+    const Process dummy;
+
+    // Masking every PMD still leaves one module usable.
+    placer.setMaskedPmds(4);
+    const auto min_set = placer.place(system, dummy, 2);
+    ASSERT_EQ(min_set.size(), 2u);
+    for (CoreId c : min_set)
+        EXPECT_EQ(pmdOfCore(c), 0u);
+
+    // Soft mask: a process too wide for the unmasked cores gets the
+    // whole chip rather than queueing behind parked hardware.
+    placer.setMaskedPmds(3);
+    const auto wide = placer.place(system, dummy, 6);
+    EXPECT_EQ(wide.size(), 6u);
+    bool used_masked = false;
+    for (CoreId c : wide)
+        used_masked = used_masked || pmdOfCore(c) >= 1;
+    EXPECT_TRUE(used_masked);
+}
+
+TEST(CoreIdleGovernor, RejectsBadConfig)
+{
+    CoreIdleMaskPlacer placer;
+    EXPECT_THROW(CoreIdleGovernor(CoreIdleGovernor::Config{}, nullptr),
+                 FatalError);
+
+    CoreIdleGovernor::Config bad;
+    bad.samplingPeriod = 0.0;
+    EXPECT_THROW(CoreIdleGovernor(bad, &placer), FatalError);
+
+    bad = {};
+    bad.shrinkThreshold = bad.growThreshold;
+    EXPECT_THROW(CoreIdleGovernor(bad, &placer), FatalError);
+
+    bad = {};
+    bad.minActivePmds = 0;
+    EXPECT_THROW(CoreIdleGovernor(bad, &placer), FatalError);
+}
+
+TEST(CoreIdleGovernor, ShrinksToTheFloorOnSustainedIdle)
+{
+    CoreIdleGovernor::Config cfg;
+    cfg.shrinkHold = 0.5;
+    CoreIdleRig rig(cfg);
+    rig.stepFor(10.0);
+    EXPECT_EQ(rig.governor->activePmdCount(), cfg.minActivePmds);
+    EXPECT_EQ(rig.placer->maskedPmds(),
+              rig.system.spec().numPmds() - cfg.minActivePmds);
+}
+
+TEST(CoreIdleGovernor, QueuePressureUnmasksEverything)
+{
+    CoreIdleGovernor::Config cfg;
+    cfg.shrinkHold = 0.5;
+    CoreIdleRig rig(cfg);
+    rig.stepFor(10.0); // shrink to the floor first
+    ASSERT_GT(rig.placer->maskedPmds(), 0u);
+
+    // More threads than cores: at least one process must queue, and
+    // the next tick unmasks the whole chip.
+    for (int i = 0; i < 5; ++i)
+        rig.system.submit(someBenchmark(), 2);
+    rig.stepFor(0.3);
+    EXPECT_EQ(rig.governor->activePmdCount(),
+              rig.system.spec().numPmds());
+    EXPECT_EQ(rig.placer->maskedPmds(), 0u);
+}
+
+TEST(CoreIdleGovernor, RaceToIdlePinsActivePmdsAtFmax)
+{
+    CoreIdleGovernor::Config cfg;
+    cfg.raceToIdle = true;
+    CoreIdleRig rig(cfg);
+    rig.system.submit(someBenchmark(), 1);
+    rig.stepFor(0.3);
+    // The busy module runs at fmax even at low utilization.
+    EXPECT_DOUBLE_EQ(rig.machine.chip().pmdFrequency(0),
+                     rig.system.spec().fMax);
+    EXPECT_STREQ(rig.governor->name(), "race-to-idle");
+}
+
+TEST(CoreIdleGovernor, StateSnapshotRoundTripsThroughTheSystem)
+{
+    CoreIdleGovernor::Config cfg;
+    cfg.shrinkHold = 0.5;
+    CoreIdleRig rig(cfg);
+    rig.stepFor(0.7); // mid-shrink: between the floor and the chip
+
+    const MachineSnapshot msnap = rig.machine.capture();
+    const SystemSnapshot ssnap = rig.system.capture();
+    const std::uint32_t active = rig.governor->activePmdCount();
+    const std::uint32_t mask = rig.placer->maskedPmds();
+
+    // Diverge, then rewind.
+    rig.stepFor(5.0);
+    EXPECT_NE(rig.governor->activePmdCount(), active);
+    rig.machine.restore(msnap);
+    rig.system.restore(ssnap);
+    EXPECT_EQ(rig.governor->activePmdCount(), active);
+    EXPECT_EQ(rig.placer->maskedPmds(), mask);
+
+    // The restored run reaches the same floor state the original
+    // trajectory would.
+    rig.stepFor(10.0);
+    EXPECT_EQ(rig.governor->activePmdCount(), cfg.minActivePmds);
+}
+
+TEST(CoreIdlePolicy, KindsInstallTheConsolidationStack)
+{
+    EXPECT_STREQ(policyKindName(PolicyKind::CoreIdle), "CoreIdle");
+    EXPECT_STREQ(policyKindName(PolicyKind::RaceToIdle),
+                 "RaceToIdle");
+
+    Machine machine(xGene2());
+    System system(machine);
+    const PolicySetup setup =
+        configurePolicy(system, PolicyKind::CoreIdle);
+    EXPECT_EQ(setup.daemon, nullptr);
+    EXPECT_STREQ(system.governor().name(), "coreidle");
+    EXPECT_STREQ(system.placementPolicy().name(), "coreidle-mask");
+
+    System race(machine);
+    configurePolicy(race, PolicyKind::RaceToIdle);
+    EXPECT_STREQ(race.governor().name(), "race-to-idle");
+}
+
+TEST(CoreIdlePolicy, ShadowKnobSwapsTheBaselinePlacer)
+{
+    Machine machine(xGene2());
+    {
+        ::setenv("ECOSCHED_COREIDLE_SHADOW", "1", 1);
+        System system(machine);
+        configurePolicy(system, PolicyKind::Baseline);
+        EXPECT_STREQ(system.placementPolicy().name(),
+                     "coreidle-mask");
+        EXPECT_STREQ(system.governor().name(), "ondemand");
+        ::unsetenv("ECOSCHED_COREIDLE_SHADOW");
+    }
+    {
+        System system(machine);
+        configurePolicy(system, PolicyKind::Baseline);
+        EXPECT_STREQ(system.placementPolicy().name(),
+                     "linux-spread");
+    }
+}
+
+} // namespace
+} // namespace ecosched

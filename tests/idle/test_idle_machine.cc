@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Machine-level integration of the idle-state subsystem: wake stalls
+ * on occupancy, power-model coupling, fixed-vs-macro bit-identity
+ * with c-state transitions inside the window, and snapshot round-
+ * trips captured mid-wake-transition.
+ *
+ * Suite names contain "Determinism" / "Snapshot" so the TSan and
+ * debug-asserts CI filters pick them up.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.hh"
+#include "platform/chip_spec.hh"
+#include "platform/topology.hh"
+#include "sim/machine.hh"
+
+namespace ecosched {
+namespace {
+
+using namespace units;
+
+WorkProfile
+cpuProfile()
+{
+    WorkProfile p;
+    p.cpiBase = 1.0;
+    p.l3Apki = 0.5;
+    p.dramApki = 0.05;
+    p.mlp = 2.0;
+    return p;
+}
+
+/// Idle the machine long enough for every PMD to power-gate (c6).
+void
+sleepWholeChip(Machine &m, Seconds dt = ms(1))
+{
+    const CStateSpec &c6 = *m.spec().pmdCState();
+    const Seconds due = c6.residency + c6.entryLatency;
+    while (m.now() + dt * 0.5 < due + dt)
+        m.step(dt);
+}
+
+/// Bit-exact comparison of the observables the step loop commits.
+void
+expectIdentical(const Machine &a, const Machine &b)
+{
+    EXPECT_EQ(a.now(), b.now());
+    EXPECT_EQ(a.temperature(), b.temperature());
+    EXPECT_EQ(a.busyCoreTime(), b.busyCoreTime());
+    EXPECT_EQ(a.energyMeter().energy(), b.energyMeter().energy());
+    EXPECT_EQ(a.energyMeter().leakageEnergy(),
+              b.energyMeter().leakageEnergy());
+    EXPECT_EQ(a.lastPower().coreDynamic, b.lastPower().coreDynamic);
+    EXPECT_EQ(a.lastPower().leakage, b.lastPower().leakage);
+    EXPECT_EQ(a.idleTracker().epoch(), b.idleTracker().epoch());
+    for (CoreId c = 0; c < a.spec().numCores; ++c) {
+        EXPECT_EQ(a.idleTracker().coreInC1(c),
+                  b.idleTracker().coreInC1(c));
+        EXPECT_EQ(a.idleTracker().coreC1Seconds(c, a.now()),
+                  b.idleTracker().coreC1Seconds(c, b.now()));
+    }
+    for (PmdId p = 0; p < a.spec().numPmds(); ++p) {
+        EXPECT_EQ(a.idleTracker().pmdInC6(p),
+                  b.idleTracker().pmdInC6(p));
+        EXPECT_EQ(a.idleTracker().pmdC6Seconds(p, a.now()),
+                  b.idleTracker().pmdC6Seconds(p, b.now()));
+    }
+}
+
+TEST(IdleMachine, WakeFromC6StallsTheFirstSlice)
+{
+    Machine m(withCStates(xGene2()));
+    sleepWholeChip(m);
+    ASSERT_TRUE(m.idleTracker().pmdInC6(0));
+
+    const Seconds woke = m.now();
+    const SimThreadId tid =
+        m.startThread(cpuProfile(), 10'000'000, 0);
+    // The wake stall covers the c6 exit latency: no instructions
+    // retire until it expires.
+    const Seconds exit = m.spec().pmdCState()->exitLatency;
+    m.step(us(100));
+    EXPECT_EQ(m.thread(tid).counters.instructions, 0u);
+    while (m.now() + us(50) < woke + exit)
+        m.step(us(100));
+    m.step(us(100));
+    m.step(us(100));
+    EXPECT_GT(m.thread(tid).counters.instructions, 0u);
+}
+
+TEST(IdleMachine, GatedChipDrawsLessThanAwakeIdle)
+{
+    // Same chip with and without the c-state table, both fully idle
+    // past the c6 horizon: the gated chip's leakage must be lower.
+    Machine gated(withCStates(xGene2()));
+    Machine awake(xGene2());
+    sleepWholeChip(gated);
+    while (awake.now() < gated.now() - us(1))
+        awake.step(ms(1));
+    EXPECT_LT(gated.lastPower().leakage, awake.lastPower().leakage);
+    EXPECT_LT(gated.energyMeter().energy(),
+              awake.energyMeter().energy());
+}
+
+TEST(IdleMachineDeterminism, FixedVsMacroWithIdleTransitions)
+{
+    // A short thread finishes mid-run, its core idles, promotes to
+    // c1 and then the whole PMD gates — all inside the horizon a
+    // macro window could span.  The macro path must clamp to every
+    // promotion and stay bit-identical.
+    const ChipSpec spec = withCStates(xGene3());
+    Machine fixed(spec);
+    Machine macro(spec);
+    for (Machine *m : {&fixed, &macro}) {
+        m->startThread(cpuProfile(), 30'000'000, 0);
+        m->startThread(cpuProfile(), 900'000'000, 4);
+    }
+
+    const Seconds dt = ms(1);
+    for (int i = 0; i < 300; ++i)
+        fixed.step(dt);
+    macro.runUntil(fixed.now(), dt);
+    expectIdentical(fixed, macro);
+    // The short thread's PMD must actually have gated, or this test
+    // exercises nothing.
+    EXPECT_TRUE(fixed.idleTracker().pmdInC6(0));
+}
+
+TEST(IdleMachineDeterminism, IdleChipFastForwardHitsPromotions)
+{
+    const ChipSpec spec = withCStates(xGene2());
+    Machine fixed(spec);
+    Machine macro(spec);
+    const Seconds dt = ms(2);
+    for (int i = 0; i < 100; ++i)
+        fixed.step(dt);
+    macro.runUntil(fixed.now(), dt);
+    expectIdentical(fixed, macro);
+    EXPECT_TRUE(fixed.idleTracker().pmdInC6(spec.numPmds() - 1));
+}
+
+TEST(IdleMachineSnapshot, MidWakeCaptureReplaysBitIdentically)
+{
+    const ChipSpec spec = withCStates(xGene2());
+    Machine a(spec);
+    sleepWholeChip(a);
+    // Wake a gated core and capture while the wake stall is still
+    // pending (before the first slice retires).
+    a.startThread(cpuProfile(), 50'000'000, 2);
+    const MachineSnapshot snap = a.capture();
+
+    Machine b(spec);
+    b.restore(snap);
+    for (int i = 0; i < 200; ++i) {
+        a.step(us(100));
+        b.step(us(100));
+    }
+    expectIdentical(a, b);
+    const SimThreadId tid = 1;
+    EXPECT_EQ(a.thread(tid).counters.instructions,
+              b.thread(tid).counters.instructions);
+    EXPECT_GT(a.thread(tid).counters.instructions, 0u);
+}
+
+TEST(IdleMachineSnapshot, RestoreRewindsCStateResidency)
+{
+    const ChipSpec spec = withCStates(xGene2());
+    Machine a(spec);
+    sleepWholeChip(a);
+    const MachineSnapshot snap = a.capture();
+    const std::uint64_t epoch = a.idleTracker().epoch();
+
+    // Diverge: wake two PMDs and run.
+    a.startThread(cpuProfile(), 100'000'000, 0);
+    a.startThread(cpuProfile(), 100'000'000, 5);
+    for (int i = 0; i < 50; ++i)
+        a.step(us(100));
+    EXPECT_NE(a.idleTracker().epoch(), epoch);
+
+    // Rewind: gated state and leakage scale come back exactly.
+    a.restore(snap);
+    EXPECT_EQ(a.idleTracker().epoch(), epoch);
+    for (PmdId p = 0; p < spec.numPmds(); ++p)
+        EXPECT_TRUE(a.idleTracker().pmdInC6(p));
+    ASSERT_NE(a.idleTracker().powerView(), nullptr);
+    EXPECT_DOUBLE_EQ(
+        a.idleTracker().powerView()->leakageScale,
+        1.0 - spec.pmdCState()->leakageShare
+                  * static_cast<double>(spec.numPmds()));
+}
+
+} // namespace
+} // namespace ecosched

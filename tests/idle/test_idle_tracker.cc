@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the c-state table (ChipSpec extension) and the
+ * IdleStateTracker: spec validation, inertness without a table,
+ * promotion timing under the half-step convention, wake stalls,
+ * leakage-scale arithmetic, residency telemetry, and the state
+ * round-trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hh"
+#include "common/units.hh"
+#include "idle/idle_tracker.hh"
+#include "platform/chip_spec.hh"
+#include "platform/topology.hh"
+
+namespace ecosched {
+namespace {
+
+using namespace units;
+
+TEST(CStateSpec, WithCStatesValidatesAndExposesBothStates)
+{
+    const ChipSpec spec = withCStates(xGene2());
+    EXPECT_TRUE(spec.hasCStates());
+    ASSERT_NE(spec.coreCState(), nullptr);
+    ASSERT_NE(spec.pmdCState(), nullptr);
+    EXPECT_EQ(spec.coreCState()->name, "c1");
+    EXPECT_EQ(spec.pmdCState()->name, "c6");
+    EXPECT_FALSE(spec.coreCState()->perPmd);
+    EXPECT_TRUE(spec.pmdCState()->perPmd);
+    // The chip keeps its literal name: the calibrated power/memory
+    // parameter lookups match on it.
+    EXPECT_EQ(spec.name, "X-Gene 2");
+    // Whole-chip leakage share must stay gateable: share * numPmds
+    // must not exceed 1.
+    EXPECT_LE(spec.pmdCState()->leakageShare
+                  * static_cast<double>(spec.numPmds()),
+              1.0 + 1e-9);
+}
+
+TEST(CStateSpec, PlainPresetsHaveNoCStates)
+{
+    EXPECT_FALSE(xGene2().hasCStates());
+    EXPECT_FALSE(xGene3().hasCStates());
+    EXPECT_EQ(xGene3().coreCState(), nullptr);
+    EXPECT_EQ(xGene3().pmdCState(), nullptr);
+}
+
+TEST(CStateSpec, ValidationRejectsMalformedTables)
+{
+    ChipSpec spec = withCStates(xGene2());
+
+    ChipSpec bad = spec;
+    bad.cstates[0].name.clear();
+    EXPECT_THROW(bad.validate(), FatalError);
+
+    bad = spec;
+    bad.cstates[0].exitLatency = -1.0;
+    EXPECT_THROW(bad.validate(), FatalError);
+
+    bad = spec;
+    bad.cstates[0].idleClockScale = 1.5;
+    EXPECT_THROW(bad.validate(), FatalError);
+
+    // Per-PMD state listed before the per-core state.
+    bad = spec;
+    std::swap(bad.cstates[0], bad.cstates[1]);
+    EXPECT_THROW(bad.validate(), FatalError);
+
+    // Two states of the same granularity.
+    bad = spec;
+    bad.cstates.push_back(bad.cstates[1]);
+    EXPECT_THROW(bad.validate(), FatalError);
+
+    // Gating more than the whole chip's leakage.
+    bad = spec;
+    bad.cstates[1].leakageShare = 0.5; // 4 PMDs * 0.5 = 2.0
+    EXPECT_THROW(bad.validate(), FatalError);
+}
+
+TEST(IdleTracker, InertWithoutCStateTable)
+{
+    IdleStateTracker tracker(xGene2());
+    EXPECT_FALSE(tracker.enabled());
+    EXPECT_EQ(tracker.powerView(), nullptr);
+    EXPECT_EQ(tracker.epoch(), 0u);
+    EXPECT_EQ(tracker.occupy(0, 1.0), 0.0);
+    tracker.release(0, 2.0);
+    tracker.poll(3.0, 0.01);
+    EXPECT_EQ(tracker.epoch(), 0u);
+    EXPECT_TRUE(std::isinf(tracker.nextTransition()));
+    EXPECT_FALSE(tracker.coreInC1(0));
+    EXPECT_FALSE(tracker.pmdInC6(0));
+    EXPECT_EQ(tracker.coreC1Seconds(0, 10.0), 0.0);
+    EXPECT_EQ(tracker.pmdC6Seconds(0, 10.0), 0.0);
+}
+
+TEST(IdleTracker, PromotionsFollowTheHalfStepConvention)
+{
+    const ChipSpec spec = withCStates(xGene2());
+    const CStateSpec &c1 = *spec.coreCState();
+    const CStateSpec &c6 = *spec.pmdCState();
+    IdleStateTracker tracker(spec);
+    ASSERT_TRUE(tracker.enabled());
+
+    // Every core idles from t = 0, so the first pending transition
+    // is the c1 promotion at residency + entry latency.
+    const Seconds c1_due = c1.residency + c1.entryLatency;
+    EXPECT_DOUBLE_EQ(tracker.nextTransition(), c1_due);
+
+    // A poll whose half-step window stops short must not fire.
+    const Seconds dt = us(100);
+    tracker.poll(c1_due - dt, dt); // due > now + dt/2
+    EXPECT_FALSE(tracker.coreInC1(0));
+    // The step covering the due point fires it for every idle core.
+    tracker.poll(c1_due, dt);
+    for (CoreId c = 0; c < spec.numCores; ++c)
+        EXPECT_TRUE(tracker.coreInC1(c));
+
+    // Next pending: the c6 promotion.
+    const Seconds c6_due = c6.residency + c6.entryLatency;
+    EXPECT_DOUBLE_EQ(tracker.nextTransition(), c6_due);
+    tracker.poll(c6_due, dt);
+    for (PmdId p = 0; p < spec.numPmds(); ++p)
+        EXPECT_TRUE(tracker.pmdInC6(p));
+    EXPECT_TRUE(std::isinf(tracker.nextTransition()));
+}
+
+TEST(IdleTracker, OccupyChargesTheDeepestExitLatency)
+{
+    const ChipSpec spec = withCStates(xGene2());
+    IdleStateTracker tracker(spec);
+    const Seconds dt = us(100);
+
+    // Only c1 reached: wake pays the c1 exit latency.
+    const Seconds c1_due =
+        spec.coreCState()->residency + spec.coreCState()->entryLatency;
+    tracker.poll(c1_due, dt);
+    EXPECT_DOUBLE_EQ(tracker.occupy(0, c1_due),
+                     spec.coreCState()->exitLatency);
+
+    // Deep sleep on another PMD: wake pays the c6 exit latency.
+    const Seconds c6_due =
+        spec.pmdCState()->residency + spec.pmdCState()->entryLatency;
+    tracker.poll(c6_due, dt);
+    ASSERT_TRUE(tracker.pmdInC6(1));
+    EXPECT_DOUBLE_EQ(tracker.occupy(firstCoreOfPmd(1), c6_due),
+                     spec.pmdCState()->exitLatency);
+    EXPECT_FALSE(tracker.pmdInC6(1));
+
+    // An active core re-occupied is free.
+    tracker.release(0, c6_due + ms(1));
+    EXPECT_DOUBLE_EQ(tracker.occupy(0, c6_due + ms(2)), 0.0);
+}
+
+TEST(IdleTracker, LeakageScaleIsAFunctionOfTheGatedCount)
+{
+    const ChipSpec spec = withCStates(xGene2());
+    const double share = spec.pmdCState()->leakageShare;
+    IdleStateTracker tracker(spec);
+    const IdlePowerView *view = tracker.powerView();
+    ASSERT_NE(view, nullptr);
+    EXPECT_DOUBLE_EQ(view->leakageScale, 1.0);
+
+    // Gate the whole chip.
+    const Seconds due =
+        spec.pmdCState()->residency + spec.pmdCState()->entryLatency;
+    tracker.poll(due, us(100));
+    EXPECT_DOUBLE_EQ(
+        view->leakageScale,
+        1.0 - share * static_cast<double>(spec.numPmds()));
+
+    // Wake one PMD: the scale steps back deterministically.
+    tracker.occupy(0, due);
+    EXPECT_DOUBLE_EQ(
+        view->leakageScale,
+        1.0 - share * static_cast<double>(spec.numPmds() - 1));
+}
+
+TEST(IdleTracker, ResidencyTelemetryClosesOpenSpans)
+{
+    const ChipSpec spec = withCStates(xGene2());
+    IdleStateTracker tracker(spec);
+    const Seconds c1_due =
+        spec.coreCState()->residency + spec.coreCState()->entryLatency;
+    tracker.poll(c1_due, us(100));
+
+    // Open span: telemetry reads up to "now".
+    EXPECT_DOUBLE_EQ(tracker.coreC1Seconds(0, c1_due + ms(3)), ms(3));
+    EXPECT_EQ(tracker.coreC1Entries(0), 1u);
+
+    // Closing the span (occupy) freezes the accumulated residency.
+    tracker.occupy(0, c1_due + ms(5));
+    EXPECT_DOUBLE_EQ(tracker.coreC1Seconds(0, c1_due + ms(9)), ms(5));
+}
+
+TEST(IdleTracker, StateRoundTripsExactly)
+{
+    const ChipSpec spec = withCStates(xGene2());
+    IdleStateTracker a(spec);
+    const Seconds due =
+        spec.pmdCState()->residency + spec.pmdCState()->entryLatency;
+    a.poll(due, us(100));
+    a.occupy(2, due + ms(1));
+    a.release(2, due + ms(2));
+
+    IdleStateTracker b(spec);
+    b.restoreState(a.captureState());
+    EXPECT_EQ(b.epoch(), a.epoch());
+    ASSERT_NE(b.powerView(), nullptr);
+    EXPECT_DOUBLE_EQ(b.powerView()->leakageScale,
+                     a.powerView()->leakageScale);
+    const Seconds later = due + ms(10);
+    for (CoreId c = 0; c < spec.numCores; ++c) {
+        EXPECT_EQ(b.coreInC1(c), a.coreInC1(c));
+        EXPECT_EQ(b.coreC1Seconds(c, later), a.coreC1Seconds(c, later));
+        EXPECT_EQ(b.coreC1Entries(c), a.coreC1Entries(c));
+    }
+    for (PmdId p = 0; p < spec.numPmds(); ++p) {
+        EXPECT_EQ(b.pmdInC6(p), a.pmdInC6(p));
+        EXPECT_EQ(b.pmdC6Seconds(p, later), a.pmdC6Seconds(p, later));
+        EXPECT_EQ(b.pmdC6Entries(p), a.pmdC6Entries(p));
+    }
+
+    // Both continue identically: the next promotion fires at the
+    // same instant.
+    EXPECT_EQ(b.nextTransition(), a.nextTransition());
+}
+
+} // namespace
+} // namespace ecosched

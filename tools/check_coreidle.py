@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Compare an ext_coreidle run against the committed baseline.
+
+Usage: check_coreidle.py BASELINE.json CURRENT.json [MAX_DRIFT]
+
+Two checks:
+
+1. Drift — every (chip, scenario, config) row present in *both*
+   files must stay within MAX_DRIFT (a ratio, default 3.0) of the
+   baseline's energy.  The simulation is deterministic, so in a
+   same-duration run any drift at all means the model changed; the
+   wide default only exists because CI runs --quick (900 s vs the
+   committed 3600 s), where absolute energies scale with duration.
+
+2. Headline — the COREIDLE acceptance criterion, evaluated on the
+   *current* run alone: on at least one chip's light-diurnal rows,
+   coreidle-pack must beat linux-spread on energy while holding p95
+   latency within 10%.  This is the paper-facing claim (consolidate
+   and power-gate at light load without hurting the tail), so it
+   gates even in --quick runs.
+
+The CI job wiring is non-gating, as for the other perf smokes.
+"""
+
+import json
+import sys
+
+LIGHT = "light-diurnal"
+PACK = "coreidle-pack"
+SPREAD = "linux-spread"
+P95_SLACK = 1.10
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "ecosched.coreidle/1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {
+        (r["chip"], r["scenario"], r["config"]): r
+        for r in doc["results"]
+    }
+
+
+def check_drift(baseline, current, max_drift):
+    failed = False
+    compared = 0
+    for key, cur in sorted(current.items()):
+        base = baseline.get(key)
+        if base is None:
+            print(f"NEW {key} (not in baseline, skipped)")
+            continue
+        compared += 1
+        ratio = (cur["energy_j"] / base["energy_j"]
+                 if base["energy_j"] > 0 else float("inf"))
+        status = "ok"
+        if not 1.0 / max_drift <= ratio <= max_drift:
+            status = f"DRIFT (> {max_drift:.1f}x off baseline)"
+            failed = True
+        print(f"{key[0]:>8} {key[1]:>13} {key[2]:>13}: "
+              f"{cur['energy_j']:12.1f} J "
+              f"({ratio:5.2f}x baseline) {status}")
+    if compared == 0:
+        print("no overlapping rows between baseline and current")
+        failed = True
+    return failed
+
+
+def check_headline(current):
+    chips = sorted({chip for chip, _, _ in current})
+    passing = []
+    for chip in chips:
+        pack = current.get((chip, LIGHT, PACK))
+        spread = current.get((chip, LIGHT, SPREAD))
+        if pack is None or spread is None:
+            continue
+        saves = pack["energy_j"] < spread["energy_j"]
+        p95_ok = (spread["latency_p95_s"] > 0
+                  and pack["latency_p95_s"]
+                      <= P95_SLACK * spread["latency_p95_s"])
+        verdict = "PASS" if saves and p95_ok else "fail"
+        print(f"headline {chip}: pack {pack['energy_j']:.1f} J vs "
+              f"spread {spread['energy_j']:.1f} J, "
+              f"p95 {pack['latency_p95_s']:.2f} vs "
+              f"{spread['latency_p95_s']:.2f} s -> {verdict}")
+        if saves and p95_ok:
+            passing.append(chip)
+    if not passing:
+        print("headline: no chip meets energy-save + p95<=10% gate")
+        return True
+    print(f"headline met on: {', '.join(passing)}")
+    return False
+
+
+def main(argv):
+    if len(argv) not in (3, 4):
+        sys.exit(__doc__)
+    baseline = load(argv[1])
+    current = load(argv[2])
+    max_drift = float(argv[3]) if len(argv) == 4 else 3.0
+
+    failed = check_drift(baseline, current, max_drift)
+    failed = check_headline(current) or failed
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

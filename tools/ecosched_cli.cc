@@ -16,6 +16,11 @@
  *   cluster <nodes> <policy> <duration_s> <seed>
  *                                       simulate a heterogeneous
  *                                       fleet under open arrivals
+ *   coreidle <chip> <duration_s> <seed> [--race]
+ *                                       consolidation governor vs
+ *                                       linux-spread on the c-state
+ *                                       variant of the chip, with
+ *                                       idle-residency telemetry
  *   campaign <chip> <duration_s> <seed> [faults_per_hour]
  *                                       sweep fault-injection rates
  *                                       against the fail-safe
@@ -23,12 +28,13 @@
  *                                       dump or replay a trace
  *
  * Chips: xgene2 | xgene3.  Policies: baseline | safevmin |
- * placement | optimal.  Dispatch policies (cluster): round_robin |
+ * placement | optimal | coreidle | racetoidle.  Dispatch policies (cluster): round_robin |
  * least_loaded | energy_aware.  The global option `--jobs N` (or the
  * ECOSCHED_JOBS environment variable) sets the experiment engine's
  * worker count; results are bit-identical for every N.
  */
 
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -58,10 +64,12 @@ printUsage(std::ostream &os)
           "  ecosched eval <chip> <duration_s> <seed>\n"
           "  ecosched cluster <nodes> <dispatch> <duration_s> <seed> "
           "[--shards N]\n"
+          "  ecosched coreidle <chip> <duration_s> <seed> [--race]\n"
           "  ecosched campaign <chip> <duration_s> <seed> "
           "[faults_per_hour] [--plan file | --save-plan file]\n"
           "chips: xgene2 | xgene3\n"
-          "policies: baseline | safevmin | placement | optimal\n"
+          "policies: baseline | safevmin | placement | optimal | "
+          "coreidle | racetoidle\n"
           "dispatch: round_robin | least_loaded | energy_aware\n"
           "global options: --jobs N (parallel experiment workers; "
           "also ECOSCHED_JOBS), --help\n";
@@ -125,8 +133,13 @@ policyByName(const std::string &name)
         return PolicyKind::Placement;
     if (name == "optimal")
         return PolicyKind::Optimal;
+    if (name == "coreidle")
+        return PolicyKind::CoreIdle;
+    if (name == "racetoidle" || name == "race_to_idle")
+        return PolicyKind::RaceToIdle;
     fatal("unknown policy '", name,
-          "' (baseline|safevmin|placement|optimal)");
+          "' (baseline|safevmin|placement|optimal|coreidle"
+          "|racetoidle)");
 }
 
 int
@@ -300,6 +313,42 @@ cmdEval(const ChipSpec &chip, Seconds duration, std::uint64_t seed,
     return 0;
 }
 
+/// num/den as a percentage; "-" when the ratio is undefined.  Idle
+/// residency shares divide by completion time, which is 0 for an
+/// empty workload, so the guard keeps inf/nan out of the tables.
+std::string
+safeShare(double num, double den)
+{
+    const double frac = den > 0.0 ? num / den : 0.0;
+    return std::isfinite(frac) ? formatPercent(frac, 1)
+                               : std::string("-");
+}
+
+/// Append the c-state residency rows to a per-run metric table.
+/// No-op for chips without a c-state table, so the stock subcommand
+/// outputs (and their goldens) never change.
+void
+addIdleRows(TextTable &t, const ChipSpec &chip,
+            const ScenarioResult &r)
+{
+    if (!chip.hasCStates())
+        return;
+    const double core_time =
+        r.completionTime * static_cast<double>(chip.numCores);
+    const double pmd_time =
+        r.completionTime * static_cast<double>(chip.numPmds());
+    t.addRow({"c1 residency", formatDouble(r.idleC1Seconds, 1)
+                                  + " core-s ("
+                                  + safeShare(r.idleC1Seconds,
+                                              core_time) + ")"});
+    t.addRow({"c6 residency", formatDouble(r.idleC6Seconds, 1)
+                                  + " PMD-s ("
+                                  + safeShare(r.idleC6Seconds,
+                                              pmd_time) + ")"});
+    t.addRow({"c1 entries", std::to_string(r.idleC1Entries)});
+    t.addRow({"c6 entries", std::to_string(r.idleC6Entries)});
+}
+
 int
 cmdRun(const ChipSpec &chip, PolicyKind policy, Seconds duration,
        std::uint64_t seed, const std::string &csv_file)
@@ -329,6 +378,7 @@ cmdRun(const ChipSpec &chip, PolicyKind policy, Seconds duration,
     t.addRow({"migrations", std::to_string(r.migrations)});
     t.addRow({"voltage transitions",
               std::to_string(r.voltageTransitions)});
+    addIdleRows(t, sc.chip, r);
     t.print(std::cout);
 
     if (!csv_file.empty()) {
@@ -373,6 +423,94 @@ cmdCluster(std::size_t nodes, DispatchPolicy dispatch,
               << (sim.jobs() == 1 ? "" : "s") << ", " << sim.shards()
               << " shard" << (sim.shards() == 1 ? "" : "s") << ")\n";
     sim.run().printSummary(std::cout);
+    return 0;
+}
+
+int
+cmdCoreIdle(const ChipSpec &plain, Seconds duration,
+            std::uint64_t seed, bool race, unsigned jobs)
+{
+    // The consolidation stack needs the c-state variant of the chip:
+    // without a table the tracker is inert and packing saves nothing.
+    const ChipSpec chip = withCStates(plain);
+    GeneratorConfig gc;
+    gc.duration = duration;
+    gc.maxCores = chip.numCores;
+    gc.seed = seed;
+    gc.chipName = chip.name;
+    gc.referenceFrequency = chip.fMax;
+    const GeneratedWorkload wl = WorkloadGenerator(gc).generate();
+
+    const PolicyKind packed =
+        race ? PolicyKind::RaceToIdle : PolicyKind::CoreIdle;
+    const std::vector<PolicyKind> policies = {PolicyKind::Baseline,
+                                              packed};
+    EngineConfig ec;
+    ec.jobs = jobs;
+    ec.baseSeed = seed;
+    const ExperimentEngine engine{ec};
+    const std::vector<ScenarioResult> results =
+        engine.mapSpecs<ScenarioResult, PolicyKind>(
+            policies, [&](std::size_t, PolicyKind policy, Rng &) {
+                ScenarioConfig sc;
+                sc.chip = chip;
+                sc.policy = policy;
+                return ScenarioRunner(sc).run(wl);
+            });
+
+    const ScenarioResult &spread = results[0];
+    const ScenarioResult &pack = results[1];
+    TextTable t({"metric", "linux-spread",
+                 race ? "race-to-idle" : "coreidle-pack"});
+    auto row = [&](const std::string &label, auto &&fmt) {
+        t.addRow({label, fmt(spread), fmt(pack)});
+    };
+    row("time (s)", [](const ScenarioResult &r) {
+        return formatDouble(r.completionTime, 1);
+    });
+    row("avg power (W)", [](const ScenarioResult &r) {
+        return formatDouble(r.averagePower, 2);
+    });
+    row("energy (J)", [](const ScenarioResult &r) {
+        return formatDouble(r.energy, 1);
+    });
+    t.addRow({"energy savings", "-",
+              safeShare(spread.energy - pack.energy,
+                        spread.energy)});
+    row("latency p50 (s)", [](const ScenarioResult &r) {
+        return formatDouble(r.latencyP50, 2);
+    });
+    row("latency p95 (s)", [](const ScenarioResult &r) {
+        return formatDouble(r.latencyP95, 2);
+    });
+    row("migrations", [](const ScenarioResult &r) {
+        return std::to_string(r.migrations);
+    });
+    const double core_time =
+        static_cast<double>(chip.numCores);
+    const double pmd_time = static_cast<double>(chip.numPmds());
+    row("c1 residency", [&](const ScenarioResult &r) {
+        return formatDouble(r.idleC1Seconds, 1) + " core-s ("
+            + safeShare(r.idleC1Seconds,
+                        r.completionTime * core_time) + ")";
+    });
+    row("c6 residency", [&](const ScenarioResult &r) {
+        return formatDouble(r.idleC6Seconds, 1) + " PMD-s ("
+            + safeShare(r.idleC6Seconds,
+                        r.completionTime * pmd_time) + ")";
+    });
+    row("c1 entries", [](const ScenarioResult &r) {
+        return std::to_string(r.idleC1Entries);
+    });
+    row("c6 entries", [](const ScenarioResult &r) {
+        return std::to_string(r.idleC6Entries);
+    });
+    std::cout << chip.name << " consolidation (seed " << seed
+              << ", " << formatDouble(duration, 0) << " s):\n";
+    t.print(std::cout);
+    // Worker count goes to stderr: stdout is --jobs invariant.
+    std::cerr << "(" << engine.jobs() << " worker"
+              << (engine.jobs() == 1 ? "" : "s") << ")\n";
     return 0;
 }
 
@@ -548,6 +686,24 @@ main(int argc, char **argv)
                 dispatchPolicyByName(argv[3]), std::atof(argv[4]),
                 static_cast<std::uint64_t>(std::atoll(argv[5])),
                 jobs, static_cast<std::size_t>(shards));
+        }
+        if (cmd == "coreidle") {
+            bool race = false;
+            int w = 1;
+            for (int i = 1; i < argc; ++i) {
+                if (std::strcmp(argv[i], "--race") == 0)
+                    race = true;
+                else
+                    argv[w++] = argv[i];
+            }
+            argc = w;
+            if (argc < 5)
+                return usageError(
+                    "coreidle: needs <chip> <duration_s> <seed>");
+            return cmdCoreIdle(
+                chipByName(argv[2]), std::atof(argv[3]),
+                static_cast<std::uint64_t>(std::atoll(argv[4])),
+                race, jobs);
         }
         if (cmd == "campaign") {
             const std::string plan_in =
