@@ -2,17 +2,29 @@
  * @file
  * Step-throughput microbenchmark of the simulation kernel.
  *
- * Measures virtual steps per wall-clock second of the Machine hot
- * path for both chip presets at idle / half / full occupancy, on two
- * stepping paths:
+ * Measures virtual steps per wall-clock second of the simulation hot
+ * path for both chip presets at idle / half / full occupancy plus a
+ * mixed fault-window case, on three stepping paths:
  *
- *  - fixed: back-to-back Machine::step(dt) calls — what every bench
- *    and the ScenarioRunner drive;
- *  - macro: Machine::runUntil(t, dt) — the adaptive macro-stepping
- *    path, which collapses uniform stretches of steps into a cheap
- *    scalar replay while remaining bit-identical to the fixed path.
+ *  - fixed: back-to-back Machine::step(dt) calls — the per-step
+ *    reference every other path must reproduce bit-identically;
+ *  - macro: Machine::runUntil(t, dt) — adaptive macro-stepping,
+ *    which collapses uniform stretches of steps into a cheap scalar
+ *    replay;
+ *  - event: System::runUntil(t) over a full OS stack with the
+ *    default ondemand governor — the event-driven path, where every
+ *    time-driven component reports its nextActivity() horizon and
+ *    the engine advances event-to-event even at full occupancy
+ *    (with per-step paths the governor tick bounds every window to
+ *    one step; with horizons the window runs to the next tick).
  *
- * Emits machine-readable JSON (schema `ecosched.step_throughput/1`,
+ * The `fault` occupancy runs full occupancy with a scripted plan of
+ * droop-spike windows armed (MachineInjector): inside a window the
+ * fault hook's horizon is "now" and all paths degrade to per-step
+ * stepping, outside it the macro/event paths coalesce again — the
+ * case the unified event horizon exists for.
+ *
+ * Emits machine-readable JSON (schema `ecosched.step_throughput/2`,
  * documented in EXPERIMENTS.md) to BENCH_step_throughput.json and to
  * stdout, so CI can compare runs against a committed baseline.
  */
@@ -22,6 +34,7 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -41,7 +54,7 @@ struct Result
     std::string chip;
     std::string occupancy;
     std::uint32_t threads = 0;
-    std::string path; ///< "fixed" or "macro"
+    std::string path; ///< "fixed", "macro" or "event"
     std::uint64_t virtualSteps = 0;
     double wallSec = 0.0;
 
@@ -89,12 +102,41 @@ makeMachine(const ChipSpec &chip, std::uint32_t threads)
     return machine;
 }
 
-/// Wall seconds to execute @p steps virtual steps on one path.
+/**
+ * Scripted droop-spike schedule for the `fault` occupancy: eight
+ * short windows spread evenly across the measured span, magnitude
+ * well inside the guardband so nothing actually fails — the cost
+ * being measured is the horizon collapse, not crash handling.
+ */
+InjectionPlan
+faultPlan(Seconds span, Seconds dt)
+{
+    std::vector<FaultEvent> events;
+    const int windows = 8;
+    for (int w = 0; w < windows; ++w) {
+        FaultEvent ev;
+        ev.kind = FaultKind::DroopSpike;
+        ev.time = span * (0.5 + static_cast<double>(w))
+            / static_cast<double>(windows);
+        ev.duration = 20.0 * dt;
+        ev.magnitude = 10.0; // mV; far from any Vmin boundary
+        events.push_back(ev);
+    }
+    return InjectionPlan::scripted(std::move(events));
+}
+
+/// Wall seconds for @p steps virtual steps on the fixed/macro path.
 double
-measure(const ChipSpec &chip, std::uint32_t threads, bool macro,
-        Seconds dt, std::uint64_t steps)
+measureMachine(const ChipSpec &chip, std::uint32_t threads,
+               bool macro, Seconds dt, std::uint64_t steps,
+               const InjectionPlan *plan)
 {
     Machine machine = makeMachine(chip, threads);
+    std::unique_ptr<MachineInjector> injector;
+    if (plan != nullptr) {
+        injector = std::make_unique<MachineInjector>(*plan, 42);
+        injector->attach(machine, nullptr);
+    }
     machine.runUntil(100.0 * dt, dt); // warm caches and thermal
     const auto begin = Clock::now();
     if (macro) {
@@ -109,14 +151,43 @@ measure(const ChipSpec &chip, std::uint32_t threads, bool macro,
     return std::chrono::duration<double>(end - begin).count();
 }
 
+/**
+ * Wall seconds for @p steps virtual steps on the event path: the
+ * full System stack (default ondemand governor) driven through
+ * System::runUntil, so governor horizons gate the macro windows.
+ * The bench threads are bound directly on the Machine and never
+ * finish, so the OS completion/queue machinery stays quiescent and
+ * the comparison against the Machine-level paths is step-for-step.
+ */
+double
+measureEvent(const ChipSpec &chip, std::uint32_t threads, Seconds dt,
+             std::uint64_t steps, const InjectionPlan *plan)
+{
+    Machine machine = makeMachine(chip, threads);
+    std::unique_ptr<MachineInjector> injector;
+    if (plan != nullptr) {
+        injector = std::make_unique<MachineInjector>(*plan, 42);
+        injector->attach(machine, nullptr);
+    }
+    SystemConfig scfg;
+    scfg.timestep = dt;
+    System system(machine, nullptr, nullptr, scfg);
+    system.runUntil(100.0 * dt); // warm caches and thermal
+    const auto begin = Clock::now();
+    system.runUntil(system.now()
+                    + static_cast<double>(steps) * dt);
+    const auto end = Clock::now();
+    return std::chrono::duration<double>(end - begin).count();
+}
+
 /// Pick a step count targeting ~@p budget wall seconds per case.
 std::uint64_t
 calibrate(const ChipSpec &chip, std::uint32_t threads, Seconds dt,
           double budget)
 {
     const std::uint64_t probe = 2000;
-    const double t =
-        measure(chip, threads, /*macro=*/false, dt, probe);
+    const double t = measureMachine(chip, threads, /*macro=*/false,
+                                    dt, probe, nullptr);
     if (t <= 0.0)
         return probe * 100;
     const auto steps = static_cast<std::uint64_t>(
@@ -129,7 +200,7 @@ toJson(const std::vector<Result> &results, Seconds dt)
 {
     std::ostringstream os;
     os.precision(17);
-    os << "{\n  \"schema\": \"ecosched.step_throughput/1\",\n"
+    os << "{\n  \"schema\": \"ecosched.step_throughput/2\",\n"
        << "  \"dt_sec\": " << dt << ",\n  \"results\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const Result &r = results[i];
@@ -172,18 +243,30 @@ main(int argc, char **argv)
         const std::vector<std::pair<std::string, std::uint32_t>>
             occupancies{{"idle", 0},
                         {"half", chip.numCores / 2},
-                        {"full", chip.numCores}};
+                        {"full", chip.numCores},
+                        {"fault", chip.numCores}};
         for (const auto &[name, threads] : occupancies) {
             const std::uint64_t steps =
                 calibrate(chip, threads, dt, budget);
-            for (const bool macro : {false, true}) {
+            InjectionPlan plan;
+            const bool faulted = name == "fault";
+            if (faulted) {
+                plan = faultPlan(
+                    (100.0 + static_cast<double>(steps)) * dt, dt);
+            }
+            const InjectionPlan *armed = faulted ? &plan : nullptr;
+            for (const char *path : {"fixed", "macro", "event"}) {
                 Result r;
                 r.chip = chip.name;
                 r.occupancy = name;
                 r.threads = threads;
-                r.path = macro ? "macro" : "fixed";
+                r.path = path;
                 r.virtualSteps = steps;
-                r.wallSec = measure(chip, threads, macro, dt, steps);
+                r.wallSec = r.path == "event"
+                    ? measureEvent(chip, threads, dt, steps, armed)
+                    : measureMachine(chip, threads,
+                                     r.path == "macro", dt, steps,
+                                     armed);
                 results.push_back(r);
             }
         }

@@ -13,6 +13,7 @@
 #include "common/table.hh"
 #include "exp/engine.hh"
 #include "exp/thread_pool.hh"
+#include "sim/event_queue.hh"
 #include "vmin/failure_model.hh"
 
 namespace ecosched {
@@ -52,9 +53,11 @@ struct ClusterSim::Run
           // is on.
           suspended(n, cfg.idleSleep ? char{1} : char{0}),
           crashCounted(n, 0), schedulable(n, 1), lastIssue(n, 0.0),
-          restartAt(n, -1.0), nodeCompleted(n, 0),
+          restartAt(n, -1.0), nodeCompleted(n, 0), nodeNext(n, 0.0),
+          nodeDirty(n, 1), fullMark(n, 0),
           bound(cfg.traffic.duration * cfg.drainBoundFactor),
-          shards(makeShards(n, shard_count))
+          shards(makeShards(n, shard_count)),
+          frontier(shards.size()), eventMode(eventPathEnabled())
     {
         res.dispatch = cfg.dispatch;
         res.numNodes = n;
@@ -128,6 +131,17 @@ struct ClusterSim::Run
     std::vector<Seconds> restartAt; ///< negative: not scheduled
     std::vector<std::uint64_t> nodeCompleted;
 
+    // --- per-shard next-event frontier (event path) ----------------
+    // Flat structure-of-arrays hot state: one fleet epoch is a
+    // batched sweep over these vectors, and the per-shard event
+    // queues tell the sweep which nodes need the full harvesting
+    // path this window.  All of it is *derived* state — rebuilt from
+    // the nodes whenever a dirty flag is set — so snapshots never
+    // carry it; restore() just marks everything dirty.
+    std::vector<Seconds> nodeNext; ///< last keyed horizon, per node
+    std::vector<char> nodeDirty;   ///< horizon may have moved
+    std::vector<char> fullMark;    ///< per-window scratch (due set)
+
     std::size_t nextArrival = 0;
     std::size_t nextCrash = 0;
     Seconds t = 0.0;
@@ -136,6 +150,13 @@ struct ClusterSim::Run
     std::size_t evalEveryEpochs = 1;
 
     std::vector<ShardRange> shards;
+    /// One lazy-deletion event queue per shard, keyed on
+    /// ClusterNode::nextActivity(); stale entries (time !=
+    /// nodeNext[id]) are dropped on pop.
+    std::vector<EventQueue> frontier;
+    /// Sampled once at start(): flipping ECOSCHED_EVENT_PATH
+    /// mid-run would desynchronize the frontier bookkeeping.
+    bool eventMode = false;
     std::unique_ptr<ThreadPool> pool;
 };
 
@@ -380,6 +401,7 @@ ClusterSim::reconcileBoundary()
         // rejoins the schedulable pool.
         r.suspended[i] = cfg.idleSleep ? 1 : 0;
         r.schedulable[i] = 1;
+        r.nodeDirty[i] = 1; // fresh stack: re-key its horizon
     }
     while (r.nextCrash < r.crashes.size()
            && r.crashes[r.nextCrash].time <= t) {
@@ -391,6 +413,7 @@ ClusterSim::reconcileBoundary()
         const Seconds down = ev.duration >= 0.0
             ? ev.duration : cfg.nodeRestartDelay;
         r.restartAt[ev.node] = down >= 0.0 ? ev.time + down : -1.0;
+        r.nodeDirty[ev.node] = 1; // the crash must be counted
     }
 
     // The autoscaler's park/unpark step, on its epoch-aligned
@@ -431,6 +454,7 @@ ClusterSim::reconcileBoundary()
         r.lastIssue[pick] = issue;
         fleet[pick]->enqueue(job, threads, issue);
         r.outstanding[pick] += threads;
+        r.nodeDirty[pick] = 1; // inbox head may have moved earlier
         views[pick].outstandingThreads = r.outstanding[pick];
     }
 }
@@ -463,51 +487,136 @@ ClusterSim::executeWindow(const std::vector<Seconds> &ends)
     };
     std::vector<ShardError> errors(nshards);
 
+    // One node, one epoch, full bookkeeping.  Everything it mutates
+    // is indexed by i, so running it node-major (all epochs of node
+    // i, then node i+1 — the event path) produces the same state and
+    // the same per-(shard, epoch) buffer contents as the reference
+    // epoch-major order: within each buffer slot, nodes still append
+    // in ascending order.
+    const auto processEpoch = [&](std::size_t s, std::size_t i,
+                                  std::size_t k) {
+        EpochBuf &out = buf[s * window + k];
+        // Always one stepTo() per epoch: the parked-energy
+        // re-accounting telescopes per span, so coalescing a
+        // multi-epoch window into one call would change the
+        // floating-point sums.
+        fleet[i]->stepTo(ends[k], r.suspended[i] != 0);
+        std::vector<JobCompletion> comps = fleet[i]->harvest();
+        for (const JobCompletion &c : comps) {
+            ECOSCHED_ASSERT(r.outstanding[i] >= c.threads,
+                            "outstanding-thread underflow");
+            r.outstanding[i] -= c.threads;
+            ++r.nodeCompleted[i];
+        }
+        if (!comps.empty())
+            out.completions.emplace_back(i, std::move(comps));
+        if (!fleet[i]->alive() && !r.crashCounted[i]) {
+            // Fault injection took the node down: its remaining
+            // jobs are stranded.
+            r.crashCounted[i] = 1;
+            out.crashed.emplace_back(i, fleet[i]->pendingJobs());
+            r.outstanding[i] = 0;
+        }
+        // Autoscaler-parked nodes must draw the deep standby floor
+        // even when idleSleep is off — a drained, unschedulable
+        // node left at awake-idle power would overstate fleet
+        // energy.
+        if ((cfg.idleSleep || !r.schedulable[i])
+            && r.outstanding[i] == 0 && fleet[i]->alive()) {
+            r.suspended[i] = 1;
+        }
+    };
+
     const auto runShard = [&](std::size_t s) {
         const ShardRange range = r.shards[s];
-        for (std::size_t k = 0; k < window; ++k) {
-            EpochBuf &out = buf[s * window + k];
+        if (!r.eventMode) {
+            // Reference path (ECOSCHED_EVENT_PATH=0): epoch-major,
+            // every node through the full bookkeeping.
+            for (std::size_t k = 0; k < window; ++k) {
+                for (std::size_t i = range.begin; i < range.end;
+                     ++i) {
+                    try {
+                        processEpoch(s, i, k);
+                    } catch (...) {
+                        errors[s] = {k, i,
+                                     std::current_exception()};
+                        return;
+                    }
+                }
+            }
+            return;
+        }
+
+        // Event path: key the frontier, pop the due set, then sweep
+        // the shard node-major.
+        EventQueue &due = r.frontier[s];
+        const Seconds horizon = ends.back();
+        try {
             for (std::size_t i = range.begin; i < range.end; ++i) {
+                if (!r.nodeDirty[i])
+                    continue;
+                r.nodeDirty[i] = 0;
+                const Seconds next = fleet[i]->nextActivity();
+                ECOSCHED_DEBUG_ASSERT(
+                    !(next < ends[0] - cfg.dispatchInterval
+                                 - fleet[i]->config().timestep),
+                    "node " + std::to_string(i)
+                        + " nextActivity() returned a horizon more "
+                          "than one step before the window start");
+                r.nodeNext[i] = next;
+                if (next < horizonNever)
+                    due.push(next, i);
+            }
+            while (!due.empty() && due.top().time < horizon) {
+                const std::size_t i =
+                    static_cast<std::size_t>(due.top().id);
+                const Seconds time = due.top().time;
+                due.pop();
+                if (time == r.nodeNext[i])
+                    r.fullMark[i] = 1; // else stale: lazy deletion
+            }
+        } catch (...) {
+            errors[s] = {0, range.begin, std::current_exception()};
+            return;
+        }
+
+        for (std::size_t i = range.begin; i < range.end; ++i) {
+            const bool full = r.fullMark[i] != 0
+                || (!fleet[i]->alive() && !r.crashCounted[i]);
+            r.fullMark[i] = 0;
+            if (!full && !fleet[i]->alive())
+                continue; // dead and counted: provably all no-ops
+            for (std::size_t k = 0; k < window; ++k) {
                 try {
-                    // Always one stepTo() per epoch: the parked-
-                    // energy re-accounting telescopes per span, so
-                    // coalescing a multi-epoch window into one call
-                    // would change the floating-point sums.
-                    fleet[i]->stepTo(ends[k], r.suspended[i] != 0);
-                    std::vector<JobCompletion> comps =
-                        fleet[i]->harvest();
-                    for (const JobCompletion &c : comps) {
-                        ECOSCHED_ASSERT(
-                            r.outstanding[i] >= c.threads,
-                            "outstanding-thread underflow");
-                        r.outstanding[i] -= c.threads;
-                        ++r.nodeCompleted[i];
-                    }
-                    if (!comps.empty()) {
-                        out.completions.emplace_back(
-                            i, std::move(comps));
-                    }
-                    if (!fleet[i]->alive() && !r.crashCounted[i]) {
-                        // Fault injection took the node down: its
-                        // remaining jobs are stranded.
-                        r.crashCounted[i] = 1;
-                        out.crashed.emplace_back(
-                            i, fleet[i]->pendingJobs());
-                        r.outstanding[i] = 0;
-                    }
-                    // Autoscaler-parked nodes must draw the deep
-                    // standby floor even when idleSleep is off — a
-                    // drained, unschedulable node left at awake-idle
-                    // power would overstate fleet energy.
-                    if ((cfg.idleSleep || !r.schedulable[i])
-                        && r.outstanding[i] == 0
-                        && fleet[i]->alive()) {
-                        r.suspended[i] = 1;
+                    if (full) {
+                        processEpoch(s, i, k);
+                    } else {
+                        // Lean: the horizon proves nothing can
+                        // finish, fault or crash before the window
+                        // end — advance the clock and keep only the
+                        // park/suspend bookkeeping live (its inputs
+                        // cannot change either, but the reference
+                        // path evaluates it per epoch, so mirror
+                        // that exactly).
+                        fleet[i]->stepTo(ends[k],
+                                         r.suspended[i] != 0);
+                        if ((cfg.idleSleep || !r.schedulable[i])
+                            && r.outstanding[i] == 0) {
+                            r.suspended[i] = 1;
+                        }
                     }
                 } catch (...) {
                     errors[s] = {k, i, std::current_exception()};
                     return;
                 }
+            }
+            if (full) {
+                // Re-key for the next window; entries left behind
+                // in the heap go stale and drop on pop.
+                const Seconds next = fleet[i]->nextActivity();
+                r.nodeNext[i] = next;
+                if (next < horizonNever)
+                    due.push(next, i);
             }
         }
     };
@@ -700,6 +809,13 @@ ClusterSim::restore(const Snapshot &snapshot)
     r.nextCrash = snapshot.nextCrash;
     r.t = snapshot.t;
     r.epochIndex = snapshot.epochIndex;
+    // The frontier is derived state: invalidate it wholesale and
+    // let the next window re-key every node from the restored
+    // fleet.
+    std::fill(r.nodeDirty.begin(), r.nodeDirty.end(), char{1});
+    std::fill(r.fullMark.begin(), r.fullMark.end(), char{0});
+    for (EventQueue &q : r.frontier)
+        q.clear();
 }
 
 void

@@ -26,6 +26,18 @@
  *      feeds the latency accumulators — so the result is
  *      bit-identical for any worker count and any shard count.
  *
+ * On the event path (ECOSCHED_EVENT_PATH, default on) each shard
+ * additionally keeps a *next-event frontier*: a lazy-deletion event
+ * queue keyed on ClusterNode::nextActivity() over flat
+ * structure-of-arrays hot state (nodeNext/nodeDirty + the
+ * outstanding/suspended vectors).  A window's sweep is node-major:
+ * nodes whose horizon falls inside the window get the full
+ * harvesting path; nodes it proves inert get a lean clock-advance;
+ * dead-and-counted nodes are skipped outright.  The lean and full
+ * paths execute the identical per-epoch statements (the skipped
+ * ones are provably no-ops), so results stay bit-identical to the
+ * reference path — see DESIGN.md §13.
+ *
  * Large fleets are stamped from one pristine prototype stack per
  * distinct node shape (SimStack's stamp constructor) instead of
  * re-deriving the calibrated models 10 000 times.

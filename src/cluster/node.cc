@@ -302,6 +302,25 @@ ClusterNode::pendingJobs() const
     return inbox.size() + inFlight.size();
 }
 
+Seconds
+ClusterNode::nextActivity() const
+{
+    if (!alive())
+        return horizonNever; // only restart() revives the node
+    if (!stack->machine().macroEligible())
+        return now(); // per-step stochastic draws: no horizon
+    if (!inFlight.empty())
+        return now(); // queued or running work can finish any step
+    Seconds next =
+        inbox.empty() ? horizonNever : inbox.front().arrival;
+    if (injector != nullptr) {
+        // The machine-level hook horizon, rebased to cluster time.
+        next = std::min(next, timeBase + injector->nextActivity(
+                                             stack->system().now()));
+    }
+    return next;
+}
+
 Joule
 ClusterNode::energy() const
 {

@@ -156,6 +156,20 @@ class ClusterNode
     /// Completions since the previous harvest, in completion order.
     std::vector<JobCompletion> harvest();
 
+    /**
+     * Earliest cluster time at which this node can next produce a
+     * cluster-visible event — a job completion, a fault delivery or
+     * a machine crash.  Obeys the DESIGN.md §13 horizon contract:
+     * returns now() whenever the node is busy (work in flight can
+     * finish on any step) or per-step stochastic behavior is armed,
+     * the inbox head / next injector event otherwise, and
+     * horizonNever for a crashed node (only the cluster layer's
+     * boundary restart can revive it).  The fleet frontier keys its
+     * per-shard event queue on this to classify nodes into full vs
+     * lean epoch processing.
+     */
+    Seconds nextActivity() const;
+
     /// Jobs accepted but not yet finished (inbox + queued + running).
     std::size_t pendingJobs() const;
 

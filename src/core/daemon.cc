@@ -41,6 +41,10 @@ class DaemonGovernor : public Governor
     {
         return owner.wouldTick();
     }
+    Seconds nextActivity(const System &) const override
+    {
+        return owner.nextTickTime();
+    }
 
   private:
     Daemon &owner;
@@ -324,6 +328,14 @@ Daemon::wouldTick() const
 {
     return !(lastMonitorRun >= 0.0 &&
              sys.now() - lastMonitorRun < cfg.samplingInterval);
+}
+
+Seconds
+Daemon::nextTickTime() const
+{
+    if (lastMonitorRun < 0.0)
+        return sys.now(); // first monitoring pass is imminent
+    return lastMonitorRun + cfg.samplingInterval - sys.timestep();
 }
 
 void

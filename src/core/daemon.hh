@@ -220,6 +220,11 @@ class Daemon
     /// macro-stepped execution).
     bool wouldTick() const;
 
+    /// Event horizon of the monitoring loop: the next time tick()
+    /// passes the throttle, one timestep early (the governor-horizon
+    /// safety margin; see Governor::nextActivity).
+    Seconds nextTickTime() const;
+
     /// Placement-policy hook: admit a new process.
     std::vector<CoreId> placeNewProcess(const Process &process,
                                         std::uint32_t threads);

@@ -139,6 +139,19 @@ ScenarioRunner::run(const GeneratedWorkload &workload) const
         result.timeline.push_back(s);
     };
 
+    // Event-driven main loop (ECOSCHED_EVENT_PATH=0 falls back to
+    // one step() per iteration): between boundaries the only
+    // per-iteration work below is the arrival submit, the sample
+    // check and the drain-bound check, so the next boundary of each
+    // stream — merged through a small event queue — bounds a
+    // runEvents() span that coalesces macro windows across it.
+    // runEvents() stops on the same half-step comparisons this
+    // loop's own predicates use (and returns at halt/idle steps), so
+    // every submit, sample, halt and drain check lands on the exact
+    // step the per-step loop gives it — outputs are bit-identical.
+    const bool event_mode = eventPathEnabled();
+    EventQueue boundaries;
+
     bool crashed = false;
     while (next_item < items.size() || !system.idle()) {
         fatalIf(system.now() > bound,
@@ -158,7 +171,28 @@ ScenarioRunner::run(const GeneratedWorkload &workload) const
             ++next_item;
         }
 
-        system.step();
+        bool plain_step = true;
+        if (event_mode && machine.macroEligible()) {
+            boundaries.clear();
+            if (next_item < items.size())
+                boundaries.push(items[next_item].work->arrival, 0);
+            boundaries.push(next_sample, 1);
+            // One step past the bound so the fatalIf above fires on
+            // the same iteration it would in the per-step loop.
+            boundaries.push(bound + cfg.timestep, 2);
+            const Seconds stop = boundaries.top().time;
+            if (system.now() + cfg.timestep * 0.5 < stop) {
+                // Exiting the loop requires going idle with no
+                // arrivals left; watch for it only then, so a busy
+                // system still coalesces across completions the
+                // loop condition would not look at.
+                system.runEvents(stop,
+                                 next_item >= items.size());
+                plain_step = false;
+            }
+        }
+        if (plain_step)
+            system.step();
 
         if (machine.halted()) {
             // Undervolting system crash (fault injection): the node

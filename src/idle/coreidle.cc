@@ -218,6 +218,14 @@ CoreIdleGovernor::wouldAct(const System &system) const
              && system.now() - lastRun < cfg.samplingPeriod);
 }
 
+Seconds
+CoreIdleGovernor::nextActivity(const System &system) const
+{
+    if (lastRun < 0.0)
+        return system.now(); // first tick sizes the active set
+    return lastRun + cfg.samplingPeriod - system.timestep();
+}
+
 std::vector<double>
 CoreIdleGovernor::captureState() const
 {

@@ -94,6 +94,8 @@ class CoreIdleGovernor : public Governor
     void tick(System &system) override;
     /// Quiescent while the sampling-period throttle holds.
     bool wouldAct(const System &system) const override;
+    /// Next tick time, one timestep early (safety margin).
+    Seconds nextActivity(const System &system) const override;
     std::vector<double> captureState() const override;
     void restoreState(const std::vector<double> &state) override;
 

@@ -69,6 +69,17 @@ class MachineInjector final : public Machine::FaultHook,
     const InjectorStats &stats() const { return injStats; }
 
     // --- Machine::FaultHook --------------------------------------------
+    /**
+     * Earliest pending activity: the next point event or droop-
+     * window start, or @p now while a droop window is live (spikes
+     * draw per step).  Sensor-noise and SLIMpro windows report no
+     * horizon — they act on daemon ticks and control commands, which
+     * already end macro windows.  Obeys the horizon contract of
+     * DESIGN.md §13 (never late, non-decreasing); Machine's
+     * HorizonMonitor checks it in Debug builds, and the cluster
+     * frontier reuses it (rebased by the node's time base) to skip
+     * idle injector-armed nodes.
+     */
     Seconds nextActivity(Seconds now) const override;
     void onStep(Machine &machine, Seconds dt) override;
 

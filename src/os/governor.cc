@@ -49,6 +49,18 @@ OndemandGovernor::wouldAct(const System &system) const
              && system.now() - lastRun < cfg.samplingPeriod);
 }
 
+Seconds
+OndemandGovernor::nextActivity(const System &system) const
+{
+    // `lastRun + period` is when the throttle opens; subtracting one
+    // timestep guarantees the horizon is never late by a rounding
+    // ulp of the `now - lastRun < period` predicate — at most one
+    // extra plain step per governor period (DESIGN.md §13).
+    if (lastRun < 0.0)
+        return system.now(); // first tick is imminent
+    return lastRun + cfg.samplingPeriod - system.timestep();
+}
+
 SchedutilGovernor::SchedutilGovernor(Config config)
     : cfg(config)
 {
@@ -85,6 +97,14 @@ SchedutilGovernor::wouldAct(const System &system) const
              && system.now() - lastRun < cfg.samplingPeriod);
 }
 
+Seconds
+SchedutilGovernor::nextActivity(const System &system) const
+{
+    if (lastRun < 0.0)
+        return system.now();
+    return lastRun + cfg.samplingPeriod - system.timestep();
+}
+
 void
 PerformanceGovernor::tick(System &system)
 {
@@ -106,6 +126,12 @@ PerformanceGovernor::wouldAct(const System &system) const
         if (system.machine().chip().pmdFrequency(p) != spec.fMax)
             return true;
     return false;
+}
+
+Seconds
+PerformanceGovernor::nextActivity(const System &system) const
+{
+    return wouldAct(system) ? system.now() : horizonNever;
 }
 
 void
@@ -131,6 +157,18 @@ PowersaveGovernor::wouldAct(const System &system) const
             return true;
         }
     return false;
+}
+
+Seconds
+PowersaveGovernor::nextActivity(const System &system) const
+{
+    return wouldAct(system) ? system.now() : horizonNever;
+}
+
+Seconds
+UserspaceGovernor::nextActivity(const System &) const
+{
+    return horizonNever;
 }
 
 } // namespace ecosched

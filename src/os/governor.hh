@@ -38,6 +38,8 @@ class OndemandGovernor : public Governor
     void tick(System &system) override;
     /// Quiescent while the sampling-period throttle holds.
     bool wouldAct(const System &system) const override;
+    /// Next tick time, one timestep early (safety margin).
+    Seconds nextActivity(const System &system) const override;
     std::vector<double> captureState() const override
     {
         return {lastRun};
@@ -62,6 +64,10 @@ class PerformanceGovernor : public Governor
     void tick(System &system) override;
     /// Quiescent once every PMD sits at fmax.
     bool wouldAct(const System &system) const override;
+    /// Never, once every PMD sits at fmax: the chip's frequency
+    /// state only changes through explicit commands, which cannot
+    /// happen inside a macro window.
+    Seconds nextActivity(const System &system) const override;
 };
 
 /**
@@ -74,6 +80,9 @@ class PowersaveGovernor : public Governor
     void tick(System &system) override;
     /// Quiescent once every PMD sits at the lowest ladder step.
     bool wouldAct(const System &system) const override;
+    /// Never, once every PMD sits at the ladder floor (state-based,
+    /// like PerformanceGovernor).
+    Seconds nextActivity(const System &system) const override;
 };
 
 /**
@@ -100,6 +109,8 @@ class SchedutilGovernor : public Governor
     void tick(System &system) override;
     /// Quiescent while the sampling-period throttle holds.
     bool wouldAct(const System &system) const override;
+    /// Next tick time, one timestep early (safety margin).
+    Seconds nextActivity(const System &system) const override;
     std::vector<double> captureState() const override
     {
         return {lastRun};
@@ -124,6 +135,8 @@ class UserspaceGovernor : public Governor
     const char *name() const override { return "userspace"; }
     void tick(System &) override {}
     bool wouldAct(const System &) const override { return false; }
+    /// tick() is a no-op forever.
+    Seconds nextActivity(const System &) const override;
 };
 
 } // namespace ecosched

@@ -10,6 +10,15 @@
 
 namespace ecosched {
 
+Seconds
+Governor::nextActivity(const System &system) const
+{
+    // "Unknown": the base class cannot see inside tick(), so the
+    // caller falls back to probing wouldAct() per step — custom
+    // governors stay correct without opting in.
+    return system.now();
+}
+
 const char *
 processStateName(ProcessState state)
 {
@@ -406,6 +415,32 @@ System::macroAdvance(Seconds t, Seconds fatal_bound)
     if (!node.macroEligible() || !runQueue.empty())
         return false;
 
+    // Governor event horizon.  A future horizon (every stock
+    // governor when its throttle holds) clamps the window to it and
+    // skips the per-step wouldAct() probe; a horizon at/before now
+    // means "imminent or unknown" and keeps the probe — that is the
+    // conservative default for custom governors.  The env-gated
+    // reference path (ECOSCHED_EVENT_PATH=0) always probes, which
+    // must be bit-identical — the horizon only ever *shrinks* the
+    // window across spans the probe would have allowed anyway.
+    bool probe = true;
+    if (eventPathEnabled()) {
+        const Seconds gh = freqGovernor->nextActivity(*this);
+        // Two-step staleness tolerance (plus half-step ulp slack):
+        // a throttled quote is `lastRun + period - dt`, and FP drift
+        // in `now` can push the actual tick one grid step past the
+        // nominal throttle opening.
+        ECOSCHED_DEBUG_ASSERT(
+            !(gh < now() - 2.5 * cfg.timestep),
+            std::string(freqGovernor->name())
+                + " nextActivity() returned a horizon more than two "
+                  "steps in the past");
+        if (gh > now()) {
+            probe = false;
+            t = std::min(t, gh);
+        }
+    }
+
     // No process can finish or be placed inside a macro window (the
     // machine guarantees no thread finishes and the run queue is
     // empty), so harvestFinishedThreads()/tryPlaceQueued() are
@@ -415,14 +450,27 @@ System::macroAdvance(Seconds t, Seconds fatal_bound)
     {
         System &s;
         Seconds bound;
+        bool probe;
 
-        Hooks(System &system, Seconds b) : s(system), bound(b) {}
+        Hooks(System &system, Seconds b, bool p)
+            : s(system), bound(b), probe(p)
+        {
+        }
 
         bool beforeStep() override
         {
             if (bound >= 0.0 && s.now() > bound)
                 return false; // drain()'s fatalIf must fire here
-            return !s.freqGovernor->wouldAct(s);
+            if (probe)
+                return !s.freqGovernor->wouldAct(s);
+            // The clamped horizon promises the governor stays
+            // quiescent for every step of this window.
+            ECOSCHED_DEBUG_ASSERT(
+                !s.freqGovernor->wouldAct(s),
+                std::string(s.freqGovernor->name())
+                    + " nextActivity() promised quiescence but "
+                      "wouldAct() fired inside the window");
+            return true;
         }
 
         void afterStep() override
@@ -436,7 +484,7 @@ System::macroAdvance(Seconds t, Seconds fatal_bound)
                 static_cast<double>(s.node.numBusyCores())
                 * s.cfg.timestep;
         }
-    } hooks{*this, fatal_bound};
+    } hooks{*this, fatal_bound, probe};
 
     return node.macroAdvance(t, cfg.timestep, &hooks) > 0;
 }
@@ -447,6 +495,21 @@ System::runUntil(Seconds t)
     while (now() + cfg.timestep * 0.5 < t) {
         if (!macroAdvance(t, -1.0))
             step();
+    }
+}
+
+void
+System::runEvents(Seconds t, bool stop_on_idle)
+{
+    while (now() + cfg.timestep * 0.5 < t) {
+        if (macroAdvance(t, -1.0))
+            continue;
+        step();
+        // Halts (fault hooks) and completions/submissions happen
+        // only in plain steps, so checking here observes them on the
+        // exact step the per-step reference loop would.
+        if (node.halted() || (stop_on_idle && idle()))
+            return;
     }
 }
 

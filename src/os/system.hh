@@ -80,6 +80,22 @@ class Governor
     }
 
     /**
+     * Event horizon of this governor: a conservative lower bound on
+     * the first time tick() could act (observe or change anything).
+     * Values <= now() mean "imminent or unknown" — the caller keeps
+     * probing wouldAct() per step, which is the conservative default
+     * for custom governors.  A future horizon lets macroAdvance()
+     * clamp its window to it and skip the per-step probe entirely.
+     * The contract is *never late* (DESIGN.md §13): under-estimating
+     * costs one plain step, over-estimating would skip a tick and
+     * change results — throttled governors therefore subtract one
+     * timestep of safety margin from `lastRun + period`.  Must be
+     * non-decreasing in now() for fixed governor state and must not
+     * mutate it.
+     */
+    virtual Seconds nextActivity(const System &system) const;
+
+    /**
      * Mutable governor state as an opaque flat vector (snapshot
      * support).  Stateless governors (the default) return {};
      * throttled ones carry their last-run timestamps.  Forwarding
@@ -155,6 +171,8 @@ class System
     PlacementPolicy &placementPolicy() { return *placer; }
     Governor &governor() { return *freqGovernor; }
     Seconds now() const { return node.now(); }
+    /// Simulation step of this system (governor horizon margin).
+    Seconds timestep() const { return cfg.timestep; }
 
     /// Replace the placement policy at runtime.
     void setPlacementPolicy(std::unique_ptr<PlacementPolicy> policy);
@@ -229,6 +247,21 @@ class System
 
     /// Step until time @p t.
     void runUntil(Seconds t);
+
+    /**
+     * Event-driven variant of runUntil() for drivers that watch for
+     * state changes between events (the scenario runner, bench
+     * harnesses): advances to @p t exactly like runUntil() — same
+     * steps, bit-identical state — but returns early right after a
+     * plain step in which the machine halts (fault injection), or,
+     * when @p stop_on_idle is set, in which the system went idle.
+     * Neither can happen inside a macro window, so the early-outs
+     * fire on the same step the caller's own per-step loop would
+     * observe.  runUntil() itself keeps advancing a halted machine
+     * (time passes at zero power) — the cluster layer depends on
+     * that — which is why this is a separate entry point.
+     */
+    void runEvents(Seconds t, bool stop_on_idle = false);
 
     /// Step until no process is running or queued (bounded by
     /// @p max_time). @throws FatalError when the bound is hit.

@@ -15,6 +15,7 @@
 #ifndef ECOSCHED_POWER_THERMAL_HH
 #define ECOSCHED_POWER_THERMAL_HH
 
+#include <limits>
 #include <string>
 
 #include "common/units.hh"
@@ -78,6 +79,21 @@ class ThermalModel
 
     /// Advance one step using a precomputed stepAlpha(dt) factor.
     void stepWithAlpha(double alpha, Watt power);
+
+    /**
+     * Event horizon of the thermal RC state: *never* (infinity).
+     * The first-order response advances every step regardless, but
+     * macro windows replay stepWithAlpha() bit-exactly, so the
+     * thermal model — unlike governor ticks or fault events — never
+     * forces the engine out of a window.  Declared here so every
+     * time-driven component answers the same nextActivity() query
+     * (DESIGN.md §13), even when the answer is a constant.
+     */
+    Seconds nextActivity(Seconds now) const
+    {
+        (void)now;
+        return std::numeric_limits<Seconds>::infinity();
+    }
 
     /// Leakage scale factor exp(k * (T - Tref)) at the current
     /// temperature (1 at the reference temperature).  Memoized on

@@ -1,0 +1,43 @@
+#include "sim/event_queue.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace ecosched {
+
+namespace {
+
+/// -1: follow the environment; 0/1: forced by setEventPathOverride.
+std::atomic<int> pathOverride{-1};
+
+bool
+envEventPath()
+{
+    // ECOSCHED_EVENT_PATH=0 selects the per-step reference loops;
+    // unset or any other value keeps the event engine on.
+    const char *env = std::getenv("ECOSCHED_EVENT_PATH");
+    return env == nullptr || *env == '\0' || *env != '0';
+}
+
+} // namespace
+
+bool
+eventPathEnabled()
+{
+    const int forced = pathOverride.load(std::memory_order_relaxed);
+    if (forced >= 0)
+        return forced != 0;
+    // Not cached: the golden env variants flip the variable between
+    // runs of the same binary image, and a getenv per run/segment is
+    // nowhere near any hot path.
+    return envEventPath();
+}
+
+void
+setEventPathOverride(int enabled)
+{
+    pathOverride.store(enabled < 0 ? -1 : (enabled != 0 ? 1 : 0),
+                       std::memory_order_relaxed);
+}
+
+} // namespace ecosched

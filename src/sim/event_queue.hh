@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Event-horizon primitives of the discrete-event hot path.
+ *
+ * Every time-driven component reports a *horizon* — a conservative
+ * lower bound on the earliest virtual time at which it needs per-step
+ * execution — through a `nextActivity(now)`-shaped query:
+ *
+ *  - `horizonNever` (infinity): the component never forces a step.
+ *  - a value `<= now`: activity is due right now (or the component
+ *    cannot predict; callers fall back to per-step probing).
+ *  - a value `> now`: macro windows may run freely up to (but not
+ *    into) that time.
+ *
+ * The contract (DESIGN.md §13) is *never late*: reporting a horizon
+ * earlier than the true first-activity time only costs a plain step
+ * (which is bit-identical by construction), while reporting one even
+ * half a step late would skip a tick and silently change results.
+ * Horizons must also be non-decreasing in `now` for a fixed component
+ * state.  HorizonMonitor checks both properties in Debug builds.
+ *
+ * EventQueue is the shared frontier structure: a binary min-heap of
+ * (time, id) entries with lazy deletion — re-keying an id simply
+ * pushes a fresh entry, and consumers drop entries whose time no
+ * longer matches the id's current key.  Degenerate two/three-source
+ * horizons (Machine::nextActivity, System::macroAdvance) fold with
+ * direct `std::min`; the per-shard cluster frontier and the scenario
+ * driver use the heap.
+ */
+
+#ifndef ECOSCHED_SIM_EVENT_QUEUE_HH
+#define ECOSCHED_SIM_EVENT_QUEUE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/units.hh"
+
+namespace ecosched {
+
+/// Horizon value meaning "this component never forces a step".
+inline constexpr Seconds horizonNever =
+    std::numeric_limits<Seconds>::infinity();
+
+/**
+ * Whether the event-driven hot path is enabled (default: yes).
+ * `ECOSCHED_EVENT_PATH=0` falls back to the per-step reference loops
+ * everywhere the engine is gated — the scenario driver, the governor
+ * horizon in System::macroAdvance and the cluster frontier — which
+ * must be bit-identical; the golden variants pin exactly that.
+ */
+bool eventPathEnabled();
+
+/// Test override: force the event path on (1), off (0), or back to
+/// the environment (-1).
+void setEventPathOverride(int enabled);
+
+/**
+ * Binary min-heap over (time, id) entries, ordered by time with id as
+ * the tie-break so pop order is deterministic.  Entries are immutable
+ * once pushed: to re-key an id, push a new entry and let the consumer
+ * discard stale ones (lazy deletion against its own key array).
+ */
+class EventQueue
+{
+  public:
+    struct Entry
+    {
+        Seconds time = 0.0;
+        std::uint64_t id = 0;
+    };
+
+    bool empty() const { return heap.empty(); }
+    std::size_t size() const { return heap.size(); }
+    void clear() { heap.clear(); }
+
+    void push(Seconds time, std::uint64_t id)
+    {
+        heap.push_back({time, id});
+        std::push_heap(heap.begin(), heap.end(), later);
+    }
+
+    /// Earliest entry. @pre !empty()
+    const Entry &top() const
+    {
+        ECOSCHED_ASSERT(!heap.empty(), "top() on an empty EventQueue");
+        return heap.front();
+    }
+
+    /// Remove and return the earliest entry. @pre !empty()
+    Entry pop()
+    {
+        ECOSCHED_ASSERT(!heap.empty(), "pop() on an empty EventQueue");
+        std::pop_heap(heap.begin(), heap.end(), later);
+        const Entry e = heap.back();
+        heap.pop_back();
+        return e;
+    }
+
+  private:
+    /// std::push_heap builds a max-heap; invert to order by earliest
+    /// (time, id).
+    static bool later(const Entry &a, const Entry &b)
+    {
+        if (a.time != b.time)
+            return a.time > b.time;
+        return a.id > b.id;
+    }
+
+    std::vector<Entry> heap;
+};
+
+/**
+ * Debug-build checker of the horizon contract for one component
+ * (ISSUE-8 satellite: catches the silent-macro-miss bug class).
+ * check() asserts, under ECOSCHED_DEBUG_ASSERT, that the reported
+ * horizon (a) never lies in the past by more than two steps — a
+ * throttled component quotes `lastRun + period - dt` (one step of
+ * deliberate margin), and FP accumulation in `now` can delay the
+ * actual tick by one more grid step, so a pre-tick quote is
+ * legitimately up to two steps stale; the check adds a further
+ * half-step of slack so grid-comparison ulps cannot trip it — and
+ * (b) is non-decreasing in `now` across calls.  Release builds
+ * compile it away to nothing.
+ */
+class HorizonMonitor
+{
+  public:
+    void check(Seconds now, Seconds horizon, Seconds dt,
+               const char *component)
+    {
+#ifdef NDEBUG
+        (void)now;
+        (void)horizon;
+        (void)dt;
+        (void)component;
+#else
+        ECOSCHED_DEBUG_ASSERT(
+            !(horizon < now - 2.5 * dt),
+            std::string(component)
+                + " nextActivity() returned a horizon more than two "
+                  "steps in the past (horizon "
+                + std::to_string(horizon) + " s, now "
+                + std::to_string(now) + " s)");
+        // A horizon at or before `now` means "right now / unknown"
+        // and may repeat at any value as time advances; only future
+        // promises must never move backwards.
+        ECOSCHED_DEBUG_ASSERT(
+            !(lastHorizon > lastNow && now >= lastNow
+              && horizon < lastHorizon && horizon > now),
+            std::string(component)
+                + " nextActivity() went backwards (promised "
+                + std::to_string(lastHorizon) + " s at now "
+                + std::to_string(lastNow) + " s, then "
+                + std::to_string(horizon) + " s at now "
+                + std::to_string(now) + " s)");
+        lastNow = now;
+        lastHorizon = horizon;
+#endif
+    }
+
+    /// Forget history (snapshot restore rewinds component state).
+    void reset()
+    {
+#ifndef NDEBUG
+        lastNow = -horizonNever;
+        lastHorizon = -horizonNever;
+#endif
+    }
+
+#ifndef NDEBUG
+  private:
+    Seconds lastNow = -horizonNever;
+    Seconds lastHorizon = -horizonNever;
+#endif
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_SIM_EVENT_QUEUE_HH

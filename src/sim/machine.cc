@@ -508,17 +508,13 @@ std::uint64_t
 Machine::macroAdvance(Seconds t, Seconds dt, MacroStepHooks *hooks)
 {
     fatalIf(dt <= 0.0, "macroAdvance needs a positive dt");
-    // Fault-injection hooks need plain steps around their events:
-    // clamping the horizon to the hook's next activity both stops a
-    // window short of a pending fault and forces the per-step
-    // fallback while one is due.
-    if (faultHook != nullptr)
-        t = std::min(t, faultHook->nextActivity(simTime));
-    // Pending c-state promotions are activity the same way pending
-    // faults are: clamping the horizon keeps every promotion inside
-    // a plain step (where poll() fires it), so a macro window never
-    // spans an idle-state transition.
-    t = std::min(t, idleState.nextTransition());
+    // Clamp the window to the unified machine horizon: the fault
+    // hook's next event and pending c-state promotions are activity
+    // the same way — each must land in a plain step (where onStep()
+    // delivers it / poll() fires it), so a macro window never spans
+    // one.  A non-eligible machine reports `simTime` and falls
+    // through to the per-step path below.
+    t = std::min(t, nextActivity(simTime, dt));
     if (!macroEligible() || !(simTime + dt * 0.5 < t))
         return 0;
     if (hooks != nullptr && !hooks->beforeStep())
@@ -825,6 +821,10 @@ Machine::restore(const MachineSnapshot &s)
     simTime = s.simTime;
     isHalted = s.isHalted;
     faultHook = nullptr; // hooks are wiring; callers re-arm
+    // A restore may rewind time; the horizon monitors' history would
+    // otherwise misread the rewind as a backwards horizon.
+    hookMonitor.reset();
+    idleMonitor.reset();
     nextThreadId = s.nextThreadId;
     threadSlots = s.threadSlots;
     slotOfId = s.slotOfId;
@@ -869,6 +869,25 @@ Machine::runUntil(Seconds t, Seconds dt)
         if (macroAdvance(t, dt) == 0)
             step(dt);
     }
+}
+
+Seconds
+Machine::nextActivity(Seconds now, Seconds dt) const
+{
+    if (!macroEligible())
+        return now; // per-step stochastic draws, or trivially halted
+    // The thermal RC state needs no step of its own: its per-step
+    // integration is replayed bit-exactly inside macro windows.
+    Seconds next = thermal.nextActivity(now);
+    const Seconds idle_next = idleState.nextTransition();
+    idleMonitor.check(now, idle_next, dt, "IdleStateTracker");
+    next = std::min(next, idle_next);
+    if (faultHook != nullptr) {
+        const Seconds hook_next = faultHook->nextActivity(now);
+        hookMonitor.check(now, hook_next, dt, "FaultHook");
+        next = std::min(next, hook_next);
+    }
+    return next;
 }
 
 Volt

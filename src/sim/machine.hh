@@ -43,6 +43,7 @@
 #include "power/energy_meter.hh"
 #include "power/power_model.hh"
 #include "power/thermal.hh"
+#include "sim/event_queue.hh"
 #include "sim/memory_system.hh"
 #include "sim/perf_counters.hh"
 #include "sim/work_profile.hh"
@@ -346,6 +347,22 @@ class Machine
     }
 
     /**
+     * Unified machine event horizon: a conservative lower bound on
+     * the earliest virtual time at which per-step execution is
+     * needed, folding every machine-owned activity source — the
+     * fault hook's next event, pending IdleStateTracker c-state
+     * promotions and the thermal RC horizon (never: temperature
+     * integrates bit-exactly inside macro windows).  Returns @p now
+     * when the machine is not macroEligible() — stochastic droop or
+     * fault draws (and a halted machine's trivial steps) are
+     * per-step activity by definition.  @p dt is the step the caller
+     * advances with; Debug builds use it as the tolerance when
+     * checking each source against the horizon contract
+     * (event_queue.hh).  Never later than the true first activity.
+     */
+    Seconds nextActivity(Seconds now, Seconds dt) const;
+
+    /**
      * Try to advance toward time @p t in one uniform macro window of
      * fixed-@p dt steps, committing bit-identical state to the
      * equivalent step(dt) sequence.  A window only covers steps
@@ -481,6 +498,10 @@ class Machine
     Seconds simTime = 0.0;
     bool isHalted = false;
     FaultHook *faultHook = nullptr;
+    /// Debug-build horizon-contract checkers (event_queue.hh); the
+    /// query they observe is const, hence mutable.
+    mutable HorizonMonitor hookMonitor;
+    mutable HorizonMonitor idleMonitor;
     SimThreadId nextThreadId = 1;
     /// Bound threads, dense and id-ascending (ids are monotonic and
     /// appended, so insertion order is id order).

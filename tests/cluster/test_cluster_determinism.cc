@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include "cluster/cluster.hh"
+#include "platform/chip_spec.hh"
+#include "sim/event_queue.hh"
 
 namespace ecosched {
 namespace {
@@ -152,6 +154,90 @@ TEST(ClusterDeterminism, RackCrashAcrossShardBoundaryIsInvariant)
             << c.jobs << " workers, " << c.shards << " shards";
         EXPECT_EQ(summaryOf(r), expected)
             << c.jobs << " workers, " << c.shards << " shards";
+    }
+}
+
+/// Restores the event-path env/override split however a test exits.
+struct EventPathGuard
+{
+    ~EventPathGuard() { setEventPathOverride(-1); }
+};
+
+/**
+ * The DESIGN.md §13 composition case at fleet scale: a c-state fleet
+ * running the COREIDLE policy, the SLO autoscaler evaluating on its
+ * cadence, a machine-level droop window armed on one node and a
+ * NodeCrash + restart on another — so frontier classification has to
+ * cope with every horizon source (governor ticks, idle transitions,
+ * injector windows, inbox arrivals, dead nodes) inside one run.
+ */
+ClusterConfig
+composedCluster(unsigned jobs, std::size_t shards, std::size_t window)
+{
+    ClusterConfig cc;
+    cc.nodes = mixedFleet(4, 7, PolicyKind::CoreIdle);
+    for (NodeConfig &node : cc.nodes)
+        node.chip = withCStates(node.chip);
+    cc.dispatch = DispatchPolicy::EnergyAware;
+    cc.traffic.duration = 90.0;
+    cc.traffic.arrivalsPerSecond = 0.08;
+    cc.traffic.seed = 7;
+    cc.drainBoundFactor = 20.0;
+    cc.autoscale.enabled = true;
+    cc.autoscale.evalInterval = 10.0;
+
+    FaultEvent droop; // machine-level: routed to node 1's injector
+    droop.kind = FaultKind::DroopSpike;
+    droop.node = 1;
+    droop.time = 25.0;
+    droop.duration = 2.0;
+    droop.magnitude = 15.0;
+    FaultEvent crash; // cluster-level: node 2 down at 40s, back at 60s
+    crash.kind = FaultKind::NodeCrash;
+    crash.node = 2;
+    crash.time = 40.0;
+    crash.duration = 20.0;
+    cc.injection = InjectionPlan::scripted({droop, crash});
+
+    cc.jobs = jobs;
+    cc.shards = shards;
+    cc.maxPipelineWindow = window;
+    return cc;
+}
+
+TEST(ClusterDeterminism, EventFrontierMatchesReferencePath)
+{
+    // The per-shard next-event frontier must reproduce the reference
+    // sweep bit-for-bit — across worker counts, shard counts and
+    // pipeline windows, with every horizon source active at once.
+    // ClusterSim samples the path once at start(), so the override
+    // wraps the whole construct-and-run.
+    EventPathGuard guard;
+
+    setEventPathOverride(0);
+    const ClusterResult reference =
+        ClusterSim(composedCluster(1, 1, 1)).run();
+    ASSERT_GT(reference.jobsCompleted, 0u);
+    ASSERT_EQ(reference.nodeCrashes, 1u);
+    ASSERT_EQ(reference.nodeRestarts, 1u);
+    const std::string expected = summaryOf(reference);
+
+    const struct { unsigned jobs; std::size_t shards, window; }
+    combos[] = {{1, 1, 1}, {1, 4, 8}, {4, 2, 4}, {4, 4, 8}};
+    for (const auto &c : combos) {
+        setEventPathOverride(1);
+        const ClusterResult r =
+            ClusterSim(composedCluster(c.jobs, c.shards, c.window))
+                .run();
+        EXPECT_EQ(r.totalEnergy, reference.totalEnergy)
+            << c.jobs << " workers, " << c.shards << " shards, "
+            << c.window << " window";
+        EXPECT_EQ(r.latencyP99, reference.latencyP99);
+        EXPECT_EQ(r.latencyMean, reference.latencyMean);
+        EXPECT_EQ(r.makespan, reference.makespan);
+        EXPECT_EQ(summaryOf(r), expected)
+            << c.jobs << " workers, " << c.shards << " shards, "
+            << c.window << " window";
     }
 }
 

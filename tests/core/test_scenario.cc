@@ -11,6 +11,7 @@
 
 #include "common/error.hh"
 #include "core/scenario.hh"
+#include "sim/event_queue.hh"
 
 namespace ecosched {
 namespace {
@@ -263,6 +264,96 @@ TEST(Scenario, RejectsMismatchedWorkload)
     ScenarioConfig ok;
     ok.chip = xGene3();
     EXPECT_THROW(ScenarioRunner(ok).run(empty), FatalError);
+}
+
+TEST(ScenarioEventDeterminism, EventPathBitIdenticalAcrossPolicies)
+{
+    // The event-driven main loop (ECOSCHED_EVENT_PATH=1, the
+    // default) coalesces arrival/sample/drain boundaries through an
+    // event queue and lets the governor/daemon horizons stretch
+    // macro windows across them.  Every result field and every
+    // timeline sample must match the per-step reference loop
+    // bit-for-bit, for every policy — including the daemon-driven
+    // Optimal and the c-state-aware CoreIdle/RaceToIdle schemes.
+    const ChipSpec spec = xGene2();
+    const GeneratedWorkload wl = makeWorkload(spec, 300.0);
+    for (const PolicyKind policy :
+         {PolicyKind::Baseline, PolicyKind::SafeVmin,
+          PolicyKind::Placement, PolicyKind::Optimal,
+          PolicyKind::CoreIdle, PolicyKind::RaceToIdle}) {
+        setEventPathOverride(0);
+        const ScenarioResult fixed = run(spec, wl, policy);
+        setEventPathOverride(1);
+        const ScenarioResult event = run(spec, wl, policy);
+        setEventPathOverride(-1);
+
+        const char *name = policyKindName(policy);
+        EXPECT_EQ(event.energy, fixed.energy) << name;
+        EXPECT_EQ(event.completionTime, fixed.completionTime)
+            << name;
+        EXPECT_EQ(event.averagePower, fixed.averagePower) << name;
+        EXPECT_EQ(event.ed2p, fixed.ed2p) << name;
+        EXPECT_EQ(event.latencyP50, fixed.latencyP50) << name;
+        EXPECT_EQ(event.latencyP95, fixed.latencyP95) << name;
+        EXPECT_EQ(event.latencyMax, fixed.latencyMax) << name;
+        EXPECT_EQ(event.unsafeExposure, fixed.unsafeExposure)
+            << name;
+        EXPECT_EQ(event.processesCompleted,
+                  fixed.processesCompleted)
+            << name;
+        EXPECT_EQ(event.migrations, fixed.migrations) << name;
+        EXPECT_EQ(event.voltageTransitions,
+                  fixed.voltageTransitions)
+            << name;
+        EXPECT_EQ(event.frequencyTransitions,
+                  fixed.frequencyTransitions)
+            << name;
+        EXPECT_EQ(event.idleC1Seconds, fixed.idleC1Seconds) << name;
+        EXPECT_EQ(event.idleC6Seconds, fixed.idleC6Seconds) << name;
+        ASSERT_EQ(event.timeline.size(), fixed.timeline.size())
+            << name;
+        for (std::size_t i = 0; i < fixed.timeline.size(); ++i) {
+            const TimelineSample &a = fixed.timeline[i];
+            const TimelineSample &b = event.timeline[i];
+            EXPECT_EQ(a.time, b.time) << name << " sample " << i;
+            EXPECT_EQ(a.power, b.power) << name << " sample " << i;
+            EXPECT_EQ(a.loadAverage, b.loadAverage)
+                << name << " sample " << i;
+            EXPECT_EQ(a.runningProcs, b.runningProcs)
+                << name << " sample " << i;
+            EXPECT_EQ(a.voltage, b.voltage)
+                << name << " sample " << i;
+            EXPECT_EQ(a.temperature, b.temperature)
+                << name << " sample " << i;
+        }
+    }
+}
+
+TEST(ScenarioEventDeterminism, FaultInjectionScenarioMatches)
+{
+    // injectFaults disables macro eligibility outright (per-step
+    // stochastic droop draws), so the event loop must fall back to
+    // plain stepping and still reproduce the reference bitwise.
+    const ChipSpec spec = xGene2();
+    const GeneratedWorkload wl = makeWorkload(spec, 200.0);
+    ScenarioConfig sc;
+    sc.chip = spec;
+    sc.policy = PolicyKind::Baseline;
+    sc.injectFaults = true;
+    setEventPathOverride(0);
+    const ScenarioResult fixed = ScenarioRunner(sc).run(wl);
+    setEventPathOverride(1);
+    const ScenarioResult event = ScenarioRunner(sc).run(wl);
+    setEventPathOverride(-1);
+    EXPECT_EQ(event.energy, fixed.energy);
+    EXPECT_EQ(event.completionTime, fixed.completionTime);
+    EXPECT_EQ(event.worstOutcome, fixed.worstOutcome);
+    EXPECT_EQ(event.processesFailed, fixed.processesFailed);
+    ASSERT_EQ(event.timeline.size(), fixed.timeline.size());
+    for (std::size_t i = 0; i < fixed.timeline.size(); ++i) {
+        EXPECT_EQ(event.timeline[i].time, fixed.timeline[i].time);
+        EXPECT_EQ(event.timeline[i].power, fixed.timeline[i].power);
+    }
 }
 
 } // namespace

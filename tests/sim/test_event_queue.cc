@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the event-engine primitives (DESIGN.md §13): the
+ * binary-heap EventQueue and its lazy-deletion convention, the
+ * horizonNever sentinel, and the ECOSCHED_EVENT_PATH gate with its
+ * test override.  The horizon *contract* itself is pinned by the
+ * event-vs-fixed bit-identity suites (test_macro_step.cc,
+ * test_scenario.cc, test_cluster_determinism.cc); HorizonMonitor's
+ * assertions fire in the Debug CI lane when any component breaks it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace ecosched {
+namespace {
+
+TEST(EventQueue, PopsInTimeThenIdOrder)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    q.push(3.0, 30);
+    q.push(1.0, 11);
+    q.push(2.0, 20);
+    q.push(1.0, 10); // same time: lower id first
+    EXPECT_EQ(q.size(), 4u);
+
+    std::vector<std::pair<Seconds, std::uint64_t>> popped;
+    while (!q.empty()) {
+        popped.emplace_back(q.top().time, q.top().id);
+        q.pop();
+    }
+    const std::vector<std::pair<Seconds, std::uint64_t>> expected{
+        {1.0, 10}, {1.0, 11}, {2.0, 20}, {3.0, 30}};
+    EXPECT_EQ(popped, expected);
+}
+
+TEST(EventQueue, LazyDeletionDropsStaleEntries)
+{
+    // The convention every frontier user follows: the key array is
+    // authoritative, the heap may hold superseded entries, and a
+    // popped entry is acted on only when it matches the key.
+    std::vector<Seconds> key{5.0, 2.0, 9.0};
+    EventQueue q;
+    for (std::size_t i = 0; i < key.size(); ++i)
+        q.push(key[i], i);
+
+    key[0] = 1.0; // re-key node 0 earlier...
+    q.push(key[0], 0);
+    key[2] = std::numeric_limits<Seconds>::infinity(); // ...2 never
+
+    std::vector<std::uint64_t> acted;
+    while (!q.empty()) {
+        const EventQueue::Entry e = q.top();
+        q.pop();
+        if (e.time == key[e.id])
+            acted.push_back(e.id);
+    }
+    // Node 0 acts once at its new time, node 1 at its only time;
+    // node 0's superseded entry and node 2's invalidated one drop.
+    EXPECT_EQ(acted, (std::vector<std::uint64_t>{0, 1}));
+}
+
+TEST(EventQueue, ClearEmptiesAndNeverHoldsInfinity)
+{
+    EventQueue q;
+    q.push(1.0, 1);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+
+    EXPECT_TRUE(horizonNever
+                == std::numeric_limits<Seconds>::infinity());
+    EXPECT_GT(horizonNever, 1e30); // later than any simulated time
+}
+
+TEST(EventQueue, PathOverrideWinsOverEnvironment)
+{
+    // Whatever ECOSCHED_EVENT_PATH says in this environment, the
+    // test override must take precedence in both directions, and
+    // clearing it must hand control back to the environment.
+    const bool env_default = eventPathEnabled();
+    setEventPathOverride(1);
+    EXPECT_TRUE(eventPathEnabled());
+    setEventPathOverride(0);
+    EXPECT_FALSE(eventPathEnabled());
+    setEventPathOverride(-1);
+    EXPECT_EQ(eventPathEnabled(), env_default);
+}
+
+TEST(EventQueue, HorizonMonitorAcceptsContractObeyingSequences)
+{
+    // A monitor fed a well-behaved horizon stream must stay silent
+    // in every build mode: monotone future promises, "act now"
+    // resets (a governor whose state changed), and never.
+    HorizonMonitor m;
+    m.check(0.0, 0.5, 0.01, "test");
+    m.check(0.1, 0.5, 0.01, "test");  // promise held
+    m.check(0.2, 0.7, 0.01, "test");  // promise extended
+    m.check(0.7, 0.7, 0.01, "test");  // due now
+    m.check(0.8, 0.8, 0.01, "test");  // unknown: now is always legal
+    m.check(0.9, horizonNever, 0.01, "test");
+    m.reset();
+    m.check(0.0, 0.2, 0.01, "test");  // rewound clock after reset
+    SUCCEED();
+}
+
+} // namespace
+} // namespace ecosched

@@ -13,12 +13,19 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/units.hh"
+#include "idle/coreidle.hh"
+#include "inject/fault_plan.hh"
+#include "inject/injector.hh"
 #include "os/governor.hh"
 #include "os/system.hh"
 #include "platform/topology.hh"
+#include "sim/event_queue.hh"
 #include "sim/machine.hh"
 #include "workloads/catalog.hh"
 
@@ -303,6 +310,210 @@ TEST(SystemMacroDeterminism, DrainMatchesStepLoop)
     EXPECT_EQ(fixed.now(), macro.now());
     EXPECT_TRUE(macro.idle());
     expectSystemsIdentical(fixed, macro);
+}
+
+// --- event path -------------------------------------------------------
+//
+// The event engine (DESIGN.md §13) lets System::runUntil clamp macro
+// windows to the governor's nextActivity() horizon instead of probing
+// wouldAct() per step.  These suites pin the whole contract: for
+// every governor, with fault windows armed and with c-states enabled,
+// the per-step loop, the probing path (ECOSCHED_EVENT_PATH=0) and the
+// horizon path (=1) must commit bit-identical state.
+
+/// Restores the process-wide event-path override on scope exit.
+struct EventPathGuard
+{
+    ~EventPathGuard() { setEventPathOverride(-1); }
+};
+
+/// A Machine + System pair with an optional injector, constructed
+/// identically for the three stepping modes under comparison.
+struct EventRig
+{
+    Machine machine;
+    std::unique_ptr<MachineInjector> injector;
+    System system;
+
+    EventRig(const ChipSpec &spec, std::unique_ptr<Governor> gov,
+             std::unique_ptr<PlacementPolicy> placer = nullptr,
+             const InjectionPlan *plan = nullptr)
+        : machine(spec),
+          system(machine, std::move(placer), std::move(gov))
+    {
+        if (plan != nullptr) {
+            injector = std::make_unique<MachineInjector>(*plan, 99);
+            injector->attach(machine, nullptr);
+        }
+    }
+};
+
+using RigFactory = std::unique_ptr<EventRig> (*)();
+
+/// Drive three identically built systems to @p horizon — per-step,
+/// probing runUntil, horizon runUntil — and require bit-identity.
+void
+expectEventPathIdentical(const RigFactory &make, Seconds horizon)
+{
+    EventPathGuard guard;
+    auto step_rig = make();
+    auto probe_rig = make();
+    auto event_rig = make();
+
+    setEventPathOverride(0);
+    while (step_rig->system.now() < horizon - 1e-9)
+        step_rig->system.step();
+    probe_rig->system.runUntil(horizon);
+    setEventPathOverride(1);
+    event_rig->system.runUntil(horizon);
+
+    EXPECT_EQ(step_rig->system.now(), probe_rig->system.now());
+    EXPECT_EQ(step_rig->system.now(), event_rig->system.now());
+    expectSystemsIdentical(step_rig->system, probe_rig->system);
+    expectSystemsIdentical(step_rig->system, event_rig->system);
+}
+
+TEST(EventPathDeterminism, OndemandGovernorMatches)
+{
+    expectEventPathIdentical([] {
+        auto rig = std::make_unique<EventRig>(
+            xGene3(), std::make_unique<OndemandGovernor>());
+        submitMix(rig->system);
+        return rig;
+    }, 15.0);
+}
+
+TEST(EventPathDeterminism, SchedutilGovernorMatches)
+{
+    expectEventPathIdentical([] {
+        auto rig = std::make_unique<EventRig>(
+            xGene3(), std::make_unique<SchedutilGovernor>());
+        submitMix(rig->system);
+        return rig;
+    }, 15.0);
+}
+
+TEST(EventPathDeterminism, PerformanceGovernorMatches)
+{
+    expectEventPathIdentical([] {
+        auto rig = std::make_unique<EventRig>(
+            xGene3(), std::make_unique<PerformanceGovernor>());
+        submitMix(rig->system);
+        return rig;
+    }, 15.0);
+}
+
+TEST(EventPathDeterminism, PowersaveGovernorMatches)
+{
+    expectEventPathIdentical([] {
+        auto rig = std::make_unique<EventRig>(
+            xGene3(), std::make_unique<PowersaveGovernor>());
+        submitMix(rig->system);
+        return rig;
+    }, 15.0);
+}
+
+TEST(EventPathDeterminism, UserspaceGovernorMatches)
+{
+    expectEventPathIdentical([] {
+        auto rig = std::make_unique<EventRig>(
+            xGene3(), std::make_unique<UserspaceGovernor>());
+        submitMix(rig->system);
+        return rig;
+    }, 15.0);
+}
+
+TEST(EventPathDeterminism, CoreIdleGovernorMatches)
+{
+    expectEventPathIdentical([] {
+        auto placer = std::make_unique<CoreIdleMaskPlacer>();
+        auto gov = std::make_unique<CoreIdleGovernor>(
+            CoreIdleGovernor::Config{}, placer.get());
+        auto rig = std::make_unique<EventRig>(
+            xGene3(), std::move(gov), std::move(placer));
+        submitMix(rig->system);
+        return rig;
+    }, 15.0);
+}
+
+/// Droop windows, a SLIMpro congestion window and a point thread
+/// strike: the fault hook's horizon must bound every macro window so
+/// strikes land on the very same step on all three paths.
+const InjectionPlan &
+faultPlanForEventTests()
+{
+    static const InjectionPlan plan = [] {
+        std::vector<FaultEvent> events;
+        FaultEvent droop;
+        droop.kind = FaultKind::DroopSpike;
+        droop.time = 2.0;
+        droop.duration = 0.5;
+        droop.magnitude = 15.0;
+        events.push_back(droop);
+        droop.time = 9.0;
+        droop.duration = 0.3;
+        events.push_back(droop);
+        FaultEvent slim;
+        slim.kind = FaultKind::SlimProDelay;
+        slim.time = 4.0;
+        slim.duration = 1.0;
+        slim.magnitude = units::us(1500);
+        slim.probability = 0.5;
+        events.push_back(slim);
+        FaultEvent strike;
+        strike.kind = FaultKind::ThreadFault;
+        strike.time = 6.0;
+        strike.outcome = RunOutcome::Sdc;
+        events.push_back(strike);
+        return InjectionPlan::scripted(std::move(events));
+    }();
+    return plan;
+}
+
+TEST(EventPathDeterminism, FaultWindowsMatchAcrossPaths)
+{
+    expectEventPathIdentical([] {
+        auto rig = std::make_unique<EventRig>(
+            xGene3(), std::make_unique<OndemandGovernor>(), nullptr,
+            &faultPlanForEventTests());
+        submitMix(rig->system);
+        return rig;
+    }, 15.0);
+}
+
+TEST(EventPathDeterminism, CStateChipMatchesAcrossPaths)
+{
+    // Calibrated c-state tables: cores promote into c1/c6 while the
+    // mix drains, so IdleStateTracker transitions land inside what
+    // would otherwise be one long macro window.
+    expectEventPathIdentical([] {
+        auto rig = std::make_unique<EventRig>(
+            withCStates(xGene3()),
+            std::make_unique<OndemandGovernor>());
+        rig->system.submit(bench("EP"), 4);
+        rig->system.submit(bench("milc"), 1);
+        return rig;
+    }, 25.0);
+}
+
+TEST(EventPathDeterminism, ComposedCStateFaultCoreIdleEpoch)
+{
+    // The satellite-3 composition: a c-state chip under the CoreIdle
+    // governor with an active droop window — c-state transitions,
+    // fault-hook activity and governor ticks all land inside the
+    // same coalescing horizon, and the three paths must still agree
+    // to the last bit.
+    expectEventPathIdentical([] {
+        auto placer = std::make_unique<CoreIdleMaskPlacer>();
+        auto gov = std::make_unique<CoreIdleGovernor>(
+            CoreIdleGovernor::Config{}, placer.get());
+        auto rig = std::make_unique<EventRig>(
+            withCStates(xGene2()), std::move(gov),
+            std::move(placer), &faultPlanForEventTests());
+        rig->system.submit(bench("EP"), 4);
+        rig->system.submit(bench("namd"), 1);
+        return rig;
+    }, 25.0);
 }
 
 } // namespace

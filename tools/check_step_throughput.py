@@ -3,21 +3,33 @@
 
 Usage: check_step_throughput.py BASELINE.json CURRENT.json [MAX_SLOWDOWN]
 
-Exits non-zero when any (chip, occupancy, path) case runs more than
-MAX_SLOWDOWN times slower than the baseline (default 3.0).  The wide
-margin makes the check meaningful only for order-of-magnitude
+Consumes the `ecosched.step_throughput/2` schema (per-case records
+keyed by chip / occupancy / path, where path is one of fixed, macro,
+event).  Two gates, both against MAX_SLOWDOWN (default 3.0):
+
+  * per case: any (chip, occupancy, path) running more than
+    MAX_SLOWDOWN times slower than baseline fails;
+  * per path: the geometric mean of the current/baseline ratios over
+    each path's cases must also stay above 1/MAX_SLOWDOWN — a broad
+    path-wide slide fails even when no single case crosses the
+    per-case line.
+
+The wide margin makes the check meaningful only for order-of-magnitude
 regressions — CI runners are too noisy for tight thresholds, which is
 also why the CI job wiring is non-gating.
 """
 
 import json
+import math
 import sys
+
+SCHEMA = "ecosched.step_throughput/2"
 
 
 def load(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema") != "ecosched.step_throughput/1":
+    if doc.get("schema") != SCHEMA:
         sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
     return {
         (r["chip"], r["occupancy"], r["path"]): r["steps_per_sec"]
@@ -33,6 +45,7 @@ def main(argv):
     max_slowdown = float(argv[3]) if len(argv) == 4 else 3.0
 
     failed = False
+    ratios_by_path = {}
     for key, base_sps in sorted(baseline.items()):
         cur_sps = current.get(key)
         if cur_sps is None:
@@ -40,12 +53,23 @@ def main(argv):
             failed = True
             continue
         ratio = cur_sps / base_sps
+        ratios_by_path.setdefault(key[2], []).append(ratio)
         status = "ok"
         if ratio * max_slowdown < 1.0:
             status = f"REGRESSION (> {max_slowdown:.1f}x slower)"
             failed = True
-        print(f"{key[0]:>8} {key[1]:>4} {key[2]:>5}: "
+        print(f"{key[0]:>8} {key[1]:>5} {key[2]:>5}: "
               f"{cur_sps:12.0f} steps/s ({ratio:5.2f}x baseline) {status}")
+
+    for path, ratios in sorted(ratios_by_path.items()):
+        geomean = math.exp(sum(math.log(r) for r in ratios)
+                           / len(ratios))
+        status = "ok"
+        if geomean * max_slowdown < 1.0:
+            status = f"REGRESSION (> {max_slowdown:.1f}x slower)"
+            failed = True
+        print(f"geomean {path:>5}: {geomean:5.2f}x baseline "
+              f"over {len(ratios)} cases {status}")
     return 1 if failed else 0
 
 
