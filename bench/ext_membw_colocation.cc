@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Extension — MEMBW co-location: DRAM bandwidth reservation plus the
+ * bandwidth-aware dispatcher (DESIGN.md §15), beyond the paper's
+ * single-node policies.
+ *
+ * Serves the two MEMBW evaluation mixes on small reservation-armed
+ * fleets of each chip (ceiling = 1/4 of the DRAM peak, where
+ * stacking memory-bound work throttles hard):
+ *
+ *  - colocation:   latency-critical compute (namd, EP) co-arriving
+ *                  with memory-bound batch (milc, CG, FT) — the mix
+ *                  where the L3C-rate split alone under-describes a
+ *                  job (two memory-classified programs can differ
+ *                  severalfold in DRAM bandwidth);
+ *  - memory-flood: only milc/CG/FT, saturating any one node's
+ *                  ceiling.
+ *
+ * Each (chip, scenario) pair runs under least_loaded, energy_aware
+ * and bandwidth_aware dispatch on the identical arrival stream.
+ * Reports job accounting, energy per job, p99 sojourn, and the
+ * fleet's throttle telemetry.  The headline claim this bench pins:
+ * on at least one chip's colocation rows, bandwidth_aware beats
+ * least_loaded on energy per job at equal-or-better p99.  Emits
+ * machine-readable JSON (schema `ecosched.membw/1`, documented in
+ * EXPERIMENTS.md) so CI can compare a quick run against the
+ * committed BENCH_membw.json.
+ *
+ * Usage: ext_membw_colocation [duration_s] [seed] [--jobs N]
+ *                             [--quick] [--out FILE]
+ *
+ * --quick shortens the arrival window to 120 s (CI smoke); the
+ * default is 240 s.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ecosched/ecosched.hh"
+
+using namespace ecosched;
+
+namespace {
+
+constexpr std::size_t kFleetSize = 4;
+/// Reservation at a quarter of the DRAM peak: far enough below the
+/// common contention cap that stacked memory-bound jobs throttle.
+constexpr double kCeilingFraction = 0.25;
+
+/// Homogeneous reservation-armed fleet of one chip model.
+std::vector<NodeConfig>
+reservedFleet(const ChipSpec &chip, std::uint64_t seed)
+{
+    const BytesPerSecond ceiling =
+        MemoryParams::forChipName(chip.name).peakDramBandwidth
+        * kCeilingFraction;
+    const Rng root(seed);
+    std::vector<NodeConfig> nodes(kFleetSize);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        nodes[i].chip = withMemBw(chip, ceiling);
+        nodes[i].machineSeed = root.fork(i).next();
+    }
+    return nodes;
+}
+
+/// Arrival rate offering `occupancy` of the fleet's capacity.
+double
+plannedRate(const std::vector<NodeConfig> &nodes,
+            const TrafficModel &planner, double occupancy)
+{
+    double rate = 0.0;
+    for (const NodeConfig &nc : nodes) {
+        rate += occupancy
+            * static_cast<double>(nc.chip.numCores)
+            / planner.meanCoreSecondsPerJob(nc.chip.numCores);
+    }
+    return rate;
+}
+
+struct Scenario
+{
+    const char *name;
+    TrafficMix mix;
+    double occupancy;
+};
+
+constexpr Scenario kScenarios[] = {
+    {"colocation", TrafficMix::Colocation, 0.5},
+    {"memory-flood", TrafficMix::MemoryFlood, 0.25},
+};
+
+/// One measured (chip, scenario, dispatch) point.
+struct Point
+{
+    std::string chip;
+    std::string scenario;
+    std::string dispatch;
+    ClusterResult r;
+};
+
+Point
+runPoint(const ChipSpec &chip, const Scenario &sc,
+         DispatchPolicy policy, Seconds duration, std::uint64_t seed,
+         unsigned jobs)
+{
+    ClusterConfig cc;
+    cc.nodes = reservedFleet(chip, seed);
+    cc.dispatch = policy;
+    cc.traffic.duration = duration;
+    cc.traffic.seed = seed;
+    cc.traffic.mix = sc.mix;
+    cc.traffic.chipName = chip.name;
+    cc.traffic.referenceFrequency = chip.fMax;
+    cc.traffic.arrivalsPerSecond = plannedRate(
+        cc.nodes, TrafficModel(cc.traffic), sc.occupancy);
+    // Heavily throttled floods drain slowly; the bound only arms the
+    // runaway assertion, and sojourns run far past the default
+    // histogram top (a pinned p99 would mask the dispatch effect).
+    cc.drainBoundFactor = 60.0;
+    cc.latencyHistogramMax = 3600.0;
+    cc.latencyHistogramBins = 36000;
+    cc.jobs = jobs;
+
+    Point p;
+    p.chip = chip.name;
+    p.scenario = sc.name;
+    p.dispatch = dispatchPolicyName(policy);
+    p.r = ClusterSim(std::move(cc)).run();
+    return p;
+}
+
+std::string
+toJson(const std::vector<Point> &points, Seconds duration,
+       std::uint64_t seed)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "{\n  \"schema\": \"ecosched.membw/1\",\n"
+       << "  \"duration_sec\": " << duration << ",\n"
+       << "  \"seed\": " << seed << ",\n"
+       << "  \"ceiling_fraction\": " << kCeilingFraction << ",\n"
+       << "  \"results\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &p = points[i];
+        const ClusterResult &r = p.r;
+        os << "    {\"chip\": \"" << p.chip << "\", \"scenario\": \""
+           << p.scenario << "\", \"dispatch\": \"" << p.dispatch
+           << "\", \"jobs_submitted\": " << r.jobsSubmitted
+           << ", \"jobs_completed\": " << r.jobsCompleted
+           << ", \"total_energy_j\": " << r.totalEnergy
+           << ", \"energy_per_job_j\": " << r.energyPerJob()
+           << ", \"avg_power_w\": " << r.averagePower
+           << ", \"latency_p99_s\": " << r.latencyP99
+           << ", \"latency_mean_s\": " << r.latencyMean
+           << ", \"slo_violations\": " << r.sloViolations
+           << ", \"makespan_s\": " << r.makespan
+           << ", \"mem_throttled_s\": " << r.memThrottledSeconds
+           << ", \"peak_mem_throttle\": " << r.peakMemThrottle
+           << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const unsigned jobs = stripJobsFlag(argc, argv);
+    bool quick = false;
+    std::string out = "BENCH_membw.json";
+    std::vector<char *> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--out" && i + 1 < argc) {
+            out = argv[++i];
+        } else {
+            positional.push_back(argv[i]);
+        }
+    }
+    Seconds duration =
+        !positional.empty() ? std::atof(positional[0]) : 240.0;
+    if (duration <= 0.0)
+        duration = 240.0;
+    if (quick)
+        duration = std::min(duration, 120.0);
+    const std::uint64_t seed = positional.size() > 1
+        ? static_cast<std::uint64_t>(std::atoll(positional[1]))
+        : 7;
+
+    std::cout << "=== Extension: MEMBW co-location (DRAM reservation"
+                 " at " << formatDouble(kCeilingFraction * 100, 0)
+              << "% of peak, " << kFleetSize << "-node fleets; "
+              << formatDouble(duration, 0) << " s of arrivals, seed "
+              << seed << ") ===\n\n";
+
+    const std::vector<DispatchPolicy> policies = {
+        DispatchPolicy::LeastLoaded, DispatchPolicy::EnergyAware,
+        DispatchPolicy::BandwidthAware};
+
+    std::vector<Point> points;
+    TextTable t({"chip", "scenario", "dispatch", "jobs", "J/job",
+                 "p99 [s]", "SLO viol", "throttled [th-s]",
+                 "peak fac"});
+    for (const ChipSpec &chip : {xGene2(), xGene3()}) {
+        for (const Scenario &sc : kScenarios) {
+            for (DispatchPolicy policy : policies) {
+                Point p = runPoint(chip, sc, policy, duration, seed,
+                                   jobs);
+                t.addRow({p.chip, p.scenario, p.dispatch,
+                          std::to_string(p.r.jobsCompleted),
+                          formatDouble(p.r.energyPerJob(), 1),
+                          formatDouble(p.r.latencyP99, 2),
+                          std::to_string(p.r.sloViolations),
+                          formatDouble(p.r.memThrottledSeconds, 1),
+                          formatDouble(p.r.peakMemThrottle, 3)});
+                points.push_back(std::move(p));
+            }
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\nIdentical arrival streams per (chip, scenario); "
+                 "only the dispatcher differs.  least_loaded\n"
+                 "balances thread counts and stacks memory-bound "
+                 "jobs into the reservation; bandwidth_aware\n"
+                 "routes each job to the node with the lowest "
+                 "post-placement oversubscription.\n";
+
+    const std::string json = toJson(points, duration, seed);
+    std::ofstream file(out);
+    file << json;
+    if (!file) {
+        std::cerr << "failed to write " << out << "\n";
+        return 1;
+    }
+    std::cerr << "wrote " << out << "\n";
+    return 0;
+}

@@ -425,7 +425,11 @@ ClusterSim::reconcileBoundary()
     }
 
     // Route this epoch's arrivals using the epoch-boundary fleet
-    // view.
+    // view.  The bandwidth signals are only computed for the
+    // bandwidth_aware policy — they walk every node's inbox against
+    // the catalog, which the other policies never look at.
+    const bool bw_aware =
+        cfg.dispatch == DispatchPolicy::BandwidthAware;
     std::vector<NodeView> views(n);
     for (std::size_t i = 0; i < n; ++i) {
         views[i].alive = fleet[i]->alive();
@@ -433,11 +437,24 @@ ClusterSim::reconcileBoundary()
         views[i].cores = fleet[i]->spec().numCores;
         views[i].outstandingThreads = r.outstanding[i];
         views[i].headroomMv = fleet[i]->vminHeadroomMv();
+        if (bw_aware) {
+            views[i].bwDemand = fleet[i]->bandwidthDemand();
+            views[i].bwCeiling = fleet[i]->bandwidthCeiling();
+        }
     }
     while (r.nextArrival < r.arrivals.size()
            && r.arrivals[r.nextArrival].arrival < epochEnd) {
         const ClusterJob &job = r.arrivals[r.nextArrival];
         ++r.nextArrival;
+        if (bw_aware) {
+            // The job's per-thread bandwidth is resolved per node:
+            // frequency and memory constants differ across a
+            // heterogeneous fleet.
+            for (std::size_t i = 0; i < n; ++i) {
+                views[i].bwPerJobThread =
+                    fleet[i]->perThreadBandwidth(job.benchmark);
+            }
+        }
         const std::size_t pick = r.dispatcher.choose(views, job);
         if (pick == Dispatcher::npos) {
             ++r.res.jobsDropped; // whole fleet down
@@ -456,6 +473,11 @@ ClusterSim::reconcileBoundary()
         r.outstanding[pick] += threads;
         r.nodeDirty[pick] = 1; // inbox head may have moved earlier
         views[pick].outstandingThreads = r.outstanding[pick];
+        if (bw_aware) {
+            views[pick].bwDemand +=
+                static_cast<double>(threads)
+                * views[pick].bwPerJobThread;
+        }
     }
 }
 
@@ -718,9 +740,16 @@ ClusterSim::finish()
         s.energy = fleet[i]->energy();
         s.utilization = fleet[i]->utilization();
         s.parkedTime = fleet[i]->parkedTime();
+        s.memThrottled = fleet[i]->memThrottledTime();
+        s.peakMemThrottle = fleet[i]->peakMemThrottle();
         s.crashed = !fleet[i]->alive();
         s.restarts = fleet[i]->restarts();
         res.totalEnergy += s.energy;
+        if (fleet[i]->spec().hasMemBw())
+            res.membwConfigured = true;
+        res.memThrottledSeconds += s.memThrottled;
+        res.peakMemThrottle =
+            std::max(res.peakMemThrottle, s.peakMemThrottle);
         res.nodes.push_back(std::move(s));
     }
     if (res.makespan > 0.0)
@@ -850,6 +879,15 @@ ClusterResult::printSummary(std::ostream &os) const
     summary.addRow({"SLO latency [s]", formatDouble(sloLatency, 1)});
     summary.addRow(
         {"SLO violations", std::to_string(sloViolations)});
+    if (membwConfigured) {
+        // Only armed fleets print these rows: reservation-free
+        // output stays byte-identical to pre-MEMBW builds (pinned by
+        // the *_membw_off goldens).
+        summary.addRow({"mem throttled [thread-s]",
+                        formatDouble(memThrottledSeconds, 1)});
+        summary.addRow({"peak mem throttle",
+                        formatDouble(peakMemThrottle, 3)});
+    }
     summary.print(os);
 
     os << "\n";

@@ -139,6 +139,11 @@ struct NodeSummary
     Joule energy = 0.0;
     double utilization = 0.0; ///< busy-core fraction while awake
     Seconds parkedTime = 0.0;
+    /// Thread-seconds the bandwidth reservation held work below its
+    /// demand (0 on chips without a reservation).
+    Seconds memThrottled = 0.0;
+    /// Worst per-thread throttle factor seen (>= 1).
+    double peakMemThrottle = 1.0;
     bool crashed = false;
     std::uint32_t restarts = 0; ///< crash recoveries so far
 };
@@ -179,6 +184,15 @@ struct ClusterResult
     /// Autoscaler activity (0 when disabled).
     std::uint64_t autoscaleParks = 0;
     std::uint64_t autoscaleUnparks = 0;
+
+    /// Whether any node's chip has a bandwidth reservation armed.
+    /// Gates the membw summary rows, so reservation-free output
+    /// stays byte-identical to builds without the subsystem.
+    bool membwConfigured = false;
+    /// Fleet-wide thread-seconds spent bandwidth-throttled.
+    Seconds memThrottledSeconds = 0.0;
+    /// Worst per-thread throttle factor across the fleet (>= 1).
+    double peakMemThrottle = 1.0;
 
     std::vector<NodeSummary> nodes;
 

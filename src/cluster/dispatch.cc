@@ -11,6 +11,7 @@ dispatchPolicyName(DispatchPolicy policy)
       case DispatchPolicy::RoundRobin:  return "round_robin";
       case DispatchPolicy::LeastLoaded: return "least_loaded";
       case DispatchPolicy::EnergyAware: return "energy_aware";
+      case DispatchPolicy::BandwidthAware: return "bandwidth_aware";
     }
     return "?";
 }
@@ -24,8 +25,11 @@ dispatchPolicyByName(const std::string &name)
         return DispatchPolicy::LeastLoaded;
     if (name == "energy_aware")
         return DispatchPolicy::EnergyAware;
+    if (name == "bandwidth_aware")
+        return DispatchPolicy::BandwidthAware;
     fatal("unknown dispatch policy '", name,
-          "' (round_robin|least_loaded|energy_aware)");
+          "' (round_robin|least_loaded|energy_aware|"
+          "bandwidth_aware)");
 }
 
 Dispatcher::Dispatcher(DispatchPolicy policy) : kind(policy) {}
@@ -51,6 +55,8 @@ Dispatcher::choose(const std::vector<NodeView> &nodes,
         return chooseLeastLoaded(nodes, honor_gate);
       case DispatchPolicy::EnergyAware:
         return chooseEnergyAware(nodes, job, honor_gate);
+      case DispatchPolicy::BandwidthAware:
+        return chooseBandwidthAware(nodes, job, honor_gate);
     }
     return npos;
 }
@@ -126,6 +132,39 @@ Dispatcher::chooseEnergyAware(const std::vector<NodeView> &nodes,
 
     // Pass 3: the fleet is saturated — join the shortest queue.
     return chooseLeastLoaded(nodes, honor_gate);
+}
+
+std::size_t
+Dispatcher::chooseBandwidthAware(const std::vector<NodeView> &nodes,
+                                 const ClusterJob &job,
+                                 bool honor_gate) const
+{
+    // Route to the node where the job's estimated DRAM traffic
+    // oversubscribes the reservation ceiling the least: a
+    // compute-bound job scores 0 everywhere and packs like
+    // least_loaded, while a memory flood is pushed away from nodes
+    // whose ceiling its threads would saturate.  Ceiling-free nodes
+    // (and fleets) score 0 as well, collapsing the whole policy to
+    // the least-loaded order — contractually inert without a
+    // reservation.
+    std::size_t best = npos;
+    double best_score = 0.0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const NodeView &n = nodes[i];
+        if (!eligible(n, honor_gate))
+            continue;
+        const std::uint32_t need = threadsForJob(job, n.cores);
+        const BytesPerSecond extra =
+            static_cast<double>(need) * n.bwPerJobThread;
+        const double score = n.bwOversubscription(extra);
+        if (best == npos || score < best_score
+            || (score == best_score
+                && n.relativeLoad() < nodes[best].relativeLoad())) {
+            best = i;
+            best_score = score;
+        }
+    }
+    return best;
 }
 
 } // namespace ecosched

@@ -16,6 +16,15 @@
  *                  least-loaded when the whole fleet is saturated.
  *                  Nodes left idle park into standby — that is where
  *                  the fleet-level energy saving comes from.
+ *  - bandwidth_aware: co-locate by memory demand.  Route each job to
+ *                  the node where its estimated DRAM bandwidth
+ *                  oversubscribes the node's reservation ceiling the
+ *                  least — compute-bound work stacks onto
+ *                  memory-heavy nodes for free, while memory floods
+ *                  spread out instead of saturating one node's
+ *                  ceiling; ties (including the whole fleet when no
+ *                  ceiling is configured) fall back to the
+ *                  least-loaded order.
  *
  * The dispatcher sees only epoch-boundary snapshots (NodeView), so
  * its decisions are a pure function of the dispatch history — one
@@ -31,6 +40,7 @@
 #include <vector>
 
 #include "cluster/traffic.hh"
+#include "common/units.hh"
 
 namespace ecosched {
 
@@ -40,10 +50,11 @@ enum class DispatchPolicy
     RoundRobin,
     LeastLoaded,
     EnergyAware,
+    BandwidthAware,
 };
 
 /// Human-readable policy name (round_robin | least_loaded |
-/// energy_aware).
+/// energy_aware | bandwidth_aware).
 const char *dispatchPolicyName(DispatchPolicy policy);
 
 /// Parse a policy name. @throws FatalError for unknown names.
@@ -64,6 +75,26 @@ struct NodeView
     std::uint32_t outstandingThreads = 0;
     /// Static safe-Vmin headroom of the chip sample [mV].
     double headroomMv = 0.0;
+    /// Estimated aggregate DRAM bandwidth demand of the node's
+    /// outstanding work [B/s] (filled only for bandwidth_aware).
+    BytesPerSecond bwDemand = 0.0;
+    /// The node's reservation ceiling [B/s]; 0 when the chip has no
+    /// bandwidth reservation configured.
+    BytesPerSecond bwCeiling = 0.0;
+    /// Estimated per-thread DRAM bandwidth an arriving job's threads
+    /// would add on this node [B/s] (resolved per node: frequency
+    /// and memory constants differ across a heterogeneous fleet).
+    BytesPerSecond bwPerJobThread = 0.0;
+
+    /// Bandwidth oversubscription in [0, inf) if @p extra B/s were
+    /// added: demand beyond the ceiling, as a ceiling fraction.
+    double bwOversubscription(BytesPerSecond extra) const
+    {
+        if (bwCeiling <= 0.0)
+            return 0.0;
+        const BytesPerSecond over = bwDemand + extra - bwCeiling;
+        return over <= 0.0 ? 0.0 : over / bwCeiling;
+    }
 
     /// Relative load in [0, inf): outstanding threads per core.
     double relativeLoad() const
@@ -127,6 +158,9 @@ class Dispatcher
     std::size_t chooseEnergyAware(const std::vector<NodeView> &nodes,
                                   const ClusterJob &job,
                                   bool honor_gate) const;
+    std::size_t chooseBandwidthAware(
+        const std::vector<NodeView> &nodes, const ClusterJob &job,
+        bool honor_gate) const;
 
     DispatchPolicy kind;
     std::size_t cursor = 0; ///< round-robin position

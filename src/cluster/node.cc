@@ -117,6 +117,8 @@ ClusterNode::capture() const
     s.priorMeterJoules = priorMeterJoules;
     s.priorBusyCoreSeconds = priorBusyCoreSeconds;
     s.priorUpSeconds = priorUpSeconds;
+    s.priorMemThrottledSeconds = priorMemThrottledSeconds;
+    s.priorPeakMemThrottle = priorPeakMemThrottle;
     s.restartCount = restartCount;
     return s;
 }
@@ -135,6 +137,8 @@ ClusterNode::restore(const Snapshot &s)
     priorMeterJoules = s.priorMeterJoules;
     priorBusyCoreSeconds = s.priorBusyCoreSeconds;
     priorUpSeconds = s.priorUpSeconds;
+    priorMemThrottledSeconds = s.priorMemThrottledSeconds;
+    priorPeakMemThrottle = s.priorPeakMemThrottle;
     restartCount = s.restartCount;
     // Re-arm the injector at the captured time base and delivery
     // position (the stack restore dropped the old wiring).
@@ -174,6 +178,9 @@ ClusterNode::restart(Seconds at)
     priorMeterJoules += stack->machine().energyMeter().energy();
     priorBusyCoreSeconds += stack->system().busyCoreTime();
     priorUpSeconds += stack->system().now();
+    priorMemThrottledSeconds += stack->machine().memThrottledTime();
+    priorPeakMemThrottle = std::max(
+        priorPeakMemThrottle, stack->machine().peakMemThrottle());
     timeBase = at;
     inbox.clear();
     inFlight.clear();
@@ -326,6 +333,46 @@ ClusterNode::energy() const
 {
     return priorMeterJoules + stack->machine().energyMeter().energy()
         - parkedMeterJoules + cfg.standbyPower * parkedSeconds;
+}
+
+BytesPerSecond
+ClusterNode::perThreadBandwidth(const std::string &benchmark) const
+{
+    const BenchmarkProfile &profile =
+        Catalog::instance().byName(benchmark);
+    MemoryDemand demand;
+    demand.profile = &profile.work;
+    demand.coreFrequency = cfg.chip.fMax;
+    return stack->machine().memorySystem().threadBandwidth(demand);
+}
+
+BytesPerSecond
+ClusterNode::bandwidthDemand() const
+{
+    BytesPerSecond total = 0.0;
+    for (const Pending &p : inbox) {
+        total += static_cast<double>(p.threads)
+            * perThreadBandwidth(p.job.benchmark);
+    }
+    for (const auto &entry : inFlight) {
+        total += static_cast<double>(entry.second.threads)
+            * perThreadBandwidth(entry.second.job.benchmark);
+    }
+    return total;
+}
+
+Seconds
+ClusterNode::memThrottledTime() const
+{
+    return priorMemThrottledSeconds
+        + stack->machine().memThrottledTime();
+}
+
+double
+ClusterNode::peakMemThrottle() const
+{
+    return std::max(priorPeakMemThrottle,
+                    stack->machine().peakMemThrottle());
 }
 
 double

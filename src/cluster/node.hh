@@ -186,6 +186,36 @@ class ClusterNode
     Seconds parkedTime() const { return parkedSeconds; }
 
     /**
+     * Estimated aggregate DRAM bandwidth demand of the node's
+     * outstanding work [B/s]: each inbox and in-flight thread's
+     * solo-at-fMax bandwidth on this chip's calibrated memory
+     * system.  A cheap epoch-boundary signal for the bandwidth-aware
+     * dispatcher — it deliberately ignores contention and throttling,
+     * which depend on the very placement the dispatcher is deciding.
+     */
+    BytesPerSecond bandwidthDemand() const;
+
+    /// The chip's DRAM bandwidth reservation ceiling (0 = none).
+    BytesPerSecond bandwidthCeiling() const
+    {
+        return cfg.chip.membw.ceiling;
+    }
+
+    /// Estimated solo-at-fMax bandwidth one thread of @p benchmark
+    /// would demand on this node [B/s].
+    BytesPerSecond perThreadBandwidth(
+        const std::string &benchmark) const;
+
+    /// Cumulative thread-seconds spent bandwidth-throttled (the
+    /// reservation solver held a thread below its demand), carried
+    /// across restarts.
+    Seconds memThrottledTime() const;
+
+    /// Worst per-thread throttle factor seen so far (>= 1), carried
+    /// across restarts.
+    double peakMemThrottle() const;
+
+    /**
      * Crash the node immediately (cluster-level fault injection):
      * the machine halts, every in-flight and inbox job strands, and
      * stepTo() becomes a no-op until restart().  Idempotent.
@@ -246,6 +276,8 @@ class ClusterNode
         Joule priorMeterJoules = 0.0;
         Seconds priorBusyCoreSeconds = 0.0;
         Seconds priorUpSeconds = 0.0;
+        Seconds priorMemThrottledSeconds = 0.0;
+        double priorPeakMemThrottle = 1.0;
         std::uint32_t restartCount = 0;
     };
 
@@ -287,6 +319,8 @@ class ClusterNode
     Joule priorMeterJoules = 0.0;
     Seconds priorBusyCoreSeconds = 0.0;
     Seconds priorUpSeconds = 0.0;
+    Seconds priorMemThrottledSeconds = 0.0;
+    double priorPeakMemThrottle = 1.0;
     std::uint32_t restartCount = 0;
 };
 

@@ -27,6 +27,17 @@ arrivalProcessName(ArrivalProcess process)
     return "?";
 }
 
+const char *
+trafficMixName(TrafficMix mix)
+{
+    switch (mix) {
+      case TrafficMix::FullPool:    return "full_pool";
+      case TrafficMix::Colocation:  return "colocation";
+      case TrafficMix::MemoryFlood: return "memory_flood";
+    }
+    return "?";
+}
+
 std::uint32_t
 threadsForJob(const ClusterJob &job, std::uint32_t node_cores)
 {
@@ -66,11 +77,30 @@ TrafficModel::rateAt(Seconds t) const
         * (1.0 - cfg.diurnalAmplitude * std::cos(phase));
 }
 
+std::vector<const BenchmarkProfile *>
+TrafficModel::pool() const
+{
+    const Catalog &catalog = Catalog::instance();
+    switch (cfg.mix) {
+      case TrafficMix::FullPool:
+        return catalog.generatorPool();
+      case TrafficMix::Colocation:
+        // namd, EP, milc, CG, FT: the Figure 11/12 spectrum —
+        // latency-critical compute at one end, bandwidth-hungry
+        // batch at the other.
+        return catalog.figureBenchmarks();
+      case TrafficMix::MemoryFlood:
+        return {&catalog.byName("milc"), &catalog.byName("CG"),
+                &catalog.byName("FT")};
+    }
+    return catalog.generatorPool();
+}
+
 std::vector<ClusterJob>
 TrafficModel::generate() const
 {
     Rng rng(cfg.seed * 0x9e3779b97f4a7c15ull + 29);
-    const auto pool = Catalog::instance().generatorPool();
+    const auto pool = this->pool();
     ECOSCHED_ASSERT(!pool.empty(), "generator pool is empty");
 
     // Thinning: draw candidate arrivals at the peak rate, accept each
@@ -118,7 +148,7 @@ TrafficModel::meanCoreSecondsPerJob(
 {
     fatalIf(reference_cores == 0,
             "reference core count must be positive");
-    const auto pool = Catalog::instance().generatorPool();
+    const auto pool = this->pool();
     double total = 0.0;
     for (const BenchmarkProfile *profile : pool) {
         if (!profile->parallel) {

@@ -44,6 +44,29 @@ enum class ArrivalProcess
 const char *arrivalProcessName(ArrivalProcess process);
 
 /**
+ * Benchmark pool the stream draws from.  The default (FullPool) is
+ * the §VI.B 35-program pool and produces bit-identical streams to
+ * builds without this knob; the other mixes are the MEMBW evaluation
+ * scenarios, where the L3C-rate split alone under-describes the
+ * workload (two memory-classified programs can differ 5x in DRAM
+ * bandwidth).
+ */
+enum class TrafficMix
+{
+    FullPool,    ///< all 35 programs (default)
+    /// Latency-critical compute (namd, EP) co-arriving with
+    /// memory-bound batch work (milc, CG, FT): the co-location
+    /// scenario a bandwidth-aware dispatcher should win.
+    Colocation,
+    /// Only the memory-intensive programs (milc, CG, FT): a flood
+    /// that saturates any single node's DRAM ceiling.
+    MemoryFlood,
+};
+
+/// Human-readable mix name.
+const char *trafficMixName(TrafficMix mix);
+
+/**
  * One job of the open stream.  Parallel jobs are sized relative to
  * whichever node they land on (the fleet is heterogeneous), so the
  * job carries a core *divisor* rather than a thread count; resolve it
@@ -79,6 +102,9 @@ struct TrafficConfig
     Seconds diurnalPeriod = 0.0;
 
     std::uint64_t seed = 42; ///< replay seed
+
+    /// Benchmark pool the stream draws from.
+    TrafficMix mix = TrafficMix::FullPool;
 
     /// Chip whose memory parameters anchor runtime estimation (load
     /// planning; any catalog-known chip works).
@@ -122,6 +148,9 @@ class TrafficModel
     double meanCoreSecondsPerJob(std::uint32_t reference_cores) const;
 
   private:
+    /// The configured mix's benchmark pool.
+    std::vector<const BenchmarkProfile *> pool() const;
+
     TrafficConfig cfg;
     MemorySystem memory;
 };

@@ -20,7 +20,14 @@ void
 Histogram::add(double x, std::uint64_t weight)
 {
     totalCount += weight;
-    if (x < rangeLo) {
+    if (std::isnan(x)) {
+        // NaN compares false against both range bounds and would
+        // otherwise reach binIndex() — an out-of-bounds cast once
+        // the inRange assert compiles out under NDEBUG.  Count it
+        // as overflow so it is not silently dropped; quantile()
+        // then pins it to the range top like any oversized sample.
+        overflowCount += weight;
+    } else if (x < rangeLo) {
         underflowCount += weight;
     } else if (x >= rangeHi) {
         overflowCount += weight;

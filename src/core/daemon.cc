@@ -100,6 +100,13 @@ Daemon::snapshotRequest(bool restrict_pmds) const
             static_cast<std::uint32_t>(proc.liveThreads.size());
         p.cls = classOf(pid);
         p.currentCores = proc.cores;
+        if (cfg.placement.bandwidthAware) {
+            const auto mit = monitored.find(pid);
+            if (mit != monitored.end()
+                && mit->second.lastDramRate > 0.0) {
+                p.bwDemand = mit->second.lastDramRate;
+            }
+        }
         if (p.threads > 0)
             req.procs.push_back(std::move(p));
     }
@@ -379,6 +386,14 @@ Daemon::tick()
         entry.snapshot = current;
         entry.lastSample = now;
         entry.lastRate = rate;
+        if (cfg.placement.bandwidthAware) {
+            // Extra register pair for the bandwidth ranking; gated so
+            // a stock daemon's read costs and RNG stream (perf-tool
+            // noise draws) stay untouched.
+            entry.lastDramRate =
+                reader->readDramPerMCycles(delta, rng);
+            statistics.monitorCpuTime += reader->readCost() * 2.0;
+        }
         if (entry.classifier.update(rate)) {
             ++statistics.classificationChanges;
             any_change = true;

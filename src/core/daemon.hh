@@ -239,6 +239,10 @@ class Daemon
         Seconds lastSample = 0.0;
         Classifier classifier;
         double lastRate = -1.0; ///< last observed L3C/1M cycles
+        /// Last observed DRAM accesses/1M cycles; only sampled (and
+        /// only costing a perf read) when the placement engine is
+        /// bandwidth-aware.  Negative until the first sample.
+        double lastDramRate = -1.0;
     };
 
     /// One quarantined table point: a (frequency class, droop class)

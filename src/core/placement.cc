@@ -22,6 +22,7 @@ PlacementEngine::PlacementEngine(const ChipSpec &spec, Config config)
     idleFreq = config.idleFrequency > 0.0
         ? chipSpec.snapToLadder(config.idleFrequency)
         : chipSpec.freqStep();
+    bwAware = config.bandwidthAware;
 }
 
 namespace {
@@ -243,6 +244,17 @@ PlacementEngine::plan(const PlacementRequest &request) const
             else
                 mem_list.push_back(s);
         }
+    }
+    if (bwAware) {
+        // The spread slots are ordered first-cores-then-second-cores:
+        // placing the heaviest bandwidth demanders first gives each
+        // of them a PMD to itself while the light demanders double
+        // up.  Stable sort: equal demands keep the submit order.
+        std::stable_sort(mem_list.begin(), mem_list.end(),
+                         [](const Slot &a, const Slot &b) {
+                             return a.proc->bwDemand
+                                 > b.proc->bwDemand;
+                         });
     }
     assignStable(cpu_list, cpu_slots, out.assignment);
     assignStable(mem_list, mem_slots, out.assignment);

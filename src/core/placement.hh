@@ -44,6 +44,12 @@ struct PlacementProc
     /// Current core of each thread; empty for a process not yet
     /// placed (being admitted right now).
     std::vector<CoreId> currentCores;
+    /// Estimated per-thread DRAM bandwidth demand, in any consistent
+    /// unit (the daemon feeds DRAM accesses/1M cycles; only the
+    /// relative order matters).  Consulted when
+    /// Config::bandwidthAware is set: the heaviest demanders take
+    /// the one-thread-per-PMD spread slots first.
+    double bwDemand = 0.0;
 };
 
 /// Planning input.
@@ -96,6 +102,14 @@ class PlacementEngine
 
         /// Clock parked on idle PMDs (0 = lowest ladder step).
         Hertz idleFrequency = 0.0;
+
+        /// Order memory-intensive threads by descending
+        /// PlacementProc::bwDemand before filling the spread slots,
+        /// so the heaviest bandwidth demanders land one-per-PMD and
+        /// the light ones absorb the shared-L2 doubling.  Off by
+        /// default: plans are then bit-identical to builds without
+        /// the knob.
+        bool bandwidthAware = false;
     };
 
     PlacementEngine(const ChipSpec &spec, Config config);
@@ -122,6 +136,7 @@ class PlacementEngine
     Hertz cpuFreq;
     Hertz memFreq;
     Hertz idleFreq;
+    bool bwAware = false;
 };
 
 } // namespace ecosched

@@ -268,6 +268,8 @@ ScenarioRunner::run(const GeneratedWorkload &workload) const
         * result.completionTime;
     result.unsafeExposure = machine.unsafeExposure();
     result.maxUnsafeDeficit = machine.maxUnsafeDeficit();
+    result.memThrottledSeconds = machine.memThrottledTime();
+    result.peakMemThrottle = machine.peakMemThrottle();
     result.voltageTransitions =
         machine.slimPro().voltageTransitions();
     result.frequencyTransitions =

@@ -63,6 +63,12 @@ struct ScenarioResult
     Seconds idleC6Seconds = 0.0;
     std::uint64_t idleC1Entries = 0;
     std::uint64_t idleC6Entries = 0;
+    /// Bandwidth-reservation telemetry (0 / 1.0 on chips without a
+    /// reservation armed): thread-seconds the MEMBW solver held a
+    /// thread below its demand, and the worst throttle factor seen.
+    Seconds memThrottledSeconds = 0.0;
+    double peakMemThrottle = 1.0;
+
     std::uint64_t migrations = 0;
     std::uint64_t voltageTransitions = 0;
     std::uint64_t frequencyTransitions = 0;

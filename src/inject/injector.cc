@@ -40,6 +40,13 @@ class NoisySensorReader final : public PerfReader
         return clean * inj.sensorPerturbation(rng);
     }
 
+    double readDramPerMCycles(const ThreadCounters &delta,
+                              Rng &rng) const override
+    {
+        const double clean = inner->readDramPerMCycles(delta, rng);
+        return clean * inj.sensorPerturbation(rng);
+    }
+
     Seconds readCost() const override { return inner->readCost(); }
 
   private:

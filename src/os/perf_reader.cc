@@ -11,6 +11,13 @@ KernelModuleReader::readL3PerMCycles(const ThreadCounters &delta,
     return delta.l3AccessesPerMCycles();
 }
 
+double
+KernelModuleReader::readDramPerMCycles(const ThreadCounters &delta,
+                                       Rng &) const
+{
+    return delta.dramAccessesPerMCycles();
+}
+
 PerfToolReader::PerfToolReader(double relative_noise)
     : noise(relative_noise)
 {
@@ -23,6 +30,14 @@ PerfToolReader::readL3PerMCycles(const ThreadCounters &delta,
                                  Rng &rng) const
 {
     const double exact = delta.l3AccessesPerMCycles();
+    return exact * rng.uniform(1.0 - noise, 1.0 + noise);
+}
+
+double
+PerfToolReader::readDramPerMCycles(const ThreadCounters &delta,
+                                   Rng &rng) const
+{
+    const double exact = delta.dramAccessesPerMCycles();
     return exact * rng.uniform(1.0 - noise, 1.0 + noise);
 }
 

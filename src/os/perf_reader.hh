@@ -41,6 +41,15 @@ class PerfReader
     virtual double readL3PerMCycles(const ThreadCounters &delta,
                                     Rng &rng) const = 0;
 
+    /**
+     * Observed DRAM accesses per million cycles for a counter delta
+     * (possibly perturbed by measurement noise).  Only read by a
+     * bandwidth-aware placer — the extra register read (and noise
+     * draw) does not happen otherwise.
+     */
+    virtual double readDramPerMCycles(const ThreadCounters &delta,
+                                      Rng &rng) const = 0;
+
     /// CPU time consumed by one read (daemon overhead accounting).
     virtual Seconds readCost() const = 0;
 };
@@ -55,6 +64,8 @@ class KernelModuleReader : public PerfReader
     const char *name() const override { return "kernel-module"; }
     double readL3PerMCycles(const ThreadCounters &delta,
                             Rng &rng) const override;
+    double readDramPerMCycles(const ThreadCounters &delta,
+                              Rng &rng) const override;
     Seconds readCost() const override { return units::ns(400); }
 };
 
@@ -71,6 +82,8 @@ class PerfToolReader : public PerfReader
     const char *name() const override { return "perf-tool"; }
     double readL3PerMCycles(const ThreadCounters &delta,
                             Rng &rng) const override;
+    double readDramPerMCycles(const ThreadCounters &delta,
+                              Rng &rng) const override;
     Seconds readCost() const override { return units::us(40); }
 
   private:

@@ -179,6 +179,20 @@ ChipSpec::validate() const
             saw_core = true;
         }
     }
+    fatalIf(membw.ceiling < 0.0,
+            name, ": membw ceiling must be non-negative");
+    if (membw.ceiling > 0.0) {
+        fatalIf(membw.maxThreadShare <= 0.0
+                    || membw.maxThreadShare > 1.0,
+                name, ": membw maxThreadShare must be in (0, 1]");
+        // Every running thread is owed a non-zero grant: the cap must
+        // not undercut the per-core fair slice, or reclaim could be
+        // forced to starve a demanding thread.
+        fatalIf(membw.maxThreadShare
+                    < 1.0 / static_cast<double>(numCores) - 1e-12,
+                name, ": membw maxThreadShare must cover at least the"
+                " per-core slice 1/numCores");
+    }
 }
 
 ChipSpec
@@ -267,6 +281,26 @@ withCStates(ChipSpec spec)
     c6.leakageShare =
         0.75 / static_cast<double>(spec.numPmds());
     spec.cstates = {c1, c6};
+    spec.validate();
+    return spec;
+}
+
+ChipSpec
+withMemBw(ChipSpec spec, BytesPerSecond ceiling, double max_share)
+{
+    using namespace units;
+    spec.validate();
+    if (ceiling <= 0.0) {
+        // Calibrated defaults match the memory model's DRAM peaks
+        // (MemoryParams::forChipName), so the reservation binds
+        // exactly where uncontrolled contention would saturate.
+        if (spec.name == "X-Gene 2")
+            ceiling = GiBps(10);
+        else
+            ceiling = GiBps(20);
+    }
+    spec.membw.ceiling = ceiling;
+    spec.membw.maxThreadShare = max_share;
     spec.validate();
     return spec;
 }

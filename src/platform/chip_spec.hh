@@ -96,6 +96,25 @@ struct CStateSpec
 };
 
 /**
+ * Chip-level DRAM bandwidth reservation table (memsched analog).  A
+ * zero ceiling (the presets' default) means the platform enforces no
+ * bandwidth budget and the MEMBW subsystem is inert — every
+ * pre-existing result stays byte-identical.  With a ceiling armed,
+ * each running thread receives a per-core slice of the ceiling
+ * (ceiling / numCores), unused slices are reclaimed and redistributed
+ * to unsatisfied threads, and no single thread's grant may exceed
+ * maxThreadShare of the ceiling.  Use withMemBw() for the calibrated
+ * tables.
+ */
+struct MemBwSpec
+{
+    /// Enforced aggregate DRAM bandwidth [B/s]; 0 = no reservation.
+    BytesPerSecond ceiling = 0.0;
+    /// Cap on any one thread's grant as a fraction of the ceiling.
+    double maxThreadShare = 0.5;
+};
+
+/**
  * Immutable description of a chip model.  Use the xGene2() / xGene3()
  * presets for the paper's platforms or build a custom spec (validated
  * by validate()).
@@ -132,6 +151,16 @@ struct ChipSpec
 
     /// Whether the chip models hardware idle states at all.
     bool hasCStates() const { return !cstates.empty(); }
+
+    /**
+     * Bandwidth reservation table; ceiling == 0 (the presets'
+     * default) leaves the MEMBW subsystem inert.  Use withMemBw()
+     * for the calibrated tables.
+     */
+    MemBwSpec membw;
+
+    /// Whether the chip enforces a DRAM bandwidth reservation.
+    bool hasMemBw() const { return membw.ceiling > 0.0; }
 
     /// Per-core idle state (c1 analog), or nullptr when absent.
     const CStateSpec *coreCState() const;
@@ -193,6 +222,20 @@ ChipSpec xGene3();
  * only the cstates field differs from the input.
  */
 ChipSpec withCStates(ChipSpec spec);
+
+/**
+ * Copy of @p spec with a calibrated DRAM bandwidth reservation
+ * attached (the ceiling matches the chip's memory-model peak so the
+ * reservation binds exactly where uncontrolled contention would).
+ * The chip name is kept unchanged — the calibrated power/memory
+ * models match on it — so only the membw field differs from the
+ * input.
+ *
+ * @p ceiling overrides the calibrated per-chip default when positive;
+ * @p max_share caps any one thread's grant as a ceiling fraction.
+ */
+ChipSpec withMemBw(ChipSpec spec, BytesPerSecond ceiling = 0.0,
+                   double max_share = 0.5);
 
 } // namespace ecosched
 

@@ -41,6 +41,7 @@ Machine::Machine(const ChipSpec &spec, MachineConfig config)
             "faultReferenceRuntime must be positive");
     fatalIf(cfg.migrationCost < 0.0,
             "migrationCost must be non-negative");
+    initMemBwPolicy();
 }
 
 Machine::Machine(const Machine &prototype,
@@ -72,6 +73,26 @@ Machine::Machine(const Machine &prototype,
     fatalIf(cfg.migrationCost < 0.0,
             "migrationCost must be non-negative");
     vmin.reseed(cfg.seed);
+    initMemBwPolicy();
+}
+
+void
+Machine::initMemBwPolicy()
+{
+    if (spec().hasMemBw()) {
+        membwPolicy.ceiling = spec().membw.ceiling;
+        membwPolicy.maxThreadShare = spec().membw.maxThreadShare;
+        membwPolicy.numCores = spec().numCores;
+    } else if (memBwShadowEnabled()) {
+        // Shadow mode: exercise the full reservation path with a
+        // ceiling no demand can reach — every grant covers its
+        // demand and every factor solves to exactly 1.0, so the
+        // results must stay byte-identical (pinned by the *_membw_off
+        // goldens).
+        membwPolicy.ceiling = memory.params().peakDramBandwidth * 1e6;
+        membwPolicy.maxThreadShare = 1.0;
+        membwPolicy.numCores = spec().numCores;
+    }
 }
 
 SimThread *
@@ -355,6 +376,7 @@ Machine::step(Seconds dt)
         lastStepPower = PowerBreakdown{};
         lastStepContention = 1.0;
         lastStepUtilization = 0.0;
+        lastStepMaxThrottle = 1.0;
         busyCoreSeconds += static_cast<double>(busyCoreCount) * dt;
         return;
     }
@@ -400,16 +422,38 @@ Machine::step(Seconds dt)
     const double contention = contentionCache.solve(
         memory, demandScratch, step_epoch, step_version, stalled);
 
+    // With a reservation armed, each thread gets an individual
+    // throttle factor on top of the common contention (1.0 for
+    // threads within their grant, so an unarmed/unsaturated chip
+    // computes bit-identical CPI).
+    const std::vector<double> *bwfac = nullptr;
+    std::uint32_t throttled_count = 0;
+    double max_throttle = 1.0;
+    if (membwPolicy.armed()) {
+        bwfac = &membwCache.solve(memory, demandScratch, membwPolicy,
+                                  contention, step_epoch,
+                                  step_version, stalled);
+        for (const double fac : *bwfac) {
+            if (fac > 1.0) {
+                ++throttled_count;
+                max_throttle = std::max(max_throttle, fac);
+            }
+        }
+    }
+
     // --- execute -----------------------------------------------------
     activityScratch.assign(spec().numCores, CoreActivity{});
     double l3_rate = 0.0;
     double dram_rate = 0.0;
     double util_sum = 0.0;
 
-    for (const RunningRef &r : runningScratch) {
+    for (std::size_t k = 0; k < runningScratch.size(); ++k) {
+        const RunningRef &r = runningScratch[k];
         SimThread &t = threadSlots[r.slot];
+        const double eff_contention = bwfac != nullptr
+            ? contention * (*bwfac)[k] : contention;
         const Seconds t_instr = memory.timePerInstruction(
-            t.profile, r.freq, contention, r.apkiScale);
+            t.profile, r.freq, eff_contention, r.apkiScale);
         const double rate = 1.0 / t_instr;
         const double target = rate * dt;
         // A step never crosses a phase boundary: the remainder of
@@ -461,6 +505,8 @@ Machine::step(Seconds dt)
     lastStepContention = contention;
     lastStepUtilization = runningScratch.empty()
         ? 0.0 : util_sum / runningScratch.size();
+    lastStepMaxThrottle = max_throttle;
+    peakThrottleFactor = std::max(peakThrottleFactor, max_throttle);
 
     // --- power integration --------------------------------------------
     lastStepPower = powerCache.evaluate(power, chipState,
@@ -502,6 +548,10 @@ Machine::step(Seconds dt)
 
     simTime += dt;
     busyCoreSeconds += static_cast<double>(busyCoreCount) * dt;
+    if (throttled_count > 0) {
+        memThrottledSeconds +=
+            static_cast<double>(throttled_count) * dt;
+    }
 }
 
 std::uint64_t
@@ -555,6 +605,25 @@ Machine::macroAdvance(Seconds t, Seconds dt, MacroStepHooks *hooks)
     const double contention = contentionCache.solve(
         memory, demandScratch, step_epoch, step_version, stalled);
 
+    // MEMBW factors are a pure function of the same step key the
+    // window holds constant (no finish, phase switch or stall flip
+    // inside it), so one solve covers every step of the window —
+    // exactly what the plain loop would replay from the cache.
+    const std::vector<double> *bwfac = nullptr;
+    std::uint32_t throttled_count = 0;
+    double max_throttle = 1.0;
+    if (membwPolicy.armed()) {
+        bwfac = &membwCache.solve(memory, demandScratch, membwPolicy,
+                                  contention, step_epoch,
+                                  step_version, stalled);
+        for (const double fac : *bwfac) {
+            if (fac > 1.0) {
+                ++throttled_count;
+                max_throttle = std::max(max_throttle, fac);
+            }
+        }
+    }
+
     activityScratch.assign(spec().numCores, CoreActivity{});
     uniformScratch.clear();
     double l3_rate = 0.0;
@@ -564,10 +633,13 @@ Machine::macroAdvance(Seconds t, Seconds dt, MacroStepHooks *hooks)
     // or phase boundary (those must run through step()).
     std::uint64_t window = UINT64_MAX;
 
-    for (const RunningRef &r : runningScratch) {
+    for (std::size_t k = 0; k < runningScratch.size(); ++k) {
+        const RunningRef &r = runningScratch[k];
         SimThread &th = threadSlots[r.slot];
+        const double eff_contention = bwfac != nullptr
+            ? contention * (*bwfac)[k] : contention;
         const Seconds t_instr = memory.timePerInstruction(
-            th.profile, r.freq, contention, r.apkiScale);
+            th.profile, r.freq, eff_contention, r.apkiScale);
         const double rate = 1.0 / t_instr;
         const double target = rate * dt;
         if (target >= 4.5e15)
@@ -614,6 +686,8 @@ Machine::macroAdvance(Seconds t, Seconds dt, MacroStepHooks *hooks)
     lastStepContention = contention;
     lastStepUtilization = runningScratch.empty()
         ? 0.0 : util_sum / runningScratch.size();
+    lastStepMaxThrottle = max_throttle;
+    peakThrottleFactor = std::max(peakThrottleFactor, max_throttle);
     // The plan mutates nothing, so pre- and post-execute versions
     // coincide — matching the steady (V, V) steps of the plain loop.
     const PowerBreakdown &raw = powerCache.evaluate(
@@ -659,6 +733,11 @@ Machine::macroAdvance(Seconds t, Seconds dt, MacroStepHooks *hooks)
         meter.add(dt, lastStepPower);
         simTime += dt;
         busyCoreSeconds += static_cast<double>(busyCoreCount) * dt;
+        if (throttled_count > 0) {
+            // Same per-step FP addition sequence as the plain loop.
+            memThrottledSeconds +=
+                static_cast<double>(throttled_count) * dt;
+        }
         ++steps;
         if (hooks != nullptr)
             hooks->afterStep();
@@ -784,6 +863,10 @@ Machine::capture() const
     s.lastStepPower = lastStepPower;
     s.lastStepContention = lastStepContention;
     s.lastStepUtilization = lastStepUtilization;
+    s.membwCeiling = membwPolicy.ceiling;
+    s.memThrottledSeconds = memThrottledSeconds;
+    s.peakMemThrottle = peakThrottleFactor;
+    s.lastStepMaxThrottle = lastStepMaxThrottle;
     s.droopHist = droopHist;
     s.droopRefCycles = droopRefCycles;
     s.unsafeTime = unsafeTime;
@@ -812,6 +895,9 @@ Machine::restore(const MachineSnapshot &s)
                 || s.config.enableThermal != cfg.enableThermal,
             "restoring a snapshot captured under a different "
             "MachineConfig");
+    fatalIf(s.membwCeiling != membwPolicy.ceiling,
+            "restoring a snapshot captured under a different "
+            "bandwidth reservation");
 
     chipState.restoreState(s.chip);
     controlPlane.restoreState(s.slimPro);
@@ -839,6 +925,9 @@ Machine::restore(const MachineSnapshot &s)
     lastStepPower = s.lastStepPower;
     lastStepContention = s.lastStepContention;
     lastStepUtilization = s.lastStepUtilization;
+    memThrottledSeconds = s.memThrottledSeconds;
+    peakThrottleFactor = s.peakMemThrottle;
+    lastStepMaxThrottle = s.lastStepMaxThrottle;
     droopHist = s.droopHist;
     droopRefCycles = s.droopRefCycles;
     unsafeTime = s.unsafeTime;
@@ -849,6 +938,7 @@ Machine::restore(const MachineSnapshot &s)
     // (The thermal memo slots are input-keyed pure caches and stay.)
     contentionCache.invalidate();
     powerCache.invalidate();
+    membwCache.invalidate();
     coreFreqEpoch = ~std::uint64_t{0};
     vminValid = false;
 }
@@ -886,6 +976,32 @@ Machine::nextActivity(Seconds now, Seconds dt) const
         const Seconds hook_next = faultHook->nextActivity(now);
         hookMonitor.check(now, hook_next, dt, "FaultHook");
         next = std::min(next, hook_next);
+    }
+    next = std::min(next, memBwNextActivity(now, dt));
+    return next;
+}
+
+Seconds
+Machine::memBwNextActivity(Seconds now, Seconds dt) const
+{
+    // With a reservation armed, the per-thread throttle factors are
+    // a pure function of the step key and shift exactly when the
+    // demand set shifts; the only machine-internal shift a macro
+    // window could otherwise span is a stall expiry (finishes and
+    // phase boundaries already bound the window).  Quoting the
+    // earliest expiry keeps the window from planning across it; the
+    // value is result-neutral because the replay loop's stall-flip
+    // break lands on the same step.  No HorizonMonitor here:
+    // migrations legitimately create *earlier* stalls, which would
+    // trip the non-decreasing check.
+    if (!membwPolicy.armed())
+        return horizonNever;
+    Seconds next = horizonNever;
+    for (const SimThread &t : threadSlots) {
+        if (t.finished)
+            continue;
+        if (t.stallUntil > now + dt * 0.5)
+            next = std::min(next, t.stallUntil);
     }
     return next;
 }

@@ -165,6 +165,13 @@ struct MachineSnapshot
     PowerBreakdown lastStepPower;
     double lastStepContention = 1.0;
     double lastStepUtilization = 0.0;
+    // Snapshot identity: the chip name does not distinguish a
+    // reservation-armed chip (withMemBw keeps the name), so the
+    // ceiling is carried and checked explicitly.
+    BytesPerSecond membwCeiling = 0.0;
+    Seconds memThrottledSeconds = 0.0;
+    double peakMemThrottle = 1.0;
+    double lastStepMaxThrottle = 1.0;
     Histogram droopHist{0.0, 1.0, 1};
     Cycles droopRefCycles = 0;
     Seconds unsafeTime = 0.0;
@@ -434,6 +441,21 @@ class Machine
     Volt maxUnsafeDeficit() const { return maxDeficit; }
 
     /**
+     * Largest per-thread MEMBW throttle factor of the last completed
+     * step (1 when no thread was throttled or no reservation is
+     * armed).
+     */
+    double lastMaxMemThrottle() const { return lastStepMaxThrottle; }
+
+    /// Cumulative throttled core-time: the integral of the number of
+    /// bandwidth-throttled threads over all completed steps
+    /// [core-seconds].  Always 0 without a reservation.
+    Seconds memThrottledTime() const { return memThrottledSeconds; }
+
+    /// Largest MEMBW throttle factor observed since construction.
+    double peakMemThrottle() const { return peakThrottleFactor; }
+
+    /**
      * True Vmin of the configuration currently executing (highest
      * active frequency, busy cores, most sensitive thread).  Returns
      * 0 when idle.  Memoized on (chip state epoch, thread-set
@@ -478,6 +500,11 @@ class Machine
     /// Whether applyAutoClockGating() would change any gate.
     bool gatingSettled() const;
     void injectFaultsForStep(Seconds dt);
+    /// Arm the MEMBW reservation from the spec (or shadow mode).
+    void initMemBwPolicy();
+    /// Earliest time the armed reservation's demand set shifts (the
+    /// first stall expiry); horizonNever when unarmed or unstalled.
+    Seconds memBwNextActivity(Seconds now, Seconds dt) const;
     /// Per-core frequencies, snapshotted per chip state epoch (the
     /// per-core Chip query is an out-of-line call the gather loop
     /// would otherwise pay once per busy core per step).
@@ -535,6 +562,11 @@ class Machine
 
     ContentionCache contentionCache;
     PowerCache powerCache;
+    /// Armed from ChipSpec::membw (or, on ceiling-free chips, from
+    /// ECOSCHED_MEMBW_SHADOW with an effectively infinite ceiling);
+    /// unarmed ⇒ the whole MEMBW path is skipped.
+    MemBwPolicy membwPolicy;
+    MemBwCache membwCache;
 
     // currentTrueVmin() memo (logically const: caching only).
     mutable std::vector<CoreId> vminCoresScratch;
@@ -546,6 +578,9 @@ class Machine
     PowerBreakdown lastStepPower;
     double lastStepContention = 1.0;
     double lastStepUtilization = 0.0;
+    Seconds memThrottledSeconds = 0.0;
+    double peakThrottleFactor = 1.0;
+    double lastStepMaxThrottle = 1.0;
     Histogram droopHist;
     Cycles droopRefCycles = 0;
     Seconds unsafeTime = 0.0;

@@ -1,11 +1,33 @@
 #include "sim/memory_system.hh"
 
 #include <algorithm>
+#include <cstdlib>
 #include <string>
 
 #include "common/error.hh"
 
 namespace ecosched {
+
+namespace {
+
+int membwShadowOverride = -1;
+
+} // namespace
+
+bool
+memBwShadowEnabled()
+{
+    if (membwShadowOverride >= 0)
+        return membwShadowOverride != 0;
+    const char *env = std::getenv("ECOSCHED_MEMBW_SHADOW");
+    return env != nullptr && *env != '\0' && *env != '0';
+}
+
+void
+setMemBwShadowOverride(int enabled)
+{
+    membwShadowOverride = enabled;
+}
 
 MemoryParams
 MemoryParams::forChipName(const std::string &name)
@@ -119,6 +141,146 @@ MemorySystem::solveContention(
     return hi;
 }
 
+BytesPerSecond
+MemorySystem::threadBandwidth(const MemoryDemand &demand,
+                              double contention) const
+{
+    ECOSCHED_ASSERT(demand.profile != nullptr,
+                    "MemoryDemand without a profile");
+    if (demand.coreFrequency <= 0.0)
+        return 0.0;
+    const Seconds t = timePerInstruction(
+        *demand.profile, demand.coreFrequency, contention,
+        demand.apkiScale);
+    return demand.profile->dramApki * demand.apkiScale * 1e-3
+        * (1.0 / t) * memParams.bytesPerAccess;
+}
+
+void
+MemorySystem::solveMemBwGrants(
+    const std::vector<MemoryDemand> &demands,
+    const MemBwPolicy &policy, double contention,
+    std::vector<BytesPerSecond> &grants) const
+{
+    ECOSCHED_ASSERT(policy.armed(),
+                    "solveMemBwGrants without a ceiling");
+    ECOSCHED_ASSERT(policy.numCores > 0,
+                    "solveMemBwGrants needs a core count");
+    grants.assign(demands.size(), 0.0);
+
+    const BytesPerSecond slice =
+        policy.ceiling / static_cast<double>(policy.numCores);
+    const BytesPerSecond cap =
+        policy.maxThreadShare * policy.ceiling;
+
+    // Pass 1: every demanding thread gets its per-core slice (or its
+    // full demand, whichever is smaller).  slice > 0 and cap >= slice
+    // (validated), so a demanding thread is never granted zero.
+    BytesPerSecond pool = policy.ceiling;
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+        const BytesPerSecond d =
+            threadBandwidth(demands[i], contention);
+        if (d <= 0.0)
+            continue;
+        grants[i] = std::min({d, slice, cap});
+        pool -= grants[i];
+    }
+
+    // Reclaim rounds: split the unused pool (idle-core slices plus
+    // under-demand remainders) evenly across still-unsatisfied
+    // threads.  Each round either satisfies/caps a thread or drains
+    // the pool, so <= N rounds converge; the fixed thread order
+    // keeps the arithmetic deterministic.
+    for (std::size_t round = 0;
+         round < demands.size() && pool > policy.ceiling * 1e-12;
+         ++round) {
+        std::size_t unsatisfied = 0;
+        for (std::size_t i = 0; i < demands.size(); ++i) {
+            if (grants[i] <= 0.0)
+                continue;
+            const BytesPerSecond want = std::min(
+                threadBandwidth(demands[i], contention), cap);
+            if (grants[i] < want)
+                ++unsatisfied;
+        }
+        if (unsatisfied == 0)
+            break;
+        const BytesPerSecond share =
+            pool / static_cast<double>(unsatisfied);
+        bool moved = false;
+        for (std::size_t i = 0; i < demands.size(); ++i) {
+            if (grants[i] <= 0.0)
+                continue;
+            const BytesPerSecond want = std::min(
+                threadBandwidth(demands[i], contention), cap);
+            if (grants[i] >= want)
+                continue;
+            const BytesPerSecond add =
+                std::min(share, want - grants[i]);
+            if (add > 0.0) {
+                grants[i] += add;
+                pool -= add;
+                moved = true;
+            }
+        }
+        if (!moved)
+            break;
+    }
+}
+
+void
+MemorySystem::solveMemBwFactors(
+    const std::vector<MemoryDemand> &demands,
+    const MemBwPolicy &policy, double contention,
+    std::vector<double> &factors,
+    std::vector<BytesPerSecond> &grants_scratch) const
+{
+    solveMemBwGrants(demands, policy, contention, grants_scratch);
+    factors.assign(demands.size(), 1.0);
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+        const BytesPerSecond d =
+            threadBandwidth(demands[i], contention);
+        const BytesPerSecond grant = grants_scratch[i];
+        if (d <= grant)
+            continue; // within budget: exactly no throttle
+        ECOSCHED_ASSERT(grant > 0.0,
+                        "a demanding thread was granted zero"
+                        " bandwidth");
+        // Achieved bandwidth is strictly decreasing in the factor;
+        // bracket then bisect, returning the hi (over-throttled)
+        // side so achieved <= grant and the aggregate never exceeds
+        // the ceiling.
+        double lo = 1.0;
+        double hi = 2.0;
+        while (threadBandwidth(demands[i], contention * hi) > grant
+               && hi < 1e6) {
+            lo = hi;
+            hi *= 2.0;
+        }
+        for (int iter = 0; iter < 40; ++iter) {
+            const double mid = 0.5 * (lo + hi);
+            if (threadBandwidth(demands[i], contention * mid)
+                    > grant) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        factors[i] = hi;
+    }
+}
+
+BytesPerSecond
+estimateThreadBandwidth(const WorkProfile &profile, Hertz f,
+                        const MemoryParams &params)
+{
+    const MemorySystem memory(params);
+    MemoryDemand demand;
+    demand.profile = &profile;
+    demand.coreFrequency = f;
+    return memory.threadBandwidth(demand, 1.0);
+}
+
 double
 ContentionCache::solve(const MemorySystem &memory,
                        const std::vector<MemoryDemand> &demands,
@@ -140,6 +302,37 @@ ContentionCache::solve(const MemorySystem &memory,
     keyStalled = stalled;
     valid = true;
     return value;
+}
+
+const std::vector<double> &
+MemBwCache::solve(const MemorySystem &memory,
+                  const std::vector<MemoryDemand> &demands,
+                  const MemBwPolicy &policy, double contention,
+                  std::uint64_t chip_epoch,
+                  std::uint64_t threads_version,
+                  std::uint32_t stalled)
+{
+    if (valid && keyEpoch == chip_epoch
+            && keyVersion == threads_version
+            && keyStalled == stalled) {
+#ifndef NDEBUG
+        std::vector<double> fresh;
+        std::vector<BytesPerSecond> scratch;
+        memory.solveMemBwFactors(demands, policy, contention, fresh,
+                                 scratch);
+        ECOSCHED_DEBUG_ASSERT(
+            fresh == factors,
+            "membw step key matched a different demand set");
+#endif
+        return factors;
+    }
+    memory.solveMemBwFactors(demands, policy, contention, factors,
+                             grantsScratch);
+    keyEpoch = chip_epoch;
+    keyVersion = threads_version;
+    keyStalled = stalled;
+    valid = true;
+    return factors;
 }
 
 } // namespace ecosched

@@ -1,7 +1,7 @@
 /**
  * @file
  * Shared memory-system model: L3 and DRAM latencies plus DRAM
- * bandwidth contention.
+ * bandwidth contention and the MEMBW reservation solver.
  *
  * Contention is solved self-consistently each step: every running
  * thread's DRAM stall time is inflated by a common factor s >= 1
@@ -9,6 +9,18 @@
  * chip's peak.  This produces the paper's Figure 8 behaviour: N
  * copies of a memory-intensive program slow each other down, while
  * CPU-intensive copies are unaffected.
+ *
+ * On chips with a bandwidth reservation armed (ChipSpec::membw,
+ * DESIGN.md §15), a memsched-style budget runs on top of the common
+ * factor: each thread starts from a per-core slice of the chip
+ * ceiling, unused and idle-core slices are reclaimed and
+ * redistributed to unsatisfied threads (capped at a per-thread
+ * share), and any thread demanding more than its grant gets an
+ * *individual* throttle factor fac_i >= 1 — applied multiplicatively
+ * on top of the common contention — that stretches its memory-bound
+ * CPI until its achieved bandwidth fits the grant.  With no ceiling
+ * configured the entire mechanism is skipped and every result stays
+ * byte-identical.
  */
 
 #ifndef ECOSCHED_SIM_MEMORY_SYSTEM_HH
@@ -45,6 +57,35 @@ struct MemoryDemand
     Hertz coreFrequency = 0.0;            ///< its core clock
     double apkiScale = 1.0; ///< L2-sharing inflation (>= 1)
 };
+
+/**
+ * Chip-level DRAM bandwidth reservation the MEMBW solver enforces
+ * (mirrors ChipSpec::membw plus the core count the per-core budget
+ * divides over).  ceiling == 0 leaves the solver inert.
+ */
+struct MemBwPolicy
+{
+    BytesPerSecond ceiling = 0.0; ///< aggregate budget; 0 = inert
+    double maxThreadShare = 0.5;  ///< per-thread grant cap (ceiling
+                                  ///< fraction)
+    std::uint32_t numCores = 1;   ///< slices the base budget divides
+                                  ///< over
+
+    bool armed() const { return ceiling > 0.0; }
+};
+
+/**
+ * Whether MEMBW shadow mode is on (`ECOSCHED_MEMBW_SHADOW=1`):
+ * ceiling-free chips run the full reservation path with an
+ * effectively infinite ceiling, where every grant covers its demand
+ * and every factor solves to exactly 1.0 — the shadow goldens pin
+ * that this is byte-identical to not running the path at all.
+ */
+bool memBwShadowEnabled();
+
+/// Test override: force shadow mode on (1), off (0), or back to the
+/// environment (-1).
+void setMemBwShadowOverride(int enabled);
 
 /**
  * Stateless solver for the shared-memory model.
@@ -90,9 +131,55 @@ class MemorySystem
         const std::vector<MemoryDemand> &demands,
         double contention) const;
 
+    /**
+     * One thread's DRAM bandwidth demand [B/s] at a given contention
+     * factor; 0 for gated cores (coreFrequency <= 0).
+     */
+    BytesPerSecond threadBandwidth(const MemoryDemand &demand,
+                                   double contention = 1.0) const;
+
+    /**
+     * Waterfill the reservation budget over @p demands: every
+     * demanding thread starts from min(demand, ceiling/numCores),
+     * then unused and idle-core slices are redistributed in
+     * deterministic rounds to still-unsatisfied threads, capped at
+     * maxThreadShare * ceiling each.  Guarantees sum(grants) <=
+     * ceiling and grant_i > 0 whenever demand_i > 0 (reclaim never
+     * starves).  Demands are evaluated at common contention
+     * @p contention.  @p grants is resized to match @p demands.
+     */
+    void solveMemBwGrants(const std::vector<MemoryDemand> &demands,
+                          const MemBwPolicy &policy, double contention,
+                          std::vector<BytesPerSecond> &grants) const;
+
+    /**
+     * Per-thread throttle factors for a reservation: fac_i >= 1 such
+     * that thread i's achieved bandwidth at combined contention
+     * `contention * fac_i` does not exceed its waterfilled grant
+     * (bisection returning the over-throttled side, so the aggregate
+     * never exceeds the ceiling).  Threads whose demand already fits
+     * their grant solve to exactly 1.0.  @p factors is resized to
+     * match @p demands; @p grants_scratch avoids per-call allocation.
+     */
+    void solveMemBwFactors(const std::vector<MemoryDemand> &demands,
+                           const MemBwPolicy &policy,
+                           double contention,
+                           std::vector<double> &factors,
+                           std::vector<BytesPerSecond> &grants_scratch)
+        const;
+
   private:
     MemoryParams memParams;
 };
+
+/**
+ * Dispatcher-facing estimate of the DRAM bandwidth one thread of
+ * @p profile demands on an uncontended core at frequency @p f under
+ * the calibrated @p params.
+ */
+BytesPerSecond estimateThreadBandwidth(const WorkProfile &profile,
+                                       Hertz f,
+                                       const MemoryParams &params);
 
 /**
  * Memoizes MemorySystem::solveContention behind an O(1) step key
@@ -139,6 +226,41 @@ class ContentionCache
     std::uint64_t keyVersion = 0;
     std::uint32_t keyStalled = 0;
     double value = 1.0;
+    bool valid = false;
+};
+
+/**
+ * Memoizes MemorySystem::solveMemBwFactors behind the same
+ * (chip state epoch, thread-set version, stalled count) step key as
+ * ContentionCache: the factor vector is a pure function of the
+ * demand set and the (fixed) reservation policy, and the key pins
+ * the demand set exactly as documented there.  Debug builds re-solve
+ * on every hit and verify element-wise.
+ */
+class MemBwCache
+{
+  public:
+    /**
+     * Solve (or replay) the per-thread throttle factors for
+     * @p demands under @p policy at common contention @p contention.
+     * The returned reference stays valid until the next call.
+     */
+    const std::vector<double> &solve(
+        const MemorySystem &memory,
+        const std::vector<MemoryDemand> &demands,
+        const MemBwPolicy &policy, double contention,
+        std::uint64_t chip_epoch, std::uint64_t threads_version,
+        std::uint32_t stalled);
+
+    /// Drop the cached solution.
+    void invalidate() { valid = false; }
+
+  private:
+    std::vector<double> factors;
+    std::vector<BytesPerSecond> grantsScratch;
+    std::uint64_t keyEpoch = 0;
+    std::uint64_t keyVersion = 0;
+    std::uint32_t keyStalled = 0;
     bool valid = false;
 };
 

@@ -41,6 +41,15 @@ ThreadCounters::l3AccessesPerMCycles() const
 }
 
 double
+ThreadCounters::dramAccessesPerMCycles() const
+{
+    if (cycles == 0)
+        return 0.0;
+    return static_cast<double>(dramAccesses)
+        / static_cast<double>(cycles) * 1e6;
+}
+
+double
 ThreadCounters::ipc() const
 {
     if (cycles == 0)

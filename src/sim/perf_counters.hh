@@ -40,6 +40,14 @@ struct ThreadCounters
      */
     double l3AccessesPerMCycles() const;
 
+    /**
+     * DRAM accesses (L3 misses) per million cycles over this
+     * (delta) window — the bandwidth-demand proxy the
+     * bandwidth-aware placer ranks processes by.  Returns 0 when no
+     * cycles elapsed.
+     */
+    double dramAccessesPerMCycles() const;
+
     /// Instructions per cycle over this (delta) window.
     double ipc() const;
 };

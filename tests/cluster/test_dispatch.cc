@@ -44,6 +44,18 @@ parallelJob(std::uint32_t divisor)
     return job;
 }
 
+/// A node view with the MEMBW dispatcher signals filled in.
+NodeView
+bwView(std::uint32_t cores, std::uint32_t outstanding,
+       double ceiling, double demand, double per_thread)
+{
+    NodeView v = view(cores, outstanding);
+    v.bwCeiling = ceiling;
+    v.bwDemand = demand;
+    v.bwPerJobThread = per_thread;
+    return v;
+}
+
 TEST(Dispatch, NamesRoundTrip)
 {
     EXPECT_STREQ(dispatchPolicyName(DispatchPolicy::RoundRobin),
@@ -58,6 +70,10 @@ TEST(Dispatch, NamesRoundTrip)
               DispatchPolicy::LeastLoaded);
     EXPECT_EQ(dispatchPolicyByName("energy_aware"),
               DispatchPolicy::EnergyAware);
+    EXPECT_STREQ(dispatchPolicyName(DispatchPolicy::BandwidthAware),
+                 "bandwidth_aware");
+    EXPECT_EQ(dispatchPolicyByName("bandwidth_aware"),
+              DispatchPolicy::BandwidthAware);
     EXPECT_THROW(dispatchPolicyByName("bogus"), FatalError);
 }
 
@@ -154,6 +170,70 @@ TEST(Dispatch, EmptyFleetIsFatal)
 {
     Dispatcher d(DispatchPolicy::RoundRobin);
     EXPECT_THROW(d.choose({}, serialJob()), FatalError);
+}
+
+TEST(Dispatch, BandwidthAwarePicksLeastOversubscribedNode)
+{
+    Dispatcher d(DispatchPolicy::BandwidthAware);
+    // Same 10 GB/s ceiling everywhere; the serial job adds 2 GB/s.
+    // Node 0 lands at (9+2-10)/10 = 0.1 oversubscription, node 1 at
+    // (4+2-10) -> 0 (fits), node 2 at (11+2-10)/10 = 0.3.
+    const std::vector<NodeView> nodes = {
+        bwView(8, 1, 10e9, 9e9, 2e9), bwView(8, 6, 10e9, 4e9, 2e9),
+        bwView(8, 0, 10e9, 11e9, 2e9)};
+    EXPECT_EQ(d.choose(nodes, serialJob()), 1u);
+}
+
+TEST(Dispatch, BandwidthAwareScalesDemandByJobThreads)
+{
+    Dispatcher d(DispatchPolicy::BandwidthAware);
+    // A half-size job takes 4 threads on 8 cores.  Node 0 has more
+    // free bandwidth per thread but its per-thread demand estimate
+    // is higher, so 4 threads overflow it (6+4*1.5-10 = 2) while
+    // node 1 stays lower (7+4*0.5-10 -> 0 -> fits).
+    const std::vector<NodeView> nodes = {
+        bwView(8, 0, 10e9, 6e9, 1.5e9),
+        bwView(8, 0, 10e9, 7e9, 0.5e9)};
+    EXPECT_EQ(d.choose(nodes, parallelJob(2)), 1u);
+}
+
+TEST(Dispatch, BandwidthAwareTieBreaksOnLoadThenIndex)
+{
+    Dispatcher d(DispatchPolicy::BandwidthAware);
+    // Both fit the job outright (score 0): prefer the lower relative
+    // load; on a full tie, the lower index.
+    const std::vector<NodeView> nodes = {
+        bwView(8, 4, 10e9, 1e9, 1e9), bwView(8, 2, 10e9, 5e9, 1e9)};
+    EXPECT_EQ(d.choose(nodes, serialJob()), 1u);
+    const std::vector<NodeView> tied = {
+        bwView(8, 2, 10e9, 3e9, 1e9), bwView(8, 2, 10e9, 3e9, 1e9)};
+    EXPECT_EQ(d.choose(tied, serialJob()), 0u);
+}
+
+TEST(Dispatch, BandwidthAwareFallsBackOnCeilingFreeFleets)
+{
+    Dispatcher d(DispatchPolicy::BandwidthAware);
+    // No reservation anywhere: every score is 0, so the policy
+    // degenerates to least-loaded ordering — the inertness property
+    // that keeps stock fleets unchanged.
+    const std::vector<NodeView> nodes = {view(8, 6), view(32, 8),
+                                         view(8, 1)};
+    EXPECT_EQ(d.choose(nodes, serialJob()), 2u);
+}
+
+TEST(Dispatch, BandwidthAwareSkipsDeadAndGatedNodes)
+{
+    Dispatcher d(DispatchPolicy::BandwidthAware);
+    std::vector<NodeView> nodes = {
+        bwView(8, 0, 10e9, 0.0, 1e9), bwView(8, 4, 10e9, 9e9, 1e9)};
+    nodes[0].alive = false;
+    EXPECT_EQ(d.choose(nodes, serialJob()), 1u);
+    nodes[0].alive = true;
+    nodes[0].schedulable = false;
+    // Gate honored first; the drained node is only a last resort.
+    EXPECT_EQ(d.choose(nodes, serialJob()), 1u);
+    nodes[1].alive = false;
+    EXPECT_EQ(d.choose(nodes, serialJob()), 0u);
 }
 
 } // namespace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/error.hh"
 #include "common/histogram.hh"
 
@@ -108,6 +110,41 @@ TEST(Histogram, QuantileRejectsBadFraction)
     h.add(0.5);
     EXPECT_THROW(h.quantile(-0.1), FatalError);
     EXPECT_THROW(h.quantile(1.1), FatalError);
+}
+
+TEST(Histogram, NonFiniteSamplesArePinnedNotDropped)
+{
+    // Zero-memory-demand fleets can feed inf/nan sojourn ratios into
+    // the summary histograms; each must land in the saturating
+    // under/overflow buckets instead of reaching binIndex() (an
+    // out-of-bounds cast once the range assert compiles out).
+    Histogram h(0.0, 10.0, 10);
+    const double inf = std::numeric_limits<double>::infinity();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    h.add(inf, 3);
+    h.add(-inf, 2);
+    h.add(nan, 4);
+    EXPECT_EQ(h.overflow(), 7u);  // +inf and NaN pin to the top
+    EXPECT_EQ(h.underflow(), 2u); // -inf pins to the bottom
+    EXPECT_EQ(h.total(), 9u);
+    // quantile() stays finite and in-range.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+    EXPECT_GE(h.quantile(0.5), 0.0);
+    EXPECT_LE(h.quantile(0.5), 10.0);
+}
+
+TEST(Histogram, NonFiniteMixedWithRealSamples)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(5.0, 98);
+    h.add(std::numeric_limits<double>::quiet_NaN());
+    h.add(std::numeric_limits<double>::infinity());
+    // The two poisoned samples shift only the extreme quantiles
+    // (the median interpolates to the middle of the [5, 6) bin).
+    EXPECT_NEAR(h.quantile(0.5), 5.5, 0.2);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+    EXPECT_EQ(h.total(), 100u);
 }
 
 TEST(Histogram, ResetKeepsLayout)

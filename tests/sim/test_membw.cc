@@ -1,0 +1,520 @@
+/**
+ * @file
+ * MEMBW reservation battery (DESIGN.md §15): unit tests for the
+ * waterfill/throttle solver, a property fuzz sweep over random
+ * thread mixes and ceilings, shadow-mode unity, and the determinism
+ * contract — fixed-vs-macro-vs-event bit-identity with a ceiling
+ * armed plus a mid-throttle snapshot/clone round trip.
+ *
+ * Suite names contain "MemBw" (and the determinism/snapshot suites
+ * additionally "Determinism"/"Snapshot") so the TSan and
+ * debug-asserts CI filters pick them up.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "os/governor.hh"
+#include "os/system.hh"
+#include "platform/chip_spec.hh"
+#include "sim/event_queue.hh"
+#include "sim/machine.hh"
+#include "support/membw_invariants.hh"
+#include "workloads/catalog.hh"
+
+namespace ecosched {
+namespace {
+
+using namespace units;
+
+WorkProfile
+cpuProfile()
+{
+    WorkProfile p;
+    p.cpiBase = 1.0;
+    p.l3Apki = 0.5;
+    p.dramApki = 0.05;
+    p.mlp = 2.0;
+    return p;
+}
+
+WorkProfile
+memProfile()
+{
+    WorkProfile p;
+    p.cpiBase = 1.2;
+    p.l3Apki = 25.0;
+    p.dramApki = 8.0;
+    p.mlp = 4.0;
+    return p;
+}
+
+// --- solver units -----------------------------------------------------
+
+TEST(MemBwReservation, GrantsConserveBudgetUnderOversubscription)
+{
+    const MemorySystem memory(MemoryParams::forChipName("X-Gene 3"));
+    const WorkProfile mem = memProfile();
+    std::vector<MemoryDemand> demands(
+        8, MemoryDemand{&mem, GHz(3.0), 1.0});
+
+    MemBwPolicy policy;
+    policy.ceiling = GiBps(1); // far below the aggregate demand
+    policy.maxThreadShare = 0.5;
+    policy.numCores = 8;
+
+    testsupport::checkMemBwInvariants(memory, demands, policy, 1.0);
+}
+
+TEST(MemBwReservation, ReclaimRedistributesIdleSlices)
+{
+    // One heavy thread among idle cores: the per-core base slice is
+    // ceiling/32, but reclaim must hand the unused slices to the
+    // demanding thread up to the share cap.
+    const MemorySystem memory(MemoryParams::forChipName("X-Gene 3"));
+    const WorkProfile mem = memProfile();
+    std::vector<MemoryDemand> demands(
+        1, MemoryDemand{&mem, GHz(3.0), 1.0});
+
+    MemBwPolicy policy;
+    policy.ceiling = GiBps(4);
+    policy.maxThreadShare = 0.25;
+    policy.numCores = 32;
+
+    std::vector<BytesPerSecond> grants;
+    memory.solveMemBwGrants(demands, policy, 1.0, grants);
+    ASSERT_EQ(grants.size(), 1u);
+    const BytesPerSecond slice =
+        policy.ceiling / static_cast<double>(policy.numCores);
+    const BytesPerSecond demand =
+        memory.threadBandwidth(demands[0], 1.0);
+    // Reclaim grew the grant past the base slice, up to demand or
+    // the cap (whichever binds first).
+    EXPECT_GT(grants[0], slice);
+    EXPECT_LE(grants[0],
+              std::min(demand, policy.maxThreadShare * policy.ceiling)
+                  * (1.0 + 1e-9));
+    testsupport::checkMemBwInvariants(memory, demands, policy, 1.0);
+}
+
+TEST(MemBwReservation, ShareCapBindsOneHog)
+{
+    // A hog plus light threads: the hog's grant must stop at
+    // maxThreadShare * ceiling even with budget left over.
+    const MemorySystem memory(MemoryParams::forChipName("X-Gene 3"));
+    const WorkProfile hog = memProfile();
+    const WorkProfile light = cpuProfile();
+    std::vector<MemoryDemand> demands;
+    demands.push_back({&hog, GHz(3.0), 1.0});
+    for (int i = 0; i < 3; ++i)
+        demands.push_back({&light, GHz(3.0), 1.0});
+
+    MemBwPolicy policy;
+    policy.ceiling = GiBps(1);
+    policy.maxThreadShare = 0.2;
+    policy.numCores = 8;
+
+    std::vector<BytesPerSecond> grants;
+    memory.solveMemBwGrants(demands, policy, 1.0, grants);
+    EXPECT_NEAR(grants[0], policy.maxThreadShare * policy.ceiling,
+                policy.ceiling * 1e-9);
+    testsupport::checkMemBwInvariants(memory, demands, policy, 1.0);
+}
+
+TEST(MemBwReservation, FactorsThrottleOnlyConstrainedThreads)
+{
+    const MemorySystem memory(MemoryParams::forChipName("X-Gene 3"));
+    const WorkProfile mem = memProfile();
+    const WorkProfile cpu = cpuProfile();
+    std::vector<MemoryDemand> demands;
+    for (int i = 0; i < 4; ++i)
+        demands.push_back({&mem, GHz(3.0), 1.0});
+    demands.push_back({&cpu, GHz(3.0), 1.0});
+    demands.push_back({&cpu, 0.0, 1.0}); // gated core
+
+    MemBwPolicy policy;
+    policy.ceiling = GiBps(1);
+    policy.maxThreadShare = 0.5;
+    policy.numCores = 8;
+
+    std::vector<double> factors;
+    std::vector<BytesPerSecond> scratch;
+    memory.solveMemBwFactors(demands, policy, 1.0, factors, scratch);
+    ASSERT_EQ(factors.size(), demands.size());
+    for (int i = 0; i < 4; ++i)
+        EXPECT_GT(factors[i], 1.0) << "mem thread " << i;
+    EXPECT_EQ(factors[4], 1.0); // CPU-bound fits its grant
+    EXPECT_EQ(factors[5], 1.0); // gated: no demand, no throttle
+    testsupport::checkMemBwInvariants(memory, demands, policy, 1.0);
+}
+
+TEST(MemBwReservation, GenerousCeilingIsExactUnity)
+{
+    // When every demand fits its grant the factor vector must be all
+    // exactly 1.0 — the bitwise no-op the shadow goldens rely on.
+    const MemorySystem memory(MemoryParams::forChipName("X-Gene 3"));
+    const WorkProfile mem = memProfile();
+    std::vector<MemoryDemand> demands(
+        4, MemoryDemand{&mem, GHz(3.0), 1.0});
+
+    MemBwPolicy policy;
+    policy.ceiling = GiBps(20) * 1e6; // effectively infinite
+    policy.maxThreadShare = 0.5;
+    policy.numCores = 32;
+
+    std::vector<double> factors;
+    std::vector<BytesPerSecond> scratch;
+    memory.solveMemBwFactors(demands, policy, 1.0, factors, scratch);
+    for (double f : factors)
+        EXPECT_EQ(f, 1.0);
+}
+
+TEST(MemBwReservation, WithMemBwCalibratedDefaults)
+{
+    const ChipSpec g2 = withMemBw(xGene2());
+    const ChipSpec g3 = withMemBw(xGene3());
+    EXPECT_TRUE(g2.hasMemBw());
+    EXPECT_TRUE(g3.hasMemBw());
+    EXPECT_EQ(g2.membw.ceiling, GiBps(10));
+    EXPECT_EQ(g3.membw.ceiling, GiBps(20));
+    EXPECT_EQ(g2.name, xGene2().name); // models still match by name
+    EXPECT_FALSE(xGene3().hasMemBw()); // presets stay ceiling-free
+    g2.validate();
+    g3.validate();
+}
+
+TEST(MemBwReservation, SpecValidationRejectsBadTables)
+{
+    ChipSpec spec = withMemBw(xGene3());
+    spec.membw.maxThreadShare = 0.0;
+    EXPECT_THROW(spec.validate(), FatalError);
+    spec = withMemBw(xGene3());
+    // A cap below one fair slice would make the budget unusable.
+    spec.membw.maxThreadShare =
+        0.5 / static_cast<double>(spec.numCores);
+    EXPECT_THROW(spec.validate(), FatalError);
+    spec = withMemBw(xGene3());
+    spec.membw.ceiling = -1.0;
+    EXPECT_THROW(spec.validate(), FatalError);
+}
+
+// --- property fuzz ----------------------------------------------------
+
+/// Iterations per property sweep (env-overridable, as in
+/// tests/integration/test_fuzz.cc, so the debug-asserts CI lane can
+/// sweep deeper).
+int
+propertyIters()
+{
+    if (const char *env = std::getenv("ECOSCHED_FUZZ_ITERS")) {
+        const int v = std::atoi(env);
+        if (v > 0)
+            return v;
+    }
+    return 200;
+}
+
+TEST(MemBwProperty, RandomMixesNeverBreakTheContract)
+{
+    const MemorySystem memory(MemoryParams::forChipName("X-Gene 3"));
+    Rng rng(20260809);
+
+    const int iters = propertyIters();
+    for (int iter = 0; iter < iters; ++iter) {
+        // Random mix: up to 32 threads with random (valid) profiles,
+        // some on gated cores.
+        const std::size_t n = 1 + rng.uniformInt(0, 31);
+        std::vector<WorkProfile> profiles(n);
+        std::vector<MemoryDemand> demands(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            WorkProfile &p = profiles[i];
+            p.cpiBase = rng.uniform(0.5, 2.5);
+            p.l3Apki = rng.uniform(0.0, 120.0);
+            p.dramApki = rng.uniform(0.0, p.l3Apki);
+            p.mlp = rng.uniform(1.0, 8.0);
+            p.validate();
+            demands[i].profile = &profiles[i];
+            demands[i].coreFrequency =
+                rng.bernoulli(0.1) ? 0.0 : GHz(rng.uniform(0.3, 3.3));
+            demands[i].apkiScale = rng.uniform(1.0, 1.6);
+        }
+
+        MemBwPolicy policy;
+        policy.numCores = static_cast<std::uint32_t>(
+            n + rng.uniformInt(0, 8));
+        policy.maxThreadShare = rng.uniform(
+            std::max(0.05, 1.0 / policy.numCores), 1.0);
+        // Ceiling anywhere from deeply oversubscribed to generous.
+        const BytesPerSecond aggregate =
+            memory.aggregateBandwidth(demands, 1.0);
+        policy.ceiling = std::max(
+            aggregate * rng.uniform(0.05, 1.5), GiBps(1) / 16.0);
+
+        const double contention = rng.uniform(1.0, 4.0);
+        testsupport::checkMemBwInvariants(memory, demands, policy,
+                                          contention);
+        if (HasFatalFailure())
+            FAIL() << "iteration " << iter;
+    }
+}
+
+// --- machine-level determinism ---------------------------------------
+
+/// A chip whose reservation binds hard for the mixes below (a few
+/// hundred MB/s per memory-bound thread against a 2 GiB/s ceiling).
+ChipSpec
+throttledChip()
+{
+    return withMemBw(xGene3(), GiBps(2));
+}
+
+/// Memory-heavy mix on distinct PMDs: enough aggregate DRAM demand
+/// that the reservation throttles several threads at once, plus a
+/// CPU thread that must stay untouched and a phased thread that
+/// flips demand mid-run.
+std::vector<SimThreadId>
+populateThrottled(Machine &m)
+{
+    std::vector<SimThreadId> ids;
+    for (CoreId c = 0; c < 6; ++c) {
+        ids.push_back(
+            m.startThread(memProfile(), 300'000'000, c * 2));
+    }
+    ids.push_back(m.startThread(cpuProfile(), 600'000'000, 13));
+    ids.push_back(m.startThreadPhased(
+        {{cpuProfile(), 150'000'000}, {memProfile(), 150'000'000}},
+        15));
+    return ids;
+}
+
+/// Bit-exact comparison including the MEMBW telemetry.
+void
+expectIdentical(const Machine &a, const Machine &b,
+                const std::vector<SimThreadId> &ids)
+{
+    EXPECT_EQ(a.now(), b.now());
+    EXPECT_EQ(a.temperature(), b.temperature());
+    EXPECT_EQ(a.busyCoreTime(), b.busyCoreTime());
+    EXPECT_EQ(a.lastContention(), b.lastContention());
+    EXPECT_EQ(a.energyMeter().energy(), b.energyMeter().energy());
+    EXPECT_EQ(a.energyMeter().peakPower(),
+              b.energyMeter().peakPower());
+    EXPECT_EQ(a.memThrottledTime(), b.memThrottledTime());
+    EXPECT_EQ(a.peakMemThrottle(), b.peakMemThrottle());
+    EXPECT_EQ(a.lastMaxMemThrottle(), b.lastMaxMemThrottle());
+    for (SimThreadId tid : ids) {
+        const SimThread &ta = a.thread(tid);
+        const SimThread &tb = b.thread(tid);
+        EXPECT_EQ(ta.counters.instructions, tb.counters.instructions);
+        EXPECT_EQ(ta.counters.cycles, tb.counters.cycles);
+        EXPECT_EQ(ta.counters.dramAccesses, tb.counters.dramAccesses);
+        EXPECT_EQ(ta.finished, tb.finished);
+        EXPECT_EQ(ta.remaining, tb.remaining);
+        EXPECT_EQ(ta.stallUntil, tb.stallUntil);
+    }
+}
+
+TEST(MemBwDeterminism, MacroMatchesFixedStepWithCeilingArmed)
+{
+    Machine fixed(throttledChip());
+    Machine macro(throttledChip());
+    const auto ids = populateThrottled(fixed);
+    ASSERT_EQ(populateThrottled(macro), ids);
+
+    const Seconds dt = ms(1);
+    for (int i = 0; i < 600; ++i)
+        fixed.step(dt);
+    macro.runUntil(fixed.now(), dt);
+
+    expectIdentical(fixed, macro, ids);
+    // The scenario actually throttled — otherwise this suite pins
+    // nothing beyond the reservation-free paths.
+    EXPECT_GT(fixed.memThrottledTime(), 0.0);
+    EXPECT_GT(fixed.peakMemThrottle(), 1.0);
+}
+
+TEST(MemBwDeterminism, DvfsAndMigrationSegmentsStayIdentical)
+{
+    Machine fixed(throttledChip());
+    Machine macro(throttledChip());
+    const auto ids = populateThrottled(fixed);
+    ASSERT_EQ(populateThrottled(macro), ids);
+
+    const Seconds dt = ms(1);
+    auto advance = [&](Seconds until) {
+        while (fixed.now() < until - dt * 0.5)
+            fixed.step(dt);
+        macro.runUntil(fixed.now(), dt);
+    };
+    advance(ms(120));
+    // Frequency drop shifts every thread's demand (memory-bound ones
+    // barely, CPU-bound proportionally) — the throttle factors must
+    // re-solve on the same step in both paths.
+    fixed.chip().setAllFrequencies(GHz(1.5));
+    macro.chip().setAllFrequencies(GHz(1.5));
+    fixed.chip().setVoltage(mV(820));
+    macro.chip().setVoltage(mV(820));
+    advance(ms(300));
+    // Stack two demanders on one PMD: the L2-sharing APKI inflation
+    // raises their demand mid-run.
+    fixed.migrateThread(ids[1], 1);
+    macro.migrateThread(ids[1], 1);
+    advance(ms(550));
+
+    expectIdentical(fixed, macro, ids);
+    EXPECT_GT(fixed.memThrottledTime(), 0.0);
+}
+
+// --- snapshot round trip ---------------------------------------------
+
+TEST(MemBwSnapshot, MidThrottleCloneAndWarmRestoreIdentical)
+{
+    Machine original(throttledChip());
+    const auto ids = populateThrottled(original);
+
+    const Seconds dt = ms(1);
+    while (original.memThrottledTime() <= 0.0) {
+        original.step(dt);
+        ASSERT_LT(original.now(), 2.0) << "reservation never bound";
+    }
+    for (int i = 0; i < 50; ++i)
+        original.step(dt); // accumulate telemetry past the first hit
+
+    const MachineSnapshot mid = original.capture();
+    EXPECT_GT(mid.memThrottledSeconds, 0.0);
+    std::unique_ptr<Machine> cold = original.clone();
+    expectIdentical(original, *cold, ids);
+
+    // Both continuations replay the same throttled steps.
+    for (int i = 0; i < 300; ++i) {
+        original.step(dt);
+        cold->step(dt);
+    }
+    expectIdentical(original, *cold, ids);
+
+    // Warm restore: rewind the original (its MEMBW cache is primed
+    // past `mid`) and replay — must land exactly on the clone.
+    original.restore(mid);
+    for (int i = 0; i < 300; ++i)
+        original.step(dt);
+    expectIdentical(original, *cold, ids);
+}
+
+TEST(MemBwSnapshot, RestoreRejectsCeilingMismatch)
+{
+    Machine armed(throttledChip());
+    Machine stock(xGene3());
+    // The ceiling is solver identity, not replayable state: crossing
+    // snapshots between a reserved and a stock machine must throw.
+    EXPECT_THROW(armed.restore(stock.capture()), FatalError);
+    EXPECT_THROW(stock.restore(armed.capture()), FatalError);
+}
+
+// --- event path -------------------------------------------------------
+
+/// Restores the process-wide event-path override on scope exit.
+struct EventPathGuard
+{
+    ~EventPathGuard() { setEventPathOverride(-1); }
+};
+
+void
+submitMemMix(System &s)
+{
+    const Catalog &catalog = Catalog::instance();
+    s.submit(catalog.byName("milc"), 1);
+    s.submit(catalog.byName("CG"), 8);
+    s.submit(catalog.byName("EP"), 4);
+    s.submit(catalog.byName("namd"), 1);
+}
+
+void
+expectSystemsIdentical(System &a, System &b)
+{
+    expectIdentical(a.machine(), b.machine(), {});
+    ASSERT_EQ(a.finishedProcesses().size(),
+              b.finishedProcesses().size());
+    for (std::size_t i = 0; i < a.finishedProcesses().size(); ++i) {
+        const Process &pa = a.finishedProcesses()[i];
+        const Process &pb = b.finishedProcesses()[i];
+        EXPECT_EQ(pa.pid, pb.pid);
+        EXPECT_EQ(pa.completed, pb.completed);
+        EXPECT_EQ(pa.retiredCounters.instructions,
+                  pb.retiredCounters.instructions);
+    }
+}
+
+TEST(MemBwDeterminism, EventPathMatchesWithCeilingArmed)
+{
+    // Per-step loop vs probing runUntil vs horizon runUntil on a
+    // reserved chip: the memBwNextActivity() horizon must never let
+    // a macro window coalesce across a throttle-state change.
+    EventPathGuard guard;
+    auto make = [] {
+        auto machine = std::make_unique<Machine>(throttledChip());
+        auto system = std::make_unique<System>(
+            *machine, nullptr, std::make_unique<OndemandGovernor>());
+        submitMemMix(*system);
+        return std::make_pair(std::move(machine), std::move(system));
+    };
+    auto step_rig = make();
+    auto probe_rig = make();
+    auto event_rig = make();
+
+    const Seconds horizon = 15.0;
+    setEventPathOverride(0);
+    while (step_rig.second->now() < horizon - 1e-9)
+        step_rig.second->step();
+    probe_rig.second->runUntil(horizon);
+    setEventPathOverride(1);
+    event_rig.second->runUntil(horizon);
+
+    EXPECT_EQ(step_rig.second->now(), probe_rig.second->now());
+    EXPECT_EQ(step_rig.second->now(), event_rig.second->now());
+    expectSystemsIdentical(*step_rig.second, *probe_rig.second);
+    expectSystemsIdentical(*step_rig.second, *event_rig.second);
+    EXPECT_GT(step_rig.first->memThrottledTime(), 0.0);
+}
+
+// --- shadow mode ------------------------------------------------------
+
+/// Restores the shadow override on scope exit.
+struct ShadowGuard
+{
+    ~ShadowGuard() { setMemBwShadowOverride(-1); }
+};
+
+TEST(MemBwDeterminism, ShadowModeIsBitwiseInert)
+{
+    // Shadow mode runs the full reservation path on a ceiling-free
+    // chip with an unreachable ceiling: every factor solves to
+    // exactly 1.0, so results must be byte-identical to the stock
+    // machine that skipped the path entirely.
+    ShadowGuard guard;
+    setMemBwShadowOverride(0);
+    Machine stock(xGene3());
+    const auto ids = populateThrottled(stock);
+    setMemBwShadowOverride(1);
+    Machine shadow(xGene3());
+    ASSERT_EQ(populateThrottled(shadow), ids);
+
+    const Seconds dt = ms(1);
+    for (int i = 0; i < 400; ++i) {
+        stock.step(dt);
+        shadow.step(dt);
+    }
+    expectIdentical(stock, shadow, ids);
+    EXPECT_EQ(shadow.memThrottledTime(), 0.0);
+    EXPECT_EQ(shadow.peakMemThrottle(), 1.0);
+}
+
+} // namespace
+} // namespace ecosched

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Reusable MEMBW reservation invariants (DESIGN.md §15), shared by
+ * the unit and fuzz suites.  For any demand set under any armed
+ * policy the solver must guarantee:
+ *
+ *  - budget conservation: sum of grants never exceeds the ceiling;
+ *  - the per-thread cap: no grant exceeds maxThreadShare * ceiling;
+ *  - no starvation: every thread with positive demand gets a
+ *    positive grant, no matter how oversubscribed the chip is;
+ *  - throttle sufficiency: every factor is >= 1, a thread whose
+ *    demand already fits its grant solves to exactly 1.0, and the
+ *    achieved per-thread (and aggregate) bandwidth at the solved
+ *    factors stays within the grants (and the ceiling).
+ */
+
+#ifndef ECOSCHED_TESTS_SUPPORT_MEMBW_INVARIANTS_HH
+#define ECOSCHED_TESTS_SUPPORT_MEMBW_INVARIANTS_HH
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/memory_system.hh"
+
+namespace ecosched {
+namespace testsupport {
+
+/**
+ * Assert the full reservation contract for one demand set.  The
+ * relative slack covers the bisection's finite precision: factors
+ * return the over-throttled side, so achieved bandwidth undershoots
+ * the grant but must never overshoot it by more than FP noise.
+ */
+inline void
+checkMemBwInvariants(const MemorySystem &memory,
+                     const std::vector<MemoryDemand> &demands,
+                     const MemBwPolicy &policy, double contention)
+{
+    ASSERT_TRUE(policy.armed());
+    const double slack = 1.0 + 1e-9;
+
+    std::vector<BytesPerSecond> grants;
+    memory.solveMemBwGrants(demands, policy, contention, grants);
+    ASSERT_EQ(grants.size(), demands.size());
+
+    const BytesPerSecond cap =
+        policy.maxThreadShare * policy.ceiling;
+    BytesPerSecond granted = 0.0;
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+        const BytesPerSecond demand =
+            memory.threadBandwidth(demands[i], contention);
+        ASSERT_GE(grants[i], 0.0);
+        ASSERT_LE(grants[i], cap * slack)
+            << "thread " << i << " granted past the share cap";
+        ASSERT_LE(grants[i], demand * slack)
+            << "thread " << i << " granted more than it demands";
+        if (demand > 0.0) {
+            ASSERT_GT(grants[i], 0.0)
+                << "thread " << i << " starved to zero";
+        }
+        granted += grants[i];
+    }
+    ASSERT_LE(granted, policy.ceiling * slack)
+        << "grants do not conserve the budget";
+
+    std::vector<double> factors;
+    std::vector<BytesPerSecond> scratch;
+    memory.solveMemBwFactors(demands, policy, contention, factors,
+                             scratch);
+    ASSERT_EQ(factors.size(), demands.size());
+
+    BytesPerSecond achieved_total = 0.0;
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+        ASSERT_GE(factors[i], 1.0);
+        const BytesPerSecond demand =
+            memory.threadBandwidth(demands[i], contention);
+        if (demand <= grants[i]) {
+            // Unconstrained threads must not be perturbed at all:
+            // exact 1.0 is what keeps light co-runners bit-identical
+            // to a reservation-free chip.
+            ASSERT_EQ(factors[i], 1.0);
+        }
+        const BytesPerSecond achieved = memory.threadBandwidth(
+            demands[i], contention * factors[i]);
+        ASSERT_LE(achieved, grants[i] * slack + 1.0)
+            << "thread " << i << " exceeds its grant";
+        achieved_total += achieved;
+    }
+    ASSERT_LE(achieved_total, policy.ceiling * slack + 1.0)
+        << "aggregate achieved bandwidth exceeds the ceiling";
+}
+
+} // namespace testsupport
+} // namespace ecosched
+
+#endif // ECOSCHED_TESTS_SUPPORT_MEMBW_INVARIANTS_HH

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Compare an ext_membw_colocation run against the committed baseline.
+
+Usage: check_membw.py BASELINE.json CURRENT.json [MAX_DRIFT]
+
+Two checks:
+
+1. Drift — every (chip, scenario, dispatch) row present in *both*
+   files must stay within MAX_DRIFT (a ratio, default 5.0) of the
+   baseline's total energy.  The simulation is deterministic, so in a
+   same-duration run any drift at all means the model changed; the
+   wide default only exists because CI runs --quick (120 s vs the
+   committed 240 s) — half the arrivals complete roughly a third of
+   the jobs once throttled sojourns stack, so total energy swings
+   well past the duration ratio.
+
+2. Headline — the MEMBW acceptance criterion, evaluated on the
+   *current* run alone: on at least one chip's colocation rows,
+   bandwidth_aware must beat least_loaded on energy per job at
+   equal-or-better p99 sojourn.  This is the design-facing claim (a
+   bandwidth signal routes memory floods apart where thread-count
+   balancing stacks them), so it gates even in --quick runs.
+
+The CI job wiring is non-gating, as for the other perf smokes.
+"""
+
+import json
+import sys
+
+COLOCATION = "colocation"
+BW = "bandwidth_aware"
+LL = "least_loaded"
+# "Equal-or-better" with room for benign FP jitter in the histogram
+# interpolation, not a real latency regression allowance.
+P99_SLACK = 1.001
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "ecosched.membw/1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {
+        (r["chip"], r["scenario"], r["dispatch"]): r
+        for r in doc["results"]
+    }
+
+
+def check_drift(baseline, current, max_drift):
+    failed = False
+    compared = 0
+    for key, cur in sorted(current.items()):
+        base = baseline.get(key)
+        if base is None:
+            print(f"NEW {key} (not in baseline, skipped)")
+            continue
+        compared += 1
+        ratio = (cur["total_energy_j"] / base["total_energy_j"]
+                 if base["total_energy_j"] > 0 else float("inf"))
+        status = "ok"
+        if not 1.0 / max_drift <= ratio <= max_drift:
+            status = f"DRIFT (> {max_drift:.1f}x off baseline)"
+            failed = True
+        print(f"{key[0]:>8} {key[1]:>13} {key[2]:>16}: "
+              f"{cur['total_energy_j']:12.1f} J "
+              f"({ratio:5.2f}x baseline) {status}")
+    if compared == 0:
+        print("no overlapping rows between baseline and current")
+        failed = True
+    return failed
+
+
+def check_headline(current):
+    chips = sorted({chip for chip, _, _ in current})
+    passing = []
+    for chip in chips:
+        bw = current.get((chip, COLOCATION, BW))
+        ll = current.get((chip, COLOCATION, LL))
+        if bw is None or ll is None:
+            continue
+        saves = (ll["energy_per_job_j"] > 0
+                 and bw["energy_per_job_j"] < ll["energy_per_job_j"])
+        p99_ok = (ll["latency_p99_s"] > 0
+                  and bw["latency_p99_s"]
+                      <= P99_SLACK * ll["latency_p99_s"])
+        verdict = "PASS" if saves and p99_ok else "fail"
+        print(f"headline {chip}: bandwidth_aware "
+              f"{bw['energy_per_job_j']:.1f} J/job vs least_loaded "
+              f"{ll['energy_per_job_j']:.1f} J/job, "
+              f"p99 {bw['latency_p99_s']:.2f} vs "
+              f"{ll['latency_p99_s']:.2f} s -> {verdict}")
+        if saves and p99_ok:
+            passing.append(chip)
+    if not passing:
+        print("headline: no chip meets J/job-save + p99 gate")
+        return True
+    print(f"headline met on: {', '.join(passing)}")
+    return False
+
+
+def main(argv):
+    if len(argv) not in (3, 4):
+        sys.exit(__doc__)
+    baseline = load(argv[1])
+    current = load(argv[2])
+    max_drift = float(argv[3]) if len(argv) == 4 else 5.0
+
+    failed = check_drift(baseline, current, max_drift)
+    failed = check_headline(current) or failed
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
