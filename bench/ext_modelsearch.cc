@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Extension — MODELSEARCH trajectory: fig11/fig12-class
+ * characterization through the analytic-model branch-and-bound
+ * executor (DESIGN.md §16) on the *dense* configuration grid of both
+ * chips: every thread count (1..numCores) at every ladder frequency
+ * for the five spotlight benchmarks, for both objectives (energy,
+ * ED2P), grouped per benchmark.
+ *
+ * The headline this bench pins (gated by tools/check_modelsearch.py
+ * in the perf-smoke lane): the pruned pass simulates <10% of the
+ * exhaustive point count on both chips, and the audit pass — which
+ * simulates everything through the same memoised layer — proves the
+ * pruned run reports a bit-identical optimum to the exhaustive scan
+ * (the executor fatally asserts on any mismatch, so a completed
+ * audited run *is* the proof; audit_match records it in the JSON).
+ *
+ * Emits machine-readable JSON (schema `ecosched.modelsearch/1`,
+ * documented in EXPERIMENTS.md) for comparison against the committed
+ * BENCH_modelsearch.json.  The search is deterministic — same grid,
+ * same counts, any job count — so the checker demands exact count
+ * equality, not a drift window.
+ *
+ * Usage: ext_modelsearch [--jobs N] [--quick] [--out FILE]
+ *
+ * --quick skips the audit pass (CI smoke: the pruned-pass counts
+ * still reproduce the committed ones exactly); the default audits
+ * every (chip, objective) sweep.
+ */
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "run_common.hh"
+
+using namespace ecosched;
+using namespace ecosched::bench;
+
+namespace {
+
+struct BestEntry
+{
+    std::string benchmark;
+    std::uint32_t threads = 0;
+    Hertz freq = 0.0;
+    double value = 0.0;
+};
+
+struct SweepRow
+{
+    std::string chip;
+    search::Objective objective = search::Objective::Energy;
+    search::SearchStats totals;
+    std::vector<BestEntry> best;
+};
+
+SweepRow
+runSweep(const ExperimentEngine &engine, const ChipSpec &chip,
+         search::Objective objective, bool audit)
+{
+    const auto benchmarks = Catalog::instance().figureBenchmarks();
+    const auto freqs = chip.frequencyLadder();
+
+    search::SweepSearch::Config cfg;
+    cfg.objective = objective;
+    cfg.audit = audit;
+    search::SweepSearch searcher(engine, chip, cfg);
+
+    SweepRow row;
+    row.chip = chip.name;
+    row.objective = objective;
+    for (const auto *bench : benchmarks) {
+        std::vector<ConfigPoint> points;
+        for (std::uint32_t t = 1; t <= chip.numCores; ++t) {
+            for (Hertz f : freqs) {
+                points.push_back({bench, t, Allocation::Spreaded, f,
+                                  /*undervolt=*/true, /*seed=*/1});
+            }
+        }
+        const auto result = searcher.searchGroup(points);
+        const ConfigPoint &best = points[result.bestIndex];
+        row.best.push_back({bench->name, best.threads, best.freq,
+                            search::objectiveValue(objective,
+                                                   result.best)});
+    }
+    row.totals = searcher.totals();
+    return row;
+}
+
+double
+simulatedFraction(const search::SearchStats &s)
+{
+    return s.totalPoints > 0
+        ? static_cast<double>(s.simulatedPoints)
+              / static_cast<double>(s.totalPoints)
+        : 0.0;
+}
+
+std::string
+toJson(const std::vector<SweepRow> &rows, bool audit)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "{\n  \"schema\": \"ecosched.modelsearch/1\",\n"
+       << "  \"audit\": " << (audit ? "true" : "false") << ",\n"
+       << "  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const SweepRow &r = rows[i];
+        const search::SearchStats &s = r.totals;
+        os << "    {\"chip\": \"" << r.chip
+           << "\", \"objective\": \""
+           << search::objectiveName(r.objective)
+           << "\", \"total_points\": " << s.totalPoints
+           << ", \"simulated_points\": " << s.simulatedPoints
+           << ", \"pruned_points\": " << s.prunedPoints
+           << ", \"seed_points\": " << s.seedPoints
+           << ", \"waves\": " << s.waves
+           << ", \"simulated_fraction\": " << simulatedFraction(s)
+           << ", \"audit_match\": "
+           << (s.audited && s.auditMatched ? "true" : "false")
+           << ",\n     \"best\": [";
+        for (std::size_t b = 0; b < r.best.size(); ++b) {
+            const BestEntry &e = r.best[b];
+            os << (b > 0 ? ", " : "") << "{\"benchmark\": \""
+               << e.benchmark << "\", \"threads\": " << e.threads
+               << ", \"freq_ghz\": " << units::toGHz(e.freq)
+               << ", \"value\": " << e.value << "}";
+        }
+        os << "]}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    EngineConfig ec;
+    ec.jobs = stripJobsFlag(argc, argv);
+    bool quick = false;
+    std::string out = "BENCH_modelsearch.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick")
+            quick = true;
+        else if (arg == "--out" && i + 1 < argc)
+            out = argv[++i];
+    }
+    const bool audit = !quick;
+    const ExperimentEngine engine{ec};
+
+    std::cout << "=== Extension: MODELSEARCH dense-grid "
+                 "characterization (branch-and-bound, audit="
+              << (audit ? "on" : "off") << ") ===\n\n";
+
+    std::vector<SweepRow> rows;
+    TextTable t({"chip", "objective", "points", "simulated",
+                 "fraction", "waves", "audit"});
+    for (const ChipSpec &chip : {xGene2(), xGene3()}) {
+        for (const search::Objective objective :
+             {search::Objective::Energy, search::Objective::Ed2p}) {
+            SweepRow row = runSweep(engine, chip, objective, audit);
+            t.addRow({row.chip,
+                      search::objectiveName(row.objective),
+                      std::to_string(row.totals.totalPoints),
+                      std::to_string(row.totals.simulatedPoints),
+                      formatDouble(
+                          simulatedFraction(row.totals) * 100.0, 1)
+                          + "%",
+                      std::to_string(row.totals.waves),
+                      row.totals.audited
+                          ? (row.totals.auditMatched ? "match"
+                                                     : "MISMATCH")
+                          : "off"});
+            rows.push_back(std::move(row));
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\nGroups are per benchmark: the argmin asked of "
+                 "each dense (threads x freq) grid.  The audit\n"
+                 "pass simulates every point through the same memo "
+                 "cache and byte-checks the pruned optimum.\n";
+
+    const std::string json = toJson(rows, audit);
+    std::ofstream file(out);
+    file << json;
+    if (!file) {
+        std::cerr << "failed to write " << out << "\n";
+        return 1;
+    }
+    std::cerr << "wrote " << out << "\n";
+    return 0;
+}

@@ -10,6 +10,14 @@
  * programs (clock-division Vmin drop); between fmax and half clock,
  * CPU-intensive programs see no energy benefit from the lower
  * frequency while memory-intensive ones do.
+ *
+ * `--search` runs the grid through the MODELSEARCH branch-and-bound
+ * executor instead of exhaustively: per benchmark it reports the
+ * energy-optimal configuration plus how many points the analytic
+ * bound pruned.  Under ECOSCHED_SEARCH_AUDIT=1 the executor
+ * simulates everything, byte-checks the pruned optimum against the
+ * exhaustive scan, and this bench prints the full table — byte-
+ * identical to the non-search output (the audit golden pins this).
  */
 
 #include <iostream>
@@ -23,24 +31,11 @@ using namespace ecosched::bench;
 
 namespace {
 
-void
-energyGrid(const ExperimentEngine &engine,
-           MemoCache<RunStats> &cache, MachinePool &arenas,
-           const ChipSpec &chip,
+std::vector<ConfigPoint>
+gridPoints(const std::vector<const BenchmarkProfile *> &benchmarks,
            const std::vector<std::uint32_t> &thread_options,
            const std::vector<Hertz> &freq_options)
 {
-    const auto benchmarks = Catalog::instance().figureBenchmarks();
-
-    std::vector<std::string> header{"benchmark"};
-    for (std::uint32_t threads : thread_options) {
-        for (Hertz f : freq_options) {
-            header.push_back(std::to_string(threads) + "T@"
-                             + formatDouble(units::toGHz(f), 1));
-        }
-    }
-    TextTable t(header);
-
     std::vector<ConfigPoint> points;
     for (const auto *bench : benchmarks) {
         for (std::uint32_t threads : thread_options) {
@@ -51,8 +46,25 @@ energyGrid(const ExperimentEngine &engine,
             }
         }
     }
-    const std::vector<RunStats> stats =
-        runConfigurations(engine, chip, points, &cache, &arenas);
+    return points;
+}
+
+void
+printEnergyTable(const ChipSpec &chip,
+                 const std::vector<const BenchmarkProfile *>
+                     &benchmarks,
+                 const std::vector<std::uint32_t> &thread_options,
+                 const std::vector<Hertz> &freq_options,
+                 const std::vector<RunStats> &stats)
+{
+    std::vector<std::string> header{"benchmark"};
+    for (std::uint32_t threads : thread_options) {
+        for (Hertz f : freq_options) {
+            header.push_back(std::to_string(threads) + "T@"
+                             + formatDouble(units::toGHz(f), 1));
+        }
+    }
+    TextTable t(header);
 
     const std::size_t grid =
         thread_options.size() * freq_options.size();
@@ -70,12 +82,90 @@ energyGrid(const ExperimentEngine &engine,
     std::cout << "\n";
 }
 
+void
+energyGrid(const ExperimentEngine &engine,
+           MemoCache<RunStats> &cache, MachinePool &arenas,
+           const ChipSpec &chip,
+           const std::vector<std::uint32_t> &thread_options,
+           const std::vector<Hertz> &freq_options)
+{
+    const auto benchmarks = Catalog::instance().figureBenchmarks();
+    const auto points =
+        gridPoints(benchmarks, thread_options, freq_options);
+    const std::vector<RunStats> stats =
+        runConfigurations(engine, chip, points, &cache, &arenas);
+    printEnergyTable(chip, benchmarks, thread_options, freq_options,
+                     stats);
+}
+
+void
+searchEnergyGrid(const ExperimentEngine &engine, const ChipSpec &chip,
+                 const std::vector<std::uint32_t> &thread_options,
+                 const std::vector<Hertz> &freq_options, bool audit)
+{
+    const auto benchmarks = Catalog::instance().figureBenchmarks();
+    const std::size_t grid =
+        thread_options.size() * freq_options.size();
+
+    search::SweepSearch::Config cfg;
+    cfg.objective = search::Objective::Energy;
+    cfg.audit = audit;
+    search::SweepSearch searcher(engine, chip, cfg);
+
+    // One group per benchmark: the optimum asked of the grid is
+    // "which (threads, freq) minimises this program's energy".
+    std::vector<RunStats> stats(benchmarks.size() * grid);
+    std::vector<std::string> optima;
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        const auto points = gridPoints({benchmarks[b]},
+                                       thread_options,
+                                       freq_options);
+        const auto result = searcher.searchGroup(points);
+        const ConfigPoint &best = points[result.bestIndex];
+        optima.push_back(
+            benchmarks[b]->name + ": "
+            + std::to_string(best.threads) + "T@"
+            + formatDouble(units::toGHz(best.freq), 1) + " GHz, "
+            + formatDouble(result.best.energyNormalized, 0) + " J ("
+            + std::to_string(result.stats.simulatedPoints) + "/"
+            + std::to_string(result.stats.totalPoints)
+            + " simulated)");
+        for (std::size_t g = 0; g < grid; ++g) {
+            if (result.simulated[g])
+                stats[b * grid + g] = result.results[g];
+        }
+    }
+
+    if (audit) {
+        // Audited run: everything was simulated, so the full table
+        // is reconstructible — and must match the exhaustive bench
+        // byte for byte.  Prune accounting goes to stderr.
+        printEnergyTable(chip, benchmarks, thread_options,
+                         freq_options, stats);
+    } else {
+        std::cout << "--- " << chip.name
+                  << " energy optimum (branch-and-bound) ---\n";
+        for (const std::string &line : optima)
+            std::cout << "  " << line << "\n";
+        std::cout << "\n";
+    }
+    const auto &totals = searcher.totals();
+    std::cerr << "search[" << chip.name << "]: simulated "
+              << totals.simulatedPoints << "/" << totals.totalPoints
+              << " points (" << totals.prunedPoints << " pruned, "
+              << totals.waves << " waves, audit="
+              << (audit ? "on" : "off") << ")\n";
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     using namespace units;
+    const bool use_search = search::stripSearchFlag(argc, argv);
+    const bool audit = search::searchAuditEnabled();
+
     std::cout << "=== Figure 11: energy across thread/frequency "
                  "configurations (benchmarks ordered from most "
                  "CPU- to most memory-intensive) ===\n\n";
@@ -83,13 +173,20 @@ main(int argc, char **argv)
     EngineConfig ec;
     ec.jobs = stripJobsFlag(argc, argv);
     const ExperimentEngine engine{ec};
-    MemoCache<RunStats> cache;
-    MachinePool arenas;
 
-    energyGrid(engine, cache, arenas, xGene2(), {8, 4, 2},
-               {GHz(2.4), GHz(1.2), GHz(0.9)});
-    energyGrid(engine, cache, arenas, xGene3(), {32, 16, 8},
-               {GHz(3.0), GHz(1.5)});
+    if (use_search) {
+        searchEnergyGrid(engine, xGene2(), {8, 4, 2},
+                         {GHz(2.4), GHz(1.2), GHz(0.9)}, audit);
+        searchEnergyGrid(engine, xGene3(), {32, 16, 8},
+                         {GHz(3.0), GHz(1.5)}, audit);
+    } else {
+        MemoCache<RunStats> cache;
+        MachinePool arenas;
+        energyGrid(engine, cache, arenas, xGene2(), {8, 4, 2},
+                   {GHz(2.4), GHz(1.2), GHz(0.9)});
+        energyGrid(engine, cache, arenas, xGene3(), {32, 16, 8},
+                   {GHz(3.0), GHz(1.5)});
+    }
 
     std::cout << "Paper reference: 0.9 GHz is cheapest for every "
                  "program on X-Gene 2; at 1.2/1.5 GHz only the "

@@ -8,6 +8,13 @@
  * intensive ones (milc, CG, FT) frequency is inversely proportional
  * to ED2P efficiency — identifying the program class at runtime is
  * what lets the daemon pick the right configuration.
+ *
+ * `--search` routes each (benchmark, threads) row through the
+ * MODELSEARCH branch-and-bound executor: the best frequency is found
+ * by simulating only the points the analytic bound cannot exclude.
+ * Under ECOSCHED_SEARCH_AUDIT=1 everything is simulated, the pruned
+ * optimum is byte-checked, and the full table is printed —
+ * byte-identical to the exhaustive output.
  */
 
 #include <iostream>
@@ -21,6 +28,53 @@ using namespace ecosched::bench;
 
 namespace {
 
+std::vector<ConfigPoint>
+rowPoints(const BenchmarkProfile &bench, std::uint32_t threads,
+          const std::vector<Hertz> &freq_options)
+{
+    std::vector<ConfigPoint> points;
+    for (Hertz f : freq_options) {
+        points.push_back({&bench, threads, Allocation::Spreaded, f,
+                          /*undervolt=*/true, /*seed=*/1});
+    }
+    return points;
+}
+
+std::vector<std::string>
+tableHeader(const std::vector<Hertz> &freq_options)
+{
+    std::vector<std::string> header{"benchmark", "threads"};
+    for (Hertz f : freq_options)
+        header.push_back(formatDouble(units::toGHz(f), 1) + " GHz");
+    header.push_back("best");
+    return header;
+}
+
+/// One printed row: the per-frequency ED2P values and the winner by
+/// the strict scan-order argmin.
+std::vector<std::string>
+tableRow(const BenchmarkProfile &bench, std::uint32_t threads,
+         const std::vector<Hertz> &freq_options,
+         const std::vector<RunStats> &row_stats)
+{
+    std::vector<std::string> row{bench.name,
+                                 std::to_string(threads)};
+    double best = 1e300;
+    std::size_t best_idx = 0;
+    for (std::size_t f = 0; f < freq_options.size(); ++f) {
+        const RunStats &r = row_stats[f];
+        row.push_back(formatSi(r.ed2p, 2));
+        if (r.ed2p < best) {
+            best = r.ed2p;
+            best_idx = f;
+        }
+    }
+    row.push_back(
+        formatDouble(units::toGHz(freq_options[best_idx]), 1)
+        + " GHz");
+    return row;
+}
+
 void
 ed2pGrid(const ExperimentEngine &engine, MemoCache<RunStats> &cache,
          MachinePool &arenas, const ChipSpec &chip,
@@ -28,21 +82,14 @@ ed2pGrid(const ExperimentEngine &engine, MemoCache<RunStats> &cache,
          const std::vector<Hertz> &freq_options)
 {
     const auto benchmarks = Catalog::instance().figureBenchmarks();
-
-    std::vector<std::string> header{"benchmark", "threads"};
-    for (Hertz f : freq_options)
-        header.push_back(formatDouble(units::toGHz(f), 1) + " GHz");
-    header.push_back("best");
-    TextTable t(header);
+    TextTable t(tableHeader(freq_options));
 
     std::vector<ConfigPoint> points;
     for (const auto *bench : benchmarks) {
         for (std::uint32_t threads : thread_options) {
-            for (Hertz f : freq_options) {
-                points.push_back({bench, threads,
-                                  Allocation::Spreaded, f,
-                                  /*undervolt=*/true, /*seed=*/1});
-            }
+            const auto row = rowPoints(*bench, threads,
+                                       freq_options);
+            points.insert(points.end(), row.begin(), row.end());
         }
     }
     const std::vector<RunStats> stats =
@@ -51,30 +98,75 @@ ed2pGrid(const ExperimentEngine &engine, MemoCache<RunStats> &cache,
     std::size_t idx = 0;
     for (const auto *bench : benchmarks) {
         for (std::uint32_t threads : thread_options) {
-            std::vector<std::string> row{bench->name,
-                                         std::to_string(threads)};
-            double best = 1e300;
-            std::size_t best_idx = 0;
-            std::vector<double> vals;
-            for (std::size_t f = 0; f < freq_options.size(); ++f) {
-                const RunStats &r = stats[idx++];
-                vals.push_back(r.ed2p);
-                if (r.ed2p < best) {
-                    best = r.ed2p;
-                    best_idx = vals.size() - 1;
-                }
-            }
-            for (double v : vals)
-                row.push_back(formatSi(v, 2));
-            row.push_back(
-                formatDouble(units::toGHz(freq_options[best_idx]), 1)
-                + " GHz");
-            t.addRow(row);
+            const std::vector<RunStats> row_stats(
+                stats.begin() + idx,
+                stats.begin() + idx + freq_options.size());
+            idx += freq_options.size();
+            t.addRow(tableRow(*bench, threads, freq_options,
+                              row_stats));
         }
     }
     std::cout << "--- " << chip.name << " ED2P (safe Vmin) ---\n";
     t.print(std::cout);
     std::cout << "\n";
+}
+
+void
+searchEd2pGrid(const ExperimentEngine &engine, const ChipSpec &chip,
+               const std::vector<std::uint32_t> &thread_options,
+               const std::vector<Hertz> &freq_options, bool audit)
+{
+    const auto benchmarks = Catalog::instance().figureBenchmarks();
+
+    search::SweepSearch::Config cfg;
+    cfg.objective = search::Objective::Ed2p;
+    cfg.audit = audit;
+    search::SweepSearch searcher(engine, chip, cfg);
+
+    TextTable full(tableHeader(freq_options));
+    TextTable optima({"benchmark", "threads", "best", "ed2p",
+                      "simulated"});
+    for (const auto *bench : benchmarks) {
+        for (std::uint32_t threads : thread_options) {
+            const auto points =
+                rowPoints(*bench, threads, freq_options);
+            const auto result = searcher.searchGroup(points);
+            if (audit) {
+                full.addRow(tableRow(*bench, threads, freq_options,
+                                     result.results));
+            } else {
+                optima.addRow(
+                    {bench->name, std::to_string(threads),
+                     formatDouble(
+                         units::toGHz(
+                             points[result.bestIndex].freq), 1)
+                         + " GHz",
+                     formatSi(result.best.ed2p, 2),
+                     std::to_string(result.stats.simulatedPoints)
+                         + "/"
+                         + std::to_string(
+                               result.stats.totalPoints)});
+            }
+        }
+    }
+
+    if (audit) {
+        std::cout << "--- " << chip.name
+                  << " ED2P (safe Vmin) ---\n";
+        full.print(std::cout);
+    } else {
+        std::cout << "--- " << chip.name
+                  << " ED2P optimum (branch-and-bound) ---\n";
+        optima.print(std::cout);
+    }
+    std::cout << "\n";
+
+    const auto &totals = searcher.totals();
+    std::cerr << "search[" << chip.name << "]: simulated "
+              << totals.simulatedPoints << "/" << totals.totalPoints
+              << " points (" << totals.prunedPoints << " pruned, "
+              << totals.waves << " waves, audit="
+              << (audit ? "on" : "off") << ")\n";
 }
 
 } // namespace
@@ -83,19 +175,29 @@ int
 main(int argc, char **argv)
 {
     using namespace units;
+    const bool use_search = search::stripSearchFlag(argc, argv);
+    const bool audit = search::searchAuditEnabled();
+
     std::cout << "=== Figure 12: ED2P across thread/frequency "
                  "configurations ===\n\n";
 
     EngineConfig ec;
     ec.jobs = stripJobsFlag(argc, argv);
     const ExperimentEngine engine{ec};
-    MemoCache<RunStats> cache;
-    MachinePool arenas;
 
-    ed2pGrid(engine, cache, arenas, xGene2(), {8, 4, 2},
-             {GHz(2.4), GHz(1.2), GHz(0.9)});
-    ed2pGrid(engine, cache, arenas, xGene3(), {32, 16, 8},
-             {GHz(3.0), GHz(1.5)});
+    if (use_search) {
+        searchEd2pGrid(engine, xGene2(), {8, 4, 2},
+                       {GHz(2.4), GHz(1.2), GHz(0.9)}, audit);
+        searchEd2pGrid(engine, xGene3(), {32, 16, 8},
+                       {GHz(3.0), GHz(1.5)}, audit);
+    } else {
+        MemoCache<RunStats> cache;
+        MachinePool arenas;
+        ed2pGrid(engine, cache, arenas, xGene2(), {8, 4, 2},
+                 {GHz(2.4), GHz(1.2), GHz(0.9)});
+        ed2pGrid(engine, cache, arenas, xGene3(), {32, 16, 8},
+                 {GHz(3.0), GHz(1.5)});
+    }
 
     std::cout << "Paper reference: namd/EP prefer the highest "
                  "frequency; milc/CG/FT prefer the reduced "

@@ -394,6 +394,21 @@ Daemon::tick()
                 reader->readDramPerMCycles(delta, rng);
             statistics.monitorCpuTime += reader->readCost() * 2.0;
         }
+        if (cfg.predictive.enabled && delta.instructions > 0
+            && !sys.process(pid).cores.empty()) {
+            // The CPI fit rides the cycle/instruction registers of
+            // the window just read — no extra counter cost, no RNG
+            // draw.  The window is attributed to the clock its PMD
+            // runs now; a window spanning a frequency change smears
+            // the fit, which the next window at the settled clock
+            // corrects.
+            const Hertz f = sys.machine().chip().pmdFrequency(
+                pmdOfCore(sys.process(pid).cores.front()));
+            entry.cpiFit.addSample(
+                sys.spec().snapToLadder(f),
+                static_cast<double>(delta.cycles)
+                    / static_cast<double>(delta.instructions));
+        }
         if (entry.classifier.update(rate)) {
             ++statistics.classificationChanges;
             any_change = true;
@@ -413,6 +428,12 @@ Daemon::tick()
         if (plan.feasible)
             applyPlan(plan, invalidPid);
     }
+
+    // MODELSEARCH predictive governor: runs after any replan so its
+    // frequency choices override the engine's binary clocks, and
+    // before the settling block so a jump's voltage lowers in the
+    // same monitoring period.
+    predictiveTick();
 
     // Periodic voltage settling: fresh counter samples can move the
     // requirement (predictor mode) even without a placement change.
@@ -434,6 +455,127 @@ Daemon::tick()
     std::erase_if(quarantine, [now](const QuarantineEntry &q) {
         return q.until <= now;
     });
+    noteActivePoint();
+}
+
+void
+Daemon::predictiveTick()
+{
+    if (!cfg.predictive.enabled || !cfg.controlFrequency)
+        return;
+    Machine &machine = sys.machine();
+    const ChipSpec &spec = sys.spec();
+
+    // Hosted pids per PMD and the utilized-PMD count, from the
+    // process table (the droop class the planner scores against).
+    std::vector<std::vector<Pid>> hosts(spec.numPmds());
+    for (Pid pid : sys.runningProcesses()) {
+        for (CoreId core : sys.process(pid).cores) {
+            auto &list = hosts[pmdOfCore(core)];
+            if (list.empty() || list.back() != pid)
+                list.push_back(pid);
+        }
+    }
+    std::uint32_t utilized = 0;
+    for (PmdId p = 0; p < spec.numPmds(); ++p)
+        utilized += hosts[p].empty() ? 0 : 1;
+    if (utilized == 0)
+        return;
+
+    // Target clock per PMD.  A fitted process asks for its predicted
+    // ED2P optimum (with hysteresis against the current clock); an
+    // unfitted one with a sample asks for the probe neighbour that
+    // pins its second coefficient.  PMDs shared by several processes
+    // serve the most demanding request.
+    std::vector<Hertz> target(spec.numPmds());
+    bool any_jump = false;
+    bool any_probe = false;
+    for (PmdId p = 0; p < spec.numPmds(); ++p) {
+        const Hertz current =
+            spec.snapToLadder(machine.chip().pmdFrequency(p));
+        target[p] = current;
+        if (hosts[p].empty())
+            continue;
+        Hertz want = 0.0;
+        bool probing = false;
+        for (Pid pid : hosts[p]) {
+            const auto it = monitored.find(pid);
+            if (it == monitored.end())
+                continue;
+            const CpiFrequencyModel &fit = it->second.cpiFit;
+            if (fit.fitted()) {
+                Hertz f = predictiveEd2pOptimum(
+                    droopTable, fit, utilized, cfg.predictive);
+                if (f != current) {
+                    const double cur_score = predictiveEd2pScore(
+                        droopTable, fit, current, utilized,
+                        cfg.predictive);
+                    const double new_score = predictiveEd2pScore(
+                        droopTable, fit, f, utilized,
+                        cfg.predictive);
+                    if (cur_score
+                        < new_score * (1.0 + cfg.predictive.minGain))
+                        f = current; // gain below the hysteresis bar
+                }
+                want = std::max(want, f);
+            } else if (fit.samples() == 1) {
+                const Hertz probe = predictiveProbeFrequency(
+                    spec, fit.soleFrequency());
+                if (probe != current) {
+                    want = std::max(want, probe);
+                    probing = true;
+                }
+            }
+        }
+        if (want > 0.0 && want != current) {
+            target[p] = want;
+            if (probing)
+                any_probe = true;
+            else
+                any_jump = true;
+        }
+    }
+    if (!any_jump && !any_probe)
+        return;
+
+    // Fail-safe ordering, mirroring applyPlan: raise the supply to
+    // cover both the current and the target configuration, program
+    // the clocks, and let the settling block that follows in tick()
+    // bring the voltage down to the new requirement.
+    const Seconds now = sys.now();
+    if (cfg.controlVoltage && cfg.failSafeOrdering) {
+        std::vector<Hertz> cover(spec.numPmds());
+        std::vector<bool> util(spec.numPmds());
+        for (PmdId p = 0; p < spec.numPmds(); ++p) {
+            cover[p] = std::max(target[p],
+                                machine.chip().pmdFrequency(p));
+            util[p] = !hosts[p].empty()
+                || machine.coreBusy(firstCoreOfPmd(p))
+                || machine.coreBusy(secondCoreOfPmd(p));
+        }
+        const Volt v_pre = droopTable.safeVoltageFor(cover, util);
+        if (machine.chip().voltage() < v_pre - voltEps) {
+            machine.slimPro().requestVoltage(now, v_pre);
+            ++statistics.voltageRaises;
+        }
+    }
+    for (PmdId p = 0; p < spec.numPmds(); ++p) {
+        if (target[p]
+            != spec.snapToLadder(machine.chip().pmdFrequency(p)))
+            machine.slimPro().requestPmdFrequency(now, p, target[p]);
+    }
+    if (cfg.controlVoltage && !cfg.failSafeOrdering) {
+        // Naive ordering (ablation): the supply follows at the next
+        // monitoring period, exactly like applyPlan.
+        std::vector<bool> util(spec.numPmds());
+        for (PmdId p = 0; p < spec.numPmds(); ++p)
+            util[p] = !hosts[p].empty();
+        pendingVoltage = droopTable.safeVoltageFor(target, util);
+    }
+    if (any_probe)
+        ++statistics.predictiveProbes;
+    if (any_jump)
+        ++statistics.predictiveJumps;
     noteActivePoint();
 }
 

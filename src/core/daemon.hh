@@ -136,6 +136,18 @@ struct DaemonConfig
     /// Predictor knobs (when useVminPredictor is set).
     CounterVminPredictor::Config predictor;
 
+    /**
+     * MODELSEARCH predictive governor (DESIGN.md §16): fit
+     * CPI(f) = base + slope·f per process from the counters the
+     * monitor already samples and jump each utilized PMD straight to
+     * the predicted ED2P-optimal ladder frequency, instead of the
+     * engine's binary CPU/memory clock choice.  Off by default —
+     * the daemon is then bit-inert with respect to builds without
+     * the governor (no fit state, no probes, identical control
+     * sequences).
+     */
+    PredictiveGovernorConfig predictive;
+
     /// Fail-safe recovery knobs.
     RecoveryConfig recovery;
 
@@ -153,6 +165,10 @@ struct DaemonStats
     std::uint64_t voltageRaises = 0;
     std::uint64_t voltageDrops = 0;
     Seconds monitorCpuTime = 0.0; ///< modelled counter-read overhead
+    /// Predictive governor only: ladder probes programmed to pin a
+    /// one-sample CPI fit, and direct jumps to a predicted optimum.
+    std::uint64_t predictiveProbes = 0;
+    std::uint64_t predictiveJumps = 0;
 };
 
 /**
@@ -243,6 +259,11 @@ class Daemon
         /// only costing a perf read) when the placement engine is
         /// bandwidth-aware.  Negative until the first sample.
         double lastDramRate = -1.0;
+        /// Predictive governor only: the per-process CPI(f) fit,
+        /// refit from the cycle/instruction counters of each
+        /// monitoring window (no extra counter reads).  Empty when
+        /// the governor is disabled.
+        CpiFrequencyModel cpiFit = {};
     };
 
     /// One quarantined table point: a (frequency class, droop class)
@@ -258,7 +279,8 @@ class Daemon
     /**
      * Deep copy of the daemon's mutable state (snapshot-and-branch
      * sweep execution): monitoring entries with their classifier
-     * hysteresis, the RNG position, bookkeeping counters, and the
+     * hysteresis and predictive CPI fits, the RNG position,
+     * bookkeeping counters, and the
      * full fail-safe recovery state — hold window, quarantined
      * points, retry generations and the live V/F point.  A clone
      * taken inside a recovery window carries the window.  The Table
@@ -318,6 +340,10 @@ class Daemon
     /// Record the live V/F point (the one a later failure would
     /// incriminate).
     void noteActivePoint();
+    /// Predictive governor: refit, probe unfitted processes, jump
+    /// fitted ones to their predicted ED2P-optimal PMD frequency
+    /// (fail-safe ordering).  No-op unless cfg.predictive.enabled.
+    void predictiveTick();
     /// Fail-safe recovery for a process that completed failed.
     void handleFailure(const Process &proc);
 

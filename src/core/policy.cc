@@ -55,6 +55,7 @@ policyKindName(PolicyKind kind)
       case PolicyKind::Optimal:    return "Optimal";
       case PolicyKind::CoreIdle:   return "CoreIdle";
       case PolicyKind::RaceToIdle: return "RaceToIdle";
+      case PolicyKind::Predictive: return "Predictive";
     }
     return "?";
 }
@@ -105,6 +106,14 @@ configurePolicy(System &system, PolicyKind kind,
 
       case PolicyKind::RaceToIdle:
         installCoreIdle(system, true);
+        break;
+
+      case PolicyKind::Predictive:
+        daemon_base.controlPlacement = true;
+        daemon_base.controlFrequency = true;
+        daemon_base.controlVoltage = true;
+        daemon_base.predictive.enabled = true;
+        setup.daemon = std::make_unique<Daemon>(system, daemon_base);
         break;
     }
     return setup;

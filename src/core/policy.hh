@@ -21,6 +21,15 @@
  *  - RaceToIdle: same, with active PMDs pinned at fmax so work
  *                finishes sooner and idle residency lengthens.
  *
+ * And the MODELSEARCH closing-the-loop configuration (DESIGN.md §16):
+ *
+ *  - Predictive: the Optimal daemon with the predictive governor on
+ *                top — per-process CPI(f) fits refit online from the
+ *                monitor's own counters, and each utilized PMD jumps
+ *                straight to its predicted ED2P-optimal ladder
+ *                frequency instead of the engine's binary clock
+ *                choice.
+ *
  * Setting ECOSCHED_COREIDLE_SHADOW=1 makes Baseline/SafeVmin install
  * the coreidle mask placer with an empty mask instead of
  * LinuxSpreadPlacer — an inertness proof: the goldens must stay
@@ -47,6 +56,7 @@ enum class PolicyKind
     Optimal,
     CoreIdle,
     RaceToIdle,
+    Predictive,
 };
 
 /// Human-readable configuration name.

@@ -51,4 +51,117 @@ CounterVminPredictor::predictSafeVoltage(
     return std::max(base - margin, table.spec().vFloor);
 }
 
+void
+CpiFrequencyModel::addSample(Hertz f, double cpi)
+{
+    fatalIf(f <= 0.0, "CPI sample needs a positive frequency");
+    fatalIf(cpi <= 0.0, "CPI sample must be positive");
+    for (auto &[freq, value] : points) {
+        if (std::fabs(freq - f) <= 1.0) {
+            value = cpi;
+            refit();
+            return;
+        }
+    }
+    points.emplace_back(f, cpi);
+    refit();
+}
+
+Hertz
+CpiFrequencyModel::soleFrequency() const
+{
+    fatalIf(points.size() != 1,
+            "soleFrequency wants exactly one sample");
+    return points.front().first;
+}
+
+void
+CpiFrequencyModel::refit()
+{
+    ok = false;
+    if (points.size() < 2)
+        return;
+
+    // Ordinary least squares over the per-frequency points.
+    double sf = 0.0, scpi = 0.0, sff = 0.0, sfcpi = 0.0;
+    const double n = static_cast<double>(points.size());
+    for (const auto &[f, cpi] : points) {
+        sf += f;
+        scpi += cpi;
+        sff += f * f;
+        sfcpi += f * cpi;
+    }
+    const double det = n * sff - sf * sf;
+    if (det <= 0.0)
+        return; // numerically coincident frequencies
+    s = (n * sfcpi - sf * scpi) / det;
+    c = (scpi - s * sf) / n;
+
+    // Physical clamps: core CPI and stall time are non-negative.  A
+    // violated clamp means counter noise outweighed the trend; fall
+    // back to the frequency-invariant (resp. fully memory-bound)
+    // interpretation of the same samples.
+    if (s < 0.0) {
+        s = 0.0;
+        c = scpi / n;
+    } else if (c < 0.0) {
+        c = 0.0;
+        s = sfcpi / sff;
+    }
+    ok = true;
+}
+
+double
+predictiveEd2pScore(const DroopClassTable &table,
+                    const CpiFrequencyModel &model, Hertz f,
+                    std::uint32_t utilized_pmds,
+                    const PredictiveGovernorConfig &cfg)
+{
+    fatalIf(!model.fitted(), "ED2P score wants a fitted CPI model");
+    fatalIf(utilized_pmds == 0,
+            "ED2P score of an idle configuration");
+    const ChipSpec &spec = table.spec();
+    const double w =
+        std::clamp(cfg.leakageFraction, 0.0, 1.0);
+    const double v_rel =
+        table.safeVoltage(f, utilized_pmds) / spec.vNominal;
+    const double power = (1.0 - w) * v_rel * v_rel * (f / spec.fMax)
+        + w * v_rel;
+    const double delay = model.cpiAt(f) / f; // seconds/instruction
+    return power * delay * delay * delay;
+}
+
+Hertz
+predictiveEd2pOptimum(const DroopClassTable &table,
+                      const CpiFrequencyModel &model,
+                      std::uint32_t utilized_pmds,
+                      const PredictiveGovernorConfig &cfg)
+{
+    const auto ladder = table.spec().frequencyLadder();
+    Hertz best = ladder.front();
+    double best_score = predictiveEd2pScore(table, model, best,
+                                            utilized_pmds, cfg);
+    for (std::size_t i = 1; i < ladder.size(); ++i) {
+        const double score = predictiveEd2pScore(
+            table, model, ladder[i], utilized_pmds, cfg);
+        if (score < best_score) {
+            best = ladder[i];
+            best_score = score;
+        }
+    }
+    return best;
+}
+
+Hertz
+predictiveProbeFrequency(const ChipSpec &spec, Hertz sampled)
+{
+    const Hertz snapped = spec.snapToLadder(sampled);
+    const auto ladder = spec.frequencyLadder();
+    for (std::size_t i = 0; i < ladder.size(); ++i) {
+        if (std::fabs(ladder[i] - snapped) <= 1.0)
+            return i > 0 ? ladder[i - 1] : ladder[i + 1];
+    }
+    ECOSCHED_PANIC("sampled frequency off the ladder");
+}
+
 } // namespace ecosched

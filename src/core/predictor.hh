@@ -17,6 +17,15 @@
  * behaviour does not fully determine its Vmin sensitivity — an
  * aggressive predictor occasionally lands below the true Vmin and
  * the fault injector shows the resulting SDCs and crashes.
+ *
+ * The file also hosts the MODELSEARCH predictive-governor fit
+ * (DESIGN.md §16): an online CPI(f) = base + slope·f regression per
+ * process, refit from the counters the daemon already samples, and
+ * the ED2P frequency planner that jumps straight to the predicted
+ * optimal ladder step instead of stepping the ondemand ladder.
+ * Unlike the Vmin predictor above, a CPI misfit costs performance or
+ * energy but never safety — the chosen frequency always runs at its
+ * characterized safe voltage.
  */
 
 #ifndef ECOSCHED_CORE_PREDICTOR_HH
@@ -24,7 +33,11 @@
 
 #include "common/units.hh"
 
+#include <cstddef>
 #include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "core/droop_table.hh"
 
 namespace ecosched {
@@ -93,6 +106,113 @@ class CounterVminPredictor
   private:
     Config cfg;
 };
+
+/**
+ * Online linear CPI-versus-frequency fit for one process:
+ *
+ *     CPI(f) = base + slope · f
+ *
+ * The analytic form follows from the machine model: the core-bound
+ * cycles per instruction are frequency-invariant (base) while the
+ * memory-stall time is fixed in *seconds*, so its cycle cost scales
+ * linearly with the clock (slope = stall seconds per instruction).
+ * Two samples at distinct ladder frequencies pin both coefficients;
+ * further samples refine them by least squares.
+ *
+ * Samples are keyed by snapped ladder frequency — a re-observation
+ * at a known frequency replaces the old point (the fit tracks the
+ * program's current phase, not its history).  Value-copyable, so a
+ * daemon snapshot carries the fit.
+ */
+class CpiFrequencyModel
+{
+  public:
+    /// Record an observed (frequency, cycles-per-instruction) pair.
+    void addSample(Hertz f, double cpi);
+
+    /// Whether both coefficients are pinned (>= 2 distinct
+    /// frequencies observed).
+    bool fitted() const { return ok; }
+
+    /// Distinct frequencies observed so far.
+    std::size_t samples() const { return points.size(); }
+
+    /// Frequency-invariant CPI component (fitted() only).
+    double base() const { return c; }
+
+    /// Memory-stall cycles per instruction per Hz (fitted() only).
+    double slope() const { return s; }
+
+    /// Predicted CPI at @p f (fitted() only).
+    double cpiAt(Hertz f) const { return c + s * f; }
+
+    /// The single frequency observed so far (samples() == 1 only;
+    /// the probe planner picks its neighbour).
+    Hertz soleFrequency() const;
+
+  private:
+    void refit();
+
+    /// Latest CPI per distinct snapped frequency, insertion order.
+    std::vector<std::pair<Hertz, double>> points;
+    double c = 0.0;
+    double s = 0.0;
+    bool ok = false;
+};
+
+/// Predictive-governor knobs (MODELSEARCH, DESIGN.md §16).
+struct PredictiveGovernorConfig
+{
+    /**
+     * Master switch.  Off (the default) keeps the daemon bit-inert:
+     * no fit state is populated, no probe or jump is ever issued,
+     * and every control sequence matches a build without the
+     * governor.
+     */
+    bool enabled = false;
+
+    /// Leakage share of total chip power at (fMax, vNominal) in the
+    /// relative power proxy the ED2P score uses.
+    double leakageFraction = 0.3;
+
+    /// Minimum relative ED2P gain, score(current)/score(best) - 1,
+    /// before the governor moves off the current frequency
+    /// (hysteresis against fit jitter).
+    double minGain = 0.02;
+};
+
+/**
+ * Relative ED2P score of running the fitted workload at ladder
+ * frequency @p f with @p utilized_pmds PMDs utilized:
+ *
+ *     score(f) = P(f, V(f)) · (CPI(f) / f)^3
+ *
+ * with V(f) the characterized safe voltage and P the normalized
+ * power proxy (1-w)·(V/Vnom)²·(f/fmax) + w·(V/Vnom), w the
+ * configured leakage fraction.  Only ratios between scores are
+ * meaningful.  Requires model.fitted().
+ */
+double predictiveEd2pScore(const DroopClassTable &table,
+                           const CpiFrequencyModel &model, Hertz f,
+                           std::uint32_t utilized_pmds,
+                           const PredictiveGovernorConfig &cfg);
+
+/**
+ * The ladder frequency minimizing predictiveEd2pScore (ascending
+ * scan, strict `<`: ties keep the lower clock and its lower safe
+ * voltage).  Requires model.fitted() and utilized_pmds >= 1.
+ */
+Hertz predictiveEd2pOptimum(const DroopClassTable &table,
+                            const CpiFrequencyModel &model,
+                            std::uint32_t utilized_pmds,
+                            const PredictiveGovernorConfig &cfg);
+
+/**
+ * The probe frequency that pins a one-sample fit's second
+ * coefficient: the ladder step below the sampled frequency, or the
+ * step above when the sample sits at the ladder bottom.
+ */
+Hertz predictiveProbeFrequency(const ChipSpec &spec, Hertz sampled);
 
 } // namespace ecosched
 

@@ -61,6 +61,9 @@
 #include "platform/topology.hh"
 #include "power/energy_meter.hh"
 #include "power/power_model.hh"
+#include "search/analytic_model.hh"
+#include "search/config_space.hh"
+#include "search/sweep_search.hh"
 #include "sim/machine.hh"
 #include "sim/memory_system.hh"
 #include "sim/perf_counters.hh"

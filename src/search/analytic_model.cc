@@ -1,0 +1,341 @@
+#include "search/analytic_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/stats.hh"
+#include "platform/chip.hh"
+#include "power/energy_meter.hh"
+#include "sim/perf_counters.hh"
+
+namespace ecosched {
+namespace search {
+
+namespace {
+
+/**
+ * One scale class: the threads whose sibling-core occupancy (and
+ * hence L2-sharing APKI scale) is identical.  All members run the
+ * same profile with the same per-thread work, so they stay in
+ * lockstep for the whole run and one set of per-step quantities
+ * covers every member.
+ */
+struct ScaleClass
+{
+    double scale = 1.0;          ///< APKI inflation (sibling busy)
+    Instructions remaining = 0;  ///< per-thread work left
+    std::vector<CoreId> cores;   ///< member cores, ascending
+    ThreadCounters counters;     ///< per-member counters (identical)
+    long long finishStep = -1;   ///< step index the members retired
+
+    // Per-segment kinematics (valid while `segValid` in the loop).
+    Seconds tInstr = 0.0;
+    double target = 0.0;   ///< instructions a full step retires
+    Seconds busyFull = 0.0;
+    double utilFull = 0.0;
+    double l3AccFull = 0.0;
+    double dramAccFull = 0.0;
+
+    bool alive() const { return remaining > 0; }
+};
+
+} // namespace
+
+AnalyticModel::AnalyticModel(const ChipSpec &spec)
+    : chipSpec(spec),
+      power(spec),
+      memory(MemoryParams::forChipName(spec.name)),
+      thermalParams(ThermalParams::forChipName(spec.name)),
+      vmin(spec)
+{
+}
+
+ModelEval
+AnalyticModel::evaluate(const BenchmarkProfile &bench,
+                        std::uint32_t threads, Allocation alloc,
+                        Hertz freq, bool undervolt) const
+{
+    const std::uint32_t num_cores = chipSpec.numCores;
+    const auto cores = allocateCores(num_cores, threads, alloc);
+    const Hertz f = chipSpec.snapToLadder(freq);
+    const Seconds dt = units::ms(10);
+    const bool exact = exactRegime();
+
+    // --- programmed V/f state (applied at t = 0, never changed) -----
+    Chip chip(chipSpec);
+    chip.setAllFrequencies(f);
+    if (undervolt) {
+        chip.setVoltage(
+            vmin.tableVmin(f, countUtilizedPmds(cores)));
+    }
+
+    // --- collapse threads into scale classes ------------------------
+    std::vector<std::uint8_t> busy(num_cores, 0);
+    for (CoreId c : cores)
+        busy[c] = 1;
+    const Instructions per_thread = bench.perThreadWork(threads);
+    std::vector<ScaleClass> classes;
+    // memberOrder drives every per-thread summation: ascending core
+    // id, exactly the order Machine::step() gathers running threads.
+    std::vector<std::pair<CoreId, std::size_t>> memberOrder;
+    for (CoreId c = 0; c < num_cores; ++c) {
+        if (!busy[c])
+            continue;
+        const CoreId sibling =
+            (c % coresPerPmd == 0) ? c + 1 : c - 1;
+        const bool partner_busy =
+            sibling < num_cores && busy[sibling] != 0;
+        const double scale =
+            partner_busy ? bench.work.l2SharingPenalty : 1.0;
+        std::size_t idx = classes.size();
+        for (std::size_t k = 0; k < classes.size(); ++k) {
+            if (classes[k].scale == scale) {
+                idx = k;
+                break;
+            }
+        }
+        if (idx == classes.size()) {
+            ScaleClass sc;
+            sc.scale = scale;
+            sc.remaining = per_thread;
+            classes.push_back(std::move(sc));
+        }
+        classes[idx].cores.push_back(c);
+        memberOrder.emplace_back(c, idx);
+    }
+    ECOSCHED_ASSERT(classes.size() <= 2,
+                    "sibling occupancy admits at most two classes");
+
+    // --- degraded-regime idle floor (admissible underestimate) ------
+    // C-states only ever *remove* power (idle clocks stop, gated
+    // PMDs shed leakage); assuming maximal residency every step can
+    // never overshoot the simulated energy.
+    std::vector<std::uint8_t> deepIdle;
+    IdlePowerView idleFloor;
+    const IdlePowerView *idleView = nullptr;
+    if (chipSpec.hasCStates()) {
+        const CStateSpec *core_state = chipSpec.coreCState();
+        const CStateSpec *pmd_state = chipSpec.pmdCState();
+        deepIdle.assign(num_cores,
+                        core_state != nullptr ? 1 : 0);
+        idleFloor.coreDeepIdle = deepIdle.data();
+        idleFloor.coreIdleClockScale =
+            core_state != nullptr ? core_state->idleClockScale : 1.0;
+        idleFloor.leakageScale = pmd_state != nullptr
+            ? std::max(0.0,
+                       1.0 - pmd_state->leakageShare
+                           * static_cast<double>(chipSpec.numPmds()))
+            : 1.0;
+        idleView = &idleFloor;
+    }
+
+    // --- the step recurrence ---------------------------------------
+    ThermalModel thermal(thermalParams);
+    EnergyMeter meter;
+    Seconds sim_time = 0.0;
+    long long step_index = 0;
+
+    std::vector<bool> pmdGatedWant(chipSpec.numPmds(), false);
+    std::vector<CoreActivity> activityFull;
+    std::vector<MemoryDemand> demands;
+    UncoreActivity uncoreFull;
+    PowerBreakdown rawPowerFull;
+    double contention = 1.0;
+    bool segValid = false;
+
+    std::vector<CoreActivity> activityStep; // boundary-step scratch
+    std::uint32_t liveClasses =
+        static_cast<std::uint32_t>(classes.size());
+
+    while (liveClasses > 0) {
+        if (!segValid) {
+            // Segment rebuild: membership changed (first step, or a
+            // class retired last step).  Mirrors the work the
+            // Machine's epoch/version-keyed caches re-do at exactly
+            // these boundaries.
+            // 1. Auto clock gating: idle PMDs gate at step start.
+            std::vector<std::uint8_t> pmd_busy(chipSpec.numPmds(),
+                                               0);
+            for (const ScaleClass &sc : classes) {
+                if (!sc.alive())
+                    continue;
+                for (CoreId c : sc.cores)
+                    pmd_busy[pmdOfCore(c)] = 1;
+            }
+            for (PmdId p = 0; p < chipSpec.numPmds(); ++p) {
+                const bool want = pmd_busy[p] == 0;
+                if (chip.pmdClockGated(p) != want)
+                    chip.setPmdClockGated(p, want);
+            }
+            // 2. Demand gather (core order) + contention solve.
+            demands.clear();
+            for (const auto &[core, idx] : memberOrder) {
+                if (!classes[idx].alive())
+                    continue;
+                demands.push_back({&bench.work, f,
+                                   classes[idx].scale});
+            }
+            contention = memory.solveContention(demands);
+            // 3. Full-step kinematics per class.
+            for (ScaleClass &sc : classes) {
+                if (!sc.alive())
+                    continue;
+                sc.tInstr = memory.timePerInstruction(
+                    bench.work, f, contention, sc.scale);
+                const double rate = 1.0 / sc.tInstr;
+                sc.target = rate * dt;
+                const double retired_d = sc.target;
+                sc.busyFull = retired_d * sc.tInstr;
+                sc.utilFull =
+                    std::clamp(sc.busyFull / dt, 0.0, 1.0);
+                sc.l3AccFull = retired_d * bench.work.l3Apki
+                    * sc.scale * 1e-3;
+                sc.dramAccFull = retired_d * bench.work.dramApki
+                    * sc.scale * 1e-3;
+            }
+            // 4. Activity + uncore rates (core-order summation) and
+            //    the raw power of a full steady step.
+            activityFull.assign(num_cores, CoreActivity{});
+            uncoreFull = UncoreActivity{};
+            for (const auto &[core, idx] : memberOrder) {
+                const ScaleClass &sc = classes[idx];
+                if (!sc.alive())
+                    continue;
+                activityFull[core].utilization = sc.utilFull;
+                activityFull[core].switchingFactor =
+                    bench.work.switchingFactor;
+                uncoreFull.l3AccessesPerSec += sc.l3AccFull / dt;
+                uncoreFull.dramAccessesPerSec +=
+                    sc.dramAccFull / dt;
+            }
+            rawPowerFull = power.totalPower(chip, activityFull,
+                                            uncoreFull, idleView);
+            segValid = true;
+        }
+
+        // Boundary detection: a class whose remaining work no longer
+        // covers a full step retires its members *this* step with a
+        // partial utilization.
+        bool boundary = false;
+        for (const ScaleClass &sc : classes) {
+            if (sc.alive()
+                && static_cast<double>(sc.remaining) <= sc.target) {
+                boundary = true;
+                break;
+            }
+        }
+
+        PowerBreakdown step_power;
+        if (!boundary) {
+            step_power = rawPowerFull;
+        } else {
+            activityStep = activityFull;
+            UncoreActivity uncore{};
+            for (const auto &[core, idx] : memberOrder) {
+                const ScaleClass &sc = classes[idx];
+                if (!sc.alive())
+                    continue;
+                const double rem_d =
+                    static_cast<double>(sc.remaining);
+                if (rem_d <= sc.target) {
+                    const double retired_d =
+                        std::min({rem_d, rem_d, sc.target});
+                    const Seconds busy_t = retired_d * sc.tInstr;
+                    activityStep[core].utilization =
+                        std::clamp(busy_t / dt, 0.0, 1.0);
+                    uncore.l3AccessesPerSec +=
+                        retired_d * bench.work.l3Apki * sc.scale
+                        * 1e-3 / dt;
+                    uncore.dramAccessesPerSec +=
+                        retired_d * bench.work.dramApki * sc.scale
+                        * 1e-3 / dt;
+                } else {
+                    uncore.l3AccessesPerSec += sc.l3AccFull / dt;
+                    uncore.dramAccessesPerSec +=
+                        sc.dramAccFull / dt;
+                }
+            }
+            step_power = power.totalPower(chip, activityStep, uncore,
+                                          idleView);
+        }
+
+        // Counter updates + integer retire (mirrors the execute
+        // phase: all members of a class advance identically).
+        for (ScaleClass &sc : classes) {
+            if (!sc.alive())
+                continue;
+            const double rem_d = static_cast<double>(sc.remaining);
+            const double retired_d =
+                std::min({rem_d, rem_d, sc.target});
+            const auto retired = static_cast<Instructions>(
+                std::llround(retired_d));
+            const Seconds busy_t = retired_d * sc.tInstr;
+            sc.counters.instructions += retired;
+            sc.counters.cycles +=
+                static_cast<Cycles>(std::llround(busy_t * f));
+            sc.counters.l3Accesses +=
+                static_cast<std::uint64_t>(std::llround(
+                    retired_d * bench.work.l3Apki * sc.scale
+                    * 1e-3));
+            sc.counters.dramAccesses +=
+                static_cast<std::uint64_t>(std::llround(
+                    retired_d * bench.work.dramApki * sc.scale
+                    * 1e-3));
+            sc.counters.busyTime += busy_t;
+            sc.remaining = (retired >= sc.remaining)
+                ? 0 : sc.remaining - retired;
+            if (!sc.alive()) {
+                sc.finishStep = step_index;
+                --liveClasses;
+                segValid = false; // membership changes next step
+            }
+        }
+
+        // Power integration (leakage responds to the temperature
+        // reached so far; thermal advances under this step's power).
+        step_power.leakage *= thermal.leakageMultiplier();
+        thermal.step(dt, step_power.total());
+        meter.add(dt, step_power);
+        sim_time += dt;
+        ++step_index;
+    }
+
+    // --- fold into RunStats ----------------------------------------
+    ModelEval out;
+    out.exact = exact;
+    out.stats.runtime = sim_time;
+    out.stats.energy = meter.energy();
+    const double units_of_work =
+        bench.parallel ? 1.0 : static_cast<double>(threads);
+    out.stats.energyNormalized = out.stats.energy / units_of_work;
+    out.stats.ed2p = out.stats.energyNormalized * out.stats.runtime
+        * out.stats.runtime;
+
+    // Per-thread counter means, in retire order: finish step first,
+    // ascending core id within a step (the order the Machine's
+    // finished queue delivers).
+    std::vector<std::pair<long long, std::size_t>> finished;
+    for (const auto &[core, idx] : memberOrder) {
+        finished.emplace_back(
+            classes[idx].finishStep * static_cast<long long>(
+                num_cores) + static_cast<long long>(core),
+            idx);
+    }
+    std::sort(finished.begin(), finished.end());
+    RunningStats l3;
+    RunningStats ipc;
+    for (const auto &[order_key, idx] : finished) {
+        l3.add(classes[idx].counters.l3AccessesPerMCycles());
+        ipc.add(classes[idx].counters.ipc());
+    }
+    out.stats.meanL3PerMCycles = l3.mean();
+    out.stats.meanIpc = ipc.mean();
+    return out;
+}
+
+} // namespace search
+} // namespace ecosched

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Online analytic energy/CPI model for configuration-space search
+ * (DESIGN.md §16).
+ *
+ * The model evaluates one characterization point — (benchmark,
+ * threads, allocation, frequency, undervolt) on a chip — without
+ * constructing a Machine.  It exploits the structure a figure-sweep
+ * run actually has:
+ *
+ *  - the V/f state is programmed once at t = 0 and never changes;
+ *  - droop sampling, fault injection, c-states and bandwidth
+ *    reservations are off on the plain presets, so a run consumes no
+ *    randomness and the step loop is a pure recurrence;
+ *  - every thread retires the same per-thread work with the same
+ *    profile, and the L2-sharing scale of a core never changes
+ *    mid-run (partners finish together), so the threads collapse
+ *    into at most two *scale classes* (sibling idle / sibling busy)
+ *    that stay in lockstep.
+ *
+ * The evaluator replays the Machine's 10 ms step recurrence over the
+ * collapsed classes — same contention solve, same per-step retire
+ * arithmetic, the real PowerModel/ThermalModel/EnergyMeter — at
+ * O(classes) instead of O(cores) work per step and without any
+ * machine construction.  On the plain chip presets the result is
+ * bit-identical to the simulation (pinned by tests/search); the
+ * admissible lower bound below deflates it by a relative epsilon so
+ * pruning stays safe even across compiler re-association.
+ *
+ * On decorated chips (c-states or a bandwidth reservation armed) the
+ * replica is no longer exact; the evaluator then degrades to a
+ * provable underestimate: idle-state residency is assumed maximal
+ * (power never below the truth is dropped to its floor) and the
+ * reservation throttle is ignored (throttling only ever lengthens
+ * runs and adds energy).  `ModelEval::exact` reports which regime
+ * produced the value.
+ */
+
+#ifndef ECOSCHED_SEARCH_ANALYTIC_MODEL_HH
+#define ECOSCHED_SEARCH_ANALYTIC_MODEL_HH
+
+#include <cstdint>
+
+#include "power/power_model.hh"
+#include "power/thermal.hh"
+#include "search/config_space.hh"
+#include "sim/memory_system.hh"
+#include "vmin/vmin_model.hh"
+
+namespace ecosched {
+namespace search {
+
+/// Model evaluation of one configuration point.
+struct ModelEval
+{
+    RunStats stats;     ///< predicted run statistics
+    bool exact = false; ///< bit-replica regime (plain chip preset)
+};
+
+/**
+ * The analytic evaluator.  Stateless per evaluation; cheap to build
+ * (one VminModel table per chip) and safe to share across threads
+ * for concurrent const evaluations.
+ */
+class AnalyticModel
+{
+  public:
+    explicit AnalyticModel(const ChipSpec &spec);
+
+    /// Chip the model was built for.
+    const ChipSpec &spec() const { return chipSpec; }
+
+    /// Whether evaluations run in the bit-replica regime (no
+    /// c-states, no bandwidth reservation on the chip).
+    bool exactRegime() const
+    {
+        return !chipSpec.hasCStates() && !chipSpec.hasMemBw();
+    }
+
+    /// Evaluate one configuration point.
+    ModelEval evaluate(const BenchmarkProfile &bench,
+                       std::uint32_t threads, Allocation alloc,
+                       Hertz freq, bool undervolt) const;
+
+    /// Evaluate a grid point (seed does not influence the model: the
+    /// table Vmin a sweep programs is seed-independent).
+    ModelEval evaluate(const ConfigPoint &point) const
+    {
+        return evaluate(*point.bench, point.threads, point.alloc,
+                        point.freq, point.undervolt);
+    }
+
+    /**
+     * Admissible lower bounds: never exceed the simulated value of
+     * the point (tests/search fuzzes this contract across random
+     * profiles, chips and decorations).  The deflation epsilon
+     * covers floating-point re-association between the replica and
+     * the Machine step loop; in the degraded regimes the evaluation
+     * itself is already an underestimate.
+     */
+    double lowerBoundEnergy(const ModelEval &eval) const
+    {
+        return deflate(eval.stats.energyNormalized);
+    }
+
+    /// Admissible lower bound on the point's ED2P.
+    double lowerBoundEd2p(const ModelEval &eval) const
+    {
+        return deflate(eval.stats.ed2p);
+    }
+
+  private:
+    static double deflate(double v) { return v * (1.0 - 1e-9); }
+
+    ChipSpec chipSpec;
+    PowerModel power;
+    MemorySystem memory;
+    ThermalParams thermalParams;
+    VminModel vmin;
+};
+
+} // namespace search
+} // namespace ecosched
+
+#endif // ECOSCHED_SEARCH_ANALYTIC_MODEL_HH

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * The configuration space of a characterization sweep: one point per
+ * (benchmark, threads, allocation, frequency, undervolt, seed), the
+ * machinery to execute points on pooled machine arenas, and the
+ * single-machine runner the figure benches share.
+ *
+ * Grown out of bench/run_common.hh (which now re-exports this header)
+ * so that the MODELSEARCH subsystem — the analytic model and the
+ * branch-and-bound sweep executor — can consume the same point/runner
+ * vocabulary from library code instead of reaching into bench/.
+ *
+ * Work semantics follow §II.B: a parallel program's N threads share
+ * one unit of work; N copies of a single-thread program execute the
+ * work N times, so their energy is normalised by N for fair
+ * comparison.
+ */
+
+#ifndef ECOSCHED_SEARCH_CONFIG_SPACE_HH
+#define ECOSCHED_SEARCH_CONFIG_SPACE_HH
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/units.hh"
+#include "exp/engine.hh"
+#include "exp/memo_cache.hh"
+#include "exp/prototype_cache.hh"
+#include "platform/topology.hh"
+#include "sim/machine.hh"
+#include "workloads/benchmark.hh"
+
+namespace ecosched {
+namespace search {
+
+/// Result of one configuration run.
+struct RunStats
+{
+    Seconds runtime = 0.0;
+    Joule energy = 0.0;           ///< raw chip energy
+    Joule energyNormalized = 0.0; ///< per unit of work (SPEC: /N)
+    double ed2p = 0.0;            ///< normalised energy * D^2
+    double meanL3PerMCycles = 0.0;
+    double meanIpc = 0.0;
+};
+
+/**
+ * Execute @p bench with @p threads threads/copies on @p machine,
+ * which must sit in its as-constructed state at t = 0 (fresh or
+ * rewound to a pristine snapshot).  Execution is macro-stepped —
+ * bit-identical to the plain 10 ms step loop by the PR 3 guarantee,
+ * pinned by the sweep-equality tests.
+ *
+ * @param freq       Ladder frequency programmed on every PMD.
+ * @param undervolt  Program the configuration's safe Vmin (else
+ *                   nominal voltage).
+ */
+inline RunStats
+runConfigurationOn(Machine &machine, const BenchmarkProfile &bench,
+                   std::uint32_t threads, Allocation alloc,
+                   Hertz freq, bool undervolt)
+{
+    const ChipSpec &chip = machine.spec();
+    const auto cores = allocateCores(chip.numCores, threads, alloc);
+    machine.slimPro().requestAllFrequencies(0.0, freq);
+    if (undervolt) {
+        machine.slimPro().requestVoltage(
+            0.0, machine.vminModel().tableVmin(
+                     freq, countUtilizedPmds(cores)));
+    }
+
+    const Instructions per_thread = bench.perThreadWork(threads);
+    std::vector<SimThreadId> tids;
+    for (CoreId c : cores) {
+        tids.push_back(machine.startThread(
+            bench.work, per_thread, c, bench.vminSensitivity));
+    }
+    // Run to completion: coalesce uniform spans into macro windows,
+    // falling back to a single full step at every boundary a window
+    // must not cross (thread finish, phase change, stall edge).
+    const Seconds horizon =
+        std::numeric_limits<Seconds>::infinity();
+    while (machine.numBusyCores() > 0) {
+        if (machine.macroAdvance(horizon, units::ms(10)) == 0)
+            machine.step(units::ms(10));
+    }
+
+    RunStats out;
+    out.runtime = machine.now();
+    out.energy = machine.energyMeter().energy();
+    // Parallel programs execute the work once; N copies of a
+    // single-thread program execute it N times (§II.B).
+    const double units_of_work =
+        bench.parallel ? 1.0 : static_cast<double>(threads);
+    out.energyNormalized = out.energy / units_of_work;
+    out.ed2p = out.energyNormalized * out.runtime * out.runtime;
+
+    RunningStats l3;
+    RunningStats ipc;
+    for (const SimThread &t : machine.collectFinished()) {
+        l3.add(t.counters.l3AccessesPerMCycles());
+        ipc.add(t.counters.ipc());
+    }
+    out.meanL3PerMCycles = l3.mean();
+    out.meanIpc = ipc.mean();
+    return out;
+}
+
+/**
+ * Legacy single-shot runner: construct a fresh machine, run with the
+ * plain per-step loop.  Kept as the pre-arena reference — the
+ * sweep-setup micro-benchmark measures the arena path against it,
+ * and the equality tests pin that both produce identical bytes.
+ */
+inline RunStats
+runConfiguration(const ChipSpec &chip, const BenchmarkProfile &bench,
+                 std::uint32_t threads, Allocation alloc, Hertz freq,
+                 bool undervolt, std::uint64_t seed = 1)
+{
+    MachineConfig mc;
+    mc.seed = seed;
+    Machine machine(chip, mc);
+
+    const auto cores = allocateCores(chip.numCores, threads, alloc);
+    machine.slimPro().requestAllFrequencies(0.0, freq);
+    if (undervolt) {
+        machine.slimPro().requestVoltage(
+            0.0, machine.vminModel().tableVmin(
+                     freq, countUtilizedPmds(cores)));
+    }
+
+    const Instructions per_thread = bench.perThreadWork(threads);
+    std::vector<SimThreadId> tids;
+    for (CoreId c : cores) {
+        tids.push_back(machine.startThread(
+            bench.work, per_thread, c, bench.vminSensitivity));
+    }
+    while (!machine.runningThreads().empty())
+        machine.step(units::ms(10));
+
+    RunStats out;
+    out.runtime = machine.now();
+    out.energy = machine.energyMeter().energy();
+    const double units_of_work =
+        bench.parallel ? 1.0 : static_cast<double>(threads);
+    out.energyNormalized = out.energy / units_of_work;
+    out.ed2p = out.energyNormalized * out.runtime * out.runtime;
+
+    RunningStats l3;
+    RunningStats ipc;
+    for (const SimThread &t : machine.collectFinished()) {
+        l3.add(t.counters.l3AccessesPerMCycles());
+        ipc.add(t.counters.ipc());
+    }
+    out.meanL3PerMCycles = l3.mean();
+    out.meanIpc = ipc.mean();
+    return out;
+}
+
+/**
+ * Reusable machine arena for characterization sweeps: one machine
+ * plus the pristine snapshot captured right after construction.
+ * Rewinding is ~10^4x cheaper than re-running the Vmin
+ * characterization a fresh construction pays.
+ */
+struct MachineArena
+{
+    Machine machine;
+    MachineSnapshot pristine;
+
+    MachineArena(const ChipSpec &chip, const MachineConfig &config)
+        : machine(chip, config), pristine(machine.capture())
+    {
+    }
+};
+
+/// Pool of machine arenas keyed by (chip, seed) — the machine's
+/// construction identity within one characterization sweep.
+using MachinePool = ArenaPool<MachineArena>;
+
+/// Arena key of one grid point's machine.
+inline std::uint64_t
+machineArenaKey(const ChipSpec &chip, std::uint64_t seed)
+{
+    ConfigKey key;
+    key.mix(chip.name).mix(seed);
+    return key.value();
+}
+
+/// One point of a characterization grid (the spec runConfiguration
+/// takes, minus the chip, which is shared by a whole sweep).
+struct ConfigPoint
+{
+    const BenchmarkProfile *bench = nullptr;
+    std::uint32_t threads = 0;
+    Allocation alloc = Allocation::Spreaded;
+    Hertz freq = 0.0;
+    bool undervolt = true;
+    std::uint64_t seed = 1;
+};
+
+/// Memoization key: every field that influences a RunStats result.
+inline std::uint64_t
+configPointKey(const ChipSpec &chip, const ConfigPoint &p)
+{
+    ConfigKey key;
+    key.mix(chip.name)
+        .mix(p.bench->name)
+        .mix(static_cast<std::uint64_t>(p.threads))
+        .mix(static_cast<std::uint64_t>(p.alloc))
+        .mix(p.freq)
+        .mix(static_cast<std::uint64_t>(p.undervolt))
+        .mix(p.seed);
+    return key.value();
+}
+
+/**
+ * Run a whole grid of configuration points on the engine's workers,
+ * returning RunStats in point order.  Each point is a pure function
+ * of (chip, point), so the output is bit-identical for any job
+ * count.  When @p cache is given, points whose key was already
+ * computed (by this sweep or an earlier one sharing the cache) are
+ * served from it.
+ *
+ * Execution is snapshot-and-branch: points sharing a chip sample
+ * (same seed) fork off one prototype machine rewound to its pristine
+ * snapshot instead of constructing a stack per point, and run
+ * macro-stepped.  Both are bit-identical to the legacy fresh-
+ * machine per-step path (pinned by the sweep-equality tests), so
+ * all committed goldens are unchanged.  Pass @p pool to share
+ * arenas across several sweeps in one process.
+ */
+inline std::vector<RunStats>
+runConfigurations(const ExperimentEngine &engine, const ChipSpec &chip,
+                  const std::vector<ConfigPoint> &points,
+                  MemoCache<RunStats> *cache = nullptr,
+                  MachinePool *pool = nullptr)
+{
+    MachinePool local_pool;
+    MachinePool &arenas = pool != nullptr ? *pool : local_pool;
+    return engine.mapSpecs<RunStats, ConfigPoint>(
+        points,
+        [&chip, cache, &arenas](std::size_t, const ConfigPoint &p,
+                                Rng &) {
+            auto compute = [&] {
+                MachineConfig mc;
+                mc.seed = p.seed;
+                auto lease = arenas.acquire(
+                    machineArenaKey(chip, p.seed),
+                    [&] {
+                        return std::make_unique<MachineArena>(chip,
+                                                              mc);
+                    },
+                    [](MachineArena &arena) {
+                        arena.machine.restore(arena.pristine);
+                    });
+                return runConfigurationOn(lease->machine, *p.bench,
+                                          p.threads, p.alloc, p.freq,
+                                          p.undervolt);
+            };
+            if (cache) {
+                return cache->getOrCompute(configPointKey(chip, p),
+                                           compute);
+            }
+            return compute();
+        });
+}
+
+} // namespace search
+} // namespace ecosched
+
+#endif // ECOSCHED_SEARCH_CONFIG_SPACE_HH

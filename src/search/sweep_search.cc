@@ -1,0 +1,254 @@
+#include "search/sweep_search.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hh"
+
+namespace ecosched {
+namespace search {
+
+const char *
+objectiveName(Objective objective)
+{
+    switch (objective) {
+    case Objective::Energy:
+        return "energy";
+    case Objective::Ed2p:
+        return "ed2p";
+    }
+    return "?";
+}
+
+double
+objectiveValue(Objective objective, const RunStats &stats)
+{
+    return objective == Objective::Energy ? stats.energyNormalized
+                                          : stats.ed2p;
+}
+
+bool
+searchAuditEnabled()
+{
+    const char *v = std::getenv("ECOSCHED_SEARCH_AUDIT");
+    return v != nullptr && v[0] == '1';
+}
+
+bool
+stripSearchFlag(int &argc, char **argv)
+{
+    bool found = false;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--search") == 0) {
+            found = true;
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+    return found;
+}
+
+SweepSearch::SweepSearch(const ExperimentEngine &engine,
+                         const ChipSpec &chip, Config config)
+    : engine(engine), chipSpec(chip), cfg(config), analytic(chip)
+{
+    ECOSCHED_ASSERT(cfg.waveSize > 0,
+                    "search wave size must be positive");
+}
+
+const ModelEval &
+SweepSearch::cachedEval(const ConfigPoint &point)
+{
+    const std::uint64_t key = configPointKey(chipSpec, point);
+    auto it = modelMemo.find(key);
+    if (it == modelMemo.end()) {
+        it = modelMemo.emplace(key, analytic.evaluate(point)).first;
+    }
+    return it->second;
+}
+
+void
+SweepSearch::simulate(const std::vector<ConfigPoint> &points,
+                      const std::vector<std::size_t> &indices,
+                      GroupResult &out)
+{
+    std::vector<std::size_t> fresh;
+    std::vector<ConfigPoint> batch;
+    for (std::size_t i : indices) {
+        if (out.simulated[i])
+            continue;
+        fresh.push_back(i);
+        batch.push_back(points[i]);
+    }
+    if (batch.empty())
+        return;
+    const auto stats =
+        runConfigurations(engine, chipSpec, batch, &cache, &pool);
+    for (std::size_t k = 0; k < fresh.size(); ++k) {
+        out.results[fresh[k]] = stats[k];
+        out.simulated[fresh[k]] = 1;
+    }
+}
+
+GroupResult
+SweepSearch::searchGroup(const std::vector<ConfigPoint> &points)
+{
+    const std::size_t n = points.size();
+    GroupResult out;
+    out.simulated.assign(n, 0);
+    out.results.resize(n);
+    out.stats.totalPoints = n;
+    if (n == 0) {
+        totalStats.accumulate(out.stats);
+        return out;
+    }
+
+    // Model pass: predicted objective value and admissible lower
+    // bound per point.
+    std::vector<double> lb(n);
+    std::vector<double> pred(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const ModelEval &eval = cachedEval(points[i]);
+        pred[i] = objectiveValue(cfg.objective, eval.stats);
+        lb[i] = cfg.objective == Objective::Energy
+            ? analytic.lowerBoundEnergy(eval)
+            : analytic.lowerBoundEd2p(eval);
+    }
+
+    // Seed simulations: the grid corners anchor the fit at the
+    // extremes; the model's predicted optimum is where the true
+    // optimum most likely is, which makes the incumbent tight
+    // immediately.
+    std::size_t pred_best = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+        if (pred[i] < pred[pred_best])
+            pred_best = i;
+    }
+    std::vector<std::size_t> seeds = {0, n - 1, pred_best};
+    std::sort(seeds.begin(), seeds.end());
+    seeds.erase(std::unique(seeds.begin(), seeds.end()),
+                seeds.end());
+    simulate(points, seeds, out);
+    out.stats.seedPoints = seeds.size();
+
+    double incumbent = 0.0;
+    bool have_incumbent = false;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!out.simulated[i])
+            continue;
+        const double v = objectiveValue(cfg.objective,
+                                        out.results[i]);
+        if (!have_incumbent || v < incumbent) {
+            incumbent = v;
+            have_incumbent = true;
+        }
+    }
+
+    // Fit kappa, the geometric-mean observed/predicted ratio over
+    // the seeds.  kappa only *orders* the candidate waves (best
+    // predicted first); correctness never depends on it.  In the
+    // bit-replica regime kappa == 1 exactly.
+    double log_sum = 0.0;
+    std::uint32_t fitted = 0;
+    for (std::size_t i : seeds) {
+        const double observed =
+            objectiveValue(cfg.objective, out.results[i]);
+        if (pred[i] > 0.0 && observed > 0.0) {
+            log_sum += std::log(observed / pred[i]);
+            ++fitted;
+        }
+    }
+    const double kappa =
+        fitted > 0 ? std::exp(log_sum / fitted) : 1.0;
+
+    // Branch and bound: simulate the best-predicted wave of points
+    // the bound cannot exclude, tighten the incumbent, repeat.
+    // Pruning is strict (lb > incumbent), so a point whose true
+    // value ties the optimum is always simulated.
+    while (true) {
+        std::vector<std::size_t> candidates;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!out.simulated[i] && lb[i] <= incumbent)
+                candidates.push_back(i);
+        }
+        if (candidates.empty())
+            break;
+        std::sort(candidates.begin(), candidates.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      const double ka = kappa * pred[a];
+                      const double kb = kappa * pred[b];
+                      return ka != kb ? ka < kb : a < b;
+                  });
+        if (candidates.size() > cfg.waveSize)
+            candidates.resize(cfg.waveSize);
+        simulate(points, candidates, out);
+        for (std::size_t i : candidates) {
+            const double v = objectiveValue(cfg.objective,
+                                            out.results[i]);
+            if (v < incumbent)
+                incumbent = v;
+        }
+        ++out.stats.waves;
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (out.simulated[i])
+            ++out.stats.simulatedPoints;
+    }
+    out.stats.prunedPoints = n - out.stats.simulatedPoints;
+
+    // Final argmin: grid order, strict `<` over the simulated
+    // points — exactly the exhaustive scan's tie-breaking, over a
+    // set guaranteed to contain its argmin.
+    std::size_t best = n;
+    double best_value = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!out.simulated[i])
+            continue;
+        const double v = objectiveValue(cfg.objective,
+                                        out.results[i]);
+        if (best == n || v < best_value) {
+            best = i;
+            best_value = v;
+        }
+    }
+    ECOSCHED_ASSERT(best < n, "search simulated at least the seeds");
+    out.bestIndex = best;
+    out.best = out.results[best];
+
+    if (cfg.audit) {
+        // Exact-fallback audit: simulate *everything* (cache makes
+        // the already-simulated points free), re-run the exhaustive
+        // scan, and byte-check the pruned answer.
+        std::vector<std::size_t> all(n);
+        for (std::size_t i = 0; i < n; ++i)
+            all[i] = i;
+        simulate(points, all, out);
+        std::size_t exhaustive = 0;
+        for (std::size_t i = 1; i < n; ++i) {
+            if (objectiveValue(cfg.objective, out.results[i])
+                < objectiveValue(cfg.objective,
+                                 out.results[exhaustive])) {
+                exhaustive = i;
+            }
+        }
+        ECOSCHED_ASSERT(exhaustive == out.bestIndex,
+                        "audit: pruning changed the optimum index");
+        ECOSCHED_ASSERT(
+            std::memcmp(&out.results[exhaustive], &out.best,
+                        sizeof(RunStats)) == 0,
+            "audit: pruning changed the optimum's bytes");
+        out.stats.audited = true;
+        out.stats.auditMatched = true;
+    }
+
+    totalStats.accumulate(out.stats);
+    return out;
+}
+
+} // namespace search
+} // namespace ecosched

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Branch-and-bound sweep executor (DESIGN.md §16).
+ *
+ * A characterization sweep asks for the argmin of one objective
+ * (normalised energy, or ED2P) over a grid of configuration points.
+ * Exhaustive execution simulates every point; this executor instead
+ *
+ *  1. evaluates the analytic model on every point (cheap — no
+ *     Machine), producing an *admissible lower bound* per point;
+ *  2. simulates a small seed set (the grid corners plus the model's
+ *     predicted optimum) through the shared arena/memo layer to
+ *     establish an incumbent, and fits a correction factor kappa
+ *     (geometric mean of observed/predicted over the seeds) that
+ *     orders the remaining candidates best-first;
+ *  3. repeatedly simulates the best-predicted wave of points whose
+ *     lower bound does not exceed the incumbent, tightening the
+ *     incumbent, until every unsimulated point is excluded.
+ *
+ * Because the bound is admissible (never exceeds the simulated value
+ * of its point — fuzzed in tests/search) and pruning is strict
+ * (`lb > incumbent`), every point whose true value ties or beats the
+ * final incumbent is simulated; the final re-scan of simulated points
+ * in grid order with strict `<` therefore reproduces the exhaustive
+ * scan's argmin bit-for-bit, from the same memoised RunStats bytes.
+ * The model's quality only affects how *much* is pruned, never the
+ * answer.
+ *
+ * Audit mode (ECOSCHED_SEARCH_AUDIT=1, or Config::audit) simulates
+ * everything through the same cache after the pruned pass and
+ * fatally asserts the pruned argmin and its RunStats bytes match the
+ * exhaustive scan — the exact-fallback proof the committed
+ * BENCH_modelsearch.json and the fig11 audit golden rest on.
+ */
+
+#ifndef ECOSCHED_SEARCH_SWEEP_SEARCH_HH
+#define ECOSCHED_SEARCH_SWEEP_SEARCH_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "search/analytic_model.hh"
+#include "search/config_space.hh"
+
+namespace ecosched {
+namespace search {
+
+/// Sweep objective to minimise.
+enum class Objective
+{
+    Energy, ///< normalised energy (fig. 11)
+    Ed2p,   ///< normalised energy * delay^2 (fig. 12)
+};
+
+/// Human-readable objective name ("energy" / "ed2p").
+const char *objectiveName(Objective objective);
+
+/// The objective's value of one run.
+double objectiveValue(Objective objective, const RunStats &stats);
+
+/// Whether ECOSCHED_SEARCH_AUDIT=1 is set in the environment.
+bool searchAuditEnabled();
+
+/// Strip a literal `--search` flag from an argv vector, returning
+/// whether it was present (the fig11/fig12 opt-in).
+bool stripSearchFlag(int &argc, char **argv);
+
+/// Execution counters of one search (or an accumulation of many).
+struct SearchStats
+{
+    std::uint64_t totalPoints = 0;
+    std::uint64_t simulatedPoints = 0; ///< pruned-pass simulations
+    std::uint64_t prunedPoints = 0;    ///< excluded by the bound
+    std::uint64_t seedPoints = 0;      ///< incumbent/fit seeds
+    std::uint64_t waves = 0;           ///< candidate waves simulated
+    bool audited = false;              ///< audit pass ran
+    bool auditMatched = false;         ///< audit byte-check passed
+
+    void accumulate(const SearchStats &other)
+    {
+        totalPoints += other.totalPoints;
+        simulatedPoints += other.simulatedPoints;
+        prunedPoints += other.prunedPoints;
+        seedPoints += other.seedPoints;
+        waves += other.waves;
+        audited = audited || other.audited;
+        auditMatched = auditMatched || other.auditMatched;
+    }
+};
+
+/// Result of searching one group of points.
+struct GroupResult
+{
+    std::size_t bestIndex = 0; ///< grid index of the optimum
+    RunStats best;             ///< its simulated statistics
+    /// Per-point: was the point simulated (1) or pruned (0)?  After
+    /// an audit pass every point is simulated.
+    std::vector<std::uint8_t> simulated;
+    /// Per-point RunStats; valid where simulated[i] != 0.
+    std::vector<RunStats> results;
+    SearchStats stats;
+};
+
+/**
+ * The executor.  Owns the RunStats memo cache and the machine arena
+ * pool, so several groups (e.g. fig12's per-(benchmark, threads)
+ * rows) share simulations and machines.  Deterministic for any
+ * engine job count: candidate selection depends only on the model,
+ * and simulation batches run through ExperimentEngine::mapSpecs.
+ */
+class SweepSearch
+{
+  public:
+    struct Config
+    {
+        Objective objective = Objective::Ed2p;
+        /// Simulate everything after the pruned pass and fatally
+        /// verify the pruned optimum byte-identical.
+        bool audit = false;
+        /// Candidates simulated per branch-and-bound wave.
+        std::uint32_t waveSize = 8;
+    };
+
+    SweepSearch(const ExperimentEngine &engine, const ChipSpec &chip,
+                Config config);
+    SweepSearch(const ExperimentEngine &engine, const ChipSpec &chip)
+        : SweepSearch(engine, chip, Config())
+    {
+    }
+
+    /// Search one group of grid points for the objective's argmin.
+    GroupResult searchGroup(const std::vector<ConfigPoint> &points);
+
+    /// Counters accumulated over every group searched so far.
+    const SearchStats &totals() const { return totalStats; }
+
+    const AnalyticModel &model() const { return analytic; }
+    const ChipSpec &chip() const { return chipSpec; }
+    const Config &config() const { return cfg; }
+
+  private:
+    const ModelEval &cachedEval(const ConfigPoint &point);
+    void simulate(const std::vector<ConfigPoint> &points,
+                  const std::vector<std::size_t> &indices,
+                  GroupResult &out);
+
+    const ExperimentEngine &engine;
+    ChipSpec chipSpec;
+    Config cfg;
+    AnalyticModel analytic;
+    MemoCache<RunStats> cache;
+    MachinePool pool;
+    std::unordered_map<std::uint64_t, ModelEval> modelMemo;
+    SearchStats totalStats;
+};
+
+} // namespace search
+} // namespace ecosched
+
+#endif // ECOSCHED_SEARCH_SWEEP_SEARCH_HH

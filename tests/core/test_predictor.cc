@@ -129,5 +129,173 @@ TEST(PredictiveDaemon, TableDaemonUnaffectedByPredictorKnobs)
                 1e-9);
 }
 
+// --- MODELSEARCH predictive governor (DESIGN.md §16) ---------------
+
+TEST(CpiModel, TwoSamplesPinTheLine)
+{
+    CpiFrequencyModel fit;
+    EXPECT_FALSE(fit.fitted());
+    fit.addSample(GHz(1.0), 1.0);
+    EXPECT_FALSE(fit.fitted());
+    EXPECT_EQ(fit.samples(), 1u);
+    EXPECT_DOUBLE_EQ(fit.soleFrequency(), GHz(1.0));
+    fit.addSample(GHz(2.0), 1.5);
+    ASSERT_TRUE(fit.fitted());
+    // CPI(f) = 0.5 + 0.5e-9 * f through both points exactly.
+    EXPECT_NEAR(fit.base(), 0.5, 1e-12);
+    EXPECT_NEAR(fit.slope() * GHz(1.0), 0.5, 1e-12);
+    EXPECT_NEAR(fit.cpiAt(GHz(3.0)), 2.0, 1e-12);
+}
+
+TEST(CpiModel, ResampleReplacesThePoint)
+{
+    CpiFrequencyModel fit;
+    fit.addSample(GHz(1.0), 1.0);
+    fit.addSample(GHz(1.0), 2.0); // phase change at the same clock
+    EXPECT_EQ(fit.samples(), 1u);
+    EXPECT_FALSE(fit.fitted());
+    fit.addSample(GHz(2.0), 2.0);
+    ASSERT_TRUE(fit.fitted());
+    EXPECT_NEAR(fit.cpiAt(GHz(1.0)), 2.0, 1e-12);
+}
+
+TEST(CpiModel, NegativeSlopeClampsToFrequencyInvariant)
+{
+    CpiFrequencyModel fit;
+    fit.addSample(GHz(1.0), 2.0);
+    fit.addSample(GHz(2.0), 1.0); // noise: CPI cannot fall with f
+    ASSERT_TRUE(fit.fitted());
+    EXPECT_DOUBLE_EQ(fit.slope(), 0.0);
+    EXPECT_NEAR(fit.base(), 1.5, 1e-12); // mean of the samples
+}
+
+TEST(CpiModel, Validation)
+{
+    CpiFrequencyModel fit;
+    EXPECT_THROW(fit.addSample(0.0, 1.0), FatalError);
+    EXPECT_THROW(fit.addSample(GHz(1.0), 0.0), FatalError);
+    EXPECT_THROW(fit.soleFrequency(), FatalError);
+}
+
+TEST(PredictiveGovernor, CpuBoundPrefersFmax)
+{
+    const ChipSpec chip = xGene2();
+    const VminModel model(chip);
+    const DroopClassTable table(model);
+    CpiFrequencyModel fit;
+    fit.addSample(GHz(1.2), 0.8);
+    fit.addSample(GHz(2.4), 0.8); // flat: core-bound
+    const PredictiveGovernorConfig cfg;
+    // Delay falls as 1/f^3 while the power proxy grows ~linearly in
+    // f: the ED2P argmin of a frequency-invariant CPI is fmax.
+    EXPECT_DOUBLE_EQ(
+        predictiveEd2pOptimum(table, fit, 1, cfg), chip.fMax);
+}
+
+TEST(PredictiveGovernor, MemoryBoundPrefersReducedClock)
+{
+    const ChipSpec chip = xGene2();
+    const VminModel model(chip);
+    const DroopClassTable table(model);
+    CpiFrequencyModel fit;
+    // Heavily stall-dominated: CPI doubles from half clock to fmax.
+    fit.addSample(GHz(1.2), 8.0);
+    fit.addSample(GHz(2.4), 16.0);
+    const PredictiveGovernorConfig cfg;
+    const Hertz best = predictiveEd2pOptimum(table, fit, 1, cfg);
+    EXPECT_LT(best, chip.fMax);
+    EXPECT_GT(best, 0.0);
+}
+
+TEST(PredictiveGovernor, ScoreRequiresAFit)
+{
+    const VminModel model(xGene2());
+    const DroopClassTable table(model);
+    CpiFrequencyModel fit;
+    fit.addSample(GHz(1.2), 1.0);
+    const PredictiveGovernorConfig cfg;
+    EXPECT_THROW(predictiveEd2pScore(table, fit, GHz(1.2), 1, cfg),
+                 FatalError);
+}
+
+TEST(PredictiveGovernor, ProbeIsTheLadderNeighbour)
+{
+    const ChipSpec chip = xGene2();
+    const auto ladder = chip.frequencyLadder();
+    EXPECT_DOUBLE_EQ(predictiveProbeFrequency(chip, chip.fMax),
+                     ladder[ladder.size() - 2]);
+    EXPECT_DOUBLE_EQ(predictiveProbeFrequency(chip, ladder.front()),
+                     ladder[1]);
+}
+
+TEST(PredictiveGovernor, DaemonProbesFitsAndJumps)
+{
+    Machine machine(xGene2());
+    System system(machine);
+    DaemonConfig cfg;
+    cfg.predictive.enabled = true;
+    Daemon daemon(system, cfg);
+    // A CPU-bound process lands at fmax; the probe dips one ladder
+    // step to pin the fit, and the flat fit jumps straight back.
+    system.submit(Catalog::instance().byName("namd"), 1);
+    system.runUntil(3.0);
+    EXPECT_GE(daemon.stats().predictiveProbes, 1u);
+    EXPECT_GE(daemon.stats().predictiveJumps, 1u);
+    EXPECT_DOUBLE_EQ(machine.chip().pmdFrequency(0),
+                     machine.spec().fMax);
+}
+
+TEST(PredictiveGovernor, FailSafeInvariantHoldsWithGovernorOn)
+{
+    // Probes and jumps go through the same raise-first ordering as
+    // plans: the supply never drops below the table requirement of
+    // the live configuration.
+    Machine machine(xGene3());
+    System system(machine);
+    DaemonConfig cfg;
+    cfg.predictive.enabled = true;
+    Daemon daemon(system, cfg);
+    const DroopClassTable &table = daemon.table();
+
+    std::uint64_t checks = 0;
+    machine.slimPro().setObserver(
+        [&](const Chip &chip, const VfEvent &) {
+            const ChipSpec &spec = chip.spec();
+            std::vector<Hertz> freqs(spec.numPmds());
+            std::vector<bool> util(spec.numPmds(), false);
+            for (PmdId p = 0; p < spec.numPmds(); ++p) {
+                freqs[p] = chip.pmdFrequency(p);
+                util[p] = machine.coreBusy(firstCoreOfPmd(p))
+                    || machine.coreBusy(secondCoreOfPmd(p));
+            }
+            EXPECT_GE(chip.voltage() + 1e-9,
+                      table.safeVoltageFor(freqs, util));
+            ++checks;
+        });
+
+    system.submit(Catalog::instance().byName("milc"), 1);
+    system.submit(Catalog::instance().byName("namd"), 1);
+    system.runUntil(1.0);
+    system.submit(Catalog::instance().byName("CG"), 8);
+    system.runUntil(4.0);
+    EXPECT_GT(checks, 10u);
+    EXPECT_GT(daemon.stats().predictiveProbes
+                  + daemon.stats().predictiveJumps, 0u);
+}
+
+TEST(PredictiveGovernor, DisabledGovernorIsInert)
+{
+    // The default daemon must not probe, jump, or populate any fit
+    // state — the bit-inertness contract the goldens pin.
+    Machine machine(xGene2());
+    System system(machine);
+    Daemon daemon(system);
+    system.submit(Catalog::instance().byName("milc"), 1);
+    system.submit(Catalog::instance().byName("namd"), 1);
+    system.runUntil(3.0);
+    EXPECT_EQ(daemon.stats().predictiveProbes, 0u);
+    EXPECT_EQ(daemon.stats().predictiveJumps, 0u);
+}
+
 } // namespace
 } // namespace ecosched

@@ -77,7 +77,8 @@ TEST(SimStackSnapshot, PristineRewindMatchesFreshForEveryPolicy)
 {
     for (PolicyKind policy :
          {PolicyKind::Baseline, PolicyKind::SafeVmin,
-          PolicyKind::Placement, PolicyKind::Optimal}) {
+          PolicyKind::Placement, PolicyKind::Optimal,
+          PolicyKind::Predictive}) {
         SimStackConfig cfg;
         cfg.chip = xGene2();
         cfg.policy = policy;

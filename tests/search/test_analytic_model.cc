@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Contract tests of the analytic configuration model:
+ *
+ *  - on the plain chip presets the model is a *bit replica* of the
+ *    simulation — every RunStats field matches the Machine run
+ *    exactly;
+ *  - across random WorkProfile/chip pairs (including the decorated
+ *    c-state and bandwidth-reservation chips, where the model
+ *    degrades to an underestimate) the lower bounds never exceed the
+ *    simulated objective values.  This admissibility is the only
+ *    property branch-and-bound pruning relies on.
+ *
+ * The fuzz depth follows ECOSCHED_FUZZ_ITERS (CI's Debug lane bumps
+ * it).
+ */
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ecosched/ecosched.hh"
+
+namespace ecosched {
+namespace {
+
+using search::AnalyticModel;
+using search::MachineArena;
+using search::ModelEval;
+using search::RunStats;
+
+int
+fuzzIters()
+{
+    if (const char *env = std::getenv("ECOSCHED_FUZZ_ITERS")) {
+        const int v = std::atoi(env);
+        if (v > 0)
+            return v;
+    }
+    return 40;
+}
+
+void
+expectBitIdentical(const RunStats &model, const RunStats &sim)
+{
+    EXPECT_EQ(model.runtime, sim.runtime);
+    EXPECT_EQ(model.energy, sim.energy);
+    EXPECT_EQ(model.energyNormalized, sim.energyNormalized);
+    EXPECT_EQ(model.ed2p, sim.ed2p);
+    EXPECT_EQ(model.meanL3PerMCycles, sim.meanL3PerMCycles);
+    EXPECT_EQ(model.meanIpc, sim.meanIpc);
+}
+
+/// Simulate one point on a pooled pristine machine (the same path
+/// the sweep executor takes).
+RunStats
+simulatePoint(MachineArena &arena, const BenchmarkProfile &bench,
+              std::uint32_t threads, Allocation alloc, Hertz freq,
+              bool undervolt)
+{
+    arena.machine.restore(arena.pristine);
+    return search::runConfigurationOn(arena.machine, bench, threads,
+                                      alloc, freq, undervolt);
+}
+
+void
+checkBitReplicaOnChip(const ChipSpec &chip)
+{
+    const AnalyticModel model(chip);
+    ASSERT_TRUE(model.exactRegime());
+    MachineArena arena(chip, MachineConfig{});
+    const auto benches = Catalog::instance().figureBenchmarks();
+    const auto ladder = chip.frequencyLadder();
+    const std::vector<std::uint32_t> thread_counts = {
+        1, 2, chip.numCores / 2, chip.numCores};
+    const std::vector<Hertz> freqs = {
+        ladder.front(), ladder[ladder.size() / 2], ladder.back()};
+
+    for (const BenchmarkProfile *bench : benches) {
+        for (const std::uint32_t threads : thread_counts) {
+            for (const Hertz f : freqs) {
+                for (const Allocation alloc :
+                     {Allocation::Spreaded, Allocation::Clustered}) {
+                    for (const bool undervolt : {true, false}) {
+                        SCOPED_TRACE(bench->name + " t="
+                                     + std::to_string(threads)
+                                     + " f=" + std::to_string(f)
+                                     + " uv="
+                                     + std::to_string(undervolt));
+                        const ModelEval eval = model.evaluate(
+                            *bench, threads, alloc, f, undervolt);
+                        EXPECT_TRUE(eval.exact);
+                        const RunStats sim = simulatePoint(
+                            arena, *bench, threads, alloc, f,
+                            undervolt);
+                        expectBitIdentical(eval.stats, sim);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(AnalyticModel, BitReplicaOfSimulationXGene2)
+{
+    checkBitReplicaOnChip(xGene2());
+}
+
+TEST(AnalyticModel, BitReplicaOfSimulationXGene3)
+{
+    checkBitReplicaOnChip(xGene3());
+}
+
+/// Random homogeneous benchmark in the WorkProfile's valid ranges,
+/// sized so a run retires within a few hundred steps.
+BenchmarkProfile
+randomBenchmark(Rng &rng)
+{
+    BenchmarkProfile bench;
+    bench.name = "fuzz";
+    bench.parallel = rng.uniform() < 0.5;
+    bench.work.cpiBase = 0.5 + 2.5 * rng.uniform();
+    bench.work.l3Apki = 30.0 * rng.uniform();
+    bench.work.dramApki = 3.0 * rng.uniform();
+    bench.work.mlp = 1.0 + 3.0 * rng.uniform();
+    bench.work.switchingFactor = 0.5 + 0.7 * rng.uniform();
+    bench.work.l2SharingPenalty = 1.0 + 0.5 * rng.uniform();
+    bench.work.validate();
+    if (bench.parallel)
+        bench.serialFraction = 0.3 * rng.uniform();
+    bench.workInstructions = static_cast<Instructions>(
+        1e8 + 9e8 * rng.uniform());
+    return bench;
+}
+
+TEST(AnalyticModel, LowerBoundAdmissibleAcrossRandomProfiles)
+{
+    // Six chip variants: both presets, plain / c-states / membw.
+    struct Variant
+    {
+        ChipSpec chip;
+        bool exact;
+    };
+    std::vector<Variant> variants;
+    for (const ChipSpec &base : {xGene2(), xGene3()}) {
+        variants.push_back({base, true});
+        variants.push_back({withCStates(base), false});
+        variants.push_back({withMemBw(base), false});
+    }
+
+    std::vector<std::unique_ptr<AnalyticModel>> models;
+    std::vector<std::unique_ptr<MachineArena>> arenas;
+    for (const Variant &v : variants) {
+        models.push_back(std::make_unique<AnalyticModel>(v.chip));
+        arenas.push_back(
+            std::make_unique<MachineArena>(v.chip, MachineConfig{}));
+        EXPECT_EQ(models.back()->exactRegime(), v.exact);
+    }
+
+    const int iters = fuzzIters();
+    Rng rng(2026);
+    for (int i = 0; i < iters; ++i) {
+        const std::size_t which =
+            rng.uniformInt(0, variants.size() - 1);
+        const Variant &v = variants[which];
+        const BenchmarkProfile bench = randomBenchmark(rng);
+        const auto ladder = v.chip.frequencyLadder();
+        const std::uint32_t threads = static_cast<std::uint32_t>(
+            rng.uniformInt(1, v.chip.numCores));
+        const Hertz f =
+            ladder[rng.uniformInt(0, ladder.size() - 1)];
+        const Allocation alloc = rng.uniform() < 0.5
+            ? Allocation::Spreaded : Allocation::Clustered;
+        const bool undervolt = rng.uniform() < 0.5;
+
+        SCOPED_TRACE("iter=" + std::to_string(i) + " chip="
+                     + v.chip.name + " threads="
+                     + std::to_string(threads)
+                     + " f=" + std::to_string(f));
+        const AnalyticModel &model = *models[which];
+        const ModelEval eval =
+            model.evaluate(bench, threads, alloc, f, undervolt);
+        const RunStats sim =
+            simulatePoint(*arenas[which], bench, threads, alloc, f,
+                          undervolt);
+
+        // The only contract pruning needs: the bounds never exceed
+        // the simulated values.
+        EXPECT_LE(model.lowerBoundEnergy(eval),
+                  sim.energyNormalized);
+        EXPECT_LE(model.lowerBoundEd2p(eval), sim.ed2p);
+        EXPECT_EQ(eval.exact, v.exact);
+        if (v.exact)
+            expectBitIdentical(eval.stats, sim);
+    }
+}
+
+} // namespace
+} // namespace ecosched

@@ -1,0 +1,111 @@
+"""Shared plumbing for the BENCH_*.json checkers.
+
+Every checker follows the same shape: load two schema-gated JSON
+trajectory files (committed baseline, fresh run), key their result
+rows, and gate ratios between the two.  This module owns that
+plumbing; the per-bench semantics (which field, which threshold,
+which headline claim) stay in the individual check_*.py scripts.
+
+Two gate styles are provided:
+
+* ``check_ratio_window`` — two-sided drift: every row present in
+  both files must stay within a symmetric ratio window of the
+  baseline value (used by the deterministic-simulation benches,
+  where drift of any kind means the model changed).
+* ``ratio_rows`` — one-sided throughput comparison: yields
+  (key, baseline, current) pairs for the caller's own slowdown gate,
+  handling the MISSING/NEW bookkeeping (used by the wall-clock
+  benches, where only order-of-magnitude slowdowns are meaningful).
+"""
+
+import json
+import math
+import sys
+
+
+def load_doc(path, schema):
+    """Load a trajectory file, exiting on a schema mismatch."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != schema:
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def load_keyed(path, schema, key, value=None):
+    """Load a trajectory file into a {key(row): value(row)} dict."""
+    doc = load_doc(path, schema)
+    if value is None:
+        value = lambda r: r  # noqa: E731 - tiny default projection
+    return {key(r): value(r) for r in doc["results"]}
+
+
+def parse_baseline_args(argv, doc, default_threshold):
+    """Parse the common `BASELINE CURRENT [THRESHOLD]` argv shape.
+
+    Returns (baseline_path, current_path, threshold); exits with the
+    caller's docstring on arity errors.
+    """
+    if len(argv) not in (3, 4):
+        sys.exit(doc)
+    threshold = float(argv[3]) if len(argv) == 4 else default_threshold
+    return argv[1], argv[2], threshold
+
+
+def ratio_rows(baseline, current, on_extra="skip"):
+    """Pair up two keyed result dicts for a ratio gate.
+
+    Returns (rows, failed): rows is a sorted list of
+    (key, baseline_value, current_value); failed is True when the
+    bookkeeping itself fails (a baseline row MISSING from the current
+    run under on_extra='fail', or zero overlapping rows).
+
+    on_extra='fail' iterates the baseline and treats an absent
+    current row as a failure (fixed-grid benches); on_extra='skip'
+    iterates the current run and skips rows the baseline lacks
+    (benches whose --quick mode measures a subset).
+    """
+    rows = []
+    failed = False
+    if on_extra == "fail":
+        for key, base in sorted(baseline.items()):
+            cur = current.get(key)
+            if cur is None:
+                print(f"MISSING {key}")
+                failed = True
+                continue
+            rows.append((key, base, cur))
+    else:
+        for key, cur in sorted(current.items()):
+            base = baseline.get(key)
+            if base is None:
+                print(f"NEW {key} (not in baseline, skipped)")
+                continue
+            rows.append((key, base, cur))
+    if not rows:
+        print("no overlapping rows between baseline and current")
+        failed = True
+    return rows, failed
+
+
+def check_ratio_window(baseline, current, max_drift, value, describe):
+    """Two-sided drift gate over rows present in both files.
+
+    value(row) extracts the gated quantity; describe(key, cur, ratio,
+    status) formats one output line.  Returns True on failure.
+    """
+    rows, failed = ratio_rows(baseline, current, on_extra="skip")
+    for key, base, cur in rows:
+        b = value(base)
+        ratio = value(cur) / b if b > 0 else float("inf")
+        status = "ok"
+        if not 1.0 / max_drift <= ratio <= max_drift:
+            status = f"DRIFT (> {max_drift:.1f}x off baseline)"
+            failed = True
+        print(describe(key, cur, ratio, status))
+    return failed
+
+
+def geomean(values):
+    """Geometric mean of a non-empty sequence of positive ratios."""
+    return math.exp(sum(math.log(v) for v in values) / len(values))

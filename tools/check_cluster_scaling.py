@@ -13,36 +13,28 @@ regressions — CI runners are too noisy for tight thresholds, which is
 also why the CI job wiring is non-gating.
 """
 
-import json
 import sys
+
+import bench_check_common as common
+
+SCHEMA = "ecosched.cluster_scaling/1"
 
 
 def load(path):
-    with open(path) as f:
-        doc = json.load(f)
-    if doc.get("schema") != "ecosched.cluster_scaling/1":
-        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
-    return {
-        (r["nodes"], r["dispatch"]): r["node_epochs_per_sec"]
-        for r in doc["results"]
-    }
+    return common.load_keyed(
+        path, SCHEMA,
+        key=lambda r: (r["nodes"], r["dispatch"]),
+        value=lambda r: r["node_epochs_per_sec"])
 
 
 def main(argv):
-    if len(argv) not in (3, 4):
-        sys.exit(__doc__)
-    baseline = load(argv[1])
-    current = load(argv[2])
-    max_slowdown = float(argv[3]) if len(argv) == 4 else 3.0
+    base_path, cur_path, max_slowdown = \
+        common.parse_baseline_args(argv, __doc__, 3.0)
+    baseline = load(base_path)
+    current = load(cur_path)
 
-    failed = False
-    compared = 0
-    for key, cur_neps in sorted(current.items()):
-        base_neps = baseline.get(key)
-        if base_neps is None:
-            print(f"NEW {key} (not in baseline, skipped)")
-            continue
-        compared += 1
+    rows, failed = common.ratio_rows(baseline, current, on_extra="skip")
+    for key, base_neps, cur_neps in rows:
         ratio = cur_neps / base_neps if base_neps > 0 else 0.0
         status = "ok"
         if ratio * max_slowdown < 1.0:
@@ -51,9 +43,6 @@ def main(argv):
         print(f"{key[0]:>6} nodes {key[1]:>12}: "
               f"{cur_neps:12.0f} node-epochs/s "
               f"({ratio:5.2f}x baseline) {status}")
-    if compared == 0:
-        print("no overlapping points between baseline and current")
-        failed = True
     return 1 if failed else 0
 
 

@@ -24,9 +24,11 @@ Two checks:
 The CI job wiring is non-gating, as for the other perf smokes.
 """
 
-import json
 import sys
 
+import bench_check_common as common
+
+SCHEMA = "ecosched.membw/1"
 COLOCATION = "colocation"
 BW = "bandwidth_aware"
 LL = "least_loaded"
@@ -36,38 +38,9 @@ P99_SLACK = 1.001
 
 
 def load(path):
-    with open(path) as f:
-        doc = json.load(f)
-    if doc.get("schema") != "ecosched.membw/1":
-        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
-    return {
-        (r["chip"], r["scenario"], r["dispatch"]): r
-        for r in doc["results"]
-    }
-
-
-def check_drift(baseline, current, max_drift):
-    failed = False
-    compared = 0
-    for key, cur in sorted(current.items()):
-        base = baseline.get(key)
-        if base is None:
-            print(f"NEW {key} (not in baseline, skipped)")
-            continue
-        compared += 1
-        ratio = (cur["total_energy_j"] / base["total_energy_j"]
-                 if base["total_energy_j"] > 0 else float("inf"))
-        status = "ok"
-        if not 1.0 / max_drift <= ratio <= max_drift:
-            status = f"DRIFT (> {max_drift:.1f}x off baseline)"
-            failed = True
-        print(f"{key[0]:>8} {key[1]:>13} {key[2]:>16}: "
-              f"{cur['total_energy_j']:12.1f} J "
-              f"({ratio:5.2f}x baseline) {status}")
-    if compared == 0:
-        print("no overlapping rows between baseline and current")
-        failed = True
-    return failed
+    return common.load_keyed(
+        path, SCHEMA,
+        key=lambda r: (r["chip"], r["scenario"], r["dispatch"]))
 
 
 def check_headline(current):
@@ -99,13 +72,18 @@ def check_headline(current):
 
 
 def main(argv):
-    if len(argv) not in (3, 4):
-        sys.exit(__doc__)
-    baseline = load(argv[1])
-    current = load(argv[2])
-    max_drift = float(argv[3]) if len(argv) == 4 else 5.0
+    base_path, cur_path, max_drift = \
+        common.parse_baseline_args(argv, __doc__, 5.0)
+    baseline = load(base_path)
+    current = load(cur_path)
 
-    failed = check_drift(baseline, current, max_drift)
+    failed = common.check_ratio_window(
+        baseline, current, max_drift,
+        value=lambda r: r["total_energy_j"],
+        describe=lambda key, cur, ratio, status:
+            f"{key[0]:>8} {key[1]:>13} {key[2]:>16}: "
+            f"{cur['total_energy_j']:12.1f} J "
+            f"({ratio:5.2f}x baseline) {status}")
     failed = check_headline(current) or failed
     return 1 if failed else 0
 

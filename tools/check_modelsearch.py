@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Compare an ext_modelsearch run against the committed baseline.
+
+Usage: check_modelsearch.py BASELINE.json CURRENT.json [MAX_FRACTION]
+
+Consumes the `ecosched.modelsearch/1` schema (one record per
+(chip, objective) sweep).  Unlike the wall-clock checkers, the
+branch-and-bound search is bit-deterministic — same grid, same seed
+rung, same wave schedule regardless of worker count — so the gate is
+exact reproduction, not a drift window:
+
+1. Reproduction — every (chip, objective) row must match the
+   baseline's point accounting (total / simulated / pruned / seed /
+   waves) and per-benchmark optima (threads, frequency, objective
+   value) EXACTLY.  Any difference means the analytic model, the
+   bound, or the simulator changed; regenerate the baseline with the
+   full (audited) bench run when that is intentional.
+
+2. Headline — the MODELSEARCH acceptance criterion: every sweep must
+   simulate under MAX_FRACTION (default 0.10) of its grid, and the
+   committed baseline must carry audit_match=true on every row — the
+   proof that the pruned optimum is bit-identical to the exhaustive
+   one.  A current run made with --quick (audit skipped) is not
+   required to re-prove audit_match, but if it did audit, a mismatch
+   fails.
+
+The CI job wiring is non-gating, as for the other perf smokes.
+"""
+
+import sys
+
+import bench_check_common as common
+
+SCHEMA = "ecosched.modelsearch/1"
+COUNT_FIELDS = ("total_points", "simulated_points", "pruned_points",
+                "seed_points", "waves")
+
+
+def load(path):
+    return common.load_keyed(
+        path, SCHEMA, key=lambda r: (r["chip"], r["objective"]))
+
+
+def describe(row):
+    return (f"{row['simulated_points']}/{row['total_points']} simulated "
+            f"({row['simulated_fraction']:.2%}), "
+            f"{row['pruned_points']} pruned, {row['waves']} waves")
+
+
+def check_reproduction(baseline, current):
+    rows, failed = common.ratio_rows(baseline, current, on_extra="fail")
+    for key, base, cur in rows:
+        diffs = [f for f in COUNT_FIELDS if base[f] != cur[f]]
+        base_best = {b["benchmark"]: b for b in base["best"]}
+        cur_best = {b["benchmark"]: b for b in cur["best"]}
+        if sorted(base_best) != sorted(cur_best):
+            diffs.append("best:benchmarks")
+        else:
+            for name, b in sorted(base_best.items()):
+                c = cur_best[name]
+                for f in ("threads", "freq_ghz", "value"):
+                    if b[f] != c[f]:
+                        diffs.append(f"best:{name}.{f}")
+        status = "ok"
+        if diffs:
+            status = f"MISMATCH ({', '.join(diffs)})"
+            failed = True
+        print(f"{key[0]:>8} {key[1]:>6}: {describe(cur)} {status}")
+    return failed
+
+
+def check_headline(keyed, label, max_fraction, require_audit):
+    failed = False
+    for key, row in sorted(keyed.items()):
+        problems = []
+        if not row["simulated_fraction"] < max_fraction:
+            problems.append(
+                f"simulated fraction {row['simulated_fraction']:.2%} "
+                f">= {max_fraction:.0%}")
+        if require_audit and row["audit_match"] is not True:
+            problems.append("audit_match is not true")
+        if problems:
+            print(f"headline {label} {key}: {'; '.join(problems)}")
+            failed = True
+    if not failed:
+        print(f"headline {label}: all sweeps under {max_fraction:.0%} "
+              f"simulated"
+              + (", audit proves bit-identical optima"
+                 if require_audit else ""))
+    return failed
+
+
+def main(argv):
+    base_path, cur_path, max_fraction = \
+        common.parse_baseline_args(argv, __doc__, 0.10)
+    base_doc = common.load_doc(base_path, SCHEMA)
+    cur_doc = common.load_doc(cur_path, SCHEMA)
+    if not base_doc.get("audit"):
+        print(f"{base_path}: committed baseline must be an audited run")
+        return 1
+    baseline = load(base_path)
+    current = load(cur_path)
+
+    failed = check_reproduction(baseline, current)
+    failed = check_headline(baseline, "baseline", max_fraction,
+                            require_audit=True) or failed
+    failed = check_headline(current, "current", max_fraction,
+                            require_audit=bool(cur_doc.get("audit"))) \
+        or failed
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -19,39 +19,29 @@ regressions — CI runners are too noisy for tight thresholds, which is
 also why the CI job wiring is non-gating.
 """
 
-import json
-import math
 import sys
+
+import bench_check_common as common
 
 SCHEMA = "ecosched.step_throughput/2"
 
 
 def load(path):
-    with open(path) as f:
-        doc = json.load(f)
-    if doc.get("schema") != SCHEMA:
-        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
-    return {
-        (r["chip"], r["occupancy"], r["path"]): r["steps_per_sec"]
-        for r in doc["results"]
-    }
+    return common.load_keyed(
+        path, SCHEMA,
+        key=lambda r: (r["chip"], r["occupancy"], r["path"]),
+        value=lambda r: r["steps_per_sec"])
 
 
 def main(argv):
-    if len(argv) not in (3, 4):
-        sys.exit(__doc__)
-    baseline = load(argv[1])
-    current = load(argv[2])
-    max_slowdown = float(argv[3]) if len(argv) == 4 else 3.0
+    base_path, cur_path, max_slowdown = \
+        common.parse_baseline_args(argv, __doc__, 3.0)
+    baseline = load(base_path)
+    current = load(cur_path)
 
-    failed = False
+    rows, failed = common.ratio_rows(baseline, current, on_extra="fail")
     ratios_by_path = {}
-    for key, base_sps in sorted(baseline.items()):
-        cur_sps = current.get(key)
-        if cur_sps is None:
-            print(f"MISSING {key}")
-            failed = True
-            continue
+    for key, base_sps, cur_sps in rows:
         ratio = cur_sps / base_sps
         ratios_by_path.setdefault(key[2], []).append(ratio)
         status = "ok"
@@ -62,8 +52,7 @@ def main(argv):
               f"{cur_sps:12.0f} steps/s ({ratio:5.2f}x baseline) {status}")
 
     for path, ratios in sorted(ratios_by_path.items()):
-        geomean = math.exp(sum(math.log(r) for r in ratios)
-                           / len(ratios))
+        geomean = common.geomean(ratios)
         status = "ok"
         if geomean * max_slowdown < 1.0:
             status = f"REGRESSION (> {max_slowdown:.1f}x slower)"

@@ -10,32 +10,25 @@ both paths run in the same process on the same machine, so the ratio
 is immune to runner speed, unlike absolute wall times.
 """
 
-import json
 import sys
+
+import bench_check_common as common
+
+SCHEMA = "ecosched.sweep_setup/1"
 
 
 def load(path):
-    with open(path) as f:
-        doc = json.load(f)
-    if doc.get("schema") != "ecosched.sweep_setup/1":
-        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
-    return {r["chip"]: r for r in doc["results"]}
+    return common.load_keyed(path, SCHEMA, key=lambda r: r["chip"])
 
 
 def main(argv):
-    if len(argv) not in (3, 4):
-        sys.exit(__doc__)
-    baseline = load(argv[1])
-    current = load(argv[2])
-    min_speedup = float(argv[3]) if len(argv) == 4 else 2.0
+    base_path, cur_path, min_speedup = \
+        common.parse_baseline_args(argv, __doc__, 2.0)
+    baseline = load(base_path)
+    current = load(cur_path)
 
-    failed = False
-    for chip, base in sorted(baseline.items()):
-        cur = current.get(chip)
-        if cur is None:
-            print(f"MISSING {chip}")
-            failed = True
-            continue
+    rows, failed = common.ratio_rows(baseline, current, on_extra="fail")
+    for chip, base, cur in rows:
         speedup = cur["speedup"]
         status = "ok"
         if speedup < min_speedup:

@@ -26,9 +26,18 @@
  *                                       against the fail-safe
  *                                       protocol; --save-plan/--plan
  *                                       dump or replay a trace
+ *   search <chip> <energy|ed2p> [--exhaustive]
+ *                                       per-benchmark optimum over
+ *                                       the dense (threads, freq)
+ *                                       grid via the MODELSEARCH
+ *                                       branch-and-bound executor;
+ *                                       --exhaustive simulates every
+ *                                       point instead (same answer,
+ *                                       no pruning)
  *
  * Chips: xgene2 | xgene3.  Policies: baseline | safevmin |
- * placement | optimal | coreidle | racetoidle.  Dispatch policies (cluster): round_robin |
+ * placement | optimal | coreidle | racetoidle | predictive.
+ * Dispatch policies (cluster): round_robin |
  * least_loaded | energy_aware.  The global option `--jobs N` (or the
  * ECOSCHED_JOBS environment variable) sets the experiment engine's
  * worker count; results are bit-identical for every N.
@@ -67,9 +76,10 @@ printUsage(std::ostream &os)
           "  ecosched coreidle <chip> <duration_s> <seed> [--race]\n"
           "  ecosched campaign <chip> <duration_s> <seed> "
           "[faults_per_hour] [--plan file | --save-plan file]\n"
+          "  ecosched search <chip> <energy|ed2p> [--exhaustive]\n"
           "chips: xgene2 | xgene3\n"
           "policies: baseline | safevmin | placement | optimal | "
-          "coreidle | racetoidle\n"
+          "coreidle | racetoidle | predictive\n"
           "dispatch: round_robin | least_loaded | energy_aware\n"
           "global options: --jobs N (parallel experiment workers; "
           "also ECOSCHED_JOBS), --help\n";
@@ -137,9 +147,11 @@ policyByName(const std::string &name)
         return PolicyKind::CoreIdle;
     if (name == "racetoidle" || name == "race_to_idle")
         return PolicyKind::RaceToIdle;
+    if (name == "predictive")
+        return PolicyKind::Predictive;
     fatal("unknown policy '", name,
           "' (baseline|safevmin|placement|optimal|coreidle"
-          "|racetoidle)");
+          "|racetoidle|predictive)");
 }
 
 int
@@ -590,6 +602,86 @@ cmdCampaign(const ChipSpec &chip, Seconds duration,
     return 0;
 }
 
+int
+cmdSearch(const ChipSpec &chip, search::Objective objective,
+          bool exhaustive, unsigned jobs)
+{
+    EngineConfig ec;
+    ec.jobs = jobs;
+    const ExperimentEngine engine{ec};
+    const auto benchmarks = Catalog::instance().figureBenchmarks();
+    const auto freqs = chip.frequencyLadder();
+
+    search::SweepSearch::Config cfg;
+    cfg.objective = objective;
+    cfg.audit = search::searchAuditEnabled();
+    search::SweepSearch searcher(engine, chip, cfg);
+    MemoCache<search::RunStats> cache;
+    search::MachinePool arenas;
+
+    TextTable t({"benchmark", "best", search::objectiveName(objective),
+                 "simulated"});
+    std::size_t total = 0;
+    std::size_t simulated = 0;
+    for (const auto *bench : benchmarks) {
+        std::vector<search::ConfigPoint> points;
+        for (std::uint32_t threads = 1; threads <= chip.numCores;
+             ++threads) {
+            for (Hertz f : freqs) {
+                points.push_back({bench, threads,
+                                  Allocation::Spreaded, f,
+                                  /*undervolt=*/true, /*seed=*/1});
+            }
+        }
+        std::size_t best = 0;
+        double best_value = 0.0;
+        std::size_t sims = 0;
+        if (exhaustive) {
+            const auto stats = search::runConfigurations(
+                engine, chip, points, &cache, &arenas);
+            for (std::size_t i = 0; i < stats.size(); ++i) {
+                const double v =
+                    search::objectiveValue(objective, stats[i]);
+                if (i == 0 || v < best_value) {
+                    best = i;
+                    best_value = v;
+                }
+            }
+            sims = points.size();
+        } else {
+            const auto result = searcher.searchGroup(points);
+            best = result.bestIndex;
+            best_value =
+                search::objectiveValue(objective, result.best);
+            sims = result.stats.simulatedPoints;
+        }
+        total += points.size();
+        simulated += sims;
+        const search::ConfigPoint &p = points[best];
+        t.addRow({bench->name,
+                  std::to_string(p.threads) + "T@"
+                      + formatDouble(units::toGHz(p.freq), 1)
+                      + " GHz",
+                  formatSi(best_value, 3),
+                  std::to_string(sims) + "/"
+                      + std::to_string(points.size())});
+    }
+
+    std::cout << chip.name << " "
+              << search::objectiveName(objective)
+              << "-optimal configurations ("
+              << (exhaustive ? "exhaustive"
+                             : "branch-and-bound") << ")\n";
+    t.print(std::cout);
+    std::cout << "simulated " << simulated << "/" << total
+              << " grid points (" << (total - simulated)
+              << " pruned)\n";
+    // Worker count goes to stderr: stdout is --jobs invariant.
+    std::cerr << "(" << engine.jobs() << " worker"
+              << (engine.jobs() == 1 ? "" : "s") << ")\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -718,6 +810,29 @@ main(int argc, char **argv)
                 static_cast<std::uint64_t>(std::atoll(argv[4])),
                 argc > 5 ? std::atof(argv[5]) : 30.0, jobs,
                 plan_in, plan_out);
+        }
+        if (cmd == "search") {
+            bool exhaustive = false;
+            int w = 1;
+            for (int i = 1; i < argc; ++i) {
+                if (std::strcmp(argv[i], "--exhaustive") == 0)
+                    exhaustive = true;
+                else
+                    argv[w++] = argv[i];
+            }
+            argc = w;
+            if (argc < 4)
+                return usageError(
+                    "search: needs <chip> <energy|ed2p>");
+            const std::string obj = argv[3];
+            if (obj != "energy" && obj != "ed2p")
+                return usageError(
+                    "search: objective must be energy or ed2p");
+            return cmdSearch(chipByName(argv[2]),
+                             obj == "energy"
+                                 ? search::Objective::Energy
+                                 : search::Objective::Ed2p,
+                             exhaustive, jobs);
         }
     } catch (const FatalError &e) {
         std::cerr << "error: " << e.what() << "\n";
